@@ -1,0 +1,60 @@
+// Bounded-memory experiment (extension): the paper motivates the hierarchy
+// with resource-constrained nodes. Here every node's detection queues are
+// capped and we measure how gracefully detection degrades as memory
+// shrinks — and how much *less* memory the hierarchical algorithm needs
+// for the same detection yield (the sink must queue intervals from all n
+// processes; a hierarchical node only from itself and its d children).
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "metrics/report.hpp"
+
+namespace hpd {
+namespace {
+
+void capacity_sweep(std::size_t d, std::size_t h, double participation) {
+  std::cout << "== Detections vs per-queue capacity, d = " << d
+            << ", h = " << h << ", participation = " << participation
+            << ", 25 rounds ==\n";
+  TextTable t({"capacity/queue", "algo", "node memory bound",
+               "global detections", "store max-node"});
+  const std::size_t n = net::SpanningTree::balanced_dary_size(d, h);
+  for (const std::size_t cap : {0u, 8u, 4u, 2u, 1u}) {
+    for (const auto kind : {runner::DetectorKind::kHierarchical,
+                            runner::DetectorKind::kCentralized}) {
+      auto cfg = bench::pulse_config(d, h, 25, participation, 2024, kind);
+      cfg.queue_capacity = cap;
+      const auto res = runner::run_experiment(cfg);
+      const bool hier = kind == runner::DetectorKind::kHierarchical;
+      // Per-queue caps translate to very different per-node memory: a
+      // hierarchical node has d+1 queues, the sink has n.
+      const std::size_t node_bound = cap * (hier ? (d + 1) : n);
+      t.add_row({cap == 0 ? "unbounded" : std::to_string(cap),
+                 hier ? "hier" : "central",
+                 cap == 0 ? "-" : std::to_string(node_bound),
+                 std::to_string(res.global_count),
+                 std::to_string(res.metrics.max_node_storage_peak())});
+    }
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+}  // namespace hpd
+
+int main() {
+  hpd::capacity_sweep(2, 4, 1.0);
+  hpd::capacity_sweep(2, 4, 0.85);
+  std::cout
+      << "Reading the numbers: at full participation one slot per queue\n"
+         "already sustains full yield for both algorithms. Under partial\n"
+         "participation hierarchical nodes buffer partially-matched rounds\n"
+         "per level, so equal PER-QUEUE caps throttle the hierarchy before\n"
+         "the sink — but note the memory column: the same cap grants the\n"
+         "sink n*cap intervals vs (d+1)*cap per hierarchical node. At\n"
+         "equal PER-NODE memory (compare rows with similar bounds) the\n"
+         "hierarchy delivers the same or better yield from a fraction of\n"
+         "the worst-case node budget — the paper's actual claim.\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Churn experiment (extension): sustained crash/recovery cycles. Nodes die
+// and come back on a schedule while monitoring runs; we measure how
+// detection yield and control-traffic overhead degrade with churn rate —
+// the regime the paper's WSN motivation actually lives in.
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "net/spanning_tree.hpp"
+#include "net/topology.hpp"
+#include "proto/messages.hpp"
+#include "runner/experiment.hpp"
+#include "trace/pulse.hpp"
+
+namespace hpd {
+namespace {
+
+struct ChurnOutcome {
+  std::uint64_t global = 0;
+  std::uint64_t repairs = 0;       // attach + flip events
+  std::uint64_t control_msgs = 0;  // probes/attach/delegate/flip/disown
+  std::size_t final_roots = 0;
+};
+
+ChurnOutcome run_churn(std::size_t cycles, SimTime spacing,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  runner::ExperimentConfig cfg;
+  Rng topo_rng = rng.split();
+  cfg.topology = net::Topology::random_geometric(24, 0.32, topo_rng);
+  cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+  trace::PulseConfig pc;
+  pc.rounds = 22;
+  pc.period = 90.0;
+  cfg.behavior_factory = [pc](ProcessId) {
+    return std::make_unique<trace::PulseBehavior>(pc);
+  };
+  cfg.horizon = 5.0 + 22.0 * 90.0 + 90.0;
+  cfg.drain = 300.0;
+  cfg.heartbeats = true;
+  cfg.seed = rng();
+  cfg.keep_occurrence_records = false;
+
+  // Kill/revive cycles: each victim is down for half the spacing.
+  SimTime t = 200.0;
+  for (std::size_t c = 0; c < cycles; ++c) {
+    const auto victim =
+        static_cast<ProcessId>(1 + rng.uniform_index(cfg.topology.size() - 1));
+    cfg.failures.push_back(runner::FailureEvent{t, victim});
+    cfg.recoveries.push_back(runner::FailureEvent{t + spacing / 2.0, victim});
+    t += spacing;
+  }
+
+  const auto res = runner::run_experiment(cfg);
+  ChurnOutcome out;
+  out.global = res.global_count;
+  out.repairs = res.metrics.msgs_of_type(proto::kAttachAck) +
+                res.metrics.msgs_of_type(proto::kFlipGo);
+  for (const int type :
+       {proto::kProbe, proto::kProbeAck, proto::kAttachReq, proto::kAttachAck,
+        proto::kDelegate, proto::kDelegateFail, proto::kFlip, proto::kFlipAck,
+        proto::kFlipGo, proto::kDisown}) {
+    out.control_msgs += res.metrics.msgs_of_type(type);
+  }
+  for (const ProcessId p : res.final_parents) {
+    out.final_roots += (p == kNoProcess) ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace hpd
+
+int main() {
+  using hpd::TextTable;
+  std::cout << "== Churn: crash/recovery cycles during 22 pulse rounds "
+               "(24-node geometric WSN, 3-seed averages) ==\n";
+  TextTable t({"cycles", "spacing", "global detections (of 22)",
+               "repair events", "control msgs", "final roots"});
+  struct Case {
+    std::size_t cycles;
+    hpd::SimTime spacing;
+  };
+  for (const Case c : {Case{0, 0.0}, Case{2, 500.0}, Case{4, 300.0},
+                       Case{6, 220.0}, Case{8, 180.0}}) {
+    double global = 0;
+    double repairs = 0;
+    double control = 0;
+    double roots = 0;
+    const int kSeeds = 3;
+    for (int s = 0; s < kSeeds; ++s) {
+      const auto out = hpd::run_churn(c.cycles, c.spacing,
+                                      91 + static_cast<unsigned>(s));
+      global += static_cast<double>(out.global);
+      repairs += static_cast<double>(out.repairs);
+      control += static_cast<double>(out.control_msgs);
+      roots += static_cast<double>(out.final_roots);
+    }
+    t.add_row({std::to_string(c.cycles),
+               c.cycles == 0 ? "-" : TextTable::num(c.spacing, 0),
+               TextTable::num(global / kSeeds, 1),
+               TextTable::num(repairs / kSeeds, 1),
+               TextTable::num(control / kSeeds, 0),
+               TextTable::num(roots / kSeeds, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nEvery run must end with a single control tree (final\n"
+               "roots = 1): crashes heal around the victim and recoveries\n"
+               "re-adopt it; detections dip only for rounds whose window\n"
+               "overlaps a repair.\n";
+  return 0;
+}

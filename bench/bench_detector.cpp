@@ -1,0 +1,129 @@
+// Detector-path microbenchmarks (google-benchmark): elimination-heavy queue
+// traffic, reorder-buffer throughput under shuffled arrivals, and the
+// centralized sink's per-round cost as the process count grows.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "detect/centralized.hpp"
+#include "detect/queue_engine.hpp"
+#include "detect/reorder.hpp"
+
+namespace hpd {
+namespace {
+
+Interval base_interval(std::size_t n, ProcessId origin, SeqNum seq,
+                       ClockValue base) {
+  // The interval occupies the component window [base, base+1], slightly
+  // widened on its own component so pairs are strictly ordered.
+  Interval x;
+  x.lo = VectorClock(n);
+  x.hi = VectorClock(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.lo[i] = base;
+    x.hi[i] = base + 1;
+  }
+  x.lo[idx(origin)] -= 1;
+  x.hi[idx(origin)] += 1;
+  x.origin = origin;
+  x.seq = seq;
+  return x;
+}
+
+Interval window_interval(std::size_t n, ProcessId origin, SeqNum round,
+                         bool /*unused*/ = false) {
+  return base_interval(n, origin, round, static_cast<ClockValue>(2 * round));
+}
+
+/// Two queues forever out of phase (windows 6r vs 6r+3): every offer
+/// eliminates the other stream's head and no solution ever forms — the
+/// worst-case "failed attempt" path.
+void BM_EliminationHeavy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  detect::QueueEngine engine;
+  engine.add_queue(0);
+  engine.add_queue(1);
+  SeqNum round = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.offer(
+        0, base_interval(n, 0, round, static_cast<ClockValue>(6 * round))));
+    benchmark::DoNotOptimize(engine.offer(
+        1,
+        base_interval(n, 1, round, static_cast<ClockValue>(6 * round + 3))));
+    ++round;
+  }
+  state.counters["eliminated"] = static_cast<double>(engine.eliminated());
+  state.counters["solutions"] = static_cast<double>(engine.solutions_found());
+}
+BENCHMARK(BM_EliminationHeavy)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_ReorderBufferShuffled(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  detect::ReorderBuffer rb;
+  SeqNum base = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    rb.track(0, base);
+    std::vector<SeqNum> seqs(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      seqs[i] = base + i;
+    }
+    for (std::size_t i = batch; i > 1; --i) {  // Fisher–Yates
+      std::swap(seqs[i - 1], seqs[rng.uniform_index(i)]);
+    }
+    state.ResumeTiming();
+    std::size_t delivered = 0;
+    for (const SeqNum s : seqs) {
+      Interval x;
+      x.lo = VectorClock{static_cast<ClockValue>(s)};
+      x.hi = VectorClock{static_cast<ClockValue>(s + 1)};
+      x.origin = 0;
+      x.seq = s;
+      delivered += rb.push(0, x).size();
+    }
+    if (delivered != batch) {
+      state.SkipWithError("reorder buffer lost intervals");
+    }
+    base += batch;
+  }
+}
+BENCHMARK(BM_ReorderBufferShuffled)->RangeMultiplier(4)->Range(16, 1024);
+
+/// One full round at the centralized sink: n queues each receive one
+/// mutually overlapping interval; the sink detects and prunes.
+void BM_CentralSinkRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<ProcessId> procs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    procs[i] = static_cast<ProcessId>(i);
+  }
+  std::uint64_t detections = 0;
+  detect::CentralSink::Hooks hooks;
+  hooks.on_occurrence = [&detections](const detect::OccurrenceRecord&) {
+    ++detections;
+  };
+  detect::CentralSink sink(0, procs, std::move(hooks));
+  SeqNum round = 1;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Interval x =
+          window_interval(n, static_cast<ProcessId>(i), round, false);
+      if (i == 0) {
+        sink.local_interval(x);
+      } else {
+        sink.report(x);
+      }
+    }
+    ++round;
+  }
+  state.counters["detections"] = static_cast<double>(detections);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CentralSinkRound)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+}  // namespace
+}  // namespace hpd
+
+BENCHMARK_MAIN();

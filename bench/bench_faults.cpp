@@ -1,0 +1,118 @@
+// Fault-tolerance experiment (extension A3): detections delivered as nodes
+// crash. The hierarchical algorithm repairs the spanning tree and keeps
+// detecting the partial predicate over the survivors; the centralized
+// baseline [12] loses everything when the sink (or any relay on a path)
+// dies.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "metrics/report.hpp"
+#include "net/spanning_tree.hpp"
+#include "net/topology.hpp"
+#include "metrics/counters.hpp"
+
+namespace hpd {
+namespace {
+
+runner::ExperimentConfig grid_config(runner::DetectorKind kind,
+                                     std::uint64_t seed, SeqNum rounds) {
+  runner::ExperimentConfig cfg;
+  cfg.topology = net::Topology::grid(4, 4);
+  cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+  trace::PulseConfig pc;
+  pc.rounds = rounds;
+  pc.start = 5.0;
+  pc.period = 80.0;
+  pc.participation = 1.0;
+  cfg.behavior_factory = [pc](ProcessId) {
+    return std::make_unique<trace::PulseBehavior>(pc);
+  };
+  cfg.horizon = 5.0 + static_cast<SimTime>(rounds) * 80.0 + 80.0;
+  cfg.drain = 150.0;
+  cfg.seed = seed;
+  cfg.detector = kind;
+  cfg.keep_occurrence_records = true;
+  cfg.occurrence_solutions = false;
+  if (kind == runner::DetectorKind::kHierarchical) {
+    cfg.heartbeats = true;
+  }
+  return cfg;
+}
+
+/// Count global detections before and after `t_split`.
+std::pair<std::uint64_t, std::uint64_t> split_detections(
+    const runner::ExperimentResult& res, SimTime t_split) {
+  std::uint64_t before = 0;
+  std::uint64_t after = 0;
+  for (const auto& rec : res.occurrences) {
+    if (rec.global) {
+      (rec.time < t_split ? before : after) += 1;
+    }
+  }
+  return {before, after};
+}
+
+void run_fault_sweep() {
+  std::cout << "== Detections under crash faults (4x4 grid, 20 pulse "
+               "rounds, crashes at t = 600/900) ==\n";
+  TextTable t({"faults", "algo", "global before t=600", "global after",
+               "tree repaired", "notes"});
+  struct Case {
+    std::vector<runner::FailureEvent> failures;
+    std::string label;
+    std::string note_hier;
+    std::string note_central;
+  };
+  const std::vector<Case> cases = {
+      {{}, "0", "-", "-"},
+      {{{600.0, 5}}, "1 interior", "repairs around node 5", "relay paths die"},
+      {{{600.0, 0}}, "1 root/sink", "new root elected", "sink dead: total loss"},
+      {{{600.0, 5}, {900.0, 10}}, "2 interior", "repairs twice", "relay paths die"},
+  };
+  for (const auto& c : cases) {
+    for (const auto kind : {runner::DetectorKind::kHierarchical,
+                            runner::DetectorKind::kCentralized}) {
+      auto cfg = grid_config(kind, 77, 20);
+      if (kind == runner::DetectorKind::kCentralized) {
+        cfg.heartbeats = false;
+      }
+      cfg.failures = c.failures;
+      const auto res = runner::run_experiment(cfg);
+      const auto [before, after] = split_detections(res, 600.0);
+      // Check the survivors form one valid tree (hier only).
+      bool repaired = true;
+      std::size_t roots = 0;
+      for (std::size_t i = 0; i < res.final_alive.size(); ++i) {
+        if (!res.final_alive[i]) {
+          continue;
+        }
+        const ProcessId p = res.final_parents[i];
+        if (p == kNoProcess) {
+          ++roots;
+        } else if (!res.final_alive[idx(p)]) {
+          repaired = false;
+        }
+      }
+      repaired = repaired && roots == 1;
+      const bool hier = kind == runner::DetectorKind::kHierarchical;
+      t.add_row({c.label, hier ? "hier" : "central", std::to_string(before),
+                 std::to_string(after),
+                 hier ? (repaired ? "yes" : "NO") : "n/a",
+                 hier ? c.note_hier : c.note_central});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: the hierarchical detector keeps raising\n"
+               "alarms for the surviving partial predicate after every\n"
+               "fault; the centralized baseline stops detecting after its\n"
+               "sink dies and silently loses reports whose relay paths\n"
+               "crossed a dead node.\n\n";
+}
+
+}  // namespace
+}  // namespace hpd
+
+int main() {
+  hpd::run_fault_sweep();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 5 reproduction: as Figure 4 but with tree degree d = 4.
+// See bench_fig4.cpp for methodology notes.
+#include <iostream>
+#include <string>
+
+#include "analysis/formulas.hpp"
+#include "bench/bench_util.hpp"
+#include "metrics/report.hpp"
+
+namespace hpd {
+namespace {
+
+bool g_csv = false;  // --csv: machine-readable output for re-plotting
+
+void analytic_part() {
+  std::cout << "== Figure 5: total messages vs tree height (analytic), "
+               "d = 4, p = 20 ==\n";
+  TextTable t({"h", "n=(d^h-1)/(d-1)", "hier a=0.10", "hier a=0.45",
+               "central (Eq.12 sum)", "central (Eq.14 as printed)",
+               "ratio central/hier(a=0.45)"});
+  for (std::size_t h = 2; h <= 10; ++h) {
+    const double h010 = analysis::hier_messages(4, h, 20, 0.10);
+    const double h045 = analysis::hier_messages(4, h, 20, 0.45);
+    const double c = analysis::central_messages_direct(4, h, 20);
+    const double c14 = analysis::central_messages_paper_eq14(4, h, 20);
+    t.add_row({std::to_string(h),
+               std::to_string(analysis::paper_tree_nodes(4, h)),
+               TextTable::num(h010, 0), TextTable::num(h045, 0),
+               TextTable::num(c, 0), TextTable::num(c14, 0),
+               TextTable::num(c / h045, 2)});
+  }
+  g_csv ? t.print_csv(std::cout) : t.print(std::cout);
+  std::cout << '\n';
+}
+
+void simulated_part() {
+  std::cout << "== Live simulation check (full participation -> alpha = "
+               "1/4, p = 10 rounds) ==\n";
+  TextTable t({"h", "n", "hier msgs (sim)", "Eq.11(a=1/d)",
+               "central hop-msgs (sim)", "Eq.12", "alpha measured",
+               "detections"});
+  for (std::size_t h = 2; h <= 5; ++h) {
+    const auto hier = bench::run_pulse(4, h, 10, 1.0, 555 + h,
+                                       runner::DetectorKind::kHierarchical);
+    const auto central = bench::run_pulse(4, h, 10, 1.0, 555 + h,
+                                          runner::DetectorKind::kCentralized);
+    const double model_h = analysis::hier_messages(4, h, 10, 0.25);
+    const double model_c = analysis::central_messages_direct(4, h, 10);
+    t.add_row({std::to_string(h),
+               std::to_string(analysis::paper_tree_nodes(4, h)),
+               std::to_string(hier.report_msgs), TextTable::num(model_h, 0),
+               std::to_string(central.report_msgs),
+               TextTable::num(model_c, 0),
+               TextTable::num(hier.measured_alpha, 3),
+               std::to_string(hier.global)});
+  }
+  g_csv ? t.print_csv(std::cout) : t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+}  // namespace hpd
+
+int main(int argc, char** argv) {
+  hpd::g_csv = argc > 1 && std::string(argv[1]) == "--csv";
+  hpd::analytic_part();
+  hpd::simulated_part();
+  return 0;
+}

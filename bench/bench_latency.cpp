@@ -1,0 +1,89 @@
+// Detection-latency experiment (extension): how long after the last
+// participating interval completes does each algorithm raise the global
+// alarm?
+//
+// The hierarchy adds a level of aggregation per tree level, but each report
+// travels only one hop; the centralized sink needs no aggregation but its
+// reports cross up to h-1 hops. With per-hop delays the two roughly cancel
+// — measured here so the trade-off is numbers, not intuition.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "metrics/report.hpp"
+
+namespace hpd {
+namespace {
+
+struct LatencyStats {
+  double mean = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+LatencyStats global_latency(std::size_t d, std::size_t h, SeqNum rounds,
+                            std::uint64_t seed, runner::DetectorKind kind) {
+  auto cfg = bench::pulse_config(d, h, rounds, 1.0, seed, kind);
+  cfg.keep_occurrence_records = true;
+  cfg.occurrence_solutions = false;
+  const auto res = runner::run_experiment(cfg);
+  std::vector<double> lat;
+  for (const auto& rec : res.occurrences) {
+    if (rec.global) {
+      lat.push_back(rec.latency());
+    }
+  }
+  LatencyStats out;
+  out.count = lat.size();
+  if (lat.empty()) {
+    return out;
+  }
+  std::sort(lat.begin(), lat.end());
+  double sum = 0.0;
+  for (const double v : lat) {
+    sum += v;
+  }
+  out.mean = sum / static_cast<double>(lat.size());
+  out.p95 = lat[std::min(lat.size() - 1,
+                         static_cast<std::size_t>(
+                             0.95 * static_cast<double>(lat.size())))];
+  out.max = lat.back();
+  return out;
+}
+
+}  // namespace
+}  // namespace hpd
+
+int main() {
+  using hpd::TextTable;
+  std::cout << "== Global detection latency (time units; channel delay "
+               "U(0.5,1.5) per hop; 20 rounds, full participation) ==\n";
+  TextTable t({"d", "h", "n", "algo", "detections", "mean", "p95", "max"});
+  struct Shape {
+    std::size_t d;
+    std::size_t h;
+  };
+  for (const Shape s :
+       {Shape{2, 3}, Shape{2, 5}, Shape{2, 7}, Shape{4, 3}, Shape{4, 4}}) {
+    for (const auto kind : {hpd::runner::DetectorKind::kHierarchical,
+                            hpd::runner::DetectorKind::kCentralized}) {
+      const auto st = hpd::global_latency(s.d, s.h, 20, 99, kind);
+      t.add_row(
+          {std::to_string(s.d), std::to_string(s.h),
+           std::to_string(hpd::net::SpanningTree::balanced_dary_size(s.d, s.h)),
+           kind == hpd::runner::DetectorKind::kHierarchical ? "hier"
+                                                            : "central",
+           std::to_string(st.count), TextTable::num(st.mean, 2),
+           TextTable::num(st.p95, 2), TextTable::num(st.max, 2)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nBoth algorithms pay roughly (h-1) hops of delay on the\n"
+               "critical path — the hierarchy through per-level aggregation,\n"
+               "the sink through multi-hop relays — so latency is a wash\n"
+               "while messages and per-node costs strongly favour the "
+               "hierarchy.\n";
+  return 0;
+}

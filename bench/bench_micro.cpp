@@ -1,0 +1,137 @@
+// Microbenchmarks (google-benchmark) of the hot primitives: vector-clock
+// comparison/merge/meet/join, interval overlap, aggregation, and the queue
+// engine's offer path.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "detect/queue_engine.hpp"
+#include "interval/interval.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace hpd {
+namespace {
+
+VectorClock random_clock(Rng& rng, std::size_t n) {
+  VectorClock v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<ClockValue>(rng.uniform_int(0, 1000));
+  }
+  return v;
+}
+
+void BM_VcCompare(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const VectorClock a = random_clock(rng, n);
+  const VectorClock b = random_clock(rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compare(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_VcCompare)->RangeMultiplier(4)->Range(8, 4096)->Complexity();
+
+void BM_VcMerge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  VectorClock a = random_clock(rng, n);
+  const VectorClock b = random_clock(rng, n);
+  for (auto _ : state) {
+    a.merge(b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_VcMerge)->RangeMultiplier(4)->Range(8, 4096);
+
+void BM_VcMeetJoin(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const VectorClock a = random_clock(rng, n);
+  const VectorClock b = random_clock(rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(component_min(a, b));
+    benchmark::DoNotOptimize(component_max(a, b));
+  }
+}
+BENCHMARK(BM_VcMeetJoin)->RangeMultiplier(4)->Range(8, 4096);
+
+Interval random_interval(Rng& rng, std::size_t n, ProcessId origin,
+                         SeqNum seq) {
+  Interval x;
+  x.lo = random_clock(rng, n);
+  x.hi = x.lo;
+  for (std::size_t i = 0; i < n; ++i) {
+    x.hi[i] += static_cast<ClockValue>(rng.uniform_int(0, 50));
+  }
+  x.origin = origin;
+  x.seq = seq;
+  return x;
+}
+
+void BM_IntervalOverlap(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const Interval a = random_interval(rng, n, 0, 1);
+  const Interval b = random_interval(rng, n, 1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(overlap(a, b));
+  }
+}
+BENCHMARK(BM_IntervalOverlap)->RangeMultiplier(4)->Range(8, 4096);
+
+void BM_Aggregate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 8;  // intervals per aggregation (d + 1 heads)
+  Rng rng(5);
+  std::vector<Interval> xs;
+  for (std::size_t i = 0; i < k; ++i) {
+    xs.push_back(random_interval(rng, n, static_cast<ProcessId>(i), 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        aggregate(std::span<const Interval>(xs), 99, 1));
+  }
+}
+BENCHMARK(BM_Aggregate)->RangeMultiplier(4)->Range(8, 4096);
+
+/// Full queue-engine round trip: d+1 queues fed one mutually-overlapping
+/// interval each -> one solution detected and pruned per batch.
+void BM_QueueEngineSolve(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 64;
+  SeqNum round = 1;
+  detect::QueueEngine engine;
+  for (std::size_t q = 0; q <= d; ++q) {
+    engine.add_queue(static_cast<ProcessId>(q));
+  }
+  for (auto _ : state) {
+    // Construct one round of overlapping intervals: every lo is below every
+    // hi (component-wise window [round*2, round*2+1]).
+    for (std::size_t q = 0; q <= d; ++q) {
+      Interval x;
+      x.lo = VectorClock(n);
+      x.hi = VectorClock(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        x.lo[i] = static_cast<ClockValue>(round * 2);
+        x.hi[i] = static_cast<ClockValue>(round * 2 + 1);
+      }
+      x.lo[q] -= 1;  // make the pairs strictly ordered
+      x.hi[q] += 1;
+      x.origin = static_cast<ProcessId>(q);
+      x.seq = round;
+      const auto sols = engine.offer(static_cast<ProcessId>(q), x);
+      benchmark::DoNotOptimize(sols);
+    }
+    ++round;
+  }
+  state.counters["solutions"] =
+      static_cast<double>(engine.solutions_found());
+}
+BENCHMARK(BM_QueueEngineSolve)->DenseRange(2, 10, 2);
+
+}  // namespace
+}  // namespace hpd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Scaling experiment (extension A5): wall-clock cost of whole simulated
+// deployments as the network grows, and the throughput of fanning
+// independent runs across cores with the sweep thread pool.
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "bench/bench_util.hpp"
+#include "metrics/report.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace hpd {
+namespace {
+
+double run_timed(std::size_t d, std::size_t h, SeqNum rounds,
+                 std::uint64_t seed) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto out =
+      bench::run_pulse(d, h, rounds, 1.0, seed,
+                       runner::DetectorKind::kHierarchical);
+  (void)out;
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+void scaling_table() {
+  std::cout << "== Simulator wall-clock vs network size (10 pulse rounds) ==\n";
+  TextTable t({"d", "h", "n", "wall ms"});
+  struct Shape {
+    std::size_t d;
+    std::size_t h;
+  };
+  for (const Shape s : {Shape{2, 4}, Shape{2, 6}, Shape{2, 8}, Shape{2, 10},
+                        Shape{4, 4}, Shape{4, 5}}) {
+    const double ms = run_timed(s.d, s.h, 10, 7);
+    t.add_row({std::to_string(s.d), std::to_string(s.h),
+               std::to_string(net::SpanningTree::balanced_dary_size(s.d, s.h)),
+               TextTable::num(ms, 1)});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void sweep_throughput() {
+  std::cout << "== Parallel sweep throughput (32 runs of d=2,h=6); "
+            << "hardware threads available: "
+            << std::thread::hardware_concurrency()
+            << " (no speedup is expected on a single-core host) ==\n";
+  TextTable t({"threads", "wall ms", "speedup"});
+  const std::size_t kRuns = 32;
+  double serial_ms = 0.0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    const auto start = std::chrono::steady_clock::now();
+    parallel::parallel_for(pool, kRuns, [&](std::size_t i) {
+      bench::run_pulse(2, 6, 10, 1.0, 1000 + i,
+                       runner::DetectorKind::kHierarchical);
+    });
+    const auto end = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    if (threads == 1) {
+      serial_ms = ms;
+    }
+    t.add_row({std::to_string(threads), TextTable::num(ms, 1),
+               TextTable::num(serial_ms / ms, 2)});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+}  // namespace hpd
+
+int main() {
+  hpd::scaling_table();
+  hpd::sweep_throughput();
+  return 0;
+}

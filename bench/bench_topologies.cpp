@@ -1,0 +1,91 @@
+// Topology-sensitivity experiment (extension): the paper analyses balanced
+// d-ary trees; real deployments get whatever BFS gives them over grids,
+// radio ranges, small worlds, or scale-free graphs. This bench measures
+// both algorithms over the tree each topology family induces.
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "net/spanning_tree.hpp"
+#include "net/topology.hpp"
+#include "proto/messages.hpp"
+#include "runner/experiment.hpp"
+#include "trace/pulse.hpp"
+
+namespace hpd {
+namespace {
+
+struct Family {
+  const char* name;
+  net::Topology topo;
+};
+
+void run_family(const Family& fam, SeqNum rounds) {
+  net::SpanningTree tree = net::SpanningTree::bfs_tree(fam.topo, 0);
+  TextTable t({"algo", "report msgs", "cmp max-node", "store max-node",
+               "detections"});
+  for (const auto kind : {runner::DetectorKind::kHierarchical,
+                          runner::DetectorKind::kCentralized}) {
+    runner::ExperimentConfig cfg;
+    cfg.topology = fam.topo;
+    cfg.tree = tree;
+    trace::PulseConfig pc;
+    pc.rounds = rounds;
+    pc.period = 80.0;
+    cfg.behavior_factory = [pc](ProcessId) {
+      return std::make_unique<trace::PulseBehavior>(pc);
+    };
+    cfg.horizon = 5.0 + static_cast<SimTime>(rounds) * 80.0 + 80.0;
+    cfg.drain = 120.0;
+    cfg.seed = 4242;
+    cfg.detector = kind;
+    cfg.keep_occurrence_records = false;
+    const auto res = runner::run_experiment(cfg);
+    std::uint64_t cmp_max = 0;
+    for (std::size_t i = 0; i < fam.topo.size(); ++i) {
+      cmp_max = std::max(
+          cmp_max,
+          res.metrics.node(static_cast<ProcessId>(i)).vc_comparisons);
+    }
+    const bool hier = kind == runner::DetectorKind::kHierarchical;
+    t.add_row({hier ? "hier" : "central",
+               std::to_string(res.metrics.msgs_of_type(
+                   hier ? proto::kReportHier : proto::kReportCentral)),
+               std::to_string(cmp_max),
+               std::to_string(res.metrics.max_node_storage_peak()),
+               std::to_string(res.global_count)});
+  }
+  std::cout << "-- " << fam.name << ": n=" << fam.topo.size()
+            << " edges=" << fam.topo.num_edges()
+            << " BFS-tree height=" << tree.height() << " max-degree="
+            << tree.max_degree() << "\n";
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+}  // namespace hpd
+
+int main() {
+  using namespace hpd;
+  std::cout << "== Hierarchical vs centralized across topology families "
+               "(15 pulse rounds, full participation) ==\n\n";
+  Rng rng(31);
+  std::vector<Family> families;
+  families.push_back({"grid 6x6", net::Topology::grid(6, 6)});
+  families.push_back(
+      {"random geometric n=36 r=0.25",
+       net::Topology::random_geometric(36, 0.25, rng)});
+  families.push_back(
+      {"small world n=36 k=4 beta=0.2",
+       net::Topology::small_world(36, 4, 0.2, rng)});
+  families.push_back(
+      {"scale free n=36 m=2", net::Topology::scale_free(36, 2, rng)});
+  families.push_back({"ring n=36", net::Topology::ring(36)});
+  for (const auto& fam : families) {
+    run_family(fam, 15);
+  }
+  std::cout << "Shallow, hub-heavy trees (scale-free) narrow the message\n"
+               "gap but concentrate the centralized sink's comparisons even\n"
+               "harder; deep trees (ring) are the hierarchy's best case.\n";
+  return 0;
+}

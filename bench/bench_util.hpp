@@ -1,0 +1,66 @@
+// Shared helpers for the table/figure benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "net/spanning_tree.hpp"
+#include "proto/messages.hpp"
+#include "runner/experiment.hpp"
+#include "trace/pulse.hpp"
+
+namespace hpd::bench {
+
+/// One simulated detection run over a paper-model d-ary tree with the pulse
+/// workload (`rounds` pulses; `participation` tunes the paper's α).
+inline runner::ExperimentConfig pulse_config(std::size_t d, std::size_t h,
+                                             SeqNum rounds,
+                                             double participation,
+                                             std::uint64_t seed,
+                                             runner::DetectorKind kind) {
+  runner::ExperimentConfig cfg;
+  cfg.tree = net::SpanningTree::balanced_dary(d, h);
+  cfg.topology = net::tree_topology(cfg.tree);
+  trace::PulseConfig pc;
+  pc.rounds = rounds;
+  pc.start = 5.0;
+  pc.period = 60.0;
+  pc.participation = participation;
+  cfg.behavior_factory = [pc](ProcessId) {
+    return std::make_unique<trace::PulseBehavior>(pc);
+  };
+  cfg.horizon = 5.0 + static_cast<SimTime>(rounds) * 60.0 + 60.0;
+  cfg.drain = 100.0;
+  cfg.seed = seed;
+  cfg.detector = kind;
+  cfg.keep_occurrence_records = false;  // sweeps only need the counters
+  return cfg;
+}
+
+struct PulseOutcome {
+  std::uint64_t report_msgs = 0;  ///< hier: one-hop; central: hop-weighted
+  std::uint64_t global = 0;
+  double measured_alpha = 0.0;
+  std::uint64_t comparisons = 0;
+  std::uint64_t storage_peak_max = 0;  ///< worst single node
+  std::uint64_t storage_peak_sum = 0;  ///< across all nodes
+};
+
+inline PulseOutcome run_pulse(std::size_t d, std::size_t h, SeqNum rounds,
+                              double participation, std::uint64_t seed,
+                              runner::DetectorKind kind) {
+  const auto cfg = pulse_config(d, h, rounds, participation, seed, kind);
+  const auto res = runner::run_experiment(cfg);
+  PulseOutcome out;
+  out.report_msgs = res.metrics.msgs_of_type(
+      kind == runner::DetectorKind::kHierarchical ? proto::kReportHier
+                                                  : proto::kReportCentral);
+  out.global = res.global_count;
+  out.measured_alpha = res.measured_alpha();
+  out.comparisons = res.metrics.total_vc_comparisons();
+  out.storage_peak_max = res.metrics.max_node_storage_peak();
+  out.storage_peak_sum = res.metrics.sum_node_storage_peak();
+  return out;
+}
+
+}  // namespace hpd::bench

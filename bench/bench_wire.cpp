@@ -1,0 +1,114 @@
+// Wire-volume experiment (extension): the paper counts message size in
+// O(n) vector-clock units. This bench measures what those units cost in
+// bytes under three encodings of the timestamp streams of a real simulated
+// run: raw fixed 4 B/component, LEB128 varints, and per-channel
+// differential encoding (Singhal–Kshemkalyani).
+#include <cstdint>
+#include <iostream>
+#include <map>
+
+#include "bench/bench_util.hpp"
+#include "trace/gossip.hpp"
+#include "metrics/report.hpp"
+#include "wire/delta_clock.hpp"
+
+namespace hpd {
+namespace {
+
+void measure_execution(const char* label,
+                       const runner::ExperimentConfig& cfg_in) {
+  auto cfg = cfg_in;
+  cfg.record_execution = true;
+  const auto res = runner::run_experiment(cfg);
+  const std::size_t n = cfg.topology.size();
+
+  // Reconstruct each (src, dst) channel's stamp stream from the recorded
+  // send events, in send order.
+  std::map<std::pair<ProcessId, ProcessId>, std::vector<const VectorClock*>>
+      channels;
+  for (std::size_t p = 0; p < n; ++p) {
+    for (const auto& e : res.execution.procs[p].events) {
+      if (e.kind == trace::EventKind::kSend) {
+        channels[{static_cast<ProcessId>(p), e.peer}].push_back(&e.vc);
+      }
+    }
+  }
+
+  std::uint64_t stamps = 0;
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t varint_bytes = 0;
+  std::uint64_t delta_bytes = 0;
+  for (const auto& [channel, stream] : channels) {
+    wire::DeltaClockEncoder delta(n, 64);
+    for (const VectorClock* vc : stream) {
+      ++stamps;
+      raw_bytes += 4 * vc->size();
+      wire::Encoder e;
+      e.put_clock(*vc);
+      varint_bytes += e.bytes().size();
+      delta_bytes += delta.encode(*vc).size();
+    }
+  }
+
+  TextTable t({"encoding", "bytes", "bytes/stamp", "vs raw"});
+  auto row = [&](const char* name, std::uint64_t bytes) {
+    t.add_row({name, std::to_string(bytes),
+               TextTable::num(static_cast<double>(bytes) /
+                                  static_cast<double>(stamps),
+                              1),
+               TextTable::num(static_cast<double>(raw_bytes) /
+                                  static_cast<double>(bytes),
+                              2)});
+  };
+  std::cout << "-- " << label << " (n=" << n << "): " << stamps
+            << " app-message timestamps over " << channels.size()
+            << " channels --\n";
+  row("raw 4B/component", raw_bytes);
+  row("LEB128 varint", varint_bytes);
+  row("SK differential", delta_bytes);
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+}  // namespace hpd
+
+int main() {
+  using namespace hpd;
+  std::cout << "== Vector-timestamp wire volume under three encodings ==\n\n";
+  measure_execution(
+      "pulse d=2 h=4",
+      bench::pulse_config(2, 4, 15, 1.0, 7,
+                          runner::DetectorKind::kHierarchical));
+  measure_execution(
+      "pulse d=2 h=6",
+      bench::pulse_config(2, 6, 15, 1.0, 7,
+                          runner::DetectorKind::kHierarchical));
+  // Sparse-causality workload: between two sends on one channel only a few
+  // components move — the differential technique's home turf.
+  {
+    runner::ExperimentConfig cfg;
+    cfg.topology = net::Topology::grid(6, 6);
+    cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+    trace::GossipConfig g;
+    g.horizon = 1500.0;
+    g.mean_gap = 4.0;
+    g.p_send = 0.6;
+    g.p_toggle = 0.2;
+    cfg.behavior_factory = [g](ProcessId) {
+      return std::make_unique<trace::GossipBehavior>(g);
+    };
+    cfg.horizon = 1520.0;
+    cfg.seed = 7;
+    measure_execution("gossip 6x6 grid", cfg);
+  }
+  std::cout
+      << "Reading the numbers: on globally-synchronized workloads (pulse)\n"
+         "nearly every component moves between consecutive sends, so dense\n"
+         "deltas (2 varints per changed component) lose to plain varint\n"
+         "clocks. On sparse-causality traffic (gossip) the differential\n"
+         "encoding pulls far ahead. The encoder needs FIFO channels per\n"
+         "the original technique; the periodic resync (every 64 stamps)\n"
+         "bounds decoder-state loss in long deployments.\n";
+  return 0;
+}

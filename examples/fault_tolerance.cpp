@@ -1,0 +1,76 @@
+// Fault tolerance in action: nodes crash mid-run, the spanning tree heals
+// around them (heartbeats → orphan probing → subtree-delegated search →
+// re-rooting), and the monitoring of the surviving partial predicate
+// continues — the paper's headline property.
+//
+// A 4x4 grid runs 18 pulse rounds. Node 5 (an internal tree node) crashes
+// at t = 500 and node 2 at t = 900; node 5 then RECOVERS at t = 1100 and
+// rejoins the tree (crash-recovery extension). Watch the alarm stream:
+// alarms keep coming after each crash, covering the survivors, and the
+// coverage grows again once node 5 is readopted.
+//
+// Build & run:  ./build/examples/fault_tolerance
+#include <iostream>
+
+#include "proto/messages.hpp"
+#include "runner/monitor.hpp"
+#include "trace/pulse.hpp"
+
+using namespace hpd;
+
+int main() {
+  MonitorConfig cfg;
+  cfg.topology = net::Topology::grid(4, 4);
+  cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+  cfg.fault_tolerant = true;  // heartbeats + reattachment
+  cfg.horizon = 1600.0;
+  cfg.drain = 200.0;
+  cfg.seed = 11;
+
+  Monitor mon(cfg);
+  trace::PulseConfig pulse;
+  pulse.rounds = 18;
+  pulse.period = 80.0;
+  mon.set_behavior_factory([pulse](ProcessId) {
+    return std::make_unique<trace::PulseBehavior>(pulse);
+  });
+  mon.inject_failure(5, 500.0);
+  mon.inject_failure(2, 900.0);
+  mon.inject_recovery(5, 1100.0);
+
+  mon.on_global_occurrence([](const detect::OccurrenceRecord& rec) {
+    std::cout << "t=" << rec.time << "  global alarm #" << rec.index
+              << " at root " << rec.detector << " covering "
+              << rec.aggregate.weight << " processes\n";
+  });
+
+  const auto result = mon.run();
+
+  std::cout << "\n--- After the dust settles ---\n";
+  std::cout << "Survivors and their parents:\n";
+  for (std::size_t i = 0; i < result.final_alive.size(); ++i) {
+    if (!result.final_alive[i]) {
+      std::cout << "  node " << i << ": CRASHED\n";
+    } else if (result.final_parents[i] == kNoProcess) {
+      std::cout << "  node " << i << ": ROOT of the surviving tree\n";
+    } else {
+      std::cout << "  node " << i << ": child of "
+                << result.final_parents[i] << "\n";
+    }
+  }
+  std::cout << "\nGlobal alarms delivered: " << result.global_count
+            << " (18 phenomena; a couple are lost while the tree heals —\n"
+            << " the paper's centralized baseline would have stopped "
+               "permanently instead).\n"
+            << "Control traffic: "
+            << result.metrics.msgs_of_type(proto::kHeartbeat)
+            << " heartbeats, "
+            << result.metrics.msgs_of_type(proto::kProbe) +
+                   result.metrics.msgs_of_type(proto::kProbeAck)
+            << " probe messages, "
+            << result.metrics.msgs_of_type(proto::kFlip) +
+                   result.metrics.msgs_of_type(proto::kFlipAck) +
+                   result.metrics.msgs_of_type(proto::kFlipGo)
+            << " re-rooting messages.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Group-level monitoring (the paper's "finer-grained monitoring in those
+// large-scale networks where grouping is established"): subtree heads are
+// group leaders, and every detection at a leader means "my whole group
+// satisfied its conjunct simultaneously" — for free, as a byproduct of the
+// hierarchy, with no extra messages.
+//
+// A 3-ary tree of 13 nodes monitors 12 pulse episodes with imperfect
+// participation; the dashboard shows, per group, how many episodes the
+// group confirmed versus how many reached global confirmation.
+//
+// Build & run:  ./build/examples/group_dashboard
+#include <iostream>
+#include <map>
+
+#include "net/render.hpp"
+#include "runner/monitor.hpp"
+#include "trace/pulse.hpp"
+
+using namespace hpd;
+
+int main() {
+  const auto tree = net::SpanningTree::balanced_dary(3, 3);  // 13 nodes
+  MonitorConfig cfg;
+  cfg.topology = net::tree_topology(tree);
+  cfg.tree = tree;
+  cfg.horizon = 1100.0;
+  cfg.seed = 6;
+
+  std::cout << "Monitoring hierarchy (groups = subtrees of nodes 1..3):\n";
+  net::render_tree(std::cout, tree);
+  std::cout << '\n';
+
+  Monitor mon(cfg);
+  trace::PulseConfig pulse;
+  pulse.rounds = 12;
+  pulse.period = 85.0;
+  pulse.participation = 0.93;
+  mon.set_behavior_factory([pulse](ProcessId) {
+    return std::make_unique<trace::PulseBehavior>(pulse);
+  });
+
+  std::map<ProcessId, int> group_hits;
+  for (const ProcessId head : {1, 2, 3}) {
+    mon.on_group_occurrence(head, [&, head](const detect::OccurrenceRecord&) {
+      ++group_hits[head];
+    });
+  }
+  int global = 0;
+  mon.on_global_occurrence([&](const detect::OccurrenceRecord&) { ++global; });
+
+  mon.run();
+
+  std::cout << "--- Dashboard: 12 episodes, participation 93% ---\n";
+  for (const ProcessId head : {1, 2, 3}) {
+    std::cout << "group " << head << " (members";
+    for (const ProcessId m : tree.subtree(head)) {
+      std::cout << ' ' << m;
+    }
+    std::cout << "): " << group_hits[head] << "/12 confirmed\n";
+  }
+  std::cout << "global (all 13):   " << global << "/12 confirmed\n\n"
+            << "A group confirms whenever ALL of its members participated —\n"
+            << "more often than the global conjunction, and detected locally\n"
+            << "at the group head with zero additional traffic.\n";
+  return 0;
+}

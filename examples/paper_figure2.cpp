@@ -1,0 +1,144 @@
+// The paper's running example (Figure 2), narrated step by step.
+//
+// Four processes; spanning tree P3{P2{P1}, P4}. P2's subtree satisfies the
+// predicate twice ({x1,x2}, then {x1,x3}); the global predicate is
+// satisfiable only with P2's *second* solution — demonstrating why each
+// level must detect repeatedly. Run with --fail to crash P3 after its
+// interval finishes and watch the survivors re-form around P4 and still
+// detect the partial predicate in {x1, x3, x5} (Figure 2(c)).
+//
+// Build & run:  ./build/examples/paper_figure2 [--fail]
+#include <cstring>
+#include <iostream>
+#include <map>
+
+#include "runner/experiment.hpp"
+#include "trace/scripted.hpp"
+
+using namespace hpd;
+using namespace hpd::runner;
+
+namespace {
+
+// Process mapping: paper P4 -> 0, P2 -> 1, P1 -> 2, P3 -> 3 (chosen so the
+// leader election after P3's failure crowns P4, matching Fig. 2(c)).
+constexpr ProcessId kP4 = 0;
+constexpr ProcessId kP2 = 1;
+constexpr ProcessId kP1 = 2;
+constexpr ProcessId kP3 = 3;
+
+const char* name_of(ProcessId id) {
+  switch (id) {
+    case kP4:
+      return "P4";
+    case kP2:
+      return "P2";
+    case kP1:
+      return "P1";
+    case kP3:
+      return "P3";
+  }
+  return "?";
+}
+
+ExperimentConfig make_config(bool with_failure) {
+  ExperimentConfig cfg;
+  net::Topology topo(4);
+  topo.add_edge(kP3, kP2);
+  topo.add_edge(kP2, kP1);
+  topo.add_edge(kP3, kP4);
+  topo.add_edge(kP2, kP4);
+  cfg.topology = topo;
+  std::vector<ProcessId> parents(4, kNoProcess);
+  parents[idx(kP2)] = kP3;
+  parents[idx(kP4)] = kP3;
+  parents[idx(kP1)] = kP2;
+  cfg.tree = net::SpanningTree::from_parents(parents, kP3);
+
+  std::map<ProcessId, std::vector<trace::ScriptAction>> scripts;
+  using trace::at_predicate;
+  using trace::at_send;
+  scripts[kP1] = {at_predicate(1.0, true), at_send(2.0, kP2),
+                  at_send(11.0, kP2), at_predicate(30.0, false)};
+  scripts[kP2] = {at_predicate(1.5, true), at_send(3.5, kP1),
+                  at_predicate(5.0, false), at_send(6.0, kP3),
+                  at_predicate(10.0, true), at_send(13.0, kP3),
+                  at_send(17.0, kP1), at_predicate(20.0, false)};
+  scripts[kP3] = {at_predicate(8.0, true), at_send(15.0, kP2),
+                  at_send(15.5, kP4), at_predicate(19.0, false)};
+  scripts[kP4] = {at_predicate(10.0, true), at_send(13.0, kP3),
+                  at_predicate(18.0, false)};
+  cfg.behavior_factory = [scripts](ProcessId id) {
+    auto it = scripts.find(id);
+    return std::make_unique<trace::ScriptedBehavior>(
+        it == scripts.end() ? std::vector<trace::ScriptAction>{}
+                            : it->second);
+  };
+
+  cfg.delay = sim::DelayModel::fixed(1.0);
+  cfg.horizon = with_failure ? 120.0 : 60.0;
+  cfg.drain = with_failure ? 60.0 : 30.0;
+  cfg.track_provenance = true;
+  cfg.seed = 5;
+  if (with_failure) {
+    cfg.heartbeats = true;
+    cfg.reattach_config.probe_window = 2.5;
+    cfg.reattach_config.retry_backoff = 3.0;
+    cfg.failures.push_back(FailureEvent{21.0, kP3});
+  }
+  return cfg;
+}
+
+void describe(const detect::OccurrenceRecord& rec) {
+  std::cout << "t=" << rec.time << "  " << name_of(rec.detector)
+            << " detected Definitely(Phi) over its subtree"
+            << (rec.global ? " — GLOBAL for the surviving system" : "")
+            << "; solution built from intervals { ";
+  for (const Interval& m : rec.solution) {
+    for (const auto& [origin, seq] : base_intervals(m)) {
+      std::cout << name_of(origin) << "#" << seq << " ";
+    }
+  }
+  std::cout << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool with_failure = argc > 1 && std::strcmp(argv[1], "--fail") == 0;
+
+  std::cout << "Intervals (paper naming): x1 = P1#1, x2 = P2#1, x3 = P2#2, "
+               "x4 = P3#1, x5 = P4#1\n";
+  if (with_failure) {
+    std::cout << "P3 will CRASH at t = 21 (after x4 completes).\n";
+  }
+  std::cout << '\n';
+
+  auto result = run_experiment(make_config(with_failure));
+  for (const auto& rec : result.occurrences) {
+    describe(rec);
+  }
+
+  std::cout << '\n';
+  if (with_failure) {
+    std::cout << "Post-failure tree: ";
+    for (ProcessId id : {kP4, kP2, kP1}) {
+      const ProcessId p = result.final_parents[idx(id)];
+      std::cout << name_of(id)
+                << (p == kNoProcess ? std::string(" (root)  ")
+                                    : " under " + std::string(name_of(p)) +
+                                          "  ");
+    }
+    std::cout << "\nThe partial predicate over {P1, P2, P4} was detected in "
+                 "{x1, x3, x5},\nexactly the paper's Figure 2(c) outcome. "
+                 "The centralized baseline would\nhave lost every interval "
+                 "with the sink.\n";
+  } else {
+    std::cout << "P2 detected twice ({x1,x2}, then {x1,x3}); the root's "
+                 "only\nsuccessful detection used P2's SECOND aggregate — "
+                 "a one-shot detector\nat P2 would have made the global "
+                 "detection impossible (the paper's\nargument for repeated "
+                 "detection at every level).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Modular robotics (the paper's second motivating domain, refs [2,3]):
+// a swarm of modules must verify, repeatedly, that "every module reached
+// its docking pose" — a strong conjunctive predicate — before each
+// reconfiguration step commits. A module can only talk to physically
+// adjacent modules, and modules can fail mid-mission.
+//
+// The swarm is a ring of 12 modules with a few cross-braces. Each
+// reconfiguration step is a coordination episode (pulse): modules flip
+// "pose reached" locally, exchange token waves that create the causal
+// crossings, and the spanning-tree hierarchy confirms the conjunction at
+// every level — a subtree confirmation means "this physical segment is
+// locked" (useful for partial commits).
+//
+// Build & run:  ./build/examples/robot_swarm
+#include <iostream>
+#include <vector>
+
+#include "proto/messages.hpp"
+#include "runner/monitor.hpp"
+#include "trace/pulse.hpp"
+
+using namespace hpd;
+
+int main() {
+  MonitorConfig cfg;
+  net::Topology ring = net::Topology::ring(12);
+  ring.add_edge(0, 6);  // cross-braces
+  ring.add_edge(3, 9);
+  cfg.topology = ring;
+  cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+  cfg.fault_tolerant = true;
+  cfg.horizon = 1500.0;
+  cfg.drain = 200.0;
+  cfg.seed = 3;
+
+  Monitor mon(cfg);
+  trace::PulseConfig step;
+  step.rounds = 14;          // 14 reconfiguration steps
+  step.period = 90.0;
+  step.participation = 0.92; // a module occasionally fails to lock in time
+  mon.set_behavior_factory([step](ProcessId) {
+    return std::make_unique<trace::PulseBehavior>(step);
+  });
+
+  // Module 7 burns out mid-mission.
+  mon.inject_failure(7, 700.0);
+
+  std::vector<std::size_t> segment_confirms(12, 0);
+  mon.on_occurrence([&](const detect::OccurrenceRecord& rec) {
+    if (!rec.global) {
+      ++segment_confirms[idx(rec.detector)];
+    }
+  });
+  mon.on_global_occurrence([](const detect::OccurrenceRecord& rec) {
+    std::cout << "t=" << rec.time << "  step commit #" << rec.index
+              << ": every functioning module locked its pose ("
+              << rec.aggregate.weight << " modules)\n";
+  });
+
+  const auto result = mon.run();
+
+  std::cout << "\nSegment-level confirmations per module (head of segment):\n";
+  for (std::size_t i = 0; i < segment_confirms.size(); ++i) {
+    if (!result.final_alive[i]) {
+      std::cout << "  module " << i << ": burned out\n";
+    } else if (segment_confirms[i] > 0) {
+      std::cout << "  module " << i << ": " << segment_confirms[i]
+                << " segment locks confirmed\n";
+    }
+  }
+  std::cout << "\nCommits achieved: " << result.global_count << " / 14 — "
+            << "steps where some module missed its pose (or the swarm was\n"
+               "healing around module 7) correctly did NOT commit.\n"
+            << "Messages: "
+            << result.metrics.msgs_of_type(proto::kApp) << " app, "
+            << result.metrics.msgs_of_type(proto::kReportHier)
+            << " interval reports, "
+            << result.metrics.msgs_of_type(proto::kHeartbeat)
+            << " heartbeats.\n";
+  return 0;
+}

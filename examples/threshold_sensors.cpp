@@ -1,0 +1,58 @@
+// Threshold predicates over real local variables — the paper's
+// "x_i > 20 ∧ y_j < 45" style of conjunctive predicate, end to end.
+//
+// Forty sensors sample a shared environmental wave (think region-wide heat)
+// plus local noise. Each sensor's local predicate is a threshold on its own
+// reading; the monitored global predicate is "EVERY sensor reads hot at
+// once" — and the system must raise an alarm for every such episode
+// (repeated Definitely detection), not just the first.
+//
+// Build & run:  ./build/examples/threshold_sensors
+#include <iostream>
+
+#include "proto/messages.hpp"
+#include "runner/monitor.hpp"
+#include "trace/sensor.hpp"
+
+using namespace hpd;
+
+int main() {
+  Rng layout_rng(99);
+  MonitorConfig cfg;
+  cfg.topology = net::Topology::random_geometric(40, 0.26, layout_rng);
+  cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+  cfg.horizon = 2100.0;
+  cfg.drain = 150.0;
+  cfg.seed = 12;
+
+  Monitor mon(cfg);
+  trace::SensorConfig sensor;
+  sensor.horizon = 2000.0;
+  sensor.wave_period = 400.0;  // five hot episodes
+  sensor.threshold = 0.78;
+  sensor.noise = 0.06;
+  sensor.sample_period = 4.0;
+  sensor.sync_period = 8.0;
+  mon.set_behavior_factory([sensor](ProcessId) {
+    return std::make_unique<trace::SensorBehavior>(sensor);
+  });
+
+  mon.on_global_occurrence([](const detect::OccurrenceRecord& rec) {
+    std::cout << "t=" << rec.time << "  HEAT EPISODE #" << rec.index
+              << ": all 40 sensors above threshold simultaneously "
+              << "(detection latency " << rec.latency() << ")\n";
+  });
+
+  const auto result = mon.run();
+
+  std::cout << "\nEpisodes detected: " << result.global_count
+            << " (wave crests in the window: 5; a crest is missed only if\n"
+            << " some sensor's noise kept it below threshold throughout)\n"
+            << "Interval reports: "
+            << result.metrics.msgs_of_type(proto::kReportHier)
+            << ", sync messages: "
+            << result.metrics.msgs_of_type(proto::kApp)
+            << ", worst node stored "
+            << result.metrics.max_node_storage_peak() << " intervals.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Wireless-sensor-network monitoring — the paper's motivating application.
+//
+// Sixty sensors are scattered on the unit square; radios reach 0.22 units,
+// giving a multi-hop topology. A BFS spanning tree rooted at the sink
+// (node 0) organizes detection. The monitored condition is a conjunctive
+// predicate — "every sensor currently reads above its alert threshold" —
+// and the deployment wants an alarm *every time* the condition holds
+// across the field (repeated detection), plus per-cluster alarms at the
+// internal nodes of the tree (group-level monitoring).
+//
+// Sensor dynamics are modeled with the pulse workload: periodic field-wide
+// phenomena that each sensor registers with probability `participation`
+// (a sensor may miss a weak event). Only events registered by every sensor
+// of a subtree produce that subtree's alarm; the global alarm requires the
+// whole field.
+//
+// Build & run:  ./build/examples/wsn_monitoring
+#include <iostream>
+
+#include "proto/messages.hpp"
+#include "runner/monitor.hpp"
+#include "trace/pulse.hpp"
+
+using namespace hpd;
+
+int main() {
+  Rng layout_rng(2026);
+  MonitorConfig cfg;
+  cfg.topology = net::Topology::random_geometric(60, 0.22, layout_rng);
+  cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+  cfg.horizon = 2500.0;
+  cfg.drain = 150.0;
+  cfg.seed = 7;
+
+  std::cout << "WSN: 60 sensors, " << cfg.topology.num_edges()
+            << " radio links, spanning tree height " << cfg.tree->height()
+            << ", max degree " << cfg.tree->max_degree() << "\n\n";
+
+  Monitor mon(cfg);
+  trace::PulseConfig pulse;
+  pulse.rounds = 24;             // 24 field-wide phenomena
+  pulse.period = 100.0;
+  pulse.participation = 0.97;    // sensors occasionally miss one
+  pulse.jitter = 2.0;
+  mon.set_behavior_factory([pulse](ProcessId) {
+    return std::make_unique<trace::PulseBehavior>(pulse);
+  });
+
+  std::size_t cluster_alarms = 0;
+  mon.on_occurrence([&](const detect::OccurrenceRecord& rec) {
+    if (!rec.global && rec.solution.size() > 1) {
+      ++cluster_alarms;  // internal node: a whole cluster saw the event
+    }
+  });
+  mon.on_global_occurrence([](const detect::OccurrenceRecord& rec) {
+    std::cout << "ALERT #" << rec.index
+              << ": the entire field registered the phenomenon (t="
+              << rec.time << ", " << rec.aggregate.weight
+              << " sensor intervals aggregated)\n";
+  });
+
+  const auto result = mon.run();
+
+  std::cout << "\n--- Deployment report ---\n"
+            << "Field-wide alerts:        " << result.global_count << " / 24\n"
+            << "Cluster-level alarms:     " << cluster_alarms << "\n"
+            << "Measured alpha:           " << result.measured_alpha() << "\n"
+            << "Interval reports sent:    "
+            << result.metrics.msgs_of_type(proto::kReportHier) << "\n"
+            << "Application messages:     "
+            << result.metrics.msgs_of_type(proto::kApp) << "\n"
+            << "Worst node storage peak:  "
+            << result.metrics.max_node_storage_peak() << " intervals\n"
+            << "Total timestamp compares: "
+            << result.metrics.total_vc_comparisons() << "\n";
+  std::cout << "\nEvery number above is per-node bounded: no sensor ever\n"
+               "stored more than its own and its children's intervals —\n"
+               "the paper's case for hierarchy in resource-constrained "
+               "networks.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "analysis/execution_stats.hpp"
+
+#include <ostream>
+
+#include "metrics/report.hpp"
+
+namespace hpd::analysis {
+
+ExecutionStats compute_stats(const trace::ExecutionRecord& exec) {
+  const std::size_t n = exec.num_processes();
+  ExecutionStats out;
+  out.per_process.resize(n);
+  out.comm.assign(n, std::vector<std::uint32_t>(n, 0));
+
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto& tr = exec.procs[p];
+    ProcessStats& ps = out.per_process[p];
+    ps.events = tr.events.size();
+    std::uint64_t true_events = 0;
+    for (const auto& e : tr.events) {
+      switch (e.kind) {
+        case trace::EventKind::kSend:
+          ++ps.sends;
+          if (e.peer >= 0 && idx(e.peer) < n) {
+            ++out.comm[p][idx(e.peer)];
+          }
+          break;
+        case trace::EventKind::kReceive:
+          ++ps.receives;
+          break;
+        case trace::EventKind::kInternal:
+          ++ps.internals;
+          break;
+      }
+      true_events += e.predicate_after ? 1 : 0;
+    }
+    ps.intervals = tr.intervals.size();
+    std::uint64_t interval_events = 0;
+    for (const auto& x : tr.intervals) {
+      interval_events += x.hi[p] - x.lo[p] + 1;
+    }
+    ps.mean_interval_events =
+        ps.intervals == 0 ? 0.0
+                          : static_cast<double>(interval_events) /
+                                static_cast<double>(ps.intervals);
+    ps.truth_fraction = ps.events == 0
+                            ? 0.0
+                            : static_cast<double>(true_events) /
+                                  static_cast<double>(ps.events);
+    out.total_events += ps.events;
+    out.total_messages += ps.sends;
+    out.total_intervals += ps.intervals;
+    out.max_intervals = std::max(out.max_intervals, ps.intervals);
+  }
+
+  // Cross-process interval-pair relations.
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      for (const auto& x : exec.procs[a].intervals) {
+        for (const auto& y : exec.procs[b].intervals) {
+          ++out.pairs_total;
+          if (overlap(x, y)) {
+            ++out.pairs_overlap;
+          }
+          if (y.lo[a] <= x.hi[a] && x.lo[b] <= y.hi[b]) {
+            ++out.pairs_coexist;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void print_stats(std::ostream& os, const ExecutionStats& stats) {
+  TextTable t({"proc", "events", "sends", "recvs", "internal", "intervals",
+               "mean ivl len", "truth frac"});
+  for (std::size_t p = 0; p < stats.per_process.size(); ++p) {
+    const auto& ps = stats.per_process[p];
+    t.add_row({std::to_string(p), std::to_string(ps.events),
+               std::to_string(ps.sends), std::to_string(ps.receives),
+               std::to_string(ps.internals), std::to_string(ps.intervals),
+               TextTable::num(ps.mean_interval_events, 1),
+               TextTable::num(ps.truth_fraction, 2)});
+  }
+  t.print(os);
+  os << "total events " << stats.total_events << ", messages "
+     << stats.total_messages << ", intervals " << stats.total_intervals
+     << " (p = " << stats.max_intervals << ")\n";
+  if (stats.pairs_total > 0) {
+    os << "cross-process interval pairs: " << stats.pairs_total << ", "
+       << stats.pairs_overlap << " satisfy the Definitely overlap ("
+       << TextTable::num(100.0 * static_cast<double>(stats.pairs_overlap) /
+                             static_cast<double>(stats.pairs_total),
+                         1)
+       << "%), " << stats.pairs_coexist << " can coexist in a cut ("
+       << TextTable::num(100.0 * static_cast<double>(stats.pairs_coexist) /
+                             static_cast<double>(stats.pairs_total),
+                         1)
+       << "%)\n";
+  }
+}
+
+}  // namespace hpd::analysis

@@ -1,0 +1,45 @@
+// Descriptive statistics of a recorded execution: event/message/interval
+// profiles per process, the communication matrix, and interval-overlap
+// structure. Used by the hpd_sim CLI (--stats) and handy when debugging
+// why a predicate did (not) hold.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "trace/execution.hpp"
+
+namespace hpd::analysis {
+
+struct ProcessStats {
+  std::uint64_t events = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t receives = 0;
+  std::uint64_t internals = 0;
+  std::uint64_t intervals = 0;
+  double mean_interval_events = 0.0;  ///< truth-period length in own events
+  double truth_fraction = 0.0;        ///< events with predicate true / events
+};
+
+struct ExecutionStats {
+  std::vector<ProcessStats> per_process;
+  std::uint64_t total_events = 0;
+  std::uint64_t total_messages = 0;   ///< send events
+  std::uint64_t total_intervals = 0;
+  std::uint64_t max_intervals = 0;    ///< the paper's p
+  /// comm[src][dst] = messages sent src → dst.
+  std::vector<std::vector<std::uint32_t>> comm;
+  /// Pairwise cross-process interval relations (over all interval pairs
+  /// from different processes): how many satisfy the Definitely overlap,
+  /// and how many can coexist in a cut (the Possibly condition).
+  std::uint64_t pairs_total = 0;
+  std::uint64_t pairs_overlap = 0;
+  std::uint64_t pairs_coexist = 0;
+};
+
+ExecutionStats compute_stats(const trace::ExecutionRecord& exec);
+
+void print_stats(std::ostream& os, const ExecutionStats& stats);
+
+}  // namespace hpd::analysis

@@ -1,0 +1,51 @@
+#include "analysis/fit.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hpd::analysis {
+
+PowerFit fit_power_law(const std::vector<double>& x,
+                       const std::vector<double>& y) {
+  HPD_REQUIRE(x.size() == y.size() && x.size() >= 2,
+              "fit_power_law: need >= 2 points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    HPD_REQUIRE(x[i] > 0.0 && y[i] > 0.0,
+                "fit_power_law: points must be positive");
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    syy += ly * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  HPD_REQUIRE(denom > 1e-12, "fit_power_law: x values are all equal");
+  PowerFit fit;
+  fit.exponent = (n * sxy - sx * sy) / denom;
+  fit.coefficient = std::exp((sy - fit.exponent * sx) / n);
+  const double sst = syy - sy * sy / n;
+  if (sst <= 1e-12) {
+    fit.r_squared = 1.0;  // constant y: the fit is exact (k == 0)
+  } else {
+    double ssr = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double pred =
+          std::log(fit.coefficient) + fit.exponent * std::log(x[i]);
+      const double resid = std::log(y[i]) - pred;
+      ssr += resid * resid;
+    }
+    fit.r_squared = 1.0 - ssr / sst;
+  }
+  return fit;
+}
+
+}  // namespace hpd::analysis

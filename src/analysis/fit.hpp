@@ -1,0 +1,22 @@
+// Power-law fitting for measured cost curves: fit y ≈ c·x^k by linear
+// least squares in log–log space. Used by the Table I bench to report the
+// *measured* growth exponents next to the paper's asymptotic claims
+// (O(n²) vs O(n³) becomes k ≈ 2 vs k ≈ 3 on real data).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hpd::analysis {
+
+struct PowerFit {
+  double exponent = 0.0;     ///< k in y = c·x^k
+  double coefficient = 0.0;  ///< c
+  double r_squared = 0.0;    ///< goodness of fit in log–log space
+};
+
+/// Fit y ≈ c·x^k. Requires at least two points, all strictly positive.
+PowerFit fit_power_law(const std::vector<double>& x,
+                       const std::vector<double>& y);
+
+}  // namespace hpd::analysis

@@ -1,0 +1,97 @@
+#include "analysis/formulas.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hpd::analysis {
+
+namespace {
+double dpow(std::size_t d, std::size_t e) {
+  return std::pow(static_cast<double>(d), static_cast<double>(e));
+}
+}  // namespace
+
+double hier_messages(std::size_t d, std::size_t h, std::size_t p,
+                     double alpha) {
+  HPD_REQUIRE(d >= 1 && h >= 1 && alpha >= 0.0 && alpha <= 1.0,
+              "hier_messages: bad parameters");
+  if (h == 1) {
+    return 0.0;  // a single node sends nothing
+  }
+  const double ph = static_cast<double>(p);
+  const double lead = ph * dpow(d, h - 1);
+  if (alpha == 1.0) {
+    return lead * static_cast<double>(h - 1);
+  }
+  return lead * (1.0 - std::pow(alpha, static_cast<double>(h - 1))) /
+         (1.0 - alpha);
+}
+
+double hier_messages_direct(std::size_t d, std::size_t h, std::size_t p,
+                            double alpha) {
+  double total = 0.0;
+  for (std::size_t i = 1; i + 1 <= h; ++i) {
+    // d^{h-i} nodes at level i, each sending p (dα)^{i-1} reports up.
+    total += dpow(d, h - i) * static_cast<double>(p) *
+             std::pow(static_cast<double>(d) * alpha,
+                      static_cast<double>(i - 1));
+  }
+  return total;
+}
+
+double central_messages_direct(std::size_t d, std::size_t h, std::size_t p) {
+  double total = 0.0;
+  for (std::size_t i = 1; i + 1 <= h; ++i) {
+    total += static_cast<double>(p) * dpow(d, h - i) *
+             static_cast<double>(h - i);
+  }
+  return total;
+}
+
+double central_messages(std::size_t d, std::size_t h, std::size_t p) {
+  HPD_REQUIRE(d >= 2 && h >= 1, "central_messages: need d >= 2");
+  const double dd = static_cast<double>(d);
+  const double hh = static_cast<double>(h);
+  const double num = dpow(d, h) * (dd * hh - dd - hh) + dd;
+  return static_cast<double>(p) * num / ((dd - 1.0) * (dd - 1.0));
+}
+
+double central_messages_paper_eq14(std::size_t d, std::size_t h,
+                                   std::size_t p) {
+  HPD_REQUIRE(d >= 2 && h >= 1, "central_messages_paper_eq14: need d >= 2");
+  const double dd = static_cast<double>(d);
+  const double hh = static_cast<double>(h);
+  const double num = (dpow(d, h) - 2.0 * dd) * (dd * hh - dd - hh) - dd;
+  return static_cast<double>(p) * num / ((dd - 1.0) * (dd - 1.0));
+}
+
+std::size_t paper_tree_nodes(std::size_t d, std::size_t h) {
+  std::size_t total = 0;
+  std::size_t level = 1;
+  for (std::size_t i = 0; i < h; ++i) {
+    total += level;
+    level *= d;
+  }
+  return total;
+}
+
+double paper_n(std::size_t d, std::size_t h) { return dpow(d, h); }
+
+double hier_time_model(std::size_t d, std::size_t n, std::size_t p) {
+  return static_cast<double>(d) * static_cast<double>(d) *
+         static_cast<double>(p) * static_cast<double>(n) *
+         static_cast<double>(n);
+}
+
+double central_time_model(std::size_t n, std::size_t p) {
+  return static_cast<double>(p) * static_cast<double>(n) *
+         static_cast<double>(n) * static_cast<double>(n);
+}
+
+double space_model(std::size_t n, std::size_t p) {
+  return static_cast<double>(p) * static_cast<double>(n) *
+         static_cast<double>(n);
+}
+
+}  // namespace hpd::analysis

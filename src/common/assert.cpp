@@ -1,0 +1,17 @@
+#include "common/assert.hpp"
+
+#include <sstream>
+
+namespace hpd::detail {
+
+void assertion_failed(const char* expr, const char* file, int line,
+                      const std::string& message) {
+  std::ostringstream os;
+  os << "hpd assertion failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw AssertionError(os.str());
+}
+
+}  // namespace hpd::detail

@@ -1,0 +1,42 @@
+// Always-on invariant checks that throw instead of aborting, so unit tests
+// can assert on violations and long sweeps fail loudly with context.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hpd {
+
+/// Thrown when an HPD_REQUIRE / HPD_ASSERT condition is violated.
+class AssertionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void assertion_failed(const char* expr, const char* file, int line,
+                                   const std::string& message);
+}  // namespace detail
+
+}  // namespace hpd
+
+/// Precondition / invariant check, enabled in all build types.
+#define HPD_REQUIRE(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::hpd::detail::assertion_failed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                   \
+  } while (false)
+
+/// Internal consistency check; same behaviour as HPD_REQUIRE but signals
+/// a library bug rather than caller misuse.
+#define HPD_ASSERT(cond, msg) HPD_REQUIRE(cond, msg)
+
+/// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define HPD_DASSERT(cond, msg) \
+  do {                         \
+  } while (false)
+#else
+#define HPD_DASSERT(cond, msg) HPD_REQUIRE(cond, msg)
+#endif

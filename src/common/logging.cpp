@@ -1,0 +1,41 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+
+namespace hpd {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kOff)};
+std::mutex g_write_mutex;
+}  // namespace
+
+LogLevel Log::level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void Log::set_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+const char* Log::level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff:
+      return "off";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kTrace:
+      return "trace";
+  }
+  return "?";
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::clog << "[hpd:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace hpd

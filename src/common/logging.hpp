@@ -1,0 +1,47 @@
+// Minimal leveled logger. Off by default so simulations stay quiet and fast;
+// examples and debugging sessions raise the level explicitly.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace hpd {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+  kTrace = 5,
+};
+
+/// Global log configuration (process-wide; guarded for multi-threaded sweeps).
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void write(LogLevel level, const std::string& message);
+
+  static const char* level_name(LogLevel level);
+};
+
+}  // namespace hpd
+
+#define HPD_LOG(lvl, expr)                                      \
+  do {                                                          \
+    if (static_cast<int>(lvl) <=                                \
+        static_cast<int>(::hpd::Log::level())) {                \
+      std::ostringstream hpd_log_os_;                           \
+      hpd_log_os_ << expr;                                      \
+      ::hpd::Log::write((lvl), hpd_log_os_.str());              \
+    }                                                           \
+  } while (false)
+
+#define HPD_ERROR(expr) HPD_LOG(::hpd::LogLevel::kError, expr)
+#define HPD_WARN(expr) HPD_LOG(::hpd::LogLevel::kWarn, expr)
+#define HPD_INFO(expr) HPD_LOG(::hpd::LogLevel::kInfo, expr)
+#define HPD_DEBUG(expr) HPD_LOG(::hpd::LogLevel::kDebug, expr)
+#define HPD_TRACE(expr) HPD_LOG(::hpd::LogLevel::kTrace, expr)

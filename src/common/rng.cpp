@@ -1,0 +1,34 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace hpd {
+
+std::uint64_t Rng::bounded(std::uint64_t bound) {
+  HPD_DASSERT(bound > 0, "bounded: bound must be positive");
+  // Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double mean) {
+  HPD_REQUIRE(mean > 0.0, "exponential: mean must be positive");
+  double u = uniform01();
+  // Guard against log(0); uniform01() < 1 always, but can be exactly 0.
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(u);
+}
+
+}  // namespace hpd

@@ -1,0 +1,116 @@
+// Deterministic, platform-independent random number generation.
+//
+// std::mt19937 is portable but std::*_distribution is not (the mapping from
+// bits to values is implementation-defined), which would make simulation
+// results differ across standard libraries. We therefore implement the
+// engine (xoshiro256**) and the distributions ourselves so that a
+// (config, seed) pair reproduces bit-identical executions everywhere.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace hpd {
+
+/// SplitMix64: used to expand a single 64-bit seed into engine state.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (the public-domain reference implementation).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** engine (Blackman & Vigna, public domain reference code).
+/// Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x243f6a8885a308d3ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : state_) {
+      w = sm.next();
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    HPD_REQUIRE(lo <= hi, "uniform_int: empty range");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) {  // full 64-bit range
+      return static_cast<std::int64_t>((*this)());
+    }
+    return lo + static_cast<std::int64_t>(bounded(span));
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t uniform_index(std::size_t n) {
+    HPD_REQUIRE(n > 0, "uniform_index: n must be positive");
+    return static_cast<std::size_t>(bounded(n));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    // 53 high-quality bits -> [0,1) double, the standard conversion.
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    HPD_REQUIRE(lo <= hi, "uniform_real: empty range");
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Exponential variate with the given mean (mean > 0).
+  double exponential(double mean);
+
+  /// Derive an independent child generator (for per-node / per-task streams).
+  Rng split() { return Rng((*this)() ^ 0x6c62272e07bb0142ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  /// Unbiased bounded integer in [0, bound) via Lemire's method.
+  std::uint64_t bounded(std::uint64_t bound);
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace hpd

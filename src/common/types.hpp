@@ -1,0 +1,35 @@
+// Fundamental identifier and scalar types shared by every hpd module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace hpd {
+
+/// Index of a process (node) in the system. Processes are numbered
+/// 0 .. n-1; the same index is used for vector-clock components,
+/// topology vertices, and spanning-tree nodes.
+using ProcessId = std::int32_t;
+
+/// Sentinel for "no process" (e.g. the parent of the spanning-tree root).
+inline constexpr ProcessId kNoProcess = -1;
+
+/// Simulated wall-clock time, in abstract time units.
+using SimTime = double;
+
+/// Sentinel for "never" / unset time.
+inline constexpr SimTime kNeverTime = std::numeric_limits<SimTime>::infinity();
+
+/// Monotone sequence number (per-origin interval numbering, event ids, ...).
+using SeqNum = std::uint64_t;
+
+/// A single vector-clock component value.
+using ClockValue = std::uint32_t;
+
+/// Convert a (validated) ProcessId into a container index.
+inline constexpr std::size_t idx(ProcessId id) {
+  return static_cast<std::size_t>(id);
+}
+
+}  // namespace hpd

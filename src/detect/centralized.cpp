@@ -1,0 +1,70 @@
+#include "detect/centralized.hpp"
+
+#include <span>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace hpd::detect {
+
+CentralSink::CentralSink(ProcessId self,
+                         const std::vector<ProcessId>& processes, Hooks hooks,
+                         QueueEngine::PruneMode mode,
+                         std::size_t queue_capacity)
+    : self_(self), hooks_(std::move(hooks)), engine_(mode) {
+  engine_.set_capacity(queue_capacity);
+  bool saw_self = false;
+  for (const ProcessId p : processes) {
+    engine_.add_queue(p);
+    if (p == self_) {
+      saw_self = true;
+    } else {
+      reorder_.track(p, 1);
+    }
+  }
+  HPD_REQUIRE(saw_self, "CentralSink: sink must be among the processes");
+}
+
+void CentralSink::local_interval(Interval x) {
+  HPD_DASSERT(x.origin == self_, "CentralSink: local interval origin");
+  handle_solutions(engine_.offer(self_, std::move(x)));
+}
+
+void CentralSink::report(Interval x) {
+  const ProcessId origin = x.origin;
+  if (!engine_.has_queue(origin)) {
+    return;  // stale report from a removed process
+  }
+  for (Interval& y : reorder_.push(origin, std::move(x))) {
+    handle_solutions(engine_.offer(origin, std::move(y)));
+  }
+}
+
+void CentralSink::remove_process(ProcessId id) {
+  HPD_REQUIRE(id != self_, "CentralSink: cannot remove the sink itself");
+  if (!engine_.has_queue(id)) {
+    return;
+  }
+  engine_.remove_queue(id);
+  reorder_.untrack(id);
+  handle_solutions(engine_.recheck());
+}
+
+void CentralSink::handle_solutions(const std::vector<Solution>& sols) {
+  for (const Solution& sol : sols) {
+    OccurrenceRecord rec;
+    rec.detector = self_;
+    rec.index = ++occurrence_count_;
+    rec.time = now();
+    rec.global = true;
+    rec.aggregate = aggregate(std::span<const Interval>(sol.members), self_,
+                              next_seq_++);
+    rec.latest_member_completion = rec.aggregate.completed_at;
+    rec.solution = sol.members;
+    if (hooks_.on_occurrence) {
+      hooks_.on_occurrence(rec);
+    }
+  }
+}
+
+}  // namespace hpd::detect

@@ -1,0 +1,30 @@
+// Records describing a detected satisfaction of Definitely(Φ).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "interval/interval.hpp"
+
+namespace hpd::detect {
+
+/// One satisfaction of Definitely(Φ) over some scope (a subtree, or the
+/// whole system when `detector` is the spanning-tree root / the sink).
+struct OccurrenceRecord {
+  ProcessId detector = kNoProcess;  ///< node where the solution was found
+  SeqNum index = 0;                 ///< k-th detection at this node (1-based)
+  SimTime time = 0.0;               ///< simulation time of detection
+  /// Completion time of the latest member interval; `time` minus this is
+  /// the detection latency of the occurrence.
+  SimTime latest_member_completion = 0.0;
+  bool global = false;              ///< true at the root / sink
+
+  SimTime latency() const { return time - latest_member_completion; }
+  Interval aggregate;               ///< ⊓(solution), as reported upward
+  std::vector<Interval> solution;   ///< the queue heads forming the solution
+};
+
+using OccurrenceCallback = std::function<void(const OccurrenceRecord&)>;
+
+}  // namespace hpd::detect

@@ -1,0 +1,87 @@
+#include "detect/offline/enumerate.hpp"
+
+#include <functional>
+
+#include "vc/vector_clock.hpp"
+
+namespace hpd::detect::offline {
+
+namespace {
+
+/// Pairwise compatibility for the Definitely condition.
+bool def_compatible(const Interval& a, const Interval& b) {
+  return vc_less(a.lo, b.hi) && vc_less(b.lo, a.hi);
+}
+
+/// Pairwise compatibility for the Possibly condition: the states after
+/// some event of a and some event of b coexist in a consistent cut iff
+/// neither interval's start knows an event *beyond* the other's last true
+/// event. On vector timestamps of raw intervals this is
+///   lo(b)[proc(a)] ≤ hi(a)[proc(a)]  ∧  lo(a)[proc(b)] ≤ hi(b)[proc(b)].
+/// (The paper's Eq. (1), max(x_i) ⊀ min(x_j), states the same thing with
+/// the interval end taken as the *falsifying* event; with hi = last true
+/// event the component form below is the exact condition — a min(y) that
+/// knows exactly up to max(x) can still share a cut with it.)
+bool pos_compatible(const Interval& a, const Interval& b) {
+  const std::size_t pa = idx(a.origin);
+  const std::size_t pb = idx(b.origin);
+  return b.lo[pa] <= a.hi[pa] && a.lo[pb] <= b.hi[pb];
+}
+
+std::vector<std::vector<std::size_t>> enumerate(
+    const trace::ExecutionRecord& exec,
+    const std::function<bool(const Interval&, const Interval&)>& compatible,
+    bool first_only) {
+  const std::size_t n = exec.num_processes();
+  std::vector<std::vector<std::size_t>> out;
+  for (const auto& p : exec.procs) {
+    if (p.intervals.empty()) {
+      return out;  // the conjunction can never be satisfied
+    }
+  }
+  std::vector<std::size_t> chosen(n, 0);
+  std::function<bool(std::size_t)> dfs = [&](std::size_t proc) -> bool {
+    if (proc == n) {
+      out.push_back(chosen);
+      return first_only;
+    }
+    const auto& intervals = exec.procs[proc].intervals;
+    for (std::size_t k = 0; k < intervals.size(); ++k) {
+      bool ok = true;
+      for (std::size_t j = 0; j < proc && ok; ++j) {
+        ok = compatible(exec.procs[j].intervals[chosen[j]], intervals[k]);
+      }
+      if (ok) {
+        chosen[proc] = k;
+        if (dfs(proc + 1)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  dfs(0);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> enumerate_definitely_sets(
+    const trace::ExecutionRecord& exec) {
+  return enumerate(exec, def_compatible, /*first_only=*/false);
+}
+
+std::vector<std::vector<std::size_t>> enumerate_possibly_sets(
+    const trace::ExecutionRecord& exec) {
+  return enumerate(exec, pos_compatible, /*first_only=*/false);
+}
+
+bool definitely_by_intervals(const trace::ExecutionRecord& exec) {
+  return !enumerate(exec, def_compatible, /*first_only=*/true).empty();
+}
+
+bool possibly_by_intervals(const trace::ExecutionRecord& exec) {
+  return !enumerate(exec, pos_compatible, /*first_only=*/true).empty();
+}
+
+}  // namespace hpd::detect::offline

@@ -1,0 +1,31 @@
+// Exhaustive interval-set search: the Garg–Waldecker characterizations of
+// Possibly(Φ) and Definitely(Φ) checked directly against every combination
+// of one interval per process. Exponential; the property tests use it to
+// validate both the lattice walker and the queue detectors on small
+// executions.
+//
+//   Definitely (Eq. (2)):  ∀ i ≠ j: min(x_i) ≺ max(x_j)
+//   Possibly   (Eq. (1)):  ∀ i ≠ j: max(x_i) ⊀ min(x_j)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/execution.hpp"
+
+namespace hpd::detect::offline {
+
+/// Every selection (one interval index per process) satisfying the
+/// Definitely overlap condition. Empty if any process has no intervals.
+std::vector<std::vector<std::size_t>> enumerate_definitely_sets(
+    const trace::ExecutionRecord& exec);
+
+/// Every selection satisfying the Possibly condition.
+std::vector<std::vector<std::size_t>> enumerate_possibly_sets(
+    const trace::ExecutionRecord& exec);
+
+/// Convenience: does any satisfying set exist?
+bool definitely_by_intervals(const trace::ExecutionRecord& exec);
+bool possibly_by_intervals(const trace::ExecutionRecord& exec);
+
+}  // namespace hpd::detect::offline

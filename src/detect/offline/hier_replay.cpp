@@ -1,0 +1,78 @@
+#include "detect/offline/hier_replay.hpp"
+
+#include <span>
+
+#include "common/assert.hpp"
+
+namespace hpd::detect::offline {
+
+namespace {
+
+struct NodeState {
+  std::unique_ptr<QueueEngine> engine;
+  SeqNum next_seq = 1;
+};
+
+class Replayer {
+ public:
+  Replayer(const net::SpanningTree& tree, QueueEngine::PruneMode mode)
+      : tree_(tree), nodes_(tree.size()) {
+    for (std::size_t i = 0; i < tree.size(); ++i) {
+      const auto id = static_cast<ProcessId>(i);
+      nodes_[i].engine = std::make_unique<QueueEngine>(mode);
+      nodes_[i].engine->add_queue(id);
+      for (const ProcessId c : tree.children(id)) {
+        nodes_[i].engine->add_queue(c);
+      }
+    }
+  }
+
+  void offer(ProcessId node, ProcessId source_key, const Interval& x) {
+    NodeState& st = nodes_[idx(node)];
+    const auto sols = st.engine->offer(source_key, x);
+    for (const Solution& sol : sols) {
+      result_.solutions[node].push_back(sol);
+      const ProcessId parent = tree_.parent(node);
+      if (parent != kNoProcess) {
+        const Interval agg = aggregate(
+            std::span<const Interval>(sol.members), node, st.next_seq++);
+        offer(parent, node, agg);  // cascades further up on success
+      } else {
+        ++st.next_seq;  // roots still consume a sequence number (parity
+                        // with the online engine's aggregate numbering)
+      }
+    }
+  }
+
+  HierReplayResult take() { return std::move(result_); }
+
+ private:
+  const net::SpanningTree& tree_;
+  std::vector<NodeState> nodes_;
+  HierReplayResult result_;
+};
+
+}  // namespace
+
+HierReplayResult hier_replay(const trace::ExecutionRecord& exec,
+                             const net::SpanningTree& tree,
+                             QueueEngine::PruneMode mode) {
+  HPD_REQUIRE(exec.num_processes() == tree.size(),
+              "hier_replay: execution/tree size mismatch");
+  HPD_REQUIRE(tree.valid(), "hier_replay: invalid tree");
+  Replayer replayer(tree, mode);
+  bool more = true;
+  for (std::size_t k = 0; more; ++k) {
+    more = false;
+    for (std::size_t i = 0; i < exec.num_processes(); ++i) {
+      if (k < exec.procs[i].intervals.size()) {
+        more = true;
+        const auto id = static_cast<ProcessId>(i);
+        replayer.offer(id, id, exec.procs[i].intervals[k]);
+      }
+    }
+  }
+  return replayer.take();
+}
+
+}  // namespace hpd::detect::offline

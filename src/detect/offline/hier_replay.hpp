@@ -1,0 +1,44 @@
+// Offline reference of the *hierarchical* algorithm: replay a recorded
+// execution through a tree of queue engines, exactly as Algorithm 1 would
+// run it on a failure-free deployment. Produces every node's occurrence
+// sequence, making the online hierarchical detector differentially
+// testable at every level (the centralized replay only covers the root).
+//
+// Determinism: intervals are injected bottom-up in per-origin order
+// (round-robin over interval index); by the confluence property validated
+// in the replay tests, the per-node solution sequences are independent of
+// the interleaving, so this matches any online schedule.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "detect/occurrence.hpp"
+#include "detect/queue_engine.hpp"
+#include "net/spanning_tree.hpp"
+#include "trace/execution.hpp"
+
+namespace hpd::detect::offline {
+
+struct HierReplayResult {
+  /// node → its solutions, in detection order. Members carry provenance if
+  /// the recorded intervals did.
+  std::map<ProcessId, std::vector<Solution>> solutions;
+
+  std::size_t total() const {
+    std::size_t out = 0;
+    for (const auto& [node, sols] : solutions) {
+      out += sols.size();
+    }
+    return out;
+  }
+};
+
+/// Replay `exec` through the hierarchy `tree`. The execution must have one
+/// process per tree node.
+HierReplayResult hier_replay(const trace::ExecutionRecord& exec,
+                             const net::SpanningTree& tree,
+                             QueueEngine::PruneMode mode =
+                                 QueueEngine::PruneMode::kAllEq10);
+
+}  // namespace hpd::detect::offline

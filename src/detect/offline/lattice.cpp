@@ -1,0 +1,187 @@
+#include "detect/offline/lattice.hpp"
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace hpd::detect::offline {
+
+namespace {
+
+using Cut = std::vector<std::size_t>;  // events executed per process
+
+struct CutHash {
+  std::size_t operator()(const Cut& c) const {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (const std::size_t v : c) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+class LatticeWalker {
+ public:
+  LatticeWalker(const trace::ExecutionRecord& exec,
+                const LatticeOptions& options)
+      : exec_(exec), options_(options), n_(exec.num_processes()) {
+    // The execution must be causally closed (every receive's send is
+    // inside), or the final cut is unreachable and Definitely would hold
+    // vacuously. Catch the garbage input instead.
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (const auto& e : exec_.procs[i].events) {
+        for (std::size_t j = 0; j < n_; ++j) {
+          HPD_REQUIRE(e.vc[j] <= exec_.procs[j].events.size(),
+                      "lattice: execution is not causally closed (an event "
+                      "knows more of some process than the record contains)");
+        }
+      }
+    }
+  }
+
+  /// Can process i execute its next event from `cut` consistently?
+  /// Advancing i appends event e = events[cut[i]]; the new cut is
+  /// consistent iff every event e depends on is already inside the cut:
+  /// e.vc[j] <= cut[j] for all j != i.
+  bool can_advance(const Cut& cut, std::size_t i) const {
+    const auto& events = exec_.procs[i].events;
+    if (cut[i] >= events.size()) {
+      return false;
+    }
+    const VectorClock& vc = events[cut[i]].vc;
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (j != i && vc[j] > cut[j]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool predicate_at(const Cut& cut, std::size_t i) const {
+    const auto& p = exec_.procs[i];
+    return cut[i] == 0 ? p.initial_predicate
+                       : p.events[cut[i] - 1].predicate_after;
+  }
+
+  bool phi(const Cut& cut) const {
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (!predicate_at(cut, i)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool is_final(const Cut& cut) const {
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (cut[i] != exec_.procs[i].events.size()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// BFS over reachable consistent cuts. `skip_phi` restricts the walk to
+  /// ¬Φ cuts (the Definitely reachability question). `want_phi` makes the
+  /// walk stop successfully upon the first Φ cut (the Possibly question).
+  /// Returns: for want_phi — whether a Φ cut was found; for skip_phi —
+  /// whether the final cut was reached.
+  bool walk(bool skip_phi, bool want_phi, std::size_t* states_out = nullptr) {
+    Cut init(n_, 0);
+    std::unordered_set<Cut, CutHash> seen;
+    std::deque<Cut> frontier;
+    std::size_t states = 0;
+
+    auto visit = [&](const Cut& cut) -> bool {
+      // Returns true if the walk can stop with a positive answer.
+      if (want_phi && phi(cut)) {
+        return true;
+      }
+      if (skip_phi && phi(cut)) {
+        return false;  // blocked state: do not expand
+      }
+      if (skip_phi && is_final(cut)) {
+        found_final_ = true;
+      }
+      frontier.push_back(cut);
+      return false;
+    };
+
+    seen.insert(init);
+    ++states;
+    if (visit(init)) {
+      return true;
+    }
+    while (!frontier.empty()) {
+      const Cut cut = frontier.front();
+      frontier.pop_front();
+      for (std::size_t i = 0; i < n_; ++i) {
+        if (!can_advance(cut, i)) {
+          continue;
+        }
+        Cut next = cut;
+        ++next[i];
+        if (!seen.insert(next).second) {
+          continue;
+        }
+        ++states;
+        HPD_REQUIRE(states <= options_.max_states,
+                    "lattice walk exceeded the state budget");
+        if (visit(next)) {
+          if (states_out != nullptr) {
+            *states_out = states;
+          }
+          return true;
+        }
+      }
+    }
+    if (states_out != nullptr) {
+      *states_out = states;
+    }
+    return skip_phi ? found_final_ : false;
+  }
+
+ private:
+  const trace::ExecutionRecord& exec_;
+  LatticeOptions options_;
+  std::size_t n_;
+  bool found_final_ = false;
+};
+
+}  // namespace
+
+bool lattice_possibly(const trace::ExecutionRecord& exec,
+                      const LatticeOptions& options) {
+  if (exec.num_processes() == 0) {
+    return false;
+  }
+  LatticeWalker walker(exec, options);
+  return walker.walk(/*skip_phi=*/false, /*want_phi=*/true);
+}
+
+bool lattice_definitely(const trace::ExecutionRecord& exec,
+                        const LatticeOptions& options) {
+  if (exec.num_processes() == 0) {
+    return false;
+  }
+  LatticeWalker walker(exec, options);
+  // Definitely(Φ) ⇔ the final cut is unreachable through ¬Φ cuts.
+  const bool final_reached_avoiding_phi =
+      walker.walk(/*skip_phi=*/true, /*want_phi=*/false);
+  return !final_reached_avoiding_phi;
+}
+
+std::size_t count_consistent_cuts(const trace::ExecutionRecord& exec,
+                                  const LatticeOptions& options) {
+  if (exec.num_processes() == 0) {
+    return 0;
+  }
+  LatticeWalker walker(exec, options);
+  std::size_t states = 0;
+  walker.walk(/*skip_phi=*/false, /*want_phi=*/false, &states);
+  return states;
+}
+
+}  // namespace hpd::detect::offline

@@ -1,0 +1,36 @@
+// Ground truth from first principles: traverse the lattice of consistent
+// global states (Cooper–Marzullo style) of a recorded execution to decide
+// Possibly(Φ) and Definitely(Φ).
+//
+//   Possibly(Φ):   some reachable consistent cut satisfies Φ.
+//   Definitely(Φ): no observation (maximal path initial → final through
+//                  consistent cuts) avoids Φ entirely — equivalently, the
+//                  final cut is NOT reachable through ¬Φ cuts only.
+//
+// Exponential in the execution size; intended for small property-test
+// executions to validate the interval-based detectors.
+#pragma once
+
+#include <cstddef>
+
+#include "trace/execution.hpp"
+
+namespace hpd::detect::offline {
+
+struct LatticeOptions {
+  /// Abort (throw AssertionError) if more states than this are explored.
+  std::size_t max_states = 2'000'000;
+};
+
+bool lattice_possibly(const trace::ExecutionRecord& exec,
+                      const LatticeOptions& options = {});
+
+bool lattice_definitely(const trace::ExecutionRecord& exec,
+                        const LatticeOptions& options = {});
+
+/// Number of consistent cuts of the execution (diagnostics; subject to the
+/// same state budget).
+std::size_t count_consistent_cuts(const trace::ExecutionRecord& exec,
+                                  const LatticeOptions& options = {});
+
+}  // namespace hpd::detect::offline

@@ -1,0 +1,65 @@
+#include "detect/offline/replay.hpp"
+
+#include <utility>
+
+#include "common/rng.hpp"
+
+namespace hpd::detect::offline {
+
+std::vector<Solution> replay_centralized(const trace::ExecutionRecord& exec,
+                                         const ReplayOptions& options) {
+  const std::size_t n = exec.num_processes();
+  QueueEngine engine(options.prune_mode);
+  for (std::size_t i = 0; i < n; ++i) {
+    engine.add_queue(static_cast<ProcessId>(i));
+  }
+
+  // Build the arrival sequence: (process, interval-index) pairs preserving
+  // per-process order.
+  std::vector<std::pair<std::size_t, std::size_t>> arrivals;
+  if (options.shuffle_seed.has_value()) {
+    Rng rng(*options.shuffle_seed);
+    std::vector<std::size_t> next(n, 0);
+    std::size_t remaining = exec.total_intervals();
+    while (remaining > 0) {
+      // Pick a random process that still has intervals to deliver.
+      std::size_t pick = rng.uniform_index(remaining);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t left = exec.procs[i].intervals.size() - next[i];
+        if (pick < left) {
+          arrivals.emplace_back(i, next[i]++);
+          break;
+        }
+        pick -= left;
+      }
+      --remaining;
+    }
+  } else {
+    // Round-robin by interval index.
+    bool more = true;
+    for (std::size_t k = 0; more; ++k) {
+      more = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (k < exec.procs[i].intervals.size()) {
+          arrivals.emplace_back(i, k);
+          more = true;
+        }
+      }
+    }
+  }
+
+  std::vector<Solution> solutions;
+  for (const auto& [proc, index] : arrivals) {
+    auto found = engine.offer(static_cast<ProcessId>(proc),
+                              exec.procs[proc].intervals[index]);
+    for (auto& sol : found) {
+      solutions.push_back(std::move(sol));
+      if (!options.repeated) {
+        return solutions;  // one-shot detector: detect once, then hang
+      }
+    }
+  }
+  return solutions;
+}
+
+}  // namespace hpd::detect::offline

@@ -1,0 +1,34 @@
+// Reference replay of the centralized repeated-detection algorithm [12]
+// over a recorded execution. Used as the specification the online
+// detectors (hierarchical and centralized) are compared against, and — with
+// `repeated = false` — as the classic one-shot Garg–Waldecker detector,
+// which finds the first satisfaction and then hangs (the paper's argument
+// for why hierarchical detection *needs* repeated detection, Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "detect/queue_engine.hpp"
+#include "trace/execution.hpp"
+
+namespace hpd::detect::offline {
+
+struct ReplayOptions {
+  QueueEngine::PruneMode prune_mode = QueueEngine::PruneMode::kAllEq10;
+  /// false: stop after the first solution and never prune (one-shot GW).
+  bool repeated = true;
+  /// If set, randomly interleave the per-process interval streams with this
+  /// seed (per-process order is always preserved). Default: round-robin by
+  /// interval index — deterministic and close to "completion order" for
+  /// well-formed workloads. Used by confluence tests.
+  std::optional<std::uint64_t> shuffle_seed;
+};
+
+/// Feed every process's recorded intervals into a fresh sink and return the
+/// solutions in detection order.
+std::vector<Solution> replay_centralized(const trace::ExecutionRecord& exec,
+                                         const ReplayOptions& options = {});
+
+}  // namespace hpd::detect::offline

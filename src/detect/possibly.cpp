@@ -1,0 +1,184 @@
+#include "detect/possibly.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hpd::detect {
+
+void PossiblyEngine::add_queue(ProcessId key) {
+  HPD_REQUIRE(queues_.count(key) == 0, "PossiblyEngine: duplicate queue");
+  queues_.emplace(key, std::deque<Interval>{});
+}
+
+bool PossiblyEngine::coexist(const Interval& x, const Interval& y) {
+  ++comparisons_;
+  const std::size_t px = idx(x.origin);
+  const std::size_t py = idx(y.origin);
+  return y.lo[px] <= x.hi[px] && x.lo[py] <= y.hi[py];
+}
+
+std::vector<Solution> PossiblyEngine::offer(ProcessId key, Interval x) {
+  auto it = queues_.find(key);
+  HPD_REQUIRE(it != queues_.end(), "PossiblyEngine::offer: unknown queue");
+  HPD_DASSERT(x.origin == key, "PossiblyEngine: origin/queue mismatch");
+  if (done_) {
+    return {};  // one-shot detector has fired: it "hangs" (by design)
+  }
+  const bool was_empty = it->second.empty();
+  it->second.push_back(std::move(x));
+  ++offered_;
+  ++stored_;
+  stored_peak_ = std::max(stored_peak_, stored_);
+  if (!was_empty) {
+    return {};
+  }
+  return detect_loop({key});
+}
+
+std::vector<Solution> PossiblyEngine::detect_loop(
+    std::vector<ProcessId> updated) {
+  std::vector<Solution> solutions;
+  while (!updated.empty()) {
+    // Elimination round: a head that ended before another head began can
+    // never coexist with that queue's present or future intervals.
+    std::vector<ProcessId> doomed;
+    for (const ProcessId a : updated) {
+      const auto qa = queues_.find(a);
+      if (qa == queues_.end() || qa->second.empty()) {
+        continue;
+      }
+      const Interval& x = qa->second.front();
+      for (const auto& [b, qb] : queues_) {
+        if (b == a || qb.empty()) {
+          continue;
+        }
+        const Interval& y = qb.front();
+        if (coexist(x, y)) {
+          continue;
+        }
+        // Exactly one of x, y is causally earlier; it is the dead one.
+        const bool x_before_y = y.lo[idx(x.origin)] > x.hi[idx(x.origin)];
+        doomed.push_back(x_before_y ? a : b);
+      }
+    }
+    if (!doomed.empty()) {
+      std::sort(doomed.begin(), doomed.end());
+      doomed.erase(std::unique(doomed.begin(), doomed.end()), doomed.end());
+      std::vector<ProcessId> next;
+      for (const ProcessId c : doomed) {
+        auto& q = queues_.at(c);
+        if (!q.empty()) {
+          q.pop_front();
+          --stored_;
+          ++eliminated_;
+          next.push_back(c);
+        }
+      }
+      updated = std::move(next);
+      continue;
+    }
+
+    // Fixpoint: solution if every queue is non-empty.
+    const bool complete = std::all_of(
+        queues_.begin(), queues_.end(),
+        [](const auto& kv) { return !kv.second.empty(); });
+    if (!complete) {
+      break;
+    }
+    Solution sol;
+    sol.members.reserve(queues_.size());
+    for (const auto& [k, q] : queues_) {
+      sol.members.push_back(q.front());
+    }
+    solutions.push_back(std::move(sol));
+    ++solutions_found_;
+    if (mode_ == Mode::kOneShot) {
+      done_ = true;
+      break;
+    }
+    // Consume every witness; the exposed heads seed the next round.
+    std::vector<ProcessId> next;
+    for (auto& [k, q] : queues_) {
+      q.pop_front();
+      --stored_;
+      next.push_back(k);
+    }
+    updated = std::move(next);
+  }
+  return solutions;
+}
+
+PossiblySink::PossiblySink(ProcessId self,
+                           const std::vector<ProcessId>& processes,
+                           Hooks hooks, PossiblyEngine::Mode mode)
+    : self_(self), hooks_(std::move(hooks)), engine_(mode) {
+  bool saw_self = false;
+  for (const ProcessId p : processes) {
+    engine_.add_queue(p);
+    if (p == self_) {
+      saw_self = true;
+    } else {
+      reorder_.track(p, 1);
+    }
+  }
+  HPD_REQUIRE(saw_self, "PossiblySink: sink must be among the processes");
+}
+
+void PossiblySink::local_interval(Interval x) {
+  handle_solutions(engine_.offer(self_, std::move(x)));
+}
+
+void PossiblySink::report(Interval x) {
+  const ProcessId origin = x.origin;
+  if (!engine_.has_queue(origin)) {
+    return;
+  }
+  for (Interval& y : reorder_.push(origin, std::move(x))) {
+    handle_solutions(engine_.offer(origin, std::move(y)));
+  }
+}
+
+void PossiblySink::handle_solutions(const std::vector<Solution>& sols) {
+  for (const Solution& sol : sols) {
+    OccurrenceRecord rec;
+    rec.detector = self_;
+    rec.index = ++occurrence_count_;
+    rec.time = now();
+    rec.global = true;
+    rec.aggregate = aggregate(std::span<const Interval>(sol.members), self_,
+                              occurrence_count_);
+    rec.latest_member_completion = rec.aggregate.completed_at;
+    rec.solution = sol.members;
+    if (hooks_.on_occurrence) {
+      hooks_.on_occurrence(rec);
+    }
+  }
+}
+
+std::vector<Solution> possibly_replay(const trace::ExecutionRecord& exec,
+                                      PossiblyEngine::Mode mode) {
+  PossiblyEngine engine(mode);
+  const std::size_t n = exec.num_processes();
+  for (std::size_t i = 0; i < n; ++i) {
+    engine.add_queue(static_cast<ProcessId>(i));
+  }
+  std::vector<Solution> out;
+  bool more = true;
+  for (std::size_t k = 0; more; ++k) {
+    more = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (k < exec.procs[i].intervals.size()) {
+        more = true;
+        auto sols = engine.offer(static_cast<ProcessId>(i),
+                                 exec.procs[i].intervals[k]);
+        for (auto& s : sols) {
+          out.push_back(std::move(s));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hpd::detect

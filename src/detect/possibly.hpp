@@ -1,0 +1,117 @@
+// Possibly(Φ) detection for conjunctive predicates — the weak-modality
+// counterpart (Garg–Chase / Hurfin et al., the paper's refs [8]–[10]),
+// provided as a baseline companion to the Definitely(Φ) detectors.
+//
+// Possibly(Φ) holds iff some consistent cut satisfies every local
+// predicate, which for one interval per process is the pairwise
+// *coexistence* condition (cf. Eq. (1)):
+//     lo(y)[p(x)] ≤ hi(x)[p(x)]  ∧  lo(x)[p(y)] ≤ hi(y)[p(y)]
+// i.e. neither interval's start already knows an event beyond the other's
+// end. When two heads fail the test, exactly one of them ended causally
+// before the other began; that earlier interval can never coexist with the
+// later queue's current or future intervals and is eliminated.
+//
+// The classic algorithms detect once; kRepeatedConsumeAll extends them the
+// natural way for monitoring: a detected cut consumes all participating
+// heads, and detection continues (each occurrence uses fresh intervals —
+// a "distinct witnesses" semantics, stricter than the Definitely
+// algorithm's Eq. (10) pruning).
+//
+// Operates on RAW intervals only (the coexistence test indexes the origin
+// components); there is no hierarchical aggregation theory for Possibly in
+// the paper.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "detect/occurrence.hpp"
+#include "detect/queue_engine.hpp"
+#include "detect/reorder.hpp"
+#include "interval/interval.hpp"
+#include "trace/execution.hpp"
+
+namespace hpd::detect {
+
+class PossiblyEngine {
+ public:
+  enum class Mode {
+    kOneShot,            ///< classic: detect the first cut, then stop
+    kRepeatedConsumeAll, ///< monitoring: consume the witnesses, continue
+  };
+
+  explicit PossiblyEngine(Mode mode = Mode::kRepeatedConsumeAll)
+      : mode_(mode) {}
+
+  void add_queue(ProcessId key);
+  bool has_queue(ProcessId key) const { return queues_.count(key) != 0; }
+  std::size_t num_queues() const { return queues_.size(); }
+
+  /// Offer a raw interval (key == x.origin); returns solutions found.
+  std::vector<Solution> offer(ProcessId key, Interval x);
+
+  bool done() const { return done_; }  ///< one-shot already fired
+  std::uint64_t comparisons() const { return comparisons_; }
+  std::uint64_t eliminated() const { return eliminated_; }
+  std::uint64_t solutions_found() const { return solutions_found_; }
+  std::uint64_t offered() const { return offered_; }
+  std::size_t stored() const { return stored_; }
+  std::size_t stored_peak() const { return stored_peak_; }
+
+ private:
+  /// Can the post-states of x and y share a consistent cut?
+  bool coexist(const Interval& x, const Interval& y);
+  std::vector<Solution> detect_loop(std::vector<ProcessId> updated);
+
+  std::map<ProcessId, std::deque<Interval>> queues_;
+  Mode mode_;
+  bool done_ = false;
+  std::uint64_t comparisons_ = 0;
+  std::uint64_t eliminated_ = 0;
+  std::uint64_t solutions_found_ = 0;
+  std::uint64_t offered_ = 0;
+  std::size_t stored_ = 0;
+  std::size_t stored_peak_ = 0;
+};
+
+/// Offline replay over a recorded execution (round-robin arrival order).
+std::vector<Solution> possibly_replay(
+    const trace::ExecutionRecord& exec,
+    PossiblyEngine::Mode mode = PossiblyEngine::Mode::kRepeatedConsumeAll);
+
+/// On-line sink for Possibly(Φ): mirrors CentralSink (raw intervals are
+/// relayed hop-by-hop to the tree root; per-origin reorder buffers restore
+/// sequence order) but runs the PossiblyEngine.
+class PossiblySink {
+ public:
+  struct Hooks {
+    OccurrenceCallback on_occurrence;
+    std::function<SimTime()> now;
+  };
+
+  PossiblySink(ProcessId self, const std::vector<ProcessId>& processes,
+               Hooks hooks,
+               PossiblyEngine::Mode mode =
+                   PossiblyEngine::Mode::kRepeatedConsumeAll);
+
+  void local_interval(Interval x);
+  void report(Interval x);
+
+  const PossiblyEngine& engine() const { return engine_; }
+  SeqNum occurrences() const { return occurrence_count_; }
+
+ private:
+  void handle_solutions(const std::vector<Solution>& sols);
+  SimTime now() const { return hooks_.now ? hooks_.now() : 0.0; }
+
+  ProcessId self_;
+  Hooks hooks_;
+  PossiblyEngine engine_;
+  ReorderBuffer reorder_;
+  SeqNum occurrence_count_ = 0;
+};
+
+}  // namespace hpd::detect

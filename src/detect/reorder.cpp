@@ -1,0 +1,49 @@
+#include "detect/reorder.hpp"
+
+namespace hpd::detect {
+
+void ReorderBuffer::track(ProcessId origin, SeqNum first_seq) {
+  Stream s;
+  s.expected = first_seq;
+  streams_[origin] = std::move(s);
+}
+
+void ReorderBuffer::untrack(ProcessId origin) { streams_.erase(origin); }
+
+std::vector<Interval> ReorderBuffer::push(ProcessId origin, Interval x) {
+  std::vector<Interval> out;
+  auto it = streams_.find(origin);
+  if (it == streams_.end()) {
+    ++dropped_stale_;
+    return out;
+  }
+  Stream& s = it->second;
+  if (x.seq < s.expected) {
+    ++dropped_stale_;
+    return out;
+  }
+  if (x.seq == s.expected) {
+    out.push_back(std::move(x));
+    ++s.expected;
+    // Drain any parked run that is now contiguous.
+    auto p = s.parked.begin();
+    while (p != s.parked.end() && p->first == s.expected) {
+      out.push_back(std::move(p->second));
+      p = s.parked.erase(p);
+      ++s.expected;
+    }
+  } else {
+    s.parked.emplace(x.seq, std::move(x));
+  }
+  return out;
+}
+
+std::size_t ReorderBuffer::pending() const {
+  std::size_t total = 0;
+  for (const auto& [origin, s] : streams_) {
+    total += s.parked.size();
+  }
+  return total;
+}
+
+}  // namespace hpd::detect

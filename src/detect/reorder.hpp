@@ -1,0 +1,52 @@
+// Per-origin in-order delivery of interval reports.
+//
+// The queue algorithm requires intervals from one source to be enqueued in
+// succ() order (Theorem 2), but the system model explicitly allows non-FIFO
+// channels, so two reports from the same child can overtake each other in
+// flight. Each report carries a per-origin sequence number; this buffer
+// holds early arrivals until the gap closes. The expected starting sequence
+// is established out-of-band (1 at system start; the AttachReq handshake
+// after a reattachment).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "interval/interval.hpp"
+
+namespace hpd::detect {
+
+class ReorderBuffer {
+ public:
+  /// Start (or restart) tracking `origin`, expecting `first_seq` next.
+  /// Pending intervals from a previous incarnation are discarded.
+  void track(ProcessId origin, SeqNum first_seq);
+
+  /// Stop tracking `origin`, dropping pending intervals.
+  void untrack(ProcessId origin);
+
+  bool tracking(ProcessId origin) const { return streams_.count(origin) != 0; }
+
+  /// Accept a report. Returns the maximal run of in-order intervals now
+  /// deliverable (possibly empty; possibly several if x closed a gap).
+  /// Reports with seq below the expected value (duplicates, pre-attach
+  /// stragglers) are dropped. Unknown origins are dropped too — reports can
+  /// legitimately arrive from a child that has already been declared dead.
+  std::vector<Interval> push(ProcessId origin, Interval x);
+
+  /// Intervals currently parked (diagnostics / space accounting).
+  std::size_t pending() const;
+  std::uint64_t dropped_stale() const { return dropped_stale_; }
+
+ private:
+  struct Stream {
+    SeqNum expected = 1;
+    std::map<SeqNum, Interval> parked;
+  };
+  std::map<ProcessId, Stream> streams_;
+  std::uint64_t dropped_stale_ = 0;
+};
+
+}  // namespace hpd::detect

@@ -1,0 +1,174 @@
+#include "ft/heartbeat.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hpd::ft {
+
+HeartbeatAgent::HeartbeatAgent(ProcessId self, const HeartbeatConfig& config,
+                               Hooks hooks)
+    : self_(self), config_(config), hooks_(std::move(hooks)) {
+  HPD_REQUIRE(config_.period > 0.0 && config_.timeout_multiplier > 1.0,
+              "HeartbeatAgent: bad config");
+}
+
+void HeartbeatAgent::init_as_root() {
+  is_root_ = true;
+  attached_ = true;
+  parent_ = kNoProcess;
+  root_path_ = {self_};
+}
+
+void HeartbeatAgent::init_with_parent(ProcessId parent,
+                                      std::vector<ProcessId> root_path) {
+  HPD_REQUIRE(!root_path.empty() && root_path.front() == self_,
+              "HeartbeatAgent: root path must start at self");
+  parent_ = parent;
+  is_root_ = false;
+  attached_ = true;
+  root_path_ = std::move(root_path);
+  track(parent);
+}
+
+void HeartbeatAgent::add_child(ProcessId child) {
+  if (std::find(children_.begin(), children_.end(), child) ==
+      children_.end()) {
+    children_.push_back(child);
+    track(child);
+  }
+}
+
+void HeartbeatAgent::remove_child(ProcessId child) {
+  children_.erase(std::remove(children_.begin(), children_.end(), child),
+                  children_.end());
+  last_heard_.erase(child);
+}
+
+void HeartbeatAgent::set_parent(ProcessId parent) {
+  if (parent_ != kNoProcess) {
+    last_heard_.erase(parent_);
+  }
+  loop_streak_ = 0;
+  parent_ = parent;
+  is_root_ = false;
+  // Optimistically attached; confirmed/refreshed by the parent's beats.
+  attached_ = true;
+  root_path_ = {self_, parent};
+  track(parent);
+}
+
+void HeartbeatAgent::clear_parent() {
+  if (parent_ != kNoProcess) {
+    last_heard_.erase(parent_);
+  }
+  loop_streak_ = 0;
+  parent_ = kNoProcess;
+  attached_ = false;
+  root_path_.clear();
+}
+
+void HeartbeatAgent::reset() {
+  parent_ = kNoProcess;
+  loop_streak_ = 0;
+  is_root_ = false;
+  attached_ = false;
+  root_path_.clear();
+  children_.clear();
+  last_heard_.clear();
+}
+
+void HeartbeatAgent::become_root() {
+  if (parent_ != kNoProcess) {
+    last_heard_.erase(parent_);
+  }
+  parent_ = kNoProcess;
+  init_as_root();
+}
+
+void HeartbeatAgent::track(ProcessId neighbor) {
+  last_heard_[neighbor] = hooks_.now ? hooks_.now() : 0.0;
+}
+
+proto::HeartbeatPayload HeartbeatAgent::make_payload() const {
+  proto::HeartbeatPayload p;
+  p.attached = attached_;
+  p.root_path = attached_ ? root_path_ : std::vector<ProcessId>{};
+  return p;
+}
+
+void HeartbeatAgent::on_tick() {
+  const proto::HeartbeatPayload payload = make_payload();
+  if (parent_ != kNoProcess && hooks_.send) {
+    hooks_.send(parent_, payload);
+  }
+  for (const ProcessId c : children_) {
+    if (hooks_.send) {
+      hooks_.send(c, payload);
+    }
+  }
+  check_deadlines();
+}
+
+void HeartbeatAgent::on_heartbeat(ProcessId from,
+                                  const proto::HeartbeatPayload& payload) {
+  auto it = last_heard_.find(from);
+  if (it == last_heard_.end()) {
+    return;  // not a tracked neighbour (stale beat from an old relation)
+  }
+  it->second = hooks_.now ? hooks_.now() : 0.0;
+  if (from == parent_) {
+    // Refresh ancestry from the parent's advertised path — unless the
+    // advertised path already contains us. A single looping beat is normal
+    // transient staleness during a repair (e.g. right after a FLIP, before
+    // the new ancestry has propagated); a *persistent* loop means stale
+    // repair data actually wired a cycle, which would silently destroy the
+    // root — break it here by treating the parent as failed.
+    const bool loops = std::find(payload.root_path.begin(),
+                                 payload.root_path.end(),
+                                 self_) != payload.root_path.end();
+    if (payload.attached && !loops) {
+      loop_streak_ = 0;
+      attached_ = true;
+      root_path_.clear();
+      root_path_.push_back(self_);
+      root_path_.insert(root_path_.end(), payload.root_path.begin(),
+                        payload.root_path.end());
+    } else if (payload.attached && loops) {
+      if (++loop_streak_ >= kLoopBreakStreak) {
+        const ProcessId broken = parent_;
+        loop_streak_ = 0;
+        clear_parent();
+        if (hooks_.on_failed) {
+          hooks_.on_failed(broken, /*was_parent=*/true);
+        }
+      }
+    } else {
+      attached_ = false;  // an ancestor is orphaned; propagate down
+    }
+  }
+}
+
+void HeartbeatAgent::check_deadlines() {
+  const SimTime now = hooks_.now ? hooks_.now() : 0.0;
+  const SimTime deadline = config_.period * config_.timeout_multiplier;
+  // Collect first: hooks may mutate the tracked sets.
+  std::vector<std::pair<ProcessId, bool>> failed;
+  for (const auto& [nbr, heard] : last_heard_) {
+    if (now - heard > deadline) {
+      failed.emplace_back(nbr, nbr == parent_);
+    }
+  }
+  for (const auto& [nbr, was_parent] : failed) {
+    if (was_parent) {
+      clear_parent();
+    } else {
+      remove_child(nbr);
+    }
+    if (hooks_.on_failed) {
+      hooks_.on_failed(nbr, was_parent);
+    }
+  }
+}
+
+}  // namespace hpd::ft

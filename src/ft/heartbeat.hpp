@@ -1,0 +1,99 @@
+// Heartbeat-based failure detection between spanning-tree neighbours
+// (paper, Section III-F: "each process in the spanning tree sends heartbeat
+// messages to its parent and children").
+//
+// Beyond liveness, heartbeats piggyback the sender's root path and
+// attachment state, giving every node a (slightly stale) local view of its
+// own depth and ancestry — exactly what the reattachment protocol needs to
+// pick cycle-free adoption candidates.
+//
+// Pure state machine: all I/O through hooks; the runner wires it to the
+// simulated network and to a periodic timer.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "proto/messages.hpp"
+
+namespace hpd::ft {
+
+struct HeartbeatConfig {
+  SimTime period = 1.0;
+  /// A neighbour is declared dead after `period * timeout_multiplier` of
+  /// silence. Keep above the maximum channel delay / period ratio to avoid
+  /// false positives.
+  double timeout_multiplier = 3.5;
+};
+
+class HeartbeatAgent {
+ public:
+  struct Hooks {
+    std::function<void(ProcessId dst, const proto::HeartbeatPayload&)> send;
+    /// A tracked neighbour missed its deadline. The agent has already
+    /// stopped tracking it when this fires.
+    std::function<void(ProcessId neighbor, bool was_parent)> on_failed;
+    std::function<SimTime()> now;
+  };
+
+  HeartbeatAgent(ProcessId self, const HeartbeatConfig& config, Hooks hooks);
+
+  // ---- Tree wiring --------------------------------------------------------
+
+  /// Initialize as root (attached, path = [self]) or as a child of `parent`
+  /// with the given initial root path (known at deployment time).
+  void init_as_root();
+  void init_with_parent(ProcessId parent, std::vector<ProcessId> root_path);
+
+  void add_child(ProcessId child);
+  void remove_child(ProcessId child);
+  void set_parent(ProcessId parent);  ///< after a reattachment
+  void clear_parent();                ///< orphaned: detached until reattached
+  void become_root();
+
+  /// Crash-recovery reset: forget every neighbour; detached, parentless,
+  /// childless (the node rejoins as a fresh leaf).
+  void reset();
+
+  ProcessId parent() const { return parent_; }
+  bool is_root() const { return is_root_; }
+  bool attached() const { return attached_; }
+  /// Current believed path self → root (empty while detached).
+  const std::vector<ProcessId>& root_path() const { return root_path_; }
+  int depth() const {
+    return root_path_.empty() ? -1 : static_cast<int>(root_path_.size()) - 1;
+  }
+
+  // ---- Events -------------------------------------------------------------
+
+  /// Periodic tick (period = config.period): emits beats, checks deadlines.
+  void on_tick();
+
+  void on_heartbeat(ProcessId from, const proto::HeartbeatPayload& payload);
+
+  /// The payload this node currently advertises.
+  proto::HeartbeatPayload make_payload() const;
+
+ private:
+  void track(ProcessId neighbor);
+  void check_deadlines();
+
+  ProcessId self_;
+  HeartbeatConfig config_;
+  Hooks hooks_;
+
+  /// Consecutive looping parent beats before the cycle is broken.
+  static constexpr int kLoopBreakStreak = 3;
+
+  ProcessId parent_ = kNoProcess;
+  bool is_root_ = false;
+  bool attached_ = false;
+  int loop_streak_ = 0;
+  std::vector<ProcessId> root_path_;
+  std::vector<ProcessId> children_;
+  std::map<ProcessId, SimTime> last_heard_;
+};
+
+}  // namespace hpd::ft

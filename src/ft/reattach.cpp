@@ -1,0 +1,174 @@
+#include "ft/reattach.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/assert.hpp"
+
+namespace hpd::ft {
+
+ReattachProtocol::ReattachProtocol(ProcessId self, const ReattachConfig& config,
+                                   Hooks hooks)
+    : self_(self), config_(config), hooks_(std::move(hooks)) {
+  HPD_REQUIRE(config_.probe_window > 0.0 && config_.retry_backoff > 0.0 &&
+                  config_.max_retries >= 1,
+              "ReattachProtocol: bad config");
+}
+
+void ReattachProtocol::reset() {
+  state_ = State::kIdle;
+  awaiting_window_ = false;
+  awaiting_retry_ = false;
+  acks_.clear();
+  pending_parent_ = kNoProcess;
+  retries_ = 0;
+}
+
+void ReattachProtocol::begin(Mode mode, ProcessId forbidden) {
+  if (searching()) {
+    return;
+  }
+  mode_ = mode;
+  forbidden_ = forbidden;
+  retries_ = 0;
+  start_probe_round();
+}
+
+void ReattachProtocol::start_probe_round() {
+  state_ = State::kProbing;
+  acks_.clear();
+  pending_parent_ = kNoProcess;
+  awaiting_window_ = true;
+  hooks_.broadcast_probe();
+  hooks_.set_timer(kProbeWindowTag, config_.probe_window);
+}
+
+void ReattachProtocol::on_probe_ack(ProcessId from,
+                                    const proto::ProbeAckPayload& ack) {
+  if (state_ != State::kProbing || !awaiting_window_) {
+    return;
+  }
+  acks_.push_back(Ack{from, ack.attached, ack.root_path});
+}
+
+void ReattachProtocol::on_timer(int tag) {
+  if (tag == kProbeWindowTag) {
+    if (!awaiting_window_) {
+      return;  // stale
+    }
+    awaiting_window_ = false;
+    if (state_ == State::kProbing) {
+      on_probe_window_expired();
+    }
+  } else if (tag == kRetryTag) {
+    if (!awaiting_retry_) {
+      return;  // stale
+    }
+    awaiting_retry_ = false;
+    if (state_ == State::kProbing) {
+      start_probe_round();
+    } else if (state_ == State::kAttaching) {
+      // The prospective parent never answered (it may have died too).
+      ++retries_;
+      if (retries_ >= config_.max_retries) {
+        exhausted();
+      } else {
+        start_probe_round();
+      }
+    }
+  }
+}
+
+void ReattachProtocol::on_probe_window_expired() {
+  // Viable adoption candidates: attached, and adopting the orphan's subtree
+  // creates no cycle (neither the orphan nor this node on their root path).
+  const Ack* best = nullptr;
+  for (const Ack& a : acks_) {
+    if (!a.attached) {
+      continue;
+    }
+    const auto& path = a.root_path;
+    if (std::find(path.begin(), path.end(), self_) != path.end() ||
+        std::find(path.begin(), path.end(), forbidden_) != path.end()) {
+      continue;  // inside the searching subtree (or a stale path through it)
+    }
+    if (mode_ == Mode::kRootMerge &&
+        (path.empty() || path.back() >= self_)) {
+      continue;  // merge only under a smaller-id root (cycle-free tie-break)
+    }
+    // Preference order: smallest root id (join the canonical tree — a
+    // recovering node next to a tiny partition must not pick it just
+    // because it is shallower, or the partitions can never merge), then
+    // smallest depth, then smallest responder id.
+    auto rank = [](const Ack& x) {
+      return std::make_tuple(x.root_path.empty() ? kNoProcess
+                                                 : x.root_path.back(),
+                             x.root_path.size(), x.from);
+    };
+    if (best == nullptr || rank(a) < rank(*best)) {
+      best = &a;
+    }
+  }
+  if (best != nullptr) {
+    state_ = State::kAttaching;
+    pending_parent_ = best->from;
+    hooks_.send_attach_req(best->from);
+    // Attach-ack deadline.
+    awaiting_retry_ = true;
+    hooks_.set_timer(kRetryTag, config_.probe_window + config_.retry_backoff);
+    return;
+  }
+
+  // No viable candidate this round.
+  if (mode_ == Mode::kRootMerge) {
+    exhausted();  // single-shot: the periodic re-probe will try again
+    return;
+  }
+  ++retries_;
+  bool smaller_orphan = false;
+  if (mode_ == Mode::kOrphan) {
+    // Another orphan with a smaller id should head the new tree; wait for
+    // it to settle and adopt us through a later probe.
+    for (const Ack& a : acks_) {
+      if (!a.attached && a.from < self_) {
+        smaller_orphan = true;
+        break;
+      }
+    }
+  }
+  if (retries_ >= config_.max_retries ||
+      (!smaller_orphan && retries_ >= 2)) {
+    exhausted();
+    return;
+  }
+  retry();
+}
+
+void ReattachProtocol::retry() {
+  state_ = State::kProbing;
+  acks_.clear();
+  if (!awaiting_retry_) {
+    awaiting_retry_ = true;
+    hooks_.set_timer(kRetryTag, config_.retry_backoff);
+  }
+}
+
+void ReattachProtocol::on_attach_ack(ProcessId from,
+                                     const proto::AttachAckPayload& ack) {
+  if (state_ != State::kAttaching || from != pending_parent_) {
+    return;
+  }
+  if (ack.accepted) {
+    state_ = State::kAttached;
+    hooks_.on_attached(from);
+  } else {
+    retry();
+  }
+}
+
+void ReattachProtocol::exhausted() {
+  state_ = State::kIdle;
+  hooks_.on_search_exhausted();
+}
+
+}  // namespace hpd::ft

@@ -1,0 +1,118 @@
+// Parent search after losing the parent (Section III-F).
+//
+// The protocol probes the node's topology neighbours and attaches to the
+// shallowest live, attached, non-descendant responder. It runs in two
+// modes:
+//
+//  * kOrphan — the node itself lost its parent. If only other orphans with
+//    smaller ids respond, it waits (they will head the new tree); when
+//    nothing viable ever responds the search is *exhausted* and the owner
+//    decides what next: delegate the search into the subtree, or declare
+//    this node root of the surviving partition.
+//  * kDelegate — the node searches on behalf of an orphaned ancestor
+//    (`forbidden`), because the orphan's own neighbourhood is gone. Any
+//    responder whose root path touches the orphan's subtree is rejected
+//    (the path necessarily contains `forbidden`). Exhaustion is reported
+//    quickly — the DFS over the subtree continues elsewhere.
+//
+// When a delegate attaches, the runner re-roots the orphaned subtree at it
+// with the FLIP chain (proto::kFlip/kFlipAck/kFlipGo) — this realizes the
+// paper's "establish a link between a node in the subtree and its
+// neighbour which is still in the spanning tree".
+//
+// Pure state machine; the runner supplies messaging and timers.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "proto/messages.hpp"
+
+namespace hpd::ft {
+
+struct ReattachConfig {
+  /// How long to collect PROBE_ACKs. Must exceed the worst-case
+  /// probe + ack round trip, or live candidates are invisible and the
+  /// search degrades toward partition-root behaviour.
+  SimTime probe_window = 4.0;
+  SimTime retry_backoff = 6.0;  ///< pause before re-probing
+  int max_retries = 6;          ///< then give up (search exhausted)
+  /// How often a partition root re-probes its neighbourhood for a tree to
+  /// merge back into (0 disables partition healing).
+  SimTime root_merge_period = 30.0;
+};
+
+class ReattachProtocol {
+ public:
+  enum class State { kIdle, kProbing, kAttaching, kAttached };
+  enum class Mode {
+    kOrphan,    ///< this node lost its parent
+    kDelegate,  ///< searching on behalf of an orphaned ancestor
+    kRootMerge, ///< a partition root probing for a tree to merge into;
+                ///< only trees rooted at a SMALLER id are joined (so two
+                ///< roots can never adopt each other and form a cycle)
+  };
+
+  /// Timer tags the runner must route back via on_timer.
+  static constexpr int kProbeWindowTag = 1;
+  static constexpr int kRetryTag = 2;
+
+  struct Hooks {
+    std::function<void()> broadcast_probe;  ///< PROBE to topology neighbours
+    std::function<void(ProcessId dst)> send_attach_req;
+    std::function<void(int tag, SimTime delay)> set_timer;
+    std::function<void(ProcessId new_parent)> on_attached;
+    /// No viable parent exists around this node; the owner decides whether
+    /// to delegate deeper, report failure, or become root. The protocol is
+    /// back in kIdle when this fires.
+    std::function<void()> on_search_exhausted;
+  };
+
+  ReattachProtocol(ProcessId self, const ReattachConfig& config, Hooks hooks);
+
+  State state() const { return state_; }
+  Mode mode() const { return mode_; }
+  bool searching() const {
+    return state_ == State::kProbing || state_ == State::kAttaching;
+  }
+  int retries() const { return retries_; }
+
+  /// Start searching. `forbidden` is the orphan whose subtree must not be
+  /// attached to (== self for kOrphan mode). No-op if already searching.
+  void begin(Mode mode, ProcessId forbidden);
+
+  /// Hard reset to kIdle (crash recovery: any in-flight search died with
+  /// the old incarnation; outstanding timers become stale no-ops).
+  void reset();
+
+  void on_probe_ack(ProcessId from, const proto::ProbeAckPayload& ack);
+  void on_attach_ack(ProcessId from, const proto::AttachAckPayload& ack);
+  void on_timer(int tag);
+
+ private:
+  struct Ack {
+    ProcessId from = kNoProcess;
+    bool attached = false;
+    std::vector<ProcessId> root_path;
+  };
+
+  void start_probe_round();
+  void on_probe_window_expired();
+  void retry();
+  void exhausted();
+
+  ProcessId self_;
+  ReattachConfig config_;
+  Hooks hooks_;
+  State state_ = State::kIdle;
+  Mode mode_ = Mode::kOrphan;
+  ProcessId forbidden_ = kNoProcess;
+  int retries_ = 0;
+  bool awaiting_window_ = false;
+  bool awaiting_retry_ = false;
+  std::vector<Ack> acks_;
+  ProcessId pending_parent_ = kNoProcess;
+};
+
+}  // namespace hpd::ft

@@ -1,0 +1,99 @@
+#include "metrics/counters.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hpd {
+
+namespace {
+const std::string kUnknownType = "?";
+}
+
+void MetricsRegistry::name_message_type(int type, std::string name) {
+  type_names_[type] = std::move(name);
+}
+
+const std::string& MetricsRegistry::message_type_name(int type) const {
+  auto it = type_names_.find(type);
+  return it == type_names_.end() ? kUnknownType : it->second;
+}
+
+void MetricsRegistry::on_send(ProcessId src, int type, std::size_t wire_words,
+                              std::size_t wire_bytes) {
+  ++msgs_total_;
+  ++msgs_by_type_[type];
+  wire_words_total_ += wire_words;
+  wire_bytes_total_ += wire_bytes;
+  if (wire_bytes != 0) {
+    bytes_by_type_[type] += wire_bytes;
+  }
+  if (src >= 0 && static_cast<std::size_t>(src) < node_.size()) {
+    ++node_[static_cast<std::size_t>(src)].msgs_sent;
+    node_[static_cast<std::size_t>(src)].wire_words_sent += wire_words;
+  }
+}
+
+std::uint64_t MetricsRegistry::msgs_of_type(int type) const {
+  auto it = msgs_by_type_.find(type);
+  return it == msgs_by_type_.end() ? 0 : it->second;
+}
+
+std::uint64_t MetricsRegistry::bytes_of_type(int type) const {
+  auto it = bytes_by_type_.find(type);
+  return it == bytes_by_type_.end() ? 0 : it->second;
+}
+
+NodeMetrics& MetricsRegistry::node(ProcessId id) {
+  HPD_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < node_.size(),
+              "MetricsRegistry::node: bad id");
+  return node_[static_cast<std::size_t>(id)];
+}
+
+const NodeMetrics& MetricsRegistry::node(ProcessId id) const {
+  HPD_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < node_.size(),
+              "MetricsRegistry::node: bad id");
+  return node_[static_cast<std::size_t>(id)];
+}
+
+std::uint64_t MetricsRegistry::total_vc_comparisons() const {
+  std::uint64_t sum = 0;
+  for (const auto& m : node_) {
+    sum += m.vc_comparisons;
+  }
+  return sum;
+}
+
+std::uint64_t MetricsRegistry::total_detections() const {
+  std::uint64_t sum = 0;
+  for (const auto& m : node_) {
+    sum += m.detections;
+  }
+  return sum;
+}
+
+std::uint64_t MetricsRegistry::total_intervals_enqueued() const {
+  std::uint64_t sum = 0;
+  for (const auto& m : node_) {
+    sum += m.intervals_enqueued;
+  }
+  return sum;
+}
+
+std::uint64_t MetricsRegistry::max_node_storage_peak() const {
+  std::uint64_t best = 0;
+  for (const auto& m : node_) {
+    best = std::max(best, m.intervals_stored_peak);
+  }
+  return best;
+}
+
+std::uint64_t MetricsRegistry::sum_node_storage_peak() const {
+  std::uint64_t sum = 0;
+  for (const auto& m : node_) {
+    sum += m.intervals_stored_peak;
+  }
+  return sum;
+}
+
+}  // namespace hpd

@@ -1,0 +1,77 @@
+// Cost accounting for experiments: message counts (by type and in
+// hop-weighted form), wire volume in O(n) vector-clock words, vector-clock
+// comparison counts (the paper's time-complexity unit), and per-node
+// storage peaks (the paper's space-complexity unit).
+//
+// A MetricsRegistry belongs to one simulation run; parallel sweeps use one
+// registry per run, so no synchronization is needed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hpd {
+
+struct NodeMetrics {
+  std::uint64_t msgs_sent = 0;           ///< one-hop sends originated here
+  std::uint64_t wire_words_sent = 0;     ///< payload volume originated here
+  std::uint64_t intervals_enqueued = 0;  ///< intervals offered to this node's queues
+  std::uint64_t intervals_stored_peak = 0;  ///< max simultaneous queued intervals
+  std::uint64_t vc_comparisons = 0;      ///< timestamp comparisons performed here
+  std::uint64_t detections = 0;          ///< solutions found at this node
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  explicit MetricsRegistry(std::size_t n) : node_(n) {}
+
+  void resize(std::size_t n) { node_.resize(n); }
+  std::size_t num_nodes() const { return node_.size(); }
+
+  /// Register a human-readable name for a message type code (idempotent).
+  void name_message_type(int type, std::string name);
+  const std::string& message_type_name(int type) const;
+
+  /// Record a one-hop message send. `wire_bytes` is non-zero only when the
+  /// payload actually travelled encoded (ExperimentConfig::wire_encoding).
+  void on_send(ProcessId src, int type, std::size_t wire_words,
+               std::size_t wire_bytes = 0);
+
+  /// Totals.
+  std::uint64_t msgs_total() const { return msgs_total_; }
+  std::uint64_t msgs_of_type(int type) const;
+  std::uint64_t wire_words_total() const { return wire_words_total_; }
+  std::uint64_t wire_bytes_total() const { return wire_bytes_total_; }
+  std::uint64_t bytes_of_type(int type) const;
+
+  /// Per-node counters; valid ids only.
+  NodeMetrics& node(ProcessId id);
+  const NodeMetrics& node(ProcessId id) const;
+
+  /// Aggregates over nodes.
+  std::uint64_t total_vc_comparisons() const;
+  std::uint64_t total_detections() const;
+  std::uint64_t total_intervals_enqueued() const;
+  std::uint64_t max_node_storage_peak() const;
+  std::uint64_t sum_node_storage_peak() const;
+
+  const std::map<int, std::uint64_t>& msgs_by_type() const {
+    return msgs_by_type_;
+  }
+
+ private:
+  std::vector<NodeMetrics> node_;
+  std::map<int, std::uint64_t> msgs_by_type_;
+  std::map<int, std::uint64_t> bytes_by_type_;
+  std::map<int, std::string> type_names_;
+  std::uint64_t msgs_total_ = 0;
+  std::uint64_t wire_words_total_ = 0;
+  std::uint64_t wire_bytes_total_ = 0;
+};
+
+}  // namespace hpd

@@ -1,0 +1,33 @@
+// Plain-text table / CSV rendering for bench and example output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hpd {
+
+/// A simple fixed-width table builder: set a header, append rows of cells,
+/// print right-aligned columns. Numeric formatting is the caller's job.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Cell helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  /// Comma-separated dump (header + rows) for post-processing.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hpd

@@ -1,0 +1,87 @@
+#include "net/render.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace hpd::net {
+
+namespace {
+
+struct Renderer {
+  std::ostream& os;
+  const std::vector<std::vector<ProcessId>>& children;
+  const std::vector<bool>* alive;
+
+  void node_label(ProcessId id) {
+    os << id;
+    if (alive != nullptr && !(*alive)[idx(id)]) {
+      os << " x(dead)";
+    }
+    os << "\n";
+  }
+
+  void walk(ProcessId id, const std::string& prefix) {
+    const auto& kids = children[idx(id)];
+    for (std::size_t k = 0; k < kids.size(); ++k) {
+      const bool last = (k + 1 == kids.size());
+      os << prefix << (last ? "`- " : "|- ");
+      node_label(kids[k]);
+      walk(kids[k], prefix + (last ? "   " : "|  "));
+    }
+  }
+
+  void root(ProcessId id) {
+    node_label(id);
+    walk(id, "");
+  }
+};
+
+std::vector<std::vector<ProcessId>> children_of(
+    const std::vector<ProcessId>& parents) {
+  std::vector<std::vector<ProcessId>> children(parents.size());
+  for (std::size_t i = 0; i < parents.size(); ++i) {
+    const ProcessId p = parents[i];
+    if (p != kNoProcess) {
+      children[idx(p)].push_back(static_cast<ProcessId>(i));
+    }
+  }
+  return children;
+}
+
+}  // namespace
+
+void render_tree(std::ostream& os, const SpanningTree& tree,
+                 const std::vector<bool>* alive) {
+  std::vector<ProcessId> parents(tree.size());
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    parents[i] = tree.parent(static_cast<ProcessId>(i));
+  }
+  render_forest(os, parents, alive);
+}
+
+void render_forest(std::ostream& os, const std::vector<ProcessId>& parents,
+                   const std::vector<bool>* alive) {
+  const auto children = children_of(parents);
+  Renderer renderer{os, children, alive};
+  for (std::size_t i = 0; i < parents.size(); ++i) {
+    if (parents[i] != kNoProcess) {
+      continue;
+    }
+    const auto id = static_cast<ProcessId>(i);
+    // Dead detached nodes are only worth a line if requested via `alive`.
+    if (alive != nullptr && !(*alive)[i] && children[i].empty()) {
+      os << id << " x(dead)\n";
+      continue;
+    }
+    renderer.root(id);
+  }
+}
+
+std::string tree_to_string(const SpanningTree& tree,
+                           const std::vector<bool>* alive) {
+  std::ostringstream os;
+  render_tree(os, tree, alive);
+  return os.str();
+}
+
+}  // namespace hpd::net

@@ -1,0 +1,31 @@
+// Plain-text rendering of spanning trees (and final repaired forests) for
+// examples and the hpd_sim CLI.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/spanning_tree.hpp"
+
+namespace hpd::net {
+
+/// ASCII box-drawing rendering:
+///   0
+///   ├─ 1
+///   │  ├─ 3
+///   │  └─ 4
+///   └─ 2
+/// `alive` (optional) marks dead nodes with a cross.
+void render_tree(std::ostream& os, const SpanningTree& tree,
+                 const std::vector<bool>* alive = nullptr);
+
+/// Render a forest described by parent pointers (what ExperimentResult's
+/// final_parents holds after failures): every kNoProcess entry is a root.
+void render_forest(std::ostream& os, const std::vector<ProcessId>& parents,
+                   const std::vector<bool>* alive = nullptr);
+
+std::string tree_to_string(const SpanningTree& tree,
+                           const std::vector<bool>* alive = nullptr);
+
+}  // namespace hpd::net

@@ -1,0 +1,149 @@
+#include "net/repair.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace hpd::net {
+
+namespace {
+
+/// Reverse parent pointers along new_root .. old subtree root, making
+/// `new_root` the root of its (detached) subtree.
+void reroot_subtree(SpanningTree& tree, ProcessId new_root) {
+  std::vector<ProcessId> path = tree.path_to_root(new_root);
+  // path = new_root, p1, ..., old_subtree_root (walk stops at a detached
+  // node, which is exactly the orphaned subtree's root).
+  tree.detach(new_root);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    tree.set_parent(path[i + 1], path[i]);
+  }
+}
+
+}  // namespace
+
+std::optional<RepairPlan> plan_repair(const SpanningTree& tree,
+                                      const Topology& topo,
+                                      const std::vector<bool>& alive,
+                                      ProcessId failed) {
+  HPD_REQUIRE(tree.size() == topo.size() && alive.size() == tree.size(),
+              "plan_repair: size mismatch");
+  HPD_REQUIRE(!alive[idx(failed)], "plan_repair: failed node still alive");
+
+  RepairPlan plan;
+  std::vector<ProcessId> orphan_roots = tree.children(failed);
+
+  // Membership of the main (still-rooted) tree after removing `failed`.
+  std::vector<bool> in_main(tree.size(), false);
+  if (failed == tree.root()) {
+    if (orphan_roots.empty()) {
+      return std::nullopt;  // the whole system died
+    }
+    plan.new_root = orphan_roots.front();
+    for (ProcessId u : tree.subtree(plan.new_root)) {
+      in_main[idx(u)] = true;
+    }
+    orphan_roots.erase(orphan_roots.begin());
+  } else {
+    plan.new_root = tree.root();
+    for (std::size_t i = 0; i < tree.size(); ++i) {
+      in_main[i] = alive[i];
+    }
+    for (ProcessId u : tree.subtree(failed)) {
+      in_main[idx(u)] = false;
+    }
+  }
+
+  // Depths in the evolving main tree. Attachment changes depths only inside
+  // the just-attached subtree, which we update incrementally.
+  std::vector<int> depth(tree.size(), -1);
+  auto seed_depths = [&](ProcessId sub_root, int base) {
+    // Assign BFS depths below sub_root from its (possibly re-rooted) shape.
+    // We only need approximate preference ordering, so pre-repair shape is
+    // fine for planning; exact depths are recomputed by callers if needed.
+    for (ProcessId u : tree.subtree(sub_root)) {
+      depth[idx(u)] = base + (tree.depth(u) - tree.depth(sub_root));
+    }
+  };
+  if (failed == tree.root()) {
+    seed_depths(plan.new_root, 0);
+  } else {
+    for (std::size_t i = 0; i < tree.size(); ++i) {
+      if (in_main[i]) {
+        depth[i] = tree.depth(static_cast<ProcessId>(i));
+      }
+    }
+  }
+
+  // An orphan may only reach the main tree through a sibling orphan that
+  // attaches first, so iterate to a fixpoint instead of a single pass.
+  std::vector<ProcessId> waiting = orphan_roots;
+  while (!waiting.empty()) {
+    bool progress = false;
+    std::vector<ProcessId> still_waiting;
+    for (ProcessId orphan : waiting) {
+      const std::vector<ProcessId> members = tree.subtree(orphan);
+      ProcessId best_node = kNoProcess;
+      ProcessId best_parent = kNoProcess;
+      int best_depth = std::numeric_limits<int>::max();
+      bool best_is_root = false;
+      for (ProcessId u : members) {
+        for (ProcessId w : topo.neighbors(u)) {
+          if (!in_main[idx(w)] || !alive[idx(w)]) {
+            continue;
+          }
+          const bool u_is_root = (u == orphan);
+          const int dw = depth[idx(w)];
+          // Prefer attaching the orphan root itself; then smaller depth.
+          const bool better =
+              (u_is_root && !best_is_root) ||
+              (u_is_root == best_is_root && dw < best_depth);
+          if (best_node == kNoProcess || better) {
+            best_node = u;
+            best_parent = w;
+            best_depth = dw;
+            best_is_root = u_is_root;
+          }
+        }
+      }
+      if (best_node == kNoProcess) {
+        still_waiting.push_back(orphan);
+        continue;
+      }
+      progress = true;
+      plan.attachments.push_back(RepairAction{best_node, best_parent});
+      for (ProcessId u : members) {
+        in_main[idx(u)] = true;
+        // Approximate post-attachment depth for later preference checks.
+        depth[idx(u)] = best_depth + 1;
+      }
+    }
+    if (!progress) {
+      return std::nullopt;  // some orphan cannot reach the main tree
+    }
+    waiting = std::move(still_waiting);
+  }
+  return plan;
+}
+
+void apply_repair(SpanningTree& tree, const RepairPlan& plan,
+                  ProcessId failed) {
+  // Orphan every child, then drop the failed node itself.
+  const std::vector<ProcessId> kids = tree.children(failed);
+  for (ProcessId c : kids) {
+    tree.detach(c);
+  }
+  tree.detach(failed);
+  if (plan.new_root != tree.root()) {
+    tree.set_root(plan.new_root);
+  }
+  for (const RepairAction& act : plan.attachments) {
+    if (tree.parent(act.subtree_node) != kNoProcess) {
+      reroot_subtree(tree, act.subtree_node);
+    }
+    tree.set_parent(act.subtree_node, act.new_parent);
+  }
+}
+
+}  // namespace hpd::net

@@ -1,0 +1,49 @@
+// Spanning-tree reconnection after a crash (paper, Section III-F).
+//
+// When node f fails, each of f's children becomes the root of an orphaned
+// subtree and must "establish a link between a node in the subtree and its
+// neighbor which is still in the spanning tree". This planner computes such
+// reattachments from global knowledge; the on-line message-based protocol in
+// src/ft implements the same policy with local information, and the tests
+// check both produce valid trees.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/spanning_tree.hpp"
+#include "net/topology.hpp"
+
+namespace hpd::net {
+
+struct RepairAction {
+  ProcessId subtree_node;  ///< node inside the orphaned subtree that reattaches
+  ProcessId new_parent;    ///< live node of the main tree it attaches to
+};
+
+struct RepairPlan {
+  /// Equals the old root unless the root itself failed, in which case the
+  /// first orphaned subtree's root takes over.
+  ProcessId new_root = kNoProcess;
+  std::vector<RepairAction> attachments;
+};
+
+/// Plan reattachments for every subtree orphaned by the failure of `failed`.
+/// `alive` reflects liveness *after* the failure. Prefers attaching the
+/// orphaned subtree root directly to a live topology neighbour of smallest
+/// depth; falls back to any (subtree node, main-tree node) topology edge —
+/// in that case the orphaned subtree is re-rooted at the attaching node.
+/// Returns std::nullopt if some orphaned subtree cannot reach the main tree
+/// (the topology minus dead nodes is disconnected).
+std::optional<RepairPlan> plan_repair(const SpanningTree& tree,
+                                      const Topology& topo,
+                                      const std::vector<bool>& alive,
+                                      ProcessId failed);
+
+/// Apply a plan produced by plan_repair on the same (unmodified) tree:
+/// detaches `failed`, re-roots subtrees where needed, and reattaches them.
+void apply_repair(SpanningTree& tree, const RepairPlan& plan,
+                  ProcessId failed);
+
+}  // namespace hpd::net

@@ -1,0 +1,275 @@
+#include "net/spanning_tree.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/assert.hpp"
+
+namespace hpd::net {
+
+SpanningTree::SpanningTree(std::size_t n)
+    : parent_(n, kNoProcess), children_(n) {}
+
+void SpanningTree::check(ProcessId id) const {
+  HPD_REQUIRE(id >= 0 && idx(id) < parent_.size(), "SpanningTree: bad id");
+}
+
+void SpanningTree::set_root(ProcessId id) {
+  check(id);
+  HPD_REQUIRE(parent_[idx(id)] == kNoProcess,
+              "SpanningTree::set_root: root cannot have a parent");
+  root_ = id;
+}
+
+ProcessId SpanningTree::parent(ProcessId id) const {
+  check(id);
+  return parent_[idx(id)];
+}
+
+const std::vector<ProcessId>& SpanningTree::children(ProcessId id) const {
+  check(id);
+  return children_[idx(id)];
+}
+
+void SpanningTree::set_parent(ProcessId child, ProcessId new_parent) {
+  check(child);
+  check(new_parent);
+  HPD_REQUIRE(child != new_parent, "SpanningTree: self parent");
+  HPD_REQUIRE(!in_subtree(new_parent, child),
+              "SpanningTree: attaching under own descendant creates a cycle");
+  detach(child);
+  parent_[idx(child)] = new_parent;
+  auto& kids = children_[idx(new_parent)];
+  kids.insert(std::upper_bound(kids.begin(), kids.end(), child), child);
+}
+
+void SpanningTree::detach(ProcessId child) {
+  check(child);
+  const ProcessId p = parent_[idx(child)];
+  if (p == kNoProcess) {
+    return;
+  }
+  auto& kids = children_[idx(p)];
+  kids.erase(std::remove(kids.begin(), kids.end(), child), kids.end());
+  parent_[idx(child)] = kNoProcess;
+}
+
+int SpanningTree::depth(ProcessId id) const {
+  check(id);
+  int d = 0;
+  ProcessId cur = id;
+  while (cur != root_) {
+    const ProcessId p = parent_[idx(cur)];
+    if (p == kNoProcess) {
+      return -1;  // detached from the root's tree
+    }
+    cur = p;
+    ++d;
+    HPD_ASSERT(d <= static_cast<int>(parent_.size()),
+               "SpanningTree::depth: cycle detected");
+  }
+  return d;
+}
+
+int SpanningTree::level(ProcessId id) const {
+  check(id);
+  int best = 1;
+  for (ProcessId c : children_[idx(id)]) {
+    best = std::max(best, 1 + level(c));
+  }
+  return best;
+}
+
+int SpanningTree::height() const {
+  HPD_REQUIRE(root_ != kNoProcess, "SpanningTree::height: no root");
+  return level(root_);
+}
+
+std::size_t SpanningTree::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& kids : children_) {
+    best = std::max(best, kids.size());
+  }
+  return best;
+}
+
+std::vector<ProcessId> SpanningTree::subtree(ProcessId id) const {
+  check(id);
+  std::vector<ProcessId> out;
+  std::vector<ProcessId> stack{id};
+  while (!stack.empty()) {
+    const ProcessId u = stack.back();
+    stack.pop_back();
+    out.push_back(u);
+    const auto& kids = children_[idx(u)];
+    // Push in reverse so preorder visits children in ascending order.
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+bool SpanningTree::in_subtree(ProcessId node, ProcessId subtree_root) const {
+  check(node);
+  check(subtree_root);
+  ProcessId cur = node;
+  std::size_t hops = 0;
+  while (cur != kNoProcess) {
+    if (cur == subtree_root) {
+      return true;
+    }
+    cur = parent_[idx(cur)];
+    HPD_ASSERT(++hops <= parent_.size(), "SpanningTree: cycle detected");
+  }
+  return false;
+}
+
+std::vector<ProcessId> SpanningTree::path_to_root(ProcessId id) const {
+  check(id);
+  std::vector<ProcessId> path;
+  ProcessId cur = id;
+  while (cur != kNoProcess) {
+    path.push_back(cur);
+    HPD_ASSERT(path.size() <= parent_.size(),
+               "SpanningTree::path_to_root: cycle detected");
+    cur = parent_[idx(cur)];
+  }
+  return path;
+}
+
+bool SpanningTree::valid(const std::vector<bool>* alive) const {
+  if (root_ == kNoProcess) {
+    return false;
+  }
+  auto live = [&](ProcessId p) {
+    return alive == nullptr || (*alive)[idx(p)];
+  };
+  if (!live(root_) || parent_[idx(root_)] != kNoProcess) {
+    return false;
+  }
+  for (std::size_t i = 0; i < parent_.size(); ++i) {
+    const auto id = static_cast<ProcessId>(i);
+    const ProcessId p = parent_[i];
+    if (p != kNoProcess) {
+      // parent/children must agree
+      const auto& kids = children_[idx(p)];
+      if (!std::binary_search(kids.begin(), kids.end(), id)) {
+        return false;
+      }
+    }
+    for (ProcessId c : children_[i]) {
+      if (parent_[idx(c)] != id) {
+        return false;
+      }
+    }
+    if (!live(id)) {
+      // Dead nodes must be fully detached.
+      if (p != kNoProcess || !children_[i].empty()) {
+        return false;
+      }
+      continue;
+    }
+    // Every live node must reach the root without a cycle.
+    ProcessId cur = id;
+    std::size_t hops = 0;
+    while (cur != root_) {
+      cur = parent_[idx(cur)];
+      if (cur == kNoProcess || ++hops > parent_.size()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool SpanningTree::respects(const Topology& topo) const {
+  HPD_REQUIRE(topo.size() == parent_.size(),
+              "SpanningTree::respects: size mismatch");
+  for (std::size_t i = 0; i < parent_.size(); ++i) {
+    const ProcessId p = parent_[i];
+    if (p != kNoProcess && !topo.has_edge(static_cast<ProcessId>(i), p)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t SpanningTree::balanced_dary_size(std::size_t d, std::size_t h) {
+  HPD_REQUIRE(d >= 1 && h >= 1, "balanced_dary_size: bad parameters");
+  std::size_t total = 0;
+  std::size_t level_count = 1;
+  for (std::size_t i = 0; i < h; ++i) {
+    total += level_count;
+    level_count *= d;
+  }
+  return total;
+}
+
+SpanningTree SpanningTree::balanced_dary(std::size_t d, std::size_t h) {
+  HPD_REQUIRE(d >= 1 && h >= 1, "balanced_dary: bad parameters");
+  const std::size_t n = balanced_dary_size(d, h);
+  SpanningTree tree(n);
+  tree.set_root(0);
+  // BFS numbering: the children of node i are d*i + 1 .. d*i + d.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 1; k <= d; ++k) {
+      const std::size_t c = d * i + k;
+      if (c < n) {
+        tree.set_parent(static_cast<ProcessId>(c), static_cast<ProcessId>(i));
+      }
+    }
+  }
+  return tree;
+}
+
+SpanningTree SpanningTree::bfs_tree(const Topology& topo, ProcessId root) {
+  HPD_REQUIRE(root >= 0 && idx(root) < topo.size(), "bfs_tree: bad root");
+  HPD_REQUIRE(topo.connected(), "bfs_tree: topology must be connected");
+  SpanningTree tree(topo.size());
+  tree.set_root(root);
+  std::vector<bool> seen(topo.size(), false);
+  seen[idx(root)] = true;
+  std::deque<ProcessId> frontier{root};
+  while (!frontier.empty()) {
+    const ProcessId u = frontier.front();
+    frontier.pop_front();
+    for (ProcessId v : topo.neighbors(u)) {
+      if (!seen[idx(v)]) {
+        seen[idx(v)] = true;
+        tree.set_parent(v, u);
+        frontier.push_back(v);
+      }
+    }
+  }
+  return tree;
+}
+
+SpanningTree SpanningTree::from_parents(const std::vector<ProcessId>& parents,
+                                        ProcessId root) {
+  SpanningTree tree(parents.size());
+  tree.set_root(root);
+  for (std::size_t i = 0; i < parents.size(); ++i) {
+    if (parents[i] != kNoProcess) {
+      tree.set_parent(static_cast<ProcessId>(i), parents[i]);
+    } else {
+      HPD_REQUIRE(static_cast<ProcessId>(i) == root,
+                  "from_parents: only the root may lack a parent");
+    }
+  }
+  HPD_REQUIRE(tree.valid(), "from_parents: parent array is not a tree");
+  return tree;
+}
+
+Topology tree_topology(const SpanningTree& tree) {
+  Topology topo(tree.size());
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto id = static_cast<ProcessId>(i);
+    if (tree.parent(id) != kNoProcess) {
+      topo.add_edge(id, tree.parent(id));
+    }
+  }
+  return topo;
+}
+
+}  // namespace hpd::net

@@ -1,0 +1,99 @@
+// Rooted spanning trees: the hierarchy along which the paper's algorithm
+// detects, aggregates, and reports.
+//
+// Levels follow the paper's convention: leaves are level 1 and the root of
+// a balanced tree of height h is level h. The "paper-model" d-ary tree has
+// every internal node with exactly d children and all leaves at level 1,
+// totalling (d^h - 1) / (d - 1) nodes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/topology.hpp"
+
+namespace hpd::net {
+
+class SpanningTree {
+ public:
+  /// A forest of n isolated nodes; use set_root / set_parent to shape it.
+  explicit SpanningTree(std::size_t n);
+
+  std::size_t size() const { return parent_.size(); }
+
+  ProcessId root() const { return root_; }
+  void set_root(ProcessId id);
+
+  /// kNoProcess for the root (and for detached nodes).
+  ProcessId parent(ProcessId id) const;
+
+  const std::vector<ProcessId>& children(ProcessId id) const;
+
+  bool is_leaf(ProcessId id) const { return children(id).empty(); }
+
+  /// Attach / re-attach `child` under `new_parent`, keeping children lists
+  /// consistent. Rejects attaching a node under its own descendant.
+  void set_parent(ProcessId child, ProcessId new_parent);
+
+  /// Detach `child` from its parent (it becomes the root of its own
+  /// disconnected subtree). Used when a node crashes.
+  void detach(ProcessId child);
+
+  /// Hop distance to the root; -1 if detached from the root's tree.
+  int depth(ProcessId id) const;
+
+  /// Paper's level: height of the subtree rooted at id (leaves = 1).
+  int level(ProcessId id) const;
+
+  /// Number of levels of the whole tree (= level(root)).
+  int height() const;
+
+  /// Maximum number of children over all nodes (the paper's d).
+  std::size_t max_degree() const;
+
+  /// All nodes of the subtree rooted at id, preorder.
+  std::vector<ProcessId> subtree(ProcessId id) const;
+
+  bool in_subtree(ProcessId node, ProcessId subtree_root) const;
+
+  /// node, parent(node), ..., root.
+  std::vector<ProcessId> path_to_root(ProcessId id) const;
+
+  /// Structural validity: exactly one root, parent/children agree, no cycle,
+  /// every node reaches the root. With `alive`, only live nodes are required
+  /// to be attached (dead ones must be detached and childless).
+  bool valid(const std::vector<bool>* alive = nullptr) const;
+
+  /// Every tree edge must be a topology edge.
+  bool respects(const Topology& topo) const;
+
+  // ---- Builders ---------------------------------------------------------
+
+  /// Paper-model balanced d-ary tree of height h (h levels, leaves level 1).
+  /// Node 0 is the root; ids are assigned in BFS order.
+  static SpanningTree balanced_dary(std::size_t d, std::size_t h);
+
+  /// Number of nodes of the paper-model tree: sum_{i=0}^{h-1} d^i.
+  static std::size_t balanced_dary_size(std::size_t d, std::size_t h);
+
+  /// BFS spanning tree of a connected topology rooted at `root`.
+  static SpanningTree bfs_tree(const Topology& topo, ProcessId root);
+
+  /// Build from an explicit parent array (kNoProcess exactly at `root`).
+  static SpanningTree from_parents(const std::vector<ProcessId>& parents,
+                                   ProcessId root);
+
+ private:
+  void check(ProcessId id) const;
+
+  std::vector<ProcessId> parent_;
+  std::vector<std::vector<ProcessId>> children_;
+  ProcessId root_ = kNoProcess;
+};
+
+/// The topology consisting of exactly the tree's edges (used by the figure
+/// benches, where the network *is* the tree).
+Topology tree_topology(const SpanningTree& tree);
+
+}  // namespace hpd::net

@@ -1,0 +1,281 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace hpd::net {
+
+void Topology::check(ProcessId a) const {
+  HPD_REQUIRE(a >= 0 && idx(a) < adj_.size(), "Topology: bad process id");
+}
+
+void Topology::add_edge(ProcessId a, ProcessId b) {
+  check(a);
+  check(b);
+  HPD_REQUIRE(a != b, "Topology: self-loop");
+  if (has_edge(a, b)) {
+    return;
+  }
+  auto insert_sorted = [](std::vector<ProcessId>& v, ProcessId x) {
+    v.insert(std::upper_bound(v.begin(), v.end(), x), x);
+  };
+  insert_sorted(adj_[idx(a)], b);
+  insert_sorted(adj_[idx(b)], a);
+  ++num_edges_;
+}
+
+bool Topology::has_edge(ProcessId a, ProcessId b) const {
+  check(a);
+  check(b);
+  const auto& v = adj_[idx(a)];
+  return std::binary_search(v.begin(), v.end(), b);
+}
+
+const std::vector<ProcessId>& Topology::neighbors(ProcessId a) const {
+  check(a);
+  return adj_[idx(a)];
+}
+
+bool Topology::connected(const std::vector<bool>* alive) const {
+  if (adj_.empty()) {
+    return true;
+  }
+  auto is_alive = [&](std::size_t i) { return alive == nullptr || (*alive)[i]; };
+  std::size_t start = adj_.size();
+  std::size_t live_total = 0;
+  for (std::size_t i = 0; i < adj_.size(); ++i) {
+    if (is_alive(i)) {
+      ++live_total;
+      if (start == adj_.size()) {
+        start = i;
+      }
+    }
+  }
+  if (live_total == 0) {
+    return true;
+  }
+  const auto dist = bfs_distances(static_cast<ProcessId>(start), alive);
+  std::size_t reached = 0;
+  for (std::size_t i = 0; i < dist.size(); ++i) {
+    if (is_alive(i) && dist[i] >= 0) {
+      ++reached;
+    }
+  }
+  return reached == live_total;
+}
+
+std::vector<int> Topology::bfs_distances(ProcessId src,
+                                         const std::vector<bool>* alive) const {
+  check(src);
+  auto is_alive = [&](ProcessId p) {
+    return alive == nullptr || (*alive)[idx(p)];
+  };
+  std::vector<int> dist(adj_.size(), -1);
+  if (!is_alive(src)) {
+    return dist;
+  }
+  std::deque<ProcessId> frontier{src};
+  dist[idx(src)] = 0;
+  while (!frontier.empty()) {
+    const ProcessId u = frontier.front();
+    frontier.pop_front();
+    for (ProcessId v : adj_[idx(u)]) {
+      if (dist[idx(v)] < 0 && is_alive(v)) {
+        dist[idx(v)] = dist[idx(u)] + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+Topology Topology::complete(std::size_t n) {
+  Topology t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      t.add_edge(static_cast<ProcessId>(i), static_cast<ProcessId>(j));
+    }
+  }
+  return t;
+}
+
+Topology Topology::ring(std::size_t n) {
+  HPD_REQUIRE(n >= 3, "Topology::ring: need at least 3 nodes");
+  Topology t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add_edge(static_cast<ProcessId>(i),
+               static_cast<ProcessId>((i + 1) % n));
+  }
+  return t;
+}
+
+Topology Topology::star(std::size_t n) {
+  HPD_REQUIRE(n >= 2, "Topology::star: need at least 2 nodes");
+  Topology t(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    t.add_edge(0, static_cast<ProcessId>(i));
+  }
+  return t;
+}
+
+Topology Topology::grid(std::size_t rows, std::size_t cols) {
+  HPD_REQUIRE(rows >= 1 && cols >= 1, "Topology::grid: empty grid");
+  Topology t(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<ProcessId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        t.add_edge(id(r, c), id(r, c + 1));
+      }
+      if (r + 1 < rows) {
+        t.add_edge(id(r, c), id(r + 1, c));
+      }
+    }
+  }
+  return t;
+}
+
+Topology Topology::random_geometric(std::size_t n, double radius, Rng& rng,
+                                    bool ensure_connected) {
+  HPD_REQUIRE(n >= 1, "Topology::random_geometric: empty graph");
+  HPD_REQUIRE(radius > 0.0, "Topology::random_geometric: bad radius");
+  Topology t(n);
+  t.positions_.resize(n);
+  for (auto& p : t.positions_) {
+    p.first = rng.uniform01();
+    p.second = rng.uniform01();
+  }
+  auto dist2 = [&](std::size_t i, std::size_t j) {
+    const double dx = t.positions_[i].first - t.positions_[j].first;
+    const double dy = t.positions_[i].second - t.positions_[j].second;
+    return dx * dx + dy * dy;
+  };
+  const double r2 = radius * radius;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (dist2(i, j) <= r2) {
+        t.add_edge(static_cast<ProcessId>(i), static_cast<ProcessId>(j));
+      }
+    }
+  }
+  if (ensure_connected) {
+    // Union components by repeatedly bridging the globally nearest pair of
+    // nodes that lie in different components.
+    while (!t.connected()) {
+      const auto dist = t.bfs_distances(0);
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t bi = 0;
+      std::size_t bj = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (dist[i] < 0) {
+          continue;  // i not in component of node 0
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+          if (dist[j] >= 0) {
+            continue;  // j in the same component
+          }
+          const double d2 = dist2(i, j);
+          if (d2 < best) {
+            best = d2;
+            bi = i;
+            bj = j;
+          }
+        }
+      }
+      t.add_edge(static_cast<ProcessId>(bi), static_cast<ProcessId>(bj));
+    }
+  }
+  return t;
+}
+
+Topology Topology::small_world(std::size_t n, std::size_t k, double beta,
+                               Rng& rng) {
+  HPD_REQUIRE(n >= 4 && k >= 2 && k % 2 == 0 && k < n,
+              "Topology::small_world: need n >= 4, even k in [2, n)");
+  HPD_REQUIRE(beta >= 0.0 && beta <= 1.0, "Topology::small_world: bad beta");
+  Topology t(n);
+  // Ring lattice: node i links to the k/2 clockwise neighbours. The
+  // distance-1 edge is never rewired, keeping the backbone ring intact
+  // (hence connectivity).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 1; d <= k / 2; ++d) {
+      std::size_t j = (i + d) % n;
+      if (d > 1 && rng.bernoulli(beta)) {
+        // Rewire to a uniform random non-neighbour.
+        for (int attempts = 0; attempts < 32; ++attempts) {
+          const std::size_t cand = rng.uniform_index(n);
+          if (cand != i &&
+              !t.has_edge(static_cast<ProcessId>(i),
+                          static_cast<ProcessId>(cand))) {
+            j = cand;
+            break;
+          }
+        }
+      }
+      if (!t.has_edge(static_cast<ProcessId>(i), static_cast<ProcessId>(j))) {
+        t.add_edge(static_cast<ProcessId>(i), static_cast<ProcessId>(j));
+      }
+    }
+  }
+  return t;
+}
+
+Topology Topology::scale_free(std::size_t n, std::size_t m, Rng& rng) {
+  HPD_REQUIRE(m >= 1 && n > m + 1, "Topology::scale_free: need n > m + 1");
+  Topology t(n);
+  // Seed clique of m + 1 nodes.
+  for (std::size_t i = 0; i <= m; ++i) {
+    for (std::size_t j = i + 1; j <= m; ++j) {
+      t.add_edge(static_cast<ProcessId>(i), static_cast<ProcessId>(j));
+    }
+  }
+  // Degree-proportional sampling via the repeated-endpoints trick: every
+  // edge contributes both endpoints to the urn.
+  std::vector<ProcessId> urn;
+  for (std::size_t i = 0; i <= m; ++i) {
+    for (std::size_t r = 0; r < m; ++r) {
+      urn.push_back(static_cast<ProcessId>(i));
+    }
+  }
+  for (std::size_t v = m + 1; v < n; ++v) {
+    std::vector<ProcessId> targets;
+    while (targets.size() < m) {
+      const ProcessId pick = urn[rng.uniform_index(urn.size())];
+      if (std::find(targets.begin(), targets.end(), pick) == targets.end()) {
+        targets.push_back(pick);
+      }
+    }
+    for (const ProcessId u : targets) {
+      t.add_edge(static_cast<ProcessId>(v), u);
+      urn.push_back(u);
+      urn.push_back(static_cast<ProcessId>(v));
+    }
+  }
+  return t;
+}
+
+Topology Topology::tree_plus_crosslinks(const Topology& tree_edges,
+                                        std::size_t extra, Rng& rng) {
+  Topology t = tree_edges;
+  const std::size_t n = t.size();
+  HPD_REQUIRE(n >= 3, "tree_plus_crosslinks: too small");
+  std::size_t added = 0;
+  for (int attempts = 0; added < extra && attempts < 1000; ++attempts) {
+    const auto a = static_cast<ProcessId>(rng.uniform_index(n));
+    const auto b = static_cast<ProcessId>(rng.uniform_index(n));
+    if (a != b && !t.has_edge(a, b)) {
+      t.add_edge(a, b);
+      ++added;
+    }
+  }
+  return t;
+}
+
+}  // namespace hpd::net

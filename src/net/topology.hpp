@@ -1,0 +1,87 @@
+// Undirected communication graphs and standard generators.
+//
+// In a wireless network a node can talk only to its radio neighbours
+// (paper, Section II-A); the topology restricts which one-hop links exist
+// and supplies the candidate set for spanning-tree reconnection after a
+// failure.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace hpd::net {
+
+class Topology {
+ public:
+  explicit Topology(std::size_t n) : adj_(n) {}
+
+  std::size_t size() const { return adj_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Insert the undirected edge {a, b}. Self-loops and duplicates rejected.
+  void add_edge(ProcessId a, ProcessId b);
+
+  bool has_edge(ProcessId a, ProcessId b) const;
+
+  /// Sorted neighbour list.
+  const std::vector<ProcessId>& neighbors(ProcessId a) const;
+
+  std::size_t degree(ProcessId a) const { return neighbors(a).size(); }
+
+  /// Connectivity over all nodes, or over the live nodes only when `alive`
+  /// is provided (dead nodes neither relay nor count).
+  bool connected(const std::vector<bool>* alive = nullptr) const;
+
+  /// BFS hop distances from src through live nodes; -1 if unreachable.
+  std::vector<int> bfs_distances(ProcessId src,
+                                 const std::vector<bool>* alive = nullptr) const;
+
+  // ---- Generators -------------------------------------------------------
+
+  static Topology complete(std::size_t n);
+  static Topology ring(std::size_t n);
+  static Topology star(std::size_t n);  ///< node 0 is the hub
+  static Topology grid(std::size_t rows, std::size_t cols);
+
+  /// Random geometric graph on the unit square: nodes within `radius`
+  /// are neighbours. If `ensure_connected`, bridges are added between the
+  /// nearest nodes of disconnected components (a standard WSN idealization).
+  static Topology random_geometric(std::size_t n, double radius, Rng& rng,
+                                   bool ensure_connected = true);
+
+  /// Watts–Strogatz small world: a ring lattice where each node links to
+  /// its k nearest neighbours (k even), with every edge rewired to a random
+  /// endpoint with probability beta. Always connected for k >= 2 (the
+  /// construction keeps one ring edge per node un-rewired).
+  static Topology small_world(std::size_t n, std::size_t k, double beta,
+                              Rng& rng);
+
+  /// Barabási–Albert preferential attachment: starts from a clique of
+  /// m + 1 nodes; each new node attaches to m distinct existing nodes with
+  /// probability proportional to their degree. Connected by construction.
+  static Topology scale_free(std::size_t n, std::size_t m, Rng& rng);
+
+  /// The given tree's edges plus `extra` random non-tree edges — handy for
+  /// failure experiments on paper-model trees (pure trees cannot heal).
+  static Topology tree_plus_crosslinks(const Topology& tree_edges,
+                                       std::size_t extra, Rng& rng);
+
+  /// Positions from the last random_geometric call that built this object
+  /// (for examples that want to print layouts); empty otherwise.
+  const std::vector<std::pair<double, double>>& positions() const {
+    return positions_;
+  }
+
+ private:
+  void check(ProcessId a) const;
+
+  std::vector<std::vector<ProcessId>> adj_;
+  std::vector<std::pair<double, double>> positions_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace hpd::net

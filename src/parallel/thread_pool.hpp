@@ -1,0 +1,79 @@
+// Minimal thread pool for fanning independent simulations across cores.
+//
+// The simulator itself is single-threaded and deterministic; parallelism in
+// this project lives at the sweep level (many (config, seed) runs with zero
+// shared mutable state), which is the message-passing-style decomposition
+// the HPC guides prescribe: no locks on the hot path, results joined at a
+// barrier.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hpd::parallel {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` → hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves with its result (or exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Run fn(i) for i in [0, count) on a pool, blocking until all complete.
+/// Exceptions from tasks are rethrown (the first one encountered).
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Convenience: map fn over [0, count) collecting results in order.
+template <typename R>
+std::vector<R> parallel_map(ThreadPool& pool, std::size_t count,
+                            const std::function<R(std::size_t)>& fn) {
+  std::vector<std::future<R>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(pool.submit([&fn, i] { return fn(i); }));
+  }
+  std::vector<R> out;
+  out.reserve(count);
+  for (auto& f : futures) {
+    out.push_back(f.get());
+  }
+  return out;
+}
+
+}  // namespace hpd::parallel

@@ -1,0 +1,40 @@
+#include "proto/messages.hpp"
+
+namespace hpd::proto {
+
+const char* msg_type_name(int type) {
+  switch (type) {
+    case kApp:
+      return "app";
+    case kReportHier:
+      return "report-hier";
+    case kReportCentral:
+      return "report-central";
+    case kHeartbeat:
+      return "heartbeat";
+    case kProbe:
+      return "probe";
+    case kProbeAck:
+      return "probe-ack";
+    case kAttachReq:
+      return "attach-req";
+    case kAttachAck:
+      return "attach-ack";
+    case kDelegate:
+      return "delegate";
+    case kDelegateFail:
+      return "delegate-fail";
+    case kFlip:
+      return "flip";
+    case kFlipAck:
+      return "flip-ack";
+    case kFlipGo:
+      return "flip-go";
+    case kDisown:
+      return "disown";
+    default:
+      return "unknown";
+  }
+}
+
+}  // namespace hpd::proto

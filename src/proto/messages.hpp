@@ -1,0 +1,137 @@
+// Wire-level protocol shared by the application layer, the detection
+// algorithms, and the failure-handling layer.
+//
+// Payloads are typed structs carried in sim::Message::payload (std::any).
+// `wire_words` on each payload reports its size in vector-clock words so the
+// metrics layer can account message volume in the paper's O(n) units.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "interval/interval.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace hpd::proto {
+
+/// Message type tags (sim::Message::type).
+enum MsgType : int {
+  kApp = 1,            ///< application message (creates happens-before edges)
+  kReportHier = 2,     ///< interval report, child → parent (one hop)
+  kReportCentral = 3,  ///< interval report relayed hop-by-hop toward the sink
+  kHeartbeat = 4,      ///< liveness beacon between tree neighbours
+  kProbe = 5,          ///< orphan asking a topology neighbour for its status
+  kProbeAck = 6,       ///< neighbour's depth + root path
+  kAttachReq = 7,      ///< orphan requesting adoption
+  kAttachAck = 8,      ///< adoption confirmed (or refused)
+  kDelegate = 9,       ///< orphan delegating the parent search down the subtree
+  kDelegateFail = 10,  ///< delegated search exhausted below the sender
+  kFlip = 11,          ///< re-rooting: "your former child is now your parent"
+  kFlipAck = 12,       ///< flip accepted; carries the new child's first seq
+  kFlipGo = 13,        ///< new parent is ready; child may start reporting
+  kDisown = 14,        ///< best-effort: "I have declared you dead and dropped
+                       ///< your queue" — a live receiver treats its parent as
+                       ///< failed and reattaches (false-positive recovery)
+};
+
+const char* msg_type_name(int type);
+
+/// Register all names with a MetricsRegistry-compatible sink.
+template <typename Registry>
+void register_message_names(Registry& reg) {
+  for (int t = kApp; t <= kDisown; ++t) {
+    reg.name_message_type(t, msg_type_name(t));
+  }
+}
+
+// ---- Application layer ----------------------------------------------------
+
+struct AppPayload {
+  int subtype = 0;      ///< behaviour-defined (e.g. pulse UP / DOWN)
+  SeqNum round = 0;     ///< behaviour-defined correlation id
+  VectorClock stamp;    ///< sender's vector time (paper rule 2)
+
+  std::size_t wire_words() const { return stamp.wire_size() + 2; }
+};
+
+// ---- Detection layer -------------------------------------------------------
+
+struct ReportPayload {
+  Interval interval;
+
+  std::size_t wire_words() const { return interval.wire_size(); }
+};
+
+// ---- Failure handling ------------------------------------------------------
+
+struct HeartbeatPayload {
+  /// Whether the sender currently has a path to a root (false while the
+  /// sender — or an ancestor — is orphaned and searching). Propagates down
+  /// the tree so descendants of an orphan refuse adoptions/probes that
+  /// could form cycles.
+  bool attached = false;
+  std::vector<ProcessId> root_path;  ///< sender, ..., root (empty if detached)
+
+  std::size_t wire_words() const { return 1 + root_path.size(); }
+};
+
+struct ProbePayload {
+  std::size_t wire_words() const { return 0; }
+};
+
+struct ProbeAckPayload {
+  bool attached = false;             ///< responder has a live path to a root
+  std::vector<ProcessId> root_path;  ///< responder, ..., root (empty if not)
+
+  std::size_t wire_words() const { return 1 + root_path.size(); }
+};
+
+struct AttachReqPayload {
+  SeqNum next_report_seq = 1;  ///< seq of the first report the new parent sees
+
+  std::size_t wire_words() const { return 1; }
+};
+
+struct AttachAckPayload {
+  bool accepted = false;
+
+  std::size_t wire_words() const { return 1; }
+};
+
+/// Subtree-wide parent search (Section III-F allows the reconnecting link
+/// to start at *any* node of the orphaned subtree, not just its root).
+struct DelegatePayload {
+  ProcessId orphan = kNoProcess;  ///< root of the searching subtree
+
+  std::size_t wire_words() const { return 1; }
+};
+
+struct DelegateFailPayload {
+  ProcessId orphan = kNoProcess;
+
+  std::size_t wire_words() const { return 1; }
+};
+
+/// Edge-flip chain that re-roots an orphaned subtree at the node which
+/// found an outside parent. Sent from the new parent to its former parent.
+struct FlipPayload {
+  ProcessId orphan = kNoProcess;
+
+  std::size_t wire_words() const { return 1; }
+};
+
+struct FlipAckPayload {
+  SeqNum first_seq = 1;  ///< first report sequence the new parent will see
+
+  std::size_t wire_words() const { return 1; }
+};
+
+struct FlipGoPayload {
+  std::size_t wire_words() const { return 0; }
+};
+
+struct DisownPayload {
+  std::size_t wire_words() const { return 0; }
+};
+
+}  // namespace hpd::proto

@@ -1,0 +1,108 @@
+#include "runner/monitor.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace hpd {
+
+Monitor::Monitor(MonitorConfig config) : config_(std::move(config)) {
+  HPD_REQUIRE(config_.topology.size() >= 1, "Monitor: empty topology");
+  HPD_REQUIRE(config_.topology.connected(),
+              "Monitor: topology must be connected");
+}
+
+void Monitor::set_predicate(ProcessId node, SimTime time, bool value) {
+  scripts_[node].push_back(trace::at_predicate(time, value));
+}
+
+void Monitor::add_internal_event(ProcessId node, SimTime time) {
+  scripts_[node].push_back(trace::at_internal(time));
+}
+
+void Monitor::send_message(ProcessId from, ProcessId to, SimTime time) {
+  HPD_REQUIRE(config_.topology.has_edge(from, to),
+              "Monitor::send_message: not a topology edge");
+  scripts_[from].push_back(trace::at_send(time, to));
+}
+
+void Monitor::inject_failure(ProcessId node, SimTime time) {
+  failures_.push_back(runner::FailureEvent{time, node});
+}
+
+void Monitor::inject_recovery(ProcessId node, SimTime time) {
+  recoveries_.push_back(runner::FailureEvent{time, node});
+}
+
+void Monitor::set_behavior_factory(
+    std::function<std::unique_ptr<trace::AppBehavior>(ProcessId)> factory) {
+  factory_ = std::move(factory);
+}
+
+void Monitor::on_occurrence(detect::OccurrenceCallback cb) {
+  occurrence_cbs_.push_back(std::move(cb));
+}
+
+void Monitor::on_global_occurrence(detect::OccurrenceCallback cb) {
+  global_cbs_.push_back(std::move(cb));
+}
+
+void Monitor::on_group_occurrence(ProcessId group_head,
+                                  detect::OccurrenceCallback cb) {
+  group_cbs_[group_head].push_back(std::move(cb));
+}
+
+runner::ExperimentResult Monitor::run() {
+  runner::ExperimentConfig cfg;
+  cfg.topology = config_.topology;
+  cfg.tree = config_.tree.has_value()
+                 ? *config_.tree
+                 : net::SpanningTree::bfs_tree(config_.topology, 0);
+  cfg.detector = config_.detector;
+  cfg.record_execution = config_.record_execution;
+  cfg.track_provenance = config_.track_provenance;
+  cfg.heartbeats = config_.fault_tolerant;
+  cfg.hb_config = config_.heartbeat;
+  cfg.reattach_config = config_.reattach;
+  cfg.failures = failures_;
+  cfg.recoveries = recoveries_;
+  cfg.delay = config_.delay;
+  cfg.horizon = config_.horizon;
+  cfg.drain = config_.drain;
+  cfg.seed = config_.seed;
+  if (factory_) {
+    cfg.behavior_factory = factory_;
+  } else {
+    cfg.behavior_factory =
+        [this](ProcessId id) -> std::unique_ptr<trace::AppBehavior> {
+      auto it = scripts_.find(id);
+      std::vector<trace::ScriptAction> actions;
+      if (it != scripts_.end()) {
+        actions = it->second;
+      }
+      return std::make_unique<trace::ScriptedBehavior>(std::move(actions));
+    };
+  }
+
+  runner::ExperimentResult result = runner::run_experiment(cfg);
+
+  for (const auto& rec : result.occurrences) {
+    for (const auto& cb : occurrence_cbs_) {
+      cb(rec);
+    }
+    if (rec.global) {
+      for (const auto& cb : global_cbs_) {
+        cb(rec);
+      }
+    }
+    auto it = group_cbs_.find(rec.detector);
+    if (it != group_cbs_.end()) {
+      for (const auto& cb : it->second) {
+        cb(rec);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hpd

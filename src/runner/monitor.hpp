@@ -1,0 +1,109 @@
+// hpd::Monitor — the user-facing facade.
+//
+// A Monitor owns a simulated deployment of the paper's system: you describe
+// the network, (optionally) the spanning tree, what each node's local
+// predicate does over time — either by scripting state changes / messages
+// explicitly, or by installing a workload behaviour factory — and then run.
+// Detections surface through callbacks: every subtree-level detection, or
+// only the global (root) ones.
+//
+// Quick start (see examples/quickstart.cpp):
+//
+//   hpd::MonitorConfig cfg;
+//   cfg.topology = hpd::net::Topology::grid(3, 3);
+//   hpd::Monitor mon(cfg);
+//   mon.set_predicate(4, 10.0, true);   // node 4's predicate rises at t=10
+//   mon.send_message(4, 1, 11.0);       // causal crossings
+//   ...
+//   mon.on_global_occurrence([](const auto& rec) { ... alarm ... });
+//   mon.run();
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "runner/experiment.hpp"
+#include "trace/scripted.hpp"
+
+namespace hpd {
+
+struct MonitorConfig {
+  net::Topology topology{0};
+  /// Spanning tree; defaults to a BFS tree rooted at node 0.
+  std::optional<net::SpanningTree> tree;
+  runner::DetectorKind detector = runner::DetectorKind::kHierarchical;
+  /// Enable heartbeats + reattachment (needed to survive inject_failure).
+  bool fault_tolerant = false;
+  ft::HeartbeatConfig heartbeat{};
+  ft::ReattachConfig reattach{};
+  sim::DelayModel delay = sim::DelayModel::uniform(0.5, 1.5);
+  SimTime horizon = 1000.0;
+  SimTime drain = 100.0;
+  std::uint64_t seed = 1;
+  bool record_execution = false;
+  bool track_provenance = false;
+};
+
+class Monitor {
+ public:
+  explicit Monitor(MonitorConfig config);
+
+  // ---- Scripted workload ---------------------------------------------------
+
+  /// Schedule node's local predicate to become `value` at `time`.
+  void set_predicate(ProcessId node, SimTime time, bool value);
+
+  /// Schedule an internal event (predicate unchanged).
+  void add_internal_event(ProcessId node, SimTime time);
+
+  /// Schedule an application message from → to (must be a topology edge);
+  /// this is what creates happens-before crossings between processes.
+  void send_message(ProcessId from, ProcessId to, SimTime time);
+
+  /// Crash-stop `node` at `time` (enable fault_tolerant to survive it).
+  void inject_failure(ProcessId node, SimTime time);
+
+  /// Bring a crashed node back at `time`: it rejoins as a fresh leaf and
+  /// the monitored conjunction re-covers it (crash-recovery extension).
+  void inject_recovery(ProcessId node, SimTime time);
+
+  /// Replace the scripted workload with a generated one (e.g. PulseBehavior
+  /// / GossipBehavior factories). Clears nothing: scripted actions are
+  /// ignored when a factory is installed.
+  void set_behavior_factory(
+      std::function<std::unique_ptr<trace::AppBehavior>(ProcessId)> factory);
+
+  // ---- Detection callbacks --------------------------------------------------
+
+  /// Every detection at every node (subtree-level monitoring).
+  void on_occurrence(detect::OccurrenceCallback cb);
+
+  /// Only detections at the root / sink (the full conjunction).
+  void on_global_occurrence(detect::OccurrenceCallback cb);
+
+  /// Group-level monitoring (the paper's "finer-grained monitoring" for
+  /// large-scale networks): only detections made *at* `group_head`, i.e.
+  /// satisfactions of the partial conjunction over the subtree rooted
+  /// there in the initial spanning tree.
+  void on_group_occurrence(ProcessId group_head, detect::OccurrenceCallback cb);
+
+  // ---- Run -------------------------------------------------------------------
+
+  /// Execute the deployment. Callbacks fire in detection order after the
+  /// simulation completes; the full result (metrics, occurrence list,
+  /// recorded execution) is returned for further inspection.
+  runner::ExperimentResult run();
+
+ private:
+  MonitorConfig config_;
+  std::map<ProcessId, std::vector<trace::ScriptAction>> scripts_;
+  std::vector<runner::FailureEvent> failures_;
+  std::vector<runner::FailureEvent> recoveries_;
+  std::function<std::unique_ptr<trace::AppBehavior>(ProcessId)> factory_;
+  std::vector<detect::OccurrenceCallback> occurrence_cbs_;
+  std::vector<detect::OccurrenceCallback> global_cbs_;
+  std::map<ProcessId, std::vector<detect::OccurrenceCallback>> group_cbs_;
+};
+
+}  // namespace hpd

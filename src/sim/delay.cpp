@@ -1,0 +1,32 @@
+#include "sim/delay.hpp"
+
+namespace hpd::sim {
+
+DelayModel DelayModel::fixed(SimTime value) {
+  HPD_REQUIRE(value >= 0.0, "DelayModel::fixed: negative delay");
+  return DelayModel(Kind::kFixed, value, 0.0);
+}
+
+DelayModel DelayModel::uniform(SimTime lo, SimTime hi) {
+  HPD_REQUIRE(0.0 <= lo && lo <= hi, "DelayModel::uniform: bad range");
+  return DelayModel(Kind::kUniform, lo, hi);
+}
+
+DelayModel DelayModel::exponential(SimTime mean, SimTime min) {
+  HPD_REQUIRE(mean > 0.0 && min >= 0.0, "DelayModel::exponential: bad params");
+  return DelayModel(Kind::kExponential, mean, min);
+}
+
+SimTime DelayModel::sample(Rng& rng) const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return a_;
+    case Kind::kUniform:
+      return rng.uniform_real(a_, b_);
+    case Kind::kExponential:
+      return b_ + rng.exponential(a_);
+  }
+  return a_;
+}
+
+}  // namespace hpd::sim

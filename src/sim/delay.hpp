@@ -1,0 +1,37 @@
+// Channel delay models. Per-message independent sampling makes channels
+// non-FIFO (the paper's system model), since a later message can draw a
+// smaller delay and overtake an earlier one.
+#pragma once
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace hpd::sim {
+
+class DelayModel {
+ public:
+  /// Every message takes exactly `value` time units (FIFO by construction).
+  static DelayModel fixed(SimTime value);
+
+  /// Uniform in [lo, hi); non-FIFO when lo < hi.
+  static DelayModel uniform(SimTime lo, SimTime hi);
+
+  /// min + Exponential(mean); heavy reordering tail.
+  static DelayModel exponential(SimTime mean, SimTime min = 0.0);
+
+  SimTime sample(Rng& rng) const;
+
+  /// True if two messages on the same channel can be reordered.
+  bool can_reorder() const { return kind_ != Kind::kFixed; }
+
+ private:
+  enum class Kind { kFixed, kUniform, kExponential };
+  DelayModel(Kind kind, SimTime a, SimTime b) : kind_(kind), a_(a), b_(b) {}
+
+  Kind kind_;
+  SimTime a_;
+  SimTime b_;
+};
+
+}  // namespace hpd::sim

@@ -1,0 +1,149 @@
+#include "sim/network.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace hpd::sim {
+
+Network::Network(std::size_t n, Scheduler& sched, Rng& rng, DelayModel delay,
+                 MetricsRegistry& metrics,
+                 std::function<bool(ProcessId, ProcessId)> link_ok)
+    : sched_(sched),
+      rng_(rng),
+      metrics_(metrics),
+      delay_(delay),
+      link_ok_(std::move(link_ok)),
+      nodes_(n, nullptr),
+      alive_(n, true) {
+  if (metrics_.num_nodes() < n) {
+    metrics_.resize(n);
+  }
+}
+
+void Network::register_node(ProcessId id, Node& node) {
+  HPD_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+              "Network::register_node: bad id");
+  HPD_REQUIRE(nodes_[static_cast<std::size_t>(id)] == nullptr,
+              "Network::register_node: id already registered");
+  nodes_[static_cast<std::size_t>(id)] = &node;
+}
+
+void Network::start() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] != nullptr && alive_[i]) {
+      nodes_[i]->on_start();
+    }
+  }
+}
+
+void Network::crash(ProcessId id) {
+  HPD_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+              "Network::crash: bad id");
+  auto idx = static_cast<std::size_t>(id);
+  if (!alive_[idx]) {
+    return;  // already dead
+  }
+  alive_[idx] = false;
+  HPD_DEBUG("node " << id << " crashed at t=" << now());
+  if (nodes_[idx] != nullptr) {
+    nodes_[idx]->on_crash();
+  }
+}
+
+void Network::revive(ProcessId id) {
+  HPD_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+              "Network::revive: bad id");
+  HPD_REQUIRE(!alive_[static_cast<std::size_t>(id)],
+              "Network::revive: node is not dead");
+  alive_[static_cast<std::size_t>(id)] = true;
+  HPD_DEBUG("node " << id << " revived at t=" << now());
+}
+
+bool Network::alive(ProcessId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= alive_.size()) {
+    return false;
+  }
+  return alive_[static_cast<std::size_t>(id)];
+}
+
+std::size_t Network::alive_count() const {
+  std::size_t count = 0;
+  for (bool a : alive_) {
+    count += a ? 1 : 0;
+  }
+  return count;
+}
+
+void Network::send(Message msg) {
+  HPD_REQUIRE(msg.src >= 0 && static_cast<std::size_t>(msg.src) < nodes_.size(),
+              "Network::send: bad src");
+  HPD_REQUIRE(msg.dst >= 0 && static_cast<std::size_t>(msg.dst) < nodes_.size(),
+              "Network::send: bad dst");
+  if (!alive(msg.src)) {
+    ++dropped_;
+    return;
+  }
+  if (link_ok_ && !link_ok_(msg.src, msg.dst)) {
+    ++dropped_;
+    HPD_WARN("send over non-existent link " << msg.src << "->" << msg.dst);
+    return;
+  }
+  msg.id = next_msg_id_++;
+  msg.sent_at = sched_.now();
+  metrics_.on_send(msg.src, msg.type, msg.wire_words, msg.wire_bytes);
+  const SimTime delay = delay_.sample(rng_);
+  sched_.schedule_after(delay,
+                        [this, m = std::move(msg)]() mutable { deliver(m); });
+}
+
+void Network::deliver(const Message& msg) {
+  if (!alive(msg.dst)) {
+    ++dropped_;
+    return;
+  }
+  Node* node = nodes_[static_cast<std::size_t>(msg.dst)];
+  if (node == nullptr) {
+    ++dropped_;
+    return;
+  }
+  ++delivered_;
+  node->on_message(msg);
+}
+
+TimerId Network::set_timer(ProcessId id, int tag, SimTime delay, bool periodic,
+                           SimTime period) {
+  HPD_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+              "Network::set_timer: bad id");
+  HPD_REQUIRE(!periodic || period > 0.0,
+              "Network::set_timer: periodic timer needs positive period");
+  const TimerId tid = next_timer_++;
+  timers_[tid] = TimerRec{id, tag, period, periodic};
+  sched_.schedule_after(delay, [this, tid] { fire_timer(tid); });
+  return tid;
+}
+
+void Network::cancel_timer(TimerId id) { timers_.erase(id); }
+
+void Network::fire_timer(TimerId id) {
+  auto it = timers_.find(id);
+  if (it == timers_.end()) {
+    return;  // cancelled
+  }
+  const TimerRec rec = it->second;
+  if (!alive(rec.node)) {
+    timers_.erase(it);
+    return;
+  }
+  if (rec.periodic) {
+    sched_.schedule_after(rec.period, [this, id] { fire_timer(id); });
+  } else {
+    timers_.erase(it);
+  }
+  Node* node = nodes_[static_cast<std::size_t>(rec.node)];
+  if (node != nullptr) {
+    node->on_timer(rec.tag);
+  }
+}
+
+}  // namespace hpd::sim

@@ -1,0 +1,27 @@
+// Interface every simulated node implements.
+#pragma once
+
+#include "sim/message.hpp"
+
+namespace hpd::sim {
+
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Invoked once when the simulation starts (Network::start()).
+  virtual void on_start() {}
+
+  /// A message addressed to this node has been delivered.
+  virtual void on_message(const Message& msg) = 0;
+
+  /// A timer set via Network::set_timer fired. `tag` is caller-defined.
+  virtual void on_timer(int tag) { (void)tag; }
+
+  /// This node has crashed (crash-stop). Called exactly once, at crash time,
+  /// so implementations can drop resources; after this, the network never
+  /// invokes the node again.
+  virtual void on_crash() {}
+};
+
+}  // namespace hpd::sim

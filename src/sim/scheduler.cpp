@@ -1,0 +1,72 @@
+#include "sim/scheduler.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace hpd::sim {
+
+EventId Scheduler::schedule_at(SimTime t, Callback cb) {
+  HPD_REQUIRE(std::isfinite(t), "Scheduler: event time must be finite");
+  HPD_REQUIRE(t >= now_, "Scheduler: cannot schedule in the past");
+  HPD_REQUIRE(cb != nullptr, "Scheduler: null callback");
+  const EventId id = next_id_++;
+  queue_.push(Item{t, id, std::move(cb)});
+  ++live_count_;
+  return id;
+}
+
+bool Scheduler::pop_next(Item& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the callback must be moved out, so we
+    // const_cast the item we are about to pop. This is the standard idiom
+    // for move-only payloads in a priority_queue.
+    Item& top = const_cast<Item&>(queue_.top());
+    Item item{top.t, top.id, std::move(top.cb)};
+    queue_.pop();
+    auto it = cancelled_.find(item.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --live_count_;
+      continue;
+    }
+    out = std::move(item);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Scheduler::run(std::uint64_t max_events) {
+  std::uint64_t executed = 0;
+  Item item;
+  while (executed < max_events && pop_next(item)) {
+    --live_count_;
+    now_ = item.t;
+    ++executed_;
+    ++executed;
+    item.cb();
+  }
+  return executed;
+}
+
+std::uint64_t Scheduler::run_until(SimTime t_end) {
+  std::uint64_t executed = 0;
+  Item item;
+  while (pop_next(item)) {
+    if (item.t > t_end) {
+      // Put it back; it fires in a later epoch.
+      queue_.push(std::move(item));
+      break;
+    }
+    --live_count_;
+    now_ = item.t;
+    ++executed_;
+    ++executed;
+    item.cb();
+  }
+  if (now_ < t_end) {
+    now_ = t_end;
+  }
+  return executed;
+}
+
+}  // namespace hpd::sim

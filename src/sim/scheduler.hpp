@@ -1,0 +1,82 @@
+// Deterministic discrete-event scheduler.
+//
+// Events fire in (time, insertion-sequence) order, so simultaneous events
+// execute in a deterministic order and a (config, seed) pair reproduces a
+// bit-identical run. Cancellation is lazy (tombstones), which keeps both
+// schedule and cancel O(log k).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace hpd::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule a callback at absolute time t (>= now).
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedule a callback `delay` time units from now (delay >= 0).
+  EventId schedule_after(SimTime delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancel a pending event; harmless if it already fired or never existed.
+  void cancel(EventId id) { cancelled_.insert(id); }
+
+  /// Run events until the queue drains or `max_events` have executed.
+  /// Returns the number of callbacks executed.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Run events with fire time <= t_end; afterwards now() == max(now, t_end).
+  /// Returns the number of callbacks executed.
+  std::uint64_t run_until(SimTime t_end);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t pending() const { return live_count_; }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Item {
+    SimTime t;
+    EventId id;  // doubles as insertion sequence (monotone)
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.t != b.t) {
+        return a.t > b.t;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  /// Pop the next non-cancelled item, or return false if none.
+  bool pop_next(Item& out);
+
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace hpd::sim

@@ -1,0 +1,110 @@
+#include "trace/app_core.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace hpd::trace {
+
+AppCore::AppCore(ProcessId self, std::size_t n,
+                 std::function<void(const Interval&)> on_interval)
+    : self_(self), clock_(n), on_interval_(std::move(on_interval)) {
+  HPD_REQUIRE(self >= 0 && idx(self) < n, "AppCore: bad self id");
+}
+
+void AppCore::enable_recording(std::function<SimTime()> now) {
+  recording_ = true;
+  now_ = std::move(now);
+}
+
+void AppCore::internal_event() {
+  const bool before = predicate_;
+  clock_.tick(self_);
+  after_event(EventKind::kInternal, kNoProcess, before);
+}
+
+void AppCore::set_predicate(bool value) {
+  const bool before = predicate_;
+  clock_.tick(self_);
+  predicate_ = value;
+  after_event(EventKind::kInternal, kNoProcess, before);
+}
+
+VectorClock AppCore::prepare_send(ProcessId dst) {
+  const bool before = predicate_;
+  clock_.tick(self_);
+  after_event(EventKind::kSend, dst, before);
+  return clock_;
+}
+
+void AppCore::receive(ProcessId src, const VectorClock& stamp) {
+  const bool before = predicate_;
+  clock_.merge(stamp);
+  clock_.tick(self_);
+  after_event(EventKind::kReceive, src, before);
+}
+
+void AppCore::abandon_open_interval() {
+  in_interval_ = false;
+  predicate_ = false;
+}
+
+void AppCore::finalize() {
+  if (in_interval_) {
+    // Lower the predicate through a real event so the recorded execution is
+    // consistent with the emitted interval: detectors only ever see
+    // *completed* intervals, and the ground-truth lattice walk must agree
+    // (an interval left open to the final cut would make the final global
+    // state satisfy Φ on paths no online detector can observe).
+    set_predicate(false);
+  }
+}
+
+void AppCore::after_event(EventKind kind, ProcessId peer,
+                          bool predicate_before) {
+  if (recording_) {
+    EventRecord rec;
+    rec.kind = kind;
+    rec.time = now_ ? now_() : 0.0;
+    rec.vc = clock_;
+    rec.predicate_after = predicate_;
+    rec.peer = peer;
+    trace_.events.push_back(std::move(rec));
+  }
+  if (!predicate_before && predicate_) {
+    // The event that made the predicate true opens the interval.
+    in_interval_ = true;
+    interval_lo_ = clock_;
+    interval_hi_ = clock_;
+  } else if (predicate_before && predicate_) {
+    if (in_interval_) {
+      interval_hi_ = clock_;  // still true: extend max(x)
+    }
+  } else if (predicate_before && !predicate_) {
+    // The falsifying event is not part of the interval.
+    if (in_interval_) {
+      emit_interval();
+      in_interval_ = false;
+    }
+  }
+}
+
+void AppCore::emit_interval() {
+  Interval x;
+  x.lo = interval_lo_;
+  x.hi = interval_hi_;
+  x.origin = self_;
+  x.seq = next_seq_++;
+  x.completed_at = now_ ? now_() : 0.0;
+  if (track_provenance_) {
+    attach_base_provenance(x);
+  }
+  if (recording_) {
+    trace_.intervals.push_back(x);
+  }
+  if (on_interval_) {
+    on_interval_(x);
+  }
+}
+
+}  // namespace hpd::trace

@@ -1,0 +1,94 @@
+// The application-layer core of one simulated process: maintains the vector
+// clock by the paper's rules, tracks the local predicate, detects interval
+// boundaries, and (optionally) records the execution for offline analysis.
+//
+// Interval semantics: the local predicate changes value *through events*
+// (a state change is itself an internal event). An interval starts at the
+// event that makes the predicate true — min(x) is that event's timestamp —
+// and every subsequent event executed while the predicate is still true
+// advances max(x). The event that makes the predicate false is not part of
+// the interval.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "interval/interval.hpp"
+#include "trace/execution.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace hpd::trace {
+
+class AppCore {
+ public:
+  /// `on_interval` is invoked with each completed truth interval (base
+  /// intervals: origin == self, seq = 1, 2, ...).
+  AppCore(ProcessId self, std::size_t n,
+          std::function<void(const Interval&)> on_interval);
+
+  ProcessId self() const { return self_; }
+  const VectorClock& clock() const { return clock_; }
+  bool predicate() const { return predicate_; }
+  SeqNum intervals_completed() const { return next_seq_ - 1; }
+
+  /// Enable provenance tagging of emitted intervals (test instrumentation).
+  void set_track_provenance(bool on) { track_provenance_ = on; }
+
+  /// Install a time source (interval completion stamps, event times).
+  void set_time_source(std::function<SimTime()> now) { now_ = std::move(now); }
+
+  /// Enable execution recording; `now` supplies event timestamps.
+  void enable_recording(std::function<SimTime()> now);
+  const ProcessTrace& recorded() const { return trace_; }
+
+  // ---- Events -------------------------------------------------------------
+
+  /// Internal event that does not change the predicate.
+  void internal_event();
+
+  /// Internal event that sets the predicate to `value`. Setting an already
+  /// equal value is still an event (the process "re-evaluates" its state).
+  void set_predicate(bool value);
+
+  /// Send event: ticks the clock and returns the timestamp to piggyback.
+  VectorClock prepare_send(ProcessId dst);
+
+  /// Receive event: merge the piggybacked timestamp, then tick (paper rule 3).
+  void receive(ProcessId src, const VectorClock& stamp);
+
+  /// Close a still-open interval at the end of the run, so detectors see it.
+  /// (Equivalent to the environment falsifying the predicate at shutdown.)
+  void finalize();
+
+  /// Crash-recovery support: drop a truth period that was open when the
+  /// process died — it never completed and must not be reported. The
+  /// predicate restarts false; the vector clock is retained (stable
+  /// storage), keeping post-recovery events causally after pre-crash ones.
+  void abandon_open_interval();
+
+ private:
+  /// Common post-event bookkeeping: record, extend / close intervals.
+  void after_event(EventKind kind, ProcessId peer, bool predicate_before);
+
+  void emit_interval();
+
+  ProcessId self_;
+  VectorClock clock_;
+  bool predicate_ = false;
+  bool track_provenance_ = false;
+
+  // Open-interval state.
+  bool in_interval_ = false;
+  VectorClock interval_lo_;
+  VectorClock interval_hi_;
+  SeqNum next_seq_ = 1;
+
+  std::function<void(const Interval&)> on_interval_;
+
+  // Optional recording.
+  bool recording_ = false;
+  std::function<SimTime()> now_;
+  ProcessTrace trace_;
+};
+
+}  // namespace hpd::trace

@@ -1,0 +1,61 @@
+// Application workload behaviours: what the monitored distributed program
+// itself does (its events, messages, and local-predicate changes).
+//
+// Behaviours are reactive state machines driven by the runner: timers and
+// application messages arrive through the hooks below. The runner performs
+// the vector-clock plumbing (AppCore::receive has already run when
+// on_app_message is invoked; send_app stamps outgoing messages).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/topology.hpp"
+#include "trace/app_core.hpp"
+
+namespace hpd::trace {
+
+struct AppContext {
+  ProcessId self = kNoProcess;
+  AppCore* core = nullptr;
+  Rng* rng = nullptr;
+  const net::Topology* topo = nullptr;  ///< may be null (complete network)
+
+  /// Current spanning-tree neighbourhood (changes under failures/repair).
+  std::function<ProcessId()> parent;
+  std::function<std::vector<ProcessId>()> children;
+
+  /// Send an application message (the runner ticks the clock, stamps the
+  /// current vector time, and counts the message as app traffic).
+  std::function<void(ProcessId dst, int subtype, SeqNum round)> send_app;
+
+  /// One-shot behaviour timer; fires on_timer(tag) after `delay`.
+  std::function<void(int tag, SimTime delay)> set_timer;
+
+  std::function<SimTime()> now;
+};
+
+class AppBehavior {
+ public:
+  virtual ~AppBehavior() = default;
+
+  virtual void on_start(AppContext& ctx) { (void)ctx; }
+  virtual void on_app_message(AppContext& ctx, ProcessId from, int subtype,
+                              SeqNum round) {
+    (void)ctx;
+    (void)from;
+    (void)subtype;
+    (void)round;
+  }
+  virtual void on_timer(AppContext& ctx, int tag) {
+    (void)ctx;
+    (void)tag;
+  }
+  /// The node's tree neighbourhood changed (failure repair). Behaviours
+  /// waiting on children (e.g. the pulse convergecast) should re-evaluate.
+  virtual void on_tree_changed(AppContext& ctx) { (void)ctx; }
+};
+
+}  // namespace hpd::trace

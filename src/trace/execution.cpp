@@ -1,0 +1,43 @@
+#include "trace/execution.hpp"
+
+#include <algorithm>
+
+namespace hpd::trace {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kInternal:
+      return "internal";
+    case EventKind::kSend:
+      return "send";
+    case EventKind::kReceive:
+      return "receive";
+  }
+  return "?";
+}
+
+std::size_t ExecutionRecord::total_events() const {
+  std::size_t total = 0;
+  for (const auto& p : procs) {
+    total += p.events.size();
+  }
+  return total;
+}
+
+std::size_t ExecutionRecord::total_intervals() const {
+  std::size_t total = 0;
+  for (const auto& p : procs) {
+    total += p.intervals.size();
+  }
+  return total;
+}
+
+std::size_t ExecutionRecord::max_intervals_per_process() const {
+  std::size_t best = 0;
+  for (const auto& p : procs) {
+    best = std::max(best, p.intervals.size());
+  }
+  return best;
+}
+
+}  // namespace hpd::trace

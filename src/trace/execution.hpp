@@ -1,0 +1,47 @@
+// Recorded distributed executions (E, ≺): per-process event sequences with
+// vector timestamps and predicate truth, plus the completed local intervals.
+// Consumed by the offline ground-truth checkers and by tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "interval/interval.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace hpd::trace {
+
+enum class EventKind {
+  kInternal,
+  kSend,
+  kReceive,
+};
+
+const char* to_string(EventKind k);
+
+struct EventRecord {
+  EventKind kind = EventKind::kInternal;
+  SimTime time = 0.0;
+  VectorClock vc;               ///< timestamp after executing the event
+  bool predicate_after = false; ///< local predicate value after the event
+  ProcessId peer = kNoProcess;  ///< counterpart for send / receive
+};
+
+struct ProcessTrace {
+  bool initial_predicate = false;
+  std::vector<EventRecord> events;
+  std::vector<Interval> intervals;  ///< completed truth intervals, in order
+};
+
+struct ExecutionRecord {
+  std::vector<ProcessTrace> procs;
+
+  std::size_t num_processes() const { return procs.size(); }
+  std::size_t total_events() const;
+  std::size_t total_intervals() const;
+  /// The paper's p: max intervals at any one process.
+  std::size_t max_intervals_per_process() const;
+};
+
+}  // namespace hpd::trace

@@ -1,0 +1,62 @@
+#include "trace/gossip.hpp"
+
+namespace hpd::trace {
+
+namespace {
+constexpr int kActTag = 0;
+}
+
+void GossipBehavior::on_start(AppContext& ctx) {
+  ctx.set_timer(kActTag, (config_.start - ctx.now()) +
+                             ctx.rng->exponential(config_.mean_gap));
+}
+
+void GossipBehavior::on_timer(AppContext& ctx, int tag) {
+  if (tag != kActTag) {
+    return;
+  }
+  const double roll = ctx.rng->uniform01();
+  if (roll < config_.p_send) {
+    // Send to a random neighbour (topology-constrained if one exists).
+    ProcessId dst = kNoProcess;
+    if (ctx.topo != nullptr) {
+      const auto& nbrs = ctx.topo->neighbors(ctx.self);
+      if (!nbrs.empty()) {
+        dst = nbrs[ctx.rng->uniform_index(nbrs.size())];
+      }
+    } else {
+      const auto n = static_cast<ProcessId>(ctx.core->clock().size());
+      if (n > 1) {
+        do {
+          dst = static_cast<ProcessId>(ctx.rng->uniform_index(idx(n)));
+        } while (dst == ctx.self);
+      }
+    }
+    if (dst != kNoProcess) {
+      ctx.send_app(dst, 0, 0);
+    } else {
+      ctx.core->internal_event();
+    }
+  } else if (roll < config_.p_send + config_.p_toggle) {
+    const bool currently = ctx.core->predicate();
+    if (currently) {
+      ctx.core->set_predicate(false);
+    } else if (ctx.core->intervals_completed() < config_.max_intervals) {
+      ctx.core->set_predicate(true);
+    } else {
+      ctx.core->internal_event();  // interval budget (p) exhausted
+    }
+  } else {
+    ctx.core->internal_event();
+  }
+  schedule_next(ctx);
+}
+
+void GossipBehavior::schedule_next(AppContext& ctx) {
+  const SimTime gap = ctx.rng->exponential(config_.mean_gap);
+  if (ctx.now() + gap <= config_.horizon) {
+    ctx.set_timer(kActTag, gap);
+  }
+}
+
+}  // namespace hpd::trace

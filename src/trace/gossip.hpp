@@ -1,0 +1,35 @@
+// The "random gossip" workload: an unstructured execution with random
+// internal events, random neighbour-to-neighbour messages, and random
+// local-predicate toggles. Produces irregular interval patterns — mostly
+// eliminations with occasional solutions — which is what the property tests
+// want for exercising the queue machinery from every angle.
+#pragma once
+
+#include "trace/behavior.hpp"
+
+namespace hpd::trace {
+
+struct GossipConfig {
+  SimTime start = 0.0;
+  SimTime horizon = 1000.0;     ///< stop scheduling actions after this time
+  SimTime mean_gap = 5.0;       ///< exponential gap between actions
+  double p_send = 0.4;          ///< action mix: send to a random neighbour
+  double p_toggle = 0.3;        ///< action mix: toggle the local predicate
+                                ///< (remaining mass: internal event)
+  std::size_t max_intervals = 20;  ///< the paper's p, per process
+};
+
+class GossipBehavior final : public AppBehavior {
+ public:
+  explicit GossipBehavior(const GossipConfig& config) : config_(config) {}
+
+  void on_start(AppContext& ctx) override;
+  void on_timer(AppContext& ctx, int tag) override;
+
+ private:
+  void schedule_next(AppContext& ctx);
+
+  GossipConfig config_;
+};
+
+}  // namespace hpd::trace

@@ -1,0 +1,28 @@
+#include "trace/local_state.hpp"
+
+namespace hpd::trace {
+
+void LocalState::set_predicate_fn(PredicateFn fn) {
+  fn_ = std::move(fn);
+  reevaluate();
+}
+
+void LocalState::set(const std::string& name, double value) {
+  vars_[name] = value;
+  reevaluate();
+}
+
+double LocalState::get(const std::string& name) const {
+  auto it = vars_.find(name);
+  return it == vars_.end() ? 0.0 : it->second;
+}
+
+void LocalState::reevaluate() {
+  const bool now_true = fn_ ? fn_(*this) : false;
+  // The state change is an event either way: set_predicate records the
+  // (possibly unchanged) truth value and ticks the clock, matching the
+  // convention that a process re-evaluating its state is an internal event.
+  core_->set_predicate(now_true);
+}
+
+}  // namespace hpd::trace

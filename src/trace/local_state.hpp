@@ -1,0 +1,47 @@
+// Local variables + a predicate function over them — the user-facing way
+// to define the φ_i of a conjunctive predicate (the paper's running
+// example is "x_i > 20 ∧ y_j < 45": each conjunct is a function of one
+// process's local variables).
+//
+// Every variable update is a local event (it advances the vector clock);
+// after each update the predicate function is re-evaluated and the
+// underlying AppCore's truth state — and hence interval tracking — follows
+// automatically.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "trace/app_core.hpp"
+
+namespace hpd::trace {
+
+class LocalState {
+ public:
+  using PredicateFn = std::function<bool(const LocalState&)>;
+
+  explicit LocalState(AppCore& core) : core_(&core) {}
+
+  /// Install the local predicate. Evaluated after every update; installing
+  /// it counts as an update (the initial truth value takes effect now).
+  void set_predicate_fn(PredicateFn fn);
+
+  /// Update a variable (creates a local event and re-evaluates φ).
+  void set(const std::string& name, double value);
+
+  /// Read a variable (0.0 if never set).
+  double get(const std::string& name) const;
+
+  bool has(const std::string& name) const { return vars_.count(name) != 0; }
+  std::size_t size() const { return vars_.size(); }
+
+ private:
+  void reevaluate();
+
+  AppCore* core_;
+  std::map<std::string, double> vars_;
+  PredicateFn fn_;
+};
+
+}  // namespace hpd::trace

@@ -1,0 +1,112 @@
+#include "trace/pulse.hpp"
+
+#include "common/assert.hpp"
+
+namespace hpd::trace {
+
+void PulseBehavior::on_start(AppContext& ctx) {
+  for (SeqNum r = 0; r < config_.rounds; ++r) {
+    const SimTime when = config_.start +
+                         static_cast<SimTime>(r) * config_.period +
+                         ctx.rng->uniform_real(0.0, config_.jitter);
+    ctx.set_timer(static_cast<int>(r), when - ctx.now());
+  }
+}
+
+void PulseBehavior::on_timer(AppContext& ctx, int tag) {
+  if (static_cast<SeqNum>(tag) >= config_.rounds) {
+    // Watchdog: the round's DOWN never arrived (a relay died, the wave
+    // stalled). Lower the predicate so later rounds are not poisoned by a
+    // truth period glued across rounds.
+    const auto wd_round = static_cast<SeqNum>(tag) - config_.rounds;
+    RoundState& st = rounds_[wd_round];
+    if (st.participated && !st.down_handled && ctx.core->predicate()) {
+      ctx.core->set_predicate(false);
+      st.down_handled = true;
+    }
+    return;
+  }
+  const auto round = static_cast<SeqNum>(tag);
+  RoundState& st = rounds_[round];
+  if (st.timer_fired) {
+    return;
+  }
+  // A round firing more than a period after its nominal time is stale —
+  // this happens when a crashed node revives and re-arms its timers: the
+  // rounds that elapsed while it was dead are over, their waves gone.
+  const SimTime nominal =
+      config_.start + static_cast<SimTime>(round) * config_.period;
+  if (ctx.now() > nominal + config_.period) {
+    st.timer_fired = true;
+    st.down_handled = true;
+    return;
+  }
+  st.timer_fired = true;
+  // Join the round only if the predicate is currently down; a lingering
+  // previous interval (possible when rounds overlap under extreme delays)
+  // would otherwise be glued to this round's interval.
+  if (!ctx.core->predicate() && ctx.rng->bernoulli(config_.participation)) {
+    st.participated = true;
+    ctx.core->set_predicate(true);
+    // Arm the stall watchdog one period out.
+    ctx.set_timer(static_cast<int>(config_.rounds + round), config_.period);
+  }
+  maybe_advance(ctx, round);
+}
+
+void PulseBehavior::on_app_message(AppContext& ctx, ProcessId from,
+                                   int subtype, SeqNum round) {
+  (void)from;
+  if (subtype == kUp) {
+    RoundState& st = rounds_[round];
+    ++st.ups_received;
+    maybe_advance(ctx, round);
+  } else if (subtype == kDown) {
+    handle_down(ctx, round);
+  }
+}
+
+void PulseBehavior::on_tree_changed(AppContext& ctx) {
+  // A child may have vanished (its UP will never come) or the node may have
+  // become the root / a leaf; re-evaluate every pending round.
+  for (auto& [round, st] : rounds_) {
+    if (st.timer_fired && !st.sent_up && !st.down_handled) {
+      maybe_advance(ctx, round);
+    }
+  }
+}
+
+void PulseBehavior::maybe_advance(AppContext& ctx, SeqNum round) {
+  RoundState& st = rounds_[round];
+  if (!st.timer_fired || st.sent_up || st.down_handled) {
+    return;
+  }
+  const std::vector<ProcessId> kids = ctx.children();
+  if (st.ups_received < kids.size()) {
+    return;  // convergecast incomplete
+  }
+  st.sent_up = true;
+  const ProcessId parent = ctx.parent();
+  if (parent == kNoProcess) {
+    // Root: the gather is complete — broadcast DOWN.
+    handle_down(ctx, round);
+  } else {
+    ctx.send_app(parent, kUp, round);
+  }
+}
+
+void PulseBehavior::handle_down(AppContext& ctx, SeqNum round) {
+  RoundState& st = rounds_[round];
+  if (st.down_handled) {
+    return;
+  }
+  st.down_handled = true;
+  for (const ProcessId child : ctx.children()) {
+    ctx.send_app(child, kDown, round);
+  }
+  if (st.participated && ctx.core->predicate()) {
+    ctx.core->set_predicate(false);
+  }
+}
+
+}  // namespace hpd::trace

@@ -1,0 +1,67 @@
+// The "pulse rounds" workload: a convergecast/broadcast wave per round that
+// manufactures the causal crossings Definitely(Φ) needs.
+//
+// Round r proceeds as follows. At the round's start each process decides
+// (independently, with probability `participation`) whether to take part;
+// participants raise their local predicate. Every process — participant or
+// not — joins the wave: leaves send UP to their parent; an internal node
+// sends UP once all children's UPs arrived; when the root's gather
+// completes it broadcasts DOWN; every process forwards DOWN to its children
+// and participants then lower their predicate.
+//
+// Because each participant's interval contains its UP send (after min(x))
+// and its DOWN receive (before max(x)), and the root's gather/broadcast
+// causally separates all UPs from all DOWNs, the participants of one round
+// form a mutually overlapping interval set: min(x_i) ≺ up_i ≺ gather ≺
+// down_j ≺ max(x_j) for all participants i, j. Intervals from different
+// rounds never overlap (causality only flows forward), so a subtree
+// produces a solution exactly in rounds where *all* its processes
+// participate — `participation` therefore directly tunes the paper's α.
+#pragma once
+
+#include <unordered_map>
+
+#include "trace/behavior.hpp"
+
+namespace hpd::trace {
+
+struct PulseConfig {
+  SeqNum rounds = 10;          ///< number of pulses
+  SimTime start = 1.0;         ///< time of round 0
+  SimTime period = 100.0;      ///< distance between rounds (>> wave latency)
+  double participation = 1.0;  ///< probability a process joins a round
+  double jitter = 1.0;         ///< uniform start jitter per process
+};
+
+class PulseBehavior final : public AppBehavior {
+ public:
+  explicit PulseBehavior(const PulseConfig& config) : config_(config) {}
+
+  void on_start(AppContext& ctx) override;
+  void on_app_message(AppContext& ctx, ProcessId from, int subtype,
+                      SeqNum round) override;
+  void on_timer(AppContext& ctx, int tag) override;
+  void on_tree_changed(AppContext& ctx) override;
+
+  /// Message subtypes.
+  static constexpr int kUp = 1;
+  static constexpr int kDown = 2;
+
+ private:
+  struct RoundState {
+    std::size_t ups_received = 0;
+    bool timer_fired = false;
+    bool participated = false;
+    bool sent_up = false;
+    bool down_handled = false;
+  };
+
+  /// Send UP / broadcast DOWN if the round's preconditions are now met.
+  void maybe_advance(AppContext& ctx, SeqNum round);
+  void handle_down(AppContext& ctx, SeqNum round);
+
+  PulseConfig config_;
+  std::unordered_map<SeqNum, RoundState> rounds_;
+};
+
+}  // namespace hpd::trace

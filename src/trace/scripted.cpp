@@ -1,0 +1,32 @@
+#include "trace/scripted.hpp"
+
+#include "common/assert.hpp"
+
+namespace hpd::trace {
+
+void ScriptedBehavior::on_start(AppContext& ctx) {
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    HPD_REQUIRE(actions_[i].time >= ctx.now(),
+                "ScriptedBehavior: action scheduled in the past");
+    ctx.set_timer(static_cast<int>(i), actions_[i].time - ctx.now());
+  }
+}
+
+void ScriptedBehavior::on_timer(AppContext& ctx, int tag) {
+  const auto i = static_cast<std::size_t>(tag);
+  HPD_REQUIRE(i < actions_.size(), "ScriptedBehavior: bad action index");
+  const ScriptAction& act = actions_[i];
+  switch (act.kind) {
+    case ScriptAction::Kind::kInternal:
+      ctx.core->internal_event();
+      break;
+    case ScriptAction::Kind::kSetPredicate:
+      ctx.core->set_predicate(act.value);
+      break;
+    case ScriptAction::Kind::kSend:
+      ctx.send_app(act.dst, 0, 0);
+      break;
+  }
+}
+
+}  // namespace hpd::trace

@@ -1,0 +1,44 @@
+// Fully scripted workloads: an explicit per-process action timetable.
+// Used to reproduce the paper's exact scenarios (Figures 2 and 3) and for
+// deterministic unit tests; combine with DelayModel::fixed for precise
+// causal structure.
+#pragma once
+
+#include <vector>
+
+#include "trace/behavior.hpp"
+
+namespace hpd::trace {
+
+struct ScriptAction {
+  enum class Kind { kInternal, kSetPredicate, kSend };
+
+  SimTime time = 0.0;
+  Kind kind = Kind::kInternal;
+  bool value = false;          ///< for kSetPredicate
+  ProcessId dst = kNoProcess;  ///< for kSend
+};
+
+inline ScriptAction at_internal(SimTime t) {
+  return ScriptAction{t, ScriptAction::Kind::kInternal, false, kNoProcess};
+}
+inline ScriptAction at_predicate(SimTime t, bool value) {
+  return ScriptAction{t, ScriptAction::Kind::kSetPredicate, value, kNoProcess};
+}
+inline ScriptAction at_send(SimTime t, ProcessId dst) {
+  return ScriptAction{t, ScriptAction::Kind::kSend, false, dst};
+}
+
+class ScriptedBehavior final : public AppBehavior {
+ public:
+  explicit ScriptedBehavior(std::vector<ScriptAction> actions)
+      : actions_(std::move(actions)) {}
+
+  void on_start(AppContext& ctx) override;
+  void on_timer(AppContext& ctx, int tag) override;
+
+ private:
+  std::vector<ScriptAction> actions_;
+};
+
+}  // namespace hpd::trace

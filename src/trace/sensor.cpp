@@ -1,0 +1,51 @@
+#include "trace/sensor.hpp"
+
+#include <cmath>
+
+namespace hpd::trace {
+
+void SensorBehavior::on_start(AppContext& ctx) {
+  state_ = std::make_unique<LocalState>(*ctx.core);
+  const double threshold = config_.threshold;
+  state_->set_predicate_fn([threshold](const LocalState& s) {
+    return s.get("reading") >= threshold;
+  });
+  // Start sampling and syncing with per-node phase jitter.
+  ctx.set_timer(kSampleTag, (config_.start - ctx.now()) +
+                                ctx.rng->uniform_real(0.0, 1.0));
+  ctx.set_timer(kSyncTag, (config_.start - ctx.now()) +
+                              ctx.rng->uniform_real(0.0, config_.sync_period));
+}
+
+double SensorBehavior::sample_signal(AppContext& ctx) const {
+  // Shared slow wave in [0, 1] (same phase on every node: a field-wide
+  // phenomenon) plus per-node noise.
+  const double t = ctx.now();
+  const double wave =
+      0.5 * (1.0 + std::sin(2.0 * 3.14159265358979 * t / config_.wave_period));
+  const double noise = ctx.rng->uniform_real(-config_.noise, config_.noise);
+  return wave + noise;
+}
+
+void SensorBehavior::on_timer(AppContext& ctx, int tag) {
+  if (ctx.now() > config_.horizon) {
+    return;  // mission over; stop rescheduling
+  }
+  if (tag == kSampleTag) {
+    state_->set("reading", sample_signal(ctx));
+    ctx.set_timer(kSampleTag, config_.sample_period);
+  } else if (tag == kSyncTag) {
+    // Light state-sync chatter to tree neighbours: these messages carry the
+    // vector clocks that let threshold episodes causally cross.
+    const ProcessId parent = ctx.parent();
+    if (parent != kNoProcess) {
+      ctx.send_app(parent, 0, 0);
+    }
+    for (const ProcessId child : ctx.children()) {
+      ctx.send_app(child, 0, 0);
+    }
+    ctx.set_timer(kSyncTag, config_.sync_period);
+  }
+}
+
+}  // namespace hpd::trace

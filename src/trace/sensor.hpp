@@ -1,0 +1,45 @@
+// A sensor-field workload over real local variables: each node samples a
+// correlated environmental signal (a shared slow wave plus per-node noise)
+// into its LocalState; the local predicate is a threshold on the reading.
+// Periodic sync messages along the tree create the causal crossings that
+// make simultaneous-threshold episodes detectable as Definitely(Φ).
+#pragma once
+
+#include <memory>
+
+#include "trace/behavior.hpp"
+#include "trace/local_state.hpp"
+
+namespace hpd::trace {
+
+struct SensorConfig {
+  SimTime start = 1.0;
+  SimTime horizon = 1000.0;      ///< stop sampling after this time
+  SimTime sample_period = 5.0;   ///< reading cadence
+  SimTime sync_period = 10.0;    ///< tree-neighbour sync message cadence
+  double threshold = 0.75;       ///< φ_i: reading >= threshold
+  double wave_period = 250.0;    ///< shared environmental wave
+  double noise = 0.08;           ///< per-sample uniform noise amplitude
+};
+
+class SensorBehavior final : public AppBehavior {
+ public:
+  explicit SensorBehavior(const SensorConfig& config) : config_(config) {}
+
+  void on_start(AppContext& ctx) override;
+  void on_timer(AppContext& ctx, int tag) override;
+
+  /// Latest reading (for examples that want to display it).
+  double reading() const { return state_ ? state_->get("reading") : 0.0; }
+
+ private:
+  static constexpr int kSampleTag = 0;
+  static constexpr int kSyncTag = 1;
+
+  double sample_signal(AppContext& ctx) const;
+
+  SensorConfig config_;
+  std::unique_ptr<LocalState> state_;
+};
+
+}  // namespace hpd::trace

@@ -1,0 +1,167 @@
+#include "trace/trace_io.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace hpd::trace {
+
+namespace {
+
+const char* kind_code(EventKind k) {
+  switch (k) {
+    case EventKind::kInternal:
+      return "int";
+    case EventKind::kSend:
+      return "snd";
+    case EventKind::kReceive:
+      return "rcv";
+  }
+  return "?";
+}
+
+EventKind kind_from(const std::string& s) {
+  if (s == "int") {
+    return EventKind::kInternal;
+  }
+  if (s == "snd") {
+    return EventKind::kSend;
+  }
+  if (s == "rcv") {
+    return EventKind::kReceive;
+  }
+  HPD_REQUIRE(false, "trace_io: bad event kind '" + s + "'");
+  return EventKind::kInternal;
+}
+
+void write_clock(std::ostream& os, const VectorClock& vc) {
+  for (std::size_t i = 0; i < vc.size(); ++i) {
+    os << (i == 0 ? "" : " ") << vc[i];
+  }
+}
+
+VectorClock read_clock(std::istringstream& is, std::size_t n) {
+  VectorClock vc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t v = 0;
+    HPD_REQUIRE(static_cast<bool>(is >> v), "trace_io: truncated clock");
+    HPD_REQUIRE(v <= UINT32_MAX, "trace_io: clock component out of range");
+    vc[i] = static_cast<ClockValue>(v);
+  }
+  return vc;
+}
+
+}  // namespace
+
+void write_execution(std::ostream& os, const ExecutionRecord& exec) {
+  const std::size_t n = exec.num_processes();
+  os << "execution " << n << "\n";
+  for (std::size_t p = 0; p < n; ++p) {
+    const ProcessTrace& tr = exec.procs[p];
+    os << "proc " << p << " init " << (tr.initial_predicate ? 1 : 0) << "\n";
+    for (const EventRecord& e : tr.events) {
+      os << "e " << kind_code(e.kind) << ' ' << e.time << ' ' << e.peer
+         << ' ' << (e.predicate_after ? 1 : 0) << ' ';
+      write_clock(os, e.vc);
+      os << "\n";
+    }
+    for (const Interval& x : tr.intervals) {
+      os << "i " << x.seq << ' ';
+      write_clock(os, x.lo);
+      os << " | ";
+      write_clock(os, x.hi);
+      os << "\n";
+    }
+  }
+  os << "end\n";
+}
+
+ExecutionRecord read_execution(std::istream& is) {
+  std::string line;
+  HPD_REQUIRE(static_cast<bool>(std::getline(is, line)),
+              "trace_io: empty input");
+  std::istringstream head(line);
+  std::string tag;
+  std::size_t n = 0;
+  HPD_REQUIRE(static_cast<bool>(head >> tag >> n) && tag == "execution",
+              "trace_io: missing execution header");
+  ExecutionRecord exec;
+  exec.procs.resize(n);
+  ProcessTrace* current = nullptr;
+  ProcessId current_id = kNoProcess;
+  bool ended = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream ls(line);
+    ls >> tag;
+    if (tag == "end") {
+      ended = true;
+      break;
+    }
+    if (tag == "proc") {
+      std::size_t id = 0;
+      std::string init_tag;
+      int init = 0;
+      HPD_REQUIRE(static_cast<bool>(ls >> id >> init_tag >> init) &&
+                      init_tag == "init" && id < n,
+                  "trace_io: bad proc line");
+      current = &exec.procs[id];
+      current_id = static_cast<ProcessId>(id);
+      current->initial_predicate = init != 0;
+      continue;
+    }
+    HPD_REQUIRE(current != nullptr, "trace_io: record before proc line");
+    if (tag == "e") {
+      std::string kind;
+      EventRecord e;
+      int pred = 0;
+      std::int64_t peer = 0;
+      HPD_REQUIRE(static_cast<bool>(ls >> kind >> e.time >> peer >> pred),
+                  "trace_io: bad event line");
+      e.kind = kind_from(kind);
+      e.peer = static_cast<ProcessId>(peer);
+      e.predicate_after = pred != 0;
+      e.vc = read_clock(ls, n);
+      current->events.push_back(std::move(e));
+    } else if (tag == "i") {
+      Interval x;
+      HPD_REQUIRE(static_cast<bool>(ls >> x.seq), "trace_io: bad interval");
+      x.lo = read_clock(ls, n);
+      std::string sep;
+      HPD_REQUIRE(static_cast<bool>(ls >> sep) && sep == "|",
+                  "trace_io: missing interval separator");
+      x.hi = read_clock(ls, n);
+      x.origin = current_id;
+      current->intervals.push_back(std::move(x));
+    } else {
+      HPD_REQUIRE(false, "trace_io: unknown record '" + tag + "'");
+    }
+  }
+  HPD_REQUIRE(ended, "trace_io: missing end marker");
+  return exec;
+}
+
+std::string execution_to_string(const ExecutionRecord& exec) {
+  std::ostringstream os;
+  write_execution(os, exec);
+  return os.str();
+}
+
+ExecutionRecord execution_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_execution(is);
+}
+
+void write_occurrences_csv(std::ostream& os,
+                           const std::vector<detect::OccurrenceRecord>& occ) {
+  os << "time,node,index,global,weight\n";
+  for (const auto& rec : occ) {
+    os << rec.time << ',' << rec.detector << ',' << rec.index << ','
+       << (rec.global ? 1 : 0) << ',' << rec.aggregate.weight << "\n";
+  }
+}
+
+}  // namespace hpd::trace

@@ -1,0 +1,39 @@
+// Text serialization of recorded executions and occurrence logs.
+//
+// A simple line-oriented format, stable enough to diff and script around:
+//
+//   execution <n-processes>
+//   proc <id> init <0|1>
+//   e <kind> <time> <peer> <pred-after> <vc components...>
+//   i <seq> <lo components...> | <hi components...>
+//   end
+//
+// Round-trips exactly (see trace_io_test). Used by tooling (hpd_sim can
+// dump what it saw) and by humans debugging a detection question offline:
+// dump the execution, replay it, poke at it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "detect/occurrence.hpp"
+#include "trace/execution.hpp"
+
+namespace hpd::trace {
+
+/// Write `exec` to `os`. Provenance (test instrumentation) is not stored.
+void write_execution(std::ostream& os, const ExecutionRecord& exec);
+
+/// Parse an execution written by write_execution.
+/// Throws hpd::AssertionError on malformed input.
+ExecutionRecord read_execution(std::istream& is);
+
+/// Convenience string forms.
+std::string execution_to_string(const ExecutionRecord& exec);
+ExecutionRecord execution_from_string(const std::string& text);
+
+/// Occurrence log as CSV: time,node,index,global,weight
+void write_occurrences_csv(std::ostream& os,
+                           const std::vector<detect::OccurrenceRecord>& occ);
+
+}  // namespace hpd::trace

@@ -1,0 +1,82 @@
+#include "trace/validate.hpp"
+
+#include <sstream>
+
+namespace hpd::trace {
+
+namespace {
+
+void add_issue(std::vector<ValidationIssue>& out, ProcessId process,
+               std::size_t index, std::string message) {
+  out.push_back(ValidationIssue{process, index, std::move(message)});
+}
+
+}  // namespace
+
+std::vector<ValidationIssue> validate_execution(const ExecutionRecord& exec) {
+  std::vector<ValidationIssue> issues;
+  const std::size_t n = exec.num_processes();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& proc = exec.procs[i];
+    const auto pid = static_cast<ProcessId>(i);
+    VectorClock prev(n);
+    for (std::size_t e = 0; e < proc.events.size(); ++e) {
+      const auto& ev = proc.events[e];
+      if (ev.vc.size() != n) {
+        add_issue(issues, pid, e, "event clock width mismatch");
+        continue;
+      }
+      if (ev.vc[i] != static_cast<ClockValue>(e + 1)) {
+        std::ostringstream os;
+        os << "own clock component is " << ev.vc[i] << ", expected "
+           << (e + 1);
+        add_issue(issues, pid, e, os.str());
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i && ev.vc[j] < prev[j]) {
+          add_issue(issues, pid, e, "foreign clock component went backwards");
+        }
+        if (j != i && ev.vc[j] > exec.procs[j].events.size()) {
+          add_issue(issues, pid, e,
+                    "not causally closed: event knows more of process " +
+                        std::to_string(j) + " than the record contains");
+        }
+      }
+      prev = ev.vc;
+    }
+
+    for (std::size_t k = 0; k < proc.intervals.size(); ++k) {
+      const auto& x = proc.intervals[k];
+      if (x.origin != pid) {
+        add_issue(issues, pid, k, "interval origin mismatch");
+      }
+      if (x.seq != k + 1) {
+        add_issue(issues, pid, k, "interval sequence numbers not 1,2,...");
+      }
+      if (x.lo.size() != n || x.hi.size() != n) {
+        add_issue(issues, pid, k, "interval clock width mismatch");
+        continue;
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        if (x.lo[j] > x.hi[j]) {
+          add_issue(issues, pid, k, "interval lo exceeds hi");
+          break;
+        }
+      }
+      if (x.hi[i] > proc.events.size()) {
+        add_issue(issues, pid, k, "interval extends past the event record");
+      }
+      if (k > 0 && proc.intervals[k - 1].hi[i] >= x.lo[i]) {
+        add_issue(issues, pid, k, "intervals overlap on their own process");
+      }
+    }
+  }
+  return issues;
+}
+
+bool execution_valid(const ExecutionRecord& exec) {
+  return validate_execution(exec).empty();
+}
+
+}  // namespace hpd::trace

@@ -1,0 +1,35 @@
+// Structural validation of recorded executions: catches hand-built or
+// file-loaded records that no real run could produce, before they reach
+// the offline analyzers (whose answers would otherwise be garbage-in
+// garbage-out — e.g. the lattice walker's vacuous-Definitely failure mode
+// on causally unclosed inputs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/execution.hpp"
+
+namespace hpd::trace {
+
+struct ValidationIssue {
+  ProcessId process = kNoProcess;
+  std::size_t event_index = 0;  ///< or interval index, per message
+  std::string message;
+};
+
+/// Checks, per process i:
+///  * clock width equals the process count, for every event;
+///  * own component increments by exactly 1 per event (1, 2, 3, ...);
+///  * foreign components are non-decreasing along the event sequence;
+///  * causal closure: no event knows more events of process j than the
+///    record contains;
+///  * intervals: origin == i, sequence numbers 1, 2, ... in order,
+///    lo/hi widths match, lo ≤ hi component-wise, and each interval's own
+///    components lie within the recorded event range.
+std::vector<ValidationIssue> validate_execution(const ExecutionRecord& exec);
+
+/// Convenience: true iff validate_execution finds nothing.
+bool execution_valid(const ExecutionRecord& exec);
+
+}  // namespace hpd::trace

@@ -1,0 +1,296 @@
+#include "wire/codec.hpp"
+
+#include "common/assert.hpp"
+
+namespace hpd::wire {
+
+namespace {
+
+/// Shared helper: encode a (possibly absent) ProcessId as varint(id + 1).
+std::uint64_t pid_wire(ProcessId id) {
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(id) + 1);
+}
+
+ProcessId pid_unwire(std::uint64_t v, const char* what) {
+  if (v > static_cast<std::uint64_t>(INT32_MAX) + 1) {
+    throw DecodeError(std::string("process id out of range in ") + what);
+  }
+  return static_cast<ProcessId>(static_cast<std::int64_t>(v) - 1);
+}
+
+void put_path(Encoder& e, const std::vector<ProcessId>& path) {
+  e.put_varint(path.size());
+  for (const ProcessId p : path) {
+    e.put_varint(pid_wire(p));
+  }
+}
+
+std::vector<ProcessId> get_path(Decoder& d) {
+  const std::uint64_t n = d.get_varint();
+  if (n > d.remaining()) {  // each entry takes >= 1 byte
+    throw DecodeError("path length exceeds message size");
+  }
+  std::vector<ProcessId> path;
+  path.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    path.push_back(pid_unwire(d.get_varint(), "path"));
+  }
+  return path;
+}
+
+void require_exhausted(const Decoder& d) {
+  if (!d.exhausted()) {
+    throw DecodeError("trailing bytes after message");
+  }
+}
+
+}  // namespace
+
+// ---- Encoder ----------------------------------------------------------------
+
+void Encoder::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Encoder::put_clock(const VectorClock& vc) {
+  put_varint(vc.size());
+  for (std::size_t i = 0; i < vc.size(); ++i) {
+    put_varint(vc[i]);
+  }
+}
+
+void Encoder::put_interval(const Interval& x) {
+  put_clock(x.lo);
+  put_clock(x.hi);
+  put_varint(pid_wire(x.origin));
+  put_varint(x.seq);
+  put_varint(x.weight);
+  put_u8(x.aggregated ? 1 : 0);
+}
+
+// ---- Decoder ----------------------------------------------------------------
+
+std::uint8_t Decoder::get_u8() {
+  if (pos_ >= bytes_.size()) {
+    throw DecodeError("truncated message (u8)");
+  }
+  return bytes_[pos_++];
+}
+
+std::uint64_t Decoder::get_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (pos_ >= bytes_.size()) {
+      throw DecodeError("truncated message (varint)");
+    }
+    const std::uint8_t b = bytes_[pos_++];
+    if (shift >= 63 && (b & 0x7f) > 1) {
+      throw DecodeError("varint overflow");
+    }
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      return v;
+    }
+    shift += 7;
+    if (shift > 63) {
+      throw DecodeError("varint too long");
+    }
+  }
+}
+
+VectorClock Decoder::get_clock() {
+  const std::uint64_t n = get_varint();
+  if (n > remaining()) {  // each component takes >= 1 byte
+    throw DecodeError("clock size exceeds message size");
+  }
+  VectorClock vc(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t c = get_varint();
+    if (c > UINT32_MAX) {
+      throw DecodeError("clock component out of range");
+    }
+    vc[i] = static_cast<ClockValue>(c);
+  }
+  return vc;
+}
+
+Interval Decoder::get_interval() {
+  Interval x;
+  x.lo = get_clock();
+  x.hi = get_clock();
+  if (x.lo.size() != x.hi.size()) {
+    throw DecodeError("interval bounds size mismatch");
+  }
+  x.origin = pid_unwire(get_varint(), "interval origin");
+  x.seq = get_varint();
+  const std::uint64_t w = get_varint();
+  if (w == 0 || w > UINT32_MAX) {
+    throw DecodeError("interval weight out of range");
+  }
+  x.weight = static_cast<std::uint32_t>(w);
+  x.aggregated = get_u8() != 0;
+  return x;
+}
+
+// ---- Message encoders --------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const proto::AppPayload& p) {
+  Encoder e;
+  e.put_u8(proto::kApp);
+  e.put_varint(static_cast<std::uint64_t>(p.subtype));
+  e.put_varint(p.round);
+  e.put_clock(p.stamp);
+  return e.take();
+}
+
+std::vector<std::uint8_t> encode_report(const proto::ReportPayload& p,
+                                        int type) {
+  HPD_REQUIRE(type == proto::kReportHier || type == proto::kReportCentral,
+              "encode_report: not a report tag");
+  Encoder e;
+  e.put_u8(static_cast<std::uint8_t>(type));
+  e.put_interval(p.interval);
+  return e.take();
+}
+
+std::vector<std::uint8_t> encode(const proto::HeartbeatPayload& p) {
+  Encoder e;
+  e.put_u8(proto::kHeartbeat);
+  e.put_u8(p.attached ? 1 : 0);
+  put_path(e, p.root_path);
+  return e.take();
+}
+
+std::vector<std::uint8_t> encode(const proto::ProbePayload&) {
+  Encoder e;
+  e.put_u8(proto::kProbe);
+  return e.take();
+}
+
+std::vector<std::uint8_t> encode(const proto::ProbeAckPayload& p) {
+  Encoder e;
+  e.put_u8(proto::kProbeAck);
+  e.put_u8(p.attached ? 1 : 0);
+  put_path(e, p.root_path);
+  return e.take();
+}
+
+std::vector<std::uint8_t> encode(const proto::AttachReqPayload& p) {
+  Encoder e;
+  e.put_u8(proto::kAttachReq);
+  e.put_varint(p.next_report_seq);
+  return e.take();
+}
+
+std::vector<std::uint8_t> encode(const proto::AttachAckPayload& p) {
+  Encoder e;
+  e.put_u8(proto::kAttachAck);
+  e.put_u8(p.accepted ? 1 : 0);
+  return e.take();
+}
+
+std::vector<std::uint8_t> encode(const proto::DelegatePayload& p) {
+  Encoder e;
+  e.put_u8(proto::kDelegate);
+  e.put_varint(pid_wire(p.orphan));
+  return e.take();
+}
+
+std::vector<std::uint8_t> encode(const proto::DelegateFailPayload& p) {
+  Encoder e;
+  e.put_u8(proto::kDelegateFail);
+  e.put_varint(pid_wire(p.orphan));
+  return e.take();
+}
+
+std::vector<std::uint8_t> encode(const proto::FlipPayload& p) {
+  Encoder e;
+  e.put_u8(proto::kFlip);
+  e.put_varint(pid_wire(p.orphan));
+  return e.take();
+}
+
+std::vector<std::uint8_t> encode(const proto::FlipAckPayload& p) {
+  Encoder e;
+  e.put_u8(proto::kFlipAck);
+  e.put_varint(p.first_seq);
+  return e.take();
+}
+
+std::vector<std::uint8_t> encode(const proto::FlipGoPayload&) {
+  Encoder e;
+  e.put_u8(proto::kFlipGo);
+  return e.take();
+}
+
+std::vector<std::uint8_t> encode(const proto::DisownPayload&) {
+  Encoder e;
+  e.put_u8(proto::kDisown);
+  return e.take();
+}
+
+// ---- Message decoder ----------------------------------------------------------
+
+DecodedMessage decode(std::span<const std::uint8_t> bytes) {
+  Decoder d(bytes);
+  DecodedMessage out;
+  out.type = d.get_u8();
+  switch (out.type) {
+    case proto::kApp: {
+      const std::uint64_t subtype = d.get_varint();
+      if (subtype > INT32_MAX) {
+        throw DecodeError("app subtype out of range");
+      }
+      out.app.subtype = static_cast<int>(subtype);
+      out.app.round = d.get_varint();
+      out.app.stamp = d.get_clock();
+      break;
+    }
+    case proto::kReportHier:
+    case proto::kReportCentral:
+      out.report.interval = d.get_interval();
+      break;
+    case proto::kHeartbeat:
+      out.heartbeat.attached = d.get_u8() != 0;
+      out.heartbeat.root_path = get_path(d);
+      break;
+    case proto::kProbe:
+      break;
+    case proto::kProbeAck:
+      out.probe_ack.attached = d.get_u8() != 0;
+      out.probe_ack.root_path = get_path(d);
+      break;
+    case proto::kAttachReq:
+      out.attach_req.next_report_seq = d.get_varint();
+      break;
+    case proto::kAttachAck:
+      out.attach_ack.accepted = d.get_u8() != 0;
+      break;
+    case proto::kDelegate:
+      out.delegate.orphan = pid_unwire(d.get_varint(), "delegate");
+      break;
+    case proto::kDelegateFail:
+      out.delegate_fail.orphan = pid_unwire(d.get_varint(), "delegate-fail");
+      break;
+    case proto::kFlip:
+      out.flip.orphan = pid_unwire(d.get_varint(), "flip");
+      break;
+    case proto::kFlipAck:
+      out.flip_ack.first_seq = d.get_varint();
+      break;
+    case proto::kFlipGo:
+    case proto::kDisown:
+      break;
+    default:
+      throw DecodeError("unknown message tag");
+  }
+  require_exhausted(d);
+  return out;
+}
+
+}  // namespace hpd::wire

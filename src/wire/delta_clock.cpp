@@ -1,0 +1,114 @@
+#include "wire/delta_clock.hpp"
+
+#include "common/assert.hpp"
+
+namespace hpd::wire {
+
+namespace {
+constexpr std::uint8_t kFull = 0;
+constexpr std::uint8_t kDelta = 1;
+}  // namespace
+
+DeltaClockEncoder::DeltaClockEncoder(std::size_t n, std::size_t resync_every)
+    : last_(n), resync_every_(resync_every) {}
+
+std::vector<std::uint8_t> DeltaClockEncoder::encode(const VectorClock& vc) {
+  HPD_REQUIRE(vc.size() == last_.size(), "DeltaClockEncoder: size mismatch");
+  Encoder e;
+  const bool resync =
+      !have_last_ ||
+      (resync_every_ != 0 && since_full_ + 1 >= resync_every_);
+  if (resync) {
+    e.put_u8(kFull);
+    e.put_clock(vc);
+    since_full_ = 0;
+    ++full_sent_;
+  } else {
+    e.put_u8(kDelta);
+    std::vector<std::pair<std::size_t, ClockValue>> changes;
+    for (std::size_t i = 0; i < vc.size(); ++i) {
+      HPD_REQUIRE(vc[i] >= last_[i],
+                  "DeltaClockEncoder: clock went backwards");
+      if (vc[i] != last_[i]) {
+        changes.emplace_back(i, vc[i]);
+      }
+    }
+    e.put_varint(changes.size());
+    std::size_t prev = 0;
+    bool first = true;
+    for (const auto& [index, value] : changes) {
+      e.put_varint(first ? index + 1 : index - prev);
+      e.put_varint(value);
+      prev = index;
+      first = false;
+    }
+    ++since_full_;
+  }
+  last_ = vc;
+  have_last_ = true;
+  auto bytes = e.take();
+  bytes_emitted_ += bytes.size();
+  return bytes;
+}
+
+DeltaClockDecoder::DeltaClockDecoder(std::size_t n) : last_(n) {}
+
+VectorClock DeltaClockDecoder::decode(std::span<const std::uint8_t> bytes) {
+  Decoder d(bytes);
+  const std::uint8_t kind = d.get_u8();
+  if (kind == kFull) {
+    VectorClock vc = d.get_clock();
+    if (vc.size() != last_.size()) {
+      throw DecodeError("delta-clock: full clock size mismatch");
+    }
+    if (!d.exhausted()) {
+      throw DecodeError("delta-clock: trailing bytes");
+    }
+    last_ = vc;
+    have_last_ = true;
+    return vc;
+  }
+  if (kind != kDelta) {
+    throw DecodeError("delta-clock: unknown kind");
+  }
+  if (!have_last_) {
+    throw DecodeError("delta-clock: delta before any full clock");
+  }
+  const std::uint64_t k = d.get_varint();
+  if (k > last_.size()) {
+    throw DecodeError("delta-clock: too many changes");
+  }
+  VectorClock vc = last_;
+  std::size_t index = 0;
+  bool first = true;
+  for (std::uint64_t c = 0; c < k; ++c) {
+    const std::uint64_t gap = d.get_varint();
+    if (first) {
+      if (gap == 0) {
+        throw DecodeError("delta-clock: bad first index gap");
+      }
+      index = static_cast<std::size_t>(gap - 1);
+      first = false;
+    } else {
+      if (gap == 0) {
+        throw DecodeError("delta-clock: non-increasing index");
+      }
+      index += static_cast<std::size_t>(gap);
+    }
+    if (index >= vc.size()) {
+      throw DecodeError("delta-clock: index out of range");
+    }
+    const std::uint64_t value = d.get_varint();
+    if (value > UINT32_MAX || value < vc[index]) {
+      throw DecodeError("delta-clock: bad component value");
+    }
+    vc[index] = static_cast<ClockValue>(value);
+  }
+  if (!d.exhausted()) {
+    throw DecodeError("delta-clock: trailing bytes");
+  }
+  last_ = vc;
+  return vc;
+}
+
+}  // namespace hpd::wire

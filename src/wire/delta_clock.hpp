@@ -1,0 +1,64 @@
+// Differential vector-clock transmission (Singhal–Kshemkalyani '92).
+//
+// Between two consecutive messages on the same channel only a few clock
+// components usually change; sending (index, value) pairs for the changed
+// components cuts the paper's O(n) per-message timestamp cost to O(changes)
+// in practice. Encoder and decoder keep per-channel state (the last clock
+// transmitted); like the original technique this requires FIFO delivery on
+// the channel it compresses — pair it with a FIFO transport (e.g.
+// DelayModel::fixed), or wrap with a resynchronizing sequence layer. Every
+// `resync_every` messages a full clock is sent, bounding the damage of a
+// lost peer state in long-running deployments.
+//
+// Wire format per clock:
+//   u8 kind: 0 = full, 1 = delta
+//   full:  varint n, n varint components
+//   delta: varint k, k × (varint index-gap, varint value)
+//          (index-gap = index − previous-index, first gap = index + 1 ≥ 1)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vc/vector_clock.hpp"
+#include "wire/codec.hpp"
+
+namespace hpd::wire {
+
+class DeltaClockEncoder {
+ public:
+  /// `resync_every` = 0 disables periodic full clocks.
+  explicit DeltaClockEncoder(std::size_t n, std::size_t resync_every = 64);
+
+  /// Encode `vc` relative to the previous clock sent on this channel.
+  /// Clock components must be monotonically non-decreasing between calls
+  /// (true for any vector clock stream from one sender).
+  std::vector<std::uint8_t> encode(const VectorClock& vc);
+
+  std::uint64_t bytes_emitted() const { return bytes_emitted_; }
+  std::uint64_t full_clocks_sent() const { return full_sent_; }
+
+ private:
+  VectorClock last_;
+  bool have_last_ = false;
+  std::size_t resync_every_;
+  std::size_t since_full_ = 0;
+  std::uint64_t bytes_emitted_ = 0;
+  std::uint64_t full_sent_ = 0;
+};
+
+class DeltaClockDecoder {
+ public:
+  explicit DeltaClockDecoder(std::size_t n);
+
+  /// Decode the next clock on this channel. Throws DecodeError on
+  /// malformed input or a delta arriving before any full clock.
+  VectorClock decode(std::span<const std::uint8_t> bytes);
+
+ private:
+  VectorClock last_;
+  bool have_last_ = false;
+};
+
+}  // namespace hpd::wire

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "analysis/formulas.hpp"
+
+#include "common/assert.hpp"
+#include <sstream>
+#include "analysis/execution_stats.hpp"
+#include "analysis/fit.hpp"
+#include "common/rng.hpp"
+#include <cmath>
+#include "trace/app_core.hpp"
+
+namespace hpd::analysis {
+namespace {
+
+TEST(FormulaTest, HierClosedFormMatchesDirectSum) {
+  for (std::size_t d : {2u, 3u, 4u, 5u}) {
+    for (std::size_t h : {1u, 2u, 3u, 5u, 8u}) {
+      for (double alpha : {0.0, 0.1, 0.45, 0.9, 1.0}) {
+        EXPECT_NEAR(hier_messages(d, h, 20, alpha),
+                    hier_messages_direct(d, h, 20, alpha),
+                    1e-6 * (1.0 + hier_messages_direct(d, h, 20, alpha)))
+            << "d=" << d << " h=" << h << " alpha=" << alpha;
+      }
+    }
+  }
+}
+
+TEST(FormulaTest, CorrectedCentralClosedFormMatchesDirectSum) {
+  for (std::size_t d : {2u, 3u, 4u, 7u}) {
+    for (std::size_t h : {1u, 2u, 3u, 5u, 8u, 10u}) {
+      EXPECT_NEAR(central_messages(d, h, 20),
+                  central_messages_direct(d, h, 20),
+                  1e-6 * (1.0 + central_messages_direct(d, h, 20)))
+          << "d=" << d << " h=" << h;
+    }
+  }
+}
+
+// Erratum check: the paper's printed Eq. (14) does NOT match its own model
+// (the direct sum of Eq. (12)); see analysis/formulas.hpp.
+TEST(FormulaTest, PaperEq14DeviatesFromItsModel) {
+  // d = 2, h = 3, p = 1: direct sum = 4·2 + 2·1 = 10, printed form = 2.
+  EXPECT_DOUBLE_EQ(central_messages_direct(2, 3, 1), 10.0);
+  EXPECT_DOUBLE_EQ(central_messages_paper_eq14(2, 3, 1), 2.0);
+  EXPECT_DOUBLE_EQ(central_messages(2, 3, 1), 10.0);
+  // The relative discrepancy shrinks as h grows (the figures look alike).
+  const double direct = central_messages_direct(2, 10, 20);
+  const double printed = central_messages_paper_eq14(2, 10, 20);
+  EXPECT_LT(std::abs(direct - printed) / direct, 0.01);
+}
+
+TEST(FormulaTest, HierMessagesEdgeCases) {
+  EXPECT_DOUBLE_EQ(hier_messages(2, 1, 20, 0.5), 0.0);  // single node
+  // alpha = 1 uses the continuity limit: p d^{h-1} (h-1).
+  EXPECT_DOUBLE_EQ(hier_messages(2, 4, 10, 1.0), 10.0 * 8.0 * 3.0);
+  // alpha = 0: only the leaves send; p d^{h-1}.
+  EXPECT_DOUBLE_EQ(hier_messages(3, 4, 10, 0.0), 10.0 * 27.0);
+}
+
+TEST(FormulaTest, HierBeatsCentralizedForTallTrees) {
+  // The paper's headline: for h > 2 the hierarchical algorithm sends fewer
+  // (hop-weighted) messages, increasingly so as the network grows.
+  for (std::size_t d : {2u, 4u}) {
+    for (std::size_t h : {3u, 5u, 8u, 10u}) {
+      for (double alpha : {0.1, 0.45}) {
+        EXPECT_LT(hier_messages(d, h, 20, alpha),
+                  central_messages_direct(d, h, 20))
+            << "d=" << d << " h=" << h << " alpha=" << alpha;
+      }
+    }
+  }
+}
+
+TEST(FormulaTest, PaperTreeNodes) {
+  EXPECT_EQ(paper_tree_nodes(2, 1), 1u);
+  EXPECT_EQ(paper_tree_nodes(2, 3), 7u);
+  EXPECT_EQ(paper_tree_nodes(2, 4), 15u);
+  EXPECT_EQ(paper_tree_nodes(4, 3), 21u);
+  EXPECT_EQ(paper_tree_nodes(3, 4), 40u);
+}
+
+TEST(FormulaTest, ComplexityModelsOrdering) {
+  // Table I: d² p n² < p n³ whenever n > d² (h > 2 in the paper's n = d^h).
+  const std::size_t d = 3;
+  const std::size_t n = 81;  // d^4 > d²
+  const std::size_t p = 20;
+  EXPECT_LT(hier_time_model(d, n, p), central_time_model(n, p));
+  EXPECT_GT(space_model(n, p), 0.0);
+}
+
+TEST(ExecutionStatsTest, CountsEventsMessagesIntervals) {
+  trace::AppCore a(0, 2, nullptr);
+  trace::AppCore b(1, 2, nullptr);
+  a.enable_recording([] { return 0.0; });
+  b.enable_recording([] { return 0.0; });
+  a.set_predicate(true);                       // event 1 (true)
+  const VectorClock st = a.prepare_send(1);    // event 2 (send, true)
+  b.receive(0, st);                            // event 1 (recv)
+  b.set_predicate(true);                       // event 2 (true)
+  b.set_predicate(false);                      // event 3
+  a.set_predicate(false);                      // event 3
+  trace::ExecutionRecord exec;
+  exec.procs = {a.recorded(), b.recorded()};
+
+  const auto stats = compute_stats(exec);
+  EXPECT_EQ(stats.total_events, 6u);
+  EXPECT_EQ(stats.total_messages, 1u);
+  EXPECT_EQ(stats.total_intervals, 2u);
+  EXPECT_EQ(stats.max_intervals, 1u);
+  EXPECT_EQ(stats.comm[0][1], 1u);
+  EXPECT_EQ(stats.comm[1][0], 0u);
+  EXPECT_EQ(stats.per_process[0].sends, 1u);
+  EXPECT_EQ(stats.per_process[1].receives, 1u);
+  EXPECT_DOUBLE_EQ(stats.per_process[0].mean_interval_events, 2.0);
+  EXPECT_DOUBLE_EQ(stats.per_process[1].mean_interval_events, 1.0);
+  // One cross pair; b's interval starts causally after a's started (via the
+  // message) but a never hears back: coexistence yes, overlap no.
+  EXPECT_EQ(stats.pairs_total, 1u);
+  EXPECT_EQ(stats.pairs_overlap, 0u);
+  EXPECT_EQ(stats.pairs_coexist, 1u);
+  // Printing shouldn't blow up.
+  std::ostringstream os;
+  print_stats(os, stats);
+  EXPECT_NE(os.str().find("cross-process interval pairs"), std::string::npos);
+}
+
+TEST(ExecutionStatsTest, EmptyExecution) {
+  trace::ExecutionRecord exec;
+  exec.procs.resize(3);
+  const auto stats = compute_stats(exec);
+  EXPECT_EQ(stats.total_events, 0u);
+  EXPECT_EQ(stats.pairs_total, 0u);
+  std::ostringstream os;
+  print_stats(os, stats);  // no division by zero
+}
+
+TEST(PowerFitTest, RecoversExactPowerLaws) {
+  std::vector<double> x = {2, 4, 8, 16, 32, 64};
+  for (const double k : {0.0, 1.0, 2.0, 3.0}) {
+    std::vector<double> y;
+    for (const double v : x) {
+      y.push_back(5.0 * std::pow(v, k));
+    }
+    const auto fit = fit_power_law(x, y);
+    EXPECT_NEAR(fit.exponent, k, 1e-9);
+    EXPECT_NEAR(fit.coefficient, 5.0, 1e-6);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+  }
+}
+
+TEST(PowerFitTest, NoisyDataStillClose) {
+  Rng rng(77);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double v = 4; v <= 4096; v *= 2) {
+    x.push_back(v);
+    y.push_back(3.0 * v * v * rng.uniform_real(0.9, 1.1));
+  }
+  const auto fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 2.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(PowerFitTest, RejectsBadInput) {
+  EXPECT_THROW(fit_power_law({1.0}, {1.0}), AssertionError);
+  EXPECT_THROW(fit_power_law({1.0, 2.0}, {0.0, 1.0}), AssertionError);
+  EXPECT_THROW(fit_power_law({3.0, 3.0}, {1.0, 2.0}), AssertionError);
+}
+
+TEST(FormulaTest, BadParamsRejected) {
+  EXPECT_THROW(hier_messages(0, 3, 20, 0.5), AssertionError);
+  EXPECT_THROW(hier_messages(2, 3, 20, 1.5), AssertionError);
+  EXPECT_THROW(central_messages(1, 3, 20), AssertionError);
+}
+
+}  // namespace
+}  // namespace hpd::analysis

@@ -1,0 +1,229 @@
+// Unit tests for the workload behaviours, driven through a mock AppContext
+// (no simulator): the pulse state machine's convergecast/broadcast logic,
+// its stall watchdog and stale-round guard, and the gossip action mix.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "trace/gossip.hpp"
+#include "trace/pulse.hpp"
+
+namespace hpd::trace {
+namespace {
+
+struct MockApp {
+  explicit MockApp(ProcessId self, std::size_t n)
+      : core(self, n, [this](const Interval& x) { intervals.push_back(x); }) {
+    ctx.self = self;
+    ctx.core = &core;
+    ctx.rng = &rng;
+    ctx.topo = nullptr;
+    ctx.parent = [this] { return parent; };
+    ctx.children = [this] { return children; };
+    ctx.send_app = [this](ProcessId dst, int subtype, SeqNum round) {
+      sent.push_back({dst, subtype, round});
+      (void)core.prepare_send(dst);
+    };
+    ctx.set_timer = [this](int tag, SimTime delay) {
+      timers.push_back({tag, now + delay});
+    };
+    ctx.now = [this] { return now; };
+  }
+
+  struct Sent {
+    ProcessId dst;
+    int subtype;
+    SeqNum round;
+  };
+  struct Timer {
+    int tag;
+    SimTime at;
+  };
+
+  AppCore core;
+  Rng rng{42};
+  AppContext ctx;
+  ProcessId parent = kNoProcess;
+  std::vector<ProcessId> children;
+  std::vector<Interval> intervals;
+  std::vector<Sent> sent;
+  std::vector<Timer> timers;
+  SimTime now = 0.0;
+};
+
+PulseConfig small_pulse() {
+  PulseConfig pc;
+  pc.rounds = 2;
+  pc.start = 1.0;
+  pc.period = 50.0;
+  pc.jitter = 0.5;
+  return pc;
+}
+
+TEST(PulseUnitTest, LeafSendsUpAtRoundStart) {
+  MockApp app(3, 4);
+  app.parent = 1;
+  PulseBehavior pulse(small_pulse());
+  pulse.on_start(app.ctx);
+  ASSERT_EQ(app.timers.size(), 2u);  // one per round
+  app.now = 1.2;
+  pulse.on_timer(app.ctx, 0);
+  EXPECT_TRUE(app.core.predicate());  // participation = 1.0
+  ASSERT_EQ(app.sent.size(), 1u);
+  EXPECT_EQ(app.sent[0].dst, 1);
+  EXPECT_EQ(app.sent[0].subtype, PulseBehavior::kUp);
+  EXPECT_EQ(app.sent[0].round, 0u);
+  // Watchdog armed alongside participation.
+  EXPECT_EQ(app.timers.back().tag, 2);  // rounds + round = 2 + 0
+}
+
+TEST(PulseUnitTest, InternalNodeWaitsForAllChildren) {
+  MockApp app(1, 4);
+  app.parent = 0;
+  app.children = {2, 3};
+  PulseBehavior pulse(small_pulse());
+  pulse.on_start(app.ctx);
+  app.now = 1.5;
+  pulse.on_timer(app.ctx, 0);
+  EXPECT_TRUE(app.sent.empty());  // gather incomplete
+  pulse.on_app_message(app.ctx, 2, PulseBehavior::kUp, 0);
+  EXPECT_TRUE(app.sent.empty());
+  pulse.on_app_message(app.ctx, 3, PulseBehavior::kUp, 0);
+  ASSERT_EQ(app.sent.size(), 1u);
+  EXPECT_EQ(app.sent[0].dst, 0);
+  EXPECT_EQ(app.sent[0].subtype, PulseBehavior::kUp);
+}
+
+TEST(PulseUnitTest, RootBroadcastsDownAndLowersPredicate) {
+  MockApp app(0, 3);
+  app.children = {1, 2};
+  PulseBehavior pulse(small_pulse());
+  pulse.on_start(app.ctx);
+  app.now = 1.5;
+  pulse.on_timer(app.ctx, 0);
+  EXPECT_TRUE(app.core.predicate());
+  pulse.on_app_message(app.ctx, 1, PulseBehavior::kUp, 0);
+  pulse.on_app_message(app.ctx, 2, PulseBehavior::kUp, 0);
+  // Gather complete: DOWN to both children, predicate lowered, interval out.
+  ASSERT_EQ(app.sent.size(), 2u);
+  EXPECT_EQ(app.sent[0].subtype, PulseBehavior::kDown);
+  EXPECT_FALSE(app.core.predicate());
+  ASSERT_EQ(app.intervals.size(), 1u);
+}
+
+TEST(PulseUnitTest, DownLowersOnlyParticipants) {
+  MockApp app(2, 3);
+  app.parent = 0;
+  PulseConfig pc = small_pulse();
+  pc.participation = 0.0;  // never participates
+  PulseBehavior pulse(pc);
+  pulse.on_start(app.ctx);
+  app.now = 1.5;
+  pulse.on_timer(app.ctx, 0);
+  EXPECT_FALSE(app.core.predicate());
+  pulse.on_app_message(app.ctx, 0, PulseBehavior::kDown, 0);
+  EXPECT_TRUE(app.intervals.empty());  // nothing to close
+}
+
+TEST(PulseUnitTest, WatchdogClosesStalledRound) {
+  MockApp app(2, 3);
+  app.parent = 0;
+  PulseBehavior pulse(small_pulse());
+  pulse.on_start(app.ctx);
+  app.now = 1.5;
+  pulse.on_timer(app.ctx, 0);  // participates, UP sent, watchdog armed
+  ASSERT_TRUE(app.core.predicate());
+  // The DOWN never arrives; the watchdog (tag rounds + 0 = 2) fires.
+  app.now = 51.5;
+  pulse.on_timer(app.ctx, 2);
+  EXPECT_FALSE(app.core.predicate());
+  ASSERT_EQ(app.intervals.size(), 1u);
+  // A late DOWN is then harmless.
+  pulse.on_app_message(app.ctx, 0, PulseBehavior::kDown, 0);
+  EXPECT_EQ(app.intervals.size(), 1u);
+}
+
+TEST(PulseUnitTest, StaleRoundAfterRevivalIsSkipped) {
+  MockApp app(2, 3);
+  app.parent = 0;
+  PulseBehavior pulse(small_pulse());
+  pulse.on_start(app.ctx);
+  // Round 0's nominal time is 1.0; firing it at t = 60 (> nominal + period)
+  // must do nothing — the round's wave is long gone.
+  app.now = 60.0;
+  pulse.on_timer(app.ctx, 0);
+  EXPECT_FALSE(app.core.predicate());
+  EXPECT_TRUE(app.sent.empty());
+}
+
+TEST(PulseUnitTest, TreeChangeReleasesWaitingRound) {
+  MockApp app(1, 4);
+  app.parent = 0;
+  app.children = {2, 3};
+  PulseBehavior pulse(small_pulse());
+  pulse.on_start(app.ctx);
+  app.now = 1.5;
+  pulse.on_timer(app.ctx, 0);
+  pulse.on_app_message(app.ctx, 2, PulseBehavior::kUp, 0);
+  EXPECT_TRUE(app.sent.empty());  // still waiting for child 3
+  // Child 3 dies; the runner shrinks the child set and notifies.
+  app.children = {2};
+  pulse.on_tree_changed(app.ctx);
+  ASSERT_EQ(app.sent.size(), 1u);  // gather now complete
+}
+
+TEST(GossipUnitTest, RespectsIntervalBudgetAndHorizon) {
+  MockApp app(0, 2);
+  GossipConfig g;
+  g.horizon = 1000.0;
+  g.mean_gap = 1.0;
+  g.p_send = 0.0;  // toggles and internals only
+  g.p_toggle = 1.0;
+  g.max_intervals = 3;
+  GossipBehavior gossip(g);
+  gossip.on_start(app.ctx);
+  // Drive the action timer manually until the horizon.
+  for (int step = 0; step < 500 && !app.timers.empty(); ++step) {
+    const auto t = app.timers.back();
+    app.timers.pop_back();
+    app.now = t.at;
+    if (app.now > g.horizon) {
+      break;
+    }
+    gossip.on_timer(app.ctx, t.tag);
+  }
+  app.core.finalize();
+  // The budget (p) caps the interval count.
+  EXPECT_EQ(app.intervals.size(), 3u);
+}
+
+TEST(GossipUnitTest, SendOnlyMixProducesNoIntervals) {
+  MockApp app(0, 2);
+  net::Topology topo = net::Topology::complete(2);
+  app.ctx.topo = &topo;
+  GossipConfig g;
+  g.horizon = 50.0;
+  g.mean_gap = 1.0;
+  g.p_send = 1.0;
+  g.p_toggle = 0.0;
+  GossipBehavior gossip(g);
+  gossip.on_start(app.ctx);
+  for (int step = 0; step < 100 && !app.timers.empty(); ++step) {
+    const auto t = app.timers.back();
+    app.timers.pop_back();
+    app.now = t.at;
+    if (app.now > g.horizon) {
+      break;
+    }
+    gossip.on_timer(app.ctx, t.tag);
+  }
+  EXPECT_TRUE(app.intervals.empty());
+  EXPECT_FALSE(app.sent.empty());
+  for (const auto& s : app.sent) {
+    EXPECT_EQ(s.dst, 1);  // the only neighbour
+  }
+}
+
+}  // namespace
+}  // namespace hpd::trace

@@ -1,0 +1,158 @@
+// Targeted tests for the subtree-delegated parent search and the FLIP
+// re-rooting chain (Section III-F realized as a protocol; see
+// ft/reattach.hpp and docs/ARCHITECTURE.md).
+#include <gtest/gtest.h>
+
+#include "proto/messages.hpp"
+#include "runner/experiment.hpp"
+#include "trace/pulse.hpp"
+
+namespace hpd::runner {
+namespace {
+
+/// Chain 0-1-2-3-4 with the tree rooted at 0, plus the single escape edge
+/// 4-0. Killing node 1 orphans the subtree {2,3,4}; node 2's own
+/// neighbourhood is gone (1 dead, 3 a descendant), node 3's too, and only
+/// node 4 — two delegation hops down — can reach the main tree. The attach
+/// at 4 must then flip the edges 4→3 and 3→2 to re-root the subtree.
+ExperimentConfig deep_delegation_config(std::uint64_t seed) {
+  ExperimentConfig cfg;
+  net::Topology topo(5);
+  topo.add_edge(0, 1);
+  topo.add_edge(1, 2);
+  topo.add_edge(2, 3);
+  topo.add_edge(3, 4);
+  topo.add_edge(4, 0);  // the only way back for the orphaned subtree
+  cfg.topology = topo;
+  std::vector<ProcessId> parents = {kNoProcess, 0, 1, 2, 3};
+  cfg.tree = net::SpanningTree::from_parents(parents, 0);
+
+  trace::PulseConfig pc;
+  pc.rounds = 10;
+  pc.period = 90.0;
+  cfg.behavior_factory = [pc](ProcessId) {
+    return std::make_unique<trace::PulseBehavior>(pc);
+  };
+  cfg.horizon = 950.0;
+  cfg.drain = 250.0;
+  cfg.heartbeats = true;
+  // Must exceed the worst-case probe+ack round trip (2 × 1.5 under the
+  // default U(0.5, 1.5) delays), or acks can miss the window.
+  cfg.reattach_config.probe_window = 3.5;
+  cfg.reattach_config.retry_backoff = 3.0;
+  cfg.failures.push_back(FailureEvent{150.0, 1});
+  cfg.seed = seed;
+  cfg.occurrence_solutions = false;
+  return cfg;
+}
+
+class DeepDelegationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeepDelegationTest, TwoLevelDelegationReRootsTheSubtree) {
+  const ExperimentResult res = run_experiment(deep_delegation_config(GetParam()));
+
+  // Expected healed shape: 0 root; 4 under 0; 3 under 4; 2 under 3.
+  EXPECT_FALSE(res.final_alive[1]);
+  EXPECT_EQ(res.final_parents[0], kNoProcess);
+  EXPECT_EQ(res.final_parents[4], 0);
+  EXPECT_EQ(res.final_parents[3], 4);
+  EXPECT_EQ(res.final_parents[2], 3);
+
+  // Delegation and flips actually ran.
+  EXPECT_GE(res.metrics.msgs_of_type(proto::kDelegate), 2u);
+  EXPECT_GE(res.metrics.msgs_of_type(proto::kFlip), 2u);
+  EXPECT_GE(res.metrics.msgs_of_type(proto::kFlipAck), 2u);
+  EXPECT_GE(res.metrics.msgs_of_type(proto::kFlipGo), 2u);
+
+  // Detection resumed over the four survivors after the repair: some
+  // global occurrence late in the run covers weight 4.
+  bool full_coverage_after_repair = false;
+  for (const auto& rec : res.occurrences) {
+    if (rec.global && rec.time > 400.0) {
+      full_coverage_after_repair = true;
+    }
+  }
+  EXPECT_TRUE(full_coverage_after_repair);
+  EXPECT_GT(res.global_count, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeepDelegationTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+/// One-level delegation: the orphan's child holds the escape edge.
+TEST(DelegationTest, SingleLevelDelegation) {
+  ExperimentConfig cfg;
+  net::Topology topo(4);
+  topo.add_edge(0, 1);
+  topo.add_edge(1, 2);
+  topo.add_edge(2, 3);
+  topo.add_edge(3, 0);
+  cfg.topology = topo;
+  std::vector<ProcessId> parents = {kNoProcess, 0, 1, 2};
+  cfg.tree = net::SpanningTree::from_parents(parents, 0);
+  trace::PulseConfig pc;
+  pc.rounds = 8;
+  pc.period = 90.0;
+  cfg.behavior_factory = [pc](ProcessId) {
+    return std::make_unique<trace::PulseBehavior>(pc);
+  };
+  cfg.horizon = 760.0;
+  cfg.drain = 250.0;
+  cfg.heartbeats = true;
+  cfg.failures.push_back(FailureEvent{140.0, 1});
+  cfg.seed = 17;
+  cfg.occurrence_solutions = false;
+
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_EQ(res.final_parents[3], 0);
+  EXPECT_EQ(res.final_parents[2], 3);  // flipped under the pivot
+  EXPECT_GT(res.global_count, 0u);
+}
+
+/// A genuinely partitioned subtree (no escape edge at any depth) must
+/// exhaust the DFS and elect its own root — partial-predicate detection
+/// over the partition.
+TEST(DelegationTest, ExhaustedSearchBecomesPartitionRoot) {
+  ExperimentConfig cfg;
+  net::Topology topo(5);
+  topo.add_edge(0, 1);
+  topo.add_edge(1, 2);
+  topo.add_edge(2, 3);
+  topo.add_edge(2, 4);
+  cfg.topology = topo;
+  std::vector<ProcessId> parents = {kNoProcess, 0, 1, 2, 2};
+  cfg.tree = net::SpanningTree::from_parents(parents, 0);
+  trace::PulseConfig pc;
+  pc.rounds = 8;
+  pc.period = 100.0;
+  cfg.behavior_factory = [pc](ProcessId) {
+    return std::make_unique<trace::PulseBehavior>(pc);
+  };
+  cfg.horizon = 850.0;
+  cfg.drain = 300.0;
+  cfg.heartbeats = true;
+  cfg.failures.push_back(FailureEvent{150.0, 1});
+  cfg.seed = 23;
+  cfg.occurrence_solutions = false;
+
+  const ExperimentResult res = run_experiment(cfg);
+  // Two partitions: {0} and {2,3,4} headed by 2.
+  EXPECT_EQ(res.final_parents[0], kNoProcess);
+  EXPECT_EQ(res.final_parents[2], kNoProcess);
+  EXPECT_EQ(res.final_parents[3], 2);
+  EXPECT_EQ(res.final_parents[4], 2);
+  // The delegation DFS ran and failed upward before node 2 conceded.
+  EXPECT_GE(res.metrics.msgs_of_type(proto::kDelegateFail), 1u);
+  // Both partitions keep detecting their partial predicates.
+  std::set<ProcessId> roots_detecting;
+  for (const auto& rec : res.occurrences) {
+    if (rec.global && rec.time > 450.0) {
+      roots_detecting.insert(rec.detector);
+    }
+  }
+  EXPECT_TRUE(roots_detecting.count(0) == 1);
+  EXPECT_TRUE(roots_detecting.count(2) == 1);
+}
+
+}  // namespace
+}  // namespace hpd::runner

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "wire/delta_clock.hpp"
+
+namespace hpd::wire {
+namespace {
+
+TEST(DeltaClockTest, FirstClockIsFull) {
+  DeltaClockEncoder enc(3);
+  DeltaClockDecoder dec(3);
+  const VectorClock vc{1, 2, 3};
+  const auto bytes = enc.encode(vc);
+  EXPECT_EQ(bytes[0], 0);  // full
+  EXPECT_EQ(dec.decode(bytes), vc);
+  EXPECT_EQ(enc.full_clocks_sent(), 1u);
+}
+
+TEST(DeltaClockTest, DeltasTrackChanges) {
+  DeltaClockEncoder enc(4);
+  DeltaClockDecoder dec(4);
+  VectorClock vc{1, 0, 0, 0};
+  dec.decode(enc.encode(vc));
+  vc[0] = 2;
+  vc[3] = 7;
+  const auto bytes = enc.encode(vc);
+  EXPECT_EQ(bytes[0], 1);  // delta
+  EXPECT_EQ(dec.decode(bytes), vc);
+  // Unchanged clock: empty delta, 2 bytes (kind + count).
+  const auto empty = enc.encode(vc);
+  EXPECT_EQ(empty.size(), 2u);
+  EXPECT_EQ(dec.decode(empty), vc);
+}
+
+TEST(DeltaClockTest, StreamRoundTripRandomWalk) {
+  Rng rng(42);
+  const std::size_t n = 64;
+  DeltaClockEncoder enc(n, 16);
+  DeltaClockDecoder dec(n);
+  VectorClock vc(n);
+  for (int step = 0; step < 300; ++step) {
+    // A few components advance per message (a realistic stamp stream).
+    const std::size_t changes = rng.uniform_index(4);
+    for (std::size_t c = 0; c < changes; ++c) {
+      vc[rng.uniform_index(n)] +=
+          static_cast<ClockValue>(rng.uniform_int(1, 5));
+    }
+    ASSERT_EQ(dec.decode(enc.encode(vc)), vc) << "step " << step;
+  }
+  EXPECT_GE(enc.full_clocks_sent(), 300u / 16u);
+}
+
+TEST(DeltaClockTest, CompressionBeatsFullEncodingOnSparseChanges) {
+  Rng rng(7);
+  const std::size_t n = 256;
+  DeltaClockEncoder delta(n, 0);  // no resync, best case
+  VectorClock vc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    vc[i] = static_cast<ClockValue>(rng.uniform_int(100, 1000));
+  }
+  std::uint64_t full_bytes = 0;
+  for (int step = 0; step < 100; ++step) {
+    vc[rng.uniform_index(n)] += 1;
+    vc[rng.uniform_index(n)] += 2;
+    (void)delta.encode(vc);
+    Encoder full;
+    full.put_clock(vc);
+    full_bytes += full.bytes().size();
+  }
+  // Two changed components per message: deltas should be >20x smaller.
+  EXPECT_LT(delta.bytes_emitted() * 20, full_bytes);
+}
+
+TEST(DeltaClockTest, MonotonicityEnforced) {
+  DeltaClockEncoder enc(2);
+  enc.encode(VectorClock{3, 3});
+  EXPECT_THROW(enc.encode(VectorClock{2, 3}), AssertionError);
+}
+
+TEST(DeltaClockTest, DecoderRejectsDeltaBeforeFull) {
+  DeltaClockEncoder enc(2);
+  DeltaClockDecoder dec(2);
+  enc.encode(VectorClock{1, 1});               // full, not given to dec
+  const auto delta = enc.encode(VectorClock{2, 1});
+  EXPECT_THROW(dec.decode(delta), DecodeError);
+}
+
+TEST(DeltaClockTest, DecoderRejectsMalformedDeltas) {
+  DeltaClockDecoder dec(3);
+  {
+    Encoder e;  // full clock of the wrong size
+    e.put_u8(0);
+    e.put_clock(VectorClock{1, 2});
+    EXPECT_THROW(dec.decode(e.bytes()), DecodeError);
+  }
+  {
+    Encoder e;
+    e.put_u8(0);
+    e.put_clock(VectorClock{1, 2, 3});
+    dec.decode(e.bytes());  // prime the state
+  }
+  {
+    Encoder e;  // index out of range
+    e.put_u8(1);
+    e.put_varint(1);
+    e.put_varint(9);  // first gap → index 8
+    e.put_varint(5);
+    EXPECT_THROW(dec.decode(e.bytes()), DecodeError);
+  }
+  {
+    Encoder e;  // component going backwards
+    e.put_u8(1);
+    e.put_varint(1);
+    e.put_varint(3);  // index 2 (current value 3)
+    e.put_varint(1);
+    EXPECT_THROW(dec.decode(e.bytes()), DecodeError);
+  }
+  {
+    Encoder e;  // zero gap between indices
+    e.put_u8(1);
+    e.put_varint(2);
+    e.put_varint(1);
+    e.put_varint(9);
+    e.put_varint(0);
+    e.put_varint(9);
+    EXPECT_THROW(dec.decode(e.bytes()), DecodeError);
+  }
+  {
+    Encoder e;  // unknown kind
+    e.put_u8(7);
+    EXPECT_THROW(dec.decode(e.bytes()), DecodeError);
+  }
+}
+
+TEST(DeltaClockTest, PeriodicResyncRecoversALostDecoder) {
+  // A decoder that joined late (missed earlier messages) recovers at the
+  // next full clock — the reason resync_every exists.
+  DeltaClockEncoder enc(3, 4);
+  DeltaClockDecoder late(3);
+  VectorClock vc{1, 1, 1};
+  std::vector<std::vector<std::uint8_t>> stream;
+  for (int i = 0; i < 10; ++i) {
+    vc[0] += 1;
+    stream.push_back(enc.encode(vc));
+  }
+  // Skip ahead to the next full clock in the stream and resume from there.
+  std::size_t first_full = 1;
+  while (first_full < stream.size() && stream[first_full][0] != 0) {
+    ++first_full;
+  }
+  ASSERT_LT(first_full, stream.size());
+  VectorClock got;
+  for (std::size_t i = first_full; i < stream.size(); ++i) {
+    got = late.decode(stream[i]);
+  }
+  EXPECT_EQ(got, vc);
+}
+
+}  // namespace
+}  // namespace hpd::wire

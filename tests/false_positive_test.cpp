@@ -1,0 +1,86 @@
+// Failure-detector false positives: with an aggressive heartbeat timeout
+// (below the channel's worst-case inter-arrival jitter) parents will
+// wrongly declare live children dead. The DISOWN message turns that
+// permanent subtree loss into a transient re-attachment — this chaos test
+// verifies the system keeps detecting and never wedges or forms cycles.
+#include <gtest/gtest.h>
+
+#include "proto/messages.hpp"
+#include "runner/experiment.hpp"
+#include "trace/pulse.hpp"
+
+namespace hpd::runner {
+namespace {
+
+class FalsePositiveTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FalsePositiveTest, DisownRecoversWronglyDroppedChildren) {
+  ExperimentConfig cfg;
+  cfg.topology = net::Topology::grid(3, 3);
+  cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+  trace::PulseConfig pc;
+  pc.rounds = 14;
+  pc.period = 90.0;
+  cfg.behavior_factory = [pc](ProcessId) {
+    return std::make_unique<trace::PulseBehavior>(pc);
+  };
+  cfg.horizon = 1400.0;
+  cfg.drain = 200.0;
+  cfg.heartbeats = true;
+  // Beats every 1.0, delays U(0.5, 1.5): inter-arrival jitter approaches
+  // 2.0, but the timeout fires at 1.6 — false positives guaranteed.
+  cfg.hb_config.period = 1.0;
+  cfg.hb_config.timeout_multiplier = 1.6;
+  cfg.seed = GetParam();
+  cfg.occurrence_solutions = false;
+
+  const ExperimentResult res = run_experiment(cfg);
+
+  // False positives actually happened (otherwise this test proves nothing).
+  EXPECT_GT(res.metrics.msgs_of_type(proto::kDisown), 0u);
+
+  // No parent cycles among the survivors (everyone is a survivor here).
+  const std::size_t n = res.final_parents.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    ProcessId cur = static_cast<ProcessId>(i);
+    std::size_t hops = 0;
+    while (cur != kNoProcess) {
+      cur = res.final_parents[idx(cur)];
+      ASSERT_LE(++hops, n) << "parent cycle through node " << i;
+    }
+  }
+
+  // Detection kept making progress deep into the run despite the thrash.
+  bool late_detection = false;
+  for (const auto& rec : res.occurrences) {
+    if (rec.global && rec.time > 900.0) {
+      late_detection = true;
+    }
+  }
+  EXPECT_TRUE(late_detection);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FalsePositiveTest,
+                         ::testing::Values(3u, 9u, 27u));
+
+TEST(FalsePositiveTest, SafeTimeoutProducesNoDisowns) {
+  ExperimentConfig cfg;
+  cfg.topology = net::Topology::grid(3, 3);
+  cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+  trace::PulseConfig pc;
+  pc.rounds = 8;
+  pc.period = 90.0;
+  cfg.behavior_factory = [pc](ProcessId) {
+    return std::make_unique<trace::PulseBehavior>(pc);
+  };
+  cfg.horizon = 850.0;
+  cfg.heartbeats = true;
+  cfg.hb_config.timeout_multiplier = 3.5;  // safely above max jitter
+  cfg.seed = 5;
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_EQ(res.metrics.msgs_of_type(proto::kDisown), 0u);
+  EXPECT_EQ(res.global_count, 8u);
+}
+
+}  // namespace
+}  // namespace hpd::runner

@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "ft/heartbeat.hpp"
+#include "ft/reattach.hpp"
+
+namespace hpd::ft {
+namespace {
+
+// ---- HeartbeatAgent --------------------------------------------------------
+
+struct HbHarness {
+  HbHarness(ProcessId self, const HeartbeatConfig& cfg) {
+    HeartbeatAgent::Hooks hooks;
+    hooks.send = [this](ProcessId dst, const proto::HeartbeatPayload& p) {
+      sent.emplace_back(dst, p);
+    };
+    hooks.on_failed = [this](ProcessId nbr, bool was_parent) {
+      failures.emplace_back(nbr, was_parent);
+    };
+    hooks.now = [this] { return now; };
+    agent.emplace(self, cfg, std::move(hooks));
+  }
+  std::vector<std::pair<ProcessId, proto::HeartbeatPayload>> sent;
+  std::vector<std::pair<ProcessId, bool>> failures;
+  SimTime now = 0.0;
+  std::optional<HeartbeatAgent> agent;
+};
+
+TEST(HeartbeatTest, RootAdvertisesItself) {
+  HbHarness h(0, {});
+  h.agent->init_as_root();
+  EXPECT_TRUE(h.agent->attached());
+  EXPECT_TRUE(h.agent->is_root());
+  EXPECT_EQ(h.agent->depth(), 0);
+  h.agent->add_child(1);
+  h.agent->on_tick();
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].first, 1);
+  EXPECT_TRUE(h.sent[0].second.attached);
+  EXPECT_EQ(h.sent[0].second.root_path, (std::vector<ProcessId>{0}));
+}
+
+TEST(HeartbeatTest, BeatsGoToParentAndChildren) {
+  HbHarness h(2, {});
+  h.agent->init_with_parent(1, {2, 1, 0});
+  h.agent->add_child(5);
+  h.agent->add_child(6);
+  h.agent->on_tick();
+  ASSERT_EQ(h.sent.size(), 3u);
+  EXPECT_EQ(h.sent[0].first, 1);  // parent first
+  EXPECT_EQ(h.agent->depth(), 2);
+}
+
+TEST(HeartbeatTest, ParentTimeoutDetected) {
+  HeartbeatConfig cfg;
+  cfg.period = 1.0;
+  cfg.timeout_multiplier = 3.0;
+  HbHarness h(2, cfg);
+  h.agent->init_with_parent(1, {2, 1, 0});
+  h.agent->add_child(5);
+  // Child keeps beating; the parent goes silent.
+  for (int tick = 1; tick <= 5; ++tick) {
+    h.now = tick;
+    h.agent->on_heartbeat(5, proto::HeartbeatPayload{true, {5, 2, 1, 0}});
+    h.agent->on_tick();
+  }
+  ASSERT_EQ(h.failures.size(), 1u);
+  EXPECT_EQ(h.failures[0], (std::pair<ProcessId, bool>{1, true}));
+  EXPECT_FALSE(h.agent->attached());
+  EXPECT_EQ(h.agent->parent(), kNoProcess);
+}
+
+TEST(HeartbeatTest, ChildTimeoutDetected) {
+  HeartbeatConfig cfg;
+  cfg.period = 1.0;
+  cfg.timeout_multiplier = 3.0;
+  HbHarness h(2, cfg);
+  h.agent->init_with_parent(1, {2, 1, 0});
+  h.agent->add_child(5);
+  for (int tick = 1; tick <= 5; ++tick) {
+    h.now = tick;
+    h.agent->on_heartbeat(1, proto::HeartbeatPayload{true, {1, 0}});
+    h.agent->on_tick();
+  }
+  ASSERT_EQ(h.failures.size(), 1u);
+  EXPECT_EQ(h.failures[0], (std::pair<ProcessId, bool>{5, false}));
+  EXPECT_TRUE(h.agent->attached());  // parent beats kept us attached
+}
+
+TEST(HeartbeatTest, PathRefreshFromParent) {
+  HbHarness h(2, {});
+  h.agent->init_with_parent(1, {2, 1, 0});
+  h.agent->on_heartbeat(1, proto::HeartbeatPayload{true, {1, 7}});
+  EXPECT_EQ(h.agent->root_path(), (std::vector<ProcessId>{2, 1, 7}));
+  EXPECT_EQ(h.agent->depth(), 2);
+}
+
+TEST(HeartbeatTest, DetachedParentPropagates) {
+  HbHarness h(2, {});
+  h.agent->init_with_parent(1, {2, 1, 0});
+  h.agent->on_heartbeat(1, proto::HeartbeatPayload{false, {}});
+  EXPECT_FALSE(h.agent->attached());
+  // A later attached beat restores the path.
+  h.agent->on_heartbeat(1, proto::HeartbeatPayload{true, {1, 3}});
+  EXPECT_TRUE(h.agent->attached());
+}
+
+TEST(HeartbeatTest, TransientLoopingPathIgnored) {
+  HbHarness h(2, {});
+  h.agent->init_with_parent(1, {2, 1, 0});
+  // A (stale) parent path claiming to run through us must not be adopted;
+  // one or two such beats are normal mid-repair staleness.
+  h.agent->on_heartbeat(1, proto::HeartbeatPayload{true, {1, 2, 0}});
+  EXPECT_EQ(h.agent->root_path(), (std::vector<ProcessId>{2, 1, 0}));
+  EXPECT_TRUE(h.failures.empty());
+  // A clean beat resets the streak.
+  h.agent->on_heartbeat(1, proto::HeartbeatPayload{true, {1, 0}});
+  h.agent->on_heartbeat(1, proto::HeartbeatPayload{true, {1, 2, 0}});
+  h.agent->on_heartbeat(1, proto::HeartbeatPayload{true, {1, 2, 0}});
+  EXPECT_TRUE(h.failures.empty());
+}
+
+TEST(HeartbeatTest, PersistentLoopBreaksTheCycle) {
+  HbHarness h(2, {});
+  h.agent->init_with_parent(1, {2, 1, 0});
+  // Three consecutive looping beats: stale repair data actually formed a
+  // cycle; the agent must break it by declaring the parent failed.
+  for (int k = 0; k < 3; ++k) {
+    h.agent->on_heartbeat(1, proto::HeartbeatPayload{true, {1, 2, 1, 0}});
+  }
+  ASSERT_EQ(h.failures.size(), 1u);
+  EXPECT_EQ(h.failures[0], (std::pair<ProcessId, bool>{1, true}));
+  EXPECT_EQ(h.agent->parent(), kNoProcess);
+  EXPECT_FALSE(h.agent->attached());
+}
+
+TEST(HeartbeatTest, UntrackedSenderIgnored) {
+  HbHarness h(2, {});
+  h.agent->init_with_parent(1, {2, 1, 0});
+  h.agent->on_heartbeat(9, proto::HeartbeatPayload{true, {9, 0}});
+  EXPECT_EQ(h.agent->root_path(), (std::vector<ProcessId>{2, 1, 0}));
+}
+
+TEST(HeartbeatTest, SetParentAndBecomeRoot) {
+  HbHarness h(2, {});
+  h.agent->init_with_parent(1, {2, 1, 0});
+  h.agent->clear_parent();
+  EXPECT_FALSE(h.agent->attached());
+  h.agent->set_parent(4);
+  EXPECT_TRUE(h.agent->attached());
+  EXPECT_EQ(h.agent->parent(), 4);
+  EXPECT_EQ(h.agent->root_path(), (std::vector<ProcessId>{2, 4}));
+  h.agent->become_root();
+  EXPECT_TRUE(h.agent->is_root());
+  EXPECT_EQ(h.agent->depth(), 0);
+}
+
+// ---- ReattachProtocol --------------------------------------------------------
+
+struct RaHarness {
+  explicit RaHarness(ProcessId self, ReattachConfig cfg = {}) {
+    ReattachProtocol::Hooks hooks;
+    hooks.broadcast_probe = [this] { ++probes; };
+    hooks.send_attach_req = [this](ProcessId dst) { attach_to.push_back(dst); };
+    hooks.set_timer = [this](int tag, SimTime delay) {
+      timers.emplace_back(tag, delay);
+    };
+    hooks.on_attached = [this](ProcessId p) { attached_to = p; };
+    hooks.on_search_exhausted = [this] { ++exhausted; };
+    proto.emplace(self, cfg, std::move(hooks));
+  }
+
+  /// Fire the most recently set timer.
+  void fire_timer() {
+    ASSERT_FALSE(timers.empty());
+    const int tag = timers.back().first;
+    timers.pop_back();
+    proto->on_timer(tag);
+  }
+
+  int probes = 0;
+  int exhausted = 0;
+  std::vector<ProcessId> attach_to;
+  std::vector<std::pair<int, SimTime>> timers;
+  ProcessId attached_to = kNoProcess;
+  std::optional<ReattachProtocol> proto;
+};
+
+proto::ProbeAckPayload ack(bool attached, std::vector<ProcessId> path) {
+  proto::ProbeAckPayload p;
+  p.attached = attached;
+  p.root_path = std::move(path);
+  return p;
+}
+
+TEST(ReattachTest, HappyPathAttachesToShallowestCandidate) {
+  RaHarness h(9);
+  h.proto->begin(ReattachProtocol::Mode::kOrphan, 9);
+  EXPECT_EQ(h.probes, 1);
+  EXPECT_TRUE(h.proto->searching());
+  h.proto->on_probe_ack(4, ack(true, {4, 1, 0}));  // depth 2
+  h.proto->on_probe_ack(3, ack(true, {3, 0}));     // depth 1 — better
+  h.fire_timer();                                   // probe window expires
+  ASSERT_EQ(h.attach_to.size(), 1u);
+  EXPECT_EQ(h.attach_to[0], 3);
+  h.proto->on_attach_ack(3, proto::AttachAckPayload{true});
+  EXPECT_EQ(h.attached_to, 3);
+  EXPECT_EQ(h.proto->state(), ReattachProtocol::State::kAttached);
+  EXPECT_EQ(h.exhausted, 0);
+}
+
+TEST(ReattachTest, DescendantResponsesAreRejected) {
+  RaHarness h(9);
+  h.proto->begin(ReattachProtocol::Mode::kOrphan, 9);
+  // The only responder's root path runs through us: adopting would loop.
+  h.proto->on_probe_ack(4, ack(true, {4, 9, 0}));
+  h.fire_timer();
+  EXPECT_TRUE(h.attach_to.empty());
+  EXPECT_EQ(h.exhausted, 0);  // first failed round: retry scheduled
+  EXPECT_EQ(h.proto->retries(), 1);
+}
+
+TEST(ReattachTest, OnlyDescendantsTwiceExhaustsSearch) {
+  RaHarness h(9);
+  h.proto->begin(ReattachProtocol::Mode::kOrphan, 9);
+  h.proto->on_probe_ack(4, ack(true, {4, 9, 0}));
+  h.fire_timer();  // round 1: retry
+  h.fire_timer();  // retry timer: new probe round
+  EXPECT_EQ(h.probes, 2);
+  h.proto->on_probe_ack(4, ack(true, {4, 9, 0}));
+  h.fire_timer();  // round 2: still nothing viable
+  EXPECT_EQ(h.exhausted, 1);
+  EXPECT_EQ(h.proto->state(), ReattachProtocol::State::kIdle);
+}
+
+TEST(ReattachTest, DelegateModeRejectsOrphanSubtreePaths) {
+  RaHarness h(5);
+  h.proto->begin(ReattachProtocol::Mode::kDelegate, 9);
+  EXPECT_EQ(h.proto->mode(), ReattachProtocol::Mode::kDelegate);
+  // A responder whose path passes through the orphan 9 must be rejected
+  // even though it does not pass through us (node 5).
+  h.proto->on_probe_ack(4, ack(true, {4, 9, 0}));
+  // A clean outside candidate is accepted.
+  h.proto->on_probe_ack(7, ack(true, {7, 2, 0}));
+  h.fire_timer();
+  ASSERT_EQ(h.attach_to.size(), 1u);
+  EXPECT_EQ(h.attach_to[0], 7);
+}
+
+TEST(ReattachTest, DelegateModeExhaustsQuicklyIgnoringOrphans) {
+  RaHarness h(5);
+  h.proto->begin(ReattachProtocol::Mode::kDelegate, 9);
+  h.proto->on_probe_ack(2, ack(false, {}));  // smaller-id orphan nearby
+  h.fire_timer();  // round 1 fails (no waiting in delegate mode)
+  EXPECT_EQ(h.exhausted, 0);
+  h.fire_timer();  // retry -> round 2
+  h.fire_timer();  // round 2 fails -> exhausted
+  EXPECT_EQ(h.exhausted, 1);
+}
+
+TEST(ReattachTest, WaitsForSmallerIdOrphan) {
+  RaHarness h(9);
+  h.proto->begin(ReattachProtocol::Mode::kOrphan, 9);
+  for (int round = 1; round <= 3; ++round) {
+    h.proto->on_probe_ack(2, ack(false, {}));  // smaller-id orphan nearby
+    h.fire_timer();                             // window -> retry
+    EXPECT_EQ(h.exhausted, 0) << "round " << round;
+    h.fire_timer();                             // retry -> new probe round
+  }
+  // Once the smaller orphan has become root and answers attached, we join.
+  h.proto->on_probe_ack(2, ack(true, {2}));
+  h.fire_timer();
+  EXPECT_EQ(h.attach_to.back(), 2);
+}
+
+TEST(ReattachTest, SmallerOrphanEventuallyGivesUpViaMaxRetries) {
+  ReattachConfig cfg;
+  cfg.max_retries = 3;
+  RaHarness h(9, cfg);
+  h.proto->begin(ReattachProtocol::Mode::kOrphan, 9);
+  for (int round = 1; round <= 2; ++round) {
+    h.proto->on_probe_ack(2, ack(false, {}));
+    h.fire_timer();
+    h.fire_timer();
+  }
+  h.proto->on_probe_ack(2, ack(false, {}));
+  h.fire_timer();  // third failure hits max_retries
+  EXPECT_EQ(h.exhausted, 1);
+}
+
+TEST(ReattachTest, RefusedAttachRetries) {
+  RaHarness h(9);
+  h.proto->begin(ReattachProtocol::Mode::kOrphan, 9);
+  h.proto->on_probe_ack(3, ack(true, {3, 0}));
+  h.fire_timer();
+  h.proto->on_attach_ack(3, proto::AttachAckPayload{false});
+  EXPECT_EQ(h.proto->state(), ReattachProtocol::State::kProbing);
+  EXPECT_EQ(h.attached_to, kNoProcess);
+}
+
+TEST(ReattachTest, AttachDeadlineFallsBackToProbing) {
+  RaHarness h(9);
+  h.proto->begin(ReattachProtocol::Mode::kOrphan, 9);
+  h.proto->on_probe_ack(3, ack(true, {3, 0}));
+  h.fire_timer();  // window -> attach sent, deadline timer armed
+  EXPECT_EQ(h.proto->state(), ReattachProtocol::State::kAttaching);
+  h.fire_timer();  // deadline expires: prospective parent died
+  EXPECT_EQ(h.probes, 2);  // re-probing
+}
+
+TEST(ReattachTest, AckFromWrongSenderIgnored) {
+  RaHarness h(9);
+  h.proto->begin(ReattachProtocol::Mode::kOrphan, 9);
+  h.proto->on_probe_ack(3, ack(true, {3, 0}));
+  h.fire_timer();
+  h.proto->on_attach_ack(4, proto::AttachAckPayload{true});  // not pending
+  EXPECT_EQ(h.attached_to, kNoProcess);
+  h.proto->on_attach_ack(3, proto::AttachAckPayload{true});
+  EXPECT_EQ(h.attached_to, 3);
+}
+
+TEST(ReattachTest, SilenceExhaustsAfterTwoRounds) {
+  RaHarness h(9);
+  h.proto->begin(ReattachProtocol::Mode::kOrphan, 9);
+  h.fire_timer();  // round 1: no acks -> retry
+  EXPECT_EQ(h.exhausted, 0);
+  h.fire_timer();  // retry -> probe round 2
+  h.fire_timer();  // round 2: silence again -> search exhausted
+  EXPECT_EQ(h.exhausted, 1);
+}
+
+TEST(ReattachTest, BeginWhileSearchingIsNoop) {
+  RaHarness h(9);
+  h.proto->begin(ReattachProtocol::Mode::kOrphan, 9);
+  h.proto->begin(ReattachProtocol::Mode::kOrphan, 9);
+  EXPECT_EQ(h.probes, 1);
+}
+
+TEST(ReattachTest, CanRestartAfterExhaustion) {
+  RaHarness h(9);
+  h.proto->begin(ReattachProtocol::Mode::kOrphan, 9);
+  h.fire_timer();
+  h.fire_timer();
+  h.fire_timer();
+  ASSERT_EQ(h.exhausted, 1);
+  // A later begin (e.g. a delegated search) starts fresh.
+  h.proto->begin(ReattachProtocol::Mode::kDelegate, 4);
+  EXPECT_TRUE(h.proto->searching());
+  EXPECT_EQ(h.proto->retries(), 0);
+}
+
+}  // namespace
+}  // namespace hpd::ft

@@ -1,0 +1,446 @@
+// Differential fuzzing of the detection engines against deliberately naive
+// re-implementations. The references below are written directly from the
+// restructured pseudocode with no sharing of code or data structures with
+// the production engines; any divergence on randomized streams is a bug in
+// one of them.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "detect/possibly.hpp"
+#include "detect/queue_engine.hpp"
+
+namespace hpd::detect {
+namespace {
+
+// ---- Naive Definitely reference ------------------------------------------
+
+struct NaiveDefinitely {
+  std::map<ProcessId, std::list<Interval>> queues;
+  std::vector<std::vector<std::pair<ProcessId, SeqNum>>> solutions;
+  std::uint64_t eliminated = 0;
+  std::uint64_t pruned = 0;
+
+  void add_queue(ProcessId key) { queues[key]; }
+
+  static bool leq(const VectorClock& a, const VectorClock& b) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] > b[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+  static bool less(const VectorClock& a, const VectorClock& b) {
+    return leq(a, b) && !(a == b);
+  }
+
+  bool all_nonempty() const {
+    for (const auto& [k, q] : queues) {
+      if (q.empty()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void offer(ProcessId key, const Interval& x) {
+    auto& q = queues.at(key);
+    const bool was_empty = q.empty();
+    q.push_back(x);
+    if (!was_empty) {
+      return;
+    }
+    run({key});
+  }
+
+  void recheck() {
+    std::vector<ProcessId> updated;
+    for (const auto& [k, q] : queues) {
+      if (!q.empty()) {
+        updated.push_back(k);
+      }
+    }
+    if (!updated.empty()) {
+      run(std::move(updated));
+    }
+  }
+
+  void run(std::vector<ProcessId> updated) {
+    while (!updated.empty()) {
+      // One elimination round.
+      std::vector<ProcessId> dead;
+      for (const ProcessId a : updated) {
+        if (queues.at(a).empty()) {
+          continue;
+        }
+        const Interval& xa = queues.at(a).front();
+        for (auto& [b, qb] : queues) {
+          if (b == a || qb.empty()) {
+            continue;
+          }
+          const Interval& yb = qb.front();
+          if (!leq(xa.lo, yb.hi)) {
+            dead.push_back(b);
+          }
+          if (!leq(yb.lo, xa.hi)) {
+            dead.push_back(a);
+          }
+        }
+      }
+      std::sort(dead.begin(), dead.end());
+      dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+      if (!dead.empty()) {
+        for (const ProcessId c : dead) {
+          if (!queues.at(c).empty()) {
+            queues.at(c).pop_front();
+            ++eliminated;
+          }
+        }
+        updated = dead;
+        continue;
+      }
+      if (!all_nonempty()) {
+        break;
+      }
+      // Solution.
+      std::vector<std::pair<ProcessId, SeqNum>> sol;
+      for (const auto& [k, q2] : queues) {
+        sol.emplace_back(k, q2.front().seq);
+      }
+      solutions.push_back(sol);
+      // Prune: Eq. (10), all qualifying heads.
+      std::vector<ProcessId> prune;
+      for (const auto& [a, qa] : queues) {
+        bool removable = true;
+        for (const auto& [b, qb] : queues) {
+          if (a != b && less(qb.front().hi, qa.front().hi)) {
+            removable = false;
+          }
+        }
+        if (removable) {
+          prune.push_back(a);
+        }
+      }
+      for (const ProcessId c : prune) {
+        queues.at(c).pop_front();
+        ++pruned;
+      }
+      updated = prune;
+    }
+  }
+};
+
+// ---- Random interval stream generator --------------------------------------
+//
+// Produces per-origin streams with strictly increasing (lo, hi) windows,
+// random overlap structure across origins, and occasional equal vectors to
+// poke the cut-equality corner.
+
+struct StreamGen {
+  Rng rng;
+  std::size_t n;
+  std::vector<ClockValue> last_hi;  // per origin, own-component floor
+
+  StreamGen(std::uint64_t seed, std::size_t n_procs)
+      : rng(seed), n(n_procs), last_hi(n_procs, 0) {}
+
+  Interval next(ProcessId origin, SeqNum seq) {
+    Interval x;
+    x.lo = VectorClock(n);
+    x.hi = VectorClock(n);
+    // Own component strictly increases between successive intervals.
+    const ClockValue lo_own =
+        last_hi[idx(origin)] + 1 +
+        static_cast<ClockValue>(rng.uniform_int(0, 2));
+    const ClockValue hi_own =
+        lo_own + static_cast<ClockValue>(rng.uniform_int(0, 3));
+    last_hi[idx(origin)] = hi_own;
+    for (std::size_t i = 0; i < n; ++i) {
+      const ClockValue base = static_cast<ClockValue>(rng.uniform_int(0, 12));
+      x.lo[i] = base;
+      x.hi[i] = base + static_cast<ClockValue>(rng.uniform_int(0, 6));
+    }
+    x.lo[idx(origin)] = lo_own;
+    x.hi[idx(origin)] = hi_own;
+    // Keep lo <= hi on every component (lo was sampled independently).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (x.lo[i] > x.hi[i]) {
+        std::swap(x.lo[i], x.hi[i]);
+      }
+    }
+    x.origin = origin;
+    x.seq = seq;
+    return x;
+  }
+};
+
+class EngineFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineFuzzTest, DefinitelyEngineMatchesNaiveReference) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t n = 2 + rng.uniform_index(4);
+    QueueEngine engine;
+    NaiveDefinitely naive;
+    for (std::size_t i = 0; i < n; ++i) {
+      engine.add_queue(static_cast<ProcessId>(i));
+      naive.add_queue(static_cast<ProcessId>(i));
+    }
+    StreamGen gen(GetParam() * 1000 + static_cast<std::uint64_t>(round), n);
+    std::vector<SeqNum> next_seq(n, 1);
+    std::vector<std::vector<std::pair<ProcessId, SeqNum>>> engine_solutions;
+    const int steps = 60;
+    for (int s = 0; s < steps; ++s) {
+      const auto p = static_cast<ProcessId>(rng.uniform_index(n));
+      const Interval x = gen.next(p, next_seq[idx(p)]++);
+      naive.offer(p, x);
+      for (const auto& sol : engine.offer(p, x)) {
+        std::vector<std::pair<ProcessId, SeqNum>> ids;
+        for (const auto& m : sol.members) {
+          ids.emplace_back(m.origin, m.seq);
+        }
+        engine_solutions.push_back(std::move(ids));
+      }
+    }
+    ASSERT_EQ(engine_solutions, naive.solutions)
+        << "round " << round << " n " << n;
+    EXPECT_EQ(engine.eliminated(), naive.eliminated) << "round " << round;
+    EXPECT_EQ(engine.pruned(), naive.pruned) << "round " << round;
+  }
+}
+
+// The engine must never violate its own invariants, whatever the stream:
+// every reported solution has one member per queue, members are current
+// heads at detection time (checked via seq monotonicity), and liveness
+// holds (a solution always prunes at least one head).
+TEST_P(EngineFuzzTest, EngineInvariantsUnderAdversarialStreams) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t n = 2 + rng.uniform_index(5);
+    QueueEngine engine;
+    for (std::size_t i = 0; i < n; ++i) {
+      engine.add_queue(static_cast<ProcessId>(i));
+    }
+    StreamGen gen(GetParam() * 77 + static_cast<std::uint64_t>(round), n);
+    std::vector<SeqNum> next_seq(n, 1);
+    std::map<ProcessId, SeqNum> last_solution_seq;
+    for (int s = 0; s < 80; ++s) {
+      const auto p = static_cast<ProcessId>(rng.uniform_index(n));
+      const std::uint64_t pruned_before = engine.pruned();
+      const auto sols =
+          engine.offer(p, gen.next(p, next_seq[idx(p)]++));
+      for (const auto& sol : sols) {
+        ASSERT_EQ(sol.members.size(), n);
+        for (const auto& m : sol.members) {
+          // Per-origin solution sequence numbers never go backwards (a
+          // surviving head may be reused in the next solution).
+          auto it = last_solution_seq.find(m.origin);
+          if (it != last_solution_seq.end()) {
+            EXPECT_GE(m.seq, it->second);
+          }
+          last_solution_seq[m.origin] = m.seq;
+        }
+      }
+      if (!sols.empty()) {
+        EXPECT_GT(engine.pruned(), pruned_before);  // Theorem 4
+      }
+      // Core invariant: surviving heads are always pairwise compatible.
+      EXPECT_TRUE(engine.heads_compatible()) << "step " << s;
+    }
+    // Conservation: everything offered is stored, eliminated, or pruned.
+    EXPECT_EQ(engine.offered(),
+              engine.stored() + engine.eliminated() + engine.pruned());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest,
+                         ::testing::Values(5u, 6u, 7u, 8u, 1000u, 2000u));
+
+// ---- Naive Possibly reference ------------------------------------------------
+
+struct NaivePossibly {
+  std::map<ProcessId, std::list<Interval>> queues;
+  std::vector<std::vector<std::pair<ProcessId, SeqNum>>> solutions;
+  std::uint64_t eliminated = 0;
+
+  void add_queue(ProcessId key) { queues[key]; }
+
+  static bool coexist(const Interval& a, const Interval& b) {
+    return b.lo[idx(a.origin)] <= a.hi[idx(a.origin)] &&
+           a.lo[idx(b.origin)] <= b.hi[idx(b.origin)];
+  }
+
+  void offer(ProcessId key, const Interval& x) {
+    auto& q = queues.at(key);
+    const bool was_empty = q.empty();
+    q.push_back(x);
+    if (!was_empty) {
+      return;
+    }
+    run({key});
+  }
+
+  void recheck() {
+    std::vector<ProcessId> updated;
+    for (const auto& [k, q] : queues) {
+      if (!q.empty()) {
+        updated.push_back(k);
+      }
+    }
+    if (!updated.empty()) {
+      run(std::move(updated));
+    }
+  }
+
+  void run(std::vector<ProcessId> updated) {
+    while (!updated.empty()) {
+      std::vector<ProcessId> dead;
+      for (const ProcessId a : updated) {
+        if (queues.at(a).empty()) {
+          continue;
+        }
+        const Interval& xa = queues.at(a).front();
+        for (auto& [b, qb] : queues) {
+          if (b == a || qb.empty()) {
+            continue;
+          }
+          const Interval& yb = qb.front();
+          if (coexist(xa, yb)) {
+            continue;
+          }
+          const bool xa_first =
+              yb.lo[idx(xa.origin)] > xa.hi[idx(xa.origin)];
+          dead.push_back(xa_first ? a : b);
+        }
+      }
+      std::sort(dead.begin(), dead.end());
+      dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+      if (!dead.empty()) {
+        std::vector<ProcessId> next;
+        for (const ProcessId c : dead) {
+          if (!queues.at(c).empty()) {
+            queues.at(c).pop_front();
+            ++eliminated;
+            next.push_back(c);
+          }
+        }
+        updated = std::move(next);
+        continue;
+      }
+      bool complete = true;
+      for (const auto& [k, q2] : queues) {
+        complete = complete && !q2.empty();
+      }
+      if (!complete) {
+        break;
+      }
+      std::vector<std::pair<ProcessId, SeqNum>> sol;
+      std::vector<ProcessId> next;
+      for (auto& [k, q2] : queues) {
+        sol.emplace_back(k, q2.front().seq);
+        q2.pop_front();  // consume-all
+        next.push_back(k);
+      }
+      solutions.push_back(std::move(sol));
+      updated = std::move(next);
+    }
+  }
+};
+
+TEST_P(EngineFuzzTest, PossiblyEngineMatchesNaiveReference) {
+  Rng rng(GetParam() ^ 0x5050);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t n = 2 + rng.uniform_index(4);
+    PossiblyEngine engine;
+    NaivePossibly naive;
+    for (std::size_t i = 0; i < n; ++i) {
+      engine.add_queue(static_cast<ProcessId>(i));
+      naive.add_queue(static_cast<ProcessId>(i));
+    }
+    StreamGen gen(GetParam() * 31 + static_cast<std::uint64_t>(round), n);
+    std::vector<SeqNum> next_seq(n, 1);
+    std::vector<std::vector<std::pair<ProcessId, SeqNum>>> engine_solutions;
+    for (int s = 0; s < 60; ++s) {
+      const auto p = static_cast<ProcessId>(rng.uniform_index(n));
+      const Interval x = gen.next(p, next_seq[idx(p)]++);
+      naive.offer(p, x);
+      for (const auto& sol : engine.offer(p, x)) {
+        std::vector<std::pair<ProcessId, SeqNum>> ids;
+        for (const auto& m : sol.members) {
+          ids.emplace_back(m.origin, m.seq);
+        }
+        engine_solutions.push_back(std::move(ids));
+      }
+    }
+    ASSERT_EQ(engine_solutions, naive.solutions)
+        << "round " << round << " n " << n;
+    EXPECT_EQ(engine.eliminated(), naive.eliminated) << "round " << round;
+  }
+}
+
+// ---- Dynamic queue changes (the failure path) ---------------------------------
+
+TEST_P(EngineFuzzTest, DynamicQueueChangesMatchNaiveReference) {
+  // Randomly add and remove queues mid-stream (what failures and adoptions
+  // do) and check the engine against the naive model extended with the
+  // same operations.
+  Rng rng(GetParam() ^ 0x1a2b);
+  for (int round = 0; round < 25; ++round) {
+    QueueEngine engine;
+    NaiveDefinitely naive;
+    std::vector<ProcessId> live;
+    ProcessId next_id = 0;
+    auto add = [&](ProcessId id) {
+      engine.add_queue(id);
+      naive.add_queue(id);
+      live.push_back(id);
+    };
+    for (int i = 0; i < 3; ++i) {
+      add(next_id++);
+    }
+    const std::size_t n_dims = 16;  // clock width independent of queue count
+    StreamGen gen(GetParam() * 13 + static_cast<std::uint64_t>(round), n_dims);
+    std::vector<SeqNum> next_seq(n_dims, 1);
+    std::vector<std::vector<std::pair<ProcessId, SeqNum>>> engine_solutions;
+
+    auto collect = [&](const std::vector<Solution>& sols) {
+      for (const auto& sol : sols) {
+        std::vector<std::pair<ProcessId, SeqNum>> ids;
+        for (const auto& m : sol.members) {
+          ids.emplace_back(m.origin, m.seq);
+        }
+        engine_solutions.push_back(std::move(ids));
+      }
+    };
+
+    for (int s = 0; s < 70; ++s) {
+      const double roll = rng.uniform01();
+      if (roll < 0.08 && live.size() < 6 && next_id < 16) {
+        add(next_id++);
+      } else if (roll < 0.14 && live.size() > 2) {
+        const std::size_t pick = rng.uniform_index(live.size());
+        const ProcessId victim = live[pick];
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        engine.remove_queue(victim);
+        collect(engine.recheck());
+        // Naive model: drop the queue, then re-run its cycle seeded by
+        // every non-empty queue (mirrors QueueEngine::recheck).
+        naive.queues.erase(victim);
+        naive.recheck();
+      } else {
+        const ProcessId p = live[rng.uniform_index(live.size())];
+        const Interval x = gen.next(p, next_seq[idx(p)]++);
+        naive.offer(p, x);
+        collect(engine.offer(p, x));
+      }
+    }
+    ASSERT_EQ(engine_solutions, naive.solutions) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace hpd::detect

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/hier_engine.hpp"
+
+namespace hpd::core {
+namespace {
+
+Interval iv(ProcessId origin, SeqNum seq, VectorClock lo, VectorClock hi) {
+  Interval x;
+  x.origin = origin;
+  x.seq = seq;
+  x.lo = std::move(lo);
+  x.hi = std::move(hi);
+  return x;
+}
+
+/// Harness capturing a node engine's outputs.
+struct Harness {
+  explicit Harness(ProcessId self, bool has_parent) {
+    HierNodeEngine::Config cfg;
+    cfg.self = self;
+    cfg.has_parent = has_parent;
+    HierNodeEngine::Hooks hooks;
+    hooks.send_report = [this](const Interval& x) { sent.push_back(x); };
+    hooks.on_occurrence = [this](const detect::OccurrenceRecord& r) {
+      occurrences.push_back(r);
+    };
+    hooks.now = [this] { return clock; };
+    engine.emplace(cfg, std::move(hooks));
+  }
+
+  std::optional<HierNodeEngine> engine;
+  std::vector<Interval> sent;
+  std::vector<detect::OccurrenceRecord> occurrences;
+  SimTime clock = 0.0;
+};
+
+TEST(HierEngineTest, LeafForwardsEveryLocalInterval) {
+  Harness h(3, /*has_parent=*/true);
+  EXPECT_TRUE(h.engine->is_leaf());
+  h.engine->local_interval(iv(3, 1, {0, 0, 0, 1}, {0, 0, 0, 2}));
+  h.engine->local_interval(iv(3, 2, {0, 0, 0, 3}, {0, 0, 0, 4}));
+  ASSERT_EQ(h.sent.size(), 2u);
+  EXPECT_EQ(h.sent[0].origin, 3);
+  EXPECT_EQ(h.sent[0].seq, 1u);
+  EXPECT_EQ(h.sent[1].seq, 2u);
+  EXPECT_TRUE(h.sent[0].aggregated);
+  // The aggregate of a single interval preserves its bounds.
+  EXPECT_EQ(h.sent[0].lo, (VectorClock{0, 0, 0, 1}));
+  EXPECT_EQ(h.sent[0].hi, (VectorClock{0, 0, 0, 2}));
+  // Leaf occurrences are subtree-level, not global.
+  ASSERT_EQ(h.occurrences.size(), 2u);
+  EXPECT_FALSE(h.occurrences[0].global);
+  EXPECT_EQ(h.occurrences[1].index, 2u);
+}
+
+TEST(HierEngineTest, RootOccurrenceIsGlobal) {
+  Harness h(0, /*has_parent=*/false);
+  h.engine->local_interval(iv(0, 1, {1}, {2}));
+  ASSERT_EQ(h.occurrences.size(), 1u);
+  EXPECT_TRUE(h.occurrences[0].global);
+  EXPECT_TRUE(h.sent.empty());
+}
+
+TEST(HierEngineTest, InternalNodeAggregatesChildAndLocal) {
+  // Node 0 with child 1; system of 2 processes.
+  Harness h(0, /*has_parent=*/true);
+  h.engine->add_child(1, 1);
+  EXPECT_FALSE(h.engine->is_leaf());
+  EXPECT_EQ(h.engine->num_children(), 1u);
+  h.clock = 5.0;
+  h.engine->local_interval(iv(0, 1, {1, 0}, {3, 2}));
+  EXPECT_TRUE(h.sent.empty());
+  h.engine->child_report(1, iv(1, 1, {0, 1}, {2, 3}));
+  ASSERT_EQ(h.sent.size(), 1u);
+  const Interval& agg = h.sent[0];
+  EXPECT_EQ(agg.lo, (VectorClock{1, 1}));
+  EXPECT_EQ(agg.hi, (VectorClock{2, 2}));
+  EXPECT_EQ(agg.origin, 0);
+  EXPECT_EQ(agg.weight, 2u);
+  ASSERT_EQ(h.occurrences.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.occurrences[0].time, 5.0);
+  EXPECT_EQ(h.occurrences[0].solution.size(), 2u);
+  EXPECT_EQ(h.engine->last_report()->seq, agg.seq);
+}
+
+TEST(HierEngineTest, OutOfOrderChildReportsReordered) {
+  Harness h(0, /*has_parent=*/false);
+  h.engine->add_child(1, 1);
+  h.engine->local_interval(iv(0, 1, {1, 0}, {3, 2}));
+  h.engine->local_interval(iv(0, 2, {4, 3}, {6, 9}));
+  // Child's seq-2 report overtakes seq-1 (non-FIFO channel).
+  h.engine->child_report(1, iv(1, 2, {4, 4}, {5, 8}));
+  EXPECT_TRUE(h.occurrences.empty());  // held in the reorder buffer
+  h.engine->child_report(1, iv(1, 1, {0, 1}, {2, 3}));
+  // seq-1 pairs with local #1, then seq-2 with local #2.
+  ASSERT_EQ(h.occurrences.size(), 2u);
+  EXPECT_EQ(h.occurrences[0].solution[1].seq, 1u);
+  EXPECT_EQ(h.occurrences[1].solution[1].seq, 2u);
+}
+
+TEST(HierEngineTest, ReportFromUnknownChildDropped) {
+  Harness h(0, /*has_parent=*/false);
+  h.engine->child_report(9, iv(9, 1, {0, 1}, {1, 2}));
+  EXPECT_TRUE(h.occurrences.empty());
+  EXPECT_EQ(h.engine->engine().offered(), 0u);
+}
+
+TEST(HierEngineTest, RemoveChildRechecksAndDetects) {
+  // Three-party subtree: self 0, children 1 and 2. Child 2 never reports;
+  // when it is removed, the waiting {local, child-1} pair completes.
+  Harness h(0, /*has_parent=*/false);
+  h.engine->add_child(1, 1);
+  h.engine->add_child(2, 1);
+  h.engine->local_interval(iv(0, 1, {1, 0, 0}, {3, 2, 2}));
+  h.engine->child_report(1, iv(1, 1, {0, 1, 0}, {2, 3, 2}));
+  EXPECT_TRUE(h.occurrences.empty());
+  h.engine->remove_child(2);
+  ASSERT_EQ(h.occurrences.size(), 1u);
+  EXPECT_EQ(h.occurrences[0].solution.size(), 2u);
+  EXPECT_EQ(h.engine->num_children(), 1u);
+}
+
+TEST(HierEngineTest, ResendLastReport) {
+  Harness h(0, /*has_parent=*/true);
+  h.engine->local_interval(iv(0, 1, {1}, {2}));
+  ASSERT_EQ(h.sent.size(), 1u);
+  h.engine->resend_last_report();
+  ASSERT_EQ(h.sent.size(), 2u);
+  EXPECT_EQ(h.sent[0].seq, h.sent[1].seq);
+  EXPECT_EQ(h.engine->next_report_seq(), 2u);
+}
+
+TEST(HierEngineTest, ResendWithoutHistoryIsNoop) {
+  Harness h(0, /*has_parent=*/true);
+  h.engine->resend_last_report();
+  EXPECT_TRUE(h.sent.empty());
+}
+
+TEST(HierEngineTest, EnsureChildIsIdempotent) {
+  Harness h(0, /*has_parent=*/false);
+  h.engine->ensure_child(1, 1);
+  h.engine->ensure_child(1, 5);  // re-adoption resets the expected seq
+  EXPECT_TRUE(h.engine->has_child(1));
+  h.engine->local_interval(iv(0, 1, {1, 0}, {6, 5}));
+  h.engine->child_report(1, iv(1, 4, {0, 1}, {1, 2}));  // stale: dropped
+  EXPECT_TRUE(h.occurrences.empty());
+  h.engine->child_report(1, iv(1, 5, {0, 1}, {2, 9}));
+  EXPECT_EQ(h.occurrences.size(), 1u);
+}
+
+TEST(HierEngineTest, BecomingRootFlipsGlobalFlag) {
+  Harness h(0, /*has_parent=*/true);
+  h.engine->local_interval(iv(0, 1, {1}, {2}));
+  EXPECT_FALSE(h.occurrences[0].global);
+  h.engine->set_has_parent(false);
+  h.engine->local_interval(iv(0, 2, {3}, {4}));
+  ASSERT_EQ(h.occurrences.size(), 2u);
+  EXPECT_TRUE(h.occurrences[1].global);
+  EXPECT_EQ(h.sent.size(), 1u);  // roots do not report upward
+}
+
+TEST(HierEngineTest, AggregateSequencesAreSuccessors) {
+  // Theorem 2: consecutive aggregates generated at one node are totally
+  // ordered by succ (max of the earlier < min of the later).
+  Harness h(0, /*has_parent=*/true);
+  h.engine->add_child(1, 1);
+  // Round 1.
+  h.engine->local_interval(iv(0, 1, {1, 0}, {3, 2}));
+  h.engine->child_report(1, iv(1, 1, {0, 1}, {2, 3}));
+  // Round 2, causally after round 1.
+  h.engine->local_interval(iv(0, 2, {5, 4}, {7, 6}));
+  h.engine->child_report(1, iv(1, 2, {4, 5}, {6, 7}));
+  ASSERT_EQ(h.sent.size(), 2u);
+  EXPECT_TRUE(is_successor(h.sent[0], h.sent[1]));
+}
+
+}  // namespace
+}  // namespace hpd::core

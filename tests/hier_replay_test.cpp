@@ -1,0 +1,153 @@
+// The offline hierarchical replay (every level's reference) against the
+// online hierarchical detector, the flat centralized replay, and itself
+// under permuted tree shapes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "detect/offline/hier_replay.hpp"
+#include "detect/offline/replay.hpp"
+#include "runner/experiment.hpp"
+#include "trace/gossip.hpp"
+#include "trace/pulse.hpp"
+
+namespace hpd::detect::offline {
+namespace {
+
+std::vector<std::pair<ProcessId, SeqNum>> bases_of_members(
+    const std::vector<Interval>& members) {
+  std::vector<std::pair<ProcessId, SeqNum>> out;
+  for (const Interval& m : members) {
+    const auto b = base_intervals(m);
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+runner::ExperimentConfig gossip_config(std::uint64_t seed, std::size_t rows,
+                                       std::size_t cols) {
+  runner::ExperimentConfig cfg;
+  cfg.topology = net::Topology::grid(rows, cols);
+  cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+  trace::GossipConfig g;
+  g.horizon = 450.0;
+  g.mean_gap = 3.0;
+  g.p_send = 0.45;
+  g.p_toggle = 0.35;
+  g.max_intervals = 12;
+  cfg.behavior_factory = [g](ProcessId) {
+    return std::make_unique<trace::GossipBehavior>(g);
+  };
+  cfg.horizon = 470.0;
+  cfg.drain = 80.0;
+  cfg.seed = seed;
+  cfg.record_execution = true;
+  cfg.track_provenance = true;
+  return cfg;
+}
+
+class HierReplayTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Per-NODE equivalence: every node's online occurrence sequence (as base
+// interval sets) must equal the offline hierarchical replay's.
+TEST_P(HierReplayTest, OnlineMatchesOfflineAtEveryNode) {
+  const auto cfg = gossip_config(GetParam(), 2, 3);
+  const auto res = runner::run_experiment(cfg);
+  const auto ref = hier_replay(res.execution, cfg.tree);
+
+  std::map<ProcessId, std::vector<std::vector<std::pair<ProcessId, SeqNum>>>>
+      online;
+  for (const auto& rec : res.occurrences) {
+    online[rec.detector].push_back(bases_of_members(rec.solution));
+  }
+  for (std::size_t i = 0; i < cfg.tree.size(); ++i) {
+    const auto id = static_cast<ProcessId>(i);
+    std::vector<std::vector<std::pair<ProcessId, SeqNum>>> offline;
+    auto it = ref.solutions.find(id);
+    if (it != ref.solutions.end()) {
+      for (const auto& sol : it->second) {
+        offline.push_back(bases_of_members(sol.members));
+      }
+    }
+    EXPECT_EQ(online[id], offline) << "node " << id;
+  }
+}
+
+// The root level of the hierarchical replay must agree with the flat
+// centralized replay (Theorem 1 / Lemma 1 in action, offline).
+TEST_P(HierReplayTest, RootLevelMatchesFlatReplay) {
+  const auto cfg = gossip_config(GetParam() ^ 0x5150, 2, 4);
+  const auto res = runner::run_experiment(cfg);
+  const auto hier = hier_replay(res.execution, cfg.tree);
+  const auto flat = replay_centralized(res.execution);
+
+  std::vector<std::vector<std::pair<ProcessId, SeqNum>>> hier_root;
+  auto it = hier.solutions.find(cfg.tree.root());
+  if (it != hier.solutions.end()) {
+    for (const auto& sol : it->second) {
+      hier_root.push_back(bases_of_members(sol.members));
+    }
+  }
+  std::vector<std::vector<std::pair<ProcessId, SeqNum>>> flat_sets;
+  for (const auto& sol : flat) {
+    std::vector<std::pair<ProcessId, SeqNum>> ids;
+    for (const auto& m : sol.members) {
+      ids.emplace_back(m.origin, m.seq);
+    }
+    std::sort(ids.begin(), ids.end());
+    flat_sets.push_back(std::move(ids));
+  }
+  EXPECT_EQ(hier_root, flat_sets);
+}
+
+// Tree-shape independence: the ROOT occurrence sequence must not depend on
+// which spanning tree organizes the detection (chains, stars, BFS trees
+// from any root) — only the execution matters.
+TEST_P(HierReplayTest, RootSequenceIsTreeShapeInvariant) {
+  const auto cfg = gossip_config(GetParam() ^ 0xabc, 2, 3);
+  const auto res = runner::run_experiment(cfg);
+  const std::size_t n = res.execution.num_processes();
+
+  auto root_sets = [&](const net::SpanningTree& tree) {
+    const auto ref = hier_replay(res.execution, tree);
+    std::vector<std::vector<std::pair<ProcessId, SeqNum>>> out;
+    auto it = ref.solutions.find(tree.root());
+    if (it != ref.solutions.end()) {
+      for (const auto& sol : it->second) {
+        out.push_back(bases_of_members(sol.members));
+      }
+    }
+    return out;
+  };
+
+  // Chain 0-1-2-...
+  std::vector<ProcessId> chain_parents(n, kNoProcess);
+  for (std::size_t i = 1; i < n; ++i) {
+    chain_parents[i] = static_cast<ProcessId>(i - 1);
+  }
+  const auto chain =
+      net::SpanningTree::from_parents(chain_parents, 0);
+  // Star rooted at n-1.
+  std::vector<ProcessId> star_parents(n, static_cast<ProcessId>(n - 1));
+  star_parents[n - 1] = kNoProcess;
+  const auto star = net::SpanningTree::from_parents(
+      star_parents, static_cast<ProcessId>(n - 1));
+
+  const auto base = root_sets(cfg.tree);
+  EXPECT_EQ(root_sets(chain), base);
+  EXPECT_EQ(root_sets(star), base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierReplayTest,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u));
+
+TEST(HierReplayTest, RejectsMismatchedSizes) {
+  trace::ExecutionRecord exec;
+  exec.procs.resize(3);
+  const auto tree = net::SpanningTree::balanced_dary(2, 3);  // 7 nodes
+  EXPECT_THROW(hier_replay(exec, tree), AssertionError);
+}
+
+}  // namespace
+}  // namespace hpd::detect::offline

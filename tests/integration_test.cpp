@@ -1,0 +1,398 @@
+// Whole-system tests: workloads running over the simulated network with the
+// detectors online, validated against exact expectations and against the
+// offline ground-truth reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "detect/offline/lattice.hpp"
+#include "detect/offline/replay.hpp"
+#include "proto/messages.hpp"
+#include "runner/experiment.hpp"
+#include "trace/gossip.hpp"
+#include "trace/pulse.hpp"
+
+namespace hpd::runner {
+namespace {
+
+using detect::offline::replay_centralized;
+
+ExperimentConfig pulse_config(std::size_t d, std::size_t h, SeqNum rounds,
+                              double participation, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.tree = net::SpanningTree::balanced_dary(d, h);
+  cfg.topology = net::tree_topology(cfg.tree);
+  trace::PulseConfig pc;
+  pc.rounds = rounds;
+  pc.start = 5.0;
+  pc.period = 60.0;
+  pc.participation = participation;
+  cfg.behavior_factory = [pc](ProcessId) {
+    return std::make_unique<trace::PulseBehavior>(pc);
+  };
+  cfg.horizon = 5.0 + static_cast<SimTime>(rounds) * 60.0 + 60.0;
+  cfg.drain = 80.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// (origin, seq) base ids of an occurrence's solution, sorted.
+std::vector<std::pair<ProcessId, SeqNum>> bases_of(
+    const detect::OccurrenceRecord& rec) {
+  std::vector<std::pair<ProcessId, SeqNum>> out;
+  for (const Interval& m : rec.solution) {
+    const auto b = base_intervals(m);
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<ProcessId, SeqNum>> members_of(
+    const detect::Solution& sol) {
+  std::vector<std::pair<ProcessId, SeqNum>> out;
+  for (const Interval& m : sol.members) {
+    out.emplace_back(m.origin, m.seq);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---- Pulse, full participation: exact counting -----------------------------
+
+TEST(PulseIntegrationTest, EveryRoundDetectedGlobally) {
+  auto cfg = pulse_config(2, 3, 5, 1.0, 42);
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_EQ(res.global_count, 5u);
+  // Every node detects its subtree's satisfaction once per round.
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(res.metrics.node(static_cast<ProcessId>(i)).detections, 5u)
+        << "node " << i;
+  }
+  // Every non-root node sends exactly one report per round, one hop each.
+  EXPECT_EQ(res.metrics.msgs_of_type(proto::kReportHier), 6u * 5u);
+  EXPECT_EQ(res.metrics.msgs_of_type(proto::kReportCentral), 0u);
+  EXPECT_EQ(res.dropped_messages, 0u);
+}
+
+TEST(PulseIntegrationTest, MeasuredAlphaIsOneOverDAtFullParticipation) {
+  // With every round solving at every node, an internal node turns each
+  // batch of d child intervals into one aggregate: alpha = 1/d.
+  for (std::size_t d : {2u, 3u}) {
+    auto cfg = pulse_config(d, 3, 6, 1.0, 7);
+    const ExperimentResult res = run_experiment(cfg);
+    EXPECT_NEAR(res.measured_alpha(), 1.0 / static_cast<double>(d), 1e-9)
+        << "d=" << d;
+  }
+}
+
+TEST(PulseIntegrationTest, CentralizedHopWeightedMessageCount) {
+  auto cfg = pulse_config(2, 3, 5, 1.0, 42);
+  cfg.detector = DetectorKind::kCentralized;
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_EQ(res.global_count, 5u);
+  // Eq. (12) accounting: each process's interval travels depth(i) hops.
+  // Tree d=2, h=3: depths 0,1,1,2,2,2,2 → 10 hop-messages per round.
+  EXPECT_EQ(res.metrics.msgs_of_type(proto::kReportCentral), 10u * 5u);
+  EXPECT_EQ(res.metrics.msgs_of_type(proto::kReportHier), 0u);
+}
+
+TEST(PulseIntegrationTest, HierarchicalBeatsCentralizedOnMessages) {
+  // The paper's headline claim, measured rather than modeled.
+  for (std::uint64_t seed : {1u, 2u}) {
+    auto hier = pulse_config(2, 4, 6, 1.0, seed);
+    auto central = pulse_config(2, 4, 6, 1.0, seed);
+    central.detector = DetectorKind::kCentralized;
+    const auto hr = run_experiment(hier);
+    const auto cr = run_experiment(central);
+    EXPECT_EQ(hr.global_count, cr.global_count);
+    EXPECT_LT(hr.metrics.msgs_of_type(proto::kReportHier),
+              cr.metrics.msgs_of_type(proto::kReportCentral));
+  }
+}
+
+TEST(PulseIntegrationTest, SpaceIsDistributedInHierarchicalMode) {
+  auto hier = pulse_config(3, 3, 6, 1.0, 11);
+  auto central = pulse_config(3, 3, 6, 1.0, 11);
+  central.detector = DetectorKind::kCentralized;
+  const auto hr = run_experiment(hier);
+  const auto cr = run_experiment(central);
+  // The sink stores intervals from all 13 processes; a hierarchical node
+  // stores only its own + its children's.
+  EXPECT_GT(cr.metrics.max_node_storage_peak(),
+            hr.metrics.max_node_storage_peak());
+}
+
+class PulsePartialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PulsePartialTest, OnlineDetectionMatchesOfflineReplay) {
+  auto cfg = pulse_config(2, 3, 20, 0.85, GetParam());
+  cfg.record_execution = true;
+  cfg.track_provenance = true;
+  const ExperimentResult res = run_experiment(cfg);
+  const auto reference = replay_centralized(res.execution);
+  EXPECT_EQ(res.global_count, reference.size());
+
+  // Compare the actual solution sets, not just counts.
+  std::vector<std::vector<std::pair<ProcessId, SeqNum>>> online;
+  for (const auto& rec : res.occurrences) {
+    if (rec.global) {
+      online.push_back(bases_of(rec));
+    }
+  }
+  std::vector<std::vector<std::pair<ProcessId, SeqNum>>> offline;
+  offline.reserve(reference.size());
+  for (const auto& sol : reference) {
+    offline.push_back(members_of(sol));
+  }
+  EXPECT_EQ(online, offline);
+}
+
+TEST_P(PulsePartialTest, CentralizedOnlineMatchesItsOwnReplay) {
+  auto cfg = pulse_config(2, 3, 20, 0.85, GetParam() ^ 0xbeef);
+  cfg.detector = DetectorKind::kCentralized;
+  cfg.record_execution = true;
+  const ExperimentResult res = run_experiment(cfg);
+  const auto reference = replay_centralized(res.execution);
+  EXPECT_EQ(res.global_count, reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PulsePartialTest,
+                         ::testing::Values(3u, 14u, 159u));
+
+// ---- Gossip: the adversarial equivalence property ---------------------------
+
+struct GossipCase {
+  std::uint64_t seed;
+  std::size_t rows;
+  std::size_t cols;
+};
+
+class GossipEquivalenceTest : public ::testing::TestWithParam<GossipCase> {
+ protected:
+  static ExperimentConfig make_config(const GossipCase& gc) {
+    ExperimentConfig cfg;
+    cfg.topology = net::Topology::grid(gc.rows, gc.cols);
+    cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+    trace::GossipConfig g;
+    g.horizon = 500.0;
+    g.mean_gap = 3.0;
+    g.p_send = 0.45;
+    g.p_toggle = 0.35;
+    g.max_intervals = 15;
+    cfg.behavior_factory = [g](ProcessId) {
+      return std::make_unique<trace::GossipBehavior>(g);
+    };
+    cfg.horizon = 520.0;
+    cfg.drain = 60.0;
+    cfg.seed = gc.seed;
+    cfg.record_execution = true;
+    cfg.track_provenance = true;
+    return cfg;
+  }
+};
+
+TEST_P(GossipEquivalenceTest, HierarchicalRootMatchesFlatReplay) {
+  const ExperimentResult res = run_experiment(make_config(GetParam()));
+  const auto reference = replay_centralized(res.execution);
+  std::vector<std::vector<std::pair<ProcessId, SeqNum>>> online;
+  for (const auto& rec : res.occurrences) {
+    if (rec.global) {
+      online.push_back(bases_of(rec));
+    }
+  }
+  std::vector<std::vector<std::pair<ProcessId, SeqNum>>> offline;
+  for (const auto& sol : reference) {
+    offline.push_back(members_of(sol));
+  }
+  EXPECT_EQ(online, offline);
+}
+
+TEST_P(GossipEquivalenceTest, EverySolutionIsSafeAndCoversTheSubtree) {
+  const auto cfg = make_config(GetParam());
+  const ExperimentResult res = run_experiment(cfg);
+  for (const auto& rec : res.occurrences) {
+    const auto bases = bases_of(rec);
+    // Exactly one base interval per process of the detector's subtree.
+    const auto subtree = cfg.tree.subtree(rec.detector);
+    std::vector<ProcessId> expected(subtree.begin(), subtree.end());
+    std::sort(expected.begin(), expected.end());
+    std::vector<ProcessId> got;
+    for (const auto& [origin, seq] : bases) {
+      got.push_back(origin);
+    }
+    ASSERT_EQ(got, expected) << "detector " << rec.detector;
+    // The raw intervals satisfy the Definitely overlap condition (safety).
+    std::vector<Interval> raw;
+    for (const auto& [origin, seq] : bases) {
+      const auto& ivs = res.execution.procs[idx(origin)].intervals;
+      ASSERT_GE(ivs.size(), seq);
+      raw.push_back(ivs[seq - 1]);
+      ASSERT_EQ(ivs[seq - 1].seq, seq);
+    }
+    EXPECT_TRUE(overlap(std::span<const Interval>(raw)))
+        << "detector " << rec.detector << " occurrence " << rec.index;
+  }
+}
+
+TEST_P(GossipEquivalenceTest, CentralizedOnlineMatchesFlatReplay) {
+  auto cfg = make_config(GetParam());
+  cfg.detector = DetectorKind::kCentralized;
+  const ExperimentResult res = run_experiment(cfg);
+  const auto reference = replay_centralized(res.execution);
+  EXPECT_EQ(res.global_count, reference.size());
+  std::vector<std::vector<std::pair<ProcessId, SeqNum>>> online;
+  for (const auto& rec : res.occurrences) {
+    online.push_back(bases_of(rec));
+  }
+  std::vector<std::vector<std::pair<ProcessId, SeqNum>>> offline;
+  for (const auto& sol : reference) {
+    offline.push_back(members_of(sol));
+  }
+  EXPECT_EQ(online, offline);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GossipEquivalenceTest,
+    ::testing::Values(GossipCase{1, 1, 2}, GossipCase{2, 1, 3},
+                      GossipCase{3, 2, 2}, GossipCase{4, 2, 3},
+                      GossipCase{5, 2, 3}, GossipCase{6, 3, 3},
+                      GossipCase{7, 1, 4}, GossipCase{8, 2, 4}));
+
+// ---- Small executions vs the lattice ground truth ----------------------------
+
+class LatticeCrossCheckTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LatticeCrossCheckTest, FirstGlobalDetectionIffLatticeDefinitely) {
+  ExperimentConfig cfg;
+  cfg.topology = net::Topology::complete(3);
+  cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+  trace::GossipConfig g;
+  g.horizon = 60.0;
+  g.mean_gap = 5.0;
+  g.p_send = 0.4;
+  g.p_toggle = 0.4;
+  g.max_intervals = 4;
+  cfg.behavior_factory = [g](ProcessId) {
+    return std::make_unique<trace::GossipBehavior>(g);
+  };
+  cfg.horizon = 80.0;
+  cfg.drain = 40.0;
+  cfg.seed = GetParam();
+  cfg.record_execution = true;
+  const ExperimentResult res = run_experiment(cfg);
+  const bool definitely = detect::offline::lattice_definitely(res.execution);
+  EXPECT_EQ(res.global_count > 0, definitely);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatticeCrossCheckTest,
+                         ::testing::Range<std::uint64_t>(100, 130));
+
+// ---- Theorem 2 as an end-to-end property -------------------------------------
+
+TEST_P(PulsePartialTest, SuccessiveAggregatesAreSuccessors) {
+  // Theorem 2: aggregates generated at one node are totally ordered by the
+  // succ relation (max of the earlier < min of the later). Verified on the
+  // actual reported aggregates of a full run (no failures).
+  auto cfg = pulse_config(2, 4, 15, 0.9, GetParam() ^ 0x777);
+  const ExperimentResult res = run_experiment(cfg);
+  std::map<ProcessId, Interval> last_at;
+  std::size_t checked = 0;
+  for (const auto& rec : res.occurrences) {
+    auto it = last_at.find(rec.detector);
+    if (it != last_at.end()) {
+      EXPECT_TRUE(is_successor(it->second, rec.aggregate))
+          << "node " << rec.detector << " occurrence " << rec.index;
+      ++checked;
+    }
+    last_at[rec.detector] = rec.aggregate;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+// ---- Determinism --------------------------------------------------------------
+
+TEST(ScaleTest, ExactCountsAtFiveHundredNodes) {
+  // d = 2, h = 9: 511 processes. At full participation the message model is
+  // exact: every non-root node sends one report per round, and the
+  // centralized baseline pays the full hop-weighted bill.
+  const std::size_t n = net::SpanningTree::balanced_dary_size(2, 9);
+  ASSERT_EQ(n, 511u);
+  auto hier = pulse_config(2, 9, 6, 1.0, 5);
+  const auto hr = run_experiment(hier);
+  EXPECT_EQ(hr.global_count, 6u);
+  EXPECT_EQ(hr.metrics.msgs_of_type(proto::kReportHier), (n - 1) * 6u);
+  // Per-node costs stay tree-local: a node stores at most its own and its
+  // two children's current intervals.
+  EXPECT_LE(hr.metrics.max_node_storage_peak(), 6u);
+
+  auto central = pulse_config(2, 9, 6, 1.0, 5);
+  central.detector = DetectorKind::kCentralized;
+  const auto cr = run_experiment(central);
+  EXPECT_EQ(cr.global_count, 6u);
+  double hop_model = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    hop_model += central.tree.depth(static_cast<ProcessId>(i));
+  }
+  EXPECT_EQ(cr.metrics.msgs_of_type(proto::kReportCentral),
+            static_cast<std::uint64_t>(hop_model) * 6u);
+}
+
+TEST(ScaleTest, ThousandNodesExact) {
+  // d = 2, h = 10: 1023 processes, vector clocks 1023 wide. Three rounds,
+  // exact message accounting — the "large-scale" in the paper's title.
+  const std::size_t n = net::SpanningTree::balanced_dary_size(2, 10);
+  ASSERT_EQ(n, 1023u);
+  auto cfg = pulse_config(2, 10, 3, 1.0, 77);
+  cfg.keep_occurrence_records = false;
+  const auto res = run_experiment(cfg);
+  EXPECT_EQ(res.global_count, 3u);
+  EXPECT_EQ(res.metrics.msgs_of_type(proto::kReportHier), (n - 1) * 3u);
+  EXPECT_LE(res.metrics.max_node_storage_peak(), 4u);
+  EXPECT_EQ(res.dropped_messages, 0u);
+}
+
+TEST(CapacityTest, BoundedQueuesDegradeDetectionNotCorrectness) {
+  // With partial participation, a 1-slot queue cannot hold the waiting
+  // partial matches: fewer detections, but everything that IS detected
+  // stays valid (safety is capacity-independent).
+  auto unbounded = pulse_config(2, 4, 20, 0.8, 99);
+  auto bounded = pulse_config(2, 4, 20, 0.8, 99);
+  bounded.queue_capacity = 1;
+  bounded.record_execution = true;
+  bounded.track_provenance = true;
+  const auto u = run_experiment(unbounded);
+  const auto b = run_experiment(bounded);
+  EXPECT_LE(b.global_count, u.global_count);
+  EXPECT_LE(b.metrics.max_node_storage_peak(),
+            1u * (2u + 1u));  // capacity × queues per node
+  for (const auto& rec : b.occurrences) {
+    if (!rec.global) {
+      continue;
+    }
+    std::vector<Interval> raw;
+    for (const auto& m : rec.solution) {
+      for (const auto& [origin, seq] : base_intervals(m)) {
+        raw.push_back(b.execution.procs[idx(origin)].intervals[seq - 1]);
+      }
+    }
+    EXPECT_TRUE(overlap(std::span<const Interval>(raw)));
+  }
+}
+
+TEST(DeterminismTest, IdenticalSeedsIdenticalResults) {
+  const auto r1 = run_experiment(pulse_config(2, 3, 8, 0.7, 77));
+  const auto r2 = run_experiment(pulse_config(2, 3, 8, 0.7, 77));
+  EXPECT_EQ(r1.global_count, r2.global_count);
+  EXPECT_EQ(r1.metrics.msgs_total(), r2.metrics.msgs_total());
+  EXPECT_EQ(r1.metrics.total_vc_comparisons(), r2.metrics.total_vc_comparisons());
+  EXPECT_EQ(r1.sim_events, r2.sim_events);
+  const auto r3 = run_experiment(pulse_config(2, 3, 8, 0.7, 78));
+  EXPECT_NE(r1.metrics.msgs_total(), r3.metrics.msgs_total());
+}
+
+}  // namespace
+}  // namespace hpd::runner

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "detect/offline/replay.hpp"
+#include "runner/experiment.hpp"
+#include "trace/local_state.hpp"
+#include "trace/sensor.hpp"
+
+namespace hpd::trace {
+namespace {
+
+struct Harness {
+  Harness()
+      : core(0, 1, [this](const Interval& x) { intervals.push_back(x); }),
+        state(core) {}
+  std::vector<Interval> intervals;
+  AppCore core;
+  LocalState state;
+};
+
+TEST(LocalStateTest, PredicateFollowsVariables) {
+  Harness h;
+  h.state.set_predicate_fn(
+      [](const LocalState& s) { return s.get("x") > 20.0 && s.get("y") < 45.0; });
+  EXPECT_FALSE(h.core.predicate());  // x=0, y=0 → 0 > 20 fails
+  h.state.set("x", 30.0);
+  EXPECT_TRUE(h.core.predicate());   // 30 > 20 ∧ 0 < 45
+  h.state.set("y", 50.0);
+  EXPECT_FALSE(h.core.predicate());  // y too high: interval closed
+  ASSERT_EQ(h.intervals.size(), 1u);
+  h.state.set("y", 10.0);
+  EXPECT_TRUE(h.core.predicate());
+  h.core.finalize();
+  EXPECT_EQ(h.intervals.size(), 2u);
+}
+
+TEST(LocalStateTest, EveryUpdateIsAnEvent) {
+  Harness h;
+  h.state.set_predicate_fn([](const LocalState&) { return false; });
+  const VectorClock before = h.core.clock();
+  h.state.set("x", 1.0);
+  h.state.set("x", 1.0);  // same value: still an event
+  EXPECT_EQ(h.core.clock()[0], before[0] + 2);
+}
+
+TEST(LocalStateTest, GetAndHas) {
+  Harness h;
+  EXPECT_FALSE(h.state.has("t"));
+  EXPECT_DOUBLE_EQ(h.state.get("t"), 0.0);
+  h.state.set("t", 3.5);
+  EXPECT_TRUE(h.state.has("t"));
+  EXPECT_DOUBLE_EQ(h.state.get("t"), 3.5);
+  EXPECT_EQ(h.state.size(), 1u);
+}
+
+TEST(LocalStateTest, NoPredicateFnMeansFalse) {
+  Harness h;
+  h.state.set("x", 100.0);
+  EXPECT_FALSE(h.core.predicate());
+  EXPECT_TRUE(h.intervals.empty());
+}
+
+// ---- SensorBehavior end-to-end ----------------------------------------------
+
+TEST(SensorBehaviorTest, CorrelatedWaveProducesGlobalDetections) {
+  runner::ExperimentConfig cfg;
+  cfg.topology = net::Topology::grid(2, 3);
+  cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+  SensorConfig sc;
+  sc.horizon = 1000.0;
+  sc.wave_period = 250.0;   // 4 hot episodes in the window
+  sc.threshold = 0.75;
+  sc.noise = 0.05;
+  cfg.behavior_factory = [sc](ProcessId) {
+    return std::make_unique<SensorBehavior>(sc);
+  };
+  cfg.horizon = 1020.0;
+  cfg.drain = 120.0;
+  cfg.seed = 77;
+  cfg.record_execution = true;
+  const auto res = runner::run_experiment(cfg);
+  // Each wave crest puts every sensor above threshold with sync chatter in
+  // between: Definitely holds once per crest (roughly).
+  EXPECT_GE(res.global_count, 2u);
+  EXPECT_LE(res.global_count, 8u);
+  // And the online result still matches the offline reference.
+  const auto reference = detect::offline::replay_centralized(res.execution);
+  EXPECT_EQ(res.global_count, reference.size());
+}
+
+TEST(SensorBehaviorTest, ColdFieldNeverAlarms) {
+  runner::ExperimentConfig cfg;
+  cfg.topology = net::Topology::grid(2, 2);
+  cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+  SensorConfig sc;
+  sc.horizon = 500.0;
+  sc.threshold = 2.0;  // unreachable: wave + noise < 1.2
+  cfg.behavior_factory = [sc](ProcessId) {
+    return std::make_unique<SensorBehavior>(sc);
+  };
+  cfg.horizon = 520.0;
+  cfg.seed = 78;
+  const auto res = runner::run_experiment(cfg);
+  EXPECT_EQ(res.global_count, 0u);
+  EXPECT_EQ(res.metrics.total_detections(), 0u);
+}
+
+}  // namespace
+}  // namespace hpd::trace

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "metrics/counters.hpp"
+#include "metrics/report.hpp"
+
+namespace hpd {
+namespace {
+
+TEST(MetricsTest, SendAccounting) {
+  MetricsRegistry reg(3);
+  reg.name_message_type(1, "app");
+  reg.on_send(0, 1, 10);
+  reg.on_send(0, 1, 10);
+  reg.on_send(2, 7, 4);
+  EXPECT_EQ(reg.msgs_total(), 3u);
+  EXPECT_EQ(reg.msgs_of_type(1), 2u);
+  EXPECT_EQ(reg.msgs_of_type(7), 1u);
+  EXPECT_EQ(reg.msgs_of_type(99), 0u);
+  EXPECT_EQ(reg.wire_words_total(), 24u);
+  EXPECT_EQ(reg.node(0).msgs_sent, 2u);
+  EXPECT_EQ(reg.node(2).wire_words_sent, 4u);
+  EXPECT_EQ(reg.message_type_name(1), "app");
+  EXPECT_EQ(reg.message_type_name(7), "?");
+}
+
+TEST(MetricsTest, NodeAggregates) {
+  MetricsRegistry reg(3);
+  reg.node(0).vc_comparisons = 5;
+  reg.node(1).vc_comparisons = 7;
+  reg.node(2).detections = 3;
+  reg.node(0).intervals_stored_peak = 9;
+  reg.node(1).intervals_stored_peak = 4;
+  EXPECT_EQ(reg.total_vc_comparisons(), 12u);
+  EXPECT_EQ(reg.total_detections(), 3u);
+  EXPECT_EQ(reg.max_node_storage_peak(), 9u);
+  EXPECT_EQ(reg.sum_node_storage_peak(), 13u);
+}
+
+TEST(MetricsTest, BadNodeIdThrows) {
+  MetricsRegistry reg(2);
+  EXPECT_THROW(reg.node(2), AssertionError);
+  EXPECT_THROW(reg.node(-1), AssertionError);
+}
+
+TEST(TextTableTest, AlignsAndPrints) {
+  TextTable t({"h", "messages"});
+  t.add_row({"2", "40"});
+  t.add_row({"10", "10240"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("h"), std::string::npos);
+  EXPECT_NE(s.find("10240"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTableTest, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), AssertionError);
+}
+
+TEST(TextTableTest, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(std::uint64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace hpd

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "net/render.hpp"
+#include "net/repair.hpp"
+#include "net/spanning_tree.hpp"
+#include "net/topology.hpp"
+
+namespace hpd::net {
+namespace {
+
+TEST(TopologyTest, AddAndQueryEdges) {
+  Topology t(4);
+  t.add_edge(0, 1);
+  t.add_edge(1, 3);
+  EXPECT_TRUE(t.has_edge(0, 1));
+  EXPECT_TRUE(t.has_edge(1, 0));
+  EXPECT_FALSE(t.has_edge(0, 3));
+  EXPECT_EQ(t.num_edges(), 2u);
+  EXPECT_EQ(t.neighbors(1), (std::vector<ProcessId>{0, 3}));
+  t.add_edge(0, 1);  // duplicate ignored
+  EXPECT_EQ(t.num_edges(), 2u);
+  EXPECT_THROW(t.add_edge(2, 2), AssertionError);
+  EXPECT_THROW(t.add_edge(0, 9), AssertionError);
+}
+
+TEST(TopologyTest, Generators) {
+  EXPECT_EQ(Topology::complete(5).num_edges(), 10u);
+  EXPECT_EQ(Topology::ring(6).num_edges(), 6u);
+  EXPECT_EQ(Topology::star(6).num_edges(), 5u);
+  const Topology g = Topology::grid(3, 4);
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3u + 2u * 4u);  // 17
+  EXPECT_TRUE(g.connected());
+  EXPECT_TRUE(Topology::ring(6).connected());
+}
+
+TEST(TopologyTest, BfsDistances) {
+  const Topology g = Topology::grid(2, 3);
+  // 0 1 2
+  // 3 4 5
+  const auto dist = g.bfs_distances(0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[5], 3);
+}
+
+TEST(TopologyTest, ConnectivityWithDeadNodes) {
+  const Topology line = Topology::grid(1, 5);  // 0-1-2-3-4
+  std::vector<bool> alive(5, true);
+  EXPECT_TRUE(line.connected(&alive));
+  alive[2] = false;  // cuts the line in two
+  EXPECT_FALSE(line.connected(&alive));
+  alive[3] = alive[4] = false;  // only {0, 1} remain, still adjacent
+  EXPECT_TRUE(line.connected(&alive));
+}
+
+TEST(TopologyTest, RandomGeometricConnected) {
+  Rng rng(4);
+  for (int i = 0; i < 5; ++i) {
+    const Topology t = Topology::random_geometric(40, 0.18, rng, true);
+    EXPECT_EQ(t.size(), 40u);
+    EXPECT_TRUE(t.connected());
+    EXPECT_EQ(t.positions().size(), 40u);
+  }
+}
+
+TEST(TopologyTest, SmallWorldConnectedAndRewired) {
+  Rng rng(8);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Topology t = Topology::small_world(30, 4, 0.3, rng);
+    EXPECT_TRUE(t.connected());
+    // Edge count stays near n*k/2 (rewiring moves edges, rarely drops one).
+    EXPECT_GE(t.num_edges(), 30u * 2u - 8u);
+    EXPECT_LE(t.num_edges(), 30u * 2u);
+  }
+  // beta = 0 is the exact ring lattice.
+  const Topology lattice = Topology::small_world(20, 4, 0.0, rng);
+  EXPECT_EQ(lattice.num_edges(), 40u);
+  EXPECT_TRUE(lattice.has_edge(0, 1));
+  EXPECT_TRUE(lattice.has_edge(0, 2));
+  EXPECT_THROW(Topology::small_world(10, 3, 0.1, rng), AssertionError);
+}
+
+TEST(TopologyTest, ScaleFreeHasHubs) {
+  Rng rng(15);
+  const Topology t = Topology::scale_free(200, 2, rng);
+  EXPECT_TRUE(t.connected());
+  EXPECT_EQ(t.num_edges(), 3u + (200u - 3u) * 2u);  // clique + 2 per newcomer
+  std::size_t max_degree = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    max_degree = std::max(max_degree, t.degree(static_cast<ProcessId>(i)));
+  }
+  // Preferential attachment must concentrate degree far above the mean (~4).
+  EXPECT_GE(max_degree, 12u);
+}
+
+TEST(TopologyTest, TreePlusCrosslinks) {
+  Rng rng(5);
+  const auto tree = SpanningTree::balanced_dary(2, 4);
+  const Topology base = tree_topology(tree);
+  const Topology t = Topology::tree_plus_crosslinks(base, 6, rng);
+  EXPECT_EQ(t.num_edges(), base.num_edges() + 6u);
+  EXPECT_TRUE(tree.respects(t));
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(SpanningTreeTest, BalancedDarySizesAndShape) {
+  EXPECT_EQ(SpanningTree::balanced_dary_size(2, 3), 7u);
+  EXPECT_EQ(SpanningTree::balanced_dary_size(4, 3), 21u);
+  const SpanningTree t = SpanningTree::balanced_dary(2, 3);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.height(), 3);
+  EXPECT_EQ(t.max_degree(), 2u);
+  EXPECT_EQ(t.children(0), (std::vector<ProcessId>{1, 2}));
+  EXPECT_EQ(t.parent(5), 2);
+  EXPECT_TRUE(t.is_leaf(6));
+  EXPECT_FALSE(t.is_leaf(2));
+  EXPECT_EQ(t.depth(6), 2);
+  EXPECT_EQ(t.level(6), 1);  // leaf
+  EXPECT_EQ(t.level(2), 2);
+  EXPECT_EQ(t.level(0), 3);  // root
+}
+
+TEST(SpanningTreeTest, SubtreeAndPaths) {
+  const SpanningTree t = SpanningTree::balanced_dary(2, 3);
+  EXPECT_EQ(t.subtree(2), (std::vector<ProcessId>{2, 5, 6}));
+  EXPECT_EQ(t.path_to_root(6), (std::vector<ProcessId>{6, 2, 0}));
+  EXPECT_TRUE(t.in_subtree(6, 2));
+  EXPECT_FALSE(t.in_subtree(6, 1));
+  EXPECT_TRUE(t.in_subtree(0, 0));
+}
+
+TEST(SpanningTreeTest, SetParentRejectsCycles) {
+  SpanningTree t = SpanningTree::balanced_dary(2, 3);
+  EXPECT_THROW(t.set_parent(0, 5), AssertionError);  // 5 is 0's descendant
+  EXPECT_THROW(t.set_parent(3, 3), AssertionError);
+}
+
+TEST(SpanningTreeTest, DetachAndReattach) {
+  SpanningTree t = SpanningTree::balanced_dary(2, 3);
+  t.detach(2);
+  EXPECT_FALSE(t.valid());  // 2's subtree is detached
+  EXPECT_EQ(t.depth(5), -1);
+  t.set_parent(2, 1);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.depth(5), 3);
+}
+
+TEST(SpanningTreeTest, BfsTreeOfGrid) {
+  const Topology g = Topology::grid(4, 4);
+  const SpanningTree t = SpanningTree::bfs_tree(g, 5);
+  EXPECT_TRUE(t.valid());
+  EXPECT_TRUE(t.respects(g));
+  EXPECT_EQ(t.root(), 5);
+  // BFS tree depth equals hop distance.
+  const auto dist = g.bfs_distances(5);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(t.depth(static_cast<ProcessId>(i)), dist[i]);
+  }
+}
+
+TEST(SpanningTreeTest, FromParentsRoundTrip) {
+  const SpanningTree t = SpanningTree::balanced_dary(3, 3);
+  std::vector<ProcessId> parents(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    parents[i] = t.parent(static_cast<ProcessId>(i));
+  }
+  const SpanningTree u = SpanningTree::from_parents(parents, t.root());
+  EXPECT_TRUE(u.valid());
+  EXPECT_EQ(u.height(), t.height());
+}
+
+TEST(SpanningTreeTest, TreeTopologyHasExactlyTreeEdges) {
+  const SpanningTree t = SpanningTree::balanced_dary(3, 3);
+  const Topology topo = tree_topology(t);
+  EXPECT_EQ(topo.num_edges(), t.size() - 1);
+  EXPECT_TRUE(t.respects(topo));
+  EXPECT_TRUE(topo.connected());
+}
+
+TEST(RenderTest, TreeAndForest) {
+  const auto tree = SpanningTree::balanced_dary(2, 3);
+  const std::string s = tree_to_string(tree);
+  EXPECT_EQ(s,
+            "0\n"
+            "|- 1\n"
+            "|  |- 3\n"
+            "|  `- 4\n"
+            "`- 2\n"
+            "   |- 5\n"
+            "   `- 6\n");
+  // Forest with a dead detached node and two roots.
+  std::vector<ProcessId> parents = {kNoProcess, 0, kNoProcess, 2};
+  std::vector<bool> alive = {true, true, true, true};
+  std::ostringstream os;
+  render_forest(os, parents, &alive);
+  EXPECT_EQ(os.str(),
+            "0\n"
+            "`- 1\n"
+            "2\n"
+            "`- 3\n");
+  alive[2] = false;
+  parents[3] = kNoProcess;
+  std::ostringstream os2;
+  render_forest(os2, parents, &alive);
+  EXPECT_NE(os2.str().find("2 x(dead)"), std::string::npos);
+}
+
+// ---- Repair planner ---------------------------------------------------------
+
+class RepairTest : public ::testing::Test {
+ protected:
+  static std::vector<bool> alive_except(std::size_t n, ProcessId dead) {
+    std::vector<bool> alive(n, true);
+    alive[idx(dead)] = false;
+    return alive;
+  }
+};
+
+TEST_F(RepairTest, LeafFailureNeedsNoAttachments) {
+  SpanningTree t = SpanningTree::balanced_dary(2, 3);
+  const Topology topo = tree_topology(t);
+  const auto alive = alive_except(t.size(), 6);
+  const auto plan = plan_repair(t, topo, alive, 6);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->attachments.empty());
+  apply_repair(t, *plan, 6);
+  EXPECT_TRUE(t.valid(&alive));
+}
+
+TEST_F(RepairTest, InternalFailureOnPureTreeIsImpossible) {
+  // With only tree edges, the orphaned subtrees have no link back.
+  SpanningTree t = SpanningTree::balanced_dary(2, 3);
+  const Topology topo = tree_topology(t);
+  const auto alive = alive_except(t.size(), 2);
+  EXPECT_FALSE(plan_repair(t, topo, alive, 2).has_value());
+}
+
+TEST_F(RepairTest, InternalFailureWithCrossEdges) {
+  SpanningTree t = SpanningTree::balanced_dary(2, 3);
+  Topology topo = tree_topology(t);
+  topo.add_edge(5, 1);  // cross link gives 2's subtree a way back
+  topo.add_edge(6, 4);
+  const auto alive = alive_except(t.size(), 2);
+  const auto plan = plan_repair(t, topo, alive, 2);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->new_root, 0);
+  apply_repair(t, *plan, 2);
+  EXPECT_TRUE(t.valid(&alive));
+  EXPECT_TRUE(t.respects(topo));
+  // All live nodes reach the root.
+  for (ProcessId i : {1, 3, 4, 5, 6}) {
+    EXPECT_GE(t.depth(i), 0) << "node " << i;
+  }
+}
+
+TEST_F(RepairTest, RootFailurePromotesChildSubtree) {
+  SpanningTree t = SpanningTree::balanced_dary(2, 3);
+  Topology topo = tree_topology(t);
+  topo.add_edge(1, 2);  // siblings can reach each other
+  const auto alive = alive_except(t.size(), 0);
+  const auto plan = plan_repair(t, topo, alive, 0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->new_root, 1);
+  apply_repair(t, *plan, 0);
+  EXPECT_TRUE(t.valid(&alive));
+  EXPECT_EQ(t.root(), 1);
+}
+
+TEST_F(RepairTest, RandomFailuresOnGridStayValid) {
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Topology topo = Topology::grid(4, 4);
+    SpanningTree t = SpanningTree::bfs_tree(topo, 0);
+    std::vector<bool> alive(topo.size(), true);
+    // Kill up to 4 nodes one at a time, repairing after each.
+    for (int k = 0; k < 4; ++k) {
+      std::vector<ProcessId> live;
+      for (std::size_t i = 0; i < alive.size(); ++i) {
+        if (alive[i]) {
+          live.push_back(static_cast<ProcessId>(i));
+        }
+      }
+      const ProcessId victim = live[rng.uniform_index(live.size())];
+      alive[idx(victim)] = false;
+      if (!topo.connected(&alive)) {
+        alive[idx(victim)] = true;  // keep the scenario repairable
+        continue;
+      }
+      const auto plan = plan_repair(t, topo, alive, victim);
+      ASSERT_TRUE(plan.has_value()) << "victim " << victim;
+      apply_repair(t, *plan, victim);
+      ASSERT_TRUE(t.valid(&alive)) << "victim " << victim;
+      ASSERT_TRUE(t.respects(topo));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpd::net

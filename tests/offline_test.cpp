@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "detect/offline/enumerate.hpp"
+#include "detect/offline/lattice.hpp"
+#include "detect/offline/replay.hpp"
+#include "tests/test_util.hpp"
+#include "trace/app_core.hpp"
+
+namespace hpd::detect::offline {
+namespace {
+
+/// Hand-built two-process execution where Definitely holds: the truth
+/// periods causally cross in both directions.
+trace::ExecutionRecord crossing_execution() {
+  trace::AppCore a(0, 2, nullptr);
+  trace::AppCore b(1, 2, nullptr);
+  a.enable_recording([] { return 0.0; });
+  b.enable_recording([] { return 0.0; });
+  a.set_predicate(true);
+  b.set_predicate(true);
+  const VectorClock sa = a.prepare_send(1);
+  const VectorClock sb = b.prepare_send(0);
+  a.receive(1, sb);
+  b.receive(0, sa);
+  a.set_predicate(false);
+  b.set_predicate(false);
+  trace::ExecutionRecord exec;
+  exec.procs = {a.recorded(), b.recorded()};
+  return exec;
+}
+
+/// Two concurrent truth pulses with no communication: Possibly but not
+/// Definitely.
+trace::ExecutionRecord concurrent_execution() {
+  trace::AppCore a(0, 2, nullptr);
+  trace::AppCore b(1, 2, nullptr);
+  a.enable_recording([] { return 0.0; });
+  b.enable_recording([] { return 0.0; });
+  a.set_predicate(true);
+  a.set_predicate(false);
+  b.set_predicate(true);
+  b.set_predicate(false);
+  trace::ExecutionRecord exec;
+  exec.procs = {a.recorded(), b.recorded()};
+  return exec;
+}
+
+/// Sequential truth periods (B's starts causally after A's ended): neither
+/// Possibly nor... actually Possibly requires a cut with both true, which
+/// cannot exist here.
+trace::ExecutionRecord sequential_execution() {
+  trace::AppCore a(0, 2, nullptr);
+  trace::AppCore b(1, 2, nullptr);
+  a.enable_recording([] { return 0.0; });
+  b.enable_recording([] { return 0.0; });
+  a.set_predicate(true);
+  a.set_predicate(false);
+  const VectorClock sa = a.prepare_send(1);
+  b.receive(0, sa);
+  b.set_predicate(true);
+  b.set_predicate(false);
+  trace::ExecutionRecord exec;
+  exec.procs = {a.recorded(), b.recorded()};
+  return exec;
+}
+
+TEST(LatticeTest, CrossingExecutionIsDefinite) {
+  const auto exec = crossing_execution();
+  EXPECT_TRUE(lattice_possibly(exec));
+  EXPECT_TRUE(lattice_definitely(exec));
+}
+
+TEST(LatticeTest, ConcurrentPulsesArePossiblyOnly) {
+  const auto exec = concurrent_execution();
+  EXPECT_TRUE(lattice_possibly(exec));
+  EXPECT_FALSE(lattice_definitely(exec));
+}
+
+TEST(LatticeTest, SequentialPulsesAreNeither) {
+  const auto exec = sequential_execution();
+  EXPECT_FALSE(lattice_possibly(exec));
+  EXPECT_FALSE(lattice_definitely(exec));
+}
+
+TEST(LatticeTest, EmptyPredicateNeverHolds) {
+  trace::AppCore a(0, 1, nullptr);
+  a.enable_recording([] { return 0.0; });
+  a.internal_event();
+  trace::ExecutionRecord exec;
+  exec.procs = {a.recorded()};
+  EXPECT_FALSE(lattice_possibly(exec));
+  EXPECT_FALSE(lattice_definitely(exec));
+}
+
+TEST(LatticeTest, SingleProcessSingleEventInterval) {
+  trace::AppCore a(0, 1, nullptr);
+  a.enable_recording([] { return 0.0; });
+  a.set_predicate(true);
+  a.set_predicate(false);
+  trace::ExecutionRecord exec;
+  exec.procs = {a.recorded()};
+  // Every observation passes through the true state.
+  EXPECT_TRUE(lattice_possibly(exec));
+  EXPECT_TRUE(lattice_definitely(exec));
+}
+
+TEST(LatticeTest, RejectsCausallyUnclosedExecutions) {
+  // A receive whose send is outside the record: truncating P0 after its
+  // send was dropped leaves P1 knowing two P0 events while the record has
+  // none — not a valid execution, and Definitely would otherwise hold
+  // vacuously (the final cut is unreachable).
+  trace::AppCore a(0, 2, nullptr);
+  trace::AppCore b(1, 2, nullptr);
+  a.enable_recording([] { return 0.0; });
+  b.enable_recording([] { return 0.0; });
+  a.internal_event();
+  const VectorClock st = a.prepare_send(1);
+  b.receive(0, st);
+  trace::ExecutionRecord exec;
+  exec.procs = {a.recorded(), b.recorded()};
+  exec.procs[0].events.clear();  // drop P0's events, keep P1's receive
+  EXPECT_THROW(lattice_definitely(exec), AssertionError);
+  EXPECT_THROW(lattice_possibly(exec), AssertionError);
+}
+
+TEST(LatticeTest, CountsConsistentCuts) {
+  // Two fully concurrent processes with 2 events each: a 3x3 grid.
+  const auto exec = concurrent_execution();
+  EXPECT_EQ(count_consistent_cuts(exec), 9u);
+}
+
+TEST(EnumerateTest, MatchesHandExamples) {
+  EXPECT_TRUE(definitely_by_intervals(crossing_execution()));
+  EXPECT_FALSE(definitely_by_intervals(concurrent_execution()));
+  EXPECT_TRUE(possibly_by_intervals(concurrent_execution()));
+  EXPECT_FALSE(possibly_by_intervals(sequential_execution()));
+  EXPECT_EQ(enumerate_definitely_sets(crossing_execution()).size(), 1u);
+}
+
+TEST(ReplayTest, FindsTheCrossingSolution) {
+  const auto sols = replay_centralized(crossing_execution());
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(sols[0].members.size(), 2u);
+  EXPECT_TRUE(overlap(std::span<const Interval>(sols[0].members)));
+}
+
+TEST(ReplayTest, OneShotStopsAfterFirst) {
+  ReplayOptions opt;
+  opt.repeated = false;
+  const auto sols = replay_centralized(crossing_execution(), opt);
+  EXPECT_EQ(sols.size(), 1u);
+}
+
+// ---- Randomized cross-validation -------------------------------------------
+
+class GroundTruthTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GroundTruthTest, LatticeAgreesWithIntervalCharacterization) {
+  Rng rng(GetParam());
+  int definite = 0;
+  int possible = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    testutil::ExecGenOptions opt;
+    opt.processes = 2 + rng.uniform_index(2);  // 2..3
+    opt.steps = 8 + rng.uniform_index(8);      // keep the lattice small
+    const auto exec = testutil::random_execution(rng, opt);
+    const bool lat_def = lattice_definitely(exec);
+    const bool lat_pos = lattice_possibly(exec);
+    EXPECT_EQ(lat_def, definitely_by_intervals(exec)) << "iter " << iter;
+    EXPECT_EQ(lat_pos, possibly_by_intervals(exec)) << "iter " << iter;
+    // Definitely implies Possibly.
+    if (lat_def) {
+      EXPECT_TRUE(lat_pos);
+    }
+    definite += lat_def ? 1 : 0;
+    possible += lat_pos ? 1 : 0;
+  }
+  // The generator must produce a healthy mix.
+  EXPECT_GT(possible, 0);
+}
+
+TEST_P(GroundTruthTest, ReplayDetectsIffDefinitely) {
+  Rng rng(GetParam() ^ 0x1234);
+  for (int iter = 0; iter < 60; ++iter) {
+    testutil::ExecGenOptions opt;
+    opt.processes = 2 + rng.uniform_index(2);
+    opt.steps = 8 + rng.uniform_index(8);
+    const auto exec = testutil::random_execution(rng, opt);
+    const auto sols = replay_centralized(exec);
+    EXPECT_EQ(!sols.empty(), lattice_definitely(exec)) << "iter " << iter;
+    for (const auto& sol : sols) {
+      EXPECT_TRUE(overlap(std::span<const Interval>(sol.members)))
+          << "iter " << iter;
+      EXPECT_EQ(sol.members.size(), exec.num_processes());
+    }
+  }
+}
+
+// Confluence: the solution sequence is independent of the interleaving in
+// which intervals reach the sink (per-origin order preserved).
+TEST_P(GroundTruthTest, ReplayIsConfluentUnderShuffles) {
+  Rng rng(GetParam() ^ 0x9876);
+  for (int iter = 0; iter < 30; ++iter) {
+    testutil::ExecGenOptions opt;
+    opt.processes = 2 + rng.uniform_index(4);  // up to 5
+    opt.steps = 30 + rng.uniform_index(40);
+    opt.p_toggle = 0.4;
+    const auto exec = testutil::random_execution(rng, opt);
+    const auto base = replay_centralized(exec);
+    auto key = [](const std::vector<Solution>& sols) {
+      std::vector<std::vector<std::pair<ProcessId, SeqNum>>> k;
+      for (const auto& s : sols) {
+        std::vector<std::pair<ProcessId, SeqNum>> ids;
+        for (const auto& m : s.members) {
+          ids.emplace_back(m.origin, m.seq);
+        }
+        k.push_back(std::move(ids));
+      }
+      return k;
+    };
+    const auto base_key = key(base);
+    for (std::uint64_t shuffle = 1; shuffle <= 4; ++shuffle) {
+      ReplayOptions opt2;
+      opt2.shuffle_seed = GetParam() * 1000 + shuffle;
+      const auto shuffled = replay_centralized(exec, opt2);
+      EXPECT_EQ(key(shuffled), base_key) << "iter " << iter;
+    }
+  }
+}
+
+TEST_P(GroundTruthTest, OneShotFindsPrefixOfRepeated) {
+  Rng rng(GetParam() ^ 0x4444);
+  for (int iter = 0; iter < 30; ++iter) {
+    testutil::ExecGenOptions opt;
+    opt.processes = 2 + rng.uniform_index(2);
+    opt.steps = 30;
+    opt.p_toggle = 0.45;
+    const auto exec = testutil::random_execution(rng, opt);
+    const auto repeated = replay_centralized(exec);
+    ReplayOptions one;
+    one.repeated = false;
+    const auto oneshot = replay_centralized(exec, one);
+    if (repeated.empty()) {
+      EXPECT_TRUE(oneshot.empty());
+    } else {
+      ASSERT_EQ(oneshot.size(), 1u);
+      EXPECT_EQ(oneshot[0].members.size(), repeated[0].members.size());
+      for (std::size_t i = 0; i < oneshot[0].members.size(); ++i) {
+        EXPECT_EQ(oneshot[0].members[i].origin, repeated[0].members[i].origin);
+        EXPECT_EQ(oneshot[0].members[i].seq, repeated[0].members[i].seq);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroundTruthTest,
+                         ::testing::Values(1u, 7u, 42u, 99u, 12345u));
+
+}  // namespace
+}  // namespace hpd::detect::offline

@@ -1,0 +1,232 @@
+// The paper's running example (Figure 2), reproduced event-for-event.
+//
+// Process mapping (chosen so the reattachment leader election reproduces
+// the paper's post-failure tree, Fig. 2(c), where P4 heads the survivors):
+//   paper P4 → id 0,  paper P2 → id 1,  paper P1 → id 2,  paper P3 → id 3.
+//
+// Spanning tree (Fig. 2(a)): root 3 (P3) with children 1 (P2) and 0 (P4);
+// node 1 has child 2 (P1). The topology additionally has the P2–P4 edge
+// used for the reconnection.
+//
+// Timing (Fig. 2(b)), with fixed channel delay 1.0:
+//   x1 = P1's long interval [t1 .. t30]
+//   x2 = P2's early interval [t1.5 .. t5) — crosses x1 only
+//   x3 = P2's second interval [t10 .. t20)
+//   x4 = P3's interval [t8 .. t19)
+//   x5 = P4's interval [t10 .. t18)
+// P2 tells P3 about x2's end (send @6), so min(x4) ≰ max(x2): the first
+// detection attempt at P3 on {x1, x2, x4, x5} fails and the {x1, x2}
+// aggregate is eliminated; the second attempt on {x1, x3, x4, x5} succeeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "detect/offline/replay.hpp"
+#include "runner/experiment.hpp"
+#include "trace/scripted.hpp"
+
+namespace hpd::runner {
+namespace {
+
+constexpr ProcessId kP4 = 0;
+constexpr ProcessId kP2 = 1;
+constexpr ProcessId kP1 = 2;
+constexpr ProcessId kP3 = 3;
+
+ExperimentConfig figure2_config() {
+  ExperimentConfig cfg;
+  net::Topology topo(4);
+  topo.add_edge(kP3, kP2);
+  topo.add_edge(kP2, kP1);
+  topo.add_edge(kP3, kP4);
+  topo.add_edge(kP2, kP4);  // the reconnection edge of Fig. 2(c)
+  cfg.topology = topo;
+  std::vector<ProcessId> parents(4, kNoProcess);
+  parents[idx(kP2)] = kP3;
+  parents[idx(kP4)] = kP3;
+  parents[idx(kP1)] = kP2;
+  cfg.tree = net::SpanningTree::from_parents(parents, kP3);
+
+  std::map<ProcessId, std::vector<trace::ScriptAction>> scripts;
+  using trace::at_predicate;
+  using trace::at_send;
+  scripts[kP1] = {at_predicate(1.0, true), at_send(2.0, kP2),
+                  at_send(11.0, kP2), at_predicate(30.0, false)};
+  scripts[kP2] = {at_predicate(1.5, true), at_send(3.5, kP1),
+                  at_predicate(5.0, false), at_send(6.0, kP3),
+                  at_predicate(10.0, true), at_send(13.0, kP3),
+                  at_send(17.0, kP1), at_predicate(20.0, false)};
+  scripts[kP3] = {at_predicate(8.0, true), at_send(15.0, kP2),
+                  at_send(15.5, kP4), at_predicate(19.0, false)};
+  scripts[kP4] = {at_predicate(10.0, true), at_send(13.0, kP3),
+                  at_predicate(18.0, false)};
+  cfg.behavior_factory = [scripts](ProcessId id) {
+    auto it = scripts.find(id);
+    return std::make_unique<trace::ScriptedBehavior>(
+        it == scripts.end() ? std::vector<trace::ScriptAction>{}
+                            : it->second);
+  };
+
+  cfg.delay = sim::DelayModel::fixed(1.0);
+  cfg.horizon = 60.0;
+  cfg.drain = 30.0;
+  cfg.track_provenance = true;
+  cfg.record_execution = true;
+  cfg.seed = 5;
+  return cfg;
+}
+
+std::vector<std::pair<ProcessId, SeqNum>> bases_of(
+    const detect::OccurrenceRecord& rec) {
+  std::vector<std::pair<ProcessId, SeqNum>> out;
+  for (const Interval& m : rec.solution) {
+    const auto b = base_intervals(m);
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(PaperFigure2Test, RepeatedDetectionAtP2AndOneGlobalAtP3) {
+  const ExperimentResult res = run_experiment(figure2_config());
+
+  // P2 detects twice within its subtree {P1, P2}: {x1, x2} then {x1, x3}.
+  EXPECT_EQ(res.metrics.node(kP2).detections, 2u);
+  std::vector<std::vector<std::pair<ProcessId, SeqNum>>> at_p2;
+  for (const auto& rec : res.occurrences) {
+    if (rec.detector == kP2) {
+      at_p2.push_back(bases_of(rec));
+    }
+  }
+  ASSERT_EQ(at_p2.size(), 2u);
+  EXPECT_EQ(at_p2[0], (std::vector<std::pair<ProcessId, SeqNum>>{
+                          {kP2, 1}, {kP1, 1}}));  // {x2, x1}
+  EXPECT_EQ(at_p2[1], (std::vector<std::pair<ProcessId, SeqNum>>{
+                          {kP2, 2}, {kP1, 1}}));  // {x3, x1}
+
+  // The root P3 detects the predicate exactly once, for {x1, x3, x4, x5}:
+  // the first attempt on {x1, x2, x4, x5} must fail (Fig. 2's argument for
+  // why repeated detection is necessary).
+  EXPECT_EQ(res.global_count, 1u);
+  std::vector<std::vector<std::pair<ProcessId, SeqNum>>> at_root;
+  for (const auto& rec : res.occurrences) {
+    if (rec.detector == kP3) {
+      at_root.push_back(bases_of(rec));
+    }
+  }
+  ASSERT_EQ(at_root.size(), 1u);
+  EXPECT_EQ(at_root[0], (std::vector<std::pair<ProcessId, SeqNum>>{
+                            {kP4, 1}, {kP2, 2}, {kP1, 1}, {kP3, 1}}));
+
+  // Each leaf saw its own interval once.
+  EXPECT_EQ(res.metrics.node(kP1).detections, 1u);
+  EXPECT_EQ(res.metrics.node(kP4).detections, 1u);
+}
+
+TEST(PaperFigure2Test, OneShotDetectionWouldMissTheGlobalSolution) {
+  // The paper's motivation: if P2 only ever reported its first solution
+  // {x1, x2}, the global set could never be detected. Verified offline:
+  // one-shot replay of P2's subtree finds {x1, x2}; the global replay needs
+  // P2's *second* interval.
+  const ExperimentResult res = run_experiment(figure2_config());
+  const auto all = detect::offline::replay_centralized(res.execution);
+  ASSERT_EQ(all.size(), 1u);
+  bool uses_x3 = false;
+  for (const auto& m : all[0].members) {
+    if (m.origin == kP2 && m.seq == 2) {
+      uses_x3 = true;
+    }
+  }
+  EXPECT_TRUE(uses_x3);
+}
+
+TEST(PaperFigure2Test, Figure2cFailureOfP3) {
+  ExperimentConfig cfg = figure2_config();
+  cfg.heartbeats = true;
+  cfg.hb_config.period = 1.0;
+  cfg.hb_config.timeout_multiplier = 3.5;
+  cfg.reattach_config.probe_window = 2.5;  // > probe+ack round trip (2.0)
+  cfg.reattach_config.retry_backoff = 3.0;
+  cfg.failures.push_back(FailureEvent{21.0, kP3});  // after x4 finishes
+  cfg.horizon = 120.0;
+  cfg.drain = 60.0;
+  const ExperimentResult res = run_experiment(cfg);
+
+  // The survivors re-form a tree headed by P4 (Fig. 2(c) shape): P2 under
+  // P4, P1 still under P2.
+  EXPECT_FALSE(res.final_alive[idx(kP3)]);
+  EXPECT_EQ(res.final_parents[idx(kP4)], kNoProcess);
+  EXPECT_EQ(res.final_parents[idx(kP2)], kP4);
+  EXPECT_EQ(res.final_parents[idx(kP1)], kP2);
+
+  // P2 still detects {x1, x2} and {x1, x3} (while orphaned, buffered), and
+  // the new root P4 detects the partial predicate over {P1, P2, P4} in
+  // {x1, x3, x5} — the paper's fault-tolerance headline.
+  EXPECT_EQ(res.metrics.node(kP2).detections, 2u);
+  std::vector<std::vector<std::pair<ProcessId, SeqNum>>> global;
+  for (const auto& rec : res.occurrences) {
+    if (rec.global) {
+      ASSERT_EQ(rec.detector, kP4);
+      global.push_back(bases_of(rec));
+    }
+  }
+  ASSERT_EQ(global.size(), 1u);
+  EXPECT_EQ(global[0], (std::vector<std::pair<ProcessId, SeqNum>>{
+                           {kP4, 1}, {kP2, 2}, {kP1, 1}}));
+}
+
+// The Fig. 2(c) outcome must not depend on channel timing: run the failure
+// variant under several delay models and seeds and require the invariant
+// outcome (survivors re-form one tree headed by P4; the partial predicate
+// over {P1, P2, P4} is detected exactly once).
+class Figure2cDelayAdversaryTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Figure2cDelayAdversaryTest, OutcomeIsTimingInvariant) {
+  // NOTE: the scripted causal structure itself requires the fixed unit
+  // delay for APP messages; the adversary varies the CONTROL plane by
+  // jittering heartbeat/repair behaviour through the seed (phases, probe
+  // arrival order) — the part of the system with real races.
+  ExperimentConfig cfg = figure2_config();
+  cfg.heartbeats = true;
+  cfg.hb_config.period = 1.0;
+  cfg.hb_config.timeout_multiplier = 3.5;
+  cfg.reattach_config.probe_window = 2.5;
+  cfg.reattach_config.retry_backoff = 3.0;
+  cfg.failures.push_back(FailureEvent{21.0, kP3});
+  cfg.horizon = 150.0;
+  cfg.drain = 80.0;
+  cfg.seed = GetParam();
+  const ExperimentResult res = run_experiment(cfg);
+
+  EXPECT_EQ(res.final_parents[idx(kP4)], kNoProcess) << "seed " << GetParam();
+  EXPECT_EQ(res.final_parents[idx(kP2)], kP4);
+  EXPECT_EQ(res.final_parents[idx(kP1)], kP2);
+  std::size_t global = 0;
+  for (const auto& rec : res.occurrences) {
+    if (rec.global) {
+      ++global;
+      EXPECT_EQ(rec.detector, kP4);
+      EXPECT_EQ(rec.aggregate.weight, 3u);
+    }
+  }
+  EXPECT_EQ(global, 1u) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Figure2cDelayAdversaryTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(PaperFigure2Test, WithoutFaultToleranceDetectionDiesWithP3) {
+  ExperimentConfig cfg = figure2_config();
+  cfg.detector = DetectorKind::kCentralized;  // sink = P3
+  cfg.failures.push_back(FailureEvent{21.0, kP3});
+  const ExperimentResult res = run_experiment(cfg);
+  // The centralized baseline loses everything when the sink dies:
+  // x1 completes after the failure and the already-collected intervals
+  // are gone — no detection, ever.
+  EXPECT_EQ(res.global_count, 0u);
+}
+
+}  // namespace
+}  // namespace hpd::runner

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
+#include "runner/experiment.hpp"
+#include "trace/pulse.hpp"
+
+namespace hpd::parallel {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  parallel_for(pool, 100, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValues) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 21; });
+  auto f2 = pool.submit([] { return 2; });
+  EXPECT_EQ(f1.get() * f2.get(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesOrder) {
+  ThreadPool pool(8);
+  const auto out = parallel_map<std::size_t>(
+      pool, 64, [](std::size_t i) { return i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagate) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { ++count; });
+    }
+  }  // join
+  EXPECT_EQ(count.load(), 50);
+}
+
+// Simulations fanned across threads are bit-identical to serial runs: the
+// whole experiment state is per-run, so the sweep layer adds no
+// nondeterminism.
+TEST(ThreadPoolTest, ParallelSimulationsAreDeterministic) {
+  auto make = [](std::uint64_t seed) {
+    runner::ExperimentConfig cfg;
+    cfg.tree = net::SpanningTree::balanced_dary(2, 3);
+    cfg.topology = net::tree_topology(cfg.tree);
+    trace::PulseConfig pc;
+    pc.rounds = 5;
+    pc.period = 60.0;
+    pc.participation = 0.8;
+    cfg.behavior_factory = [pc](ProcessId) {
+      return std::make_unique<trace::PulseBehavior>(pc);
+    };
+    cfg.horizon = 400.0;
+    cfg.seed = seed;
+    cfg.keep_occurrence_records = false;
+    return cfg;
+  };
+  ThreadPool pool(8);
+  const auto parallel_results = parallel_map<std::uint64_t>(
+      pool, 16, [&](std::size_t i) {
+        return runner::run_experiment(make(i)).metrics.msgs_total();
+      });
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(parallel_results[i],
+              runner::run_experiment(make(i)).metrics.msgs_total())
+        << "seed " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hpd::parallel

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "detect/offline/lattice.hpp"
+#include "detect/possibly.hpp"
+#include "runner/experiment.hpp"
+#include "tests/test_util.hpp"
+#include "trace/gossip.hpp"
+#include "trace/pulse.hpp"
+#include "trace/scripted.hpp"
+#include "trace/app_core.hpp"
+
+namespace hpd::detect {
+namespace {
+
+Interval iv(ProcessId origin, SeqNum seq, VectorClock lo, VectorClock hi) {
+  Interval x;
+  x.origin = origin;
+  x.seq = seq;
+  x.lo = std::move(lo);
+  x.hi = std::move(hi);
+  return x;
+}
+
+bool coexist_ref(const Interval& a, const Interval& b) {
+  return b.lo[idx(a.origin)] <= a.hi[idx(a.origin)] &&
+         a.lo[idx(b.origin)] <= b.hi[idx(b.origin)];
+}
+
+TEST(PossiblyEngineTest, ConcurrentPulsesDetected) {
+  PossiblyEngine e;
+  e.add_queue(0);
+  e.add_queue(1);
+  // Fully concurrent intervals: Possibly holds (though Definitely would not).
+  EXPECT_TRUE(e.offer(0, iv(0, 1, {1, 0}, {2, 0})).empty());
+  const auto sols = e.offer(1, iv(1, 1, {0, 1}, {0, 2}));
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(sols[0].members.size(), 2u);
+  EXPECT_EQ(e.stored(), 0u);  // consume-all
+}
+
+TEST(PossiblyEngineTest, SequentialIntervalsEliminated) {
+  PossiblyEngine e;
+  e.add_queue(0);
+  e.add_queue(1);
+  // y starts knowing 3 events of P0; x ended at its 2nd event: x precedes y.
+  EXPECT_TRUE(e.offer(0, iv(0, 1, {1, 0}, {2, 0})).empty());
+  EXPECT_TRUE(e.offer(1, iv(1, 1, {3, 1}, {3, 2})).empty());
+  EXPECT_EQ(e.eliminated(), 1u);
+  EXPECT_EQ(e.solutions_found(), 0u);
+  // P0's next interval coexists with y.
+  const auto sols = e.offer(0, iv(0, 2, {4, 0}, {5, 0}));
+  ASSERT_EQ(sols.size(), 1u);
+}
+
+TEST(PossiblyEngineTest, BoundaryKnowledgeStillCoexists) {
+  // y.lo knows exactly up to x's last true event: the post-states share a
+  // cut (the exactness fix over the printed Eq. (1)).
+  PossiblyEngine e;
+  e.add_queue(0);
+  e.add_queue(1);
+  EXPECT_TRUE(e.offer(0, iv(0, 1, {1, 0}, {2, 0})).empty());
+  const auto sols = e.offer(1, iv(1, 1, {2, 1}, {2, 2}));
+  EXPECT_EQ(sols.size(), 1u);
+}
+
+TEST(PossiblyEngineTest, OneShotHangsAfterFirst) {
+  PossiblyEngine e(PossiblyEngine::Mode::kOneShot);
+  e.add_queue(0);
+  e.add_queue(1);
+  e.offer(0, iv(0, 1, {1, 0}, {2, 0}));
+  EXPECT_EQ(e.offer(1, iv(1, 1, {0, 1}, {0, 2})).size(), 1u);
+  EXPECT_TRUE(e.done());
+  // Fresh concurrent intervals are ignored: the classic algorithms cannot
+  // detect twice (the paper's criticism, transplanted to Possibly).
+  e.offer(0, iv(0, 2, {3, 0}, {4, 0}));
+  EXPECT_TRUE(e.offer(1, iv(1, 2, {0, 3}, {0, 4})).empty());
+}
+
+TEST(PossiblyEngineTest, RepeatedDetectionConsumesWitnesses) {
+  PossiblyEngine e;
+  e.add_queue(0);
+  e.add_queue(1);
+  for (SeqNum k = 1; k <= 3; ++k) {
+    const auto base0 = static_cast<ClockValue>(2 * k);
+    const auto base1 = static_cast<ClockValue>(2 * k);
+    e.offer(0, iv(0, k, {base0, 0}, {base0 + 1, 0}));
+    e.offer(1, iv(1, k, {0, base1}, {0, base1 + 1}));
+  }
+  EXPECT_EQ(e.solutions_found(), 3u);
+  EXPECT_EQ(e.stored(), 0u);
+}
+
+TEST(PossiblyReplayTest, HandExamples) {
+  // Concurrent pulses: Possibly only.
+  trace::AppCore a(0, 2, nullptr);
+  trace::AppCore b(1, 2, nullptr);
+  a.enable_recording([] { return 0.0; });
+  b.enable_recording([] { return 0.0; });
+  a.set_predicate(true);
+  a.set_predicate(false);
+  b.set_predicate(true);
+  b.set_predicate(false);
+  trace::ExecutionRecord exec;
+  exec.procs = {a.recorded(), b.recorded()};
+  EXPECT_EQ(possibly_replay(exec).size(), 1u);
+}
+
+class PossiblyGroundTruthTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PossiblyGroundTruthTest, FirstDetectionIffLatticePossibly) {
+  Rng rng(GetParam());
+  int positives = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    testutil::ExecGenOptions opt;
+    opt.processes = 2 + rng.uniform_index(2);
+    opt.steps = 8 + rng.uniform_index(8);
+    const auto exec = testutil::random_execution(rng, opt);
+    const auto sols = possibly_replay(exec, PossiblyEngine::Mode::kOneShot);
+    const bool truth = offline::lattice_possibly(exec);
+    EXPECT_EQ(!sols.empty(), truth) << "iter " << iter;
+    positives += truth ? 1 : 0;
+    // Every reported solution is pairwise coexistent.
+    for (const auto& sol : sols) {
+      for (std::size_t i = 0; i < sol.members.size(); ++i) {
+        for (std::size_t j = i + 1; j < sol.members.size(); ++j) {
+          EXPECT_TRUE(coexist_ref(sol.members[i], sol.members[j]));
+        }
+      }
+    }
+  }
+  EXPECT_GT(positives, 0);
+}
+
+TEST_P(PossiblyGroundTruthTest, RepeatedSolutionsAreValidAndDisjoint) {
+  Rng rng(GetParam() ^ 0xfeed);
+  for (int iter = 0; iter < 40; ++iter) {
+    testutil::ExecGenOptions opt;
+    opt.processes = 2 + rng.uniform_index(3);
+    opt.steps = 40;
+    opt.p_toggle = 0.45;
+    const auto exec = testutil::random_execution(rng, opt);
+    const auto sols = possibly_replay(exec);
+    std::set<std::pair<ProcessId, SeqNum>> used;
+    for (const auto& sol : sols) {
+      EXPECT_EQ(sol.members.size(), exec.num_processes());
+      for (const auto& m : sol.members) {
+        // Consume-all semantics: witnesses are never reused.
+        EXPECT_TRUE(used.insert({m.origin, m.seq}).second);
+      }
+      for (std::size_t i = 0; i < sol.members.size(); ++i) {
+        for (std::size_t j = i + 1; j < sol.members.size(); ++j) {
+          EXPECT_TRUE(coexist_ref(sol.members[i], sol.members[j]));
+        }
+      }
+    }
+    // Sanity: solutions are bounded by the scarcest process.
+    std::size_t min_intervals = SIZE_MAX;
+    for (const auto& p : exec.procs) {
+      min_intervals = std::min(min_intervals, p.intervals.size());
+    }
+    EXPECT_LE(sols.size(), min_intervals);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PossiblyGroundTruthTest,
+                         ::testing::Values(21u, 34u, 55u, 89u));
+
+// ---- On-line PossiblySink through the full simulator ------------------------
+
+TEST(PossiblyOnlineTest, PulseRoundsDetectedOncePerRound) {
+  runner::ExperimentConfig cfg;
+  cfg.tree = net::SpanningTree::balanced_dary(2, 3);
+  cfg.topology = net::tree_topology(cfg.tree);
+  trace::PulseConfig pc;
+  pc.rounds = 6;
+  pc.period = 70.0;
+  cfg.behavior_factory = [pc](ProcessId) {
+    return std::make_unique<trace::PulseBehavior>(pc);
+  };
+  cfg.horizon = 520.0;
+  cfg.drain = 100.0;
+  cfg.detector = runner::DetectorKind::kPossiblyCentralized;
+  cfg.seed = 61;
+  const auto res = runner::run_experiment(cfg);
+  EXPECT_EQ(res.global_count, 6u);
+}
+
+TEST(PossiblyOnlineTest, DetectsConcurrencyThatDefinitelyMisses) {
+  // Two nodes pulse concurrently with NO cross traffic: Possibly holds,
+  // Definitely does not. Use a scripted workload.
+  auto make = [](runner::DetectorKind kind) {
+    runner::ExperimentConfig cfg;
+    cfg.topology = net::Topology::complete(2);
+    cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+    std::vector<trace::ScriptAction> script = {
+        trace::at_predicate(5.0, true), trace::at_predicate(15.0, false),
+        trace::at_predicate(30.0, true), trace::at_predicate(40.0, false)};
+    cfg.behavior_factory = [script](ProcessId) {
+      return std::make_unique<trace::ScriptedBehavior>(script);
+    };
+    cfg.horizon = 80.0;
+    cfg.drain = 40.0;
+    cfg.detector = kind;
+    cfg.seed = 62;
+    return cfg;
+  };
+  const auto possibly =
+      runner::run_experiment(make(runner::DetectorKind::kPossiblyCentralized));
+  const auto definitely =
+      runner::run_experiment(make(runner::DetectorKind::kCentralized));
+  EXPECT_EQ(possibly.global_count, 2u);   // both concurrent pulses
+  EXPECT_EQ(definitely.global_count, 0u);  // no causal crossings
+}
+
+TEST(PossiblyOnlineTest, MatchesOfflineReplayOnGossip) {
+  runner::ExperimentConfig cfg;
+  cfg.topology = net::Topology::grid(2, 2);
+  cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+  trace::GossipConfig g;
+  g.horizon = 300.0;
+  g.mean_gap = 4.0;
+  g.p_toggle = 0.4;
+  cfg.behavior_factory = [g](ProcessId) {
+    return std::make_unique<trace::GossipBehavior>(g);
+  };
+  cfg.horizon = 320.0;
+  cfg.drain = 80.0;
+  cfg.detector = runner::DetectorKind::kPossiblyCentralized;
+  cfg.record_execution = true;
+  cfg.seed = 63;
+  const auto res = runner::run_experiment(cfg);
+  EXPECT_EQ(res.global_count, possibly_replay(res.execution).size());
+}
+
+}  // namespace
+}  // namespace hpd::detect

@@ -1,0 +1,242 @@
+// Crash-recovery tests: a dead node rejoins as a fresh leaf and the
+// conjunction re-covers it (an extension of the paper's crash-stop model).
+#include <gtest/gtest.h>
+
+#include "proto/messages.hpp"
+#include "runner/experiment.hpp"
+#include "trace/pulse.hpp"
+
+namespace hpd::runner {
+namespace {
+
+ExperimentConfig grid_pulse(std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.topology = net::Topology::grid(3, 3);
+  cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+  trace::PulseConfig pc;
+  pc.rounds = 16;
+  pc.period = 90.0;
+  cfg.behavior_factory = [pc](ProcessId) {
+    return std::make_unique<trace::PulseBehavior>(pc);
+  };
+  cfg.horizon = 1550.0;
+  cfg.drain = 250.0;
+  cfg.seed = seed;
+  cfg.occurrence_solutions = false;
+  return cfg;
+}
+
+class RecoveryTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecoveryTest, RevivedNodeRejoinsAndCoverageReturns) {
+  auto cfg = grid_pulse(GetParam());
+  cfg.heartbeats = true;
+  cfg.failures.push_back(FailureEvent{300.0, 4});    // interior node dies
+  cfg.recoveries.push_back(FailureEvent{800.0, 4});  // ... and comes back
+  const ExperimentResult res = run_experiment(cfg);
+
+  // The node ends alive and attached; one tree overall.
+  EXPECT_TRUE(res.final_alive[4]);
+  std::size_t roots = 0;
+  for (std::size_t i = 0; i < 9; ++i) {
+    if (res.final_parents[i] == kNoProcess) {
+      ++roots;
+    } else {
+      EXPECT_TRUE(res.final_alive[idx(res.final_parents[i])]);
+    }
+  }
+  EXPECT_EQ(roots, 1u);
+
+  // Coverage story via the occurrence weights: full (9) early, partial (8)
+  // while dead, full again well after the revival.
+  bool full_before = false;
+  bool partial_during = false;
+  bool full_after = false;
+  for (const auto& rec : res.occurrences) {
+    if (!rec.global) {
+      continue;
+    }
+    if (rec.time < 290.0 && rec.aggregate.weight == 9) {
+      full_before = true;
+    }
+    if (rec.time > 400.0 && rec.time < 790.0 && rec.aggregate.weight == 8) {
+      partial_during = true;
+    }
+    if (rec.time > 1000.0 && rec.aggregate.weight == 9) {
+      full_after = true;
+    }
+  }
+  EXPECT_TRUE(full_before);
+  EXPECT_TRUE(partial_during);
+  EXPECT_TRUE(full_after);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryTest, ::testing::Values(1u, 2u, 3u));
+
+TEST(RecoveryTest, CentralizedModeResumesReporting) {
+  auto cfg = grid_pulse(9);
+  cfg.occurrence_solutions = true;  // the assertion reads solution sizes
+  cfg.detector = DetectorKind::kCentralized;
+  // A leaf of the BFS tree (so relaying for others is unaffected).
+  const ProcessId leaf = [&] {
+    for (std::size_t i = 1; i < 9; ++i) {
+      if (cfg.tree.is_leaf(static_cast<ProcessId>(i))) {
+        return static_cast<ProcessId>(i);
+      }
+    }
+    return ProcessId{8};
+  }();
+  cfg.failures.push_back(FailureEvent{300.0, leaf});
+  cfg.recoveries.push_back(FailureEvent{800.0, leaf});
+  const ExperimentResult res = run_experiment(cfg);
+  // The sink stalls while the leaf is dead (no failure handling in the
+  // baseline) but resumes once the leaf reports again: detections late in
+  // the run exist and cover all 9 processes.
+  bool full_after = false;
+  for (const auto& rec : res.occurrences) {
+    if (rec.global && rec.time > 1000.0 && rec.solution.size() == 9) {
+      full_after = true;
+    }
+  }
+  EXPECT_TRUE(full_after);
+}
+
+TEST(RecoveryTest, PartitionHealsWhenBridgeRecovers) {
+  // Dumbbell: two 4-cliques joined only through node 8. Killing 8 splits
+  // the system into two detecting partitions; reviving 8 must re-unify
+  // them — the revived bridge attaches to one side, and the other side's
+  // partition root merges under it (root-merge probing).
+  const std::size_t side = 4;
+  net::Topology topo(2 * side + 1);
+  const auto bridge = static_cast<ProcessId>(2 * side);
+  for (std::size_t a = 0; a < side; ++a) {
+    for (std::size_t b = a + 1; b < side; ++b) {
+      topo.add_edge(static_cast<ProcessId>(a), static_cast<ProcessId>(b));
+      topo.add_edge(static_cast<ProcessId>(side + a),
+                    static_cast<ProcessId>(side + b));
+    }
+  }
+  topo.add_edge(bridge, 0);
+  topo.add_edge(bridge, static_cast<ProcessId>(side));
+
+  ExperimentConfig cfg;
+  cfg.topology = topo;
+  cfg.tree = net::SpanningTree::bfs_tree(topo, bridge);
+  trace::PulseConfig pc;
+  pc.rounds = 18;
+  pc.period = 90.0;
+  cfg.behavior_factory = [pc](ProcessId) {
+    return std::make_unique<trace::PulseBehavior>(pc);
+  };
+  cfg.horizon = 1750.0;
+  cfg.drain = 300.0;
+  cfg.heartbeats = true;
+  cfg.failures.push_back(FailureEvent{250.0, bridge});
+  cfg.recoveries.push_back(FailureEvent{700.0, bridge});
+  cfg.seed = 21;
+  cfg.occurrence_solutions = false;
+
+  const ExperimentResult res = run_experiment(cfg);
+
+  // One tree again at the end.
+  std::size_t roots = 0;
+  for (std::size_t i = 0; i < res.final_parents.size(); ++i) {
+    roots += (res.final_parents[i] == kNoProcess) ? 1u : 0u;
+  }
+  EXPECT_EQ(roots, 1u);
+
+  // Partial detection on both sides while split; full coverage (9) again
+  // well after the healing.
+  bool split_detection = false;
+  bool full_after = false;
+  for (const auto& rec : res.occurrences) {
+    if (!rec.global) {
+      continue;
+    }
+    if (rec.time > 350.0 && rec.time < 680.0 && rec.aggregate.weight == 4) {
+      split_detection = true;
+    }
+    if (rec.time > 1100.0 && rec.aggregate.weight == 9) {
+      full_after = true;
+    }
+  }
+  EXPECT_TRUE(split_detection);
+  EXPECT_TRUE(full_after);
+}
+
+TEST(RecoveryTest, RevivedNodePrefersTheCanonicalTree) {
+  // Node 2's only link is through node 1. When 1 dies, 2 heads a singleton
+  // partition. When 1 revives it sees two trees: the tiny one rooted at 2
+  // (depth 0 — "nearer") and the main tree rooted at 0. It must join the
+  // canonical (smallest-root-id) tree, or 2's partition could never merge:
+  // 2's own merge probes only reach 1.
+  net::Topology topo(5);
+  topo.add_edge(0, 3);
+  topo.add_edge(0, 4);
+  topo.add_edge(3, 4);
+  topo.add_edge(1, 0);
+  topo.add_edge(1, 3);
+  topo.add_edge(2, 1);  // 2's only link
+  std::vector<ProcessId> parents = {kNoProcess, 0, 1, 0, 3};
+  ExperimentConfig cfg;
+  cfg.topology = topo;
+  cfg.tree = net::SpanningTree::from_parents(parents, 0);
+  trace::PulseConfig pc;
+  pc.rounds = 12;
+  pc.period = 90.0;
+  cfg.behavior_factory = [pc](ProcessId) {
+    return std::make_unique<trace::PulseBehavior>(pc);
+  };
+  cfg.horizon = 1200.0;
+  cfg.drain = 250.0;
+  cfg.heartbeats = true;
+  cfg.failures.push_back(FailureEvent{200.0, 1});
+  cfg.recoveries.push_back(FailureEvent{500.0, 1});
+  cfg.seed = 31;
+  cfg.occurrence_solutions = false;
+
+  const ExperimentResult res = run_experiment(cfg);
+  // Single tree, rooted at 0, with 1 back under the main tree and 2's
+  // partition merged through it.
+  EXPECT_EQ(res.final_parents[0], kNoProcess);
+  for (ProcessId i : {1, 2, 3, 4}) {
+    EXPECT_NE(res.final_parents[idx(i)], kNoProcess) << "node " << i;
+  }
+  // Full 5-process coverage returns after the healing.
+  bool full_after = false;
+  for (const auto& rec : res.occurrences) {
+    if (rec.global && rec.time > 800.0 && rec.aggregate.weight == 5) {
+      full_after = true;
+    }
+  }
+  EXPECT_TRUE(full_after);
+}
+
+TEST(RecoveryTest, ReviveWithoutCrashIsRejected) {
+  auto cfg = grid_pulse(5);
+  cfg.recoveries.push_back(FailureEvent{100.0, 2});  // never crashed
+  EXPECT_THROW(run_experiment(cfg), AssertionError);
+}
+
+TEST(RecoveryTest, RepeatedCrashRecoveryCycles) {
+  auto cfg = grid_pulse(12);
+  cfg.heartbeats = true;
+  cfg.failures.push_back(FailureEvent{250.0, 7});
+  cfg.recoveries.push_back(FailureEvent{550.0, 7});
+  cfg.failures.push_back(FailureEvent{850.0, 7});
+  cfg.recoveries.push_back(FailureEvent{1150.0, 7});
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_TRUE(res.final_alive[7]);
+  // The twice-revived node is attached again at the end.
+  bool attached = res.final_parents[7] != kNoProcess;
+  for (std::size_t i = 0; i < 9; ++i) {
+    if (res.final_parents[i] != kNoProcess) {
+      EXPECT_TRUE(res.final_alive[idx(res.final_parents[i])]);
+    }
+  }
+  EXPECT_TRUE(attached);
+  EXPECT_GT(res.global_count, 0u);
+}
+
+}  // namespace
+}  // namespace hpd::runner

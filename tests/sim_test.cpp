@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "metrics/counters.hpp"
+#include "sim/delay.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hpd::sim {
+namespace {
+
+TEST(SchedulerTest, FiresInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(SchedulerTest, TiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s;
+  int fired = 0;
+  const EventId id = s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(2.0, [&] { ++fired; });
+  s.cancel(id);
+  EXPECT_EQ(s.run(), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SchedulerTest, RunUntilStopsAndAdvancesClock) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(5.0, [&] { ++fired; });
+  EXPECT_EQ(s.run_until(3.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerTest, EventsCanScheduleEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      s.schedule_after(1.0, recurse);
+    }
+  };
+  s.schedule_at(0.0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(s.now(), 4.0);
+}
+
+TEST(SchedulerTest, RejectsPastAndInfiniteTimes) {
+  Scheduler s;
+  s.schedule_at(5.0, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(1.0, [] {}), AssertionError);
+  EXPECT_THROW(s.schedule_at(kNeverTime, [] {}), AssertionError);
+}
+
+TEST(DelayModelTest, FixedIsConstant) {
+  Rng rng(1);
+  const DelayModel m = DelayModel::fixed(2.5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(m.sample(rng), 2.5);
+  }
+  EXPECT_FALSE(m.can_reorder());
+}
+
+TEST(DelayModelTest, UniformWithinRange) {
+  Rng rng(1);
+  const DelayModel m = DelayModel::uniform(1.0, 3.0);
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime v = m.sample(rng);
+    ASSERT_GE(v, 1.0);
+    ASSERT_LT(v, 3.0);
+  }
+  EXPECT_TRUE(m.can_reorder());
+}
+
+TEST(DelayModelTest, ExponentialRespectsMinimum) {
+  Rng rng(1);
+  const DelayModel m = DelayModel::exponential(2.0, 0.5);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_GE(m.sample(rng), 0.5);
+  }
+}
+
+// ---- Network -----------------------------------------------------------
+
+class RecordingNode final : public Node {
+ public:
+  void on_message(const Message& msg) override {
+    received.push_back(static_cast<int>(msg.id));
+    payloads.push_back(std::any_cast<std::string>(msg.payload));
+  }
+  void on_timer(int tag) override { timer_tags.push_back(tag); }
+  void on_crash() override { crashed = true; }
+
+  std::vector<int> received;
+  std::vector<std::string> payloads;
+  std::vector<int> timer_tags;
+  bool crashed = false;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : metrics_(3),
+        net_(3, sched_, rng_, DelayModel::fixed(1.0), metrics_) {
+    for (int i = 0; i < 3; ++i) {
+      net_.register_node(i, nodes_[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  Message msg(ProcessId src, ProcessId dst, std::string body) {
+    Message m;
+    m.src = src;
+    m.dst = dst;
+    m.type = 1;
+    m.payload = std::move(body);
+    m.wire_words = 4;
+    return m;
+  }
+
+  Scheduler sched_;
+  Rng rng_{7};
+  MetricsRegistry metrics_;
+  Network net_;
+  RecordingNode nodes_[3];
+};
+
+TEST_F(NetworkTest, DeliversWithDelayAndCountsMetrics) {
+  net_.send(msg(0, 1, "hello"));
+  EXPECT_TRUE(nodes_[1].received.empty());
+  sched_.run();
+  ASSERT_EQ(nodes_[1].payloads.size(), 1u);
+  EXPECT_EQ(nodes_[1].payloads[0], "hello");
+  EXPECT_DOUBLE_EQ(sched_.now(), 1.0);
+  EXPECT_EQ(metrics_.msgs_total(), 1u);
+  EXPECT_EQ(metrics_.node(0).msgs_sent, 1u);
+  EXPECT_EQ(metrics_.wire_words_total(), 4u);
+}
+
+TEST_F(NetworkTest, CrashStopsDeliveryAndSending) {
+  net_.crash(1);
+  EXPECT_TRUE(nodes_[1].crashed);
+  EXPECT_FALSE(net_.alive(1));
+  EXPECT_EQ(net_.alive_count(), 2u);
+  net_.send(msg(0, 1, "to-dead"));   // delivery dropped at arrival
+  net_.send(msg(1, 0, "from-dead"));  // send dropped immediately
+  sched_.run();
+  EXPECT_TRUE(nodes_[1].received.empty());
+  EXPECT_TRUE(nodes_[0].received.empty());
+  EXPECT_EQ(net_.dropped_messages(), 2u);
+}
+
+TEST_F(NetworkTest, CrashIsIdempotent) {
+  net_.crash(1);
+  net_.crash(1);
+  EXPECT_EQ(net_.alive_count(), 2u);
+}
+
+TEST_F(NetworkTest, InFlightMessageToCrashedNodeDropped) {
+  net_.send(msg(0, 1, "in-flight"));
+  sched_.schedule_at(0.5, [&] { net_.crash(1); });
+  sched_.run();
+  EXPECT_TRUE(nodes_[1].received.empty());
+  EXPECT_EQ(net_.dropped_messages(), 1u);
+}
+
+TEST_F(NetworkTest, OneShotAndPeriodicTimers) {
+  net_.set_timer(0, 42, 1.0);
+  net_.set_timer(1, 7, 0.5, /*periodic=*/true, /*period=*/2.0);
+  sched_.run_until(6.0);
+  EXPECT_EQ(nodes_[0].timer_tags, (std::vector<int>{42}));
+  // Fires at 0.5, 2.5, 4.5 within the window.
+  EXPECT_EQ(nodes_[1].timer_tags, (std::vector<int>{7, 7, 7}));
+}
+
+TEST_F(NetworkTest, CancelTimer) {
+  const TimerId id = net_.set_timer(0, 42, 1.0);
+  net_.cancel_timer(id);
+  sched_.run();
+  EXPECT_TRUE(nodes_[0].timer_tags.empty());
+}
+
+TEST_F(NetworkTest, TimersOfDeadNodesDoNotFire) {
+  net_.set_timer(1, 7, 1.0, /*periodic=*/true, /*period=*/1.0);
+  sched_.run_until(1.5);
+  EXPECT_EQ(nodes_[1].timer_tags.size(), 1u);
+  net_.crash(1);
+  sched_.run_until(5.0);
+  EXPECT_EQ(nodes_[1].timer_tags.size(), 1u);
+}
+
+TEST_F(NetworkTest, LinkValidatorBlocksNonNeighbors) {
+  MetricsRegistry metrics(3);
+  Scheduler sched;
+  Rng rng(3);
+  Network net(3, sched, rng, DelayModel::fixed(1.0), metrics,
+              [](ProcessId a, ProcessId b) { return a + b != 2; });
+  RecordingNode nodes[3];
+  for (int i = 0; i < 3; ++i) {
+    net.register_node(i, nodes[static_cast<std::size_t>(i)]);
+  }
+  Message m;
+  m.src = 0;
+  m.dst = 2;  // 0+2 == 2 → blocked
+  m.type = 1;
+  m.payload = std::string("x");
+  net.send(m);
+  m.dst = 1;
+  m.payload = std::string("y");
+  net.send(m);
+  sched.run();
+  EXPECT_TRUE(nodes[2].received.empty());
+  EXPECT_EQ(nodes[1].payloads, (std::vector<std::string>{"y"}));
+}
+
+TEST(NetworkNonFifoTest, RandomDelaysReorderMessages) {
+  // With uniform delays, later sends can overtake earlier ones.
+  Scheduler sched;
+  Rng rng(99);
+  MetricsRegistry metrics(2);
+  Network net(2, sched, rng, DelayModel::uniform(0.1, 5.0), metrics);
+  RecordingNode a;
+  RecordingNode b;
+  net.register_node(0, a);
+  net.register_node(1, b);
+  for (int i = 0; i < 50; ++i) {
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.type = 1;
+    m.payload = std::string(1, static_cast<char>('a' + (i % 26)));
+    net.send(m);
+  }
+  sched.run();
+  ASSERT_EQ(b.received.size(), 50u);
+  // Message ids are assigned in send order; delivery must NOT be sorted.
+  EXPECT_FALSE(std::is_sorted(b.received.begin(), b.received.end()));
+}
+
+TEST(NetworkDeterminismTest, SameSeedSameSchedule) {
+  auto run = [](std::uint64_t seed) {
+    Scheduler sched;
+    Rng rng(seed);
+    MetricsRegistry metrics(2);
+    Network net(2, sched, rng, DelayModel::uniform(0.1, 5.0), metrics);
+    RecordingNode a;
+    RecordingNode b;
+    net.register_node(0, a);
+    net.register_node(1, b);
+    for (int i = 0; i < 20; ++i) {
+      Message m;
+      m.src = 0;
+      m.dst = 1;
+      m.type = 1;
+      m.payload = std::string("x");
+      net.send(m);
+    }
+    sched.run();
+    return b.received;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace hpd::sim

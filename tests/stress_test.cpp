@@ -1,0 +1,269 @@
+// Stress tests: randomized failures with online repair, heavy channel
+// reordering, and degenerate tree shapes — the scenarios most likely to
+// break protocol state machines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "detect/offline/replay.hpp"
+#include "proto/messages.hpp"
+#include "runner/experiment.hpp"
+#include "trace/gossip.hpp"
+#include "trace/pulse.hpp"
+
+namespace hpd::runner {
+namespace {
+
+using detect::offline::replay_centralized;
+
+/// Survivors must form a forest of valid trees: live parents, no cycles.
+/// Returns the number of roots.
+std::size_t check_forest(const ExperimentResult& res) {
+  const std::size_t n = res.final_alive.size();
+  std::size_t roots = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!res.final_alive[i]) {
+      continue;
+    }
+    const ProcessId p = res.final_parents[i];
+    if (p == kNoProcess) {
+      ++roots;
+      continue;
+    }
+    EXPECT_TRUE(res.final_alive[idx(p)]) << "node " << i << " parent dead";
+    // Walk up; must terminate (no cycle) within n hops.
+    ProcessId cur = static_cast<ProcessId>(i);
+    std::size_t hops = 0;
+    while (cur != kNoProcess) {
+      cur = res.final_parents[idx(cur)];
+      if (++hops > n) {
+        ADD_FAILURE() << "cycle through node " << i;
+        break;
+      }
+    }
+  }
+  return roots;
+}
+
+class FailureStressTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FailureStressTest, RandomCrashesHealIntoOneTree) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 4; ++trial) {
+    ExperimentConfig cfg;
+    Rng topo_rng = rng.split();
+    cfg.topology = net::Topology::random_geometric(24, 0.3, topo_rng);
+    cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+    trace::PulseConfig pc;
+    pc.rounds = 12;
+    pc.period = 90.0;
+    cfg.behavior_factory = [pc](ProcessId) {
+      return std::make_unique<trace::PulseBehavior>(pc);
+    };
+    cfg.horizon = 1300.0;
+    cfg.drain = 250.0;
+    cfg.heartbeats = true;
+    cfg.seed = rng();
+    cfg.occurrence_solutions = false;
+
+    // Kill three random distinct nodes, spaced apart, only if the topology
+    // stays connected over the survivors (otherwise partitions are the
+    // *expected* outcome and tested separately below).
+    std::vector<bool> alive(cfg.topology.size(), true);
+    SimTime when = 300.0;
+    int killed = 0;
+    while (killed < 3) {
+      const auto v =
+          static_cast<ProcessId>(rng.uniform_index(cfg.topology.size()));
+      if (!alive[idx(v)]) {
+        continue;
+      }
+      alive[idx(v)] = false;
+      if (!cfg.topology.connected(&alive)) {
+        alive[idx(v)] = true;
+        continue;
+      }
+      cfg.failures.push_back(FailureEvent{when, v});
+      when += 220.0;
+      ++killed;
+    }
+
+    const ExperimentResult res = run_experiment(cfg);
+    EXPECT_EQ(check_forest(res), 1u) << "trial " << trial;
+    // Detection survived: the final root kept detecting after the last
+    // crash (at least one global detection overall).
+    EXPECT_GT(res.global_count, 0u) << "trial " << trial;
+  }
+}
+
+TEST_P(FailureStressTest, PartitionYieldsTwoLiveDetectingTrees) {
+  // A dumbbell: two cliques joined by one bridge node. Killing the bridge
+  // partitions the network; each side must become its own tree and keep
+  // detecting its own partial predicate.
+  const std::size_t side = 4;
+  net::Topology topo(2 * side + 1);
+  const auto bridge = static_cast<ProcessId>(2 * side);
+  for (std::size_t a = 0; a < side; ++a) {
+    for (std::size_t b = a + 1; b < side; ++b) {
+      topo.add_edge(static_cast<ProcessId>(a), static_cast<ProcessId>(b));
+      topo.add_edge(static_cast<ProcessId>(side + a),
+                    static_cast<ProcessId>(side + b));
+    }
+  }
+  topo.add_edge(bridge, 0);
+  topo.add_edge(bridge, static_cast<ProcessId>(side));
+
+  ExperimentConfig cfg;
+  cfg.topology = topo;
+  cfg.tree = net::SpanningTree::bfs_tree(topo, bridge);
+  trace::PulseConfig pc;
+  pc.rounds = 10;
+  pc.period = 90.0;
+  cfg.behavior_factory = [pc](ProcessId) {
+    return std::make_unique<trace::PulseBehavior>(pc);
+  };
+  cfg.horizon = 1000.0;
+  cfg.drain = 250.0;
+  cfg.heartbeats = true;
+  cfg.seed = GetParam();
+  cfg.failures.push_back(FailureEvent{250.0, bridge});
+  cfg.occurrence_solutions = false;
+
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_EQ(check_forest(res), 2u);  // one tree per partition
+  // Both partitions kept detecting (their roots raise global occurrences
+  // for their own halves).
+  std::set<ProcessId> detecting_roots;
+  for (const auto& rec : res.occurrences) {
+    if (rec.global && rec.time > 400.0) {
+      detecting_roots.insert(rec.detector);
+    }
+  }
+  EXPECT_EQ(detecting_roots.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailureStressTest,
+                         ::testing::Values(11u, 22u, 33u));
+
+// ---- Heavy reordering --------------------------------------------------------
+
+class ReorderStressTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReorderStressTest, ExponentialDelaysPreserveEquivalence) {
+  ExperimentConfig cfg;
+  cfg.topology = net::Topology::grid(2, 3);
+  cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+  trace::GossipConfig g;
+  g.horizon = 400.0;
+  g.mean_gap = 3.0;
+  g.p_send = 0.45;
+  g.p_toggle = 0.35;
+  g.max_intervals = 12;
+  cfg.behavior_factory = [g](ProcessId) {
+    return std::make_unique<trace::GossipBehavior>(g);
+  };
+  // Exponential tails reorder aggressively (mean 3 on top of min 0.1).
+  cfg.delay = sim::DelayModel::exponential(3.0, 0.1);
+  cfg.horizon = 420.0;
+  cfg.drain = 120.0;
+  cfg.seed = GetParam();
+  cfg.record_execution = true;
+  cfg.track_provenance = true;
+
+  const ExperimentResult res = run_experiment(cfg);
+  const auto reference = replay_centralized(res.execution);
+  std::size_t online_global = 0;
+  for (const auto& rec : res.occurrences) {
+    online_global += rec.global ? 1 : 0;
+  }
+  EXPECT_EQ(online_global, reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReorderStressTest,
+                         ::testing::Range<std::uint64_t>(200, 210));
+
+// ---- Degenerate tree shapes ---------------------------------------------------
+
+struct ShapeCase {
+  const char* name;
+  std::uint64_t seed;
+};
+
+class TreeShapeTest : public ::testing::Test {
+ protected:
+  static ExperimentConfig base_config(net::Topology topo,
+                                      net::SpanningTree tree,
+                                      std::uint64_t seed) {
+    ExperimentConfig cfg;
+    cfg.topology = std::move(topo);
+    cfg.tree = std::move(tree);
+    trace::PulseConfig pc;
+    pc.rounds = 10;
+    pc.period = 80.0;
+    pc.participation = 0.9;
+    cfg.behavior_factory = [pc](ProcessId) {
+      return std::make_unique<trace::PulseBehavior>(pc);
+    };
+    cfg.horizon = 900.0;
+    cfg.drain = 120.0;
+    cfg.seed = seed;
+    cfg.record_execution = true;
+    cfg.track_provenance = true;
+    return cfg;
+  }
+
+  static void expect_matches_replay(const ExperimentConfig& cfg) {
+    const ExperimentResult res = run_experiment(cfg);
+    const auto reference = replay_centralized(res.execution);
+    std::size_t online_global = 0;
+    for (const auto& rec : res.occurrences) {
+      online_global += rec.global ? 1 : 0;
+    }
+    EXPECT_EQ(online_global, reference.size());
+    EXPECT_EQ(res.global_count, reference.size());
+  }
+};
+
+TEST_F(TreeShapeTest, ChainTreeDegreeOne) {
+  // h = n: every node has exactly one child — the deepest hierarchy.
+  const std::size_t n = 8;
+  net::Topology topo(n);
+  std::vector<ProcessId> parents(n, kNoProcess);
+  for (std::size_t i = 1; i < n; ++i) {
+    topo.add_edge(static_cast<ProcessId>(i - 1), static_cast<ProcessId>(i));
+    parents[i] = static_cast<ProcessId>(i - 1);
+  }
+  expect_matches_replay(base_config(
+      std::move(topo), net::SpanningTree::from_parents(parents, 0), 31));
+}
+
+TEST_F(TreeShapeTest, StarTreeIsEffectivelyCentralized) {
+  // h = 2: the hierarchy degenerates to the centralized layout.
+  const std::size_t n = 9;
+  net::Topology topo = net::Topology::star(n);
+  expect_matches_replay(
+      base_config(std::move(topo), net::SpanningTree::bfs_tree(
+                                       net::Topology::star(n), 0),
+                  32));
+}
+
+TEST_F(TreeShapeTest, LopsidedScaleFreeTree) {
+  Rng rng(33);
+  net::Topology topo = net::Topology::scale_free(20, 2, rng);
+  auto tree = net::SpanningTree::bfs_tree(topo, 3);
+  expect_matches_replay(base_config(std::move(topo), std::move(tree), 33));
+}
+
+TEST_F(TreeShapeTest, RandomRootsOnSmallWorld) {
+  Rng rng(34);
+  for (const ProcessId root : {0, 7, 13}) {
+    net::Topology topo = net::Topology::small_world(16, 4, 0.25, rng);
+    auto tree = net::SpanningTree::bfs_tree(topo, root);
+    expect_matches_replay(base_config(std::move(topo), std::move(tree),
+                                      static_cast<std::uint64_t>(40 + root)));
+  }
+}
+
+}  // namespace
+}  // namespace hpd::runner

@@ -1,0 +1,72 @@
+// Shared helpers for hpd tests: a standalone random-execution generator
+// that drives AppCore instances directly (no simulator), producing valid
+// recorded executions with randomized causality for property tests.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trace/app_core.hpp"
+#include "trace/execution.hpp"
+
+namespace hpd::testutil {
+
+struct ExecGenOptions {
+  std::size_t processes = 3;
+  std::size_t steps = 30;
+  double p_send = 0.25;
+  double p_receive = 0.3;
+  double p_toggle = 0.3;  // remaining mass: internal event
+  bool track_provenance = false;
+};
+
+/// Generate a random but causally valid execution: at each step one process
+/// performs an internal event, toggles its predicate, sends to a random
+/// peer, or receives a pending message (channels here are per-pair FIFO,
+/// which is irrelevant for the recorded partial order).
+inline trace::ExecutionRecord random_execution(Rng& rng,
+                                               const ExecGenOptions& opt) {
+  const std::size_t n = opt.processes;
+  std::vector<std::unique_ptr<trace::AppCore>> cores;
+  cores.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cores.push_back(std::make_unique<trace::AppCore>(
+        static_cast<ProcessId>(i), n, nullptr));
+    cores.back()->set_track_provenance(opt.track_provenance);
+    cores.back()->enable_recording([] { return 0.0; });
+  }
+  // pending[dst] = queue of (src, stamp).
+  std::vector<std::deque<std::pair<ProcessId, VectorClock>>> pending(n);
+
+  for (std::size_t step = 0; step < opt.steps; ++step) {
+    const std::size_t i = rng.uniform_index(n);
+    const double roll = rng.uniform01();
+    if (roll < opt.p_send && n > 1) {
+      std::size_t j = rng.uniform_index(n - 1);
+      if (j >= i) {
+        ++j;
+      }
+      pending[j].emplace_back(static_cast<ProcessId>(i),
+                              cores[i]->prepare_send(static_cast<ProcessId>(j)));
+    } else if (roll < opt.p_send + opt.p_receive && !pending[i].empty()) {
+      auto [src, stamp] = pending[i].front();
+      pending[i].pop_front();
+      cores[i]->receive(src, stamp);
+    } else if (roll < opt.p_send + opt.p_receive + opt.p_toggle) {
+      cores[i]->set_predicate(!cores[i]->predicate());
+    } else {
+      cores[i]->internal_event();
+    }
+  }
+  trace::ExecutionRecord exec;
+  exec.procs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cores[i]->finalize();
+    exec.procs[i] = cores[i]->recorded();
+  }
+  return exec;
+}
+
+}  // namespace hpd::testutil

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "detect/offline/lattice.hpp"
+#include "detect/offline/replay.hpp"
+#include "tests/test_util.hpp"
+#include "trace/trace_io.hpp"
+
+namespace hpd::trace {
+namespace {
+
+bool executions_equal(const ExecutionRecord& a, const ExecutionRecord& b) {
+  if (a.num_processes() != b.num_processes()) {
+    return false;
+  }
+  for (std::size_t p = 0; p < a.num_processes(); ++p) {
+    const auto& pa = a.procs[p];
+    const auto& pb = b.procs[p];
+    if (pa.initial_predicate != pb.initial_predicate ||
+        pa.events.size() != pb.events.size() ||
+        pa.intervals.size() != pb.intervals.size()) {
+      return false;
+    }
+    for (std::size_t e = 0; e < pa.events.size(); ++e) {
+      const auto& ea = pa.events[e];
+      const auto& eb = pb.events[e];
+      if (ea.kind != eb.kind || ea.vc != eb.vc || ea.peer != eb.peer ||
+          ea.predicate_after != eb.predicate_after ||
+          ea.time != eb.time) {
+        return false;
+      }
+    }
+    for (std::size_t i = 0; i < pa.intervals.size(); ++i) {
+      const auto& xa = pa.intervals[i];
+      const auto& xb = pb.intervals[i];
+      if (xa.lo != xb.lo || xa.hi != xb.hi || xa.seq != xb.seq ||
+          xa.origin != xb.origin) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(TraceIoTest, RoundTripRandomExecutions) {
+  Rng rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    testutil::ExecGenOptions opt;
+    opt.processes = 2 + rng.uniform_index(4);
+    opt.steps = 10 + rng.uniform_index(40);
+    const auto exec = testutil::random_execution(rng, opt);
+    const auto copy = execution_from_string(execution_to_string(exec));
+    EXPECT_TRUE(executions_equal(exec, copy)) << "iter " << iter;
+  }
+}
+
+TEST(TraceIoTest, ReplayResultsSurviveTheRoundTrip) {
+  Rng rng(123);
+  testutil::ExecGenOptions opt;
+  opt.processes = 3;
+  opt.steps = 50;
+  opt.p_toggle = 0.4;
+  const auto exec = testutil::random_execution(rng, opt);
+  const auto copy = execution_from_string(execution_to_string(exec));
+  const auto a = detect::offline::replay_centralized(exec);
+  const auto b = detect::offline::replay_centralized(copy);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(detect::offline::lattice_definitely(exec),
+            detect::offline::lattice_definitely(copy));
+}
+
+TEST(TraceIoTest, EmptyExecution) {
+  ExecutionRecord exec;
+  exec.procs.resize(2);
+  const auto copy = execution_from_string(execution_to_string(exec));
+  EXPECT_EQ(copy.num_processes(), 2u);
+  EXPECT_EQ(copy.total_events(), 0u);
+}
+
+TEST(TraceIoTest, MalformedInputsRejected) {
+  EXPECT_THROW(execution_from_string(""), AssertionError);
+  EXPECT_THROW(execution_from_string("bogus 2\nend\n"), AssertionError);
+  EXPECT_THROW(execution_from_string("execution 1\n"), AssertionError);
+  EXPECT_THROW(execution_from_string("execution 1\ne int 0 0 0 1\nend\n"),
+               AssertionError);  // event before proc line
+  EXPECT_THROW(
+      execution_from_string("execution 1\nproc 5 init 0\nend\n"),
+      AssertionError);  // proc id out of range
+  EXPECT_THROW(
+      execution_from_string("execution 1\nproc 0 init 0\ne int 0 0 1\nend\n"),
+      AssertionError);  // truncated clock
+  EXPECT_THROW(
+      execution_from_string(
+          "execution 1\nproc 0 init 0\ni 1 3 4\nend\n"),
+      AssertionError);  // missing interval separator
+}
+
+TEST(TraceIoTest, OccurrenceCsv) {
+  std::vector<detect::OccurrenceRecord> occ(2);
+  occ[0].time = 1.5;
+  occ[0].detector = 3;
+  occ[0].index = 1;
+  occ[0].global = true;
+  occ[0].aggregate.weight = 4;
+  occ[1].time = 2.5;
+  occ[1].detector = 1;
+  occ[1].index = 1;
+  occ[1].global = false;
+  occ[1].aggregate.weight = 2;
+  std::ostringstream os;
+  write_occurrences_csv(os, occ);
+  EXPECT_EQ(os.str(),
+            "time,node,index,global,weight\n"
+            "1.5,3,1,1,4\n"
+            "2.5,1,1,0,2\n");
+}
+
+}  // namespace
+}  // namespace hpd::trace

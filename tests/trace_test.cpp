@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/app_core.hpp"
+#include "trace/execution.hpp"
+
+namespace hpd::trace {
+namespace {
+
+struct CoreHarness {
+  explicit CoreHarness(ProcessId self, std::size_t n)
+      : core(self, n, [this](const Interval& x) { intervals.push_back(x); }) {
+    core.enable_recording([this] { return clock_time; });
+  }
+  std::vector<Interval> intervals;
+  SimTime clock_time = 0.0;
+  AppCore core;
+};
+
+TEST(AppCoreTest, VectorClockRules) {
+  CoreHarness a(0, 2);
+  CoreHarness b(1, 2);
+  a.core.internal_event();
+  EXPECT_EQ(a.core.clock(), (VectorClock{1, 0}));
+  const VectorClock stamp = a.core.prepare_send(1);
+  EXPECT_EQ(stamp, (VectorClock{2, 0}));
+  b.core.receive(0, stamp);  // merge then tick (paper rule 3)
+  EXPECT_EQ(b.core.clock(), (VectorClock{2, 1}));
+  b.core.internal_event();
+  EXPECT_EQ(b.core.clock(), (VectorClock{2, 2}));
+}
+
+TEST(AppCoreTest, IntervalBoundariesAreEventTimestamps) {
+  CoreHarness h(0, 1);
+  h.core.internal_event();        // VC (1)
+  h.core.set_predicate(true);     // VC (2): interval opens
+  h.core.internal_event();        // VC (3): extends
+  h.core.internal_event();        // VC (4): extends
+  h.core.set_predicate(false);    // VC (5): closes; not part of interval
+  ASSERT_EQ(h.intervals.size(), 1u);
+  EXPECT_EQ(h.intervals[0].lo, (VectorClock{2}));
+  EXPECT_EQ(h.intervals[0].hi, (VectorClock{4}));
+  EXPECT_EQ(h.intervals[0].origin, 0);
+  EXPECT_EQ(h.intervals[0].seq, 1u);
+}
+
+TEST(AppCoreTest, SingleEventInterval) {
+  CoreHarness h(0, 1);
+  h.core.set_predicate(true);
+  h.core.set_predicate(false);
+  ASSERT_EQ(h.intervals.size(), 1u);
+  EXPECT_EQ(h.intervals[0].lo, h.intervals[0].hi);
+}
+
+TEST(AppCoreTest, SendReceiveExtendInterval) {
+  CoreHarness a(0, 2);
+  a.core.set_predicate(true);          // (1,0)
+  const VectorClock st = a.core.prepare_send(1);  // (2,0)
+  a.core.receive(1, VectorClock{2, 5});  // (3,5)
+  a.core.set_predicate(false);
+  ASSERT_EQ(a.intervals.size(), 1u);
+  EXPECT_EQ(a.intervals[0].lo, (VectorClock{1, 0}));
+  EXPECT_EQ(a.intervals[0].hi, (VectorClock{3, 5}));
+  EXPECT_EQ(st, (VectorClock{2, 0}));
+}
+
+TEST(AppCoreTest, RedundantSetPredicateIsStillAnEvent) {
+  CoreHarness h(0, 1);
+  h.core.set_predicate(true);   // opens at (1)
+  h.core.set_predicate(true);   // extends to (2)
+  h.core.set_predicate(false);  // closes
+  ASSERT_EQ(h.intervals.size(), 1u);
+  EXPECT_EQ(h.intervals[0].hi, (VectorClock{2}));
+  h.core.set_predicate(false);  // no-op for intervals
+  EXPECT_EQ(h.intervals.size(), 1u);
+  EXPECT_EQ(h.core.clock(), (VectorClock{4}));  // but still ticked
+}
+
+TEST(AppCoreTest, FinalizeClosesOpenInterval) {
+  CoreHarness h(0, 1);
+  h.core.set_predicate(true);
+  h.core.internal_event();
+  EXPECT_TRUE(h.intervals.empty());
+  h.core.finalize();
+  ASSERT_EQ(h.intervals.size(), 1u);
+  EXPECT_EQ(h.intervals[0].hi, (VectorClock{2}));
+  h.core.finalize();  // idempotent
+  EXPECT_EQ(h.intervals.size(), 1u);
+}
+
+TEST(AppCoreTest, MultipleIntervalsNumberedSequentially) {
+  CoreHarness h(0, 1);
+  for (int k = 0; k < 3; ++k) {
+    h.core.set_predicate(true);
+    h.core.set_predicate(false);
+  }
+  ASSERT_EQ(h.intervals.size(), 3u);
+  EXPECT_EQ(h.intervals[0].seq, 1u);
+  EXPECT_EQ(h.intervals[2].seq, 3u);
+  EXPECT_EQ(h.core.intervals_completed(), 3u);
+  // Successive intervals at one process are successors.
+  EXPECT_TRUE(is_successor(h.intervals[0], h.intervals[1]));
+  EXPECT_TRUE(is_successor(h.intervals[1], h.intervals[2]));
+}
+
+TEST(AppCoreTest, RecordingCapturesEventsAndPredicate) {
+  CoreHarness h(0, 2);
+  h.clock_time = 1.5;
+  h.core.set_predicate(true);
+  h.clock_time = 2.5;
+  const VectorClock st = h.core.prepare_send(1);
+  (void)st;
+  h.clock_time = 3.5;
+  h.core.set_predicate(false);
+  const ProcessTrace& tr = h.core.recorded();
+  ASSERT_EQ(tr.events.size(), 3u);
+  EXPECT_EQ(tr.events[0].kind, EventKind::kInternal);
+  EXPECT_TRUE(tr.events[0].predicate_after);
+  EXPECT_EQ(tr.events[1].kind, EventKind::kSend);
+  EXPECT_EQ(tr.events[1].peer, 1);
+  EXPECT_DOUBLE_EQ(tr.events[1].time, 2.5);
+  EXPECT_FALSE(tr.events[2].predicate_after);
+  ASSERT_EQ(tr.intervals.size(), 1u);
+  EXPECT_FALSE(tr.initial_predicate);
+}
+
+TEST(AppCoreTest, ProvenanceTaggingOptIn) {
+  CoreHarness h(0, 1);
+  h.core.set_track_provenance(true);
+  h.core.set_predicate(true);
+  h.core.set_predicate(false);
+  ASSERT_EQ(h.intervals.size(), 1u);
+  ASSERT_NE(h.intervals[0].provenance, nullptr);
+  const auto bases = base_intervals(h.intervals[0]);
+  ASSERT_EQ(bases.size(), 1u);
+  EXPECT_EQ(bases[0], (std::pair<ProcessId, SeqNum>{0, 1}));
+}
+
+TEST(ExecutionRecordTest, Totals) {
+  ExecutionRecord exec;
+  exec.procs.resize(2);
+  exec.procs[0].events.resize(3);
+  exec.procs[1].events.resize(2);
+  exec.procs[0].intervals.resize(2);
+  exec.procs[1].intervals.resize(5);
+  EXPECT_EQ(exec.num_processes(), 2u);
+  EXPECT_EQ(exec.total_events(), 5u);
+  EXPECT_EQ(exec.total_intervals(), 7u);
+  EXPECT_EQ(exec.max_intervals_per_process(), 5u);
+}
+
+}  // namespace
+}  // namespace hpd::trace

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/validate.hpp"
+
+namespace hpd::trace {
+namespace {
+
+TEST(ValidateTest, RealExecutionsAreValid) {
+  Rng rng(5);
+  for (int iter = 0; iter < 20; ++iter) {
+    testutil::ExecGenOptions opt;
+    opt.processes = 2 + rng.uniform_index(4);
+    opt.steps = 10 + rng.uniform_index(60);
+    const auto exec = testutil::random_execution(rng, opt);
+    const auto issues = validate_execution(exec);
+    EXPECT_TRUE(issues.empty())
+        << "iter " << iter << ": " << issues.front().message;
+  }
+}
+
+TEST(ValidateTest, RoundTrippedExecutionsStayValid) {
+  Rng rng(6);
+  testutil::ExecGenOptions opt;
+  opt.processes = 3;
+  opt.steps = 40;
+  const auto exec = testutil::random_execution(rng, opt);
+  const auto copy = execution_from_string(execution_to_string(exec));
+  EXPECT_TRUE(execution_valid(copy));
+}
+
+class ValidateCorruptionTest : public ::testing::Test {
+ protected:
+  ValidateCorruptionTest() {
+    Rng rng(7);
+    testutil::ExecGenOptions opt;
+    opt.processes = 3;
+    opt.steps = 30;
+    opt.p_toggle = 0.4;
+    exec_ = testutil::random_execution(rng, opt);
+    // Ensure there is material to corrupt.
+    while (exec_.procs[0].events.size() < 3 ||
+           exec_.procs[0].intervals.empty()) {
+      opt.steps += 20;
+      exec_ = testutil::random_execution(rng, opt);
+    }
+  }
+  ExecutionRecord exec_;
+};
+
+TEST_F(ValidateCorruptionTest, DetectsOwnComponentGap) {
+  exec_.procs[0].events[1].vc[0] += 5;
+  EXPECT_FALSE(execution_valid(exec_));
+}
+
+TEST_F(ValidateCorruptionTest, DetectsForeignRegression) {
+  // Force a foreign component to go backwards.
+  auto& events = exec_.procs[0].events;
+  events[1].vc[1] = 9;
+  events[2].vc[1] = 3;
+  EXPECT_FALSE(execution_valid(exec_));
+}
+
+TEST_F(ValidateCorruptionTest, DetectsCausalUnclosure) {
+  exec_.procs[0].events[1].vc[2] = 1000;
+  EXPECT_FALSE(execution_valid(exec_));
+}
+
+TEST_F(ValidateCorruptionTest, DetectsIntervalSeqGap) {
+  exec_.procs[0].intervals[0].seq = 7;
+  EXPECT_FALSE(execution_valid(exec_));
+}
+
+TEST_F(ValidateCorruptionTest, DetectsLoAboveHi) {
+  auto& x = exec_.procs[0].intervals[0];
+  x.lo[1] = x.hi[1] + 4;
+  EXPECT_FALSE(execution_valid(exec_));
+}
+
+TEST_F(ValidateCorruptionTest, DetectsWrongOrigin) {
+  exec_.procs[0].intervals[0].origin = 2;
+  EXPECT_FALSE(execution_valid(exec_));
+}
+
+TEST_F(ValidateCorruptionTest, IssuesCarryContext) {
+  exec_.procs[1].events.front().vc[1] = 99;
+  const auto issues = validate_execution(exec_);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues.front().process, 1);
+  EXPECT_EQ(issues.front().event_index, 0u);
+  EXPECT_FALSE(issues.front().message.empty());
+}
+
+}  // namespace
+}  // namespace hpd::trace

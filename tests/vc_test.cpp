@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace hpd {
+namespace {
+
+TEST(VectorClockTest, ZeroConstruction) {
+  VectorClock v(4);
+  EXPECT_EQ(v.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(v[i], 0u);
+  }
+}
+
+TEST(VectorClockTest, TickAdvancesOwnComponent) {
+  VectorClock v(3);
+  v.tick(1);
+  v.tick(1);
+  v.tick(2);
+  EXPECT_EQ(v[0], 0u);
+  EXPECT_EQ(v[1], 2u);
+  EXPECT_EQ(v[2], 1u);
+}
+
+TEST(VectorClockTest, MergeIsComponentwiseMax) {
+  VectorClock a{3, 0, 5};
+  VectorClock b{1, 4, 2};
+  a.merge(b);
+  EXPECT_EQ(a, (VectorClock{3, 4, 5}));
+}
+
+TEST(VectorClockTest, MergeSizeMismatchThrows) {
+  VectorClock a(3);
+  VectorClock b(2);
+  EXPECT_THROW(a.merge(b), AssertionError);
+}
+
+TEST(VectorClockTest, CompareAllCases) {
+  EXPECT_EQ(compare({1, 2}, {1, 2}), Ordering::kEqual);
+  EXPECT_EQ(compare({1, 2}, {1, 3}), Ordering::kBefore);
+  EXPECT_EQ(compare({2, 3}, {1, 3}), Ordering::kAfter);
+  EXPECT_EQ(compare({1, 2}, {2, 1}), Ordering::kConcurrent);
+}
+
+TEST(VectorClockTest, LessIsStrict) {
+  EXPECT_FALSE(vc_less({1, 2}, {1, 2}));
+  EXPECT_TRUE(vc_less({1, 2}, {1, 3}));
+  EXPECT_TRUE(vc_leq({1, 2}, {1, 2}));
+  EXPECT_FALSE(vc_leq({1, 2}, {0, 9}));
+}
+
+TEST(VectorClockTest, ConcurrentSymmetric) {
+  EXPECT_TRUE(vc_concurrent({1, 0}, {0, 1}));
+  EXPECT_TRUE(vc_concurrent({0, 1}, {1, 0}));
+  EXPECT_FALSE(vc_concurrent({1, 1}, {1, 1}));
+}
+
+TEST(VectorClockTest, EmptyCompareThrows) {
+  VectorClock a;
+  VectorClock b;
+  EXPECT_THROW(compare(a, b), AssertionError);
+}
+
+TEST(VectorClockTest, MinMaxLattice) {
+  VectorClock a{3, 0, 5};
+  VectorClock b{1, 4, 2};
+  EXPECT_EQ(component_max(a, b), (VectorClock{3, 4, 5}));
+  EXPECT_EQ(component_min(a, b), (VectorClock{1, 0, 2}));
+}
+
+TEST(VectorClockTest, ToStringFormat) {
+  VectorClock a{1, 2, 3};
+  EXPECT_EQ(a.to_string(), "(1,2,3)");
+}
+
+TEST(VectorClockTest, TotalSums) {
+  VectorClock a{1, 2, 3};
+  EXPECT_EQ(a.total(), 6u);
+}
+
+// ---- Property tests over random clocks ------------------------------------
+
+class VcPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  VectorClock random_clock(Rng& rng, std::size_t n) {
+    VectorClock v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<ClockValue>(rng.uniform_int(0, 4));
+    }
+    return v;
+  }
+};
+
+TEST_P(VcPropertyTest, OrderIsAntisymmetricAndTransitive) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t n = 1 + rng.uniform_index(5);
+    const VectorClock a = random_clock(rng, n);
+    const VectorClock b = random_clock(rng, n);
+    const VectorClock c = random_clock(rng, n);
+    // Antisymmetry.
+    EXPECT_FALSE(vc_less(a, b) && vc_less(b, a));
+    // Transitivity.
+    if (vc_less(a, b) && vc_less(b, c)) {
+      EXPECT_TRUE(vc_less(a, c));
+    }
+    // Exactly one of the four relations holds.
+    int holds = 0;
+    holds += (compare(a, b) == Ordering::kEqual) ? 1 : 0;
+    holds += vc_less(a, b) ? 1 : 0;
+    holds += vc_less(b, a) ? 1 : 0;
+    holds += vc_concurrent(a, b) ? 1 : 0;
+    EXPECT_EQ(holds, 1);
+  }
+}
+
+TEST_P(VcPropertyTest, MinMaxAreMeetAndJoin) {
+  Rng rng(GetParam() ^ 0x55);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t n = 1 + rng.uniform_index(5);
+    const VectorClock a = random_clock(rng, n);
+    const VectorClock b = random_clock(rng, n);
+    const VectorClock lo = component_min(a, b);
+    const VectorClock hi = component_max(a, b);
+    EXPECT_TRUE(vc_leq(lo, a));
+    EXPECT_TRUE(vc_leq(lo, b));
+    EXPECT_TRUE(vc_leq(a, hi));
+    EXPECT_TRUE(vc_leq(b, hi));
+    // Meet/join of comparable pairs are the endpoints.
+    if (vc_leq(a, b)) {
+      EXPECT_EQ(lo, a);
+      EXPECT_EQ(hi, b);
+    }
+    // Idempotence / commutativity.
+    EXPECT_EQ(component_min(a, a), a);
+    EXPECT_EQ(component_max(a, a), a);
+    EXPECT_EQ(component_min(a, b), component_min(b, a));
+    EXPECT_EQ(component_max(a, b), component_max(b, a));
+  }
+}
+
+TEST_P(VcPropertyTest, MergeMonotone) {
+  Rng rng(GetParam() ^ 0xaa);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t n = 1 + rng.uniform_index(5);
+    VectorClock a = random_clock(rng, n);
+    const VectorClock before = a;
+    const VectorClock b = random_clock(rng, n);
+    a.merge(b);
+    EXPECT_TRUE(vc_leq(before, a));
+    EXPECT_TRUE(vc_leq(b, a));
+    EXPECT_EQ(a, component_max(before, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VcPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 1234u));
+
+}  // namespace
+}  // namespace hpd

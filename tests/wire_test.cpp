@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "wire/codec.hpp"
+
+namespace hpd::wire {
+namespace {
+
+TEST(VarintTest, RoundTripBoundaries) {
+  for (const std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull, 0xffffffffull,
+        0xffffffffffffffffull}) {
+    Encoder e;
+    e.put_varint(v);
+    Decoder d(e.bytes());
+    EXPECT_EQ(d.get_varint(), v);
+    EXPECT_TRUE(d.exhausted());
+  }
+}
+
+TEST(VarintTest, CompactForSmallValues) {
+  Encoder e;
+  e.put_varint(5);
+  EXPECT_EQ(e.bytes().size(), 1u);
+  Encoder e2;
+  e2.put_varint(300);
+  EXPECT_EQ(e2.bytes().size(), 2u);
+}
+
+TEST(VarintTest, TruncationThrows) {
+  Encoder e;
+  e.put_varint(0xffffffffull);
+  auto bytes = e.bytes();
+  bytes.pop_back();
+  Decoder d(bytes);
+  EXPECT_THROW(d.get_varint(), DecodeError);
+}
+
+TEST(VarintTest, OverlongRejected) {
+  // 11 continuation bytes cannot be a valid varint.
+  std::vector<std::uint8_t> bad(11, 0x80);
+  Decoder d(bad);
+  EXPECT_THROW(d.get_varint(), DecodeError);
+}
+
+TEST(ClockCodecTest, RoundTrip) {
+  const VectorClock vc{0, 1, 127, 128, 70000};
+  Encoder e;
+  e.put_clock(vc);
+  Decoder d(e.bytes());
+  EXPECT_EQ(d.get_clock(), vc);
+}
+
+TEST(ClockCodecTest, HugeDeclaredSizeRejected) {
+  Encoder e;
+  e.put_varint(1u << 30);  // claims 2^30 components, then nothing
+  Decoder d(e.bytes());
+  EXPECT_THROW(d.get_clock(), DecodeError);
+}
+
+TEST(IntervalCodecTest, RoundTripPreservesEverything) {
+  Interval x;
+  x.lo = VectorClock{1, 2, 3};
+  x.hi = VectorClock{4, 5, 6};
+  x.origin = 2;
+  x.seq = 99;
+  x.weight = 7;
+  x.aggregated = true;
+  Encoder e;
+  e.put_interval(x);
+  Decoder d(e.bytes());
+  const Interval y = d.get_interval();
+  EXPECT_EQ(y.lo, x.lo);
+  EXPECT_EQ(y.hi, x.hi);
+  EXPECT_EQ(y.origin, x.origin);
+  EXPECT_EQ(y.seq, x.seq);
+  EXPECT_EQ(y.weight, x.weight);
+  EXPECT_EQ(y.aggregated, x.aggregated);
+}
+
+TEST(IntervalCodecTest, MismatchedBoundsRejected) {
+  Encoder e;
+  e.put_clock(VectorClock{1, 2});
+  e.put_clock(VectorClock{1, 2, 3});
+  e.put_varint(1);
+  e.put_varint(1);
+  e.put_varint(1);
+  e.put_u8(0);
+  Decoder d(e.bytes());
+  EXPECT_THROW(d.get_interval(), DecodeError);
+}
+
+TEST(MessageCodecTest, AppRoundTrip) {
+  proto::AppPayload p;
+  p.subtype = 2;
+  p.round = 17;
+  p.stamp = VectorClock{3, 0, 9};
+  const auto m = decode(encode(p));
+  EXPECT_EQ(m.type, proto::kApp);
+  EXPECT_EQ(m.app.subtype, 2);
+  EXPECT_EQ(m.app.round, 17u);
+  EXPECT_EQ(m.app.stamp, p.stamp);
+}
+
+TEST(MessageCodecTest, ReportRoundTripBothTags) {
+  proto::ReportPayload p;
+  p.interval.lo = VectorClock{1, 1};
+  p.interval.hi = VectorClock{2, 3};
+  p.interval.origin = 1;
+  p.interval.seq = 4;
+  for (const int tag : {proto::kReportHier, proto::kReportCentral}) {
+    const auto m = decode(encode_report(p, tag));
+    EXPECT_EQ(m.type, tag);
+    EXPECT_EQ(m.report.interval.origin, 1);
+    EXPECT_EQ(m.report.interval.seq, 4u);
+    EXPECT_EQ(m.report.interval.hi, p.interval.hi);
+  }
+}
+
+TEST(MessageCodecTest, HeartbeatAndProbeAckRoundTrip) {
+  proto::HeartbeatPayload hb;
+  hb.attached = true;
+  hb.root_path = {4, 2, 0};
+  const auto m = decode(encode(hb));
+  EXPECT_EQ(m.type, proto::kHeartbeat);
+  EXPECT_TRUE(m.heartbeat.attached);
+  EXPECT_EQ(m.heartbeat.root_path, hb.root_path);
+
+  proto::ProbeAckPayload ack;
+  ack.attached = false;
+  const auto m2 = decode(encode(ack));
+  EXPECT_FALSE(m2.probe_ack.attached);
+  EXPECT_TRUE(m2.probe_ack.root_path.empty());
+}
+
+TEST(MessageCodecTest, ControlMessagesRoundTrip) {
+  EXPECT_EQ(decode(encode(proto::ProbePayload{})).type, proto::kProbe);
+  EXPECT_EQ(decode(encode(proto::FlipGoPayload{})).type, proto::kFlipGo);
+
+  proto::AttachReqPayload ar;
+  ar.next_report_seq = 12;
+  EXPECT_EQ(decode(encode(ar)).attach_req.next_report_seq, 12u);
+
+  proto::AttachAckPayload aa;
+  aa.accepted = true;
+  EXPECT_TRUE(decode(encode(aa)).attach_ack.accepted);
+
+  proto::DelegatePayload dp;
+  dp.orphan = 5;
+  EXPECT_EQ(decode(encode(dp)).delegate.orphan, 5);
+
+  proto::DelegateFailPayload df;
+  df.orphan = kNoProcess;  // sentinel survives the wire
+  EXPECT_EQ(decode(encode(df)).delegate_fail.orphan, kNoProcess);
+
+  proto::FlipPayload fp;
+  fp.orphan = 3;
+  EXPECT_EQ(decode(encode(fp)).flip.orphan, 3);
+
+  proto::FlipAckPayload fa;
+  fa.first_seq = 42;
+  EXPECT_EQ(decode(encode(fa)).flip_ack.first_seq, 42u);
+}
+
+TEST(MessageCodecTest, TrailingGarbageRejected) {
+  auto bytes = encode(proto::AttachAckPayload{true});
+  bytes.push_back(0);
+  EXPECT_THROW(decode(bytes), DecodeError);
+}
+
+TEST(MessageCodecTest, UnknownTagRejected) {
+  const std::vector<std::uint8_t> bytes = {0x7f};
+  EXPECT_THROW(decode(bytes), DecodeError);
+}
+
+TEST(MessageCodecTest, EmptyInputRejected) {
+  EXPECT_THROW(decode(std::vector<std::uint8_t>{}), DecodeError);
+}
+
+// Every truncation of every valid message must throw, never crash or
+// succeed.
+TEST(MessageCodecTest, AllPrefixesRejected) {
+  proto::AppPayload p;
+  p.subtype = 1;
+  p.round = 300;
+  p.stamp = VectorClock{1, 200, 3, 70000};
+  const auto full = encode(p);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(full.data(), cut);
+    EXPECT_THROW(decode(prefix), DecodeError) << "cut " << cut;
+  }
+}
+
+// Random bytes: decode must either produce a message or throw DecodeError —
+// never crash (fuzz-light).
+TEST(MessageCodecTest, RandomBytesNeverCrash) {
+  Rng rng(404);
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::vector<std::uint8_t> junk(rng.uniform_index(64));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    try {
+      (void)decode(junk);
+    } catch (const DecodeError&) {
+      // fine
+    }
+  }
+}
+
+TEST(MessageCodecTest, VarintClocksBeatRawEncodingOnTypicalStamps) {
+  // A realistic stamp in a 256-process system: mostly small counters.
+  VectorClock vc(256);
+  Rng rng(7);
+  for (std::size_t i = 0; i < vc.size(); ++i) {
+    vc[i] = static_cast<ClockValue>(rng.uniform_int(0, 500));
+  }
+  Encoder e;
+  e.put_clock(vc);
+  EXPECT_LT(e.bytes().size(), 256u * 4u / 2u);  // at least 2x smaller
+}
+
+}  // namespace
+}  // namespace hpd::wire

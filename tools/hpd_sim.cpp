@@ -1,0 +1,474 @@
+// hpd_sim — command-line experiment driver.
+//
+// Runs one simulated deployment of the hierarchical (or centralized)
+// detector over a chosen topology, workload, and failure plan, and prints
+// the detection and cost report. Everything is deterministic given --seed.
+//
+// Examples:
+//   hpd_sim --topology dary:2:5 --workload pulse:rounds=20
+//   hpd_sim --topology geometric:60:0.22 --fault-tolerant --fail 500:3
+//           --workload pulse:rounds=15,participation=0.9 --occurrences
+//   hpd_sim --topology grid:4x4 --detector central --workload gossip:horizon=400
+//   hpd_sim --help
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/execution_stats.hpp"
+#include "metrics/report.hpp"
+#include "net/render.hpp"
+#include "net/spanning_tree.hpp"
+#include "net/topology.hpp"
+#include "parallel/thread_pool.hpp"
+#include "proto/messages.hpp"
+#include "runner/experiment.hpp"
+#include "trace/gossip.hpp"
+#include "trace/pulse.hpp"
+#include "trace/trace_io.hpp"
+
+namespace hpd::tools {
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::cout << R"(hpd_sim — hierarchical predicate-detection experiment driver
+
+  --topology SPEC     dary:D:H | grid:RxC | ring:N | complete:N | star:N
+                      geometric:N:RADIUS | smallworld:N:K:BETA | scalefree:N:M
+                      (default dary:2:4; for dary the network is the tree
+                       plus 2*H random cross links when --fault-tolerant)
+  --detector KIND     hier | central | possibly  (default hier;
+                      possibly = weak-modality Possibly(Phi) at the sink)
+  --workload SPEC     pulse:rounds=R,period=P,participation=Q,jitter=J
+                      gossip:horizon=T,gap=G,psend=X,ptoggle=Y,maxintervals=K
+                      (default pulse:rounds=10)
+  --fail T:NODE       crash NODE at time T (repeatable)
+  --fault-tolerant    enable heartbeats + tree repair (hier only)
+  --seed N            RNG seed (default 1)
+  --repeat N          run N seeds (seed .. seed+N-1) in parallel and print
+                      aggregate statistics instead of one run's report
+  --root N            spanning-tree root / sink (default 0)
+  --occurrences       list every detection
+  --csv               machine-readable tables
+  --dump-execution F  record the execution and write it to file F
+                      (replayable with the offline tools; see trace_io.hpp)
+  --dump-occurrences F  write the occurrence log as CSV to file F
+  --stats             record the execution and print its profile
+  --tree              render the initial spanning tree (and the final
+                      forest when there were failures)
+  --help
+)";
+  std::exit(code);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep)) {
+    out.push_back(item);
+  }
+  return out;
+}
+
+double num_arg(const std::string& s, const char* what) {
+  try {
+    return std::stod(s);
+  } catch (...) {
+    std::cerr << "bad number '" << s << "' in " << what << "\n";
+    std::exit(2);
+  }
+}
+
+std::map<std::string, double> kv_args(const std::string& s) {
+  std::map<std::string, double> out;
+  if (s.empty()) {
+    return out;
+  }
+  for (const std::string& part : split(s, ',')) {
+    const auto eq = part.find('=');
+    if (eq == std::string::npos) {
+      std::cerr << "expected key=value, got '" << part << "'\n";
+      std::exit(2);
+    }
+    out[part.substr(0, eq)] = num_arg(part.substr(eq + 1), part.c_str());
+  }
+  return out;
+}
+
+struct Options {
+  std::string topology = "dary:2:4";
+  std::string workload = "pulse:rounds=10";
+  runner::DetectorKind detector = runner::DetectorKind::kHierarchical;
+  bool fault_tolerant = false;
+  bool list_occurrences = false;
+  bool csv = false;
+  std::uint64_t seed = 1;
+  std::size_t repeat = 1;
+  ProcessId root = 0;
+  std::vector<runner::FailureEvent> failures;
+  std::string dump_execution;
+  std::string dump_occurrences;
+  bool stats = false;
+  bool show_tree = false;
+};
+
+net::Topology build_topology(const Options& opt, Rng& rng,
+                             std::optional<net::SpanningTree>& tree_out) {
+  const auto parts = split(opt.topology, ':');
+  const std::string& kind = parts[0];
+  auto want = [&](std::size_t k) {
+    if (parts.size() != k + 1) {
+      std::cerr << "topology '" << kind << "' expects " << k << " params\n";
+      std::exit(2);
+    }
+  };
+  if (kind == "dary") {
+    want(2);
+    const auto d = static_cast<std::size_t>(num_arg(parts[1], "dary d"));
+    const auto h = static_cast<std::size_t>(num_arg(parts[2], "dary h"));
+    auto tree = net::SpanningTree::balanced_dary(d, h);
+    net::Topology topo = net::tree_topology(tree);
+    if (opt.fault_tolerant) {
+      topo = net::Topology::tree_plus_crosslinks(topo, 2 * h, rng);
+    }
+    tree_out = std::move(tree);
+    return topo;
+  }
+  if (kind == "grid") {
+    want(1);
+    const auto rc = split(parts[1], 'x');
+    if (rc.size() != 2) {
+      std::cerr << "grid expects RxC\n";
+      std::exit(2);
+    }
+    return net::Topology::grid(
+        static_cast<std::size_t>(num_arg(rc[0], "rows")),
+        static_cast<std::size_t>(num_arg(rc[1], "cols")));
+  }
+  if (kind == "ring") {
+    want(1);
+    return net::Topology::ring(
+        static_cast<std::size_t>(num_arg(parts[1], "ring n")));
+  }
+  if (kind == "complete") {
+    want(1);
+    return net::Topology::complete(
+        static_cast<std::size_t>(num_arg(parts[1], "complete n")));
+  }
+  if (kind == "star") {
+    want(1);
+    return net::Topology::star(
+        static_cast<std::size_t>(num_arg(parts[1], "star n")));
+  }
+  if (kind == "geometric") {
+    want(2);
+    return net::Topology::random_geometric(
+        static_cast<std::size_t>(num_arg(parts[1], "geometric n")),
+        num_arg(parts[2], "geometric radius"), rng);
+  }
+  if (kind == "smallworld") {
+    want(3);
+    return net::Topology::small_world(
+        static_cast<std::size_t>(num_arg(parts[1], "smallworld n")),
+        static_cast<std::size_t>(num_arg(parts[2], "smallworld k")),
+        num_arg(parts[3], "smallworld beta"), rng);
+  }
+  if (kind == "scalefree") {
+    want(2);
+    return net::Topology::scale_free(
+        static_cast<std::size_t>(num_arg(parts[1], "scalefree n")),
+        static_cast<std::size_t>(num_arg(parts[2], "scalefree m")), rng);
+  }
+  std::cerr << "unknown topology kind '" << kind << "'\n";
+  std::exit(2);
+}
+
+std::function<std::unique_ptr<trace::AppBehavior>(ProcessId)> build_workload(
+    const Options& opt, SimTime& horizon_out) {
+  const auto colon = opt.workload.find(':');
+  const std::string kind = opt.workload.substr(0, colon);
+  const auto kv = kv_args(
+      colon == std::string::npos ? "" : opt.workload.substr(colon + 1));
+  auto get = [&](const char* key, double dflt) {
+    auto it = kv.find(key);
+    return it == kv.end() ? dflt : it->second;
+  };
+  if (kind == "pulse") {
+    trace::PulseConfig pc;
+    pc.rounds = static_cast<SeqNum>(get("rounds", 10));
+    pc.period = get("period", 60.0);
+    pc.participation = get("participation", 1.0);
+    pc.jitter = get("jitter", 1.0);
+    pc.start = 5.0;
+    horizon_out = pc.start + static_cast<SimTime>(pc.rounds) * pc.period +
+                  pc.period;
+    return [pc](ProcessId) {
+      return std::make_unique<trace::PulseBehavior>(pc);
+    };
+  }
+  if (kind == "gossip") {
+    trace::GossipConfig gc;
+    gc.horizon = get("horizon", 500.0);
+    gc.mean_gap = get("gap", 4.0);
+    gc.p_send = get("psend", 0.4);
+    gc.p_toggle = get("ptoggle", 0.3);
+    gc.max_intervals = static_cast<std::size_t>(get("maxintervals", 20));
+    horizon_out = gc.horizon + 20.0;
+    return [gc](ProcessId) {
+      return std::make_unique<trace::GossipBehavior>(gc);
+    };
+  }
+  std::cerr << "unknown workload kind '" << kind << "'\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else if (arg == "--topology") {
+      opt.topology = value();
+    } else if (arg == "--workload") {
+      opt.workload = value();
+    } else if (arg == "--detector") {
+      const std::string v = value();
+      if (v == "hier") {
+        opt.detector = runner::DetectorKind::kHierarchical;
+      } else if (v == "central") {
+        opt.detector = runner::DetectorKind::kCentralized;
+      } else if (v == "possibly") {
+        opt.detector = runner::DetectorKind::kPossiblyCentralized;
+      } else {
+        std::cerr << "detector must be hier|central|possibly\n";
+        std::exit(2);
+      }
+    } else if (arg == "--fail") {
+      const auto parts = split(value(), ':');
+      if (parts.size() != 2) {
+        std::cerr << "--fail expects T:NODE\n";
+        std::exit(2);
+      }
+      opt.failures.push_back(runner::FailureEvent{
+          num_arg(parts[0], "fail time"),
+          static_cast<ProcessId>(num_arg(parts[1], "fail node"))});
+    } else if (arg == "--fault-tolerant") {
+      opt.fault_tolerant = true;
+    } else if (arg == "--occurrences") {
+      opt.list_occurrences = true;
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (arg == "--stats") {
+      opt.stats = true;
+    } else if (arg == "--tree") {
+      opt.show_tree = true;
+    } else if (arg == "--dump-execution") {
+      opt.dump_execution = value();
+    } else if (arg == "--dump-occurrences") {
+      opt.dump_occurrences = value();
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(num_arg(value(), "seed"));
+    } else if (arg == "--repeat") {
+      opt.repeat = static_cast<std::size_t>(num_arg(value(), "repeat"));
+      if (opt.repeat == 0) {
+        std::cerr << "--repeat needs a positive count\n";
+        std::exit(2);
+      }
+    } else if (arg == "--root") {
+      opt.root = static_cast<ProcessId>(num_arg(value(), "root"));
+    } else {
+      std::cerr << "unknown argument '" << arg << "' (try --help)\n";
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+int run(const Options& opt) {
+  Rng topo_rng(opt.seed ^ 0x70701090);
+  runner::ExperimentConfig cfg;
+  std::optional<net::SpanningTree> fixed_tree;
+  cfg.topology = build_topology(opt, topo_rng, fixed_tree);
+  cfg.tree = fixed_tree.has_value()
+                 ? *fixed_tree
+                 : net::SpanningTree::bfs_tree(cfg.topology, opt.root);
+  SimTime horizon = 600.0;
+  cfg.behavior_factory = build_workload(opt, horizon);
+  cfg.horizon = horizon;
+  cfg.drain = 150.0;
+  cfg.detector = opt.detector;
+  cfg.heartbeats =
+      opt.fault_tolerant &&
+      opt.detector == runner::DetectorKind::kHierarchical;
+  cfg.failures = opt.failures;
+  cfg.seed = opt.seed;
+  cfg.occurrence_solutions = false;
+  cfg.record_execution = !opt.dump_execution.empty() || opt.stats;
+
+  if (!opt.failures.empty() && !cfg.heartbeats &&
+      opt.detector == runner::DetectorKind::kHierarchical) {
+    std::cerr << "note: failures without --fault-tolerant will stall "
+                 "affected subtrees\n";
+  }
+
+  if (opt.repeat > 1) {
+    // Multi-seed sweep: fan the runs across cores (each run is fully
+    // independent; results are joined deterministically by seed order).
+    cfg.keep_occurrence_records = false;
+    cfg.record_execution = false;
+    parallel::ThreadPool pool;
+    struct SweepRow {
+      std::uint64_t global = 0;
+      std::uint64_t msgs = 0;
+      std::uint64_t cmp = 0;
+      double alpha = 0.0;
+    };
+    const auto rows = parallel::parallel_map<SweepRow>(
+        pool, opt.repeat, [&](std::size_t i) {
+          runner::ExperimentConfig run_cfg = cfg;
+          run_cfg.seed = opt.seed + i;
+          const auto r = runner::run_experiment(run_cfg);
+          return SweepRow{r.global_count, r.metrics.msgs_total(),
+                          r.metrics.total_vc_comparisons(),
+                          r.measured_alpha()};
+        });
+    TextTable t({"seed", "global detections", "msgs total", "vc comparisons",
+                 "alpha"});
+    double g_sum = 0.0;
+    double m_sum = 0.0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      t.add_row({std::to_string(opt.seed + i),
+                 std::to_string(rows[i].global),
+                 std::to_string(rows[i].msgs), std::to_string(rows[i].cmp),
+                 TextTable::num(rows[i].alpha, 3)});
+      g_sum += static_cast<double>(rows[i].global);
+      m_sum += static_cast<double>(rows[i].msgs);
+    }
+    opt.csv ? t.print_csv(std::cout) : t.print(std::cout);
+    std::cout << "\nmean over " << opt.repeat
+              << " seeds: global detections "
+              << TextTable::num(g_sum / static_cast<double>(opt.repeat), 2)
+              << ", messages "
+              << TextTable::num(m_sum / static_cast<double>(opt.repeat), 1)
+              << "\n";
+    return 0;
+  }
+
+  const auto result = runner::run_experiment(cfg);
+
+  if (opt.show_tree) {
+    std::cout << "initial spanning tree:\n";
+    net::render_tree(std::cout, cfg.tree);
+    if (!opt.failures.empty()) {
+      std::cout << "final forest (survivors):\n";
+      net::render_forest(std::cout, result.final_parents,
+                         &result.final_alive);
+    }
+    std::cout << '\n';
+  }
+
+  if (!opt.dump_execution.empty()) {
+    std::ofstream f(opt.dump_execution);
+    if (!f) {
+      std::cerr << "cannot open " << opt.dump_execution << "\n";
+      return 1;
+    }
+    trace::write_execution(f, result.execution);
+    std::cout << "execution written to " << opt.dump_execution << "\n";
+  }
+  if (!opt.dump_occurrences.empty()) {
+    std::ofstream f(opt.dump_occurrences);
+    if (!f) {
+      std::cerr << "cannot open " << opt.dump_occurrences << "\n";
+      return 1;
+    }
+    trace::write_occurrences_csv(f, result.occurrences);
+    std::cout << "occurrences written to " << opt.dump_occurrences << "\n";
+  }
+
+  if (opt.stats) {
+    analysis::print_stats(std::cout,
+                          analysis::compute_stats(result.execution));
+    std::cout << '\n';
+  }
+
+  std::cout << "network: n=" << cfg.topology.size()
+            << " edges=" << cfg.topology.num_edges()
+            << " tree-height=" << cfg.tree.height()
+            << " max-degree=" << cfg.tree.max_degree()
+            << " detector="
+            << (opt.detector == runner::DetectorKind::kHierarchical
+                    ? "hier"
+                    : (opt.detector == runner::DetectorKind::kCentralized
+                           ? "central"
+                           : "possibly"))
+            << " seed=" << opt.seed << "\n\n";
+
+  if (opt.list_occurrences) {
+    TextTable t({"t", "node", "#", "scope"});
+    for (const auto& rec : result.occurrences) {
+      t.add_row({TextTable::num(rec.time, 1), std::to_string(rec.detector),
+                 std::to_string(rec.index),
+                 rec.global ? "GLOBAL" : "subtree"});
+    }
+    opt.csv ? t.print_csv(std::cout) : t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  TextTable summary({"metric", "value"});
+  summary.add_row({"global detections", std::to_string(result.global_count)});
+  summary.add_row(
+      {"all detections", std::to_string(result.metrics.total_detections())});
+  summary.add_row({"measured alpha",
+                   TextTable::num(result.measured_alpha(), 3)});
+  summary.add_row({"vc comparisons",
+                   std::to_string(result.metrics.total_vc_comparisons())});
+  summary.add_row({"storage peak (worst node)",
+                   std::to_string(result.metrics.max_node_storage_peak())});
+  summary.add_row({"storage peak (sum)",
+                   std::to_string(result.metrics.sum_node_storage_peak())});
+  summary.add_row(
+      {"dropped messages", std::to_string(result.dropped_messages)});
+  summary.add_row({"sim events", std::to_string(result.sim_events)});
+  opt.csv ? summary.print_csv(std::cout) : summary.print(std::cout);
+  std::cout << '\n';
+
+  TextTable msgs({"message type", "count"});
+  for (const auto& [type, count] : result.metrics.msgs_by_type()) {
+    msgs.add_row({result.metrics.message_type_name(type),
+                  std::to_string(count)});
+  }
+  msgs.add_row({"total", std::to_string(result.metrics.msgs_total())});
+  opt.csv ? msgs.print_csv(std::cout) : msgs.print(std::cout);
+
+  if (!opt.failures.empty()) {
+    std::cout << "\nfinal control tree (survivors):\n";
+    for (std::size_t i = 0; i < result.final_alive.size(); ++i) {
+      if (!result.final_alive[i]) {
+        std::cout << "  " << i << ": crashed\n";
+      } else if (result.final_parents[i] == kNoProcess) {
+        std::cout << "  " << i << ": root\n";
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hpd::tools
+
+int main(int argc, char** argv) {
+  return hpd::tools::run(hpd::tools::parse(argc, argv));
+}
