@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_dashboard.dir/group_dashboard.cpp.o"
+  "CMakeFiles/group_dashboard.dir/group_dashboard.cpp.o.d"
+  "group_dashboard"
+  "group_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robot_swarm.dir/robot_swarm.cpp.o"
+  "CMakeFiles/robot_swarm.dir/robot_swarm.cpp.o.d"
+  "robot_swarm"
+  "robot_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robot_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

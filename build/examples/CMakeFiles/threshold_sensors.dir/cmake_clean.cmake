@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_sensors.dir/threshold_sensors.cpp.o"
+  "CMakeFiles/threshold_sensors.dir/threshold_sensors.cpp.o.d"
+  "threshold_sensors"
+  "threshold_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_monitoring.dir/wsn_monitoring.cpp.o"
+  "CMakeFiles/wsn_monitoring.dir/wsn_monitoring.cpp.o.d"
+  "wsn_monitoring"
+  "wsn_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/execution_stats.cpp" "src/CMakeFiles/hpd_analysis.dir/analysis/execution_stats.cpp.o" "gcc" "src/CMakeFiles/hpd_analysis.dir/analysis/execution_stats.cpp.o.d"
+  "/root/repo/src/analysis/fit.cpp" "src/CMakeFiles/hpd_analysis.dir/analysis/fit.cpp.o" "gcc" "src/CMakeFiles/hpd_analysis.dir/analysis/fit.cpp.o.d"
+  "/root/repo/src/analysis/formulas.cpp" "src/CMakeFiles/hpd_analysis.dir/analysis/formulas.cpp.o" "gcc" "src/CMakeFiles/hpd_analysis.dir/analysis/formulas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_vc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpd_analysis.dir/analysis/execution_stats.cpp.o"
+  "CMakeFiles/hpd_analysis.dir/analysis/execution_stats.cpp.o.d"
+  "CMakeFiles/hpd_analysis.dir/analysis/fit.cpp.o"
+  "CMakeFiles/hpd_analysis.dir/analysis/fit.cpp.o.d"
+  "CMakeFiles/hpd_analysis.dir/analysis/formulas.cpp.o"
+  "CMakeFiles/hpd_analysis.dir/analysis/formulas.cpp.o.d"
+  "libhpd_analysis.a"
+  "libhpd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

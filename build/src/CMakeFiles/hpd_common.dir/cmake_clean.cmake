@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpd_common.dir/common/assert.cpp.o"
+  "CMakeFiles/hpd_common.dir/common/assert.cpp.o.d"
+  "CMakeFiles/hpd_common.dir/common/logging.cpp.o"
+  "CMakeFiles/hpd_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/hpd_common.dir/common/rng.cpp.o"
+  "CMakeFiles/hpd_common.dir/common/rng.cpp.o.d"
+  "libhpd_common.a"
+  "libhpd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpd_core.dir/core/hier_engine.cpp.o"
+  "CMakeFiles/hpd_core.dir/core/hier_engine.cpp.o.d"
+  "libhpd_core.a"
+  "libhpd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

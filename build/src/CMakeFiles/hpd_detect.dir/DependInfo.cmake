@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/centralized.cpp" "src/CMakeFiles/hpd_detect.dir/detect/centralized.cpp.o" "gcc" "src/CMakeFiles/hpd_detect.dir/detect/centralized.cpp.o.d"
+  "/root/repo/src/detect/offline/enumerate.cpp" "src/CMakeFiles/hpd_detect.dir/detect/offline/enumerate.cpp.o" "gcc" "src/CMakeFiles/hpd_detect.dir/detect/offline/enumerate.cpp.o.d"
+  "/root/repo/src/detect/offline/hier_replay.cpp" "src/CMakeFiles/hpd_detect.dir/detect/offline/hier_replay.cpp.o" "gcc" "src/CMakeFiles/hpd_detect.dir/detect/offline/hier_replay.cpp.o.d"
+  "/root/repo/src/detect/offline/lattice.cpp" "src/CMakeFiles/hpd_detect.dir/detect/offline/lattice.cpp.o" "gcc" "src/CMakeFiles/hpd_detect.dir/detect/offline/lattice.cpp.o.d"
+  "/root/repo/src/detect/offline/replay.cpp" "src/CMakeFiles/hpd_detect.dir/detect/offline/replay.cpp.o" "gcc" "src/CMakeFiles/hpd_detect.dir/detect/offline/replay.cpp.o.d"
+  "/root/repo/src/detect/possibly.cpp" "src/CMakeFiles/hpd_detect.dir/detect/possibly.cpp.o" "gcc" "src/CMakeFiles/hpd_detect.dir/detect/possibly.cpp.o.d"
+  "/root/repo/src/detect/queue_engine.cpp" "src/CMakeFiles/hpd_detect.dir/detect/queue_engine.cpp.o" "gcc" "src/CMakeFiles/hpd_detect.dir/detect/queue_engine.cpp.o.d"
+  "/root/repo/src/detect/reorder.cpp" "src/CMakeFiles/hpd_detect.dir/detect/reorder.cpp.o" "gcc" "src/CMakeFiles/hpd_detect.dir/detect/reorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpd_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_vc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

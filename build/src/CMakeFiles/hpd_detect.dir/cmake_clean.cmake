@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpd_detect.dir/detect/centralized.cpp.o"
+  "CMakeFiles/hpd_detect.dir/detect/centralized.cpp.o.d"
+  "CMakeFiles/hpd_detect.dir/detect/offline/enumerate.cpp.o"
+  "CMakeFiles/hpd_detect.dir/detect/offline/enumerate.cpp.o.d"
+  "CMakeFiles/hpd_detect.dir/detect/offline/hier_replay.cpp.o"
+  "CMakeFiles/hpd_detect.dir/detect/offline/hier_replay.cpp.o.d"
+  "CMakeFiles/hpd_detect.dir/detect/offline/lattice.cpp.o"
+  "CMakeFiles/hpd_detect.dir/detect/offline/lattice.cpp.o.d"
+  "CMakeFiles/hpd_detect.dir/detect/offline/replay.cpp.o"
+  "CMakeFiles/hpd_detect.dir/detect/offline/replay.cpp.o.d"
+  "CMakeFiles/hpd_detect.dir/detect/possibly.cpp.o"
+  "CMakeFiles/hpd_detect.dir/detect/possibly.cpp.o.d"
+  "CMakeFiles/hpd_detect.dir/detect/queue_engine.cpp.o"
+  "CMakeFiles/hpd_detect.dir/detect/queue_engine.cpp.o.d"
+  "CMakeFiles/hpd_detect.dir/detect/reorder.cpp.o"
+  "CMakeFiles/hpd_detect.dir/detect/reorder.cpp.o.d"
+  "libhpd_detect.a"
+  "libhpd_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpd_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

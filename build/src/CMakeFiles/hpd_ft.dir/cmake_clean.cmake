@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpd_ft.dir/ft/heartbeat.cpp.o"
+  "CMakeFiles/hpd_ft.dir/ft/heartbeat.cpp.o.d"
+  "CMakeFiles/hpd_ft.dir/ft/reattach.cpp.o"
+  "CMakeFiles/hpd_ft.dir/ft/reattach.cpp.o.d"
+  "libhpd_ft.a"
+  "libhpd_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpd_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpd_interval.dir/interval/interval.cpp.o"
+  "CMakeFiles/hpd_interval.dir/interval/interval.cpp.o.d"
+  "libhpd_interval.a"
+  "libhpd_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpd_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

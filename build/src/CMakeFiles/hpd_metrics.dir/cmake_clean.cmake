@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpd_metrics.dir/metrics/counters.cpp.o"
+  "CMakeFiles/hpd_metrics.dir/metrics/counters.cpp.o.d"
+  "CMakeFiles/hpd_metrics.dir/metrics/report.cpp.o"
+  "CMakeFiles/hpd_metrics.dir/metrics/report.cpp.o.d"
+  "libhpd_metrics.a"
+  "libhpd_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpd_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

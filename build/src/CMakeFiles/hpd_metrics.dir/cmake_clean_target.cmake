@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpd_metrics.a"
+)

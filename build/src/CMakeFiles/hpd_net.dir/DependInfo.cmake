@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/render.cpp" "src/CMakeFiles/hpd_net.dir/net/render.cpp.o" "gcc" "src/CMakeFiles/hpd_net.dir/net/render.cpp.o.d"
+  "/root/repo/src/net/repair.cpp" "src/CMakeFiles/hpd_net.dir/net/repair.cpp.o" "gcc" "src/CMakeFiles/hpd_net.dir/net/repair.cpp.o.d"
+  "/root/repo/src/net/spanning_tree.cpp" "src/CMakeFiles/hpd_net.dir/net/spanning_tree.cpp.o" "gcc" "src/CMakeFiles/hpd_net.dir/net/spanning_tree.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/hpd_net.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/hpd_net.dir/net/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpd_net.dir/net/render.cpp.o"
+  "CMakeFiles/hpd_net.dir/net/render.cpp.o.d"
+  "CMakeFiles/hpd_net.dir/net/repair.cpp.o"
+  "CMakeFiles/hpd_net.dir/net/repair.cpp.o.d"
+  "CMakeFiles/hpd_net.dir/net/spanning_tree.cpp.o"
+  "CMakeFiles/hpd_net.dir/net/spanning_tree.cpp.o.d"
+  "CMakeFiles/hpd_net.dir/net/topology.cpp.o"
+  "CMakeFiles/hpd_net.dir/net/topology.cpp.o.d"
+  "libhpd_net.a"
+  "libhpd_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpd_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpd_parallel.dir/parallel/thread_pool.cpp.o"
+  "CMakeFiles/hpd_parallel.dir/parallel/thread_pool.cpp.o.d"
+  "libhpd_parallel.a"
+  "libhpd_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpd_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

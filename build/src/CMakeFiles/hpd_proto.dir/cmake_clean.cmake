@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpd_proto.dir/proto/messages.cpp.o"
+  "CMakeFiles/hpd_proto.dir/proto/messages.cpp.o.d"
+  "libhpd_proto.a"
+  "libhpd_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpd_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpd_runner.dir/runner/experiment.cpp.o"
+  "CMakeFiles/hpd_runner.dir/runner/experiment.cpp.o.d"
+  "CMakeFiles/hpd_runner.dir/runner/monitor.cpp.o"
+  "CMakeFiles/hpd_runner.dir/runner/monitor.cpp.o.d"
+  "CMakeFiles/hpd_runner.dir/runner/process_runtime.cpp.o"
+  "CMakeFiles/hpd_runner.dir/runner/process_runtime.cpp.o.d"
+  "libhpd_runner.a"
+  "libhpd_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpd_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpd_sim.dir/sim/delay.cpp.o"
+  "CMakeFiles/hpd_sim.dir/sim/delay.cpp.o.d"
+  "CMakeFiles/hpd_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/hpd_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/hpd_sim.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/hpd_sim.dir/sim/scheduler.cpp.o.d"
+  "libhpd_sim.a"
+  "libhpd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

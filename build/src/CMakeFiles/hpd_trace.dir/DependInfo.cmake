@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/app_core.cpp" "src/CMakeFiles/hpd_trace.dir/trace/app_core.cpp.o" "gcc" "src/CMakeFiles/hpd_trace.dir/trace/app_core.cpp.o.d"
+  "/root/repo/src/trace/execution.cpp" "src/CMakeFiles/hpd_trace.dir/trace/execution.cpp.o" "gcc" "src/CMakeFiles/hpd_trace.dir/trace/execution.cpp.o.d"
+  "/root/repo/src/trace/gossip.cpp" "src/CMakeFiles/hpd_trace.dir/trace/gossip.cpp.o" "gcc" "src/CMakeFiles/hpd_trace.dir/trace/gossip.cpp.o.d"
+  "/root/repo/src/trace/local_state.cpp" "src/CMakeFiles/hpd_trace.dir/trace/local_state.cpp.o" "gcc" "src/CMakeFiles/hpd_trace.dir/trace/local_state.cpp.o.d"
+  "/root/repo/src/trace/pulse.cpp" "src/CMakeFiles/hpd_trace.dir/trace/pulse.cpp.o" "gcc" "src/CMakeFiles/hpd_trace.dir/trace/pulse.cpp.o.d"
+  "/root/repo/src/trace/scripted.cpp" "src/CMakeFiles/hpd_trace.dir/trace/scripted.cpp.o" "gcc" "src/CMakeFiles/hpd_trace.dir/trace/scripted.cpp.o.d"
+  "/root/repo/src/trace/sensor.cpp" "src/CMakeFiles/hpd_trace.dir/trace/sensor.cpp.o" "gcc" "src/CMakeFiles/hpd_trace.dir/trace/sensor.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/hpd_trace.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/hpd_trace.dir/trace/trace_io.cpp.o.d"
+  "/root/repo/src/trace/validate.cpp" "src/CMakeFiles/hpd_trace.dir/trace/validate.cpp.o" "gcc" "src/CMakeFiles/hpd_trace.dir/trace/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpd_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_vc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpd_trace.dir/trace/app_core.cpp.o"
+  "CMakeFiles/hpd_trace.dir/trace/app_core.cpp.o.d"
+  "CMakeFiles/hpd_trace.dir/trace/execution.cpp.o"
+  "CMakeFiles/hpd_trace.dir/trace/execution.cpp.o.d"
+  "CMakeFiles/hpd_trace.dir/trace/gossip.cpp.o"
+  "CMakeFiles/hpd_trace.dir/trace/gossip.cpp.o.d"
+  "CMakeFiles/hpd_trace.dir/trace/local_state.cpp.o"
+  "CMakeFiles/hpd_trace.dir/trace/local_state.cpp.o.d"
+  "CMakeFiles/hpd_trace.dir/trace/pulse.cpp.o"
+  "CMakeFiles/hpd_trace.dir/trace/pulse.cpp.o.d"
+  "CMakeFiles/hpd_trace.dir/trace/scripted.cpp.o"
+  "CMakeFiles/hpd_trace.dir/trace/scripted.cpp.o.d"
+  "CMakeFiles/hpd_trace.dir/trace/sensor.cpp.o"
+  "CMakeFiles/hpd_trace.dir/trace/sensor.cpp.o.d"
+  "CMakeFiles/hpd_trace.dir/trace/trace_io.cpp.o"
+  "CMakeFiles/hpd_trace.dir/trace/trace_io.cpp.o.d"
+  "CMakeFiles/hpd_trace.dir/trace/validate.cpp.o"
+  "CMakeFiles/hpd_trace.dir/trace/validate.cpp.o.d"
+  "libhpd_trace.a"
+  "libhpd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

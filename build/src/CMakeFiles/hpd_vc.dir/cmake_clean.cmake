@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpd_vc.dir/vc/vector_clock.cpp.o"
+  "CMakeFiles/hpd_vc.dir/vc/vector_clock.cpp.o.d"
+  "libhpd_vc.a"
+  "libhpd_vc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpd_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

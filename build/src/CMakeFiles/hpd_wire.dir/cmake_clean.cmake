@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpd_wire.dir/wire/codec.cpp.o"
+  "CMakeFiles/hpd_wire.dir/wire/codec.cpp.o.d"
+  "CMakeFiles/hpd_wire.dir/wire/delta_clock.cpp.o"
+  "CMakeFiles/hpd_wire.dir/wire/delta_clock.cpp.o.d"
+  "libhpd_wire.a"
+  "libhpd_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpd_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

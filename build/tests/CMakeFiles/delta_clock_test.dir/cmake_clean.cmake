@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_clock_test.dir/delta_clock_test.cpp.o"
+  "CMakeFiles/delta_clock_test.dir/delta_clock_test.cpp.o.d"
+  "delta_clock_test"
+  "delta_clock_test.pdb"
+  "delta_clock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/false_positive_test.dir/false_positive_test.cpp.o"
+  "CMakeFiles/false_positive_test.dir/false_positive_test.cpp.o.d"
+  "false_positive_test"
+  "false_positive_test.pdb"
+  "false_positive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/false_positive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for false_positive_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hier_engine_test.dir/hier_engine_test.cpp.o"
+  "CMakeFiles/hier_engine_test.dir/hier_engine_test.cpp.o.d"
+  "hier_engine_test"
+  "hier_engine_test.pdb"
+  "hier_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hier_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

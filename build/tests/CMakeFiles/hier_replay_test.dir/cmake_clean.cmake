@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hier_replay_test.dir/hier_replay_test.cpp.o"
+  "CMakeFiles/hier_replay_test.dir/hier_replay_test.cpp.o.d"
+  "hier_replay_test"
+  "hier_replay_test.pdb"
+  "hier_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hier_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_state_test.dir/local_state_test.cpp.o"
+  "CMakeFiles/local_state_test.dir/local_state_test.cpp.o.d"
+  "local_state_test"
+  "local_state_test.pdb"
+  "local_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

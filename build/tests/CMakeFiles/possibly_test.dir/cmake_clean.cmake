@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/possibly_test.dir/possibly_test.cpp.o"
+  "CMakeFiles/possibly_test.dir/possibly_test.cpp.o.d"
+  "possibly_test"
+  "possibly_test.pdb"
+  "possibly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/possibly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

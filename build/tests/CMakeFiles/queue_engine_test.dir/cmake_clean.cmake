@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_engine_test.dir/queue_engine_test.cpp.o"
+  "CMakeFiles/queue_engine_test.dir/queue_engine_test.cpp.o.d"
+  "queue_engine_test"
+  "queue_engine_test.pdb"
+  "queue_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

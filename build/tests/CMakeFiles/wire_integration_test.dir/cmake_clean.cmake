@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_integration_test.dir/wire_integration_test.cpp.o"
+  "CMakeFiles/wire_integration_test.dir/wire_integration_test.cpp.o.d"
+  "wire_integration_test"
+  "wire_integration_test.pdb"
+  "wire_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

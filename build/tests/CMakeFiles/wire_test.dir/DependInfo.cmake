@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wire_test.cpp" "tests/CMakeFiles/wire_test.dir/wire_test.cpp.o" "gcc" "tests/CMakeFiles/wire_test.dir/wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_ft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_vc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpd_cli.dir/hpd_sim.cpp.o"
+  "CMakeFiles/hpd_cli.dir/hpd_sim.cpp.o.d"
+  "hpd_sim"
+  "hpd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build/tools/hpd_sim" "--help")
+set_tests_properties(cli_help PROPERTIES  PASS_REGULAR_EXPRESSION "--topology SPEC" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_pulse_dary "/root/repo/build/tools/hpd_sim" "--topology" "dary:2:3" "--workload" "pulse:rounds=4" "--seed" "2")
+set_tests_properties(cli_pulse_dary PROPERTIES  PASS_REGULAR_EXPRESSION "global detections[ ]+4" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_central_grid "/root/repo/build/tools/hpd_sim" "--topology" "grid:3x3" "--detector" "central" "--workload" "pulse:rounds=3" "--occurrences")
+set_tests_properties(cli_central_grid PROPERTIES  PASS_REGULAR_EXPRESSION "GLOBAL" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_possibly "/root/repo/build/tools/hpd_sim" "--topology" "complete:4" "--detector" "possibly" "--workload" "pulse:rounds=3")
+set_tests_properties(cli_possibly PROPERTIES  PASS_REGULAR_EXPRESSION "detector=possibly" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_fault_tolerant_failure "/root/repo/build/tools/hpd_sim" "--topology" "geometric:20:0.35" "--fault-tolerant" "--fail" "150:3" "--workload" "pulse:rounds=5" "--seed" "4")
+set_tests_properties(cli_fault_tolerant_failure PROPERTIES  PASS_REGULAR_EXPRESSION "3: crashed" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stats "/root/repo/build/tools/hpd_sim" "--topology" "ring:6" "--workload" "gossip:horizon=100" "--stats")
+set_tests_properties(cli_stats PROPERTIES  PASS_REGULAR_EXPRESSION "cross-process interval pairs" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;35;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_flag "/root/repo/build/tools/hpd_sim" "--nonsense")
+set_tests_properties(cli_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;40;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_repeat_sweep "/root/repo/build/tools/hpd_sim" "--topology" "dary:2:3" "--workload" "pulse:rounds=3" "--repeat" "4")
+set_tests_properties(cli_repeat_sweep PROPERTIES  PASS_REGULAR_EXPRESSION "mean over 4 seeds" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;43;add_test;/root/repo/tools/CMakeLists.txt;0;")
