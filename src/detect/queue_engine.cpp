@@ -181,13 +181,15 @@ std::vector<Solution> QueueEngine::detect_loop(std::set<ProcessId> updated) {
     std::set<ProcessId> prune_set;
     for (const auto& [a, qa2] : queues_) {
       bool removable = true;
-      for (const auto& [b, qb2] : queues_) {
-        if (b == a) {
-          continue;
-        }
-        if (vc_less_counted(qb2.front().hi, qa2.front().hi)) {
-          removable = false;  // Eq. (10) fails: some max(x_b) < max(x_a)
-          break;
+      if (mode_ != PruneMode::kTestBrokenPruneAll) {
+        for (const auto& [b, qb2] : queues_) {
+          if (b == a) {
+            continue;
+          }
+          if (vc_less_counted(qb2.front().hi, qa2.front().hi)) {
+            removable = false;  // Eq. (10) fails: some max(x_b) < max(x_a)
+            break;
+          }
         }
       }
       if (removable) {

@@ -48,6 +48,13 @@ class QueueEngine {
   enum class PruneMode {
     kAllEq10,     ///< remove every head satisfying Eq. (10) — the paper
     kSingleEq10,  ///< remove only the first such head (ablation A4)
+    /// Deliberately broken rule for fault-injection testing ONLY: after a
+    /// solution, prune *every* head, including those Eq. (10) would keep
+    /// because another head's smaller max proves they can still combine
+    /// with a successor. Over-pruning silently loses later solutions; the
+    /// model checker's differential oracles must detect and shrink it.
+    /// Never use outside tests.
+    kTestBrokenPruneAll,
   };
 
   explicit QueueEngine(PruneMode mode = PruneMode::kAllEq10) : mode_(mode) {}

@@ -1,0 +1,203 @@
+#include "mc/checker.hpp"
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "mc/oracles.hpp"
+#include "mc/strategies.hpp"
+#include "runner/experiment.hpp"
+
+namespace hpd::mc {
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t time_bits(SimTime t) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &t, sizeof(u));
+  return u;
+}
+
+/// Digest everything schedule-sensitive: occurrence times and aggregate
+/// clocks, plus every recorded event's time. Two runs agree on this iff
+/// they took the same delivery schedule (message timing feeds back into
+/// the workload, so even a count-preserving reordering shifts the bits).
+std::uint64_t digest(const runner::ExperimentResult& res) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const auto& rec : res.occurrences) {
+    h = fnv1a(h, static_cast<std::uint64_t>(rec.detector));
+    h = fnv1a(h, rec.index);
+    h = fnv1a(h, time_bits(rec.time));
+    for (std::size_t i = 0; i < rec.aggregate.lo.size(); ++i) {
+      h = fnv1a(h, static_cast<std::uint64_t>(rec.aggregate.lo[i]));
+      h = fnv1a(h, static_cast<std::uint64_t>(rec.aggregate.hi[i]));
+    }
+  }
+  for (const auto& proc : res.execution.procs) {
+    for (const auto& ev : proc.events) {
+      h = fnv1a(h, time_bits(ev.time));
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+RunOutcome run_case(const McCase& c) {
+  runner::ExperimentConfig cfg = build_case(c);
+  CaseStrategy strategy(c);
+  cfg.strategy = &strategy;
+  const runner::ExperimentResult res = runner::run_experiment(cfg);
+
+  RunOutcome out;
+  out.violations = check_oracles(c, cfg, res);
+  out.total_intervals = res.execution.total_intervals();
+  out.occurrences = res.occurrences.size();
+  out.global_count = res.global_count;
+  out.fingerprint = digest(res);
+  return out;
+}
+
+namespace {
+
+const char* const kStrictTopologies[] = {
+    "dary:2:2", "dary:2:3", "dary:3:2", "grid:2x3", "grid:3x3",
+};
+
+/// Vary the gossip workload shape so sweeps explore sparse and dense
+/// interval patterns, not just schedules.
+void randomize_gossip(McCase& c, Rng& rng) {
+  c.workload = WorkloadKind::kGossip;
+  c.horizon = 80.0 + 20.0 * static_cast<SimTime>(rng.uniform_index(5));
+  c.mean_gap = rng.uniform_real(2.5, 6.0);
+  c.p_send = rng.uniform_real(0.2, 0.6);
+  c.p_toggle = rng.uniform_real(0.2, 0.5);
+  c.max_intervals = 2 + rng.uniform_index(7);
+}
+
+}  // namespace
+
+std::vector<McCase> seed_sweep_cases(std::size_t count, std::uint64_t seed0) {
+  Rng rng(seed0);
+  std::vector<McCase> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    McCase c;
+    c.topology = kStrictTopologies[k % std::size(kStrictTopologies)];
+    randomize_gossip(c, rng);
+    // Both sound prune rules take turns; the ablation variant must satisfy
+    // the same differential (vs a kSingleEq10 replay).
+    c.prune = rng.bernoulli(0.25)
+                  ? detect::QueueEngine::PruneMode::kSingleEq10
+                  : detect::QueueEngine::PruneMode::kAllEq10;
+    c.strategy = StrategyKind::kSeedSweep;
+    c.seed = rng();
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<McCase> reorder_cases(std::size_t count, std::uint64_t seed0) {
+  Rng rng(seed0);
+  std::vector<McCase> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    McCase c;
+    c.topology = kStrictTopologies[k % std::size(kStrictTopologies)];
+    randomize_gossip(c, rng);
+    if (k % 2 == 0) {
+      c.strategy = StrategyKind::kDelayBounded;
+      c.delay_bound = rng.uniform_real(2.0, 12.0);
+      c.perturb_p = rng.uniform_real(0.2, 0.9);
+    } else {
+      c.strategy = StrategyKind::kPct;
+      c.pct_lanes = 2 + rng.uniform_index(4);
+      c.pct_spread = rng.uniform_real(1.0, 4.0);
+    }
+    // Benign chaos the strict oracles absorb: lost/duplicated application
+    // messages reshape the (recorded) execution itself, duplicated reports
+    // are deduplicated by the reorder buffer.
+    if (rng.bernoulli(0.4)) {
+      c.drop_app_p = rng.uniform_real(0.02, 0.15);
+    }
+    if (rng.bernoulli(0.4)) {
+      c.dup_app_p = rng.uniform_real(0.02, 0.15);
+    }
+    if (rng.bernoulli(0.4)) {
+      c.dup_report_p = rng.uniform_real(0.02, 0.2);
+    }
+    c.seed = rng();
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<McCase> fault_cases(std::size_t count, std::uint64_t seed0) {
+  Rng rng(seed0);
+  std::vector<McCase> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    McCase c;
+    // Topologies with redundant links, so tree repair has edges to use.
+    c.topology = (k % 2 == 0) ? "grid:3x3" : "dary:2:3";
+    c.workload = WorkloadKind::kPulse;
+    c.pulse_rounds = 8;
+    c.pulse_period = 40.0;
+    c.strategy = StrategyKind::kSeedSweep;
+
+    const std::size_t n = (k % 2 == 0) ? 9 : 7;
+    // Crash one or two non-root nodes mid-run; sometimes revive the first.
+    const std::size_t num_crashes = 1 + rng.uniform_index(2);
+    SimTime when = rng.uniform_real(30.0, 90.0);
+    for (std::size_t f = 0; f < num_crashes; ++f) {
+      runner::FailureEvent ev;
+      ev.node = static_cast<ProcessId>(1 + rng.uniform_index(n - 1));
+      ev.time = when;
+      if (!c.crashes.empty() && c.crashes.back().node == ev.node) {
+        continue;  // duplicate victim adds nothing
+      }
+      c.crashes.push_back(ev);
+      when += rng.uniform_real(20.0, 60.0);
+    }
+    if (rng.bernoulli(0.4)) {
+      runner::FailureEvent ev;
+      ev.node = c.crashes.front().node;
+      ev.time = when + rng.uniform_real(20.0, 60.0);
+      c.recoveries.push_back(ev);
+    }
+    if (k % 5 == 4) {
+      // A minority with lossy report channels: the differential and
+      // coverage oracles no longer apply (McCase::has_faults /
+      // coverage_checkable), but the stream-sanity tier must still hold.
+      c.drop_report_p = rng.uniform_real(0.05, 0.25);
+    }
+    c.seed = rng();
+    out.push_back(c);
+  }
+  return out;
+}
+
+ExploreStats explore(const std::vector<McCase>& cases,
+                     std::size_t max_failures) {
+  ExploreStats stats;
+  for (const auto& c : cases) {
+    const RunOutcome out = run_case(c);
+    ++stats.schedules;
+    if (!out.ok()) {
+      ++stats.failed;
+      if (stats.failures.size() < max_failures) {
+        stats.failures.push_back(CaseFailure{c, out.violations});
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace hpd::mc

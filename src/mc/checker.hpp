@@ -1,0 +1,71 @@
+// The model checker's driver: run one case end-to-end (build config, install
+// the schedule strategy, run the experiment, check every applicable oracle),
+// plus deterministic generators for the three case families the test suite
+// sweeps — seed sweeps, delay-bounded / PCT reorderings, and fault plans.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mc/mc_case.hpp"
+
+namespace hpd::mc {
+
+/// One checked schedule: the oracle verdicts plus the metrics the shrinker
+/// minimizes by.
+struct RunOutcome {
+  std::vector<std::string> violations;  ///< empty == schedule passed
+  std::size_t total_intervals = 0;      ///< the shrinker's size metric
+  std::size_t occurrences = 0;
+  std::uint64_t global_count = 0;
+  /// FNV-1a digest of the occurrence stream and the recorded execution's
+  /// event times: two runs with equal digests took the same schedule.
+  std::uint64_t fingerprint = 0;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Deterministically run `c` and evaluate its oracles.
+RunOutcome run_case(const McCase& c);
+
+// ---- Case families ---------------------------------------------------------
+// All generators are pure functions of (count, seed0): the k-th case of a
+// family is stable across runs and machines, so a failure cited by family
+// and index is immediately reproducible.
+
+/// Failure-free gossip workloads under the baseline delay model; adversity
+/// comes from sweeping the simulation seed and the workload shape. Strict
+/// oracles (exact offline differential) apply to every case.
+std::vector<McCase> seed_sweep_cases(std::size_t count, std::uint64_t seed0);
+
+/// Failure-free cases under delay-bounded reordering and PCT-style priority
+/// lanes, with benign message chaos (app-message drops/duplicates, report
+/// duplicates) that the strict oracles still fully cover.
+std::vector<McCase> reorder_cases(std::size_t count, std::uint64_t seed0);
+
+/// Crash / crash-recovery plans on redundant topologies, pulse workloads;
+/// checked with the structural fault oracles, most with the surviving-
+/// subtree coverage oracle. A minority adds report-drop chaos (stream
+/// sanity oracles only).
+std::vector<McCase> fault_cases(std::size_t count, std::uint64_t seed0);
+
+// ---- Exploration -----------------------------------------------------------
+
+struct CaseFailure {
+  McCase c;
+  std::vector<std::string> violations;
+};
+
+struct ExploreStats {
+  std::size_t schedules = 0;  ///< cases run
+  std::size_t failed = 0;     ///< cases with >= 1 oracle violation
+  /// The first few failing cases, kept for reporting / shrinking.
+  std::vector<CaseFailure> failures;
+};
+
+/// Run every case, collecting up to `max_failures` failing cases.
+ExploreStats explore(const std::vector<McCase>& cases,
+                     std::size_t max_failures = 4);
+
+}  // namespace hpd::mc

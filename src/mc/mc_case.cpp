@@ -1,0 +1,135 @@
+#include "mc/mc_case.hpp"
+
+#include <memory>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "net/spanning_tree.hpp"
+#include "net/topology.hpp"
+#include "trace/gossip.hpp"
+#include "trace/pulse.hpp"
+
+namespace hpd::mc {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep)) {
+    out.push_back(item);
+  }
+  return out;
+}
+
+std::size_t num(const std::string& s) {
+  return static_cast<std::size_t>(std::stoul(s));
+}
+
+}  // namespace
+
+runner::ExperimentConfig build_case(const McCase& c) {
+  runner::ExperimentConfig cfg;
+
+  // ---- Topology + tree ----
+  const auto parts = split(c.topology, ':');
+  HPD_REQUIRE(!parts.empty(), "McCase: empty topology spec");
+  if (parts[0] == "dary") {
+    HPD_REQUIRE(parts.size() == 3, "McCase: dary:D:H expected");
+    const std::size_t d = num(parts[1]);
+    const std::size_t h = num(parts[2]);
+    cfg.tree = net::SpanningTree::balanced_dary(d, h);
+    cfg.topology = net::tree_topology(cfg.tree);
+    if (!c.crashes.empty()) {
+      // Repair needs non-tree edges to reattach over. Deterministic in the
+      // case seed, independent of everything else.
+      Rng cross_rng(c.seed ^ 0xc7055ULL);
+      cfg.topology =
+          net::Topology::tree_plus_crosslinks(cfg.topology, 2 * h, cross_rng);
+    }
+  } else if (parts[0] == "grid") {
+    HPD_REQUIRE(parts.size() == 2, "McCase: grid:RxC expected");
+    const auto rc = split(parts[1], 'x');
+    HPD_REQUIRE(rc.size() == 2, "McCase: grid:RxC expected");
+    cfg.topology = net::Topology::grid(num(rc[0]), num(rc[1]));
+    cfg.tree = net::SpanningTree::bfs_tree(cfg.topology, 0);
+  } else {
+    HPD_REQUIRE(false, "McCase: unknown topology kind");
+  }
+
+  // ---- Workload ----
+  if (c.workload == WorkloadKind::kGossip) {
+    trace::GossipConfig g;
+    g.horizon = c.horizon;
+    g.mean_gap = c.mean_gap;
+    g.p_send = c.p_send;
+    g.p_toggle = c.p_toggle;
+    g.max_intervals = c.max_intervals;
+    cfg.behavior_factory = [g](ProcessId) {
+      return std::make_unique<trace::GossipBehavior>(g);
+    };
+    cfg.horizon = c.horizon + 15.0;
+  } else {
+    trace::PulseConfig p;
+    p.rounds = c.pulse_rounds;
+    p.period = c.pulse_period;
+    p.participation = 1.0;
+    p.jitter = 1.0;
+    p.start = 5.0;
+    cfg.behavior_factory = [p](ProcessId) {
+      return std::make_unique<trace::PulseBehavior>(p);
+    };
+    cfg.horizon =
+        p.start + static_cast<SimTime>(p.rounds) * p.period + p.period;
+  }
+  cfg.drain = 80.0;
+
+  // ---- Detection ----
+  cfg.detector = runner::DetectorKind::kHierarchical;
+  cfg.prune_mode = c.prune;
+  cfg.queue_capacity = c.queue_capacity;
+  cfg.track_provenance = true;
+  cfg.record_execution = true;
+  cfg.keep_occurrence_records = true;
+  cfg.occurrence_solutions = true;
+
+  // ---- Fault plan ----
+  cfg.failures = c.crashes;
+  cfg.recoveries = c.recoveries;
+  cfg.heartbeats = !c.crashes.empty() || !c.recoveries.empty();
+
+  cfg.seed = c.seed;
+  return cfg;
+}
+
+const char* to_string(WorkloadKind k) {
+  return k == WorkloadKind::kGossip ? "gossip" : "pulse";
+}
+
+const char* to_string(StrategyKind k) {
+  switch (k) {
+    case StrategyKind::kSeedSweep:
+      return "seed";
+    case StrategyKind::kDelayBounded:
+      return "delay";
+    case StrategyKind::kPct:
+      return "pct";
+  }
+  return "?";
+}
+
+const char* to_string(detect::QueueEngine::PruneMode m) {
+  switch (m) {
+    case detect::QueueEngine::PruneMode::kAllEq10:
+      return "all";
+    case detect::QueueEngine::PruneMode::kSingleEq10:
+      return "single";
+    case detect::QueueEngine::PruneMode::kTestBrokenPruneAll:
+      return "broken-all";
+  }
+  return "?";
+}
+
+}  // namespace hpd::mc

@@ -1,0 +1,112 @@
+// A model-checking case: one fully-described adversarial schedule.
+//
+// An McCase is plain serializable data — system shape, workload, detector
+// settings, schedule strategy, fault plan, seed — from which build_case()
+// derives a deterministic ExperimentConfig. The same McCase always produces
+// the same execution, the same detections, and the same oracle verdicts,
+// which is what makes failing cases shrinkable (mc/shrink.hpp) and
+// replayable from a repro file (mc/repro.hpp, `hpd_sim --repro`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "detect/queue_engine.hpp"
+#include "runner/experiment.hpp"
+
+namespace hpd::mc {
+
+enum class WorkloadKind {
+  kGossip,  ///< irregular predicate toggles + random sends (trace/gossip)
+  kPulse,   ///< synchronized truth rounds, participation 1 (trace/pulse)
+};
+
+enum class StrategyKind {
+  kSeedSweep,     ///< baseline delay model; adversity comes from the seed
+  kDelayBounded,  ///< perturb a random subset of messages by up to a bound
+  kPct,           ///< PCT-style random priority lanes (lane k waits k·spread)
+};
+
+struct McCase {
+  // ---- System shape -------------------------------------------------------
+  /// `dary:D:H` (paper-model tree; cross links added when the fault plan
+  /// crashes nodes, so repair has somewhere to reattach) or `grid:RxC`
+  /// (BFS tree rooted at 0).
+  std::string topology = "dary:2:3";
+
+  // ---- Workload -----------------------------------------------------------
+  WorkloadKind workload = WorkloadKind::kGossip;
+  SimTime horizon = 160.0;  ///< gossip action window
+  double mean_gap = 4.0;
+  double p_send = 0.45;
+  double p_toggle = 0.35;
+  std::size_t max_intervals = 8;  ///< the paper's p, per process
+  SeqNum pulse_rounds = 6;
+  SimTime pulse_period = 40.0;
+
+  // ---- Detection ----------------------------------------------------------
+  detect::QueueEngine::PruneMode prune =
+      detect::QueueEngine::PruneMode::kAllEq10;
+  std::size_t queue_capacity = 0;
+
+  // ---- Schedule strategy --------------------------------------------------
+  StrategyKind strategy = StrategyKind::kSeedSweep;
+  SimTime delay_bound = 0.0;   ///< kDelayBounded: max extra delay
+  double perturb_p = 0.0;      ///< kDelayBounded: fraction perturbed
+  std::size_t pct_lanes = 0;   ///< kPct: number of priority lanes
+  SimTime pct_spread = 0.0;    ///< kPct: extra delay per lane
+
+  // ---- Fault plan ---------------------------------------------------------
+  std::vector<runner::FailureEvent> crashes;
+  std::vector<runner::FailureEvent> recoveries;
+  double drop_app_p = 0.0;     ///< drop probability, application messages
+  double dup_app_p = 0.0;      ///< duplicate probability, application msgs
+  double drop_report_p = 0.0;  ///< drop probability, interval reports
+  double dup_report_p = 0.0;   ///< duplicate probability, interval reports
+
+  std::uint64_t seed = 1;
+
+  /// Anything that can make the online run structurally diverge from the
+  /// failure-free offline reference: crashes, recoveries, lost reports.
+  /// (Dropped/duplicated app messages reshape the execution itself, and
+  /// duplicated reports are absorbed by the reorder buffer, so neither
+  /// breaks the differential oracle.)
+  bool has_faults() const {
+    return !crashes.empty() || !recoveries.empty() || drop_report_p > 0.0;
+  }
+
+  /// Eligible for the exact per-node differential against the offline
+  /// hierarchical replay. Capacity-bounded queues legitimately miss
+  /// detections, so they are excluded too.
+  bool strict() const { return !has_faults() && queue_capacity == 0; }
+
+  /// Eligible for the surviving-subtree coverage oracle: a pulse workload
+  /// (every live node contributes each round) under the baseline schedule,
+  /// with the repair plane undisturbed.
+  bool coverage_checkable() const {
+    return workload == WorkloadKind::kPulse && !crashes.empty() &&
+           strategy == StrategyKind::kSeedSweep && drop_report_p == 0.0 &&
+           dup_report_p == 0.0 && drop_app_p == 0.0;
+  }
+
+  /// The prune mode the offline ground truth must run with (the broken
+  /// test-only mode is checked against the correct rule).
+  detect::QueueEngine::PruneMode ground_truth_prune() const {
+    return prune == detect::QueueEngine::PruneMode::kTestBrokenPruneAll
+               ? detect::QueueEngine::PruneMode::kAllEq10
+               : prune;
+  }
+};
+
+/// Derive the deterministic experiment for this case. The returned config
+/// has `strategy == nullptr`; the case runner installs a CaseStrategy whose
+/// lifetime spans run_experiment (see mc/checker.cpp).
+runner::ExperimentConfig build_case(const McCase& c);
+
+const char* to_string(WorkloadKind k);
+const char* to_string(StrategyKind k);
+const char* to_string(detect::QueueEngine::PruneMode m);
+
+}  // namespace hpd::mc

@@ -1,0 +1,431 @@
+#include "mc/oracles.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "detect/offline/enumerate.hpp"
+#include "detect/offline/hier_replay.hpp"
+#include "interval/interval.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace hpd::mc {
+
+namespace {
+
+/// A solution identified by its base intervals: the union of the members'
+/// provenance leaves, sorted by (origin, seq). Robust to member order and to
+/// where in the hierarchy aggregation happened — the representation both the
+/// online detector and the offline replay can be compared in.
+using BaseSet = std::vector<std::pair<ProcessId, SeqNum>>;
+
+BaseSet bases_of_members(const std::vector<Interval>& members) {
+  BaseSet out;
+  for (const auto& m : members) {
+    const auto part = base_intervals(m);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string show(const BaseSet& bases) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    os << (i ? " " : "") << 'P' << bases[i].first << '#' << bases[i].second;
+  }
+  os << '}';
+  return os.str();
+}
+
+bool vc_equal(const VectorClock& a, const VectorClock& b) {
+  return vc_leq(a, b) && vc_leq(b, a);
+}
+
+/// Alive windows per node, derived from the fault plan. A node is alive
+/// outside every (crash, recovery] window; `eps` absorbs same-timestamp
+/// scheduling ties between the failure event and a detection.
+class AliveTimeline {
+ public:
+  AliveTimeline(const McCase& c, std::size_t n) : windows_(n) {
+    for (const auto& f : c.crashes) {
+      if (static_cast<std::size_t>(f.node) < n) {
+        windows_[static_cast<std::size_t>(f.node)].emplace_back(f.time, kCrash);
+      }
+    }
+    for (const auto& f : c.recoveries) {
+      if (static_cast<std::size_t>(f.node) < n) {
+        windows_[static_cast<std::size_t>(f.node)].emplace_back(f.time,
+                                                                kRecover);
+      }
+    }
+    for (auto& w : windows_) {
+      std::sort(w.begin(), w.end());
+    }
+  }
+
+  bool alive_at(ProcessId node, SimTime t) const {
+    // A fault event scheduled at exactly t ties with a detection at t in
+    // the event queue (a revived node detects the instant its recovery
+    // fires), so the node counts as alive if it is alive on either side
+    // of the instant.
+    constexpr SimTime eps = 1e-6;
+    bool before = true;
+    bool after = true;
+    for (const auto& [when, kind] : windows_[static_cast<std::size_t>(node)]) {
+      if (when < t - eps) {
+        before = (kind == kRecover);
+      }
+      if (when <= t + eps) {
+        after = (kind == kRecover);
+      }
+    }
+    return before || after;
+  }
+
+ private:
+  enum Kind { kCrash = 0, kRecover = 1 };
+  std::vector<std::vector<std::pair<SimTime, Kind>>> windows_;
+};
+
+/// Cap per run so a systematically broken case does not drown the report.
+constexpr std::size_t kMaxViolations = 16;
+
+class Report {
+ public:
+  bool full() const { return out_.size() >= kMaxViolations; }
+  void add(std::string msg) {
+    if (!full()) {
+      out_.push_back(std::move(msg));
+    }
+  }
+  std::vector<std::string> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::string> out_;
+};
+
+// ---- Tier 1: always-on stream sanity + provenance soundness ----------------
+
+void check_streams(const McCase& c, const runner::ExperimentResult& res,
+                   Report& rep) {
+  struct DetectorState {
+    SeqNum last_index = 0;
+    SeqNum last_agg_seq = 0;
+    SimTime last_time = 0.0;
+    std::map<ProcessId, SeqNum> last_member_seq;
+  };
+  std::map<ProcessId, DetectorState> per_detector;
+  std::uint64_t globals = 0;
+
+  for (const auto& rec : res.occurrences) {
+    auto& st = per_detector[rec.detector];
+    std::ostringstream at;
+    at << "P" << rec.detector << " occurrence #" << rec.index << " (t="
+       << rec.time << ")";
+
+    // Occurrence indices are consecutive from 1 per detector, monotone
+    // across crash incarnations (hier_engine keeps its counters).
+    if (rec.index != st.last_index + 1) {
+      rep.add(at.str() + ": index not consecutive (previous " +
+              std::to_string(st.last_index) + ")");
+    }
+    st.last_index = rec.index;
+
+    if (rec.time + 1e-9 < st.last_time) {
+      rep.add(at.str() + ": detection time went backwards");
+    }
+    st.last_time = std::max(st.last_time, rec.time);
+
+    if (rec.latency() < -1e-9) {
+      rep.add(at.str() + ": negative detection latency");
+    }
+
+    // The reported aggregate is generated at the detector and, by
+    // Theorem 2, its per-origin sequence numbers are strictly monotone.
+    if (rec.aggregate.origin != rec.detector) {
+      rep.add(at.str() + ": aggregate origin is not the detector");
+    }
+    if (rec.aggregate.seq <= st.last_agg_seq) {
+      rep.add(at.str() + ": aggregate seq not strictly increasing");
+    }
+    st.last_agg_seq = std::max(st.last_agg_seq, rec.aggregate.seq);
+
+    if (rec.solution.empty()) {
+      rep.add(at.str() + ": recorded solution has no members");
+      continue;
+    }
+
+    // Members: pairwise cut-level Definitely overlap (the non-strict bound
+    // implied by Theorem 1 via the Eq. (7) aggregate bounds), and per-origin
+    // seq monotonicity across solutions — Eq. (10) never removes a head and
+    // later reports an older one, except when a repair legitimately restores
+    // a pruned head (fault runs only).
+    std::uint32_t weight = 0;
+    for (std::size_t i = 0; i < rec.solution.size(); ++i) {
+      weight += rec.solution[i].weight;
+      for (std::size_t j = i + 1; j < rec.solution.size(); ++j) {
+        if (!overlap_cuts(rec.solution[i], rec.solution[j])) {
+          rep.add(at.str() + ": members " + std::to_string(i) + " and " +
+                  std::to_string(j) + " do not cut-overlap");
+        }
+      }
+    }
+    if (c.strict()) {
+      for (const auto& m : rec.solution) {
+        auto [it, fresh] = st.last_member_seq.emplace(m.origin, m.seq);
+        if (!fresh && m.seq < it->second) {
+          rep.add(at.str() + ": member seq for origin " +
+                  std::to_string(m.origin) + " went backwards");
+        }
+        it->second = std::max(it->second, m.seq);
+      }
+    }
+
+    // Aggregate == ⊓(solution), recomputed from scratch (Eqs. (5)/(6)).
+    const Interval expect = aggregate(rec.solution, rec.aggregate.origin,
+                                      rec.aggregate.seq);
+    if (!vc_equal(expect.lo, rec.aggregate.lo) ||
+        !vc_equal(expect.hi, rec.aggregate.hi)) {
+      rep.add(at.str() + ": reported aggregate != recomputed ⊓(solution)");
+    }
+    if (rec.aggregate.weight != weight) {
+      rep.add(at.str() + ": aggregate weight != sum of member weights");
+    }
+
+    // Provenance soundness: every base interval a member claims to cover
+    // exists in the recorded execution, with matching sequence number.
+    for (const auto& m : rec.solution) {
+      for (const auto& [origin, seq] : base_intervals(m)) {
+        const auto o = static_cast<std::size_t>(origin);
+        bool found = false;
+        if (o < res.execution.procs.size()) {
+          for (const auto& base : res.execution.procs[o].intervals) {
+            if (base.seq == seq) {
+              found = true;
+              break;
+            }
+          }
+        }
+        if (!found) {
+          rep.add(at.str() + ": provenance names P" + std::to_string(origin) +
+                  "#" + std::to_string(seq) +
+                  ", absent from the recorded execution");
+        }
+      }
+    }
+
+    if (rec.global) {
+      ++globals;
+    }
+  }
+
+  if (globals != res.global_count) {
+    rep.add("global_count=" + std::to_string(res.global_count) +
+            " but " + std::to_string(globals) +
+            " records are flagged global");
+  }
+}
+
+// ---- Tier 2: strict differential vs the offline references -----------------
+
+void check_strict(const McCase& c, const runner::ExperimentConfig& cfg,
+                  const runner::ExperimentResult& res, Report& rep) {
+  const auto replay = detect::offline::hier_replay(res.execution, cfg.tree,
+                                                   c.ground_truth_prune());
+
+  // Group the online stream per detector, as base sets.
+  std::map<ProcessId, std::vector<BaseSet>> online;
+  for (const auto& rec : res.occurrences) {
+    online[rec.detector].push_back(bases_of_members(rec.solution));
+  }
+
+  for (ProcessId node = 0;
+       node < static_cast<ProcessId>(cfg.tree.size()) && !rep.full(); ++node) {
+    const auto* sols = [&]() -> const std::vector<detect::Solution>* {
+      const auto it = replay.solutions.find(node);
+      return it == replay.solutions.end() ? nullptr : &it->second;
+    }();
+    const std::size_t expect_n = sols ? sols->size() : 0;
+    const auto& got = online[node];
+
+    if (got.size() != expect_n) {
+      rep.add("P" + std::to_string(node) + ": online found " +
+              std::to_string(got.size()) + " solutions, offline replay " +
+              std::to_string(expect_n));
+    }
+    const std::size_t n = std::min(got.size(), expect_n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const BaseSet expect = bases_of_members((*sols)[k].members);
+      if (got[k] != expect) {
+        rep.add("P" + std::to_string(node) + " solution " +
+                std::to_string(k + 1) + ": online " + show(got[k]) +
+                " != offline " + show(expect));
+      }
+    }
+
+    // Duplicate-free streams, and exact subtree coverage: a failure-free
+    // detector's solutions draw from exactly its subtree's processes.
+    std::set<BaseSet> seen;
+    const auto subtree = cfg.tree.subtree(node);
+    const std::set<ProcessId> scope(subtree.begin(), subtree.end());
+    for (std::size_t k = 0; k < got.size(); ++k) {
+      if (!seen.insert(got[k]).second) {
+        rep.add("P" + std::to_string(node) + " solution " +
+                std::to_string(k + 1) + ": duplicate base set " +
+                show(got[k]));
+      }
+      std::set<ProcessId> origins;
+      for (const auto& [origin, seq] : got[k]) {
+        origins.insert(origin);
+      }
+      if (origins != scope) {
+        rep.add("P" + std::to_string(node) + " solution " +
+                std::to_string(k + 1) + ": coverage != subtree(" +
+                std::to_string(node) + ")");
+      }
+    }
+  }
+
+  // Exhaustive cross-check on small executions: the root detects at least
+  // one solution iff a Definitely(Φ) interval selection exists (Eq. (2)).
+  std::size_t combos = 1;
+  for (const auto& p : res.execution.procs) {
+    combos *= std::max<std::size_t>(1, p.intervals.size());
+    if (combos > 20000) {
+      break;
+    }
+  }
+  if (combos <= 20000) {
+    const bool expect = detect::offline::definitely_by_intervals(res.execution);
+    const auto it = replay.solutions.find(cfg.tree.root());
+    const bool got = it != replay.solutions.end() && !it->second.empty();
+    if (expect != got) {
+      rep.add(std::string("enumeration says Definitely(Φ) ") +
+              (expect ? "holds" : "does not hold") + " but the root found " +
+              (got ? "a" : "no") + " solution");
+    }
+  }
+}
+
+// ---- Tier 3: fault-run structural checks -----------------------------------
+
+void check_faulty(const McCase& c, const runner::ExperimentConfig& cfg,
+                  const runner::ExperimentResult& res, Report& rep) {
+  const std::size_t n = cfg.tree.size();
+  const AliveTimeline timeline(c, n);
+
+  // No detections while dead.
+  for (const auto& rec : res.occurrences) {
+    if (!timeline.alive_at(rec.detector, rec.time)) {
+      rep.add("P" + std::to_string(rec.detector) + " occurrence #" +
+              std::to_string(rec.index) + " at t=" +
+              std::to_string(rec.time) + " while crashed");
+    }
+  }
+
+  // Final control state: every live node hangs off a live parent (or is a
+  // root); dead nodes are detached.
+  std::size_t live_roots = 0;
+  ProcessId root = kNoProcess;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ProcessId parent = res.final_parents[i];
+    if (!res.final_alive[i]) {
+      continue;
+    }
+    if (parent == kNoProcess) {
+      ++live_roots;
+      root = static_cast<ProcessId>(i);
+    } else if (!res.final_alive[static_cast<std::size_t>(parent)]) {
+      rep.add("P" + std::to_string(i) + " ends attached to crashed parent P" +
+              std::to_string(parent));
+    }
+  }
+  if (live_roots == 0) {
+    rep.add("no live root at the end of the run");
+  }
+
+  // Surviving-subtree coverage (Section III-F): after repair settles, the
+  // unique surviving root keeps detecting globally, and its detections
+  // cover exactly the live processes. Margins follow recovery_test: two
+  // pulse periods after the last fault, and only if a full pulse round
+  // starts after that.
+  if (!c.coverage_checkable()) {
+    return;
+  }
+  if (live_roots != 1) {
+    // More than one live root is a legitimate partition, not a bug: on tree
+    // topologies a crashed internal node strands its children (their only
+    // physical neighbor is gone), and a late revival may not have
+    // re-attached yet. Coverage is unobservable then.
+    return;
+  }
+  SimTime last_fault = 0.0;
+  for (const auto& f : c.crashes) {
+    last_fault = std::max(last_fault, f.time);
+  }
+  for (const auto& f : c.recoveries) {
+    last_fault = std::max(last_fault, f.time);
+  }
+  const SimTime settle = last_fault + 2.0 * c.pulse_period;
+  bool settled_round = false;
+  for (SeqNum k = 0; k < c.pulse_rounds; ++k) {
+    const SimTime start = 5.0 + static_cast<SimTime>(k) * c.pulse_period;
+    if (start >= settle + c.pulse_period) {
+      settled_round = true;
+    }
+  }
+  if (!settled_round) {
+    return;  // the fault plan leaves no post-repair round to observe
+  }
+
+  std::set<ProcessId> alive;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (res.final_alive[i]) {
+      alive.insert(static_cast<ProcessId>(i));
+    }
+  }
+  const detect::OccurrenceRecord* last = nullptr;
+  for (const auto& rec : res.occurrences) {
+    if (rec.detector == root && rec.global && rec.time > settle) {
+      last = &rec;
+    }
+  }
+  if (last == nullptr) {
+    rep.add("coverage: no global detection at surviving root P" +
+            std::to_string(root) + " after settle t=" +
+            std::to_string(settle));
+    return;
+  }
+  std::set<ProcessId> covered;
+  for (const auto& [origin, seq] : bases_of_members(last->solution)) {
+    covered.insert(origin);
+  }
+  if (covered != alive) {
+    rep.add("coverage: last settled detection at P" + std::to_string(root) +
+            " covers " + std::to_string(covered.size()) + " processes, " +
+            std::to_string(alive.size()) + " are alive");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> check_oracles(const McCase& c,
+                                       const runner::ExperimentConfig& cfg,
+                                       const runner::ExperimentResult& res) {
+  Report rep;
+  check_streams(c, res, rep);
+  if (c.strict()) {
+    check_strict(c, cfg, res, rep);
+  }
+  if (!c.crashes.empty() || !c.recoveries.empty()) {
+    check_faulty(c, cfg, res, rep);
+  }
+  return rep.take();
+}
+
+}  // namespace hpd::mc

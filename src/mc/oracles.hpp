@@ -1,0 +1,40 @@
+// Invariant oracles run after every model-checked schedule.
+//
+// Three tiers, chosen per case (see McCase::strict / coverage_checkable):
+//
+//  * Always: occurrence-stream sanity (indices consecutive from 1, times
+//    monotone per detector, per-origin member sequence numbers monotone per
+//    Eq. (10) / Theorem 2), global-count consistency, and provenance
+//    soundness — every reported solution's base intervals exist in the
+//    recorded execution and pairwise satisfy the non-strict Definitely
+//    overlap min(x_i) ≤ max(x_j) (the cut-level bound implied by Theorem 1
+//    and the Eq. (7) aggregate bounds).
+//
+//  * Strict (failure-free, unbounded queues): exact per-node differential
+//    against the offline hierarchical replay (detect/offline/hier_replay),
+//    duplicate-free occurrence streams, solution coverage == the detector's
+//    subtree, and — on small executions — agreement with the exhaustive
+//    Garg–Waldecker enumeration (detect/offline/enumerate).
+//
+//  * Faulty: detections only inside the detector's alive windows, the final
+//    forest structurally valid, and for pulse workloads under the baseline
+//    schedule (coverage_checkable) the surviving-subtree coverage property
+//    of Section III-F: once repair has settled, the (unique) surviving root
+//    keeps detecting, and its detections cover exactly the live processes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mc/mc_case.hpp"
+#include "runner/experiment.hpp"
+
+namespace hpd::mc {
+
+/// Run every applicable oracle; returns human-readable violations
+/// (empty = run passed).
+std::vector<std::string> check_oracles(const McCase& c,
+                                       const runner::ExperimentConfig& cfg,
+                                       const runner::ExperimentResult& res);
+
+}  // namespace hpd::mc

@@ -1,0 +1,202 @@
+#include "mc/repro.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/assert.hpp"
+#include "mc/checker.hpp"
+
+namespace hpd::mc {
+
+namespace {
+
+constexpr const char* kHeader = "hpd-mc-repro v1";
+
+WorkloadKind parse_workload(const std::string& s) {
+  if (s == "gossip") {
+    return WorkloadKind::kGossip;
+  }
+  HPD_REQUIRE(s == "pulse", "repro: unknown workload");
+  return WorkloadKind::kPulse;
+}
+
+StrategyKind parse_strategy(const std::string& s) {
+  if (s == "seed") {
+    return StrategyKind::kSeedSweep;
+  }
+  if (s == "delay") {
+    return StrategyKind::kDelayBounded;
+  }
+  HPD_REQUIRE(s == "pct", "repro: unknown strategy");
+  return StrategyKind::kPct;
+}
+
+detect::QueueEngine::PruneMode parse_prune(const std::string& s) {
+  if (s == "all") {
+    return detect::QueueEngine::PruneMode::kAllEq10;
+  }
+  if (s == "single") {
+    return detect::QueueEngine::PruneMode::kSingleEq10;
+  }
+  HPD_REQUIRE(s == "broken-all", "repro: unknown prune mode");
+  return detect::QueueEngine::PruneMode::kTestBrokenPruneAll;
+}
+
+}  // namespace
+
+std::string to_repro(const McCase& c) {
+  std::ostringstream os;
+  os.precision(17);  // doubles must round-trip exactly
+  os << kHeader << '\n';
+  os << "topology " << c.topology << '\n';
+  os << "workload " << to_string(c.workload) << '\n';
+  os << "horizon " << c.horizon << '\n';
+  os << "mean_gap " << c.mean_gap << '\n';
+  os << "p_send " << c.p_send << '\n';
+  os << "p_toggle " << c.p_toggle << '\n';
+  os << "max_intervals " << c.max_intervals << '\n';
+  os << "pulse_rounds " << c.pulse_rounds << '\n';
+  os << "pulse_period " << c.pulse_period << '\n';
+  os << "prune " << to_string(c.prune) << '\n';
+  os << "queue_capacity " << c.queue_capacity << '\n';
+  os << "strategy " << to_string(c.strategy) << '\n';
+  os << "delay_bound " << c.delay_bound << '\n';
+  os << "perturb_p " << c.perturb_p << '\n';
+  os << "pct_lanes " << c.pct_lanes << '\n';
+  os << "pct_spread " << c.pct_spread << '\n';
+  for (const auto& ev : c.crashes) {
+    os << "crash " << ev.time << ' ' << ev.node << '\n';
+  }
+  for (const auto& ev : c.recoveries) {
+    os << "recover " << ev.time << ' ' << ev.node << '\n';
+  }
+  os << "drop_app_p " << c.drop_app_p << '\n';
+  os << "dup_app_p " << c.dup_app_p << '\n';
+  os << "drop_report_p " << c.drop_report_p << '\n';
+  os << "dup_report_p " << c.dup_report_p << '\n';
+  os << "seed " << c.seed << '\n';
+  return os.str();
+}
+
+McCase parse_repro(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  HPD_REQUIRE(std::getline(in, line) && line == kHeader,
+              "repro: missing 'hpd-mc-repro v1' header");
+
+  McCase c;
+  c.crashes.clear();
+  c.recoveries.clear();
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    bool ok = true;
+    if (key == "topology") {
+      ls >> c.topology;
+    } else if (key == "workload") {
+      std::string v;
+      ls >> v;
+      c.workload = parse_workload(v);
+    } else if (key == "horizon") {
+      ls >> c.horizon;
+    } else if (key == "mean_gap") {
+      ls >> c.mean_gap;
+    } else if (key == "p_send") {
+      ls >> c.p_send;
+    } else if (key == "p_toggle") {
+      ls >> c.p_toggle;
+    } else if (key == "max_intervals") {
+      ls >> c.max_intervals;
+    } else if (key == "pulse_rounds") {
+      ls >> c.pulse_rounds;
+    } else if (key == "pulse_period") {
+      ls >> c.pulse_period;
+    } else if (key == "prune") {
+      std::string v;
+      ls >> v;
+      c.prune = parse_prune(v);
+    } else if (key == "queue_capacity") {
+      ls >> c.queue_capacity;
+    } else if (key == "strategy") {
+      std::string v;
+      ls >> v;
+      c.strategy = parse_strategy(v);
+    } else if (key == "delay_bound") {
+      ls >> c.delay_bound;
+    } else if (key == "perturb_p") {
+      ls >> c.perturb_p;
+    } else if (key == "pct_lanes") {
+      ls >> c.pct_lanes;
+    } else if (key == "pct_spread") {
+      ls >> c.pct_spread;
+    } else if (key == "crash" || key == "recover") {
+      runner::FailureEvent ev;
+      ls >> ev.time >> ev.node;
+      (key == "crash" ? c.crashes : c.recoveries).push_back(ev);
+    } else if (key == "drop_app_p") {
+      ls >> c.drop_app_p;
+    } else if (key == "dup_app_p") {
+      ls >> c.dup_app_p;
+    } else if (key == "drop_report_p") {
+      ls >> c.drop_report_p;
+    } else if (key == "dup_report_p") {
+      ls >> c.dup_report_p;
+    } else if (key == "seed") {
+      ls >> c.seed;
+    } else {
+      ok = false;
+    }
+    HPD_REQUIRE(ok, "repro: unknown key");
+    HPD_REQUIRE(!ls.fail(), "repro: malformed value");
+  }
+  return c;
+}
+
+bool save_repro(const McCase& c, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << to_repro(c);
+  return static_cast<bool>(out);
+}
+
+McCase load_repro(const std::string& path) {
+  std::ifstream in(path);
+  HPD_REQUIRE(static_cast<bool>(in), "repro: cannot open file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_repro(buf.str());
+}
+
+int replay_repro(const std::string& path, std::ostream& out) {
+  const McCase c = load_repro(path);
+  out << "repro: " << path << '\n'
+      << "  topology=" << c.topology << " workload=" << to_string(c.workload)
+      << " strategy=" << to_string(c.strategy)
+      << " prune=" << to_string(c.prune) << " seed=" << c.seed << '\n'
+      << "  crashes=" << c.crashes.size()
+      << " recoveries=" << c.recoveries.size() << '\n';
+  const RunOutcome res = run_case(c);
+  out << "  intervals=" << res.total_intervals
+      << " occurrences=" << res.occurrences
+      << " global=" << res.global_count << '\n';
+  if (res.ok()) {
+    out << "repro: PASS (all oracles hold)\n";
+    return 0;
+  }
+  out << "repro: FAIL (" << res.violations.size() << " oracle violation"
+      << (res.violations.size() == 1 ? "" : "s") << ")\n";
+  for (const auto& v : res.violations) {
+    out << "  - " << v << '\n';
+  }
+  return 1;
+}
+
+}  // namespace hpd::mc

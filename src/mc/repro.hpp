@@ -1,0 +1,36 @@
+// Repro files: a failing (or interesting) McCase serialized as a small
+// line-oriented text file, so a model-checker failure can be re-executed
+// outside the test suite:
+//
+//   tools/hpd_sim --repro FILE
+//
+// re-runs the exact case and re-evaluates its oracles. The format is
+// versioned ("hpd-mc-repro v1" header), key/value per line, with repeatable
+// `crash T NODE` / `recover T NODE` lines for the fault plan.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mc/mc_case.hpp"
+
+namespace hpd::mc {
+
+/// Serialize to the textual repro format (round-trips through parse_repro).
+std::string to_repro(const McCase& c);
+
+/// Parse a repro document. HPD_REQUIREs on malformed input.
+McCase parse_repro(const std::string& text);
+
+/// Write `c` to `path`; returns false on I/O failure.
+bool save_repro(const McCase& c, const std::string& path);
+
+/// Load a repro file. HPD_REQUIREs on I/O failure or malformed content.
+McCase load_repro(const std::string& path);
+
+/// Re-run a repro file and report to `out` (verdict, oracle violations,
+/// run statistics). Returns 0 if every oracle passed, 1 otherwise — the
+/// exit code of `hpd_sim --repro`.
+int replay_repro(const std::string& path, std::ostream& out);
+
+}  // namespace hpd::mc

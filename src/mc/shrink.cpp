@@ -1,0 +1,169 @@
+#include "mc/shrink.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace hpd::mc {
+
+namespace {
+
+/// One attempted reduction: mutate the case toward "smaller"; return false
+/// if the dimension is already minimal (candidate skipped).
+using Reduction = std::function<bool(McCase&)>;
+
+std::vector<Reduction> reductions() {
+  return {
+      // Topology ladder: every spec eventually reaches the 3-node tree.
+      [](McCase& c) {
+        if (c.topology == "grid:3x3") {
+          c.topology = "grid:2x3";
+        } else if (c.topology == "grid:2x3" || c.topology == "dary:2:3" ||
+                   c.topology == "dary:3:2") {
+          c.topology = "dary:2:2";
+        } else {
+          return false;
+        }
+        return true;
+      },
+      // Fewer intervals per process — the dominant size lever.
+      [](McCase& c) {
+        if (c.max_intervals <= 1) {
+          return false;
+        }
+        c.max_intervals = std::max<std::size_t>(1, c.max_intervals / 2);
+        return true;
+      },
+      [](McCase& c) {
+        if (c.max_intervals <= 1) {
+          return false;
+        }
+        --c.max_intervals;
+        return true;
+      },
+      // Shorter workload.
+      [](McCase& c) {
+        if (c.workload == WorkloadKind::kGossip) {
+          if (c.horizon <= 40.0) {
+            return false;
+          }
+          c.horizon = std::max(40.0, c.horizon / 2.0);
+        } else {
+          if (c.pulse_rounds <= 2) {
+            return false;
+          }
+          c.pulse_rounds = std::max<SeqNum>(2, c.pulse_rounds / 2);
+        }
+        return true;
+      },
+      [](McCase& c) {
+        if (c.workload != WorkloadKind::kPulse || c.pulse_rounds <= 2) {
+          return false;
+        }
+        --c.pulse_rounds;
+        return true;
+      },
+      // Sparser gossip: longer gaps mean fewer events in the same window.
+      [](McCase& c) {
+        if (c.workload != WorkloadKind::kGossip || c.mean_gap >= 8.0) {
+          return false;
+        }
+        c.mean_gap *= 1.5;
+        return true;
+      },
+      // Tame the schedule strategy before dropping it entirely.
+      [](McCase& c) {
+        if (c.strategy == StrategyKind::kSeedSweep) {
+          return false;
+        }
+        c.strategy = StrategyKind::kSeedSweep;
+        c.delay_bound = 0.0;
+        c.perturb_p = 0.0;
+        c.pct_lanes = 0;
+        c.pct_spread = 0.0;
+        return true;
+      },
+      // Strip the fault plan, one dimension at a time.
+      [](McCase& c) {
+        if (c.recoveries.empty()) {
+          return false;
+        }
+        c.recoveries.pop_back();
+        return true;
+      },
+      [](McCase& c) {
+        // Recoveries without the matching crash make no sense; drop both.
+        if (c.crashes.empty()) {
+          return false;
+        }
+        const ProcessId victim = c.crashes.back().node;
+        c.crashes.pop_back();
+        std::erase_if(c.recoveries,
+                      [victim](const runner::FailureEvent& ev) {
+                        return ev.node == victim;
+                      });
+        return true;
+      },
+      [](McCase& c) {
+        if (c.drop_app_p == 0.0 && c.dup_app_p == 0.0 &&
+            c.drop_report_p == 0.0 && c.dup_report_p == 0.0) {
+          return false;
+        }
+        c.drop_app_p = c.dup_app_p = c.drop_report_p = c.dup_report_p = 0.0;
+        return true;
+      },
+      // Lift resource bounds (a capacity-free failure is a stronger repro).
+      [](McCase& c) {
+        if (c.queue_capacity == 0) {
+          return false;
+        }
+        c.queue_capacity = 0;
+        return true;
+      },
+  };
+}
+
+}  // namespace
+
+ShrinkResult shrink(const McCase& failing, std::size_t budget) {
+  ShrinkResult best;
+  best.minimal = failing;
+
+  RunOutcome out = run_case(failing);
+  ++best.runs;
+  best.violations = out.violations;
+  best.events = out.total_intervals;
+  if (out.ok()) {
+    return best;  // nothing to shrink
+  }
+
+  const auto steps = reductions();
+  // Greedy fixpoint: keep sweeping the reduction list until a full sweep
+  // makes no progress (or the budget runs out). Accept a candidate iff it
+  // still fails AND is no larger than the current champion — a reduction
+  // that leaves the execution the same size is still progress (simpler
+  // case), but one that grows it is not.
+  bool progressed = true;
+  while (progressed && best.runs < budget) {
+    progressed = false;
+    for (const auto& step : steps) {
+      if (best.runs >= budget) {
+        break;
+      }
+      McCase candidate = best.minimal;
+      if (!step(candidate)) {
+        continue;
+      }
+      const RunOutcome attempt = run_case(candidate);
+      ++best.runs;
+      if (!attempt.ok() && attempt.total_intervals <= best.events) {
+        best.minimal = candidate;
+        best.violations = attempt.violations;
+        best.events = attempt.total_intervals;
+        progressed = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace hpd::mc

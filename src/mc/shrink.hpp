@@ -1,0 +1,30 @@
+// Delta-debugging shrinker: given a failing McCase, greedily search for the
+// smallest case (fewest base intervals in the recorded execution) that still
+// violates an oracle. Candidate reductions shrink the topology, the
+// workload, the fault plan, and the schedule strategy one dimension at a
+// time; a candidate is kept iff the re-run still fails. The result is what
+// gets written to a repro file (mc/repro.hpp) for `hpd_sim --repro`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mc/checker.hpp"
+#include "mc/mc_case.hpp"
+
+namespace hpd::mc {
+
+struct ShrinkResult {
+  McCase minimal;                       ///< smallest still-failing case
+  std::vector<std::string> violations;  ///< its oracle violations
+  std::size_t events = 0;  ///< base intervals in the minimal execution
+  std::size_t runs = 0;    ///< re-executions spent shrinking
+};
+
+/// Minimize `failing` (which must have run_case(failing).ok() == false;
+/// if it does not fail, it is returned unchanged). At most `budget`
+/// re-executions are spent.
+ShrinkResult shrink(const McCase& failing, std::size_t budget = 200);
+
+}  // namespace hpd::mc

@@ -1,0 +1,59 @@
+#include "mc/strategies.hpp"
+
+#include "proto/messages.hpp"
+
+namespace hpd::mc {
+
+sim::DeliveryPlan CaseStrategy::plan(const sim::Message& msg,
+                                     const sim::DelayModel& base, Rng& rng) {
+  SimTime delay = base.sample(rng);
+  switch (c_.strategy) {
+    case StrategyKind::kSeedSweep:
+      break;
+    case StrategyKind::kDelayBounded:
+      // Delay-bounded reordering: each message is independently held back by
+      // up to delay_bound extra time units with probability perturb_p. Any
+      // reordering reachable with <= delay_bound of skew is reachable here.
+      if (rng.bernoulli(c_.perturb_p)) {
+        delay += rng.uniform_real(0.0, c_.delay_bound);
+      }
+      break;
+    case StrategyKind::kPct: {
+      // PCT-style random priorities: every message draws a priority lane;
+      // lane k is uniformly slower by k·spread, so low-priority messages
+      // systematically lose races against high-priority ones — the
+      // bug-depth-biased exploration of Burckhardt et al.'s probabilistic
+      // concurrency testing, approximated with delays instead of a central
+      // scheduler.
+      const std::size_t lanes = c_.pct_lanes == 0 ? 1 : c_.pct_lanes;
+      const auto lane = rng.uniform_index(lanes);
+      delay += static_cast<SimTime>(lane) * c_.pct_spread;
+      break;
+    }
+  }
+
+  // Fault plan: layer-targeted drops and duplications. Only application
+  // traffic and interval reports are perturbed; the failure-handling plane
+  // (heartbeats, attach/flip handshakes) stays intact so that tree repair
+  // remains live and the oracle classification in McCase::strict() holds.
+  double drop_p = 0.0;
+  double dup_p = 0.0;
+  if (msg.type == proto::kApp) {
+    drop_p = c_.drop_app_p;
+    dup_p = c_.dup_app_p;
+  } else if (msg.type == proto::kReportHier ||
+             msg.type == proto::kReportCentral) {
+    drop_p = c_.drop_report_p;
+    dup_p = c_.dup_report_p;
+  }
+  if (drop_p > 0.0 && rng.bernoulli(drop_p)) {
+    return sim::DeliveryPlan::drop();
+  }
+  sim::DeliveryPlan out = sim::DeliveryPlan::deliver(delay);
+  if (dup_p > 0.0 && rng.bernoulli(dup_p)) {
+    out.delays.push_back(delay + base.sample(rng));
+  }
+  return out;
+}
+
+}  // namespace hpd::mc

@@ -1,0 +1,26 @@
+// The schedule strategies the model checker injects into sim::Network.
+//
+// One concrete ScheduleStrategy interprets the McCase: it reshapes delays
+// according to the chosen exploration strategy (seed-sweep / delay-bounded /
+// PCT-style lanes) and enacts the fault plan's per-layer message drops and
+// duplications. All decisions are drawn from the network's RNG in send
+// order, so the schedule is a pure function of (case, seed).
+#pragma once
+
+#include "mc/mc_case.hpp"
+#include "sim/strategy.hpp"
+
+namespace hpd::mc {
+
+class CaseStrategy final : public sim::ScheduleStrategy {
+ public:
+  explicit CaseStrategy(const McCase& c) : c_(c) {}
+
+  sim::DeliveryPlan plan(const sim::Message& msg, const sim::DelayModel& base,
+                         Rng& rng) override;
+
+ private:
+  const McCase& c_;
+};
+
+}  // namespace hpd::mc

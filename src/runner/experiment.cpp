@@ -51,6 +51,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       [topo = &config.topology](ProcessId a, ProcessId b) {
         return topo->has_edge(a, b);
       });
+  net.set_strategy(config.strategy);
 
   ProcessRuntime::Shared shared;
   shared.config = &config;

@@ -17,6 +17,7 @@
 #include "net/spanning_tree.hpp"
 #include "net/topology.hpp"
 #include "sim/delay.hpp"
+#include "sim/strategy.hpp"
 #include "trace/behavior.hpp"
 #include "trace/execution.hpp"
 
@@ -80,6 +81,11 @@ struct ExperimentConfig {
 
   // ---- Simulation ---------------------------------------------------------
   sim::DelayModel delay = sim::DelayModel::uniform(0.5, 1.5);
+  /// Optional message-scheduling strategy (non-owning; see sim/strategy.hpp).
+  /// The model checker injects delay-bounded / PCT-style reorderings and
+  /// drop/duplicate fault plans through this hook; nullptr = default
+  /// per-message sampling from `delay`.
+  sim::ScheduleStrategy* strategy = nullptr;
   SimTime horizon = 2000.0;  ///< workload window
   SimTime drain = 100.0;     ///< extra time for in-flight traffic to settle
   std::uint64_t seed = 1;

@@ -92,8 +92,25 @@ void Network::send(Message msg) {
   msg.id = next_msg_id_++;
   msg.sent_at = sched_.now();
   metrics_.on_send(msg.src, msg.type, msg.wire_words, msg.wire_bytes);
-  const SimTime delay = delay_.sample(rng_);
-  sched_.schedule_after(delay,
+  if (strategy_ == nullptr) {
+    const SimTime delay = delay_.sample(rng_);
+    sched_.schedule_after(
+        delay, [this, m = std::move(msg)]() mutable { deliver(m); });
+    return;
+  }
+  const DeliveryPlan plan = strategy_->plan(msg, delay_, rng_);
+  if (plan.delays.empty()) {
+    ++strategy_dropped_;
+    ++dropped_;
+    return;
+  }
+  strategy_duplicated_ += plan.delays.size() - 1;
+  for (std::size_t k = 0; k + 1 < plan.delays.size(); ++k) {
+    HPD_REQUIRE(plan.delays[k] >= 0.0, "ScheduleStrategy: negative delay");
+    sched_.schedule_after(plan.delays[k], [this, m = msg] { deliver(m); });
+  }
+  HPD_REQUIRE(plan.delays.back() >= 0.0, "ScheduleStrategy: negative delay");
+  sched_.schedule_after(plan.delays.back(),
                         [this, m = std::move(msg)]() mutable { deliver(m); });
 }
 

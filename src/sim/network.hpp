@@ -15,6 +15,7 @@
 #include "sim/message.hpp"
 #include "sim/node.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/strategy.hpp"
 
 namespace hpd::sim {
 
@@ -61,6 +62,11 @@ class Network {
   /// destination has crashed by arrival time.
   void send(Message msg);
 
+  /// Install a scheduling strategy (non-owning; the caller keeps it alive
+  /// and must not swap it mid-run). nullptr restores the default behaviour
+  /// (one delivery per send, delay sampled from the DelayModel).
+  void set_strategy(ScheduleStrategy* strategy) { strategy_ = strategy; }
+
   /// One-shot or periodic timer for a node. Fires on_timer(tag).
   TimerId set_timer(ProcessId id, int tag, SimTime delay, bool periodic = false,
                     SimTime period = 0.0);
@@ -69,6 +75,9 @@ class Network {
   /// Diagnostics.
   std::uint64_t dropped_messages() const { return dropped_; }
   std::uint64_t delivered_messages() const { return delivered_; }
+  /// Messages dropped / copies added by the installed strategy (0 without).
+  std::uint64_t strategy_dropped() const { return strategy_dropped_; }
+  std::uint64_t strategy_duplicated() const { return strategy_duplicated_; }
 
  private:
   struct TimerRec {
@@ -85,6 +94,7 @@ class Network {
   Rng& rng_;
   MetricsRegistry& metrics_;
   DelayModel delay_;
+  ScheduleStrategy* strategy_ = nullptr;
   std::function<bool(ProcessId, ProcessId)> link_ok_;
   std::vector<Node*> nodes_;
   std::vector<bool> alive_;
@@ -93,6 +103,8 @@ class Network {
   SeqNum next_msg_id_ = 1;
   std::uint64_t dropped_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t strategy_dropped_ = 0;
+  std::uint64_t strategy_duplicated_ = 0;
 };
 
 }  // namespace hpd::sim

@@ -1,0 +1,47 @@
+// Pluggable message-scheduling strategy: the hook the model checker uses to
+// drive the network through adversarial schedules.
+//
+// By default the network samples one delivery delay per message from its
+// DelayModel. A ScheduleStrategy replaces that decision wholesale: for every
+// send it returns a DeliveryPlan that may reshape the delay (bounded
+// reordering, priority lanes), drop the message, or deliver several copies
+// (duplication). The strategy sees the full message (src, dst, type), so
+// fault plans can target specific protocol layers — e.g. perturb only
+// application traffic while leaving the heartbeat plane intact.
+//
+// Strategies must be deterministic functions of their own state and the Rng
+// handed to them, so a (config, seed, strategy) triple reproduces a
+// bit-identical run — the property the shrinker and repro files rely on.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/delay.hpp"
+#include "sim/message.hpp"
+
+namespace hpd::sim {
+
+/// What to do with one sent message. `delays` holds one entry per delivered
+/// copy: empty = drop, one entry = normal delivery, k entries = duplicate
+/// into k copies. Delays are relative to the send time and must be >= 0.
+struct DeliveryPlan {
+  std::vector<SimTime> delays;
+
+  static DeliveryPlan drop() { return DeliveryPlan{}; }
+  static DeliveryPlan deliver(SimTime delay) { return DeliveryPlan{{delay}}; }
+};
+
+class ScheduleStrategy {
+ public:
+  virtual ~ScheduleStrategy() = default;
+
+  /// Called once per Network::send, in send order. `base` is the network's
+  /// configured delay model (strategies typically start from a base sample
+  /// and perturb it); `rng` is the network's RNG stream.
+  virtual DeliveryPlan plan(const Message& msg, const DelayModel& base,
+                            Rng& rng) = 0;
+};
+
+}  // namespace hpd::sim

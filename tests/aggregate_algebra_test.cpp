@@ -1,0 +1,261 @@
+// Property tests for the aggregation operator ⊓ (Eqs. (5)–(7)) and the
+// Theorem 1 / Lemma 1 overlap sandwich, over randomized causally-valid
+// executions rather than hand-built vectors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "interval/interval.hpp"
+#include "tests/test_util.hpp"
+#include "trace/execution.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace hpd {
+namespace {
+
+/// One random interval per process (for processes that have any), i.e. a
+/// candidate member set for ⊓ exactly as Algorithm 1 forms one.
+std::vector<Interval> pick_members(const trace::ExecutionRecord& exec,
+                                   Rng& rng) {
+  std::vector<Interval> out;
+  for (const auto& proc : exec.procs) {
+    if (!proc.intervals.empty()) {
+      out.push_back(proc.intervals[rng.uniform_index(proc.intervals.size())]);
+    }
+  }
+  return out;
+}
+
+trace::ExecutionRecord random_exec(Rng& rng, std::size_t procs,
+                                   std::size_t steps) {
+  testutil::ExecGenOptions opt;
+  opt.processes = procs;
+  opt.steps = steps;
+  // Message-heavy: Definitely(Φ) needs causal crossings between every pair
+  // of truth intervals, which sparse traffic almost never produces.
+  opt.p_send = 0.35;
+  opt.p_receive = 0.4;
+  opt.p_toggle = 0.2;
+  opt.track_provenance = true;
+  return testutil::random_execution(rng, opt);
+}
+
+// Eq. (7): the aggregate's span is bounded by every member's span —
+// componentwise min(x) <= min(⊓X) and max(⊓X) <= max(x), immediately from
+// ⊓ being max-of-mins / min-of-maxes.
+TEST(AggregateAlgebra, Eq7BoundsWithinEveryMember) {
+  Rng rng(11);
+  std::size_t checked = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto exec = random_exec(rng, 2 + rng.uniform_index(4), 60);
+    const auto members = pick_members(exec, rng);
+    if (members.size() < 2) {
+      continue;
+    }
+    const Interval g = aggregate(members, /*origin=*/0, /*seq=*/1);
+    for (const auto& x : members) {
+      EXPECT_TRUE(vc_leq(x.lo, g.lo)) << "min(x) must bound min(⊓X) below";
+      EXPECT_TRUE(vc_leq(g.hi, x.hi)) << "max(⊓X) must stay within max(x)";
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100u);  // the generator produced real work
+}
+
+// ⊓ flattens: aggregating the aggregates of a partition gives the same cut
+// bounds as aggregating the union directly (associativity at cut level).
+// This is what lets every tree shape compute the same root aggregate.
+TEST(AggregateAlgebra, PartitionAssociativity) {
+  Rng rng(17);
+  std::size_t checked = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto exec = random_exec(rng, 3 + rng.uniform_index(3), 70);
+    const auto members = pick_members(exec, rng);
+    if (members.size() < 3) {
+      continue;
+    }
+    // Random two-block partition with both blocks non-empty.
+    std::vector<Interval> a;
+    std::vector<Interval> b;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      (i == 0 || (i != 1 && rng.bernoulli(0.5)) ? a : b).push_back(members[i]);
+    }
+    const Interval flat = aggregate(members, 0, 1);
+    const Interval nested =
+        aggregate(aggregate(a, 1, 1), aggregate(b, 2, 1), 0, 1);
+    EXPECT_EQ(flat.lo, nested.lo);
+    EXPECT_EQ(flat.hi, nested.hi);
+    EXPECT_EQ(flat.weight, nested.weight);
+    EXPECT_EQ(flat.completed_at, nested.completed_at);
+    ++checked;
+  }
+  EXPECT_GT(checked, 50u);
+}
+
+// Bookkeeping carried through ⊓: weight adds, completed_at maxes, the
+// aggregated flag is set, and provenance covers exactly the members' bases.
+TEST(AggregateAlgebra, WeightCompletionAndProvenance) {
+  Rng rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto exec = random_exec(rng, 2 + rng.uniform_index(4), 60);
+    const auto members = pick_members(exec, rng);
+    if (members.size() < 2) {
+      continue;
+    }
+    const Interval g = aggregate(members, 7, 3);
+    EXPECT_TRUE(g.aggregated);
+    EXPECT_EQ(g.origin, 7);
+    EXPECT_EQ(g.seq, 3);
+
+    std::uint32_t weight = 0;
+    SimTime completed = 0.0;
+    std::vector<std::pair<ProcessId, SeqNum>> bases;
+    for (const auto& x : members) {
+      weight += x.weight;
+      completed = std::max(completed, x.completed_at);
+      const auto part = base_intervals(x);
+      bases.insert(bases.end(), part.begin(), part.end());
+    }
+    std::sort(bases.begin(), bases.end());
+    EXPECT_EQ(g.weight, weight);
+    EXPECT_EQ(g.completed_at, completed);
+    EXPECT_EQ(base_intervals(g), bases);
+  }
+}
+
+/// A synthetic interval with a random window per clock component. The
+/// sandwich is pure vector algebra over windows, so untethering from a real
+/// execution lets the generator hit its preconditions densely (real
+/// executions of 4+ processes almost never satisfy Definitely).
+Interval synth_interval(Rng& rng, std::size_t dims, ProcessId origin,
+                        bool wide) {
+  Interval x;
+  x.lo = VectorClock(dims);
+  x.hi = VectorClock(dims);
+  for (std::size_t i = 0; i < dims; ++i) {
+    // Wide windows overlap almost surely (the positive space of the
+    // sandwich); narrow ones miss each other often (the negative space).
+    const auto base =
+        static_cast<ClockValue>(rng.uniform_int(0, wide ? 5 : 10));
+    const auto width =
+        static_cast<ClockValue>(wide ? rng.uniform_int(4, 10)
+                                     : rng.uniform_int(0, 5));
+    x.lo[i] = base;
+    x.hi[i] = base + width;
+  }
+  x.origin = origin;
+  x.seq = 1;
+  return x;
+}
+
+/// One interval per distinct origin, pairwise satisfying Eq. (2) — i.e. a
+/// well-formed solution set, the precondition Theorem 1 places on each of
+/// the two sides (a child only reports an aggregate of a solution).
+std::vector<Interval> synth_solution_set(Rng& rng, std::size_t dims,
+                                         std::size_t size,
+                                         ProcessId first_origin, bool wide) {
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    std::vector<Interval> xs;
+    for (std::size_t i = 0; i < size; ++i) {
+      xs.push_back(synth_interval(
+          rng, dims, first_origin + static_cast<ProcessId>(i), wide));
+    }
+    if (overlap(xs)) {
+      return xs;
+    }
+  }
+  return {};
+}
+
+// The Theorem 1 / Lemma 1 sandwich, one aggregation level up:
+//   overlap(⊓X, ⊓Y)  ⇒  overlap(X ∪ Y)  ⇒  overlap_cuts(⊓X, ⊓Y)
+// for solution sets X and Y over disjoint processes. The strict direction
+// is the paper's Theorem 1 (a strict overlap of two reported aggregates
+// certifies a Definitely solution over the union); the non-strict return
+// direction is the library's cut-level erratum.
+TEST(AggregateAlgebra, Theorem1Sandwich) {
+  Rng rng(31);
+  std::size_t strict_hits = 0;
+  std::size_t union_hits = 0;
+  std::size_t negative_hits = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const bool wide = rng.bernoulli(0.5);
+    const std::size_t nx = 2 + rng.uniform_index(2);
+    const std::size_t ny = 2 + rng.uniform_index(2);
+    const std::size_t dims = nx + ny;
+    const auto xs = synth_solution_set(rng, dims, nx, 0, wide);
+    const auto ys = synth_solution_set(rng, dims, ny,
+                                       static_cast<ProcessId>(nx), wide);
+    if (xs.empty() || ys.empty()) {
+      continue;
+    }
+    const Interval gx = aggregate(xs, 100, 1);
+    const Interval gy = aggregate(ys, 101, 1);
+
+    std::vector<Interval> all = xs;
+    all.insert(all.end(), ys.begin(), ys.end());
+    const bool strict = overlap(gx, gy);
+    const bool base_union = overlap(all);  // Eq. (2) over X ∪ Y
+    const bool cuts = overlap_cuts(gx, gy);
+
+    if (strict) {
+      EXPECT_TRUE(base_union)
+          << "Theorem 1: strict aggregate overlap must certify the union";
+      ++strict_hits;
+    } else {
+      ++negative_hits;
+    }
+    if (base_union) {
+      EXPECT_TRUE(cuts)
+          << "Lemma: a base-level solution must survive at cut level";
+      ++union_hits;
+    }
+  }
+  // The sweep must exercise both implications and their negative space.
+  EXPECT_GT(strict_hits, 20u);
+  EXPECT_GT(union_hits, 20u);
+  EXPECT_GT(negative_hits, 20u);
+}
+
+// Same sandwich one level higher: the left side is an aggregate of
+// aggregates, as at every internal tree node above the lowest level.
+// Theorem 1 composes because an aggregate of solution aggregates is again
+// the aggregate of the flattened member union (PartitionAssociativity).
+TEST(AggregateAlgebra, SandwichNested) {
+  Rng rng(37);
+  std::size_t hits = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t dims = 6;
+    const auto left_a = synth_solution_set(rng, dims, 2, 0, true);
+    const auto left_b = synth_solution_set(rng, dims, 2, 2, true);
+    const auto right = synth_solution_set(rng, dims, 2, 4, true);
+    if (left_a.empty() || left_b.empty() || right.empty()) {
+      continue;
+    }
+    std::vector<Interval> left_union = left_a;
+    left_union.insert(left_union.end(), left_b.begin(), left_b.end());
+    if (!overlap(left_union)) {
+      continue;  // the two left blocks don't form a joint solution
+    }
+    const Interval left = aggregate(aggregate(left_a, 100, 1),
+                                    aggregate(left_b, 101, 1), 102, 1);
+    const Interval flat = aggregate(left_union, 102, 1);
+    EXPECT_EQ(left.lo, flat.lo);
+    EXPECT_EQ(left.hi, flat.hi);
+
+    const Interval gr = aggregate(right, 103, 1);
+    if (overlap(left, gr)) {
+      std::vector<Interval> all = left_union;
+      all.insert(all.end(), right.begin(), right.end());
+      EXPECT_TRUE(overlap(all)) << "nested Theorem 1 failed";
+      ++hits;
+    }
+  }
+  EXPECT_GT(hits, 10u);
+}
+
+}  // namespace
+}  // namespace hpd

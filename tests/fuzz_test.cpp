@@ -23,6 +23,11 @@ struct NaiveDefinitely {
   std::vector<std::vector<std::pair<ProcessId, SeqNum>>> solutions;
   std::uint64_t eliminated = 0;
   std::uint64_t pruned = 0;
+  // Mirror of the engine's configuration knobs, re-implemented from their
+  // documented semantics (not from the engine code).
+  QueueEngine::PruneMode mode = QueueEngine::PruneMode::kAllEq10;
+  std::size_t capacity = 0;  // 0 = unbounded
+  std::uint64_t rejected = 0;
 
   void add_queue(ProcessId key) { queues[key]; }
 
@@ -49,6 +54,10 @@ struct NaiveDefinitely {
 
   void offer(ProcessId key, const Interval& x) {
     auto& q = queues.at(key);
+    if (capacity != 0 && q.size() >= capacity) {
+      ++rejected;  // back-pressure: a full queue turns the offer away
+      return;
+    }
     const bool was_empty = q.empty();
     q.push_back(x);
     if (!was_empty) {
@@ -112,17 +121,24 @@ struct NaiveDefinitely {
         sol.emplace_back(k, q2.front().seq);
       }
       solutions.push_back(sol);
-      // Prune: Eq. (10), all qualifying heads.
+      // Prune per mode: Eq. (10) over all qualifying heads, the
+      // single-head ablation (first qualifying head in ascending key
+      // order), or the deliberately broken everything-goes rule.
       std::vector<ProcessId> prune;
       for (const auto& [a, qa] : queues) {
         bool removable = true;
-        for (const auto& [b, qb] : queues) {
-          if (a != b && less(qb.front().hi, qa.front().hi)) {
-            removable = false;
+        if (mode != QueueEngine::PruneMode::kTestBrokenPruneAll) {
+          for (const auto& [b, qb] : queues) {
+            if (a != b && less(qb.front().hi, qa.front().hi)) {
+              removable = false;
+            }
           }
         }
         if (removable) {
           prune.push_back(a);
+          if (mode == QueueEngine::PruneMode::kSingleEq10) {
+            break;
+          }
         }
       }
       for (const ProcessId c : prune) {
@@ -210,6 +226,58 @@ TEST_P(EngineFuzzTest, DefinitelyEngineMatchesNaiveReference) {
         << "round " << round << " n " << n;
     EXPECT_EQ(engine.eliminated(), naive.eliminated) << "round " << round;
     EXPECT_EQ(engine.pruned(), naive.pruned) << "round " << round;
+  }
+}
+
+// The differential holds across every prune rule (including the broken one
+// — both sides over-prune identically, so the *differential* still agrees;
+// only the model checker's offline oracles can call it wrong) and across
+// bounded queue capacities, where both sides must reject the same offers.
+TEST_P(EngineFuzzTest, PruneModesAndCapacitiesMatchNaiveReference) {
+  const QueueEngine::PruneMode modes[] = {
+      QueueEngine::PruneMode::kAllEq10,
+      QueueEngine::PruneMode::kSingleEq10,
+      QueueEngine::PruneMode::kTestBrokenPruneAll,
+  };
+  const std::size_t capacities[] = {0, 1, 2, 4};
+  Rng rng(GetParam() ^ 0x9e3779b9);
+  for (const auto mode : modes) {
+    for (const std::size_t cap : capacities) {
+      for (int round = 0; round < 8; ++round) {
+        const std::size_t n = 2 + rng.uniform_index(4);
+        QueueEngine engine(mode);
+        engine.set_capacity(cap);
+        NaiveDefinitely naive;
+        naive.mode = mode;
+        naive.capacity = cap;
+        for (std::size_t i = 0; i < n; ++i) {
+          engine.add_queue(static_cast<ProcessId>(i));
+          naive.add_queue(static_cast<ProcessId>(i));
+        }
+        StreamGen gen(GetParam() * 271 + static_cast<std::uint64_t>(round), n);
+        std::vector<SeqNum> next_seq(n, 1);
+        std::vector<std::vector<std::pair<ProcessId, SeqNum>>> engine_solutions;
+        for (int s = 0; s < 50; ++s) {
+          const auto p = static_cast<ProcessId>(rng.uniform_index(n));
+          const Interval x = gen.next(p, next_seq[idx(p)]++);
+          naive.offer(p, x);
+          for (const auto& sol : engine.offer(p, x)) {
+            std::vector<std::pair<ProcessId, SeqNum>> ids;
+            for (const auto& m : sol.members) {
+              ids.emplace_back(m.origin, m.seq);
+            }
+            engine_solutions.push_back(std::move(ids));
+          }
+        }
+        ASSERT_EQ(engine_solutions, naive.solutions)
+            << "mode " << static_cast<int>(mode) << " cap " << cap
+            << " round " << round;
+        EXPECT_EQ(engine.eliminated(), naive.eliminated);
+        EXPECT_EQ(engine.pruned(), naive.pruned);
+        EXPECT_EQ(engine.rejected(), naive.rejected)
+            << "mode " << static_cast<int>(mode) << " cap " << cap;
+      }
+    }
   }
 }
 

@@ -1,0 +1,222 @@
+// The model checker's own test suite: sweep >= 1000 adversarial schedules
+// across the three case families with zero oracle violations, then verify
+// the checker's teeth — a deliberately broken prune rule must be caught,
+// shrunk to a small repro, and survive a repro-file round trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "common/assert.hpp"
+#include "mc/checker.hpp"
+#include "mc/mc_case.hpp"
+#include "mc/repro.hpp"
+#include "mc/shrink.hpp"
+
+namespace hpd::mc {
+namespace {
+
+void report_failures(const ExploreStats& stats) {
+  for (const auto& f : stats.failures) {
+    ADD_FAILURE() << "case topology=" << f.c.topology << " workload="
+                  << to_string(f.c.workload) << " strategy="
+                  << to_string(f.c.strategy) << " seed=" << f.c.seed
+                  << " violated:\n  " << f.violations.front()
+                  << "\nrepro:\n" << to_repro(f.c);
+  }
+}
+
+// ---- The sweep: >= 1000 schedules, zero violations -------------------------
+// Split per family so a failure names its family, and ctest can parallelize.
+
+TEST(McSweep, SeedSweepStrict) {
+  const auto stats = explore(seed_sweep_cases(600, 42));
+  EXPECT_EQ(stats.schedules, 600u);
+  EXPECT_EQ(stats.failed, 0u);
+  report_failures(stats);
+}
+
+TEST(McSweep, DelayBoundedAndPct) {
+  const auto stats = explore(reorder_cases(250, 77));
+  EXPECT_EQ(stats.schedules, 250u);
+  EXPECT_EQ(stats.failed, 0u);
+  report_failures(stats);
+}
+
+TEST(McSweep, FaultPlans) {
+  const auto stats = explore(fault_cases(150, 99));
+  EXPECT_EQ(stats.schedules, 150u);
+  EXPECT_EQ(stats.failed, 0u);
+  report_failures(stats);
+}
+
+// Bounded queues: legitimate missed detections, but the always-on stream
+// oracles (indices, monotonicity, provenance, aggregate algebra) must hold.
+TEST(McSweep, BoundedQueues) {
+  auto cases = seed_sweep_cases(40, 1234);
+  for (std::size_t k = 0; k < cases.size(); ++k) {
+    cases[k].queue_capacity = 1 + k % 4;
+  }
+  const auto stats = explore(cases);
+  EXPECT_EQ(stats.failed, 0u);
+  report_failures(stats);
+}
+
+// ---- The checker has teeth -------------------------------------------------
+
+/// A gossip family dense enough that the broken rule's over-pruning loses
+/// solutions on a fair fraction of seeds.
+McCase broken_prune_case(std::uint64_t seed) {
+  McCase c;
+  c.topology = "dary:2:2";
+  c.workload = WorkloadKind::kGossip;
+  c.horizon = 160.0;
+  c.mean_gap = 3.0;
+  c.p_send = 0.5;
+  c.p_toggle = 0.45;
+  c.max_intervals = 8;
+  c.prune = detect::QueueEngine::PruneMode::kTestBrokenPruneAll;
+  c.seed = seed;
+  return c;
+}
+
+TEST(McTeeth, BrokenPruneIsCaughtAndShrunk) {
+  // Deterministic seed scan: the broken rule must be caught quickly.
+  McCase caught;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 40 && !found; ++seed) {
+    caught = broken_prune_case(seed);
+    found = !run_case(caught).ok();
+  }
+  ASSERT_TRUE(found) << "over-pruning survived 40 schedules undetected";
+
+  // Its correct-rule twin must pass: the oracles blame the prune rule, not
+  // the schedule.
+  McCase fixed = caught;
+  fixed.prune = detect::QueueEngine::PruneMode::kAllEq10;
+  EXPECT_TRUE(run_case(fixed).ok());
+
+  // Delta-debug to a small repro: the acceptance bar is <= 20 base
+  // intervals in the minimized execution.
+  const ShrinkResult min = shrink(caught);
+  EXPECT_FALSE(min.violations.empty());
+  EXPECT_LE(min.events, 20u) << to_repro(min.minimal);
+  EXPECT_LE(min.runs, 200u);
+
+  // The shrunk case round-trips through the repro format and still fails.
+  const std::string path = testing::TempDir() + "mc_shrunk.repro";
+  ASSERT_TRUE(save_repro(min.minimal, path));
+  const McCase reloaded = load_repro(path);
+  const RunOutcome replay = run_case(reloaded);
+  EXPECT_FALSE(replay.ok());
+  EXPECT_EQ(replay.violations, min.violations);
+  std::remove(path.c_str());
+}
+
+TEST(McTeeth, ShrinkerIsNoOpOnPassingCase) {
+  McCase c = broken_prune_case(2);
+  c.prune = detect::QueueEngine::PruneMode::kAllEq10;
+  const ShrinkResult r = shrink(c);
+  EXPECT_TRUE(r.violations.empty());
+  EXPECT_EQ(r.runs, 1u);
+  EXPECT_EQ(r.minimal.topology, c.topology);
+}
+
+// ---- Repro format ----------------------------------------------------------
+
+TEST(McRepro, RoundTripPreservesEveryField) {
+  McCase c;
+  c.topology = "grid:3x3";
+  c.workload = WorkloadKind::kPulse;
+  c.pulse_rounds = 11;
+  c.pulse_period = 37.5;
+  c.prune = detect::QueueEngine::PruneMode::kSingleEq10;
+  c.queue_capacity = 3;
+  c.strategy = StrategyKind::kDelayBounded;
+  c.delay_bound = 7.25;
+  c.perturb_p = 0.625;
+  c.crashes.push_back({120.0, 4});
+  c.crashes.push_back({150.0, 7});
+  c.recoveries.push_back({260.0, 4});
+  c.drop_app_p = 0.125;
+  c.dup_report_p = 0.0625;
+  c.seed = 0xdeadbeefULL;
+
+  const McCase back = parse_repro(to_repro(c));
+  EXPECT_EQ(back.topology, c.topology);
+  EXPECT_EQ(back.workload, c.workload);
+  EXPECT_EQ(back.pulse_rounds, c.pulse_rounds);
+  EXPECT_EQ(back.pulse_period, c.pulse_period);
+  EXPECT_EQ(back.prune, c.prune);
+  EXPECT_EQ(back.queue_capacity, c.queue_capacity);
+  EXPECT_EQ(back.strategy, c.strategy);
+  EXPECT_EQ(back.delay_bound, c.delay_bound);
+  EXPECT_EQ(back.perturb_p, c.perturb_p);
+  ASSERT_EQ(back.crashes.size(), 2u);
+  EXPECT_EQ(back.crashes[1].node, 7);
+  EXPECT_EQ(back.crashes[1].time, 150.0);
+  ASSERT_EQ(back.recoveries.size(), 1u);
+  EXPECT_EQ(back.recoveries[0].time, 260.0);
+  EXPECT_EQ(back.drop_app_p, c.drop_app_p);
+  EXPECT_EQ(back.dup_report_p, c.dup_report_p);
+  EXPECT_EQ(back.seed, c.seed);
+}
+
+TEST(McRepro, RejectsGarbage) {
+  EXPECT_THROW(parse_repro("not a repro\n"), AssertionError);
+  EXPECT_THROW(parse_repro("hpd-mc-repro v1\nbogus_key 3\n"), AssertionError);
+  EXPECT_THROW(parse_repro("hpd-mc-repro v1\nseed banana\n"), AssertionError);
+}
+
+// ---- Strategy hook plumbing ------------------------------------------------
+
+// The same case is bit-identical across runs (the strategy draws from the
+// network RNG in schedule order, so (case, seed) fixes the execution)...
+TEST(McDeterminism, SameCaseSameOutcome) {
+  const McCase c = seed_sweep_cases(3, 5)[2];
+  const RunOutcome a = run_case(c);
+  const RunOutcome b = run_case(c);
+  EXPECT_EQ(a.total_intervals, b.total_intervals);
+  EXPECT_EQ(a.occurrences, b.occurrences);
+  EXPECT_EQ(a.global_count, b.global_count);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+}
+
+// ...and the strategies genuinely change the schedule: PCT lanes and
+// delay-bounded perturbation must not be no-ops.
+TEST(McDeterminism, StrategiesPerturbTheSchedule) {
+  McCase base;
+  base.topology = "dary:2:3";
+  base.workload = WorkloadKind::kGossip;
+  base.horizon = 120.0;
+  base.seed = 9;
+
+  McCase pct = base;
+  pct.strategy = StrategyKind::kPct;
+  pct.pct_lanes = 4;
+  pct.pct_spread = 3.0;
+
+  McCase delay = base;
+  delay.strategy = StrategyKind::kDelayBounded;
+  delay.delay_bound = 8.0;
+  delay.perturb_p = 0.7;
+
+  const RunOutcome a = run_case(base);
+  const RunOutcome b = run_case(pct);
+  const RunOutcome d = run_case(delay);
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+  EXPECT_TRUE(d.ok());
+  // Coarse counts can coincide (gossip toggles are timer-driven), but the
+  // fingerprint digests detection times and event times, where a perturbed
+  // delivery schedule must show up.
+  EXPECT_NE(a.fingerprint, b.fingerprint)
+      << "PCT lanes had no observable effect on the schedule";
+  EXPECT_NE(a.fingerprint, d.fingerprint)
+      << "delay-bounded perturbation had no observable effect";
+  EXPECT_NE(b.fingerprint, d.fingerprint);
+}
+
+}  // namespace
+}  // namespace hpd::mc

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "analysis/execution_stats.hpp"
+#include "mc/repro.hpp"
 #include "metrics/report.hpp"
 #include "net/render.hpp"
 #include "net/spanning_tree.hpp"
@@ -56,6 +57,9 @@ namespace {
   --dump-execution F  record the execution and write it to file F
                       (replayable with the offline tools; see trace_io.hpp)
   --dump-occurrences F  write the occurrence log as CSV to file F
+  --repro F           replay a model-checker repro file (mc/repro.hpp):
+                      re-run the exact case and re-check its oracles;
+                      exit 0 iff they all hold (ignores other flags)
   --stats             record the execution and print its profile
   --tree              render the initial spanning tree (and the final
                       forest when there were failures)
@@ -112,6 +116,7 @@ struct Options {
   std::vector<runner::FailureEvent> failures;
   std::string dump_execution;
   std::string dump_occurrences;
+  std::string repro;
   bool stats = false;
   bool show_tree = false;
 };
@@ -278,6 +283,8 @@ Options parse(int argc, char** argv) {
       opt.dump_execution = value();
     } else if (arg == "--dump-occurrences") {
       opt.dump_occurrences = value();
+    } else if (arg == "--repro") {
+      opt.repro = value();
     } else if (arg == "--seed") {
       opt.seed = static_cast<std::uint64_t>(num_arg(value(), "seed"));
     } else if (arg == "--repeat") {
@@ -297,6 +304,14 @@ Options parse(int argc, char** argv) {
 }
 
 int run(const Options& opt) {
+  if (!opt.repro.empty()) {
+    try {
+      return mc::replay_repro(opt.repro, std::cout);
+    } catch (const AssertionError& e) {
+      std::cerr << "bad repro file: " << e.what() << "\n";
+      return 2;
+    }
+  }
   Rng topo_rng(opt.seed ^ 0x70701090);
   runner::ExperimentConfig cfg;
   std::optional<net::SpanningTree> fixed_tree;
