@@ -34,6 +34,35 @@ void MetricsRegistry::on_send(ProcessId src, int type, std::size_t wire_words,
   }
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  if (node_.size() < other.node_.size()) {
+    node_.resize(other.node_.size());
+  }
+  for (std::size_t i = 0; i < other.node_.size(); ++i) {
+    const NodeMetrics& src = other.node_[i];
+    NodeMetrics& dst = node_[i];
+    dst.msgs_sent += src.msgs_sent;
+    dst.wire_words_sent += src.wire_words_sent;
+    dst.intervals_enqueued += src.intervals_enqueued;
+    dst.intervals_stored_peak =
+        std::max(dst.intervals_stored_peak, src.intervals_stored_peak);
+    dst.vc_comparisons += src.vc_comparisons;
+    dst.detections += src.detections;
+  }
+  for (const auto& [type, k] : other.msgs_by_type_) {
+    msgs_by_type_[type] += k;
+  }
+  for (const auto& [type, k] : other.bytes_by_type_) {
+    bytes_by_type_[type] += k;
+  }
+  for (const auto& [type, name] : other.type_names_) {
+    type_names_.emplace(type, name);
+  }
+  msgs_total_ += other.msgs_total_;
+  wire_words_total_ += other.wire_words_total_;
+  wire_bytes_total_ += other.wire_bytes_total_;
+}
+
 std::uint64_t MetricsRegistry::msgs_of_type(int type) const {
   auto it = msgs_by_type_.find(type);
   return it == msgs_by_type_.end() ? 0 : it->second;

@@ -42,6 +42,11 @@ class MetricsRegistry {
   void on_send(ProcessId src, int type, std::size_t wire_words,
                std::size_t wire_bytes = 0);
 
+  /// Fold another registry into this one (counters add, per-node metrics add
+  /// index-wise, names union). The live runtime gives every node thread a
+  /// private registry and merges them once the threads have stopped.
+  void merge_from(const MetricsRegistry& other);
+
   /// Totals.
   std::uint64_t msgs_total() const { return msgs_total_; }
   std::uint64_t msgs_of_type(int type) const;

@@ -48,8 +48,20 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   for (std::size_t i = 0; i < count; ++i) {
     futures.push_back(pool.submit([&fn, i] { fn(i); }));
   }
+  // Drain every future before rethrowing: tasks still queued or running
+  // reference `fn`, so returning on the first failure would dangle it.
+  std::exception_ptr first;
   for (auto& f : futures) {
-    f.get();
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) {
+        first = std::current_exception();
+      }
+    }
+  }
+  if (first) {
+    std::rethrow_exception(first);
   }
 }
 

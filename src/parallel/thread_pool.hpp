@@ -30,6 +30,9 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   /// Enqueue a task; the future resolves with its result (or exception).
+  /// Throws std::runtime_error if the pool is shutting down — once workers
+  /// may have exited, an accepted task's future could never resolve and the
+  /// caller would block forever on it.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -38,6 +41,9 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool::submit after shutdown began");
+      }
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -54,12 +60,17 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Run fn(i) for i in [0, count) on a pool, blocking until all complete.
-/// Exceptions from tasks are rethrown (the first one encountered).
+/// Run fn(i) for i in [0, count) on a pool, blocking until all complete —
+/// including when a task throws: every future is drained before the first
+/// exception is rethrown. (Rethrowing early would return while queued tasks
+/// still hold references to `fn`, which may be a temporary at the call
+/// site — a use-after-free.)
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn);
 
-/// Convenience: map fn over [0, count) collecting results in order.
+/// Convenience: map fn over [0, count) collecting results in order. Same
+/// exception contract as parallel_for: all tasks finish before the first
+/// exception is rethrown.
 template <typename R>
 std::vector<R> parallel_map(ThreadPool& pool, std::size_t count,
                             const std::function<R(std::size_t)>& fn) {
@@ -70,8 +81,18 @@ std::vector<R> parallel_map(ThreadPool& pool, std::size_t count,
   }
   std::vector<R> out;
   out.reserve(count);
+  std::exception_ptr first;
   for (auto& f : futures) {
-    out.push_back(f.get());
+    try {
+      out.push_back(f.get());
+    } catch (...) {
+      if (!first) {
+        first = std::current_exception();
+      }
+    }
+  }
+  if (first) {
+    std::rethrow_exception(first);
   }
   return out;
 }

@@ -1,0 +1,39 @@
+// Drive one experiment over the live transport: the same ExperimentConfig
+// the simulator consumes, executed by real node threads over sockets.
+//
+// Differences from runner::run_experiment, by construction of the medium:
+//   * wire_encoding is forced on — bytes are the only thing a socket carries;
+//   * the delay model is ignored and a schedule strategy is rejected — the
+//     kernel scheduler *is* the adversary here;
+//   * failures / recoveries give planned times; the measured instants (what
+//     the offline oracle must be fed) come back in actual_crashes /
+//     actual_recoveries;
+//   * metrics, occurrence records and global counts are collected per node
+//     (each node thread owns its storage) and merged after the threads stop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/live_transport.hpp"
+#include "runner/experiment.hpp"
+
+namespace hpd::rt {
+
+struct LiveResult {
+  runner::ExperimentResult result;
+  /// Measured fault instants in SimTime units (loop-thread timestamps).
+  std::vector<LifeEvent> actual_crashes;
+  std::vector<LifeEvent> actual_recoveries;
+  // Transport diagnostics.
+  std::uint64_t delivered_messages = 0;
+  std::uint64_t frame_errors = 0;
+  std::uint64_t connections_accepted = 0;
+};
+
+/// Run the experiment over threads + sockets. Blocks the calling thread for
+/// roughly (horizon + drain) * live.time_scale real seconds.
+LiveResult run_live_experiment(const runner::ExperimentConfig& config,
+                               const LiveConfig& live = {});
+
+}  // namespace hpd::rt

@@ -1,0 +1,792 @@
+#include "rt/live_transport.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <map>
+#include <sys/socket.h>
+#include <thread>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "wire/codec.hpp"
+#include "wire/frame.hpp"
+
+namespace hpd::rt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Frame payload kinds. Every frame starts with one of these bytes.
+constexpr std::uint8_t kFrameHello = 1;
+constexpr std::uint8_t kFrameData = 2;
+
+constexpr std::uint8_t kMagic[4] = {'H', 'P', 'D', 'L'};
+
+}  // namespace
+
+// ---- Internal state ---------------------------------------------------------
+
+/// One stream connection. Outgoing connections (keyed by peer in
+/// NodeCtx::outgoing) only ever send; inbound connections only receive.
+struct LiveTransport::Conn {
+  Fd fd;
+  wire::FrameReader reader;
+  std::vector<std::uint8_t> outbuf;
+  std::size_t out_pos = 0;
+  ProcessId peer = kNoProcess;
+  bool hello_seen = false;
+};
+
+struct LiveTransport::NodeCtx {
+  ProcessId id = kNoProcess;
+  transport::Node* node = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  std::function<void()> on_revive;
+  LiveEndpoint endpoint;
+
+  SockAddr addr;  ///< fixed at start(); stable across crash/revive
+  Fd listener;
+  std::thread thread;
+  std::atomic<bool> alive{false};
+
+  // Control plane: any thread -> loop thread.
+  std::mutex ctl_mutex;
+  std::deque<std::function<void()>> ctl;
+  bool crash_requested = false;  ///< guarded by ctl_mutex
+  bool stop_requested = false;   ///< guarded by ctl_mutex
+  Fd wake_read;
+  Fd wake_write;
+
+  // ---- Loop-thread-only state ----------------------------------------------
+  std::vector<std::unique_ptr<Conn>> inbound;
+  std::map<ProcessId, std::unique_ptr<Conn>> outgoing;
+
+  struct TimerRec {
+    int tag = 0;
+    bool periodic = false;
+    Clock::time_point due;
+    Clock::duration period{};
+  };
+  std::map<transport::TimerId, TimerRec> timers;
+  transport::TimerId next_timer = 1;
+
+  /// Per-peer re-dial cooldown after a failed connect / broken pipe.
+  std::vector<Clock::time_point> peer_down;
+
+  std::vector<std::uint8_t> read_buf;
+
+  // Counters: written by the loop thread, read after it has been joined.
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t frame_errors = 0;
+  std::uint64_t accepted = 0;
+};
+
+// ---- LiveEndpoint -----------------------------------------------------------
+
+SimTime LiveEndpoint::now() const { return transport_->now(); }
+
+void LiveEndpoint::send(transport::Message msg) {
+  HPD_REQUIRE(msg.src == self_,
+              "LiveEndpoint::send: src must be the owning node");
+  transport_->do_send(transport_->ctx(self_), std::move(msg));
+}
+
+transport::TimerId LiveEndpoint::set_timer(ProcessId id, int tag,
+                                           SimTime delay, bool periodic,
+                                           SimTime period) {
+  HPD_REQUIRE(id == self_,
+              "LiveEndpoint::set_timer: timers belong to the owning node");
+  return transport_->do_set_timer(transport_->ctx(self_), tag, delay, periodic,
+                                  period);
+}
+
+void LiveEndpoint::cancel_timer(transport::TimerId id) {
+  transport_->do_cancel_timer(transport_->ctx(self_), id);
+}
+
+bool LiveEndpoint::alive(ProcessId id) const { return transport_->alive(id); }
+
+// ---- Construction / registration -------------------------------------------
+
+LiveTransport::LiveTransport(std::size_t n, LiveConfig cfg)
+    : cfg_(std::move(cfg)), start_(Clock::now()) {
+  HPD_REQUIRE(n >= 1, "LiveTransport: empty system");
+  HPD_REQUIRE(cfg_.time_scale > 0.0, "LiveTransport: time_scale must be > 0");
+  if (cfg_.socket_kind == SockAddr::Kind::kUnix && cfg_.socket_dir.empty()) {
+    socket_dir_ = make_socket_dir();
+    own_socket_dir_ = true;
+  } else {
+    socket_dir_ = cfg_.socket_dir;
+  }
+  nodes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto c = std::make_unique<NodeCtx>();
+    c->id = static_cast<ProcessId>(i);
+    c->endpoint.transport_ = this;
+    c->endpoint.self_ = c->id;
+    c->addr.kind = cfg_.socket_kind;
+    if (cfg_.socket_kind == SockAddr::Kind::kUnix) {
+      c->addr.path = socket_dir_ + "/node-" + std::to_string(i) + ".sock";
+    }
+    c->peer_down.resize(n);
+    c->read_buf.resize(cfg_.read_chunk);
+    int pipefd[2];
+    if (::pipe(pipefd) < 0) {
+      throw TransportError("pipe: wake channel");
+    }
+    c->wake_read = Fd(pipefd[0]);
+    c->wake_write = Fd(pipefd[1]);
+    set_nonblocking(c->wake_read.get());
+    set_nonblocking(c->wake_write.get());
+    nodes_.push_back(std::move(c));
+  }
+}
+
+LiveTransport::~LiveTransport() {
+  stop();
+  if (own_socket_dir_) {
+    remove_socket_dir(socket_dir_);
+  }
+}
+
+LiveTransport::NodeCtx& LiveTransport::ctx(ProcessId id) {
+  HPD_REQUIRE(id >= 0 && idx(id) < nodes_.size(),
+              "LiveTransport: unknown node id");
+  return *nodes_[idx(id)];
+}
+
+const LiveTransport::NodeCtx& LiveTransport::ctx(ProcessId id) const {
+  HPD_REQUIRE(id >= 0 && idx(id) < nodes_.size(),
+              "LiveTransport: unknown node id");
+  return *nodes_[idx(id)];
+}
+
+void LiveTransport::set_link_filter(
+    std::function<bool(ProcessId, ProcessId)> link_ok) {
+  HPD_REQUIRE(!started_, "LiveTransport: link filter must precede start()");
+  link_ok_ = std::move(link_ok);
+}
+
+void LiveTransport::register_node(ProcessId id, transport::Node& node,
+                                  MetricsRegistry* metrics,
+                                  std::function<void()> on_revive) {
+  HPD_REQUIRE(!started_, "LiveTransport: register_node must precede start()");
+  NodeCtx& c = ctx(id);
+  c.node = &node;
+  c.metrics = metrics;
+  c.on_revive = std::move(on_revive);
+}
+
+transport::Endpoint& LiveTransport::endpoint(ProcessId id) {
+  return ctx(id).endpoint;
+}
+
+// ---- Lifecycle --------------------------------------------------------------
+
+void LiveTransport::start() {
+  HPD_REQUIRE(!started_, "LiveTransport: started twice");
+  for (auto& c : nodes_) {
+    HPD_REQUIRE(c->node != nullptr, "LiveTransport: node not registered");
+    // Binding every listener before any thread runs means a refused connect
+    // can only ever mean "peer crashed".
+    c->listener = listen_on(c->addr);
+  }
+  start_ = Clock::now();
+  started_ = true;
+  for (auto& c : nodes_) {
+    c->alive.store(true, std::memory_order_release);
+  }
+  for (auto& c : nodes_) {
+    NodeCtx* p = c.get();
+    c->thread = std::thread([this, p] { node_loop(*p, /*initial=*/true); });
+  }
+}
+
+void LiveTransport::stop() {
+  for (auto& c : nodes_) {
+    {
+      std::lock_guard<std::mutex> lock(c->ctl_mutex);
+      c->stop_requested = true;
+    }
+    wake(*c);
+  }
+  for (auto& c : nodes_) {
+    if (c->thread.joinable()) {
+      c->thread.join();
+    }
+  }
+}
+
+void LiveTransport::crash(ProcessId id) {
+  NodeCtx& c = ctx(id);
+  if (!c.alive.load(std::memory_order_acquire)) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(c.ctl_mutex);
+    c.crash_requested = true;
+  }
+  wake(c);
+  if (c.thread.joinable()) {
+    c.thread.join();
+  }
+}
+
+void LiveTransport::revive(ProcessId id) {
+  NodeCtx& c = ctx(id);
+  HPD_REQUIRE(started_, "LiveTransport: revive before start");
+  HPD_REQUIRE(!c.alive.load(std::memory_order_acquire),
+              "LiveTransport: revive of a live node");
+  if (c.thread.joinable()) {
+    c.thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(c.ctl_mutex);
+    c.crash_requested = false;
+    c.stop_requested = false;
+    c.ctl.clear();
+  }
+  c.listener = listen_on(c.addr);  // same path / port as before the crash
+  c.alive.store(true, std::memory_order_release);
+  NodeCtx* p = &c;
+  c.thread = std::thread([this, p] { node_loop(*p, /*initial=*/false); });
+}
+
+bool LiveTransport::alive(ProcessId id) const {
+  return ctx(id).alive.load(std::memory_order_acquire);
+}
+
+std::size_t LiveTransport::alive_count() const {
+  std::size_t k = 0;
+  for (const auto& c : nodes_) {
+    if (c->alive.load(std::memory_order_acquire)) {
+      ++k;
+    }
+  }
+  return k;
+}
+
+// ---- Time -------------------------------------------------------------------
+
+SimTime LiveTransport::now() const {
+  const std::chrono::duration<double> el = Clock::now() - start_;
+  return el.count() / cfg_.time_scale;
+}
+
+Clock::duration LiveTransport::to_real(SimTime d) const {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(std::max(0.0, d) * cfg_.time_scale));
+}
+
+void LiveTransport::sleep_until(SimTime t) const {
+  std::this_thread::sleep_until(start_ + to_real(t));
+}
+
+// ---- Control plane ----------------------------------------------------------
+
+void LiveTransport::wake(NodeCtx& c) {
+  const std::uint8_t b = 0;
+  // EAGAIN means a wake byte is already pending, which is just as good.
+  [[maybe_unused]] const ssize_t k = ::write(c.wake_write.get(), &b, 1);
+}
+
+bool LiveTransport::post(ProcessId id, std::function<void()> fn) {
+  NodeCtx& c = ctx(id);
+  {
+    std::lock_guard<std::mutex> lock(c.ctl_mutex);
+    if (!c.alive.load(std::memory_order_acquire) || c.crash_requested ||
+        c.stop_requested) {
+      return false;
+    }
+    c.ctl.push_back(std::move(fn));
+  }
+  wake(c);
+  return true;
+}
+
+bool LiveTransport::run_on_node_sync(ProcessId id, std::function<void()> fn) {
+  auto prom = std::make_shared<std::promise<void>>();
+  std::future<void> done = prom->get_future();
+  const bool posted = post(id, [prom, fn = std::move(fn)] {
+    fn();
+    prom->set_value();
+  });
+  if (!posted) {
+    return false;
+  }
+  try {
+    done.get();
+    return true;
+  } catch (const std::future_error&) {
+    return false;  // the node crashed before running fn (promise abandoned)
+  }
+}
+
+std::vector<LifeEvent> LiveTransport::crash_events() const {
+  std::lock_guard<std::mutex> lock(events_mutex_);
+  return crashes_;
+}
+
+std::vector<LifeEvent> LiveTransport::revive_events() const {
+  std::lock_guard<std::mutex> lock(events_mutex_);
+  return revives_;
+}
+
+// ---- Diagnostics ------------------------------------------------------------
+
+std::uint64_t LiveTransport::delivered_messages() const {
+  std::uint64_t k = 0;
+  for (const auto& c : nodes_) {
+    k += c->delivered;
+  }
+  return k;
+}
+
+std::uint64_t LiveTransport::dropped_messages() const {
+  std::uint64_t k = 0;
+  for (const auto& c : nodes_) {
+    k += c->dropped;
+  }
+  return k;
+}
+
+std::uint64_t LiveTransport::frame_errors() const {
+  std::uint64_t k = 0;
+  for (const auto& c : nodes_) {
+    k += c->frame_errors;
+  }
+  return k;
+}
+
+std::uint64_t LiveTransport::connections_accepted() const {
+  std::uint64_t k = 0;
+  for (const auto& c : nodes_) {
+    k += c->accepted;
+  }
+  return k;
+}
+
+// ---- Timers -----------------------------------------------------------------
+
+transport::TimerId LiveTransport::do_set_timer(NodeCtx& c, int tag,
+                                               SimTime delay, bool periodic,
+                                               SimTime period) {
+  HPD_REQUIRE(!periodic || period > 0.0,
+              "LiveTransport: periodic timer needs a positive period");
+  const transport::TimerId tid = c.next_timer++;
+  NodeCtx::TimerRec rec;
+  rec.tag = tag;
+  rec.periodic = periodic;
+  rec.due = Clock::now() + to_real(delay);
+  rec.period = to_real(period);
+  c.timers.emplace(tid, rec);
+  return tid;
+}
+
+void LiveTransport::do_cancel_timer(NodeCtx& c, transport::TimerId id) {
+  c.timers.erase(id);
+}
+
+void LiveTransport::fire_due_timers(NodeCtx& c) {
+  const Clock::time_point t = Clock::now();
+  std::vector<transport::TimerId> due;
+  for (const auto& [tid, rec] : c.timers) {
+    if (rec.due <= t) {
+      due.push_back(tid);
+    }
+  }
+  for (const transport::TimerId tid : due) {
+    auto it = c.timers.find(tid);
+    if (it == c.timers.end()) {
+      continue;  // cancelled by an earlier callback this round
+    }
+    const int tag = it->second.tag;
+    if (it->second.periodic) {
+      it->second.due = t + it->second.period;
+    } else {
+      c.timers.erase(it);
+    }
+    c.node->on_timer(tag);
+  }
+}
+
+// ---- Send path (runs on the sender's loop thread) ---------------------------
+
+void LiveTransport::do_send(NodeCtx& c, transport::Message msg) {
+  if (!c.alive.load(std::memory_order_relaxed)) {
+    ++c.dropped;
+    return;
+  }
+  const auto* bytes = std::any_cast<std::vector<std::uint8_t>>(&msg.payload);
+  HPD_REQUIRE(bytes != nullptr,
+              "LiveTransport: payloads must be wire-encoded bytes "
+              "(run with wire_encoding enabled)");
+  if (msg.dst < 0 || idx(msg.dst) >= nodes_.size()) {
+    ++c.dropped;
+    return;
+  }
+  if (link_ok_ && !link_ok_(msg.src, msg.dst)) {
+    ++c.dropped;
+    return;
+  }
+  msg.wire_bytes = bytes->size();
+  msg.sent_at = now();
+  if (c.metrics != nullptr) {
+    c.metrics->on_send(msg.src, msg.type, msg.wire_words, msg.wire_bytes);
+  }
+  if (msg.dst == c.id) {
+    // Loopback to self: deliver inline on this (the correct) thread.
+    msg.id = ++c.delivered;
+    c.node->on_message(msg);
+    return;
+  }
+  Conn* conn = outgoing_conn(c, msg.dst);
+  if (conn == nullptr) {
+    ++c.dropped;
+    return;
+  }
+  wire::Encoder e;
+  e.put_u8(kFrameData);
+  e.put_varint(static_cast<std::uint64_t>(msg.src));
+  e.put_varint(static_cast<std::uint64_t>(msg.dst));
+  e.put_varint(static_cast<std::uint32_t>(msg.type));
+  e.put_varint(msg.wire_words);
+  std::vector<std::uint8_t> body = e.take();
+  body.insert(body.end(), bytes->begin(), bytes->end());
+  wire::append_frame(conn->outbuf, body);
+  if (!flush_conn(*conn)) {
+    ++c.dropped;
+    drop_outgoing(c, msg.dst);
+  }
+}
+
+LiveTransport::Conn* LiveTransport::outgoing_conn(NodeCtx& c, ProcessId dst) {
+  auto it = c.outgoing.find(dst);
+  if (it != c.outgoing.end()) {
+    return it->second.get();
+  }
+  if (Clock::now() < c.peer_down[idx(dst)]) {
+    return nullptr;  // cooling down; drop instead of re-dialing
+  }
+  const SockAddr& addr = nodes_[idx(dst)]->addr;
+  Fd fd;
+  auto backoff = cfg_.connect_backoff;
+  for (int attempt = 0;; ++attempt) {
+    fd = connect_to(addr);
+    if (fd.valid() || attempt >= cfg_.connect_retries) {
+      break;
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff *= 2;
+  }
+  if (!fd.valid()) {
+    c.peer_down[idx(dst)] = Clock::now() + cfg_.peer_down_cooldown;
+    return nullptr;
+  }
+  auto conn = std::make_unique<Conn>();
+  conn->fd = std::move(fd);
+  conn->peer = dst;
+  wire::Encoder e;
+  e.put_u8(kFrameHello);
+  for (const std::uint8_t m : kMagic) {
+    e.put_u8(m);
+  }
+  e.put_varint(kLiveProtocolVersion);
+  e.put_varint(static_cast<std::uint64_t>(c.id));
+  e.put_varint(nodes_.size());
+  wire::append_frame(conn->outbuf, e.bytes());
+  Conn* p = conn.get();
+  c.outgoing.emplace(dst, std::move(conn));
+  return p;
+}
+
+bool LiveTransport::flush_conn(Conn& conn) {
+  while (conn.out_pos < conn.outbuf.size()) {
+    const ssize_t k =
+        ::send(conn.fd.get(), conn.outbuf.data() + conn.out_pos,
+               conn.outbuf.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (k > 0) {
+      conn.out_pos += static_cast<std::size_t>(k);
+      continue;
+    }
+    if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return true;  // kernel buffer full; POLLOUT resumes the flush
+    }
+    if (k < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;  // broken pipe / reset: the peer is gone
+  }
+  conn.outbuf.clear();
+  conn.out_pos = 0;
+  return true;
+}
+
+void LiveTransport::drop_outgoing(NodeCtx& c, ProcessId peer) {
+  c.outgoing.erase(peer);
+  c.peer_down[idx(peer)] = Clock::now() + cfg_.peer_down_cooldown;
+}
+
+// ---- Receive path -----------------------------------------------------------
+
+void LiveTransport::handle_payload(NodeCtx& c, Conn& conn,
+                                   const std::vector<std::uint8_t>& payload) {
+  wire::Decoder d(payload);
+  const std::uint8_t kind = d.get_u8();
+  if (kind == kFrameHello) {
+    for (const std::uint8_t m : kMagic) {
+      if (d.get_u8() != m) {
+        throw wire::DecodeError("live: bad HELLO magic");
+      }
+    }
+    if (d.get_varint() != kLiveProtocolVersion) {
+      throw wire::DecodeError("live: protocol version mismatch");
+    }
+    const auto peer = static_cast<ProcessId>(d.get_varint());
+    if (peer < 0 || idx(peer) >= nodes_.size()) {
+      throw wire::DecodeError("live: HELLO from unknown peer");
+    }
+    if (d.get_varint() != nodes_.size()) {
+      throw wire::DecodeError("live: HELLO cluster-size mismatch");
+    }
+    conn.peer = peer;
+    conn.hello_seen = true;
+    return;
+  }
+  if (kind != kFrameData || !conn.hello_seen) {
+    throw wire::DecodeError("live: unexpected frame kind");
+  }
+  transport::Message m;
+  m.src = static_cast<ProcessId>(d.get_varint());
+  m.dst = static_cast<ProcessId>(d.get_varint());
+  m.type = static_cast<int>(d.get_varint());
+  m.wire_words = static_cast<std::size_t>(d.get_varint());
+  if (m.dst != c.id) {
+    throw wire::DecodeError("live: misrouted frame");
+  }
+  const std::size_t rest = d.remaining();
+  std::vector<std::uint8_t> body(payload.end() -
+                                     static_cast<std::ptrdiff_t>(rest),
+                                 payload.end());
+  m.wire_bytes = body.size();
+  m.payload = std::move(body);
+  m.sent_at = now();  // delivery stamp; the wire does not carry send time
+  m.id = ++c.delivered;
+  c.node->on_message(m);
+}
+
+// ---- Event loop -------------------------------------------------------------
+
+void LiveTransport::node_loop(NodeCtx& c, const bool initial) {
+  if (!initial) {
+    {
+      std::lock_guard<std::mutex> lock(events_mutex_);
+      revives_.push_back({c.id, now()});
+    }
+    if (c.on_revive) {
+      c.on_revive();
+    }
+  } else {
+    c.node->on_start();
+  }
+  for (;;) {
+    // Control plane first: crash/stop beat everything else.
+    std::deque<std::function<void()>> fns;
+    bool crash_now = false;
+    bool stop_now = false;
+    {
+      std::lock_guard<std::mutex> lock(c.ctl_mutex);
+      fns.swap(c.ctl);
+      crash_now = c.crash_requested;
+      stop_now = c.stop_requested;
+    }
+    if (crash_now) {
+      do_crash(c);
+      return;
+    }
+    for (auto& fn : fns) {
+      fn();
+    }
+    if (stop_now) {
+      c.alive.store(false, std::memory_order_release);
+      shutdown_io(c);
+      return;
+    }
+    fire_due_timers(c);
+    loop_iteration(c);
+  }
+}
+
+void LiveTransport::loop_iteration(NodeCtx& c) {
+  struct Slot {
+    enum class What { kWake, kListener, kInbound, kOutgoing } what;
+    std::size_t index = 0;    // inbound index
+    ProcessId peer = kNoProcess;  // outgoing peer
+  };
+  std::vector<pollfd> pfds;
+  std::vector<Slot> slots;
+
+  pfds.push_back({c.wake_read.get(), POLLIN, 0});
+  slots.push_back({Slot::What::kWake, 0, kNoProcess});
+  if (c.listener.valid()) {
+    pfds.push_back({c.listener.get(), POLLIN, 0});
+    slots.push_back({Slot::What::kListener, 0, kNoProcess});
+  }
+  for (std::size_t i = 0; i < c.inbound.size(); ++i) {
+    pfds.push_back({c.inbound[i]->fd.get(), POLLIN, 0});
+    slots.push_back({Slot::What::kInbound, i, kNoProcess});
+  }
+  for (const auto& [peer, conn] : c.outgoing) {
+    short ev = POLLIN;  // peers never send here, but we must see the close
+    if (conn->out_pos < conn->outbuf.size()) {
+      ev = static_cast<short>(ev | POLLOUT);
+    }
+    pfds.push_back({conn->fd.get(), ev, 0});
+    slots.push_back({Slot::What::kOutgoing, 0, peer});
+  }
+
+  // Sleep until the next timer (capped; the wake pipe cuts it short).
+  int timeout_ms = 100;
+  if (!c.timers.empty()) {
+    Clock::time_point next = c.timers.begin()->second.due;
+    for (const auto& [tid, rec] : c.timers) {
+      next = std::min(next, rec.due);
+    }
+    const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+        next - Clock::now());
+    timeout_ms = static_cast<int>(
+        std::clamp<std::int64_t>(wait.count(), 0, timeout_ms));
+  }
+  const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) {
+      return;
+    }
+    throw TransportError(std::string("poll: ") + std::strerror(errno));
+  }
+
+  std::vector<std::size_t> dead_inbound;
+  std::vector<ProcessId> dead_outgoing;
+  for (std::size_t i = 0; i < pfds.size(); ++i) {
+    const short re = pfds[i].revents;
+    if (re == 0) {
+      continue;
+    }
+    const Slot& slot = slots[i];
+    switch (slot.what) {
+      case Slot::What::kWake: {
+        std::uint8_t buf[64];
+        while (::read(c.wake_read.get(), buf, sizeof(buf)) > 0) {
+        }
+        break;
+      }
+      case Slot::What::kListener: {
+        for (;;) {
+          Fd nc = accept_conn(c.listener);
+          if (!nc.valid()) {
+            break;
+          }
+          auto conn = std::make_unique<Conn>();
+          conn->fd = std::move(nc);
+          c.inbound.push_back(std::move(conn));
+          ++c.accepted;
+        }
+        break;
+      }
+      case Slot::What::kInbound: {
+        Conn& conn = *c.inbound[slot.index];
+        const ssize_t k =
+            ::read(conn.fd.get(), c.read_buf.data(), c.read_buf.size());
+        if (k > 0) {
+          try {
+            conn.reader.feed(std::span<const std::uint8_t>(
+                c.read_buf.data(), static_cast<std::size_t>(k)));
+            while (auto p = conn.reader.next()) {
+              handle_payload(c, conn, *p);
+            }
+          } catch (const wire::FrameError&) {
+            ++c.frame_errors;
+            dead_inbound.push_back(slot.index);
+          } catch (const wire::DecodeError&) {
+            ++c.frame_errors;
+            dead_inbound.push_back(slot.index);
+          }
+        } else if (k == 0 || (errno != EAGAIN && errno != EWOULDBLOCK &&
+                              errno != EINTR)) {
+          dead_inbound.push_back(slot.index);  // peer closed (crash or stop)
+        }
+        break;
+      }
+      case Slot::What::kOutgoing: {
+        // The send path may have dropped this connection while we were
+        // handling an earlier slot; re-resolve by peer id.
+        auto it = c.outgoing.find(slot.peer);
+        if (it == c.outgoing.end()) {
+          break;
+        }
+        Conn& conn = *it->second;
+        bool broken = false;
+        if ((re & POLLOUT) != 0 && !flush_conn(conn)) {
+          ++c.dropped;  // whatever was still queued is lost
+          broken = true;
+        }
+        if ((re & (POLLIN | POLLHUP | POLLERR)) != 0 && !broken) {
+          const ssize_t k =
+              ::read(conn.fd.get(), c.read_buf.data(), c.read_buf.size());
+          if (k == 0 || (k < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                         errno != EINTR)) {
+            broken = true;  // receive-side close: the peer is gone
+          }
+          // Any actual bytes on a send-only connection are ignored.
+        }
+        if (broken) {
+          dead_outgoing.push_back(slot.peer);
+        }
+        break;
+      }
+    }
+  }
+  for (const ProcessId peer : dead_outgoing) {
+    drop_outgoing(c, peer);
+  }
+  if (!dead_inbound.empty()) {
+    std::sort(dead_inbound.begin(), dead_inbound.end(),
+              std::greater<std::size_t>());
+    for (const std::size_t i : dead_inbound) {
+      c.inbound.erase(c.inbound.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+}
+
+void LiveTransport::do_crash(NodeCtx& c) {
+  {
+    std::lock_guard<std::mutex> lock(events_mutex_);
+    crashes_.push_back({c.id, now()});
+  }
+  c.node->on_crash();
+  c.alive.store(false, std::memory_order_release);
+  {
+    // Abandon queued control functions: their promises (if any) break,
+    // which run_on_node_sync reports as failure.
+    std::lock_guard<std::mutex> lock(c.ctl_mutex);
+    c.ctl.clear();
+  }
+  shutdown_io(c);
+}
+
+void LiveTransport::shutdown_io(NodeCtx& c) {
+  c.inbound.clear();
+  c.outgoing.clear();
+  c.timers.clear();
+  c.listener.reset();
+}
+
+}  // namespace hpd::rt

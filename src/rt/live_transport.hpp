@@ -1,0 +1,198 @@
+// The live backend of transport::Endpoint: every node runs its own
+// event-loop thread and the nodes exchange protocol messages over loopback
+// TCP or Unix-domain stream sockets, framed by wire/frame (varint length +
+// CRC-32C) and encoded by wire/codec.
+//
+// Structure:
+//   * All listeners are bound before any thread starts, so a connect can
+//     only be refused when the peer has actually crashed.
+//   * Node `i`'s callbacks (on_start / on_message / on_timer / on_crash) run
+//     exclusively on `i`'s loop thread; sends initiated inside a callback
+//     therefore satisfy the Endpoint threading contract by construction.
+//   * Outgoing connections are opened lazily on first send (blocking connect
+//     with bounded retry/backoff, then a per-peer cooldown while the peer is
+//     down); each carries a HELLO frame first. Inbound connections are
+//     receive-only, outgoing connections send-only.
+//   * Time is scaled wall clock: `time_scale` real seconds per SimTime unit.
+//     Timers live in a per-node table serviced by the node's poll loop.
+//   * Crash-stop: crash() makes the loop run on_crash, drop every socket
+//     (including the listener) and exit its thread. revive() re-binds the
+//     same address and spawns a fresh thread that runs the registered
+//     on_revive callback. Actual crash/revive times (in SimTime) are
+//     recorded for the offline oracle.
+//   * Flow control is structural: one bounded read per connection per wake
+//     feeds frames that are dispatched inline, so a slow node simply lets
+//     TCP/socket buffers fill and senders queue in their outbufs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "metrics/counters.hpp"
+#include "rt/socket.hpp"
+#include "transport/endpoint.hpp"
+#include "transport/node.hpp"
+
+namespace hpd::rt {
+
+struct LiveConfig {
+  SockAddr::Kind socket_kind = SockAddr::Kind::kUnix;
+  /// Real seconds per SimTime unit. 0.02 → one protocol time unit is 20 ms,
+  /// comfortably above scheduler jitter even under TSan.
+  double time_scale = 0.02;
+  /// Bytes read per connection per loop wake (inbound flow-control gate).
+  std::size_t read_chunk = std::size_t{64} * 1024;
+  /// Blocking connect: attempts and doubling backoff between them.
+  int connect_retries = 5;
+  std::chrono::milliseconds connect_backoff{1};
+  /// After a failed connect / broken pipe, drop sends to the peer without
+  /// re-dialing for this long.
+  std::chrono::milliseconds peer_down_cooldown{50};
+  /// Directory for unix socket paths; empty → private mkdtemp directory
+  /// (removed at shutdown).
+  std::string socket_dir;
+};
+
+/// Handshake version carried in every connection's HELLO frame.
+inline constexpr std::uint64_t kLiveProtocolVersion = 1;
+
+/// An actual (measured) crash or revive instant, in SimTime units.
+struct LifeEvent {
+  ProcessId node = kNoProcess;
+  SimTime time = 0.0;
+};
+
+class LiveTransport;
+
+/// One node's view of the live transport. Satisfies transport::Endpoint;
+/// all calls except now()/alive() must come from the node's loop thread.
+class LiveEndpoint final : public transport::Endpoint {
+ public:
+  SimTime now() const override;
+  void send(transport::Message msg) override;
+  transport::TimerId set_timer(ProcessId id, int tag, SimTime delay,
+                               bool periodic = false,
+                               SimTime period = 0.0) override;
+  void cancel_timer(transport::TimerId id) override;
+  bool alive(ProcessId id) const override;
+
+ private:
+  friend class LiveTransport;
+  LiveEndpoint() = default;
+  LiveTransport* transport_ = nullptr;
+  ProcessId self_ = kNoProcess;
+};
+
+class LiveTransport {
+ public:
+  explicit LiveTransport(std::size_t n, LiveConfig cfg = {});
+  ~LiveTransport();
+
+  LiveTransport(const LiveTransport&) = delete;
+  LiveTransport& operator=(const LiveTransport&) = delete;
+
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Restrict which ordered pairs may exchange one-hop messages (mirrors
+  /// sim::Network's link filter). Must be set before start().
+  void set_link_filter(std::function<bool(ProcessId, ProcessId)> link_ok);
+
+  /// Attach the protocol node for `id`. `metrics` (nullable) receives
+  /// on_send accounting — give each node its own registry, the loop thread
+  /// writes to it. `on_revive` runs on the fresh loop thread after revive().
+  void register_node(ProcessId id, transport::Node& node,
+                     MetricsRegistry* metrics = nullptr,
+                     std::function<void()> on_revive = nullptr);
+
+  /// The Endpoint to hand to node `id`'s protocol stack. Valid from
+  /// construction (before start()).
+  transport::Endpoint& endpoint(ProcessId id);
+
+  /// Bind all listeners, reset the clock to 0, spawn one loop thread per
+  /// node (each runs its node's on_start()).
+  void start();
+
+  /// Ask every loop to exit and join the threads. Idempotent.
+  void stop();
+
+  /// Crash-stop `id`: its loop runs on_crash, closes every socket and
+  /// exits. Blocks until the thread is gone; the actual SimTime is recorded
+  /// (crash_events()).
+  void crash(ProcessId id);
+
+  /// Bring a crashed node back: re-bind the same address, spawn a fresh
+  /// loop thread that first runs the registered on_revive callback.
+  void revive(ProcessId id);
+
+  bool alive(ProcessId id) const;
+  std::size_t alive_count() const;
+
+  /// Scaled wall clock, SimTime units since start(). Any thread.
+  SimTime now() const;
+  /// Block the calling (driver) thread until now() >= t.
+  void sleep_until(SimTime t) const;
+
+  /// Run `fn` on `id`'s loop thread (asynchronously). False if `id` is not
+  /// alive. The synchronous variant waits for completion; it returns false
+  /// if the node died before running `fn`. Never call it from a node
+  /// thread — that deadlocks.
+  bool post(ProcessId id, std::function<void()> fn);
+  bool run_on_node_sync(ProcessId id, std::function<void()> fn);
+
+  /// Measured fault timeline (SimTime), for the offline oracle.
+  std::vector<LifeEvent> crash_events() const;
+  std::vector<LifeEvent> revive_events() const;
+
+  // ---- Diagnostics: stable only once the relevant threads have stopped ----
+  std::uint64_t delivered_messages() const;
+  std::uint64_t dropped_messages() const;
+  std::uint64_t frame_errors() const;
+  std::uint64_t connections_accepted() const;
+
+ private:
+  friend class LiveEndpoint;
+  struct NodeCtx;
+  struct Conn;
+
+  NodeCtx& ctx(ProcessId id);
+  const NodeCtx& ctx(ProcessId id) const;
+  std::chrono::steady_clock::duration to_real(SimTime d) const;
+
+  void node_loop(NodeCtx& c, bool initial);
+  void loop_iteration(NodeCtx& c);
+  void fire_due_timers(NodeCtx& c);
+  void handle_payload(NodeCtx& c, Conn& conn,
+                      const std::vector<std::uint8_t>& payload);
+  void do_send(NodeCtx& c, transport::Message msg);
+  Conn* outgoing_conn(NodeCtx& c, ProcessId dst);
+  bool flush_conn(Conn& conn);
+  void drop_outgoing(NodeCtx& c, ProcessId peer);
+  void do_crash(NodeCtx& c);
+  void shutdown_io(NodeCtx& c);
+  void wake(NodeCtx& c);
+
+  transport::TimerId do_set_timer(NodeCtx& c, int tag, SimTime delay,
+                                  bool periodic, SimTime period);
+  void do_cancel_timer(NodeCtx& c, transport::TimerId id);
+
+  LiveConfig cfg_;
+  std::string socket_dir_;
+  bool own_socket_dir_ = false;
+  std::function<bool(ProcessId, ProcessId)> link_ok_;
+  std::vector<std::unique_ptr<NodeCtx>> nodes_;
+  std::chrono::steady_clock::time_point start_;
+  bool started_ = false;
+
+  mutable std::mutex events_mutex_;
+  std::vector<LifeEvent> crashes_;
+  std::vector<LifeEvent> revives_;
+};
+
+}  // namespace hpd::rt

@@ -1,0 +1,79 @@
+// Thin RAII layer over the POSIX sockets the live transport runs on:
+// loopback TCP (127.0.0.1, ephemeral ports) or Unix-domain stream sockets
+// (one path per node under a private directory). Everything here is
+// blocking-free except connect, which the caller wraps in a retry/backoff
+// loop (rt/live_transport).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace hpd::rt {
+
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Move-only file-descriptor owner.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Where a node listens. For TCP, `port == 0` asks the kernel for an
+/// ephemeral port and listen_on fills in the chosen one — the port then
+/// stays stable across crash/revive (re-bound with SO_REUSEADDR).
+struct SockAddr {
+  enum class Kind { kTcp, kUnix };
+  Kind kind = Kind::kUnix;
+  std::string path;         ///< unix-domain socket path
+  std::uint16_t port = 0;   ///< tcp port on 127.0.0.1
+};
+
+/// Bind + listen on `addr` (mutated: tcp port filled in). Non-blocking.
+Fd listen_on(SockAddr& addr);
+
+/// Accept one pending connection (non-blocking); invalid Fd if none.
+Fd accept_conn(const Fd& listener);
+
+/// One blocking connect attempt; invalid Fd on refusal/failure. The
+/// returned socket is switched to non-blocking.
+Fd connect_to(const SockAddr& addr);
+
+void set_nonblocking(int fd);
+
+/// Create a private directory for unix socket paths (mkdtemp under
+/// $TMPDIR). Returns the path; the caller removes it at shutdown.
+std::string make_socket_dir();
+void remove_socket_dir(const std::string& dir);
+
+}  // namespace hpd::rt

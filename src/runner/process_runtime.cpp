@@ -201,7 +201,7 @@ void ProcessRuntime::app_send(ProcessId dst, int subtype, SeqNum round) {
   send(dst, proto::kApp, p);
 }
 
-void ProcessRuntime::on_message(const sim::Message& msg) {
+void ProcessRuntime::on_message(const transport::Message& msg) {
   if (!shared_.config->wire_encoding) {
     dispatch(msg);
     return;
@@ -211,7 +211,7 @@ void ProcessRuntime::on_message(const sim::Message& msg) {
       std::any_cast<const std::vector<std::uint8_t>&>(msg.payload);
   const wire::DecodedMessage dm = wire::decode(bytes);
   HPD_ASSERT(dm.type == msg.type, "wire: tag/type mismatch");
-  sim::Message typed = msg;
+  transport::Message typed = msg;
   switch (dm.type) {
     case proto::kApp:
       typed.payload = dm.app;
@@ -259,7 +259,7 @@ void ProcessRuntime::on_message(const sim::Message& msg) {
   dispatch(typed);
 }
 
-void ProcessRuntime::dispatch(const sim::Message& msg) {
+void ProcessRuntime::dispatch(const transport::Message& msg) {
   switch (msg.type) {
     case proto::kApp: {
       const auto& p = std::any_cast<const proto::AppPayload&>(msg.payload);

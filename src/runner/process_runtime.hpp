@@ -1,7 +1,11 @@
-// One simulated process: application layer (workload behaviour + vector
+// One protocol process: application layer (workload behaviour + vector
 // clock), detection layer (hierarchical engine, or centralized sink /
 // relay), and failure-handling layer (heartbeats + reattachment), sharing
-// the process's single network endpoint.
+// the process's single transport endpoint.
+//
+// The runtime is written against transport::Endpoint only, so the exact
+// same code executes inside the deterministic simulator (sim::Network) and
+// over real threads + sockets (rt::LiveTransport).
 #pragma once
 
 #include <deque>
@@ -17,8 +21,9 @@
 #include "ft/reattach.hpp"
 #include "proto/messages.hpp"
 #include "runner/experiment.hpp"
-#include "sim/network.hpp"
 #include "trace/app_core.hpp"
+#include "transport/endpoint.hpp"
+#include "transport/node.hpp"
 #include "wire/codec.hpp"
 
 namespace hpd::runner {
@@ -77,12 +82,15 @@ inline std::vector<std::uint8_t> encode_payload(int,
   return wire::encode(p);
 }
 
-class ProcessRuntime final : public sim::Node {
+class ProcessRuntime final : public transport::Node {
  public:
   /// Experiment-wide context shared by all runtimes (owned by the driver).
+  /// In the live runtime, metrics / occurrences / global_count point at
+  /// per-node storage (merged at shutdown) so node threads never share
+  /// mutable state.
   struct Shared {
     const ExperimentConfig* config = nullptr;
-    sim::Network* net = nullptr;
+    transport::Endpoint* net = nullptr;
     MetricsRegistry* metrics = nullptr;
     std::vector<detect::OccurrenceRecord>* occurrences = nullptr;  // nullable
     std::uint64_t* global_count = nullptr;
@@ -91,9 +99,9 @@ class ProcessRuntime final : public sim::Node {
 
   ProcessRuntime(ProcessId self, const Shared& shared, Rng rng);
 
-  // sim::Node
+  // transport::Node
   void on_start() override;
-  void on_message(const sim::Message& msg) override;
+  void on_message(const transport::Message& msg) override;
   void on_timer(int tag) override;
 
   // ---- Inspection (results collection / tests) ---------------------------
@@ -139,7 +147,7 @@ class ProcessRuntime final : public sim::Node {
   /// Send a protocol payload, typed in-memory or byte-encoded (wire mode).
   template <typename P>
   void send(ProcessId dst, int type, const P& p) {
-    sim::Message m;
+    transport::Message m;
     m.src = self_;
     m.dst = dst;
     m.type = type;
@@ -155,7 +163,7 @@ class ProcessRuntime final : public sim::Node {
   }
 
   /// The typed dispatch (payload already decoded in wire mode).
-  void dispatch(const sim::Message& msg);
+  void dispatch(const transport::Message& msg);
 
   // Application plumbing.
   void app_send(ProcessId dst, int subtype, SeqNum round);

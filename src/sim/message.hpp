@@ -1,22 +1,13 @@
 // Typed point-to-point messages exchanged by simulated nodes.
+//
+// The struct itself lives in transport/ (it is shared verbatim with the
+// live runtime); this alias keeps the historical sim:: spelling working.
 #pragma once
 
-#include <any>
-#include <cstdint>
-
-#include "common/types.hpp"
+#include "transport/message.hpp"
 
 namespace hpd::sim {
 
-struct Message {
-  ProcessId src = kNoProcess;
-  ProcessId dst = kNoProcess;
-  int type = 0;              ///< protocol-defined tag (see proto/messages.hpp)
-  std::any payload;          ///< typed body, or encoded bytes (wire mode)
-  std::size_t wire_words = 0;  ///< payload size in vector-clock words (O(n) units)
-  std::size_t wire_bytes = 0;  ///< encoded size in bytes (0 when not encoded)
-  SeqNum id = 0;             ///< unique id assigned by the network at send time
-  SimTime sent_at = 0.0;     ///< stamped by the network
-};
+using Message = transport::Message;
 
 }  // namespace hpd::sim

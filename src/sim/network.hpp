@@ -1,6 +1,10 @@
 // The simulated network: asynchronous point-to-point message delivery with
 // randomized (hence non-FIFO) delays, per-node timers, and crash-stop
 // failures. All behaviour is deterministic given the Rng seed.
+//
+// Network is the simulator backend of transport::Endpoint — the interface
+// runner::ProcessRuntime is written against — so the same protocol stack
+// also runs over the live thread/socket transport (rt::LiveTransport).
 #pragma once
 
 #include <cstdint>
@@ -16,13 +20,14 @@
 #include "sim/node.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/strategy.hpp"
+#include "transport/endpoint.hpp"
 
 namespace hpd::sim {
 
-using TimerId = std::uint64_t;
-inline constexpr TimerId kNoTimer = 0;
+using TimerId = transport::TimerId;
+inline constexpr TimerId kNoTimer = transport::kNoTimer;
 
-class Network {
+class Network final : public transport::Endpoint {
  public:
   /// `link_ok(a, b)` restricts which pairs may exchange messages directly
   /// (one hop); pass nullptr for an unrestricted (complete) network.
@@ -34,7 +39,7 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   std::size_t size() const { return nodes_.size(); }
-  SimTime now() const { return sched_.now(); }
+  SimTime now() const override { return sched_.now(); }
   Scheduler& scheduler() { return sched_; }
   Rng& rng() { return rng_; }
   MetricsRegistry& metrics() { return metrics_; }
@@ -54,13 +59,13 @@ class Network {
   /// on_revive). Messages sent to it while dead are gone.
   void revive(ProcessId id);
 
-  bool alive(ProcessId id) const;
+  bool alive(ProcessId id) const override;
   std::size_t alive_count() const;
 
   /// Send a one-hop message. Drops silently (with a counter) if the source
   /// has crashed or the link is not allowed; delivery is dropped if the
   /// destination has crashed by arrival time.
-  void send(Message msg);
+  void send(Message msg) override;
 
   /// Install a scheduling strategy (non-owning; the caller keeps it alive
   /// and must not swap it mid-run). nullptr restores the default behaviour
@@ -69,8 +74,8 @@ class Network {
 
   /// One-shot or periodic timer for a node. Fires on_timer(tag).
   TimerId set_timer(ProcessId id, int tag, SimTime delay, bool periodic = false,
-                    SimTime period = 0.0);
-  void cancel_timer(TimerId id);
+                    SimTime period = 0.0) override;
+  void cancel_timer(TimerId id) override;
 
   /// Diagnostics.
   std::uint64_t dropped_messages() const { return dropped_; }

@@ -1,27 +1,13 @@
 // Interface every simulated node implements.
+//
+// The interface lives in transport/ (live-runtime nodes implement the same
+// one); this alias keeps the historical sim:: spelling working.
 #pragma once
 
-#include "sim/message.hpp"
+#include "transport/node.hpp"
 
 namespace hpd::sim {
 
-class Node {
- public:
-  virtual ~Node() = default;
-
-  /// Invoked once when the simulation starts (Network::start()).
-  virtual void on_start() {}
-
-  /// A message addressed to this node has been delivered.
-  virtual void on_message(const Message& msg) = 0;
-
-  /// A timer set via Network::set_timer fired. `tag` is caller-defined.
-  virtual void on_timer(int tag) { (void)tag; }
-
-  /// This node has crashed (crash-stop). Called exactly once, at crash time,
-  /// so implementations can drop resources; after this, the network never
-  /// invokes the node again.
-  virtual void on_crash() {}
-};
+using Node = transport::Node;
 
 }  // namespace hpd::sim

@@ -1,0 +1,28 @@
+// Typed point-to-point messages exchanged by protocol nodes.
+//
+// The same Message travels over every transport backend: the deterministic
+// simulator passes it by value through the event queue (payload may be a
+// typed proto struct), while the live runtime requires the payload to be
+// codec bytes (wire/codec) and ships them inside a checksummed frame
+// (wire/frame).
+#pragma once
+
+#include <any>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace hpd::transport {
+
+struct Message {
+  ProcessId src = kNoProcess;
+  ProcessId dst = kNoProcess;
+  int type = 0;              ///< protocol-defined tag (see proto/messages.hpp)
+  std::any payload;          ///< typed body, or encoded bytes (wire mode)
+  std::size_t wire_words = 0;  ///< payload size in vector-clock words (O(n) units)
+  std::size_t wire_bytes = 0;  ///< encoded size in bytes (0 when not encoded)
+  SeqNum id = 0;             ///< unique id assigned by the transport at send time
+  SimTime sent_at = 0.0;     ///< stamped by the transport
+};
+
+}  // namespace hpd::transport

@@ -1,5 +1,7 @@
 #include "wire/codec.hpp"
 
+#include <memory>
+
 #include "common/assert.hpp"
 
 namespace hpd::wire {
@@ -69,7 +71,22 @@ void Encoder::put_interval(const Interval& x) {
   put_varint(pid_wire(x.origin));
   put_varint(x.seq);
   put_varint(x.weight);
-  put_u8(x.aggregated ? 1 : 0);
+  // Provenance travels (flattened to its base set) only when attached, i.e.
+  // in track_provenance runs — the live differential oracle needs the base
+  // sets to survive the socket. Untracked runs keep the compact format.
+  const auto bases = base_intervals(x);
+  std::uint8_t flags = x.aggregated ? 1 : 0;
+  if (!bases.empty()) {
+    flags |= 2;
+  }
+  put_u8(flags);
+  if (!bases.empty()) {
+    put_varint(bases.size());
+    for (const auto& [origin, seq] : bases) {
+      put_varint(pid_wire(origin));
+      put_varint(seq);
+    }
+  }
 }
 
 // ---- Decoder ----------------------------------------------------------------
@@ -133,7 +150,28 @@ Interval Decoder::get_interval() {
     throw DecodeError("interval weight out of range");
   }
   x.weight = static_cast<std::uint32_t>(w);
-  x.aggregated = get_u8() != 0;
+  const std::uint8_t flags = get_u8();
+  if ((flags & ~std::uint8_t{0x03}) != 0) {
+    throw DecodeError("interval flags unknown");
+  }
+  x.aggregated = (flags & 1) != 0;
+  if ((flags & 2) != 0) {
+    const std::uint64_t k = get_varint();
+    if (k == 0 || k > remaining()) {  // each base pair takes >= 2 bytes
+      throw DecodeError("interval provenance size");
+    }
+    auto prov = std::make_shared<Provenance>();
+    prov->origin = x.origin;
+    prov->seq = x.seq;
+    prov->parts.reserve(static_cast<std::size_t>(k));
+    for (std::uint64_t i = 0; i < k; ++i) {
+      auto base = std::make_shared<Provenance>();
+      base->origin = pid_unwire(get_varint(), "interval provenance");
+      base->seq = get_varint();
+      prov->parts.push_back(std::move(base));
+    }
+    x.provenance = std::move(prov);
+  }
   return x;
 }
 

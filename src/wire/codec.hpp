@@ -12,7 +12,10 @@
 //   varint  — unsigned LEB128, 1–10 bytes
 //   clock   — varint n, then n varint components
 //   interval— clock lo, clock hi, varint origin+1, varint seq,
-//             varint weight, u8 aggregated
+//             varint weight, u8 flags (bit 0 = aggregated, bit 1 =
+//             provenance follows: varint count, then per base interval
+//             varint origin+1 + varint seq). Provenance is attached only
+//             in track_provenance runs; production intervals stay compact.
 //   every message body starts with u8 type tag (proto::MsgType)
 #pragma once
 

@@ -1,0 +1,125 @@
+#include "wire/frame.hpp"
+
+#include <array>
+
+namespace hpd::wire {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  constexpr std::uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 reflected
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc32c_table() {
+  static const std::array<std::uint32_t, 256> table = make_crc32c_table();
+  return table;
+}
+
+/// Length prefixes are ordinary LEB128 varints but capped at 5 bytes —
+/// enough for kMaxFramePayload — so a garbage stream cannot make the reader
+/// buffer unbounded amounts while "waiting" for a huge length.
+constexpr std::size_t kMaxLenBytes = 5;
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> bytes, std::uint32_t seed) {
+  const auto& table = crc32c_table();
+  std::uint32_t crc = ~seed;
+  for (const std::uint8_t b : bytes) {
+    crc = (crc >> 8) ^ table[(crc ^ b) & 0xFFu];
+  }
+  return ~crc;
+}
+
+void append_frame(std::vector<std::uint8_t>& out,
+                  std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw FrameError("frame payload exceeds kMaxFramePayload");
+  }
+  out.reserve(out.size() + payload.size() + kMaxLenBytes + 4);
+  put_varint(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = crc32c(payload);
+  out.push_back(static_cast<std::uint8_t>(crc & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>((crc >> 8) & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>((crc >> 16) & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>((crc >> 24) & 0xFFu));
+}
+
+std::vector<std::uint8_t> frame(std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  append_frame(out, payload);
+  return out;
+}
+
+void FrameReader::feed(std::span<const std::uint8_t> bytes) {
+  // Reclaim the consumed prefix before growing (amortized O(1) per byte).
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 4096)) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<std::vector<std::uint8_t>> FrameReader::next() {
+  // Decode the length prefix without committing pos_ (it may be truncated).
+  std::uint64_t len = 0;
+  std::size_t shift = 0;
+  std::size_t used = 0;
+  while (true) {
+    if (pos_ + used >= buf_.size()) {
+      return std::nullopt;  // truncated length prefix: wait for more bytes
+    }
+    if (used >= kMaxLenBytes) {
+      throw FrameError("frame length prefix too long");
+    }
+    const std::uint8_t b = buf_[pos_ + used];
+    ++used;
+    len |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
+    if ((b & 0x80u) == 0) {
+      break;
+    }
+    shift += 7;
+  }
+  if (len > kMaxFramePayload) {
+    throw FrameError("frame payload length exceeds kMaxFramePayload");
+  }
+  const std::size_t total = used + static_cast<std::size_t>(len) + 4;
+  if (buf_.size() - pos_ < total) {
+    return std::nullopt;  // truncated body or checksum: wait for more bytes
+  }
+  const std::uint8_t* body = buf_.data() + pos_ + used;
+  const std::uint8_t* tail = body + len;
+  const std::uint32_t expect = static_cast<std::uint32_t>(tail[0]) |
+                               static_cast<std::uint32_t>(tail[1]) << 8 |
+                               static_cast<std::uint32_t>(tail[2]) << 16 |
+                               static_cast<std::uint32_t>(tail[3]) << 24;
+  const std::uint32_t got =
+      crc32c(std::span<const std::uint8_t>(body, static_cast<std::size_t>(len)));
+  if (got != expect) {
+    throw FrameError("frame checksum mismatch");
+  }
+  std::vector<std::uint8_t> payload(body, tail);
+  pos_ += total;
+  return payload;
+}
+
+}  // namespace hpd::wire

@@ -9,7 +9,11 @@
 //   hpd_sim --topology geometric:60:0.22 --fault-tolerant --fail 500:3
 //           --workload pulse:rounds=15,participation=0.9 --occurrences
 //   hpd_sim --topology grid:4x4 --detector central --workload gossip:horizon=400
+//   hpd_sim --live --topology grid:4x4 --workload pulse:rounds=7,period=30
+//           --fail 40:5 --revive 70:5
 //   hpd_sim --help
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -19,6 +23,8 @@
 #include <vector>
 
 #include "analysis/execution_stats.hpp"
+#include "mc/mc_case.hpp"
+#include "mc/oracles.hpp"
 #include "mc/repro.hpp"
 #include "metrics/report.hpp"
 #include "net/render.hpp"
@@ -26,6 +32,7 @@
 #include "net/topology.hpp"
 #include "parallel/thread_pool.hpp"
 #include "proto/messages.hpp"
+#include "rt/live_runner.hpp"
 #include "runner/experiment.hpp"
 #include "trace/gossip.hpp"
 #include "trace/pulse.hpp"
@@ -47,7 +54,16 @@ namespace {
                       gossip:horizon=T,gap=G,psend=X,ptoggle=Y,maxintervals=K
                       (default pulse:rounds=10)
   --fail T:NODE       crash NODE at time T (repeatable)
+  --revive T:NODE     bring NODE back at time T (repeatable)
   --fault-tolerant    enable heartbeats + tree repair (hier only)
+  --live              run over real threads + sockets (rt::LiveTransport)
+                      instead of the simulator, then check the merged
+                      detection stream against the offline oracles; exits 0
+                      iff they hold. Topology must be dary:D:H or grid:RxC,
+                      workload pulse or gossip, detector hier.
+  --live-transport K  unix | tcp  (default unix; loopback either way)
+  --live-scale S      real seconds per protocol time unit (default 0.01)
+  --json              machine-readable JSON report on stdout
   --seed N            RNG seed (default 1)
   --repeat N          run N seeds (seed .. seed+N-1) in parallel and print
                       aggregate statistics instead of one run's report
@@ -110,10 +126,15 @@ struct Options {
   bool fault_tolerant = false;
   bool list_occurrences = false;
   bool csv = false;
+  bool json = false;
+  bool live = false;
+  bool live_tcp = false;
+  double live_scale = 0.01;
   std::uint64_t seed = 1;
   std::size_t repeat = 1;
   ProcessId root = 0;
   std::vector<runner::FailureEvent> failures;
+  std::vector<runner::FailureEvent> recoveries;
   std::string dump_execution;
   std::string dump_occurrences;
   std::string repro;
@@ -269,6 +290,35 @@ Options parse(int argc, char** argv) {
       opt.failures.push_back(runner::FailureEvent{
           num_arg(parts[0], "fail time"),
           static_cast<ProcessId>(num_arg(parts[1], "fail node"))});
+    } else if (arg == "--revive") {
+      const auto parts = split(value(), ':');
+      if (parts.size() != 2) {
+        std::cerr << "--revive expects T:NODE\n";
+        std::exit(2);
+      }
+      opt.recoveries.push_back(runner::FailureEvent{
+          num_arg(parts[0], "revive time"),
+          static_cast<ProcessId>(num_arg(parts[1], "revive node"))});
+    } else if (arg == "--live") {
+      opt.live = true;
+    } else if (arg == "--live-transport") {
+      const std::string v = value();
+      if (v == "unix") {
+        opt.live_tcp = false;
+      } else if (v == "tcp") {
+        opt.live_tcp = true;
+      } else {
+        std::cerr << "--live-transport must be unix|tcp\n";
+        std::exit(2);
+      }
+    } else if (arg == "--live-scale") {
+      opt.live_scale = num_arg(value(), "live-scale");
+      if (opt.live_scale <= 0.0) {
+        std::cerr << "--live-scale needs a positive value\n";
+        std::exit(2);
+      }
+    } else if (arg == "--json") {
+      opt.json = true;
     } else if (arg == "--fault-tolerant") {
       opt.fault_tolerant = true;
     } else if (arg == "--occurrences") {
@@ -303,6 +353,358 @@ Options parse(int argc, char** argv) {
   return opt;
 }
 
+const char* detector_name(runner::DetectorKind k) {
+  switch (k) {
+    case runner::DetectorKind::kHierarchical:
+      return "hier";
+    case runner::DetectorKind::kCentralized:
+      return "central";
+    case runner::DetectorKind::kPossiblyCentralized:
+      return "possibly";
+  }
+  return "?";
+}
+
+// ---- JSON report ------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  std::ostringstream ss;
+  ss << v;
+  return ss.str();
+}
+
+/// Live-run context threaded into the shared report: transport diagnostics
+/// plus the offline-oracle verdict on the merged detection stream.
+struct LiveInfo {
+  const char* transport = "unix";
+  double scale = 0.0;
+  const rt::LiveResult* res = nullptr;
+  const std::vector<std::string>* violations = nullptr;
+};
+
+void report_json(std::ostream& os, const Options& opt,
+                 const runner::ExperimentConfig& cfg,
+                 const runner::ExperimentResult& result,
+                 const LiveInfo* live) {
+  os << "{\n";
+  os << "  \"mode\": \"" << (live != nullptr ? "live" : "sim") << "\",\n";
+  os << "  \"network\": {\"n\": " << cfg.topology.size()
+     << ", \"edges\": " << cfg.topology.num_edges()
+     << ", \"tree_height\": " << cfg.tree.height()
+     << ", \"max_degree\": " << cfg.tree.max_degree() << ", \"detector\": \""
+     << detector_name(cfg.detector) << "\", \"seed\": " << cfg.seed << "},\n";
+  os << "  \"summary\": {\"global_detections\": " << result.global_count
+     << ", \"all_detections\": " << result.metrics.total_detections()
+     << ", \"measured_alpha\": " << json_num(result.measured_alpha())
+     << ", \"vc_comparisons\": " << result.metrics.total_vc_comparisons()
+     << ", \"storage_peak_max\": " << result.metrics.max_node_storage_peak()
+     << ", \"storage_peak_sum\": " << result.metrics.sum_node_storage_peak()
+     << ", \"dropped_messages\": " << result.dropped_messages
+     << ", \"sim_events\": " << result.sim_events << "},\n";
+  os << "  \"messages\": {";
+  for (const auto& [type, count] : result.metrics.msgs_by_type()) {
+    os << "\"" << json_escape(result.metrics.message_type_name(type))
+       << "\": " << count << ", ";
+  }
+  os << "\"total\": " << result.metrics.msgs_total() << "}";
+  if (opt.list_occurrences) {
+    os << ",\n  \"occurrences\": [";
+    bool first = true;
+    for (const auto& rec : result.occurrences) {
+      os << (first ? "" : ", ") << "{\"t\": " << json_num(rec.time)
+         << ", \"node\": " << rec.detector << ", \"index\": " << rec.index
+         << ", \"global\": " << (rec.global ? "true" : "false") << "}";
+      first = false;
+    }
+    os << "]";
+  }
+  if (live != nullptr) {
+    os << ",\n  \"live\": {\"transport\": \"" << live->transport
+       << "\", \"scale\": " << json_num(live->scale)
+       << ", \"delivered_messages\": " << live->res->delivered_messages
+       << ", \"frame_errors\": " << live->res->frame_errors
+       << ", \"connections_accepted\": " << live->res->connections_accepted;
+    auto put_events = [&](const char* key,
+                          const std::vector<rt::LifeEvent>& evs) {
+      os << ", \"" << key << "\": [";
+      bool first = true;
+      for (const rt::LifeEvent& ev : evs) {
+        os << (first ? "" : ", ") << "{\"t\": " << json_num(ev.time)
+           << ", \"node\": " << ev.node << "}";
+        first = false;
+      }
+      os << "]";
+    };
+    put_events("crashes", live->res->actual_crashes);
+    put_events("recoveries", live->res->actual_recoveries);
+    os << ", \"oracle\": \""
+       << (live->violations->empty() ? "PASS" : "FAIL") << "\"";
+    os << ", \"violations\": [";
+    bool first = true;
+    for (const std::string& v : *live->violations) {
+      os << (first ? "" : ", ") << "\"" << json_escape(v) << "\"";
+      first = false;
+    }
+    os << "]}";
+  }
+  os << "\n}\n";
+}
+
+// ---- Text report ------------------------------------------------------------
+
+void report_text(std::ostream& os, const Options& opt,
+                 const runner::ExperimentConfig& cfg,
+                 const runner::ExperimentResult& result,
+                 const LiveInfo* live) {
+  os << "network: n=" << cfg.topology.size()
+     << " edges=" << cfg.topology.num_edges()
+     << " tree-height=" << cfg.tree.height()
+     << " max-degree=" << cfg.tree.max_degree()
+     << " detector=" << detector_name(cfg.detector) << " seed=" << cfg.seed
+     << "\n\n";
+
+  if (opt.list_occurrences) {
+    TextTable t({"t", "node", "#", "scope"});
+    for (const auto& rec : result.occurrences) {
+      t.add_row({TextTable::num(rec.time, 1), std::to_string(rec.detector),
+                 std::to_string(rec.index),
+                 rec.global ? "GLOBAL" : "subtree"});
+    }
+    opt.csv ? t.print_csv(os) : t.print(os);
+    os << '\n';
+  }
+
+  TextTable summary({"metric", "value"});
+  summary.add_row({"global detections", std::to_string(result.global_count)});
+  summary.add_row(
+      {"all detections", std::to_string(result.metrics.total_detections())});
+  summary.add_row({"measured alpha",
+                   TextTable::num(result.measured_alpha(), 3)});
+  summary.add_row({"vc comparisons",
+                   std::to_string(result.metrics.total_vc_comparisons())});
+  summary.add_row({"storage peak (worst node)",
+                   std::to_string(result.metrics.max_node_storage_peak())});
+  summary.add_row({"storage peak (sum)",
+                   std::to_string(result.metrics.sum_node_storage_peak())});
+  summary.add_row(
+      {"dropped messages", std::to_string(result.dropped_messages)});
+  summary.add_row({"sim events", std::to_string(result.sim_events)});
+  opt.csv ? summary.print_csv(os) : summary.print(os);
+  os << '\n';
+
+  TextTable msgs({"message type", "count"});
+  for (const auto& [type, count] : result.metrics.msgs_by_type()) {
+    msgs.add_row({result.metrics.message_type_name(type),
+                  std::to_string(count)});
+  }
+  msgs.add_row({"total", std::to_string(result.metrics.msgs_total())});
+  opt.csv ? msgs.print_csv(os) : msgs.print(os);
+
+  if (!opt.failures.empty()) {
+    os << "\nfinal control tree (survivors):\n";
+    for (std::size_t i = 0; i < result.final_alive.size(); ++i) {
+      if (!result.final_alive[i]) {
+        os << "  " << i << ": crashed\n";
+      } else if (result.final_parents[i] == kNoProcess) {
+        os << "  " << i << ": root\n";
+      }
+    }
+  }
+
+  if (live != nullptr) {
+    os << "\nlive transport: " << live->transport
+       << " scale=" << live->scale
+       << " delivered=" << live->res->delivered_messages
+       << " frame-errors=" << live->res->frame_errors
+       << " connections=" << live->res->connections_accepted << "\n";
+    for (const rt::LifeEvent& ev : live->res->actual_crashes) {
+      os << "measured crash: node " << ev.node
+         << " at t=" << TextTable::num(ev.time, 1) << "\n";
+    }
+    for (const rt::LifeEvent& ev : live->res->actual_recoveries) {
+      os << "measured revive: node " << ev.node
+         << " at t=" << TextTable::num(ev.time, 1) << "\n";
+    }
+    for (const std::string& v : *live->violations) {
+      os << "  violation: " << v << "\n";
+    }
+    os << "live oracle: "
+       << (live->violations->empty() ? "PASS" : "FAIL") << "\n";
+  }
+}
+
+/// Post-run reporting shared by the simulated and live paths: tree render,
+/// file dumps, profile, then the JSON or text report. Returns the process
+/// exit code (nonzero iff a live run failed its oracles).
+int report(const Options& opt, const runner::ExperimentConfig& cfg,
+           const runner::ExperimentResult& result, const LiveInfo* live) {
+  // In --json mode stdout carries exactly one JSON document; route the
+  // human-oriented side outputs to stderr instead of suppressing them.
+  std::ostream& side = opt.json ? std::cerr : std::cout;
+
+  if (opt.show_tree && !opt.json) {
+    side << "initial spanning tree:\n";
+    net::render_tree(side, cfg.tree);
+    if (!opt.failures.empty()) {
+      side << "final forest (survivors):\n";
+      net::render_forest(side, result.final_parents, &result.final_alive);
+    }
+    side << '\n';
+  }
+
+  if (!opt.dump_execution.empty()) {
+    std::ofstream f(opt.dump_execution);
+    if (!f) {
+      std::cerr << "cannot open " << opt.dump_execution << "\n";
+      return 1;
+    }
+    trace::write_execution(f, result.execution);
+    side << "execution written to " << opt.dump_execution << "\n";
+  }
+  if (!opt.dump_occurrences.empty()) {
+    std::ofstream f(opt.dump_occurrences);
+    if (!f) {
+      std::cerr << "cannot open " << opt.dump_occurrences << "\n";
+      return 1;
+    }
+    trace::write_occurrences_csv(f, result.occurrences);
+    side << "occurrences written to " << opt.dump_occurrences << "\n";
+  }
+
+  if (opt.stats && !opt.json) {
+    analysis::print_stats(side, analysis::compute_stats(result.execution));
+    side << '\n';
+  }
+
+  if (opt.json) {
+    report_json(std::cout, opt, cfg, result, live);
+  } else {
+    report_text(std::cout, opt, cfg, result, live);
+  }
+  return (live != nullptr && !live->violations->empty()) ? 1 : 0;
+}
+
+// ---- Live mode --------------------------------------------------------------
+
+/// Translate the CLI options into a model-checker case so the live run can
+/// be judged by exactly the oracles the checker uses. Only the case-schema
+/// topologies and workloads are expressible.
+mc::McCase build_live_case(const Options& opt) {
+  mc::McCase c;
+  const auto topo = split(opt.topology, ':');
+  if (topo.empty() || (topo[0] != "dary" && topo[0] != "grid")) {
+    std::cerr << "--live supports only dary:D:H or grid:RxC topologies\n";
+    std::exit(2);
+  }
+  c.topology = opt.topology;
+  const auto colon = opt.workload.find(':');
+  const std::string kind = opt.workload.substr(0, colon);
+  const auto kv = kv_args(
+      colon == std::string::npos ? "" : opt.workload.substr(colon + 1));
+  auto get = [&](const char* key, double dflt) {
+    auto it = kv.find(key);
+    return it == kv.end() ? dflt : it->second;
+  };
+  if (kind == "pulse") {
+    c.workload = mc::WorkloadKind::kPulse;
+    c.pulse_rounds = static_cast<SeqNum>(get("rounds", 10));
+    c.pulse_period = get("period", 60.0);
+  } else if (kind == "gossip") {
+    c.workload = mc::WorkloadKind::kGossip;
+    c.horizon = get("horizon", 160.0);
+    c.mean_gap = get("gap", 4.0);
+    c.p_send = get("psend", 0.45);
+    c.p_toggle = get("ptoggle", 0.35);
+    c.max_intervals = static_cast<std::size_t>(get("maxintervals", 8));
+  } else {
+    std::cerr << "--live supports only pulse and gossip workloads\n";
+    std::exit(2);
+  }
+  c.crashes = opt.failures;
+  c.recoveries = opt.recoveries;
+  c.seed = opt.seed;
+  return c;
+}
+
+int run_live(const Options& opt) {
+  if (opt.detector != runner::DetectorKind::kHierarchical) {
+    std::cerr << "--live supports only the hierarchical detector\n";
+    return 2;
+  }
+  if (opt.repeat > 1) {
+    std::cerr << "--live does not support --repeat\n";
+    return 2;
+  }
+  mc::McCase c = build_live_case(opt);
+  runner::ExperimentConfig cfg = mc::build_case(c);
+  if (!c.crashes.empty() || !c.recoveries.empty()) {
+    // Relax heartbeat timing relative to the simulator defaults: real
+    // scheduler jitter must stay well inside the suspicion timeout.
+    cfg.hb_config.period = 5.0;
+    cfg.hb_config.timeout_multiplier = 4.0;
+  }
+
+  rt::LiveConfig lc;
+  lc.socket_kind = opt.live_tcp ? rt::SockAddr::Kind::kTcp
+                                : rt::SockAddr::Kind::kUnix;
+  lc.time_scale = opt.live_scale;
+  const rt::LiveResult live = rt::run_live_experiment(cfg, lc);
+
+  // The oracles must judge the run that actually happened: substitute the
+  // measured fault instants for the planned ones.
+  c.crashes.clear();
+  c.recoveries.clear();
+  for (const rt::LifeEvent& ev : live.actual_crashes) {
+    c.crashes.push_back({ev.time, ev.node});
+  }
+  for (const rt::LifeEvent& ev : live.actual_recoveries) {
+    c.recoveries.push_back({ev.time, ev.node});
+  }
+  const std::vector<std::string> violations =
+      mc::check_oracles(c, cfg, live.result);
+
+  LiveInfo info;
+  info.transport = opt.live_tcp ? "tcp" : "unix";
+  info.scale = opt.live_scale;
+  info.res = &live;
+  info.violations = &violations;
+  return report(opt, cfg, live.result, &info);
+}
+
 int run(const Options& opt) {
   if (!opt.repro.empty()) {
     try {
@@ -311,6 +713,9 @@ int run(const Options& opt) {
       std::cerr << "bad repro file: " << e.what() << "\n";
       return 2;
     }
+  }
+  if (opt.live) {
+    return run_live(opt);
   }
   Rng topo_rng(opt.seed ^ 0x70701090);
   runner::ExperimentConfig cfg;
@@ -328,6 +733,7 @@ int run(const Options& opt) {
       opt.fault_tolerant &&
       opt.detector == runner::DetectorKind::kHierarchical;
   cfg.failures = opt.failures;
+  cfg.recoveries = opt.recoveries;
   cfg.seed = opt.seed;
   cfg.occurrence_solutions = false;
   cfg.record_execution = !opt.dump_execution.empty() || opt.stats;
@@ -371,6 +777,23 @@ int run(const Options& opt) {
       g_sum += static_cast<double>(rows[i].global);
       m_sum += static_cast<double>(rows[i].msgs);
     }
+    if (opt.json) {
+      std::cout << "{\n  \"mode\": \"sweep\",\n  \"rows\": [";
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::cout << (i == 0 ? "" : ", ")
+                  << "{\"seed\": " << (opt.seed + i)
+                  << ", \"global_detections\": " << rows[i].global
+                  << ", \"msgs_total\": " << rows[i].msgs
+                  << ", \"vc_comparisons\": " << rows[i].cmp
+                  << ", \"alpha\": " << json_num(rows[i].alpha) << "}";
+      }
+      std::cout << "],\n  \"mean\": {\"global_detections\": "
+                << json_num(g_sum / static_cast<double>(opt.repeat))
+                << ", \"msgs_total\": "
+                << json_num(m_sum / static_cast<double>(opt.repeat))
+                << "}\n}\n";
+      return 0;
+    }
     opt.csv ? t.print_csv(std::cout) : t.print(std::cout);
     std::cout << "\nmean over " << opt.repeat
               << " seeds: global detections "
@@ -382,103 +805,7 @@ int run(const Options& opt) {
   }
 
   const auto result = runner::run_experiment(cfg);
-
-  if (opt.show_tree) {
-    std::cout << "initial spanning tree:\n";
-    net::render_tree(std::cout, cfg.tree);
-    if (!opt.failures.empty()) {
-      std::cout << "final forest (survivors):\n";
-      net::render_forest(std::cout, result.final_parents,
-                         &result.final_alive);
-    }
-    std::cout << '\n';
-  }
-
-  if (!opt.dump_execution.empty()) {
-    std::ofstream f(opt.dump_execution);
-    if (!f) {
-      std::cerr << "cannot open " << opt.dump_execution << "\n";
-      return 1;
-    }
-    trace::write_execution(f, result.execution);
-    std::cout << "execution written to " << opt.dump_execution << "\n";
-  }
-  if (!opt.dump_occurrences.empty()) {
-    std::ofstream f(opt.dump_occurrences);
-    if (!f) {
-      std::cerr << "cannot open " << opt.dump_occurrences << "\n";
-      return 1;
-    }
-    trace::write_occurrences_csv(f, result.occurrences);
-    std::cout << "occurrences written to " << opt.dump_occurrences << "\n";
-  }
-
-  if (opt.stats) {
-    analysis::print_stats(std::cout,
-                          analysis::compute_stats(result.execution));
-    std::cout << '\n';
-  }
-
-  std::cout << "network: n=" << cfg.topology.size()
-            << " edges=" << cfg.topology.num_edges()
-            << " tree-height=" << cfg.tree.height()
-            << " max-degree=" << cfg.tree.max_degree()
-            << " detector="
-            << (opt.detector == runner::DetectorKind::kHierarchical
-                    ? "hier"
-                    : (opt.detector == runner::DetectorKind::kCentralized
-                           ? "central"
-                           : "possibly"))
-            << " seed=" << opt.seed << "\n\n";
-
-  if (opt.list_occurrences) {
-    TextTable t({"t", "node", "#", "scope"});
-    for (const auto& rec : result.occurrences) {
-      t.add_row({TextTable::num(rec.time, 1), std::to_string(rec.detector),
-                 std::to_string(rec.index),
-                 rec.global ? "GLOBAL" : "subtree"});
-    }
-    opt.csv ? t.print_csv(std::cout) : t.print(std::cout);
-    std::cout << '\n';
-  }
-
-  TextTable summary({"metric", "value"});
-  summary.add_row({"global detections", std::to_string(result.global_count)});
-  summary.add_row(
-      {"all detections", std::to_string(result.metrics.total_detections())});
-  summary.add_row({"measured alpha",
-                   TextTable::num(result.measured_alpha(), 3)});
-  summary.add_row({"vc comparisons",
-                   std::to_string(result.metrics.total_vc_comparisons())});
-  summary.add_row({"storage peak (worst node)",
-                   std::to_string(result.metrics.max_node_storage_peak())});
-  summary.add_row({"storage peak (sum)",
-                   std::to_string(result.metrics.sum_node_storage_peak())});
-  summary.add_row(
-      {"dropped messages", std::to_string(result.dropped_messages)});
-  summary.add_row({"sim events", std::to_string(result.sim_events)});
-  opt.csv ? summary.print_csv(std::cout) : summary.print(std::cout);
-  std::cout << '\n';
-
-  TextTable msgs({"message type", "count"});
-  for (const auto& [type, count] : result.metrics.msgs_by_type()) {
-    msgs.add_row({result.metrics.message_type_name(type),
-                  std::to_string(count)});
-  }
-  msgs.add_row({"total", std::to_string(result.metrics.msgs_total())});
-  opt.csv ? msgs.print_csv(std::cout) : msgs.print(std::cout);
-
-  if (!opt.failures.empty()) {
-    std::cout << "\nfinal control tree (survivors):\n";
-    for (std::size_t i = 0; i < result.final_alive.size(); ++i) {
-      if (!result.final_alive[i]) {
-        std::cout << "  " << i << ": crashed\n";
-      } else if (result.final_parents[i] == kNoProcess) {
-        std::cout << "  " << i << ": root\n";
-      }
-    }
-  }
-  return 0;
+  return report(opt, cfg, result, nullptr);
 }
 
 }  // namespace
