@@ -2,11 +2,13 @@
 
 #include <atomic>
 
+#include "common/thread_annotations.hpp"
+
 namespace hpd {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kOff)};
-std::mutex g_write_mutex;
+Mutex g_write_mutex;  ///< serializes whole lines onto std::clog
 }  // namespace
 
 LogLevel Log::level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
@@ -34,7 +36,7 @@ const char* Log::level_name(LogLevel level) {
 }
 
 void Log::write(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_write_mutex);
+  MutexLock lock(g_write_mutex);
   std::clog << "[hpd:" << level_name(level) << "] " << message << '\n';
 }
 

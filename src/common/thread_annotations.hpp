@@ -1,0 +1,130 @@
+// Clang Thread Safety Analysis support: attribute macros plus annotated
+// synchronization primitives (Mutex / MutexLock / CondVar) that every piece
+// of concurrent code in src/ must use instead of naked std::mutex (enforced
+// by tools/hpd_lint, rule `raw-concurrency`).
+//
+// Under Clang with -Wthread-safety (CMake option HPD_THREAD_SAFETY) the
+// annotations make lock discipline a compile-time property: a field marked
+// HPD_GUARDED_BY(mu) can only be touched while `mu` is held, a function
+// marked HPD_REQUIRES(mu) can only be called with `mu` held, and the build
+// fails (-Werror=thread-safety) on any violation. Under GCC (or Clang
+// without the option) everything expands to nothing and the wrappers are
+// zero-cost shims over the std primitives, so ASan/TSan legs and release
+// builds are unchanged.
+//
+// Conventions (see docs/STATIC_ANALYSIS.md):
+//   * Every shared field gets HPD_GUARDED_BY(its mutex). Thread-confined
+//     state (touched by exactly one thread) stays unannotated but must say
+//     so in a comment naming the owning thread.
+//   * Private helpers that expect a caller-held lock are annotated
+//     HPD_REQUIRES(mu) instead of re-locking.
+//   * Condition-variable predicates are written as explicit `while` loops
+//     under the held MutexLock — never as wait-predicate lambdas, which
+//     escape the analysis (the lambda body runs inside std::condition_
+//     variable::wait, where the analysis cannot see the held capability).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define HPD_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define HPD_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside Clang
+#endif
+
+#define HPD_CAPABILITY(x) HPD_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define HPD_SCOPED_CAPABILITY HPD_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define HPD_GUARDED_BY(x) HPD_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define HPD_PT_GUARDED_BY(x) HPD_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define HPD_ACQUIRE(...) \
+  HPD_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define HPD_RELEASE(...) \
+  HPD_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define HPD_TRY_ACQUIRE(...) \
+  HPD_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define HPD_REQUIRES(...) \
+  HPD_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define HPD_EXCLUDES(...) \
+  HPD_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define HPD_ASSERT_CAPABILITY(x) \
+  HPD_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define HPD_RETURN_CAPABILITY(x) \
+  HPD_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define HPD_NO_THREAD_SAFETY_ANALYSIS \
+  HPD_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace hpd {
+
+class CondVar;
+class MutexLock;
+
+/// Annotated mutex. A thin wrapper over std::mutex that carries the
+/// `capability` attribute so guarded fields and REQUIRES clauses can name
+/// it. Prefer the scoped MutexLock over calling lock()/unlock() directly.
+class HPD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HPD_ACQUIRE() { mu_.lock(); }
+  void unlock() HPD_RELEASE() { mu_.unlock(); }
+  bool try_lock() HPD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Scoped lock holder (RAII). Supports early release (`unlock()`) for the
+/// unlock-then-notify pattern and re-acquisition (`lock()`); the destructor
+/// releases only if still held.
+class HPD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HPD_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() HPD_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() HPD_RELEASE() { lock_.unlock(); }
+  void lock() HPD_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable used with Mutex/MutexLock. wait() atomically releases
+/// and re-acquires the underlying std::mutex, so from the analysis's point
+/// of view the capability is held across the call — which is exactly the
+/// contract the caller's `while (!predicate) cv.wait(lock);` loop relies
+/// on: the predicate is always evaluated under the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hpd

@@ -1,0 +1,16 @@
+#include "detect/occurrence_io.hpp"
+
+#include <ostream>
+
+namespace hpd::detect {
+
+void write_occurrences_csv(std::ostream& os,
+                           const std::vector<OccurrenceRecord>& occ) {
+  os << "time,node,index,global,weight\n";
+  for (const auto& rec : occ) {
+    os << rec.time << ',' << rec.detector << ',' << rec.index << ','
+       << (rec.global ? 1 : 0) << ',' << rec.aggregate.weight << "\n";
+  }
+}
+
+}  // namespace hpd::detect

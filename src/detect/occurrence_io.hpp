@@ -1,0 +1,17 @@
+// Text serialization of occurrence logs. Lives in detect/ (not trace/):
+// OccurrenceRecord is a detector output, and trace is below detect in the
+// include-layering DAG (enforced by tools/hpd_lint, rule `layering`).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "detect/occurrence.hpp"
+
+namespace hpd::detect {
+
+/// Occurrence log as CSV: time,node,index,global,weight
+void write_occurrences_csv(std::ostream& os,
+                           const std::vector<OccurrenceRecord>& occ);
+
+}  // namespace hpd::detect

@@ -3,8 +3,14 @@
 // comparison counts (the paper's time-complexity unit), and per-node
 // storage peaks (the paper's space-complexity unit).
 //
-// A MetricsRegistry belongs to one simulation run; parallel sweeps use one
-// registry per run, so no synchronization is needed.
+// Threading contract (the thread-confinement convention of
+// common/thread_annotations.hpp / docs/STATIC_ANALYSIS.md): a
+// MetricsRegistry is single-owner state, never shared between live
+// threads, so its fields carry no HPD_GUARDED_BY annotations on purpose.
+// Each sim run and each live node-loop thread writes its own private
+// registry; merge_from() folds them together only after the writing
+// threads have been joined (see rt/live_runner.cpp), which is the
+// happens-before edge that makes the unsynchronized reads safe.
 #pragma once
 
 #include <cstdint>
@@ -44,7 +50,8 @@ class MetricsRegistry {
 
   /// Fold another registry into this one (counters add, per-node metrics add
   /// index-wise, names union). The live runtime gives every node thread a
-  /// private registry and merges them once the threads have stopped.
+  /// private registry and merges them once the threads have been joined —
+  /// calling this while `other`'s owning thread still runs is a data race.
   void merge_from(const MetricsRegistry& other);
 
   /// Totals.

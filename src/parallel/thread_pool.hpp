@@ -7,14 +7,14 @@
 // barrier.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace hpd::parallel {
 
@@ -40,7 +40,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) {
         throw std::runtime_error("ThreadPool::submit after shutdown began");
       }
@@ -53,11 +53,11 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  std::vector<std::thread> workers_;  ///< written only during construction
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ HPD_GUARDED_BY(mutex_);
+  bool stopping_ HPD_GUARDED_BY(mutex_) = false;
 };
 
 /// Run fn(i) for i in [0, count) on a pool, blocking until all complete —

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <system_error>
 #include <deque>
 #include <future>
 #include <map>
@@ -57,10 +58,10 @@ struct LiveTransport::NodeCtx {
   std::atomic<bool> alive{false};
 
   // Control plane: any thread -> loop thread.
-  std::mutex ctl_mutex;
-  std::deque<std::function<void()>> ctl;
-  bool crash_requested = false;  ///< guarded by ctl_mutex
-  bool stop_requested = false;   ///< guarded by ctl_mutex
+  Mutex ctl_mutex;
+  std::deque<std::function<void()>> ctl HPD_GUARDED_BY(ctl_mutex);
+  bool crash_requested HPD_GUARDED_BY(ctl_mutex) = false;
+  bool stop_requested HPD_GUARDED_BY(ctl_mutex) = false;
   Fd wake_read;
   Fd wake_write;
 
@@ -213,7 +214,7 @@ void LiveTransport::start() {
 void LiveTransport::stop() {
   for (auto& c : nodes_) {
     {
-      std::lock_guard<std::mutex> lock(c->ctl_mutex);
+      MutexLock lock(c->ctl_mutex);
       c->stop_requested = true;
     }
     wake(*c);
@@ -231,7 +232,7 @@ void LiveTransport::crash(ProcessId id) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(c.ctl_mutex);
+    MutexLock lock(c.ctl_mutex);
     c.crash_requested = true;
   }
   wake(c);
@@ -249,7 +250,7 @@ void LiveTransport::revive(ProcessId id) {
     c.thread.join();
   }
   {
-    std::lock_guard<std::mutex> lock(c.ctl_mutex);
+    MutexLock lock(c.ctl_mutex);
     c.crash_requested = false;
     c.stop_requested = false;
     c.ctl.clear();
@@ -301,7 +302,7 @@ void LiveTransport::wake(NodeCtx& c) {
 bool LiveTransport::post(ProcessId id, std::function<void()> fn) {
   NodeCtx& c = ctx(id);
   {
-    std::lock_guard<std::mutex> lock(c.ctl_mutex);
+    MutexLock lock(c.ctl_mutex);
     if (!c.alive.load(std::memory_order_acquire) || c.crash_requested ||
         c.stop_requested) {
       return false;
@@ -331,12 +332,12 @@ bool LiveTransport::run_on_node_sync(ProcessId id, std::function<void()> fn) {
 }
 
 std::vector<LifeEvent> LiveTransport::crash_events() const {
-  std::lock_guard<std::mutex> lock(events_mutex_);
+  MutexLock lock(events_mutex_);
   return crashes_;
 }
 
 std::vector<LifeEvent> LiveTransport::revive_events() const {
-  std::lock_guard<std::mutex> lock(events_mutex_);
+  MutexLock lock(events_mutex_);
   return revives_;
 }
 
@@ -588,7 +589,7 @@ void LiveTransport::handle_payload(NodeCtx& c, Conn& conn,
 void LiveTransport::node_loop(NodeCtx& c, const bool initial) {
   if (!initial) {
     {
-      std::lock_guard<std::mutex> lock(events_mutex_);
+      MutexLock lock(events_mutex_);
       revives_.push_back({c.id, now()});
     }
     if (c.on_revive) {
@@ -603,7 +604,7 @@ void LiveTransport::node_loop(NodeCtx& c, const bool initial) {
     bool crash_now = false;
     bool stop_now = false;
     {
-      std::lock_guard<std::mutex> lock(c.ctl_mutex);
+      MutexLock lock(c.ctl_mutex);
       fns.swap(c.ctl);
       crash_now = c.crash_requested;
       stop_now = c.stop_requested;
@@ -670,7 +671,7 @@ void LiveTransport::loop_iteration(NodeCtx& c) {
     if (errno == EINTR) {
       return;
     }
-    throw TransportError(std::string("poll: ") + std::strerror(errno));
+    throw TransportError("poll: " + std::system_category().message(errno));
   }
 
   std::vector<std::size_t> dead_inbound;
@@ -768,7 +769,7 @@ void LiveTransport::loop_iteration(NodeCtx& c) {
 
 void LiveTransport::do_crash(NodeCtx& c) {
   {
-    std::lock_guard<std::mutex> lock(events_mutex_);
+    MutexLock lock(events_mutex_);
     crashes_.push_back({c.id, now()});
   }
   c.node->on_crash();
@@ -776,7 +777,7 @@ void LiveTransport::do_crash(NodeCtx& c) {
   {
     // Abandon queued control functions: their promises (if any) break,
     // which run_on_node_sync reports as failure.
-    std::lock_guard<std::mutex> lock(c.ctl_mutex);
+    MutexLock lock(c.ctl_mutex);
     c.ctl.clear();
   }
   shutdown_io(c);

@@ -30,10 +30,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "metrics/counters.hpp"
 #include "rt/socket.hpp"
@@ -190,9 +190,9 @@ class LiveTransport {
   std::chrono::steady_clock::time_point start_;
   bool started_ = false;
 
-  mutable std::mutex events_mutex_;
-  std::vector<LifeEvent> crashes_;
-  std::vector<LifeEvent> revives_;
+  mutable Mutex events_mutex_;
+  std::vector<LifeEvent> crashes_ HPD_GUARDED_BY(events_mutex_);
+  std::vector<LifeEvent> revives_ HPD_GUARDED_BY(events_mutex_);
 };
 
 }  // namespace hpd::rt

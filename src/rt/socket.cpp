@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <system_error>
 #include <vector>
 
 namespace hpd::rt {
@@ -20,7 +21,9 @@ namespace hpd::rt {
 namespace {
 
 [[noreturn]] void fail(const std::string& what) {
-  throw TransportError(what + ": " + std::strerror(errno));
+  // std::system_category().message is the thread-safe spelling of
+  // strerror(errno) — live-transport loop threads fail concurrently.
+  throw TransportError(what + ": " + std::system_category().message(errno));
 }
 
 sockaddr_un make_unix_addr(const std::string& path) {
@@ -130,7 +133,9 @@ Fd connect_to(const SockAddr& addr) {
 }
 
 std::string make_socket_dir() {
-  const char* base = std::getenv("TMPDIR");
+  // Single-threaded startup path: LiveTransport reads TMPDIR once in its
+  // constructor, before any loop thread exists.
+  const char* base = std::getenv("TMPDIR");  // NOLINT(concurrency-mt-unsafe)
   std::string templ =
       std::string(base != nullptr && *base != '\0' ? base : "/tmp") +
       "/hpd_live.XXXXXX";

@@ -155,13 +155,4 @@ ExecutionRecord execution_from_string(const std::string& text) {
   return read_execution(is);
 }
 
-void write_occurrences_csv(std::ostream& os,
-                           const std::vector<detect::OccurrenceRecord>& occ) {
-  os << "time,node,index,global,weight\n";
-  for (const auto& rec : occ) {
-    os << rec.time << ',' << rec.detector << ',' << rec.index << ','
-       << (rec.global ? 1 : 0) << ',' << rec.aggregate.weight << "\n";
-  }
-}
-
 }  // namespace hpd::trace

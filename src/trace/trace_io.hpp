@@ -1,4 +1,4 @@
-// Text serialization of recorded executions and occurrence logs.
+// Text serialization of recorded executions.
 //
 // A simple line-oriented format, stable enough to diff and script around:
 //
@@ -16,7 +16,6 @@
 #include <iosfwd>
 #include <string>
 
-#include "detect/occurrence.hpp"
 #include "trace/execution.hpp"
 
 namespace hpd::trace {
@@ -31,9 +30,5 @@ ExecutionRecord read_execution(std::istream& is);
 /// Convenience string forms.
 std::string execution_to_string(const ExecutionRecord& exec);
 ExecutionRecord execution_from_string(const std::string& text);
-
-/// Occurrence log as CSV: time,node,index,global,weight
-void write_occurrences_csv(std::ostream& os,
-                           const std::vector<detect::OccurrenceRecord>& occ);
 
 }  // namespace hpd::trace

@@ -1,0 +1,8 @@
+// Fixture: namespace pollution (rule `using-namespace`).
+#include <string>
+
+using namespace std;
+
+namespace hpd::analysis {
+string bad_name() { return "x"; }
+}  // namespace hpd::analysis

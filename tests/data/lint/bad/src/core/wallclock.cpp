@@ -1,0 +1,13 @@
+// Fixture: wall clock + libc randomness in sim-side code (rule `determinism`).
+#include <chrono>
+#include <cstdlib>
+
+namespace hpd::core {
+
+double bad_now() {
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count()) +
+         static_cast<double>(rand());
+}
+
+}  // namespace hpd::core

@@ -1,0 +1,11 @@
+// Fixture: thread spawning outside rt/ and parallel/ (rule `raw-concurrency`).
+#include <thread>
+
+namespace hpd::detect {
+
+void bad_spawn() {
+  std::thread t([] {});
+  t.join();
+}
+
+}  // namespace hpd::detect

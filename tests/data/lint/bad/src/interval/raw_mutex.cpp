@@ -1,0 +1,11 @@
+// Fixture: naked std::mutex outside the annotated wrappers
+// (rule `raw-concurrency`).
+#include <mutex>
+
+namespace hpd {
+
+std::mutex g_bad_mutex;
+
+void bad_locked() { std::lock_guard<std::mutex> lock(g_bad_mutex); }
+
+}  // namespace hpd

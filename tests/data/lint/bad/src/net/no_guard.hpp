@@ -1,0 +1,4 @@
+// Fixture for rule `pragma-once`: a header missing its include guard.
+namespace hpd::net {
+inline int bad_guardless() { return 1; }
+}  // namespace hpd::net

@@ -1,0 +1,5 @@
+// Fixture for rule `todo-issue`: untracked work markers.
+
+// TODO: tighten this bound later
+// FIXME this is broken under churn
+namespace hpd::net {}

@@ -1,0 +1,9 @@
+// Fixture: byte-order conversion outside wire/ (rule `wire-endianness`).
+#include <arpa/inet.h>
+#include <cstdint>
+
+namespace hpd::proto {
+
+std::uint16_t bad_swap(std::uint16_t v) { return htons(v); }
+
+}  // namespace hpd::proto

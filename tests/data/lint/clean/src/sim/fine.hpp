@@ -1,0 +1,18 @@
+// Fixture: a clean file full of near-misses — every banned token appears
+// only in a comment or string literal, where the linter must not look.
+// Mentions: rand() in prose, std::mutex in prose, htons( in prose.
+#pragma once
+
+#include <string>
+
+namespace hpd::sim {
+
+// TODO(#42): tracked TODOs with an issue reference are fine.
+inline std::string fine() {
+  return "strings may say std::mutex, htons(, rand(), steady_clock";
+}
+
+/* block comments may say std::random_device and std::thread too */
+inline int fine_time(int time_budget) { return time_budget; }
+
+}  // namespace hpd::sim

@@ -1,0 +1,118 @@
+// Proves every hpd_lint rule live: each fixture under tests/data/lint/bad
+// carries one deliberate violation per rule and must fire exactly there; the
+// clean fixture (banned tokens appearing only in comments/strings) and the
+// real tree must both come back empty. Runs the actual binary — the contract
+// under test is the CLI surface CI uses, not some internal API.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+// Paths are injected by tests/CMakeLists.txt.
+const std::string kLintBin = HPD_LINT_BIN;
+const std::string kDataDir = HPD_LINT_DATA;
+const std::string kRepoRoot = HPD_REPO_ROOT;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;
+};
+
+RunResult run_lint(const std::string& args) {
+  const std::string cmd = kLintBin + " " + args + " 2>/dev/null";
+  RunResult r;
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    return r;
+  }
+  std::array<char, 4096> buf{};
+  std::size_t k = 0;
+  while ((k = ::fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    r.out.append(buf.data(), k);
+  }
+  const int status = ::pclose(pipe);
+  if (WIFEXITED(status)) {
+    r.exit_code = WEXITSTATUS(status);
+  }
+  return r;
+}
+
+TEST(LintTest, BadTreeFiresEveryRule) {
+  const RunResult r = run_lint("--root " + kDataDir + "/bad");
+  EXPECT_EQ(r.exit_code, 1) << r.out;
+
+  // One expected finding per rule, pinned to file and line so a rule that
+  // silently stops matching (or fires on the wrong line) fails loudly.
+  EXPECT_NE(r.out.find("src/sim/includes_rt.hpp:4: layering"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("src/core/wallclock.cpp:8: determinism"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("src/core/wallclock.cpp:10: determinism"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("src/proto/raw_endian.cpp:7: wire-endianness"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("src/interval/raw_mutex.cpp:7: raw-concurrency"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("src/detect/spawn_thread.cpp:7: raw-concurrency"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("src/net/todo.cpp:3: todo-issue"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("src/net/todo.cpp:4: todo-issue"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("src/net/no_guard.hpp:1: pragma-once"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("src/analysis/using_ns.cpp:4: using-namespace"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST(LintTest, CleanFixtureHasNoFindings) {
+  // Every banned token appears in the clean fixture — inside comments and
+  // string literals, where the linter must not look.
+  const RunResult r = run_lint("--root " + kDataDir + "/clean");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_EQ(r.out, "");
+}
+
+TEST(LintTest, AllowlistSuppressesListedRulesOnly) {
+  const RunResult r = run_lint("--root " + kDataDir + "/bad --rules " +
+                               kDataDir + "/allow_all_bad.txt");
+  // todo-issue is deliberately absent from the allowlist: it must survive,
+  // everything else must be suppressed.
+  EXPECT_EQ(r.exit_code, 1) << r.out;
+  EXPECT_NE(r.out.find("todo-issue"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("layering"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("determinism"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("wire-endianness"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("raw-concurrency"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("pragma-once"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("using-namespace"), std::string::npos) << r.out;
+}
+
+TEST(LintTest, RealTreeIsClean) {
+  // The canonical gate: src/ plus the shipped allowlist must lint clean.
+  const RunResult r = run_lint("--root " + kRepoRoot);
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_EQ(r.out, "");
+}
+
+TEST(LintTest, UsageErrors) {
+  EXPECT_EQ(run_lint("--root /nonexistent-hpd-lint-root").exit_code, 2);
+  EXPECT_EQ(run_lint("--bogus-flag").exit_code, 2);
+  EXPECT_EQ(run_lint("--root " + kDataDir + "/bad --rules /nonexistent.txt")
+                .exit_code,
+            2);
+}
+
+}  // namespace

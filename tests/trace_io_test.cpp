@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "detect/occurrence_io.hpp"
 #include "detect/offline/lattice.hpp"
 #include "detect/offline/replay.hpp"
 #include "tests/test_util.hpp"
@@ -109,7 +110,7 @@ TEST(TraceIoTest, OccurrenceCsv) {
   occ[1].global = false;
   occ[1].aggregate.weight = 2;
   std::ostringstream os;
-  write_occurrences_csv(os, occ);
+  detect::write_occurrences_csv(os, occ);
   EXPECT_EQ(os.str(),
             "time,node,index,global,weight\n"
             "1.5,3,1,1,4\n"

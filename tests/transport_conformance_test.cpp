@@ -353,8 +353,10 @@ TEST_P(TransportConformance, CrashStopsDeliveryAndAliveReflectsIt) {
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, TransportConformance,
     ::testing::Values(Backend::kSim, Backend::kLiveUnix, Backend::kLiveTcp),
-    [](const ::testing::TestParamInfo<Backend>& info) -> std::string {
-      switch (info.param) {
+    // Named `pinfo`, not `info`: the INSTANTIATE_ macro itself declares an
+    // `info` parameter the lambda would shadow (-Wshadow).
+    [](const ::testing::TestParamInfo<Backend>& pinfo) -> std::string {
+      switch (pinfo.param) {
         case Backend::kSim:
           return "Sim";
         case Backend::kLiveUnix:

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "analysis/execution_stats.hpp"
+#include "detect/occurrence_io.hpp"
 #include "mc/mc_case.hpp"
 #include "mc/oracles.hpp"
 #include "mc/repro.hpp"
@@ -601,7 +602,7 @@ int report(const Options& opt, const runner::ExperimentConfig& cfg,
       std::cerr << "cannot open " << opt.dump_occurrences << "\n";
       return 1;
     }
-    trace::write_occurrences_csv(f, result.occurrences);
+    detect::write_occurrences_csv(f, result.occurrences);
     side << "occurrences written to " << opt.dump_occurrences << "\n";
   }
 
