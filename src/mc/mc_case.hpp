@@ -66,7 +66,27 @@ struct McCase {
   double drop_report_p = 0.0;  ///< drop probability, interval reports
   double dup_report_p = 0.0;   ///< duplicate probability, interval reports
 
+  // ---- Live-transport chaos plan (rt backend only) ------------------------
+  // Frame-level fault injection below the reliable session layer, mirroring
+  // the strategy-level drop/dup knobs above for the live backend (see
+  // rt/chaos.hpp). The session layer masks these faults end-to-end —
+  // retransmission recovers drops, duplicate suppression absorbs copies —
+  // so they deliberately do NOT count as faults for has_faults()/strict():
+  // the strict differential oracle is expected to hold under them. The sim
+  // backend has no frame boundary and ignores them.
+  double chaos_drop_p = 0.0;
+  double chaos_dup_p = 0.0;
+  double chaos_corrupt_p = 0.0;
+  double chaos_reset_p = 0.0;
+  double chaos_delay_p = 0.0;
+  SimTime chaos_delay_max = 4.0;
+
   std::uint64_t seed = 1;
+
+  bool has_live_chaos() const {
+    return chaos_drop_p > 0.0 || chaos_dup_p > 0.0 || chaos_corrupt_p > 0.0 ||
+           chaos_reset_p > 0.0 || chaos_delay_p > 0.0;
+  }
 
   /// Anything that can make the online run structurally diverge from the
   /// failure-free offline reference: crashes, recoveries, lost reports.

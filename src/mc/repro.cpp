@@ -76,6 +76,12 @@ std::string to_repro(const McCase& c) {
   os << "dup_app_p " << c.dup_app_p << '\n';
   os << "drop_report_p " << c.drop_report_p << '\n';
   os << "dup_report_p " << c.dup_report_p << '\n';
+  os << "chaos_drop_p " << c.chaos_drop_p << '\n';
+  os << "chaos_dup_p " << c.chaos_dup_p << '\n';
+  os << "chaos_corrupt_p " << c.chaos_corrupt_p << '\n';
+  os << "chaos_reset_p " << c.chaos_reset_p << '\n';
+  os << "chaos_delay_p " << c.chaos_delay_p << '\n';
+  os << "chaos_delay_max " << c.chaos_delay_max << '\n';
   os << "seed " << c.seed << '\n';
   return os.str();
 }
@@ -147,6 +153,18 @@ McCase parse_repro(const std::string& text) {
       ls >> c.drop_report_p;
     } else if (key == "dup_report_p") {
       ls >> c.dup_report_p;
+    } else if (key == "chaos_drop_p") {
+      ls >> c.chaos_drop_p;
+    } else if (key == "chaos_dup_p") {
+      ls >> c.chaos_dup_p;
+    } else if (key == "chaos_corrupt_p") {
+      ls >> c.chaos_corrupt_p;
+    } else if (key == "chaos_reset_p") {
+      ls >> c.chaos_reset_p;
+    } else if (key == "chaos_delay_p") {
+      ls >> c.chaos_delay_p;
+    } else if (key == "chaos_delay_max") {
+      ls >> c.chaos_delay_max;
     } else if (key == "seed") {
       ls >> c.seed;
     } else {

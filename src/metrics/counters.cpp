@@ -10,6 +10,20 @@ namespace {
 const std::string kUnknownType = "?";
 }
 
+void TransportCounters::add(const TransportCounters& other) {
+  reliable_sent += other.reliable_sent;
+  msgs_delivered += other.msgs_delivered;
+  msgs_dropped += other.msgs_dropped;
+  retransmits += other.retransmits;
+  dups_suppressed += other.dups_suppressed;
+  surfaced_losses += other.surfaced_losses;
+  stale_rejected += other.stale_rejected;
+  conn_resets += other.conn_resets;
+  frame_errors += other.frame_errors;
+  acks_sent += other.acks_sent;
+  chaos_events += other.chaos_events;
+}
+
 void MetricsRegistry::name_message_type(int type, std::string name) {
   type_names_[type] = std::move(name);
 }
@@ -61,6 +75,7 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   msgs_total_ += other.msgs_total_;
   wire_words_total_ += other.wire_words_total_;
   wire_bytes_total_ += other.wire_bytes_total_;
+  transport_.add(other.transport_);
 }
 
 std::uint64_t MetricsRegistry::msgs_of_type(int type) const {

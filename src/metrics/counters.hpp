@@ -22,6 +22,28 @@
 
 namespace hpd {
 
+/// Session-layer accounting for the live transport's reliable-delivery
+/// layer (rt/live_transport). Sim runs leave this zero: the simulated
+/// network delivers exactly what the strategy plans, so there is no
+/// retransmission machinery to count. The no-silent-loss invariant the
+/// chaos suite checks is `msgs_delivered + surfaced_losses >= reliable_sent`
+/// (every accepted message is either delivered or its loss is reported).
+struct TransportCounters {
+  std::uint64_t reliable_sent = 0;    ///< messages accepted by the session layer
+  std::uint64_t msgs_delivered = 0;   ///< unique deliveries to protocol nodes
+  std::uint64_t msgs_dropped = 0;     ///< refused before the session layer
+  std::uint64_t retransmits = 0;      ///< DATA frames re-sent after timeout
+  std::uint64_t dups_suppressed = 0;  ///< duplicate DATA discarded on receive
+  std::uint64_t surfaced_losses = 0;  ///< abandoned sends reported upward
+  std::uint64_t stale_rejected = 0;   ///< DATA from a superseded sender epoch
+  std::uint64_t conn_resets = 0;      ///< connections torn down mid-stream
+  std::uint64_t frame_errors = 0;     ///< CRC/decode failures on receive
+  std::uint64_t acks_sent = 0;        ///< ACK frames emitted
+  std::uint64_t chaos_events = 0;     ///< injected perturbations
+
+  void add(const TransportCounters& other);
+};
+
 struct NodeMetrics {
   std::uint64_t msgs_sent = 0;           ///< one-hop sends originated here
   std::uint64_t wire_words_sent = 0;     ///< payload volume originated here
@@ -76,8 +98,14 @@ class MetricsRegistry {
     return msgs_by_type_;
   }
 
+  /// Live-transport session-layer counters (zero for sim runs). Written by
+  /// the owning node's loop thread, like every other field here.
+  TransportCounters& transport() { return transport_; }
+  const TransportCounters& transport() const { return transport_; }
+
  private:
   std::vector<NodeMetrics> node_;
+  TransportCounters transport_;
   std::map<int, std::uint64_t> msgs_by_type_;
   std::map<int, std::uint64_t> bytes_by_type_;
   std::map<int, std::string> type_names_;

@@ -1,0 +1,117 @@
+#include "rt/chaos.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/rng.hpp"
+
+namespace hpd::rt {
+namespace {
+
+// Key the decision stream on the frame identity. Each roll draws from a
+// SplitMix64 whose seed mixes (cfg.seed, src, dst, seq, attempt) plus a
+// per-purpose salt, so the rolls are mutually independent and adding a new
+// roll kind cannot shift the outcomes of existing ones.
+std::uint64_t frame_key(const ChaosConfig& cfg, ProcessId src, ProcessId dst,
+                        SeqNum seq, int attempt, std::uint64_t salt) {
+  SplitMix64 sm(cfg.seed ^ salt);
+  std::uint64_t h = sm.next();
+  h ^= SplitMix64(h + static_cast<std::uint64_t>(src)).next();
+  h ^= SplitMix64(h + static_cast<std::uint64_t>(dst)).next();
+  h ^= SplitMix64(h + seq).next();
+  h ^= SplitMix64(h + static_cast<std::uint64_t>(attempt)).next();
+  return h;
+}
+
+double roll01(const ChaosConfig& cfg, ProcessId src, ProcessId dst,
+              SeqNum seq, int attempt, std::uint64_t salt) {
+  // Same 53-bit conversion Rng::uniform01 uses.
+  return static_cast<double>(
+             frame_key(cfg, src, dst, seq, attempt, salt) >> 11) *
+         0x1.0p-53;
+}
+
+constexpr std::uint64_t kSaltReset = 0x9d8a75e3c1f04b21ULL;
+constexpr std::uint64_t kSaltDrop = 0x417cfb90a2d6e853ULL;
+constexpr std::uint64_t kSaltCorrupt = 0x6e2f18c47b09d5a3ULL;
+constexpr std::uint64_t kSaltDup = 0xb35d60f2984ac1e7ULL;
+constexpr std::uint64_t kSaltDelay = 0x28c9e47f5d13ab60ULL;
+constexpr std::uint64_t kSaltDelayAmt = 0xf016b3d8ea47c295ULL;
+constexpr std::uint64_t kSaltOffset = 0x75ea0c31f8b9264dULL;
+
+}  // namespace
+
+const char* to_string(ChaosEvent::Kind kind) {
+  switch (kind) {
+    case ChaosEvent::Kind::kDrop:
+      return "drop";
+    case ChaosEvent::Kind::kDuplicate:
+      return "duplicate";
+    case ChaosEvent::Kind::kCorrupt:
+      return "corrupt";
+    case ChaosEvent::Kind::kDelay:
+      return "delay";
+    case ChaosEvent::Kind::kReset:
+      return "reset";
+    case ChaosEvent::Kind::kPartition:
+      return "partition";
+  }
+  return "?";
+}
+
+void canonical_sort(std::vector<ChaosEvent>& events) {
+  std::sort(events.begin(), events.end(),
+            [](const ChaosEvent& a, const ChaosEvent& b) {
+              return std::tuple(a.src, a.dst, a.seq, a.attempt,
+                                static_cast<int>(a.kind)) <
+                     std::tuple(b.src, b.dst, b.seq, b.attempt,
+                                static_cast<int>(b.kind));
+            });
+}
+
+ChaosDecision plan_frame(const ChaosConfig& cfg, ProcessId src, ProcessId dst,
+                         SeqNum seq, int attempt) {
+  ChaosDecision d;
+  if (cfg.reset_p > 0.0 &&
+      roll01(cfg, src, dst, seq, attempt, kSaltReset) < cfg.reset_p) {
+    d.reset = true;
+    return d;
+  }
+  if (cfg.drop_p > 0.0 &&
+      roll01(cfg, src, dst, seq, attempt, kSaltDrop) < cfg.drop_p) {
+    d.drop = true;
+    return d;
+  }
+  if (cfg.corrupt_p > 0.0 &&
+      roll01(cfg, src, dst, seq, attempt, kSaltCorrupt) < cfg.corrupt_p) {
+    d.corrupt = true;
+  }
+  if (cfg.dup_p > 0.0 &&
+      roll01(cfg, src, dst, seq, attempt, kSaltDup) < cfg.dup_p) {
+    d.copies = 1 + std::max(1, cfg.dup_copies);
+  }
+  if (cfg.delay_p > 0.0 && cfg.delay_max > 0.0 &&
+      roll01(cfg, src, dst, seq, attempt, kSaltDelay) < cfg.delay_p) {
+    const double u = roll01(cfg, src, dst, seq, attempt, kSaltDelayAmt);
+    d.delay = cfg.delay_max * (1.0 - u);  // (0, delay_max]
+  }
+  return d;
+}
+
+std::size_t corrupt_offset(const ChaosConfig& cfg, ProcessId src,
+                           ProcessId dst, SeqNum seq, int attempt,
+                           std::size_t size) {
+  if (size == 0) return 0;
+  return static_cast<std::size_t>(
+      frame_key(cfg, src, dst, seq, attempt, kSaltOffset) % size);
+}
+
+bool partitioned(const ChaosConfig& cfg, ProcessId src, ProcessId dst,
+                 SimTime now) {
+  for (const ChaosPartition& p : cfg.partitions) {
+    if (p.covers(src, dst, now)) return true;
+  }
+  return false;
+}
+
+}  // namespace hpd::rt

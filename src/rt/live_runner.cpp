@@ -132,9 +132,12 @@ LiveResult run_live_experiment(const runner::ExperimentConfig& config,
   out.delivered_messages = net.delivered_messages();
   out.frame_errors = net.frame_errors();
   out.connections_accepted = net.connections_accepted();
+  out.transport = net.stats();
+  out.chaos_events = net.chaos_events();
 
   result.metrics.resize(n);
   proto::register_message_names(result.metrics);
+  result.metrics.transport() = out.transport;
   result.sim_events = net.delivered_messages();  // closest live analogue
   result.dropped_messages = net.dropped_messages();
   result.final_parents.resize(n, kNoProcess);

@@ -29,6 +29,14 @@ struct LiveResult {
   std::uint64_t delivered_messages = 0;
   std::uint64_t frame_errors = 0;
   std::uint64_t connections_accepted = 0;
+  /// Session-layer accounting (also mirrored into result.metrics.transport()
+  /// so it reaches report_json / --json output). The no-silent-loss
+  /// invariant: transport.msgs_delivered + transport.surfaced_losses >=
+  /// transport.reliable_sent, with equality-of-delivery (delivered == sent,
+  /// surfaced == 0) on failure-free runs that drain cleanly.
+  TransportCounters transport;
+  /// Injected chaos events in canonical order (empty without a ChaosConfig).
+  std::vector<ChaosEvent> chaos_events;
 };
 
 /// Run the experiment over threads + sockets. Blocks the calling thread for

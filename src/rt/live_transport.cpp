@@ -6,15 +6,17 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
-#include <system_error>
 #include <deque>
 #include <future>
 #include <map>
+#include <set>
 #include <sys/socket.h>
+#include <system_error>
 #include <thread>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/rng.hpp"
 #include "wire/codec.hpp"
 #include "wire/frame.hpp"
 
@@ -27,8 +29,17 @@ using Clock = std::chrono::steady_clock;
 // Frame payload kinds. Every frame starts with one of these bytes.
 constexpr std::uint8_t kFrameHello = 1;
 constexpr std::uint8_t kFrameData = 2;
+constexpr std::uint8_t kFrameAck = 3;
 
 constexpr std::uint8_t kMagic[4] = {'H', 'P', 'D', 'L'};
+
+/// Selective-ack list bound per ACK frame; the cumulative ack carries the
+/// rest across subsequent ACKs.
+constexpr std::size_t kMaxSacks = 64;
+
+/// Bound on chaos-delayed frames buffered per node. Overflow drops the
+/// delayed copy — the retransmit path recovers the original.
+constexpr std::size_t kMaxDelayed = 4096;
 
 }  // namespace
 
@@ -79,14 +90,63 @@ struct LiveTransport::NodeCtx {
   transport::TimerId next_timer = 1;
 
   /// Per-peer re-dial cooldown after a failed connect / broken pipe.
+  /// Expired early by observe_peer() when the peer shows signs of life.
   std::vector<Clock::time_point> peer_down;
 
   std::vector<std::uint8_t> read_buf;
 
+  // ---- Reliable-delivery session state (loop-thread-only; `epoch` is
+  // bumped by revive() on the driver thread, but only while this node's
+  // loop thread is joined, which is the required happens-before edge) -------
+  std::uint64_t epoch = 1;
+
+  struct Pending {
+    std::vector<std::uint8_t> body;  ///< encoded DATA payload (unframed)
+    Clock::time_point next_retx;
+    Clock::duration backoff{};
+    int attempts = 0;            ///< transmissions performed so far
+    std::uint64_t dst_epoch = 0; ///< destination incarnation targeted
+  };
+  struct PeerSend {
+    SeqNum next_seq = 1;
+    std::map<SeqNum, Pending> unacked;
+  };
+  /// Receive window for one sender: `epoch` is the sender incarnation the
+  /// sequence space belongs to; everything <= cum plus the `above` set has
+  /// been delivered.
+  struct PeerRecv {
+    std::uint64_t epoch = 0;
+    SeqNum cum = 0;
+    std::set<SeqNum> above;
+  };
+  std::vector<PeerSend> peer_send;
+  std::vector<PeerRecv> peer_recv;
+  /// Last observed incarnation of each peer (starts at 1, monotone).
+  std::vector<std::uint64_t> peer_epoch;
+
+  struct DelayedFrame {
+    Clock::time_point due;
+    ProcessId dst = kNoProcess;
+    std::vector<std::uint8_t> framed;
+  };
+  std::vector<DelayedFrame> delayed;
+
+  /// Peers owed an ACK after this loop turn's deliveries (coalesced).
+  std::set<ProcessId> ack_pending;
+  /// Peers with freshly surfaced losses; on_peer_unreachable runs at the
+  /// top of the next service_reliability() turn, outside the scans and
+  /// dispatches that discovered the losses.
+  std::set<ProcessId> unreachable_pending;
+  /// Earliest retransmit / delayed-frame deadline (poll timeout hint).
+  Clock::time_point reliability_due = Clock::time_point::max();
+  /// Retransmit jitter only — never consulted for chaos decisions.
+  Rng rng;
+
+  std::vector<ChaosEvent> chaos_log;
+
   // Counters: written by the loop thread, read after it has been joined.
-  std::uint64_t delivered = 0;
-  std::uint64_t dropped = 0;
-  std::uint64_t frame_errors = 0;
+  // tc.msgs_delivered doubles as the per-node delivery id source.
+  TransportCounters tc;
   std::uint64_t accepted = 0;
 };
 
@@ -121,6 +181,10 @@ LiveTransport::LiveTransport(std::size_t n, LiveConfig cfg)
     : cfg_(std::move(cfg)), start_(Clock::now()) {
   HPD_REQUIRE(n >= 1, "LiveTransport: empty system");
   HPD_REQUIRE(cfg_.time_scale > 0.0, "LiveTransport: time_scale must be > 0");
+  HPD_REQUIRE(cfg_.retx_max_attempts >= 1,
+              "LiveTransport: retx_max_attempts must be >= 1");
+  HPD_REQUIRE(cfg_.retx_queue_cap >= 1,
+              "LiveTransport: retx_queue_cap must be >= 1");
   if (cfg_.socket_kind == SockAddr::Kind::kUnix && cfg_.socket_dir.empty()) {
     socket_dir_ = make_socket_dir();
     own_socket_dir_ = true;
@@ -138,6 +202,10 @@ LiveTransport::LiveTransport(std::size_t n, LiveConfig cfg)
       c->addr.path = socket_dir_ + "/node-" + std::to_string(i) + ".sock";
     }
     c->peer_down.resize(n);
+    c->peer_send.resize(n);
+    c->peer_recv.resize(n);
+    c->peer_epoch.assign(n, 1);
+    c->rng.reseed(0x9e3779b97f4a7c15ULL ^ (i * 0x100000001b3ULL));
     c->read_buf.resize(cfg_.read_chunk);
     int pipefd[2];
     if (::pipe(pipefd) < 0) {
@@ -255,10 +323,26 @@ void LiveTransport::revive(ProcessId id) {
     c.stop_requested = false;
     c.ctl.clear();
   }
+  // New incarnation: a fresh session epoch makes every live node reject
+  // DATA that was addressed to the previous life of this id.
+  c.epoch += 1;
   c.listener = listen_on(c.addr);  // same path / port as before the crash
   c.alive.store(true, std::memory_order_release);
   NodeCtx* p = &c;
   c.thread = std::thread([this, p] { node_loop(*p, /*initial=*/false); });
+  // Tell everyone the id is back with a new incarnation. This expires
+  // re-dial cooldowns immediately (a cooldown that started just before the
+  // revive must not keep suppressing sends to a now-alive peer) and purges
+  // (surfaces) retransmit-queue entries addressed to the dead incarnation.
+  const ProcessId rid = c.id;
+  const std::uint64_t e = c.epoch;
+  for (auto& other : nodes_) {
+    if (other->id == rid) {
+      continue;
+    }
+    NodeCtx* oc = other.get();
+    post(other->id, [this, oc, rid, e] { observe_peer(*oc, rid, e); });
+  }
 }
 
 bool LiveTransport::alive(ProcessId id) const {
@@ -346,7 +430,7 @@ std::vector<LifeEvent> LiveTransport::revive_events() const {
 std::uint64_t LiveTransport::delivered_messages() const {
   std::uint64_t k = 0;
   for (const auto& c : nodes_) {
-    k += c->delivered;
+    k += c->tc.msgs_delivered;
   }
   return k;
 }
@@ -354,7 +438,7 @@ std::uint64_t LiveTransport::delivered_messages() const {
 std::uint64_t LiveTransport::dropped_messages() const {
   std::uint64_t k = 0;
   for (const auto& c : nodes_) {
-    k += c->dropped;
+    k += c->tc.msgs_dropped;
   }
   return k;
 }
@@ -362,7 +446,7 @@ std::uint64_t LiveTransport::dropped_messages() const {
 std::uint64_t LiveTransport::frame_errors() const {
   std::uint64_t k = 0;
   for (const auto& c : nodes_) {
-    k += c->frame_errors;
+    k += c->tc.frame_errors;
   }
   return k;
 }
@@ -373,6 +457,23 @@ std::uint64_t LiveTransport::connections_accepted() const {
     k += c->accepted;
   }
   return k;
+}
+
+TransportCounters LiveTransport::stats() const {
+  TransportCounters t;
+  for (const auto& c : nodes_) {
+    t.add(c->tc);
+  }
+  return t;
+}
+
+std::vector<ChaosEvent> LiveTransport::chaos_events() const {
+  std::vector<ChaosEvent> all;
+  for (const auto& c : nodes_) {
+    all.insert(all.end(), c->chaos_log.begin(), c->chaos_log.end());
+  }
+  canonical_sort(all);
+  return all;
 }
 
 // ---- Timers -----------------------------------------------------------------
@@ -423,7 +524,7 @@ void LiveTransport::fire_due_timers(NodeCtx& c) {
 
 void LiveTransport::do_send(NodeCtx& c, transport::Message msg) {
   if (!c.alive.load(std::memory_order_relaxed)) {
-    ++c.dropped;
+    ++c.tc.msgs_dropped;
     return;
   }
   const auto* bytes = std::any_cast<std::vector<std::uint8_t>>(&msg.payload);
@@ -431,11 +532,11 @@ void LiveTransport::do_send(NodeCtx& c, transport::Message msg) {
               "LiveTransport: payloads must be wire-encoded bytes "
               "(run with wire_encoding enabled)");
   if (msg.dst < 0 || idx(msg.dst) >= nodes_.size()) {
-    ++c.dropped;
+    ++c.tc.msgs_dropped;
     return;
   }
   if (link_ok_ && !link_ok_(msg.src, msg.dst)) {
-    ++c.dropped;
+    ++c.tc.msgs_dropped;
     return;
   }
   msg.wire_bytes = bytes->size();
@@ -443,29 +544,117 @@ void LiveTransport::do_send(NodeCtx& c, transport::Message msg) {
   if (c.metrics != nullptr) {
     c.metrics->on_send(msg.src, msg.type, msg.wire_words, msg.wire_bytes);
   }
+  ++c.tc.reliable_sent;
   if (msg.dst == c.id) {
     // Loopback to self: deliver inline on this (the correct) thread.
-    msg.id = ++c.delivered;
+    msg.id = ++c.tc.msgs_delivered;
     c.node->on_message(msg);
     return;
   }
-  Conn* conn = outgoing_conn(c, msg.dst);
-  if (conn == nullptr) {
-    ++c.dropped;
+  NodeCtx::PeerSend& ps = c.peer_send[idx(msg.dst)];
+  if (ps.unacked.size() >= cfg_.retx_queue_cap) {
+    // Bounded queue: surface the oldest entry to make room. The peer has
+    // been unresponsive for the whole queue's worth of traffic.
+    ps.unacked.erase(ps.unacked.begin());
+    ++c.tc.surfaced_losses;
+    c.unreachable_pending.insert(msg.dst);
+  }
+  const SeqNum seq = ps.next_seq++;
+  NodeCtx::Pending p;
+  p.dst_epoch = c.peer_epoch[idx(msg.dst)];
+  {
+    wire::Encoder e;
+    e.put_u8(kFrameData);
+    e.put_varint(static_cast<std::uint64_t>(msg.src));
+    e.put_varint(static_cast<std::uint64_t>(msg.dst));
+    e.put_varint(c.epoch);
+    e.put_varint(p.dst_epoch);
+    e.put_varint(seq);
+    e.put_varint(static_cast<std::uint32_t>(msg.type));
+    e.put_varint(msg.wire_words);
+    p.body = e.take();
+    p.body.insert(p.body.end(), bytes->begin(), bytes->end());
+  }
+  transmit(c, msg.dst, seq, /*attempt=*/0, p.body);
+  p.attempts = 1;
+  p.backoff = to_real(cfg_.retx_initial);
+  p.next_retx = Clock::now() + jittered(c, p.backoff);
+  c.reliability_due = std::min(c.reliability_due, p.next_retx);
+  ps.unacked.emplace(seq, std::move(p));
+}
+
+void LiveTransport::transmit(NodeCtx& c, ProcessId dst, SeqNum seq,
+                             int attempt,
+                             const std::vector<std::uint8_t>& body) {
+  const ChaosConfig& ch = cfg_.chaos;
+  ChaosDecision d;
+  if (ch.any_faults()) {
+    const SimTime t = now();
+    if (ch.active_at(t)) {
+      if (partitioned(ch, c.id, dst, t)) {
+        c.chaos_log.push_back(
+            {ChaosEvent::Kind::kPartition, c.id, dst, seq, attempt});
+        ++c.tc.chaos_events;
+        return;  // swallowed; the retransmit path tries again later
+      }
+      d = plan_frame(ch, c.id, dst, seq, attempt);
+    }
+  }
+  if (d.reset) {
+    c.chaos_log.push_back({ChaosEvent::Kind::kReset, c.id, dst, seq, attempt});
+    ++c.tc.chaos_events;
+    ++c.tc.conn_resets;
+    // The peer is healthy, only the connection dies: erase without the
+    // peer-down cooldown so the next transmission re-dials immediately.
+    c.outgoing.erase(dst);
     return;
   }
-  wire::Encoder e;
-  e.put_u8(kFrameData);
-  e.put_varint(static_cast<std::uint64_t>(msg.src));
-  e.put_varint(static_cast<std::uint64_t>(msg.dst));
-  e.put_varint(static_cast<std::uint32_t>(msg.type));
-  e.put_varint(msg.wire_words);
-  std::vector<std::uint8_t> body = e.take();
-  body.insert(body.end(), bytes->begin(), bytes->end());
-  wire::append_frame(conn->outbuf, body);
+  if (d.drop) {
+    c.chaos_log.push_back({ChaosEvent::Kind::kDrop, c.id, dst, seq, attempt});
+    ++c.tc.chaos_events;
+    return;
+  }
+  std::vector<std::uint8_t> framed;
+  wire::append_frame(framed, body);
+  if (d.corrupt) {
+    c.chaos_log.push_back(
+        {ChaosEvent::Kind::kCorrupt, c.id, dst, seq, attempt});
+    ++c.tc.chaos_events;
+    framed[corrupt_offset(ch, c.id, dst, seq, attempt, framed.size())] ^= 0x20;
+  }
+  if (d.copies > 1) {
+    c.chaos_log.push_back(
+        {ChaosEvent::Kind::kDuplicate, c.id, dst, seq, attempt});
+    ++c.tc.chaos_events;
+  }
+  if (d.delay > 0.0) {
+    c.chaos_log.push_back({ChaosEvent::Kind::kDelay, c.id, dst, seq, attempt});
+    ++c.tc.chaos_events;
+    const Clock::time_point due = Clock::now() + to_real(d.delay);
+    for (int k = 0; k < d.copies; ++k) {
+      if (c.delayed.size() >= kMaxDelayed) {
+        break;  // delayed copy lost; retransmission recovers the original
+      }
+      c.delayed.push_back({due, dst, framed});
+    }
+    c.reliability_due = std::min(c.reliability_due, due);
+    return;
+  }
+  for (int k = 0; k < d.copies; ++k) {
+    write_framed(c, dst, framed);
+  }
+}
+
+void LiveTransport::write_framed(NodeCtx& c, ProcessId dst,
+                                 const std::vector<std::uint8_t>& framed) {
+  Conn* conn = outgoing_conn(c, dst);
+  if (conn == nullptr) {
+    return;  // cooling down or unreachable; the retransmit path recovers
+  }
+  conn->outbuf.insert(conn->outbuf.end(), framed.begin(), framed.end());
   if (!flush_conn(*conn)) {
-    ++c.dropped;
-    drop_outgoing(c, msg.dst);
+    ++c.tc.conn_resets;
+    drop_outgoing(c, dst);
   }
 }
 
@@ -475,7 +664,7 @@ LiveTransport::Conn* LiveTransport::outgoing_conn(NodeCtx& c, ProcessId dst) {
     return it->second.get();
   }
   if (Clock::now() < c.peer_down[idx(dst)]) {
-    return nullptr;  // cooling down; drop instead of re-dialing
+    return nullptr;  // cooling down; skip the dial until it lapses
   }
   const SockAddr& addr = nodes_[idx(dst)]->addr;
   Fd fd;
@@ -503,6 +692,7 @@ LiveTransport::Conn* LiveTransport::outgoing_conn(NodeCtx& c, ProcessId dst) {
   e.put_varint(kLiveProtocolVersion);
   e.put_varint(static_cast<std::uint64_t>(c.id));
   e.put_varint(nodes_.size());
+  e.put_varint(c.epoch);
   wire::append_frame(conn->outbuf, e.bytes());
   Conn* p = conn.get();
   c.outgoing.emplace(dst, std::move(conn));
@@ -536,6 +726,145 @@ void LiveTransport::drop_outgoing(NodeCtx& c, ProcessId peer) {
   c.peer_down[idx(peer)] = Clock::now() + cfg_.peer_down_cooldown;
 }
 
+// ---- Reliability (runs on the sender's loop thread) -------------------------
+
+Clock::duration LiveTransport::jittered(NodeCtx& c, Clock::duration d) {
+  const double f = 1.0 + cfg_.retx_jitter * c.rng.uniform01();
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(
+          std::chrono::duration<double>(d).count() * f));
+}
+
+void LiveTransport::observe_peer(NodeCtx& c, ProcessId peer,
+                                 std::uint64_t epoch) {
+  if (peer < 0 || idx(peer) >= nodes_.size() || peer == c.id) {
+    return;
+  }
+  // Signs of life: whatever cooldown was pending, the peer answers now.
+  c.peer_down[idx(peer)] = Clock::time_point{};
+  if (epoch <= c.peer_epoch[idx(peer)]) {
+    return;
+  }
+  c.peer_epoch[idx(peer)] = epoch;
+  // Queued messages addressed to the dead incarnation must not reach the
+  // new one (it would be replaying another life's conversation); purge them
+  // and surface the loss so the protocol stack can recover (ft::reattach).
+  NodeCtx::PeerSend& ps = c.peer_send[idx(peer)];
+  std::size_t purged = 0;
+  for (auto it = ps.unacked.begin(); it != ps.unacked.end();) {
+    if (it->second.dst_epoch < epoch) {
+      it = ps.unacked.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  if (purged != 0) {
+    c.tc.surfaced_losses += purged;
+    c.unreachable_pending.insert(peer);
+  }
+  // Any open connection still points at the dead incarnation's socket;
+  // drop it (no cooldown) so the next transmission re-dials the new one.
+  c.outgoing.erase(peer);
+}
+
+void LiveTransport::service_reliability(NodeCtx& c) {
+  // Surface losses discovered since the last turn. Deferred to here so the
+  // upcall (which may send, e.g. reattach probes) never runs inside the
+  // scan or dispatch that found the loss.
+  if (!c.unreachable_pending.empty()) {
+    std::vector<ProcessId> peers(c.unreachable_pending.begin(),
+                                 c.unreachable_pending.end());
+    c.unreachable_pending.clear();
+    for (const ProcessId peer : peers) {
+      c.node->on_peer_unreachable(peer);
+    }
+  }
+  const Clock::time_point t = Clock::now();
+  c.reliability_due = Clock::time_point::max();
+  // Release chaos-delayed frames that have matured.
+  for (std::size_t i = 0; i < c.delayed.size();) {
+    if (c.delayed[i].due <= t) {
+      const ProcessId dst = c.delayed[i].dst;
+      std::vector<std::uint8_t> framed = std::move(c.delayed[i].framed);
+      c.delayed.erase(c.delayed.begin() + static_cast<std::ptrdiff_t>(i));
+      write_framed(c, dst, framed);
+    } else {
+      c.reliability_due = std::min(c.reliability_due, c.delayed[i].due);
+      ++i;
+    }
+  }
+  // Retransmit scan: due entries either go out again (backoff doubled) or,
+  // once the budget is spent, are surfaced.
+  for (std::size_t pi = 0; pi < c.peer_send.size(); ++pi) {
+    const ProcessId peer = static_cast<ProcessId>(pi);
+    NodeCtx::PeerSend& ps = c.peer_send[pi];
+    for (auto it = ps.unacked.begin(); it != ps.unacked.end();) {
+      NodeCtx::Pending& p = it->second;
+      if (p.next_retx > t) {
+        c.reliability_due = std::min(c.reliability_due, p.next_retx);
+        ++it;
+        continue;
+      }
+      if (p.attempts >= cfg_.retx_max_attempts) {
+        ++c.tc.surfaced_losses;
+        c.unreachable_pending.insert(peer);
+        it = ps.unacked.erase(it);
+        continue;
+      }
+      ++c.tc.retransmits;
+      transmit(c, peer, it->first, p.attempts, p.body);
+      ++p.attempts;
+      p.backoff = std::min(p.backoff * 2, to_real(cfg_.retx_max_backoff));
+      p.next_retx = t + jittered(c, p.backoff);
+      c.reliability_due = std::min(c.reliability_due, p.next_retx);
+      ++it;
+    }
+  }
+}
+
+void LiveTransport::flush_pending_acks(NodeCtx& c) {
+  if (c.ack_pending.empty()) {
+    return;
+  }
+  std::set<ProcessId> peers;
+  peers.swap(c.ack_pending);
+  for (const ProcessId peer : peers) {
+    send_ack(c, peer);
+  }
+}
+
+void LiveTransport::send_ack(NodeCtx& c, ProcessId peer) {
+  const NodeCtx::PeerRecv& pr = c.peer_recv[idx(peer)];
+  if (pr.epoch == 0) {
+    return;  // nothing delivered from this peer yet
+  }
+  wire::Encoder e;
+  e.put_u8(kFrameAck);
+  e.put_varint(static_cast<std::uint64_t>(c.id));
+  e.put_varint(static_cast<std::uint64_t>(peer));
+  e.put_varint(c.epoch);
+  e.put_varint(pr.epoch);
+  e.put_varint(pr.cum);
+  const std::size_t k = std::min(pr.above.size(), kMaxSacks);
+  e.put_varint(k);
+  std::size_t i = 0;
+  for (const SeqNum s : pr.above) {
+    if (i == k) {
+      break;
+    }
+    e.put_varint(s);
+    ++i;
+  }
+  std::vector<std::uint8_t> framed;
+  wire::append_frame(framed, e.bytes());
+  ++c.tc.acks_sent;
+  // ACKs bypass transmit(): chaos never perturbs the control plane (see
+  // rt/chaos.hpp). Loss is still possible via connection resets and is
+  // recovered by the sender's retransmit, which re-triggers the ACK.
+  write_framed(c, peer, framed);
+}
+
 // ---- Receive path -----------------------------------------------------------
 
 void LiveTransport::handle_payload(NodeCtx& c, Conn& conn,
@@ -558,21 +887,76 @@ void LiveTransport::handle_payload(NodeCtx& c, Conn& conn,
     if (d.get_varint() != nodes_.size()) {
       throw wire::DecodeError("live: HELLO cluster-size mismatch");
     }
+    const std::uint64_t peer_epoch = d.get_varint();
     conn.peer = peer;
     conn.hello_seen = true;
+    observe_peer(c, peer, peer_epoch);
     return;
   }
-  if (kind != kFrameData || !conn.hello_seen) {
-    throw wire::DecodeError("live: unexpected frame kind");
+  if (!conn.hello_seen) {
+    throw wire::DecodeError("live: frame before HELLO");
   }
+  if (kind == kFrameData) {
+    handle_data(c, conn, d, payload);
+    return;
+  }
+  if (kind == kFrameAck) {
+    handle_ack(c, d);
+    return;
+  }
+  throw wire::DecodeError("live: unexpected frame kind");
+}
+
+void LiveTransport::handle_data(NodeCtx& c, Conn& conn, wire::Decoder& d,
+                                const std::vector<std::uint8_t>& payload) {
+  (void)conn;
   transport::Message m;
   m.src = static_cast<ProcessId>(d.get_varint());
   m.dst = static_cast<ProcessId>(d.get_varint());
+  const std::uint64_t src_epoch = d.get_varint();
+  const std::uint64_t dst_epoch = d.get_varint();
+  const SeqNum seq = d.get_varint();
   m.type = static_cast<int>(d.get_varint());
   m.wire_words = static_cast<std::size_t>(d.get_varint());
   if (m.dst != c.id) {
     throw wire::DecodeError("live: misrouted frame");
   }
+  if (m.src < 0 || idx(m.src) >= nodes_.size()) {
+    throw wire::DecodeError("live: DATA from unknown peer");
+  }
+  // The frame proves its sender is alive with `src_epoch`.
+  observe_peer(c, m.src, src_epoch);
+  if (dst_epoch != c.epoch) {
+    // Addressed to a previous incarnation of this node: a stale
+    // retransmission that must not leak into the new life. No ACK — the
+    // sender purges and surfaces it when it observes the new epoch.
+    ++c.tc.stale_rejected;
+    return;
+  }
+  NodeCtx::PeerRecv& pr = c.peer_recv[idx(m.src)];
+  if (src_epoch < pr.epoch) {
+    ++c.tc.stale_rejected;  // late frame from a superseded sender life
+    return;
+  }
+  if (src_epoch > pr.epoch) {
+    pr = NodeCtx::PeerRecv{};  // new sender incarnation, new seq space
+    pr.epoch = src_epoch;
+  }
+  if (seq <= pr.cum || pr.above.count(seq) != 0) {
+    ++c.tc.dups_suppressed;
+    c.ack_pending.insert(m.src);  // re-ack: the first ACK may have been lost
+    return;
+  }
+  if (seq == pr.cum + 1) {
+    ++pr.cum;
+    while (!pr.above.empty() && *pr.above.begin() == pr.cum + 1) {
+      ++pr.cum;
+      pr.above.erase(pr.above.begin());
+    }
+  } else {
+    pr.above.insert(seq);
+  }
+  c.ack_pending.insert(m.src);
   const std::size_t rest = d.remaining();
   std::vector<std::uint8_t> body(payload.end() -
                                      static_cast<std::ptrdiff_t>(rest),
@@ -580,8 +964,38 @@ void LiveTransport::handle_payload(NodeCtx& c, Conn& conn,
   m.wire_bytes = body.size();
   m.payload = std::move(body);
   m.sent_at = now();  // delivery stamp; the wire does not carry send time
-  m.id = ++c.delivered;
+  m.id = ++c.tc.msgs_delivered;
   c.node->on_message(m);
+}
+
+void LiveTransport::handle_ack(NodeCtx& c, wire::Decoder& d) {
+  const auto acker = static_cast<ProcessId>(d.get_varint());
+  const auto dst = static_cast<ProcessId>(d.get_varint());
+  const std::uint64_t acker_epoch = d.get_varint();
+  const std::uint64_t acked_epoch = d.get_varint();
+  const SeqNum cum = d.get_varint();
+  const std::uint64_t nsacks = d.get_varint();
+  if (dst != c.id) {
+    throw wire::DecodeError("live: misrouted ACK");
+  }
+  if (acker < 0 || idx(acker) >= nodes_.size()) {
+    throw wire::DecodeError("live: ACK from unknown peer");
+  }
+  if (nsacks > kMaxSacks) {
+    throw wire::DecodeError("live: oversized ACK");
+  }
+  observe_peer(c, acker, acker_epoch);
+  NodeCtx::PeerSend& ps = c.peer_send[idx(acker)];
+  for (std::uint64_t i = 0; i < nsacks; ++i) {
+    const SeqNum s = d.get_varint();
+    if (acked_epoch == c.epoch) {
+      ps.unacked.erase(s);
+    }
+  }
+  if (acked_epoch != c.epoch) {
+    return;  // acknowledges a previous life's messages; nothing to release
+  }
+  ps.unacked.erase(ps.unacked.begin(), ps.unacked.upper_bound(cum));
 }
 
 // ---- Event loop -------------------------------------------------------------
@@ -622,6 +1036,7 @@ void LiveTransport::node_loop(NodeCtx& c, const bool initial) {
       return;
     }
     fire_due_timers(c);
+    service_reliability(c);
     loop_iteration(c);
   }
 }
@@ -654,13 +1069,14 @@ void LiveTransport::loop_iteration(NodeCtx& c) {
     slots.push_back({Slot::What::kOutgoing, 0, peer});
   }
 
-  // Sleep until the next timer (capped; the wake pipe cuts it short).
+  // Sleep until the next timer or reliability deadline (capped; the wake
+  // pipe cuts it short).
   int timeout_ms = 100;
-  if (!c.timers.empty()) {
-    Clock::time_point next = c.timers.begin()->second.due;
-    for (const auto& [tid, rec] : c.timers) {
-      next = std::min(next, rec.due);
-    }
+  Clock::time_point next = c.reliability_due;
+  for (const auto& [tid, rec] : c.timers) {
+    next = std::min(next, rec.due);
+  }
+  if (next != Clock::time_point::max()) {
     const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
         next - Clock::now());
     timeout_ms = static_cast<int>(
@@ -714,10 +1130,15 @@ void LiveTransport::loop_iteration(NodeCtx& c) {
               handle_payload(c, conn, *p);
             }
           } catch (const wire::FrameError&) {
-            ++c.frame_errors;
+            // The byte stream has lost sync: the only safe recovery is to
+            // drop the connection and let the sender re-dial (its session
+            // layer retransmits whatever the broken tail swallowed).
+            ++c.tc.frame_errors;
+            ++c.tc.conn_resets;
             dead_inbound.push_back(slot.index);
           } catch (const wire::DecodeError&) {
-            ++c.frame_errors;
+            ++c.tc.frame_errors;
+            ++c.tc.conn_resets;
             dead_inbound.push_back(slot.index);
           }
         } else if (k == 0 || (errno != EAGAIN && errno != EWOULDBLOCK &&
@@ -736,8 +1157,7 @@ void LiveTransport::loop_iteration(NodeCtx& c) {
         Conn& conn = *it->second;
         bool broken = false;
         if ((re & POLLOUT) != 0 && !flush_conn(conn)) {
-          ++c.dropped;  // whatever was still queued is lost
-          broken = true;
+          broken = true;  // queued frames lost; retransmission recovers them
         }
         if ((re & (POLLIN | POLLHUP | POLLERR)) != 0 && !broken) {
           const ssize_t k =
@@ -756,6 +1176,7 @@ void LiveTransport::loop_iteration(NodeCtx& c) {
     }
   }
   for (const ProcessId peer : dead_outgoing) {
+    ++c.tc.conn_resets;
     drop_outgoing(c, peer);
   }
   if (!dead_inbound.empty()) {
@@ -765,6 +1186,8 @@ void LiveTransport::loop_iteration(NodeCtx& c) {
       c.inbound.erase(c.inbound.begin() + static_cast<std::ptrdiff_t>(i));
     }
   }
+  // ACKs owed for this turn's deliveries, coalesced per peer.
+  flush_pending_acks(c);
 }
 
 void LiveTransport::do_crash(NodeCtx& c) {
@@ -784,6 +1207,21 @@ void LiveTransport::do_crash(NodeCtx& c) {
 }
 
 void LiveTransport::shutdown_io(NodeCtx& c) {
+  // Messages still awaiting acknowledgment die with this incarnation;
+  // account them as surfaced so no loss is ever silent. (At a clean stop
+  // after a drain these queues are empty and the counter is untouched.)
+  for (NodeCtx::PeerSend& ps : c.peer_send) {
+    c.tc.surfaced_losses += ps.unacked.size();
+    ps = NodeCtx::PeerSend{};
+  }
+  for (NodeCtx::PeerRecv& pr : c.peer_recv) {
+    pr = NodeCtx::PeerRecv{};
+  }
+  std::fill(c.peer_down.begin(), c.peer_down.end(), Clock::time_point{});
+  c.delayed.clear();
+  c.ack_pending.clear();
+  c.unreachable_pending.clear();
+  c.reliability_due = Clock::time_point::max();
   c.inbound.clear();
   c.outgoing.clear();
   c.timers.clear();

@@ -23,6 +23,25 @@
 //   * Flow control is structural: one bounded read per connection per wake
 //     feeds frames that are dispatched inline, so a slow node simply lets
 //     TCP/socket buffers fill and senders queue in their outbufs.
+//
+// Reliable delivery (protocol v2): every DATA frame carries the sender's
+// session epoch, the sender's last-observed incarnation of the destination,
+// and a per-(sender, destination) monotone sequence number. Receivers
+// suppress duplicates, reject frames addressed to a previous incarnation of
+// themselves or carrying a superseded sender epoch, and return cumulative +
+// selective ACK frames. Senders keep unacknowledged DATA in a bounded
+// per-peer retransmit queue (exponential backoff with jitter); when the
+// retransmit budget is exhausted, the peer's incarnation changes under
+// queued messages, or the node shuts down with messages still queued, the
+// loss is *surfaced* through transport::Node::on_peer_unreachable and the
+// surfaced_losses counter — never silently dropped. The invariant the chaos
+// suite checks is `delivered + surfaced_losses >= sent` and
+// `delivered <= sent` (unique deliveries only).
+//
+// Chaos injection: LiveConfig::chaos perturbs DATA frames at the frame
+// boundary (drop / duplicate / corrupt / delay / reset / partition) with
+// decisions that are a pure function of (seed, src, dst, seq, attempt) —
+// see rt/chaos.hpp. HELLO and ACK frames are never perturbed.
 #pragma once
 
 #include <atomic>
@@ -36,9 +55,14 @@
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "metrics/counters.hpp"
+#include "rt/chaos.hpp"
 #include "rt/socket.hpp"
 #include "transport/endpoint.hpp"
 #include "transport/node.hpp"
+
+namespace hpd::wire {
+class Decoder;
+}
 
 namespace hpd::rt {
 
@@ -52,16 +76,36 @@ struct LiveConfig {
   /// Blocking connect: attempts and doubling backoff between them.
   int connect_retries = 5;
   std::chrono::milliseconds connect_backoff{1};
-  /// After a failed connect / broken pipe, drop sends to the peer without
-  /// re-dialing for this long.
+  /// After a failed connect / broken pipe, skip re-dialing the peer for this
+  /// long. Queued DATA is retransmitted once the cooldown lapses; the
+  /// cooldown is expired early when the peer is observed alive again
+  /// (inbound HELLO/ACK, or the revive() broadcast).
   std::chrono::milliseconds peer_down_cooldown{50};
   /// Directory for unix socket paths; empty → private mkdtemp directory
   /// (removed at shutdown).
   std::string socket_dir;
+
+  // ---- Reliable-delivery session layer (SimTime units) ----------------------
+  /// First retransmit fires this long after the original send.
+  SimTime retx_initial = 2.0;
+  /// Backoff doubles per attempt up to this ceiling.
+  SimTime retx_max_backoff = 16.0;
+  /// Each backoff is stretched by uniform[0, retx_jitter] to decorrelate
+  /// retransmit bursts (timing only — chaos decisions don't see it).
+  double retx_jitter = 0.25;
+  /// Transmissions per message (including the first) before the loss is
+  /// surfaced via Node::on_peer_unreachable.
+  int retx_max_attempts = 12;
+  /// Per-peer unacked-queue bound; overflow surfaces the oldest entry.
+  std::size_t retx_queue_cap = 4096;
+
+  /// Frame-level fault injection (DATA frames only); see rt/chaos.hpp.
+  ChaosConfig chaos;
 };
 
-/// Handshake version carried in every connection's HELLO frame.
-inline constexpr std::uint64_t kLiveProtocolVersion = 1;
+/// Handshake version carried in every connection's HELLO frame. v2 adds the
+/// sender's session epoch to HELLO and (epoch, seq) bookkeeping to DATA.
+inline constexpr std::uint64_t kLiveProtocolVersion = 2;
 
 /// An actual (measured) crash or revive instant, in SimTime units.
 struct LifeEvent {
@@ -128,7 +172,10 @@ class LiveTransport {
   void crash(ProcessId id);
 
   /// Bring a crashed node back: re-bind the same address, spawn a fresh
-  /// loop thread that first runs the registered on_revive callback.
+  /// loop thread that first runs the registered on_revive callback. The
+  /// node starts a new session epoch, and every live node is told about it
+  /// so stale queued messages to the dead incarnation are purged (surfaced)
+  /// and re-dial cooldowns expire immediately.
   void revive(ProcessId id);
 
   bool alive(ProcessId id) const;
@@ -155,6 +202,12 @@ class LiveTransport {
   std::uint64_t dropped_messages() const;
   std::uint64_t frame_errors() const;
   std::uint64_t connections_accepted() const;
+  /// Session-layer counters, aggregated over all nodes.
+  TransportCounters stats() const;
+  /// All injected chaos events, merged across senders in canonical order
+  /// (run-to-run identical for a fixed seed/config/workload — the
+  /// determinism contract of rt/chaos.hpp).
+  std::vector<ChaosEvent> chaos_events() const;
 
  private:
   friend class LiveEndpoint;
@@ -170,7 +223,27 @@ class LiveTransport {
   void fire_due_timers(NodeCtx& c);
   void handle_payload(NodeCtx& c, Conn& conn,
                       const std::vector<std::uint8_t>& payload);
+  void handle_data(NodeCtx& c, Conn& conn, wire::Decoder& d,
+                   const std::vector<std::uint8_t>& payload);
+  void handle_ack(NodeCtx& c, wire::Decoder& d);
   void do_send(NodeCtx& c, transport::Message msg);
+  /// One (possibly chaos-perturbed) transmission of an encoded DATA body.
+  void transmit(NodeCtx& c, ProcessId dst, SeqNum seq, int attempt,
+                const std::vector<std::uint8_t>& body);
+  /// Queue already-framed bytes on the outgoing connection to `dst`.
+  void write_framed(NodeCtx& c, ProcessId dst,
+                    const std::vector<std::uint8_t>& framed);
+  /// Retransmit scan + delayed-chaos-frame release + deferred
+  /// on_peer_unreachable upcalls. Runs once per loop turn.
+  void service_reliability(NodeCtx& c);
+  void flush_pending_acks(NodeCtx& c);
+  void send_ack(NodeCtx& c, ProcessId peer);
+  /// Record that `peer` is alive with incarnation `epoch`: expires the
+  /// re-dial cooldown, and on an epoch raise purges (surfaces) queued
+  /// messages addressed to the dead incarnation.
+  void observe_peer(NodeCtx& c, ProcessId peer, std::uint64_t epoch);
+  std::chrono::steady_clock::duration jittered(
+      NodeCtx& c, std::chrono::steady_clock::duration d);
   Conn* outgoing_conn(NodeCtx& c, ProcessId dst);
   bool flush_conn(Conn& conn);
   void drop_outgoing(NodeCtx& c, ProcessId peer);

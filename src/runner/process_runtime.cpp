@@ -462,6 +462,29 @@ void ProcessRuntime::on_neighbor_failed(ProcessId neighbor, bool was_parent) {
   }
 }
 
+void ProcessRuntime::on_peer_unreachable(ProcessId peer) {
+  // The live transport gave up on messages to `peer` (retransmit budget
+  // exhausted, or the peer's incarnation changed under queued messages).
+  // For tree neighbors that is indistinguishable from a detected failure,
+  // so route it through the same path the heartbeat timeout uses — the
+  // hb_ state must be cleared first or the next heartbeat round would
+  // re-report the same neighbor. Non-tree traffic (probes, attach
+  // requests) has its own retry logic and is left alone.
+  if (!hb_ || peer == self_) {
+    return;
+  }
+  HPD_DEBUG("node " << self_ << ": transport surfaced loss to peer " << peer
+                    << " at t=" << shared_.net->now());
+  if (peer == parent_) {
+    hb_->clear_parent();
+    on_neighbor_failed(peer, /*was_parent=*/true);
+  } else if (std::find(children_.begin(), children_.end(), peer) !=
+             children_.end()) {
+    hb_->remove_child(peer);
+    on_neighbor_failed(peer, /*was_parent=*/false);
+  }
+}
+
 bool ProcessRuntime::should_resend_last() const {
   if (!shared_.config->resend_last_on_attach || !last_sent_.has_value()) {
     return false;

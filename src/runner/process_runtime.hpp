@@ -103,6 +103,7 @@ class ProcessRuntime final : public transport::Node {
   void on_start() override;
   void on_message(const transport::Message& msg) override;
   void on_timer(int tag) override;
+  void on_peer_unreachable(ProcessId peer) override;
 
   // ---- Inspection (results collection / tests) ---------------------------
 

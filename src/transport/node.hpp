@@ -25,6 +25,15 @@ class Node {
   /// so implementations can drop resources; after this, the transport never
   /// invokes the node again (until an explicit revive).
   virtual void on_crash() {}
+
+  /// The transport has abandoned delivery of one or more messages this node
+  /// sent to `peer` (retransmit budget exhausted, or the peer's incarnation
+  /// changed under the queued messages). Losses are surfaced, never silent:
+  /// implementations should treat the peer like a failed neighbor (e.g.
+  /// trigger ft::reattach) or re-issue the request. Only the live transport
+  /// calls this — the simulator's losses are planned, not discovered — and
+  /// it does so on this node's loop thread like every other callback.
+  virtual void on_peer_unreachable(ProcessId peer) { (void)peer; }
 };
 
 }  // namespace hpd::transport

@@ -69,7 +69,17 @@ std::vector<std::uint8_t> frame(std::span<const std::uint8_t> payload) {
   return out;
 }
 
+void FrameReader::poison(const char* what) {
+  poisoned_ = true;
+  buf_.clear();
+  pos_ = 0;
+  throw FrameError(what);
+}
+
 void FrameReader::feed(std::span<const std::uint8_t> bytes) {
+  if (poisoned_) {
+    throw FrameError("frame reader poisoned by earlier corruption");
+  }
   // Reclaim the consumed prefix before growing (amortized O(1) per byte).
   if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 4096)) {
     buf_.erase(buf_.begin(),
@@ -80,6 +90,9 @@ void FrameReader::feed(std::span<const std::uint8_t> bytes) {
 }
 
 std::optional<std::vector<std::uint8_t>> FrameReader::next() {
+  if (poisoned_) {
+    throw FrameError("frame reader poisoned by earlier corruption");
+  }
   // Decode the length prefix without committing pos_ (it may be truncated).
   std::uint64_t len = 0;
   std::size_t shift = 0;
@@ -89,7 +102,7 @@ std::optional<std::vector<std::uint8_t>> FrameReader::next() {
       return std::nullopt;  // truncated length prefix: wait for more bytes
     }
     if (used >= kMaxLenBytes) {
-      throw FrameError("frame length prefix too long");
+      poison("frame length prefix too long");
     }
     const std::uint8_t b = buf_[pos_ + used];
     ++used;
@@ -100,7 +113,7 @@ std::optional<std::vector<std::uint8_t>> FrameReader::next() {
     shift += 7;
   }
   if (len > kMaxFramePayload) {
-    throw FrameError("frame payload length exceeds kMaxFramePayload");
+    poison("frame payload length exceeds kMaxFramePayload");
   }
   const std::size_t total = used + static_cast<std::size_t>(len) + 4;
   if (buf_.size() - pos_ < total) {
@@ -115,7 +128,7 @@ std::optional<std::vector<std::uint8_t>> FrameReader::next() {
   const std::uint32_t got =
       crc32c(std::span<const std::uint8_t>(body, static_cast<std::size_t>(len)));
   if (got != expect) {
-    throw FrameError("frame checksum mismatch");
+    poison("frame checksum mismatch");
   }
   std::vector<std::uint8_t> payload(body, tail);
   pos_ += total;

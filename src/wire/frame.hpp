@@ -48,8 +48,11 @@ std::vector<std::uint8_t> frame(std::span<const std::uint8_t> payload);
 
 /// Incremental decoder: feed() raw stream chunks in arrival order, then
 /// call next() until it returns nullopt (= the buffered bytes hold no
-/// complete frame yet). Throws FrameError on corruption; the reader is
-/// unusable afterwards.
+/// complete frame yet). Throws FrameError on corruption, and the reader is
+/// *poisoned* afterwards: a stream that lost sync cannot be trusted again
+/// (there is no way to find the next frame boundary), so every later feed()
+/// or next() also throws. The only recovery is a fresh connection with a
+/// fresh reader — which is exactly what rt::LiveTransport does.
 class FrameReader {
  public:
   /// Append a chunk of the stream.
@@ -61,9 +64,15 @@ class FrameReader {
   /// Bytes buffered but not yet returned (diagnostics / tests).
   std::size_t buffered() const { return buf_.size() - pos_; }
 
+  /// True once corruption has been seen; the reader refuses further use.
+  bool poisoned() const { return poisoned_; }
+
  private:
+  [[noreturn]] void poison(const char* what);
+
   std::vector<std::uint8_t> buf_;
   std::size_t pos_ = 0;  ///< consumed prefix of buf_
+  bool poisoned_ = false;
 };
 
 }  // namespace hpd::wire

@@ -170,6 +170,42 @@ TEST(FrameDecoder, ResyncAfterGoodFramesThenGarbage) {
   EXPECT_THROW(r.next(), FrameError);
 }
 
+TEST(FrameDecoder, PoisonedAfterChecksumMismatch) {
+  // A stream that lost sync cannot be trusted again: after the first
+  // corruption the reader must refuse every further feed()/next(), even if
+  // the later bytes happen to form valid frames. Recovery is a fresh
+  // connection with a fresh reader (which is what rt::LiveTransport does).
+  std::vector<std::uint8_t> stream;
+  append_frame(stream, bytes_of({1, 2, 3}));
+  stream[2] ^= 0x10u;  // corrupt a payload byte: CRC mismatch
+  FrameReader r;
+  EXPECT_FALSE(r.poisoned());
+  r.feed(stream);
+  EXPECT_THROW(r.next(), FrameError);
+  EXPECT_TRUE(r.poisoned());
+
+  const auto good = frame(bytes_of({9}));
+  EXPECT_THROW(r.feed(good), FrameError);
+  EXPECT_THROW(r.next(), FrameError);
+  EXPECT_TRUE(r.poisoned());
+  EXPECT_EQ(r.buffered(), 0u);  // poisoning discards the untrusted buffer
+
+  // A fresh reader on the same good bytes works: the stream, not the
+  // frame format, is what went bad.
+  FrameReader fresh;
+  fresh.feed(good);
+  EXPECT_EQ(*fresh.next(), bytes_of({9}));
+}
+
+TEST(FrameDecoder, PoisonedAfterBadLengthPrefix) {
+  const auto evil = bytes_of({0xFF, 0xFF, 0xFF, 0xFF, 0x7F});
+  FrameReader r;
+  r.feed(evil);
+  EXPECT_THROW(r.next(), FrameError);
+  EXPECT_TRUE(r.poisoned());
+  EXPECT_THROW(r.feed(bytes_of({0})), FrameError);
+}
+
 TEST(FrameWriter, RejectsOversizedPayload) {
   std::vector<std::uint8_t> out;
   std::vector<std::uint8_t> huge(kMaxFramePayload + 1);

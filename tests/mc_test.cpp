@@ -141,6 +141,12 @@ TEST(McRepro, RoundTripPreservesEveryField) {
   c.recoveries.push_back({260.0, 4});
   c.drop_app_p = 0.125;
   c.dup_report_p = 0.0625;
+  c.chaos_drop_p = 0.1875;
+  c.chaos_dup_p = 0.09375;
+  c.chaos_corrupt_p = 0.03125;
+  c.chaos_reset_p = 0.015625;
+  c.chaos_delay_p = 0.25;
+  c.chaos_delay_max = 6.5;
   c.seed = 0xdeadbeefULL;
 
   const McCase back = parse_repro(to_repro(c));
@@ -160,6 +166,20 @@ TEST(McRepro, RoundTripPreservesEveryField) {
   EXPECT_EQ(back.recoveries[0].time, 260.0);
   EXPECT_EQ(back.drop_app_p, c.drop_app_p);
   EXPECT_EQ(back.dup_report_p, c.dup_report_p);
+  EXPECT_EQ(back.chaos_drop_p, c.chaos_drop_p);
+  EXPECT_EQ(back.chaos_dup_p, c.chaos_dup_p);
+  EXPECT_EQ(back.chaos_corrupt_p, c.chaos_corrupt_p);
+  EXPECT_EQ(back.chaos_reset_p, c.chaos_reset_p);
+  EXPECT_EQ(back.chaos_delay_p, c.chaos_delay_p);
+  EXPECT_EQ(back.chaos_delay_max, c.chaos_delay_max);
+  EXPECT_TRUE(back.has_live_chaos());
+  // Chaos is masked by the session layer: it must not demote the case out
+  // of the strict differential tier.
+  EXPECT_TRUE(McCase{}.strict());
+  McCase strict_chaos;
+  strict_chaos.chaos_drop_p = 0.5;
+  EXPECT_TRUE(strict_chaos.strict());
+  EXPECT_FALSE(strict_chaos.has_faults());
   EXPECT_EQ(back.seed, c.seed);
 }
 

@@ -19,6 +19,7 @@
 
 #include "common/rng.hpp"
 #include "metrics/counters.hpp"
+#include "rt/chaos.hpp"
 #include "rt/live_transport.hpp"
 #include "sim/delay.hpp"
 #include "sim/network.hpp"
@@ -348,6 +349,65 @@ TEST_P(TransportConformance, CrashStopsDeliveryAndAliveReflectsIt) {
   EXPECT_GE(nodes[1].received.size(), 5u);
   EXPECT_LE(nodes[1].received.size(), 40u);  // nothing delivered after death
   EXPECT_GE(nodes[0].timer_fires[1], 15);    // sender stayed live throughout
+}
+
+// Chaos injection must be a pure function of (seed, src, dst, seq, attempt):
+// two runs over real sockets — with all the kernel-scheduling jitter that
+// implies — must produce byte-identical chaos-event logs. Retransmission is
+// pushed past the test window so only first-attempt frames exist; otherwise
+// wall-clock-dependent retransmit counts would legitimately differ between
+// runs (each attempt is its own deterministic decision, but *how many*
+// attempts happen depends on timing).
+TEST(TransportChaosDeterminism, SameSeedSameEventLog) {
+  auto run_once = [] {
+    constexpr std::size_t kN = 3;
+    std::vector<ScriptNode> nodes(kN);
+    for (auto& node : nodes) {
+      node.start_fn = [](ScriptNode& n) {
+        for (ProcessId d = 0; d < static_cast<ProcessId>(kN); ++d) {
+          if (d == n.self) {
+            continue;
+          }
+          for (int k = 0; k < 20; ++k) {
+            n.send_to(d, 2, payload_bytes(k, d));
+          }
+        }
+      };
+    }
+    rt::LiveConfig cfg;
+    cfg.time_scale = 0.005;
+    cfg.retx_initial = 1.0e5;  // no retransmissions inside the test window
+    cfg.chaos.drop_p = 0.25;
+    cfg.chaos.dup_p = 0.15;
+    cfg.chaos.corrupt_p = 0.10;
+    cfg.chaos.reset_p = 0.05;
+    cfg.chaos.delay_p = 0.10;
+    cfg.chaos.seed = 42;
+    rt::LiveTransport net(kN, cfg);
+    for (std::size_t i = 0; i < kN; ++i) {
+      const auto id = static_cast<ProcessId>(i);
+      nodes[i].self = id;
+      nodes[i].net = &net.endpoint(id);
+      net.register_node(id, nodes[i]);
+    }
+    net.start();
+    net.sleep_until(net.now() + 20.0);
+    net.stop();
+    return net.chaos_events();
+  };
+
+  const std::vector<rt::ChaosEvent> a = run_once();
+  const std::vector<rt::ChaosEvent> b = run_once();
+  EXPECT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i] == b[i])
+        << "diverged at event " << i << ": " << rt::to_string(a[i].kind)
+        << " src=" << a[i].src << " dst=" << a[i].dst << " seq=" << a[i].seq
+        << " attempt=" << a[i].attempt << " vs " << rt::to_string(b[i].kind)
+        << " src=" << b[i].src << " dst=" << b[i].dst << " seq=" << b[i].seq
+        << " attempt=" << b[i].attempt;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

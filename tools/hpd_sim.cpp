@@ -64,6 +64,12 @@ namespace {
                       workload pulse or gossip, detector hier.
   --live-transport K  unix | tcp  (default unix; loopback either way)
   --live-scale S      real seconds per protocol time unit (default 0.01)
+  --chaos SPEC        frame-level fault injection on the live transport
+                      (requires --live): drop=P,dup=P,corrupt=P,reset=P,
+                      delay=P,delaymax=T — probabilities per DATA frame.
+                      The reliable session layer masks the faults, so the
+                      oracles are still expected to hold; the report gains
+                      retransmit / dup-suppression / surfaced-loss counters.
   --json              machine-readable JSON report on stdout
   --seed N            RNG seed (default 1)
   --repeat N          run N seeds (seed .. seed+N-1) in parallel and print
@@ -131,6 +137,7 @@ struct Options {
   bool live = false;
   bool live_tcp = false;
   double live_scale = 0.01;
+  std::string chaos;
   std::uint64_t seed = 1;
   std::size_t repeat = 1;
   ProcessId root = 0;
@@ -318,6 +325,8 @@ Options parse(int argc, char** argv) {
         std::cerr << "--live-scale needs a positive value\n";
         std::exit(2);
       }
+    } else if (arg == "--chaos") {
+      opt.chaos = value();
     } else if (arg == "--json") {
       opt.json = true;
     } else if (arg == "--fault-tolerant") {
@@ -454,11 +463,21 @@ void report_json(std::ostream& os, const Options& opt,
     os << "]";
   }
   if (live != nullptr) {
+    const TransportCounters& tc = live->res->transport;
     os << ",\n  \"live\": {\"transport\": \"" << live->transport
        << "\", \"scale\": " << json_num(live->scale)
        << ", \"delivered_messages\": " << live->res->delivered_messages
        << ", \"frame_errors\": " << live->res->frame_errors
        << ", \"connections_accepted\": " << live->res->connections_accepted;
+    os << ", \"reliability\": {\"sent\": " << tc.reliable_sent
+       << ", \"delivered\": " << tc.msgs_delivered
+       << ", \"retransmits\": " << tc.retransmits
+       << ", \"dups_suppressed\": " << tc.dups_suppressed
+       << ", \"surfaced_losses\": " << tc.surfaced_losses
+       << ", \"stale_rejected\": " << tc.stale_rejected
+       << ", \"conn_resets\": " << tc.conn_resets
+       << ", \"acks_sent\": " << tc.acks_sent
+       << ", \"chaos_events\": " << tc.chaos_events << "}";
     auto put_events = [&](const char* key,
                           const std::vector<rt::LifeEvent>& evs) {
       os << ", \"" << key << "\": [";
@@ -547,11 +566,21 @@ void report_text(std::ostream& os, const Options& opt,
   }
 
   if (live != nullptr) {
+    const TransportCounters& tc = live->res->transport;
     os << "\nlive transport: " << live->transport
        << " scale=" << live->scale
        << " delivered=" << live->res->delivered_messages
        << " frame-errors=" << live->res->frame_errors
        << " connections=" << live->res->connections_accepted << "\n";
+    os << "reliability: sent=" << tc.reliable_sent
+       << " delivered=" << tc.msgs_delivered
+       << " retransmits=" << tc.retransmits
+       << " dups-suppressed=" << tc.dups_suppressed
+       << " surfaced-losses=" << tc.surfaced_losses << "\n"
+       << "             stale-rejected=" << tc.stale_rejected
+       << " conn-resets=" << tc.conn_resets
+       << " acks=" << tc.acks_sent
+       << " chaos-events=" << tc.chaos_events << "\n";
     for (const rt::LifeEvent& ev : live->res->actual_crashes) {
       os << "measured crash: node " << ev.node
          << " at t=" << TextTable::num(ev.time, 1) << "\n";
@@ -658,6 +687,27 @@ mc::McCase build_live_case(const Options& opt) {
   c.crashes = opt.failures;
   c.recoveries = opt.recoveries;
   c.seed = opt.seed;
+  if (!opt.chaos.empty()) {
+    for (const auto& [key, v] : kv_args(opt.chaos)) {
+      if (key == "drop") {
+        c.chaos_drop_p = v;
+      } else if (key == "dup") {
+        c.chaos_dup_p = v;
+      } else if (key == "corrupt") {
+        c.chaos_corrupt_p = v;
+      } else if (key == "reset") {
+        c.chaos_reset_p = v;
+      } else if (key == "delay") {
+        c.chaos_delay_p = v;
+      } else if (key == "delaymax") {
+        c.chaos_delay_max = v;
+      } else {
+        std::cerr << "--chaos: unknown key '" << key
+                  << "' (drop|dup|corrupt|reset|delay|delaymax)\n";
+        std::exit(2);
+      }
+    }
+  }
   return c;
 }
 
@@ -683,6 +733,19 @@ int run_live(const Options& opt) {
   lc.socket_kind = opt.live_tcp ? rt::SockAddr::Kind::kTcp
                                 : rt::SockAddr::Kind::kUnix;
   lc.time_scale = opt.live_scale;
+  if (c.has_live_chaos()) {
+    lc.chaos.drop_p = c.chaos_drop_p;
+    lc.chaos.dup_p = c.chaos_dup_p;
+    lc.chaos.corrupt_p = c.chaos_corrupt_p;
+    lc.chaos.reset_p = c.chaos_reset_p;
+    lc.chaos.delay_p = c.chaos_delay_p;
+    lc.chaos.delay_max = c.chaos_delay_max;
+    // Stop injecting when the workload horizon ends so the drain phase can
+    // flush every retransmission; a clean drain is what lets the strict
+    // differential oracle hold under chaos.
+    lc.chaos.until = cfg.horizon;
+    lc.chaos.seed = opt.seed ^ 0xc4a05u;
+  }
   const rt::LiveResult live = rt::run_live_experiment(cfg, lc);
 
   // The oracles must judge the run that actually happened: substitute the
@@ -717,6 +780,11 @@ int run(const Options& opt) {
   }
   if (opt.live) {
     return run_live(opt);
+  }
+  if (!opt.chaos.empty()) {
+    std::cerr << "--chaos requires --live (the simulator has no frame "
+                 "boundary; use the mc fault plan instead)\n";
+    return 2;
   }
   Rng topo_rng(opt.seed ^ 0x70701090);
   runner::ExperimentConfig cfg;
