@@ -11,6 +11,8 @@
 namespace hpd {
 namespace {
 
+bench::JsonReport g_report("bench_ablation_prune");
+
 void run_ablation(std::size_t d, std::size_t h, double participation) {
   std::cout << "== Eq.(10) pruning ablation, d = " << d << ", h = " << h
             << ", participation = " << participation << ", 25 rounds ==\n";
@@ -22,6 +24,14 @@ void run_ablation(std::size_t d, std::size_t h, double participation) {
                                    runner::DetectorKind::kHierarchical);
     cfg.prune_mode = mode;
     const auto res = runner::run_experiment(cfg);
+    const std::string prefix =
+        "d" + std::to_string(d) + "h" + std::to_string(h) + "_p" +
+        std::to_string(static_cast<int>(participation * 100.0 + 0.5)) +
+        (mode == detect::QueueEngine::PruneMode::kAllEq10 ? "_all_heads"
+                                                          : "_single_head");
+    g_report.add(prefix + "_global", static_cast<double>(res.global_count));
+    g_report.add(prefix + "_store_sum",
+                 static_cast<double>(res.metrics.sum_node_storage_peak()));
     t.add_row({mode == detect::QueueEngine::PruneMode::kAllEq10
                    ? "all heads (paper)"
                    : "single head",
@@ -43,5 +53,6 @@ int main() {
   hpd::run_ablation(2, 4, 1.0);
   hpd::run_ablation(2, 4, 0.8);
   hpd::run_ablation(3, 3, 0.9);
+  hpd::g_report.write();
   return 0;
 }

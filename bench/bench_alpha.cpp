@@ -12,6 +12,8 @@
 namespace hpd {
 namespace {
 
+bench::JsonReport g_report("bench_alpha");
+
 // α is not uniform across levels: a level-i solution needs ALL d^i
 // processes of the subtree to participate, so α falls with height — the
 // reason Eq. (11) at a single measured α overestimates (the paper treats
@@ -57,6 +59,10 @@ void sweep(std::size_t d, std::size_t h) {
       global_sum += static_cast<double>(out.global);
     }
     const double alpha_hat = alpha_sum / kSeeds;
+    g_report.add("d" + std::to_string(d) + "h" + std::to_string(h) +
+                     "_alpha_p" +
+                     std::to_string(static_cast<int>(pi * 100.0 + 0.5)),
+                 alpha_hat);
     const double expected_global =
         static_cast<double>(rounds) * std::pow(pi, static_cast<double>(n));
     t.add_row({TextTable::num(pi, 2), TextTable::num(alpha_hat, 3),
@@ -78,5 +84,6 @@ int main() {
   hpd::sweep(3, 3);
   hpd::per_level_table(2, 5, 0.9);
   hpd::per_level_table(2, 5, 0.7);
+  hpd::g_report.write();
   return 0;
 }

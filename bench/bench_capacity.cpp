@@ -12,6 +12,8 @@
 namespace hpd {
 namespace {
 
+bench::JsonReport g_report("bench_capacity");
+
 void capacity_sweep(std::size_t d, std::size_t h, double participation) {
   std::cout << "== Detections vs per-queue capacity, d = " << d
             << ", h = " << h << ", participation = " << participation
@@ -26,6 +28,12 @@ void capacity_sweep(std::size_t d, std::size_t h, double participation) {
       cfg.queue_capacity = cap;
       const auto res = runner::run_experiment(cfg);
       const bool hier = kind == runner::DetectorKind::kHierarchical;
+      g_report.add(
+          "d" + std::to_string(d) + "h" + std::to_string(h) + "_p" +
+              std::to_string(static_cast<int>(participation * 100.0 + 0.5)) +
+              "_cap" + std::to_string(cap) + (hier ? "_hier" : "_central") +
+              "_global",
+          static_cast<double>(res.global_count));
       // Per-queue caps translate to very different per-node memory: a
       // hierarchical node has d+1 queues, the sink has n.
       const std::size_t node_bound = cap * (hier ? (d + 1) : n);
@@ -56,5 +64,6 @@ int main() {
          "equal PER-NODE memory (compare rows with similar bounds) the\n"
          "hierarchy delivers the same or better yield from a fraction of\n"
          "the worst-case node budget — the paper's actual claim.\n";
+  hpd::g_report.write();
   return 0;
 }

@@ -4,6 +4,7 @@
 // the regime the paper's WSN motivation actually lives in.
 #include <iostream>
 
+#include "bench/bench_util.hpp"
 #include "metrics/report.hpp"
 #include "net/spanning_tree.hpp"
 #include "net/topology.hpp"
@@ -13,6 +14,8 @@
 
 namespace hpd {
 namespace {
+
+bench::JsonReport g_report("bench_churn");
 
 struct ChurnOutcome {
   std::uint64_t global = 0;
@@ -95,6 +98,10 @@ int main() {
       control += static_cast<double>(out.control_msgs);
       roots += static_cast<double>(out.final_roots);
     }
+    const std::string prefix = "cycles" + std::to_string(c.cycles);
+    hpd::g_report.add(prefix + "_global_avg", global / kSeeds);
+    hpd::g_report.add(prefix + "_control_msgs_avg", control / kSeeds);
+    hpd::g_report.add(prefix + "_final_roots_avg", roots / kSeeds);
     t.add_row({std::to_string(c.cycles),
                c.cycles == 0 ? "-" : TextTable::num(c.spacing, 0),
                TextTable::num(global / kSeeds, 1),
@@ -107,5 +114,6 @@ int main() {
                "roots = 1): crashes heal around the victim and recoveries\n"
                "re-adopt it; detections dip only for rounds whose window\n"
                "overlaps a repair.\n";
+  hpd::g_report.write();
   return 0;
 }

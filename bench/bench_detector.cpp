@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "bench/gbench_json.hpp"
 #include "common/rng.hpp"
 #include "detect/centralized.hpp"
 #include "detect/queue_engine.hpp"
@@ -126,4 +127,6 @@ BENCHMARK(BM_CentralSinkRound)->RangeMultiplier(2)->Range(4, 256)->Complexity();
 }  // namespace
 }  // namespace hpd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return hpd::bench::gbench_json_main("bench_detector", argc, argv);
+}

@@ -14,6 +14,8 @@
 namespace hpd {
 namespace {
 
+bench::JsonReport g_report("bench_faults");
+
 runner::ExperimentConfig grid_config(runner::DetectorKind kind,
                                      std::uint64_t seed, SeqNum rounds) {
   runner::ExperimentConfig cfg;
@@ -69,6 +71,9 @@ void run_fault_sweep() {
       {{{600.0, 0}}, "1 root/sink", "new root elected", "sink dead: total loss"},
       {{{600.0, 5}, {900.0, 10}}, "2 interior", "repairs twice", "relay paths die"},
   };
+  double hier_after_total = 0.0;
+  double central_after_total = 0.0;
+  double trees_repaired = 0.0;
   for (const auto& c : cases) {
     for (const auto kind : {runner::DetectorKind::kHierarchical,
                             runner::DetectorKind::kCentralized}) {
@@ -95,12 +100,18 @@ void run_fault_sweep() {
       }
       repaired = repaired && roots == 1;
       const bool hier = kind == runner::DetectorKind::kHierarchical;
+      (hier ? hier_after_total : central_after_total) +=
+          static_cast<double>(after);
+      trees_repaired += (hier && repaired) ? 1.0 : 0.0;
       t.add_row({c.label, hier ? "hier" : "central", std::to_string(before),
                  std::to_string(after),
                  hier ? (repaired ? "yes" : "NO") : "n/a",
                  hier ? c.note_hier : c.note_central});
     }
   }
+  g_report.add("hier_global_after_faults_total", hier_after_total);
+  g_report.add("central_global_after_faults_total", central_after_total);
+  g_report.add("hier_trees_repaired", trees_repaired);
   t.print(std::cout);
   std::cout << "\nExpected shape: the hierarchical detector keeps raising\n"
                "alarms for the surviving partial predicate after every\n"
@@ -114,5 +125,6 @@ void run_fault_sweep() {
 
 int main() {
   hpd::run_fault_sweep();
+  hpd::g_report.write();
   return 0;
 }

@@ -24,6 +24,7 @@ namespace hpd {
 namespace {
 
 bool g_csv = false;  // --csv: machine-readable output for re-plotting
+bench::JsonReport g_report("bench_fig4");
 
 void analytic_part(std::size_t d, std::size_t p) {
   std::cout << "== Figure " << (d == 2 ? 4 : 5)
@@ -61,6 +62,14 @@ void simulated_part(std::size_t d, std::size_t max_h, SeqNum rounds) {
     const double model_h =
         analysis::hier_messages(d, h, rounds, 1.0 / static_cast<double>(d));
     const double model_c = analysis::central_messages_direct(d, h, rounds);
+    if (h == max_h) {
+      g_report.add("sim_h" + std::to_string(h) + "_hier_msgs",
+                   static_cast<double>(hier.report_msgs));
+      g_report.add("sim_h" + std::to_string(h) + "_central_msgs",
+                   static_cast<double>(central.report_msgs));
+      g_report.add("sim_h" + std::to_string(h) + "_alpha",
+                   hier.measured_alpha);
+    }
     t.add_row({std::to_string(h),
                std::to_string(analysis::paper_tree_nodes(d, h)),
                std::to_string(hier.report_msgs), TextTable::num(model_h, 0),
@@ -83,6 +92,12 @@ void partial_part(std::size_t d, std::size_t max_h, SeqNum rounds) {
                                        runner::DetectorKind::kHierarchical);
     const double model = analysis::hier_messages(
         d, h, rounds, hier.measured_alpha);
+    if (h == max_h) {
+      g_report.add("partial_h" + std::to_string(h) + "_alpha",
+                   hier.measured_alpha);
+      g_report.add("partial_h" + std::to_string(h) + "_hier_msgs",
+                   static_cast<double>(hier.report_msgs));
+    }
     t.add_row({std::to_string(h), std::to_string(hier.report_msgs),
                TextTable::num(model, 0),
                TextTable::num(hier.measured_alpha, 3),
@@ -100,5 +115,6 @@ int main(int argc, char** argv) {
   hpd::analytic_part(2, 20);
   hpd::simulated_part(2, 7, 20);
   hpd::partial_part(2, 7, 20);
+  hpd::g_report.write();
   return 0;
 }

@@ -11,6 +11,7 @@ namespace hpd {
 namespace {
 
 bool g_csv = false;  // --csv: machine-readable output for re-plotting
+bench::JsonReport g_report("bench_fig5");
 
 void analytic_part() {
   std::cout << "== Figure 5: total messages vs tree height (analytic), "
@@ -46,6 +47,13 @@ void simulated_part() {
                                           runner::DetectorKind::kCentralized);
     const double model_h = analysis::hier_messages(4, h, 10, 0.25);
     const double model_c = analysis::central_messages_direct(4, h, 10);
+    if (h == 5) {
+      g_report.add("sim_h5_hier_msgs",
+                   static_cast<double>(hier.report_msgs));
+      g_report.add("sim_h5_central_msgs",
+                   static_cast<double>(central.report_msgs));
+      g_report.add("sim_h5_alpha", hier.measured_alpha);
+    }
     t.add_row({std::to_string(h),
                std::to_string(analysis::paper_tree_nodes(4, h)),
                std::to_string(hier.report_msgs), TextTable::num(model_h, 0),
@@ -65,5 +73,6 @@ int main(int argc, char** argv) {
   hpd::g_csv = argc > 1 && std::string(argv[1]) == "--csv";
   hpd::analytic_part();
   hpd::simulated_part();
+  hpd::g_report.write();
   return 0;
 }

@@ -16,6 +16,8 @@
 namespace hpd {
 namespace {
 
+bench::JsonReport g_report("bench_latency");
+
 struct LatencyStats {
   double mean = 0.0;
   double p95 = 0.0;
@@ -70,6 +72,12 @@ int main() {
     for (const auto kind : {hpd::runner::DetectorKind::kHierarchical,
                             hpd::runner::DetectorKind::kCentralized}) {
       const auto st = hpd::global_latency(s.d, s.h, 20, 99, kind);
+      hpd::g_report.add(
+          "d" + std::to_string(s.d) + "h" + std::to_string(s.h) +
+              (kind == hpd::runner::DetectorKind::kHierarchical ? "_hier"
+                                                                : "_central") +
+              "_mean_latency",
+          st.mean);
       t.add_row(
           {std::to_string(s.d), std::to_string(s.h),
            std::to_string(hpd::net::SpanningTree::balanced_dary_size(s.d, s.h)),
@@ -85,5 +93,6 @@ int main() {
                "the sink through multi-hop relays — so latency is a wash\n"
                "while messages and per-node costs strongly favour the "
                "hierarchy.\n";
+  hpd::g_report.write();
   return 0;
 }

@@ -1,13 +1,23 @@
 // Microbenchmarks (google-benchmark) of the hot primitives: vector-clock
 // comparison/merge/meet/join, interval overlap, aggregation, and the queue
 // engine's offer path.
+//
+// The *Baseline kernels run the frozen pre-optimization implementations
+// from tests/reference/ through the identical workload, so the committed
+// BENCH_bench_micro_baseline.json snapshot is an honest same-harness
+// pre-PR measurement (see docs/PERFORMANCE.md).
 #include <benchmark/benchmark.h>
 
+#include <utility>
 #include <vector>
 
+#include "bench/gbench_json.hpp"
 #include "common/rng.hpp"
 #include "detect/queue_engine.hpp"
 #include "interval/interval.hpp"
+#include "reference/interval.hpp"
+#include "reference/queue_engine.hpp"
+#include "reference/vector_clock.hpp"
 #include "vc/vector_clock.hpp"
 
 namespace hpd {
@@ -131,7 +141,130 @@ void BM_QueueEngineSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_QueueEngineSolve)->DenseRange(2, 10, 2);
 
+// ---- Offer throughput: optimized engine vs frozen seed engine --------------
+
+constexpr std::size_t kOfferQueues = 4;
+constexpr std::size_t kOfferPool = 1024;  // intervals regenerated per refill
+
+/// Rebuild the pool in place: per round, one interval per queue with
+/// mutually overlapping windows (as in BM_QueueEngineSolve), so every
+/// kOfferQueues-th offer completes a round, detects one solution, and
+/// prunes all heads — storage stays bounded.
+template <typename IntervalT, typename ClockT>
+void refill_offer_pool(std::vector<IntervalT>& pool, std::size_t n,
+                       SeqNum& round) {
+  for (std::size_t j = 0; j < pool.size(); ++round) {
+    for (std::size_t q = 0; q < kOfferQueues; ++q, ++j) {
+      IntervalT& x = pool[j];
+      x.lo = ClockT(n);
+      x.hi = ClockT(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        x.lo[i] = static_cast<ClockValue>(round * 2);
+        x.hi[i] = static_cast<ClockValue>(round * 2 + 1);
+      }
+      x.lo[q] -= 1;  // strictly ordered pairs
+      x.hi[q] += 1;
+      x.origin = static_cast<ProcessId>(q);
+      x.seq = round;
+    }
+  }
+}
+
+/// Steady-state offer throughput at clock width n. One benchmark iteration
+/// = one offer() (payload pre-built outside the timed region, as in the
+/// real system where intervals arrive decoded off the wire) including its
+/// share of detection, solution extraction, and pruning.
+template <typename Engine, typename IntervalT, typename ClockT>
+void offer_throughput(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Engine engine;
+  for (std::size_t q = 0; q < kOfferQueues; ++q) {
+    engine.add_queue(static_cast<ProcessId>(q));
+  }
+  SeqNum round = 1;
+  std::vector<IntervalT> pool(kOfferPool);
+  refill_offer_pool<IntervalT, ClockT>(pool, n, round);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    if (k == pool.size()) {
+      state.PauseTiming();
+      refill_offer_pool<IntervalT, ClockT>(pool, n, round);
+      k = 0;
+      state.ResumeTiming();
+    }
+    const ProcessId key = pool[k].origin;
+    benchmark::DoNotOptimize(engine.offer(key, std::move(pool[k])));
+    ++k;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["solutions"] =
+      static_cast<double>(engine.solutions_found());
+}
+
+void BM_OfferThroughput(benchmark::State& state) {
+  offer_throughput<detect::QueueEngine, Interval, VectorClock>(state);
+}
+BENCHMARK(BM_OfferThroughput)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_OfferThroughputBaseline(benchmark::State& state) {
+  offer_throughput<reference::detect::QueueEngine, reference::Interval,
+                   reference::VectorClock>(state);
+}
+BENCHMARK(BM_OfferThroughputBaseline)->Arg(8)->Arg(64)->Arg(256);
+
+// ---- Aggregate throughput: span ⊓ over a fan-in of 8 ----------------------
+
+reference::Interval to_reference(const Interval& x) {
+  reference::Interval out;
+  out.lo = reference::VectorClock(x.lo.size());
+  out.hi = reference::VectorClock(x.hi.size());
+  for (std::size_t i = 0; i < x.lo.size(); ++i) {
+    out.lo[i] = x.lo[i];
+    out.hi[i] = x.hi[i];
+  }
+  out.origin = x.origin;
+  out.seq = x.seq;
+  out.weight = x.weight;
+  return out;
+}
+
+std::vector<Interval> aggregate_inputs(std::size_t n) {
+  Rng rng(6);
+  std::vector<Interval> xs;
+  for (std::size_t i = 0; i < 8; ++i) {  // d + 1 heads at fan-out 7
+    xs.push_back(random_interval(rng, n, static_cast<ProcessId>(i), 1));
+  }
+  return xs;
+}
+
+void BM_AggregateThroughput(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<Interval> xs = aggregate_inputs(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        aggregate(std::span<const Interval>(xs), 99, 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AggregateThroughput)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_AggregateThroughputBaseline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<reference::Interval> xs;
+  for (const Interval& x : aggregate_inputs(n)) {  // identical inputs
+    xs.push_back(to_reference(x));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference::aggregate(
+        std::span<const reference::Interval>(xs), 99, 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AggregateThroughputBaseline)->Arg(8)->Arg(64)->Arg(256);
+
 }  // namespace
 }  // namespace hpd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return hpd::bench::gbench_json_main("bench_micro", argc, argv);
+}

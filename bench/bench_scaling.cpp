@@ -12,6 +12,10 @@
 namespace hpd {
 namespace {
 
+// Wall-clock metrics: noisy by nature, recorded for trend-watching only —
+// CI gates on the deterministic and micro benches, not on these.
+bench::JsonReport g_report("bench_scaling");
+
 double run_timed(std::size_t d, std::size_t h, SeqNum rounds,
                  std::uint64_t seed) {
   const auto start = std::chrono::steady_clock::now();
@@ -33,6 +37,9 @@ void scaling_table() {
   for (const Shape s : {Shape{2, 4}, Shape{2, 6}, Shape{2, 8}, Shape{2, 10},
                         Shape{4, 4}, Shape{4, 5}}) {
     const double ms = run_timed(s.d, s.h, 10, 7);
+    g_report.add("wall_ms_d" + std::to_string(s.d) + "_h" +
+                     std::to_string(s.h),
+                 ms);
     t.add_row({std::to_string(s.d), std::to_string(s.h),
                std::to_string(net::SpanningTree::balanced_dary_size(s.d, s.h)),
                TextTable::num(ms, 1)});
@@ -62,6 +69,7 @@ void sweep_throughput() {
     if (threads == 1) {
       serial_ms = ms;
     }
+    g_report.add("sweep32_wall_ms_t" + std::to_string(threads), ms);
     t.add_row({std::to_string(threads), TextTable::num(ms, 1),
                TextTable::num(serial_ms / ms, 2)});
   }
@@ -75,5 +83,6 @@ void sweep_throughput() {
 int main() {
   hpd::scaling_table();
   hpd::sweep_throughput();
+  hpd::g_report.write();
   return 0;
 }

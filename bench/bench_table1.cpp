@@ -24,6 +24,8 @@
 namespace hpd {
 namespace {
 
+bench::JsonReport g_report("bench_table1");
+
 void run_table(SeqNum rounds, double participation) {
   std::cout << "== Table I (measured), p = " << rounds
             << " rounds, participation = " << participation << " ==\n";
@@ -125,8 +127,8 @@ void exponent_table() {
     }
   }
   TextTable t({"quantity", "measured n-exponent", "R^2", "paper claim"});
-  auto row = [&](const char* name, const std::vector<double>& ys,
-                 const char* claim) {
+  auto row = [&](const char* name, const char* slug,
+                 const std::vector<double>& ys, const char* claim) {
     // Guard against flat curves (exponent 0 is a valid answer).
     std::vector<double> safe = ys;
     for (double& v : safe) {
@@ -135,13 +137,17 @@ void exponent_table() {
     const auto fit = analysis::fit_power_law(ns, safe);
     t.add_row({name, TextTable::num(fit.exponent, 2),
                TextTable::num(fit.r_squared, 3), claim});
+    g_report.add(std::string(slug) + "_n_exponent", fit.exponent);
   };
-  row("hier worst-node comparisons", hier_cmp_max,
+  row("hier worst-node comparisons", "hier_cmp_max", hier_cmp_max,
       "O(1) in n (d^2 p per node)");
-  row("central sink comparisons", central_cmp_max, "O(n^2) per p (O(pn^3)/n)");
-  row("hier messages", hier_msgs, "O(n) (= pn)");
-  row("central hop-messages", central_msgs, "~O(n log n) (Eq. 12)");
-  row("central sink storage peak", central_store_max, "O(n) per round");
+  row("central sink comparisons", "central_cmp_max", central_cmp_max,
+      "O(n^2) per p (O(pn^3)/n)");
+  row("hier messages", "hier_msgs", hier_msgs, "O(n) (= pn)");
+  row("central hop-messages", "central_msgs", central_msgs,
+      "~O(n log n) (Eq. 12)");
+  row("central sink storage peak", "central_store_max", central_store_max,
+      "O(n) per round");
   t.print(std::cout);
   std::cout << '\n';
 }
@@ -154,5 +160,6 @@ int main() {
   hpd::run_table(/*rounds=*/15, /*participation=*/1.0);
   hpd::run_table(/*rounds=*/15, /*participation=*/0.8);
   hpd::exponent_table();
+  hpd::g_report.write();
   return 0;
 }

@@ -4,6 +4,7 @@
 // both algorithms over the tree each topology family induces.
 #include <iostream>
 
+#include "bench/bench_util.hpp"
 #include "metrics/report.hpp"
 #include "net/spanning_tree.hpp"
 #include "net/topology.hpp"
@@ -14,8 +15,11 @@
 namespace hpd {
 namespace {
 
+bench::JsonReport g_report("bench_topologies");
+
 struct Family {
   const char* name;
+  const char* slug;
   net::Topology topo;
 };
 
@@ -47,6 +51,10 @@ void run_family(const Family& fam, SeqNum rounds) {
           res.metrics.node(static_cast<ProcessId>(i)).vc_comparisons);
     }
     const bool hier = kind == runner::DetectorKind::kHierarchical;
+    g_report.add(std::string(fam.slug) + (hier ? "_hier" : "_central") +
+                     "_report_msgs",
+                 static_cast<double>(res.metrics.msgs_of_type(
+                     hier ? proto::kReportHier : proto::kReportCentral)));
     t.add_row({hier ? "hier" : "central",
                std::to_string(res.metrics.msgs_of_type(
                    hier ? proto::kReportHier : proto::kReportCentral)),
@@ -71,21 +79,22 @@ int main() {
                "(15 pulse rounds, full participation) ==\n\n";
   Rng rng(31);
   std::vector<Family> families;
-  families.push_back({"grid 6x6", net::Topology::grid(6, 6)});
+  families.push_back({"grid 6x6", "grid6x6", net::Topology::grid(6, 6)});
   families.push_back(
-      {"random geometric n=36 r=0.25",
+      {"random geometric n=36 r=0.25", "geom36",
        net::Topology::random_geometric(36, 0.25, rng)});
   families.push_back(
-      {"small world n=36 k=4 beta=0.2",
+      {"small world n=36 k=4 beta=0.2", "smallworld36",
        net::Topology::small_world(36, 4, 0.2, rng)});
-  families.push_back(
-      {"scale free n=36 m=2", net::Topology::scale_free(36, 2, rng)});
-  families.push_back({"ring n=36", net::Topology::ring(36)});
+  families.push_back({"scale free n=36 m=2", "scalefree36",
+                      net::Topology::scale_free(36, 2, rng)});
+  families.push_back({"ring n=36", "ring36", net::Topology::ring(36)});
   for (const auto& fam : families) {
     run_family(fam, 15);
   }
   std::cout << "Shallow, hub-heavy trees (scale-free) narrow the message\n"
                "gap but concentrate the centralized sink's comparisons even\n"
                "harder; deep trees (ring) are the hierarchy's best case.\n";
+  g_report.write();
   return 0;
 }

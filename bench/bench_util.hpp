@@ -2,7 +2,12 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "net/spanning_tree.hpp"
 #include "proto/messages.hpp"
@@ -10,6 +15,57 @@
 #include "trace/pulse.hpp"
 
 namespace hpd::bench {
+
+/// Machine-readable bench output: a flat `metric name -> value` map written
+/// as `BENCH_<name>.json` so runs can be diffed by `tools/hpd_bench_diff`.
+///
+/// Output directory: `$HPD_BENCH_OUT` if set, else `bench/out` relative to
+/// the current working directory (so running a bench from the repo root
+/// lands next to the committed `bench/baselines/` snapshots).
+///
+/// The format is deliberately minimal — one object, insertion-ordered keys:
+///
+///   { "bench": "<name>", "metrics": { "<metric>": <number>, ... } }
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void add(const std::string& metric, double value) {
+    metrics_.emplace_back(metric, value);
+  }
+
+  bool empty() const { return metrics_.empty(); }
+  const std::string& name() const { return name_; }
+
+  static std::filesystem::path out_dir() {
+    if (const char* dir = std::getenv("HPD_BENCH_OUT")) {
+      return dir;
+    }
+    return std::filesystem::path("bench") / "out";
+  }
+
+  /// Writes `<out_dir>/BENCH_<name>.json` (creating the directory) and
+  /// returns the path written.
+  std::filesystem::path write() const {
+    const std::filesystem::path dir = out_dir();
+    std::filesystem::create_directories(dir);
+    const std::filesystem::path file = dir / ("BENCH_" + name_ + ".json");
+    std::ofstream os(file);
+    os << "{\n  \"bench\": \"" << name_ << "\",\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", metrics_[i].second);
+      os << (i == 0 ? "\n" : ",\n") << "    \"" << metrics_[i].first
+         << "\": " << buf;
+    }
+    os << "\n  }\n}\n";
+    return file;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 /// One simulated detection run over a paper-model d-ary tree with the pulse
 /// workload (`rounds` pulses; `participation` tunes the paper's α).

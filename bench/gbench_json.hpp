@@ -1,0 +1,108 @@
+// google-benchmark adapter for the shared JSON bench reporter: a console
+// reporter that also captures every run's per-iteration real time into a
+// `bench::JsonReport`, so the gbench binaries emit the same
+// `bench/out/BENCH_<name>.json` files as the hand-rolled benches.
+//
+// Kernels whose function name ends in "Baseline" are the frozen pre-
+// optimization implementations (built from `tests/reference/`); their runs
+// are split into a second `BENCH_<name>_baseline.json` file under the
+// un-suffixed kernel name, so
+//
+//   hpd_bench_diff bench/out/BENCH_bench_micro_baseline.json
+//                  bench/out/BENCH_bench_micro.json
+//
+// directly measures the optimized kernels against the seed implementations.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+
+namespace hpd::bench {
+
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(const std::string& bench_name)
+      : current_(bench_name), baseline_(bench_name + "_baseline") {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      // Under --benchmark_repetitions=N each kernel reports N iteration
+      // runs plus mean/median/stddev aggregates; keep only the median (the
+      // stable statistic on noisy machines) so the metric name — and hence
+      // the baseline diff — is identical in both modes.
+      if (run.run_type == Run::RT_Iteration) {
+        if (run.repetitions > 1) {
+          continue;
+        }
+      } else if (run.aggregate_name != "median") {
+        continue;
+      }
+      std::string name = run.benchmark_name();
+      if (run.run_type != Run::RT_Iteration) {
+        constexpr const char kMedian[] = "_median";
+        constexpr std::size_t kMedianLen = sizeof kMedian - 1;
+        if (name.size() > kMedianLen &&
+            name.compare(name.size() - kMedianLen, kMedianLen, kMedian) ==
+                0) {
+          name.erase(name.size() - kMedianLen, kMedianLen);
+        }
+      }
+      JsonReport* sink = &current_;
+      const std::size_t slash = name.find('/');
+      const std::string fn = name.substr(0, slash);
+      constexpr const char kSuffix[] = "Baseline";
+      constexpr std::size_t kSuffixLen = sizeof kSuffix - 1;
+      if (fn.size() > kSuffixLen &&
+          fn.compare(fn.size() - kSuffixLen, kSuffixLen, kSuffix) == 0) {
+        sink = &baseline_;
+        name.erase(fn.size() - kSuffixLen, kSuffixLen);
+      }
+      for (char& c : name) {
+        if (c == '/') {
+          c = '_';
+        }
+      }
+      // GetAdjustedRealTime() is per-iteration time in the run's time unit;
+      // none of our kernels override the default (nanoseconds).
+      sink->add(name + "_real_ns", run.GetAdjustedRealTime());
+    }
+  }
+
+  /// Writes BENCH_<name>.json, plus BENCH_<name>_baseline.json if any
+  /// Baseline-suffixed kernels ran.
+  void write() const {
+    current_.write();
+    if (!baseline_.empty()) {
+      baseline_.write();
+    }
+  }
+
+ private:
+  JsonReport current_;
+  JsonReport baseline_;
+};
+
+/// Shared main() body for the gbench binaries: run everything through a
+/// JsonCaptureReporter, then write the JSON snapshot(s).
+inline int gbench_json_main(const std::string& bench_name, int argc,
+                            char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  JsonCaptureReporter reporter(bench_name);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  reporter.write();
+  return 0;
+}
+
+}  // namespace hpd::bench

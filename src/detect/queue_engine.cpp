@@ -1,57 +1,93 @@
 #include "detect/queue_engine.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/assert.hpp"
 
 namespace hpd::detect {
 
+void QueueEngine::Ring::grow() {
+  const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+  std::vector<Interval> next(cap);
+  for (std::size_t i = 0; i < count_; ++i) {
+    next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+  }
+  buf_ = std::move(next);
+  head_ = 0;
+}
+
+void QueueEngine::reindex_from(std::size_t pos) {
+  for (std::size_t s = pos; s < slots_.size(); ++s) {
+    slot_of_[idx(slots_[s].key)] = static_cast<std::int32_t>(s);
+  }
+}
+
 void QueueEngine::add_queue(ProcessId key) {
-  HPD_REQUIRE(queues_.count(key) == 0, "QueueEngine: queue already exists");
-  queues_.emplace(key, std::deque<Interval>{});
+  HPD_REQUIRE(key >= 0, "QueueEngine: queue key must be non-negative");
+  HPD_REQUIRE(!has_queue(key), "QueueEngine: queue already exists");
+  if (idx(key) >= slot_of_.size()) {
+    slot_of_.resize(idx(key) + 1, -1);
+  }
+  // Keep slots_ sorted by key so every scan below runs in ascending key
+  // order (the iteration order the detection semantics are specified in).
+  std::size_t pos = 0;
+  while (pos < slots_.size() && slots_[pos].key < key) {
+    ++pos;
+  }
+  Slot slot;
+  slot.key = key;
+  slots_.insert(slots_.begin() + static_cast<std::ptrdiff_t>(pos),
+                std::move(slot));
+  reindex_from(pos);
 }
 
 void QueueEngine::remove_queue(ProcessId key) {
-  auto it = queues_.find(key);
-  HPD_REQUIRE(it != queues_.end(), "QueueEngine: removing unknown queue");
-  stored_ -= it->second.size();
-  queues_.erase(it);
-  last_pruned_.erase(key);
+  const std::int32_t s = slot_index(key);
+  HPD_REQUIRE(s >= 0, "QueueEngine: removing unknown queue");
+  const std::size_t pos = static_cast<std::size_t>(s);
+  stored_ -= slots_[pos].q.size();
+  slot_of_[idx(key)] = -1;
+  slots_.erase(slots_.begin() + s);
+  reindex_from(pos);
 }
 
 void QueueEngine::restore_pruned() {
-  for (auto& [key, interval] : last_pruned_) {
-    auto it = queues_.find(key);
-    if (it != queues_.end()) {
-      it->second.push_front(std::move(interval));
-      ++stored_;
-      stored_peak_ = std::max(stored_peak_, stored_);
+  for (Slot& slot : slots_) {
+    if (!slot.has_pruned) {
+      continue;
     }
+    slot.q.push_front(std::move(slot.last_pruned));
+    slot.last_pruned = Interval();
+    slot.has_pruned = false;
+    ++stored_;
+    stored_peak_ = std::max(stored_peak_, stored_);
   }
-  last_pruned_.clear();
 }
 
 std::size_t QueueEngine::queue_size(ProcessId key) const {
-  auto it = queues_.find(key);
-  HPD_REQUIRE(it != queues_.end(), "QueueEngine: unknown queue");
-  return it->second.size();
+  const std::int32_t s = slot_index(key);
+  HPD_REQUIRE(s >= 0, "QueueEngine: unknown queue");
+  return slots_[static_cast<std::size_t>(s)].q.size();
 }
 
 std::vector<ProcessId> QueueEngine::keys() const {
   std::vector<ProcessId> out;
-  out.reserve(queues_.size());
-  for (const auto& [key, q] : queues_) {
-    out.push_back(key);
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    out.push_back(slot.key);
   }
   return out;
 }
 
 void QueueEngine::clear_queue(ProcessId key) {
-  auto it = queues_.find(key);
-  HPD_REQUIRE(it != queues_.end(), "QueueEngine: unknown queue");
-  stored_ -= it->second.size();
-  it->second.clear();
-  last_pruned_.erase(key);
+  const std::int32_t s = slot_index(key);
+  HPD_REQUIRE(s >= 0, "QueueEngine: unknown queue");
+  Slot& slot = slots_[static_cast<std::size_t>(s)];
+  stored_ -= slot.q.size();
+  slot.q.clear();
+  slot.last_pruned = Interval();
+  slot.has_pruned = false;
 }
 
 bool QueueEngine::vc_less_counted(const VectorClock& a, const VectorClock& b) {
@@ -65,20 +101,20 @@ bool QueueEngine::vc_leq_counted(const VectorClock& a, const VectorClock& b) {
 }
 
 bool QueueEngine::all_queues_nonempty() const {
-  return std::all_of(queues_.begin(), queues_.end(),
-                     [](const auto& kv) { return !kv.second.empty(); });
+  return std::all_of(slots_.begin(), slots_.end(),
+                     [](const Slot& slot) { return !slot.q.empty(); });
 }
 
 bool QueueEngine::heads_compatible() const {
-  for (const auto& [a, qa] : queues_) {
-    if (qa.empty()) {
+  for (const Slot& sa : slots_) {
+    if (sa.q.empty()) {
       continue;
     }
-    for (const auto& [b, qb] : queues_) {
-      if (b == a || qb.empty()) {
+    for (const Slot& sb : slots_) {
+      if (&sb == &sa || sb.q.empty()) {
         continue;
       }
-      if (!vc_leq(qa.front().lo, qb.front().hi)) {
+      if (!vc_leq(sa.q.front().lo, sb.q.front().hi)) {
         return false;
       }
     }
@@ -86,22 +122,16 @@ bool QueueEngine::heads_compatible() const {
   return true;
 }
 
-void QueueEngine::pop_head(ProcessId key) {
-  auto& q = queues_.at(key);
-  HPD_DASSERT(!q.empty(), "QueueEngine::pop_head: empty queue");
-  q.pop_front();
-  --stored_;
-}
-
-std::vector<Solution> QueueEngine::offer(ProcessId key, Interval x) {
-  auto it = queues_.find(key);
-  HPD_REQUIRE(it != queues_.end(), "QueueEngine::offer: unknown queue");
-  if (capacity_ != 0 && it->second.size() >= capacity_) {
+std::vector<Solution> QueueEngine::offer(ProcessId key, Interval&& x) {
+  const std::int32_t s = slot_index(key);
+  HPD_REQUIRE(s >= 0, "QueueEngine::offer: unknown queue");
+  Slot& slot = slots_[static_cast<std::size_t>(s)];
+  if (capacity_ != 0 && slot.q.size() >= capacity_) {
     ++rejected_;  // back-pressure: bounded node memory (see set_capacity)
     return {};
   }
-  const bool was_empty = it->second.empty();
-  it->second.push_back(std::move(x));
+  const bool was_empty = slot.q.empty();
+  slot.q.push_back(std::move(x));
   ++offered_;
   ++stored_;
   stored_peak_ = std::max(stored_peak_, stored_);
@@ -109,59 +139,67 @@ std::vector<Solution> QueueEngine::offer(ProcessId key, Interval x) {
     // Algorithm 1, line 2: only a new head can enable progress.
     return {};
   }
-  return detect_loop({key});
+  updated_.reset(slots_.size());
+  updated_.set(static_cast<std::size_t>(s));
+  return detect_loop();
 }
 
 std::vector<Solution> QueueEngine::recheck() {
-  std::set<ProcessId> updated;
-  for (const auto& [key, q] : queues_) {
-    if (!q.empty()) {
-      updated.insert(key);
+  updated_.reset(slots_.size());
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    if (!slots_[s].q.empty()) {
+      updated_.set(s);
     }
   }
-  if (updated.empty()) {
+  if (!updated_.any()) {
     return {};
   }
-  return detect_loop(std::move(updated));
+  return detect_loop();
 }
 
-std::vector<Solution> QueueEngine::detect_loop(std::set<ProcessId> updated) {
+std::vector<Solution> QueueEngine::detect_loop() {
   std::vector<Solution> solutions;
-  while (!updated.empty()) {
+  const std::size_t nslots = slots_.size();
+  while (updated_.any()) {
     // ---- One elimination round (lines 5–17) ----
-    std::set<ProcessId> new_updated;
-    for (const ProcessId a : updated) {
-      const auto qa = queues_.find(a);
-      if (qa == queues_.end() || qa->second.empty()) {
-        continue;
+    next_.reset(nslots);
+    updated_.for_each([&](std::size_t a) {
+      Slot& sa = slots_[a];
+      if (sa.q.empty()) {
+        return;
       }
-      const Interval& x = qa->second.front();
-      for (const auto& [b, qb] : queues_) {
-        if (b == a || qb.empty()) {
+      const Interval& x = sa.q.front();
+      for (std::size_t b = 0; b < nslots; ++b) {
+        if (b == a) {
           continue;
         }
-        const Interval& y = qb.front();
+        Slot& sb = slots_[b];
+        if (sb.q.empty()) {
+          continue;
+        }
+        const Interval& y = sb.q.front();
         // Non-strict comparison: raw event timestamps from different
         // processes are never equal (so this matches the paper's strict
         // test exactly), while aggregated cuts may legitimately coincide
         // (see overlap_cuts in interval/interval.hpp).
         if (!vc_leq_counted(x.lo, y.hi)) {
           // y can never pair with x or any successor of x: delete y.
-          new_updated.insert(b);
+          next_.set(b);
         }
         if (!vc_leq_counted(y.lo, x.hi)) {
-          new_updated.insert(a);
+          next_.set(a);
         }
       }
-    }
-    if (!new_updated.empty()) {
-      for (const ProcessId c : new_updated) {
-        if (!queues_.at(c).empty()) {
-          pop_head(c);
+    });
+    if (next_.any()) {
+      next_.for_each([&](std::size_t c) {
+        if (!slots_[c].q.empty()) {
+          slots_[c].q.drop_front();
+          --stored_;
           ++eliminated_;
         }
-      }
-      updated = std::move(new_updated);
+      });
+      std::swap(updated_, next_);
       continue;
     }
 
@@ -169,45 +207,58 @@ std::vector<Solution> QueueEngine::detect_loop(std::set<ProcessId> updated) {
     if (!all_queues_nonempty()) {
       break;
     }
-    Solution sol;
-    sol.members.reserve(queues_.size());
-    for (const auto& [key, q] : queues_) {
-      sol.members.push_back(q.front());
-    }
-    solutions.push_back(sol);
-    ++solutions_found_;
 
-    // ---- Pruning for repeated detection (lines 23–33, Eq. (10)) ----
-    std::set<ProcessId> prune_set;
-    for (const auto& [a, qa2] : queues_) {
+    // ---- Pruning decision (lines 23–33, Eq. (10)) ----
+    // Decided before the solution snapshot so pruned heads can be *moved*
+    // into the Solution instead of copied; the comparisons below observe
+    // the same heads either way.
+    prune_.reset(nslots);
+    std::size_t prune_count = 0;
+    for (std::size_t a = 0; a < nslots; ++a) {
       bool removable = true;
       if (mode_ != PruneMode::kTestBrokenPruneAll) {
-        for (const auto& [b, qb2] : queues_) {
+        for (std::size_t b = 0; b < nslots; ++b) {
           if (b == a) {
             continue;
           }
-          if (vc_less_counted(qb2.front().hi, qa2.front().hi)) {
+          if (vc_less_counted(slots_[b].q.front().hi, slots_[a].q.front().hi)) {
             removable = false;  // Eq. (10) fails: some max(x_b) < max(x_a)
             break;
           }
         }
       }
       if (removable) {
-        prune_set.insert(a);
+        prune_.set(a);
+        ++prune_count;
         if (mode_ == PruneMode::kSingleEq10) {
           break;
         }
       }
     }
     // Theorem 4 (liveness): at least one head always satisfies Eq. (10).
-    HPD_ASSERT(!prune_set.empty(),
+    HPD_ASSERT(prune_count > 0,
                "QueueEngine: Eq.(10) pruned nothing (violates Theorem 4)");
-    for (const ProcessId c : prune_set) {
-      last_pruned_[c] = queues_.at(c).front();
-      pop_head(c);
-      ++pruned_;
+
+    Solution sol;
+    sol.members.reserve(nslots);
+    for (std::size_t s = 0; s < nslots; ++s) {
+      Slot& slot = slots_[s];
+      if (prune_.test(s)) {
+        // The head leaves the queue: remember a copy for restore_pruned()
+        // and move the original straight into the solution.
+        Interval head = slot.q.take_front();
+        --stored_;
+        slot.last_pruned = head;
+        slot.has_pruned = true;
+        sol.members.push_back(std::move(head));
+        ++pruned_;
+      } else {
+        sol.members.push_back(slot.q.front());
+      }
     }
-    updated = std::move(prune_set);
+    solutions.push_back(std::move(sol));
+    ++solutions_found_;
+    std::swap(updated_, prune_);
   }
   return solutions;
 }

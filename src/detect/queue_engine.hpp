@@ -24,12 +24,19 @@
 // check → prune → repeat. Pruning uses the exact partial-order test
 // max(x_j) ≮ max(x_i); the listing's component-wise loop (line 27) misses
 // the equal-vectors corner case.
+//
+// Storage (ISSUE 5): the queues live in a dense, key-sorted slot vector —
+// one ring buffer of intervals per slot — with a ProcessId → slot side
+// index, and the detect-loop worklists are slot bitmaps. Steady-state
+// offer() (warm rings, n ≤ VectorClock::kInlineCapacity) performs zero
+// heap allocations on the no-solution path; intervals are moved, never
+// copied, from offer through the queue into the detected Solution. The
+// frozen pre-flattening implementation is kept under tests/reference/ and
+// differential tests pin this engine to it.
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <deque>
-#include <map>
-#include <set>
 #include <vector>
 
 #include "common/types.hpp"
@@ -38,7 +45,8 @@
 namespace hpd::detect {
 
 /// A solution set found by the engine: a snapshot of all queue heads at the
-/// moment of detection, in ascending queue-key order.
+/// moment of detection, in ascending queue-key order. Members whose head was
+/// pruned by Eq. (10) are moved out of the queue, not copied.
 struct Solution {
   std::vector<Interval> members;
 };
@@ -76,8 +84,10 @@ class QueueEngine {
   /// afterwards: dropping the blocking queue may complete a solution.
   void remove_queue(ProcessId key);
 
-  bool has_queue(ProcessId key) const { return queues_.count(key) != 0; }
-  std::size_t num_queues() const { return queues_.size(); }
+  bool has_queue(ProcessId key) const {
+    return key >= 0 && idx(key) < slot_of_.size() && slot_of_[idx(key)] >= 0;
+  }
+  std::size_t num_queues() const { return slots_.size(); }
   std::size_t queue_size(ProcessId key) const;
 
   /// All queue keys, ascending.
@@ -91,8 +101,17 @@ class QueueEngine {
 
   /// Offer an interval to queue `key` (which must exist). Intervals from
   /// one key must arrive in succ() order (see ReorderBuffer). Returns the
-  /// solutions detected, in detection order.
-  std::vector<Solution> offer(ProcessId key, Interval x);
+  /// solutions detected, in detection order. The interval is moved into
+  /// the queue; use the const& overload only where a copy is genuinely
+  /// needed (replay from recorded executions).
+  std::vector<Solution> offer(ProcessId key, Interval&& x);
+
+  /// Copying overload for callers replaying intervals they must keep
+  /// (offline replay over a recorded execution). The copy here is explicit
+  /// — hot-path callers pass rvalues and hit the move overload.
+  std::vector<Solution> offer(ProcessId key, const Interval& x) {
+    return offer(key, Interval(x));
+  }
 
   /// Re-run detection after structural changes (queue removal).
   std::vector<Solution> recheck();
@@ -131,16 +150,128 @@ class QueueEngine {
   bool heads_compatible() const;
 
  private:
+  /// FIFO of intervals over a power-of-two ring. Capacity is retained
+  /// across pops, so a warm ring never allocates in steady state.
+  class Ring {
+   public:
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+    const Interval& front() const { return buf_[head_]; }
+
+    void push_back(Interval&& x) {
+      if (count_ == buf_.size()) {
+        grow();
+      }
+      buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(x);
+      ++count_;
+    }
+
+    void push_front(Interval&& x) {
+      if (count_ == buf_.size()) {
+        grow();
+      }
+      head_ = (head_ + buf_.size() - 1) & (buf_.size() - 1);
+      buf_[head_] = std::move(x);
+      ++count_;
+    }
+
+    /// Move the head out (solution / pruning path).
+    Interval take_front() {
+      Interval out = std::move(buf_[head_]);
+      advance_head();
+      return out;
+    }
+
+    /// Destroy the head in place (elimination path) — frees any heap the
+    /// stored interval owned without constructing a return value.
+    void drop_front() {
+      buf_[head_] = Interval();
+      advance_head();
+    }
+
+    void clear() {
+      while (count_ > 0) {
+        drop_front();
+      }
+      head_ = 0;
+    }
+
+   private:
+    void advance_head() {
+      head_ = (head_ + 1) & (buf_.size() - 1);
+      --count_;
+    }
+    void grow();
+
+    std::vector<Interval> buf_;  // size is always 0 or a power of two
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+  };
+
+  /// Worklist over slot indices (replaces the former std::set<ProcessId>):
+  /// one bit per slot, iterated in ascending order — the same order the
+  /// key-sorted std::map gave the original implementation.
+  class SlotBitmap {
+   public:
+    void reset(std::size_t bits) {
+      words_.assign((bits + 63) / 64, 0);  // retains capacity when warm
+      any_ = false;
+    }
+    void set(std::size_t i) {
+      words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+      any_ = true;
+    }
+    bool test(std::size_t i) const {
+      return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+    bool any() const { return any_; }
+
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+      for (std::size_t w = 0; w < words_.size(); ++w) {
+        std::uint64_t word = words_[w];
+        while (word != 0) {
+          fn((w << 6) + static_cast<std::size_t>(std::countr_zero(word)));
+          word &= word - 1;
+        }
+      }
+    }
+
+   private:
+    std::vector<std::uint64_t> words_;
+    bool any_ = false;
+  };
+
+  struct Slot {
+    ProcessId key = kNoProcess;
+    Ring q;
+    Interval last_pruned;
+    bool has_pruned = false;
+  };
+
   bool vc_less_counted(const VectorClock& a, const VectorClock& b);
   bool vc_leq_counted(const VectorClock& a, const VectorClock& b);
   bool all_queues_nonempty() const;
-  void pop_head(ProcessId key);
+  std::int32_t slot_index(ProcessId key) const {
+    return has_queue(key) ? slot_of_[idx(key)] : -1;
+  }
+  void reindex_from(std::size_t pos);
 
-  /// The detection cycle, seeded with the queues whose heads changed.
-  std::vector<Solution> detect_loop(std::set<ProcessId> updated);
+  /// The detection cycle, seeded by the `updated_` bitmap (slots whose
+  /// heads changed).
+  std::vector<Solution> detect_loop();
 
-  std::map<ProcessId, std::deque<Interval>> queues_;
-  std::map<ProcessId, Interval> last_pruned_;
+  /// Queues in ascending key order. Dense: the pairwise head scans walk a
+  /// contiguous vector instead of chasing std::map nodes.
+  std::vector<Slot> slots_;
+  /// key → index into slots_, -1 when absent. Structural changes
+  /// (add/remove queue) are rare; lookups are O(1).
+  std::vector<std::int32_t> slot_of_;
+  /// detect_loop scratch, kept warm across calls (zero steady-state
+  /// allocation).
+  SlotBitmap updated_;
+  SlotBitmap next_;
+  SlotBitmap prune_;
   PruneMode mode_;
   std::size_t capacity_ = 0;
   std::uint64_t rejected_ = 0;

@@ -99,6 +99,7 @@ bool overlap_cuts(const Interval& x, const Interval& y);
 Interval aggregate(std::span<const Interval> xs, ProcessId origin, SeqNum seq);
 
 /// Convenience overload for exactly two sets' aggregates (Theorem 1 tests).
+/// Computed directly — the inputs are not copied into a temporary array.
 Interval aggregate(const Interval& a, const Interval& b, ProcessId origin,
                    SeqNum seq);
 

@@ -1,7 +1,6 @@
 #include "vc/vector_clock.hpp"
 
 #include <algorithm>
-#include <numeric>
 #include <ostream>
 #include <sstream>
 
@@ -22,15 +21,21 @@ const char* to_string(Ordering o) {
 }
 
 void VectorClock::merge(const VectorClock& other) {
-  HPD_REQUIRE(comp_.size() == other.comp_.size(),
-              "VectorClock::merge: size mismatch");
-  for (std::size_t i = 0; i < comp_.size(); ++i) {
-    comp_[i] = std::max(comp_[i], other.comp_[i]);
+  HPD_REQUIRE(size_ == other.size_, "VectorClock::merge: size mismatch");
+  ClockValue* p = data();
+  const ClockValue* q = other.data();
+  for (std::size_t i = 0; i < size_; ++i) {
+    p[i] = std::max(p[i], q[i]);
   }
 }
 
 std::uint64_t VectorClock::total() const {
-  return std::accumulate(comp_.begin(), comp_.end(), std::uint64_t{0});
+  const ClockValue* p = data();
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    sum += p[i];
+  }
+  return sum;
 }
 
 std::string VectorClock::to_string() const {
@@ -51,23 +56,42 @@ std::ostream& operator<<(std::ostream& os, const VectorClock& vc) {
   return os;
 }
 
+namespace {
+
+// The comparison kernels scan in blocks of kBlock components, accumulating
+// per-block flags branchlessly and deciding the early exit once per block —
+// the inner loops have no data-dependent branches, so the compiler can
+// unroll/vectorize them, while wildly diverging clocks still exit after the
+// first block. Per-call observable behavior (the returned ordering, and the
+// engine's counted comparisons) is unchanged.
+constexpr std::size_t kBlock = 8;
+
+}  // namespace
+
 Ordering compare(const VectorClock& a, const VectorClock& b) {
   HPD_REQUIRE(a.size() == b.size() && !a.empty(),
               "compare: clocks must be non-empty and of equal size");
+  const ClockValue* pa = a.data();
+  const ClockValue* pb = b.data();
+  const std::size_t n = a.size();
   bool some_less = false;
   bool some_greater = false;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (a[i] < b[i]) {
-      some_less = true;
-    } else if (a[i] > b[i]) {
-      some_greater = true;
+  std::size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      some_less |= pa[i + j] < pb[i + j];
+      some_greater |= pa[i + j] > pb[i + j];
     }
     if (some_less && some_greater) {
       return Ordering::kConcurrent;
     }
   }
+  for (; i < n; ++i) {
+    some_less |= pa[i] < pb[i];
+    some_greater |= pa[i] > pb[i];
+  }
   if (some_less) {
-    return Ordering::kBefore;
+    return some_greater ? Ordering::kConcurrent : Ordering::kBefore;
   }
   if (some_greater) {
     return Ordering::kAfter;
@@ -76,12 +100,54 @@ Ordering compare(const VectorClock& a, const VectorClock& b) {
 }
 
 bool vc_less(const VectorClock& a, const VectorClock& b) {
-  return compare(a, b) == Ordering::kBefore;
+  HPD_REQUIRE(a.size() == b.size() && !a.empty(),
+              "vc_less: clocks must be non-empty and of equal size");
+  const ClockValue* pa = a.data();
+  const ClockValue* pb = b.data();
+  const std::size_t n = a.size();
+  bool strict = false;
+  std::size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    bool greater = false;
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      greater |= pa[i + j] > pb[i + j];
+      strict |= pa[i + j] < pb[i + j];
+    }
+    if (greater) {
+      return false;
+    }
+  }
+  for (; i < n; ++i) {
+    if (pa[i] > pb[i]) {
+      return false;
+    }
+    strict |= pa[i] < pb[i];
+  }
+  return strict;
 }
 
 bool vc_leq(const VectorClock& a, const VectorClock& b) {
-  const Ordering o = compare(a, b);
-  return o == Ordering::kBefore || o == Ordering::kEqual;
+  HPD_REQUIRE(a.size() == b.size() && !a.empty(),
+              "vc_leq: clocks must be non-empty and of equal size");
+  const ClockValue* pa = a.data();
+  const ClockValue* pb = b.data();
+  const std::size_t n = a.size();
+  std::size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    bool greater = false;
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      greater |= pa[i + j] > pb[i + j];
+    }
+    if (greater) {
+      return false;
+    }
+  }
+  for (; i < n; ++i) {
+    if (pa[i] > pb[i]) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool vc_concurrent(const VectorClock& a, const VectorClock& b) {
@@ -90,18 +156,24 @@ bool vc_concurrent(const VectorClock& a, const VectorClock& b) {
 
 VectorClock component_max(const VectorClock& a, const VectorClock& b) {
   HPD_REQUIRE(a.size() == b.size(), "component_max: size mismatch");
-  VectorClock out(a.size());
+  VectorClock out(a.size(), VectorClock::Uninit{});
+  ClockValue* po = out.data();
+  const ClockValue* pa = a.data();
+  const ClockValue* pb = b.data();
   for (std::size_t i = 0; i < a.size(); ++i) {
-    out[i] = std::max(a[i], b[i]);
+    po[i] = std::max(pa[i], pb[i]);
   }
   return out;
 }
 
 VectorClock component_min(const VectorClock& a, const VectorClock& b) {
   HPD_REQUIRE(a.size() == b.size(), "component_min: size mismatch");
-  VectorClock out(a.size());
+  VectorClock out(a.size(), VectorClock::Uninit{});
+  ClockValue* po = out.data();
+  const ClockValue* pa = a.data();
+  const ClockValue* pb = b.data();
   for (std::size_t i = 0; i < a.size(); ++i) {
-    out[i] = std::min(a[i], b[i]);
+    po[i] = std::min(pa[i], pb[i]);
   }
   return out;
 }

@@ -6,13 +6,21 @@
 //
 // Component-wise min / max ("meet" and "join" of cuts) implement the
 // aggregation operator of the paper's Eqs. (5) and (6).
+//
+// Storage: small-buffer optimized. Systems of up to kInlineCapacity
+// processes (the common fan-out for the paper's d-ary trees) keep their
+// components inline — constructing, copying, and destroying such a clock
+// performs no heap allocation, and an Interval's two clocks sit contiguous
+// in memory with it. Larger clocks transparently fall back to a heap
+// array with identical semantics.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <initializer_list>
 #include <iosfwd>
 #include <string>
-#include <vector>
 
 #include "common/assert.hpp"
 #include "common/types.hpp"
@@ -31,34 +39,98 @@ const char* to_string(Ordering o);
 
 class VectorClock {
  public:
+  /// Components stored inline (no heap) — sized for the paper's realistic
+  /// subtree fan-outs; n above this falls back to a heap array.
+  static constexpr std::size_t kInlineCapacity = 16;
+
   /// Empty clock (size 0). Useful as a "not yet assigned" placeholder.
-  VectorClock() = default;
+  VectorClock() noexcept : size_(0) {}
 
   /// Zero clock for a system of n processes.
-  explicit VectorClock(std::size_t n) : comp_(n, 0) {}
+  explicit VectorClock(std::size_t n) : size_(checked_size(n)) {
+    ClockValue* p = allocate();
+    for (std::size_t i = 0; i < size_; ++i) {
+      p[i] = 0;
+    }
+  }
 
   /// Clock with explicit components, mostly for tests and scripted scenarios.
-  VectorClock(std::initializer_list<ClockValue> values) : comp_(values) {}
+  VectorClock(std::initializer_list<ClockValue> values)
+      : size_(checked_size(values.size())) {
+    ClockValue* p = allocate();
+    std::size_t i = 0;
+    for (const ClockValue v : values) {
+      p[i++] = v;
+    }
+  }
+
+  VectorClock(const VectorClock& other) : size_(other.size_) {
+    std::memcpy(allocate(), other.data(), size_ * sizeof(ClockValue));
+  }
+
+  VectorClock(VectorClock&& other) noexcept : size_(other.size_) {
+    if (is_inline()) {
+      std::memcpy(inline_, other.inline_, size_ * sizeof(ClockValue));
+    } else {
+      heap_ = other.heap_;
+      other.size_ = 0;  // moved-from: empty, nothing to free
+    }
+  }
+
+  VectorClock& operator=(const VectorClock& other) {
+    if (this != &other) {
+      if (size_ != other.size_) {
+        release();
+        size_ = 0;  // stay destructible if the allocation below throws
+        if (other.size_ > kInlineCapacity) {
+          heap_ = new ClockValue[other.size_];
+        }
+        size_ = other.size_;
+      }
+      std::memcpy(data(), other.data(), size_ * sizeof(ClockValue));
+    }
+    return *this;
+  }
+
+  VectorClock& operator=(VectorClock&& other) noexcept {
+    if (this != &other) {
+      release();
+      size_ = other.size_;
+      if (is_inline()) {
+        std::memcpy(inline_, other.inline_, size_ * sizeof(ClockValue));
+      } else {
+        heap_ = other.heap_;
+        other.size_ = 0;
+      }
+    }
+    return *this;
+  }
+
+  ~VectorClock() { release(); }
 
   static VectorClock zero(std::size_t n) { return VectorClock(n); }
 
-  std::size_t size() const { return comp_.size(); }
-  bool empty() const { return comp_.empty(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Raw component access for single-pass kernels (compare, codec, bench).
+  const ClockValue* data() const { return is_inline() ? inline_ : heap_; }
+  ClockValue* data() { return is_inline() ? inline_ : heap_; }
 
   ClockValue operator[](std::size_t i) const {
-    HPD_DASSERT(i < comp_.size(), "VectorClock: component out of range");
-    return comp_[i];
+    HPD_DASSERT(i < size_, "VectorClock: component out of range");
+    return data()[i];
   }
   ClockValue& operator[](std::size_t i) {
-    HPD_DASSERT(i < comp_.size(), "VectorClock: component out of range");
-    return comp_[i];
+    HPD_DASSERT(i < size_, "VectorClock: component out of range");
+    return data()[i];
   }
 
   /// Rule 1/2 of the paper: advance the local component before an event.
   void tick(ProcessId self) {
-    HPD_DASSERT(self >= 0 && static_cast<std::size_t>(self) < comp_.size(),
+    HPD_DASSERT(self >= 0 && static_cast<std::size_t>(self) < size_,
                 "VectorClock::tick: bad process id");
-    ++comp_[static_cast<std::size_t>(self)];
+    ++data()[static_cast<std::size_t>(self)];
   }
 
   /// Rule 3 of the paper (receive): component-wise max with the message
@@ -71,33 +143,81 @@ class VectorClock {
 
   /// Number of ClockValue words a timestamp occupies on the wire. Used by
   /// the metrics layer to account message sizes in O(n) units.
-  std::size_t wire_size() const { return comp_.size(); }
+  std::size_t wire_size() const { return size_; }
 
   std::string to_string() const;
 
   friend bool operator==(const VectorClock& a, const VectorClock& b) {
-    return a.comp_ == b.comp_;
+    if (a.size_ != b.size_) {
+      return false;
+    }
+    const ClockValue* pa = a.data();
+    const ClockValue* pb = b.data();
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (pa[i] != pb[i]) {
+        return false;
+      }
+    }
+    return true;
   }
   friend bool operator!=(const VectorClock& a, const VectorClock& b) {
     return !(a == b);
   }
 
  private:
-  std::vector<ClockValue> comp_;
+  // The meet/join kernels overwrite every component of their result; give
+  // them a construction path that skips the zero fill.
+  struct Uninit {};
+  VectorClock(std::size_t n, Uninit) : size_(checked_size(n)) {
+    (void)allocate();
+  }
+  friend VectorClock component_max(const VectorClock& a, const VectorClock& b);
+  friend VectorClock component_min(const VectorClock& a, const VectorClock& b);
+
+  bool is_inline() const { return size_ <= kInlineCapacity; }
+
+  static std::uint32_t checked_size(std::size_t n) {
+    HPD_REQUIRE(n <= UINT32_MAX, "VectorClock: size out of range");
+    return static_cast<std::uint32_t>(n);
+  }
+
+  /// Bind storage for the current size_ and return the component array.
+  ClockValue* allocate() {
+    if (is_inline()) {
+      return inline_;
+    }
+    heap_ = new ClockValue[size_];
+    return heap_;
+  }
+
+  void release() {
+    if (!is_inline()) {
+      delete[] heap_;
+    }
+  }
+
+  std::uint32_t size_;
+  union {
+    ClockValue inline_[kInlineCapacity];
+    ClockValue* heap_;
+  };
 };
 
 std::ostream& operator<<(std::ostream& os, const VectorClock& vc);
 
 /// Full comparison under the happened-before partial order.
-/// Requires a.size() == b.size() and both non-empty.
+/// Requires a.size() == b.size() and both non-empty. Single fused pass:
+/// exits as soon as both directions have been witnessed (concurrent).
 Ordering compare(const VectorClock& a, const VectorClock& b);
 
 /// a < b : every component of a is <= the matching component of b and at
 /// least one is strictly smaller. This is the paper's "<" on timestamps
 /// (equivalently Lamport's happened-before on the underlying events/cuts).
+/// One pass with early exit on the first a[i] > b[i] — does not go through
+/// compare(), so no second scan.
 bool vc_less(const VectorClock& a, const VectorClock& b);
 
-/// a <= b component-wise (a < b or a == b).
+/// a <= b component-wise (a < b or a == b). Single pass, early exit.
 bool vc_leq(const VectorClock& a, const VectorClock& b);
 
 /// Incomparable under happened-before.

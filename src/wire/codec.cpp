@@ -46,6 +46,22 @@ void require_exhausted(const Decoder& d) {
   }
 }
 
+/// Version byte of the delta interval / batch layouts. Chosen so the
+/// standalone v2 marker (varint 0, then this byte) can never appear in
+/// valid v1 bytes: a v1 interval starting with lo-size 0 must continue
+/// with hi-size 0x00 or the v1 decoder rejects it as a bounds mismatch.
+constexpr std::uint8_t kIntervalVersionDelta = 0x02;
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
 }  // namespace
 
 // ---- Encoder ----------------------------------------------------------------
@@ -58,16 +74,50 @@ void Encoder::put_varint(std::uint64_t v) {
   bytes_.push_back(static_cast<std::uint8_t>(v));
 }
 
+void Encoder::put_zigzag(std::int64_t v) { put_varint(zigzag(v)); }
+
 void Encoder::put_clock(const VectorClock& vc) {
   put_varint(vc.size());
+  const ClockValue* p = vc.data();
   for (std::size_t i = 0; i < vc.size(); ++i) {
-    put_varint(vc[i]);
+    put_varint(p[i]);
   }
 }
 
 void Encoder::put_interval(const Interval& x) {
+  if (format_ == WireFormat::kDelta) {
+    put_interval_delta(x);
+  } else {
+    put_interval_v1(x);
+  }
+}
+
+void Encoder::put_interval_v1(const Interval& x) {
   put_clock(x.lo);
   put_clock(x.hi);
+  put_interval_tail(x);
+}
+
+void Encoder::put_interval_delta(const Interval& x) {
+  put_varint(0);  // sentinel, see kIntervalVersionDelta
+  put_u8(kIntervalVersionDelta);
+  const std::size_t n = x.lo.size();
+  put_varint(n);
+  const ClockValue* lo = x.lo.data();
+  const ClockValue* hi = x.hi.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    put_varint(lo[i]);
+  }
+  // hi rides on lo: within an interval the clock advances by few events,
+  // so these deltas are tiny even when the absolute stamps are large.
+  for (std::size_t i = 0; i < n; ++i) {
+    put_zigzag(static_cast<std::int64_t>(hi[i]) -
+               static_cast<std::int64_t>(lo[i]));
+  }
+  put_interval_tail(x);
+}
+
+void Encoder::put_interval_tail(const Interval& x) {
   put_varint(pid_wire(x.origin));
   put_varint(x.seq);
   put_varint(x.weight);
@@ -86,6 +136,38 @@ void Encoder::put_interval(const Interval& x) {
       put_varint(pid_wire(origin));
       put_varint(seq);
     }
+  }
+}
+
+void Encoder::put_interval_batch(std::span<const Interval> xs) {
+  put_u8(kIntervalVersionDelta);
+  put_varint(xs.size());
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    const Interval& x = xs[k];
+    HPD_REQUIRE(x.lo.size() == x.hi.size(),
+                "put_interval_batch: bounds size mismatch");
+    const std::size_t n = x.lo.size();
+    const ClockValue* lo = x.lo.data();
+    const ClockValue* hi = x.hi.data();
+    if (k == 0) {
+      put_varint(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        put_varint(lo[i]);
+      }
+    } else {
+      HPD_REQUIRE(n == xs[k - 1].lo.size(),
+                  "put_interval_batch: clock sizes must match across batch");
+      const ClockValue* prev = xs[k - 1].lo.data();
+      for (std::size_t i = 0; i < n; ++i) {
+        put_zigzag(static_cast<std::int64_t>(lo[i]) -
+                   static_cast<std::int64_t>(prev[i]));
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      put_zigzag(static_cast<std::int64_t>(hi[i]) -
+                 static_cast<std::int64_t>(lo[i]));
+    }
+    put_interval_tail(x);
   }
 }
 
@@ -120,29 +202,88 @@ std::uint64_t Decoder::get_varint() {
   }
 }
 
-VectorClock Decoder::get_clock() {
-  const std::uint64_t n = get_varint();
+std::int64_t Decoder::get_zigzag() { return unzigzag(get_varint()); }
+
+VectorClock Decoder::get_clock_body(std::uint64_t n) {
   if (n > remaining()) {  // each component takes >= 1 byte
     throw DecodeError("clock size exceeds message size");
   }
   VectorClock vc(static_cast<std::size_t>(n));
+  ClockValue* p = vc.data();
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint64_t c = get_varint();
     if (c > UINT32_MAX) {
       throw DecodeError("clock component out of range");
     }
-    vc[i] = static_cast<ClockValue>(c);
+    p[i] = static_cast<ClockValue>(c);
   }
   return vc;
 }
 
+VectorClock Decoder::get_clock() { return get_clock_body(get_varint()); }
+
+namespace {
+
+/// Apply a zigzag delta to a base component, range-checked.
+ClockValue apply_delta(ClockValue base, std::int64_t delta, const char* what) {
+  if (delta > static_cast<std::int64_t>(UINT32_MAX) ||
+      delta < -static_cast<std::int64_t>(UINT32_MAX)) {
+    throw DecodeError(std::string(what) + " delta out of range");
+  }
+  const std::int64_t v = static_cast<std::int64_t>(base) + delta;
+  if (v < 0 || v > static_cast<std::int64_t>(UINT32_MAX)) {
+    throw DecodeError(std::string(what) + " component out of range");
+  }
+  return static_cast<ClockValue>(v);
+}
+
+}  // namespace
+
 Interval Decoder::get_interval() {
+  // Discriminate the layouts: v1 leads with lo's size, and a v1 lo-size of
+  // 0 can only be followed by hi-size 0x00 — so (varint 0, 0x02) uniquely
+  // marks the delta layout.
+  const std::uint64_t first = get_varint();
+  if (first == 0) {
+    const std::uint8_t second = get_u8();
+    if (second == kIntervalVersionDelta) {
+      return get_interval_delta_body();
+    }
+    if (second != 0) {
+      throw DecodeError("interval bounds size mismatch");
+    }
+    Interval x;  // v1 with empty bounds: the 0x00 was hi's size
+    get_interval_tail(x);
+    return x;
+  }
   Interval x;
-  x.lo = get_clock();
+  x.lo = get_clock_body(first);
   x.hi = get_clock();
   if (x.lo.size() != x.hi.size()) {
     throw DecodeError("interval bounds size mismatch");
   }
+  get_interval_tail(x);
+  return x;
+}
+
+Interval Decoder::get_interval_delta_body() {
+  const std::uint64_t n = get_varint();
+  if (n > remaining()) {
+    throw DecodeError("clock size exceeds message size");
+  }
+  Interval x;
+  x.lo = get_clock_body(n);
+  x.hi = VectorClock(static_cast<std::size_t>(n));
+  const ClockValue* lo = x.lo.data();
+  ClockValue* hi = x.hi.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    hi[i] = apply_delta(lo[i], get_zigzag(), "interval hi");
+  }
+  get_interval_tail(x);
+  return x;
+}
+
+void Decoder::get_interval_tail(Interval& x) {
   x.origin = pid_unwire(get_varint(), "interval origin");
   x.seq = get_varint();
   const std::uint64_t w = get_varint();
@@ -172,7 +313,42 @@ Interval Decoder::get_interval() {
     }
     x.provenance = std::move(prov);
   }
-  return x;
+}
+
+std::vector<Interval> Decoder::get_interval_batch() {
+  if (get_u8() != kIntervalVersionDelta) {
+    throw DecodeError("interval batch version unknown");
+  }
+  const std::uint64_t count = get_varint();
+  if (count > remaining()) {  // each interval takes >= 4 bytes
+    throw DecodeError("interval batch count exceeds message size");
+  }
+  std::vector<Interval> out;
+  out.reserve(static_cast<std::size_t>(count));
+  std::uint64_t n = 0;
+  for (std::uint64_t k = 0; k < count; ++k) {
+    Interval x;
+    if (k == 0) {
+      n = get_varint();
+      x.lo = get_clock_body(n);
+    } else {
+      x.lo = VectorClock(static_cast<std::size_t>(n));
+      const ClockValue* prev = out.back().lo.data();
+      ClockValue* lo = x.lo.data();
+      for (std::size_t i = 0; i < n; ++i) {
+        lo[i] = apply_delta(prev[i], get_zigzag(), "batch lo");
+      }
+    }
+    x.hi = VectorClock(static_cast<std::size_t>(n));
+    const ClockValue* lo = x.lo.data();
+    ClockValue* hi = x.hi.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      hi[i] = apply_delta(lo[i], get_zigzag(), "batch hi");
+    }
+    get_interval_tail(x);
+    out.push_back(std::move(x));
+  }
+  return out;
 }
 
 // ---- Message encoders --------------------------------------------------------
@@ -187,10 +363,10 @@ std::vector<std::uint8_t> encode(const proto::AppPayload& p) {
 }
 
 std::vector<std::uint8_t> encode_report(const proto::ReportPayload& p,
-                                        int type) {
+                                        int type, WireFormat format) {
   HPD_REQUIRE(type == proto::kReportHier || type == proto::kReportCentral,
               "encode_report: not a report tag");
-  Encoder e;
+  Encoder e(format);
   e.put_u8(static_cast<std::uint8_t>(type));
   e.put_interval(p.interval);
   return e.take();
@@ -327,6 +503,22 @@ DecodedMessage decode(std::span<const std::uint8_t> bytes) {
     default:
       throw DecodeError("unknown message tag");
   }
+  require_exhausted(d);
+  return out;
+}
+
+// ---- Bulk interval transfer ---------------------------------------------------
+
+std::vector<std::uint8_t> encode_interval_batch(std::span<const Interval> xs) {
+  Encoder e(WireFormat::kDelta);
+  e.put_interval_batch(xs);
+  return e.take();
+}
+
+std::vector<Interval> decode_interval_batch(
+    std::span<const std::uint8_t> bytes) {
+  Decoder d(bytes);
+  std::vector<Interval> out = d.get_interval_batch();
   require_exhausted(d);
   return out;
 }

@@ -10,13 +10,33 @@
 //
 // Format conventions:
 //   varint  — unsigned LEB128, 1–10 bytes
+//   zigzag  — signed value mapped to varint: (v << 1) ^ (v >> 63)
 //   clock   — varint n, then n varint components
-//   interval— clock lo, clock hi, varint origin+1, varint seq,
+//   interval (v1, the default)
+//           — clock lo, clock hi, varint origin+1, varint seq,
 //             varint weight, u8 flags (bit 0 = aggregated, bit 1 =
 //             provenance follows: varint count, then per base interval
 //             varint origin+1 + varint seq). Provenance is attached only
 //             in track_provenance runs; production intervals stay compact.
+//   interval (v2 "delta", opt-in via WireFormat::kDelta)
+//           — varint 0 (sentinel: a v1 lo-size of 0 forces the next byte
+//             to be 0x00, so 0x02 here is unreachable in valid v1 bytes),
+//             u8 0x02 (version), varint n, n varint lo components,
+//             n zigzag (hi[i] − lo[i]) deltas, then the same tail as v1
+//             (origin+1, seq, weight, flags, provenance). A slowly
+//             advancing hi rides almost free on lo.
+//   interval batch (always delta)
+//           — u8 0x02 (version), varint count; first interval carries
+//             varint n + absolute lo; each later one encodes lo as zigzag
+//             deltas against its predecessor's lo (clock size is shared
+//             across the batch); every hi is zigzag-delta against its own
+//             lo; each interval ends with the v1 tail. Consecutive
+//             intervals from one queue differ by a few events, so the
+//             whole chain stays near one byte per component.
 //   every message body starts with u8 type tag (proto::MsgType)
+//
+// Decoders accept both interval formats regardless of how the encoder was
+// configured — old bytes stay decodable forever.
 #pragma once
 
 #include <cstdint>
@@ -35,19 +55,39 @@ class DecodeError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Which interval layout an Encoder emits. Decoders always accept both.
+enum class WireFormat : std::uint8_t {
+  kV1 = 0,     ///< absolute clocks (the original layout)
+  kDelta = 1,  ///< v2: hi encoded as zigzag deltas against lo
+};
+
 /// Append-only byte sink.
 class Encoder {
  public:
+  explicit Encoder(WireFormat format = WireFormat::kV1) : format_(format) {}
+
   void put_u8(std::uint8_t v) { bytes_.push_back(v); }
   void put_varint(std::uint64_t v);
+  void put_zigzag(std::int64_t v);
   void put_clock(const VectorClock& vc);
+  /// Encode one interval in the encoder's configured format.
   void put_interval(const Interval& x);
+  /// Encode a delta chain: each interval's lo rides on its predecessor's.
+  /// All intervals must share one clock size (a queue stream always does).
+  void put_interval_batch(std::span<const Interval> xs);
 
+  WireFormat format() const { return format_; }
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
   std::vector<std::uint8_t> take() { return std::move(bytes_); }
 
  private:
+  void put_interval_v1(const Interval& x);
+  void put_interval_delta(const Interval& x);
+  /// origin / seq / weight / flags / provenance — shared by every layout.
+  void put_interval_tail(const Interval& x);
+
   std::vector<std::uint8_t> bytes_;
+  WireFormat format_;
 };
 
 /// Bounds-checked byte source.
@@ -57,13 +97,21 @@ class Decoder {
 
   std::uint8_t get_u8();
   std::uint64_t get_varint();
+  std::int64_t get_zigzag();
   VectorClock get_clock();
+  /// Decode an interval in either layout (v1 absolute or v2 delta).
   Interval get_interval();
+  /// Decode a delta chain written by put_interval_batch.
+  std::vector<Interval> get_interval_batch();
 
   bool exhausted() const { return pos_ == bytes_.size(); }
   std::size_t remaining() const { return bytes_.size() - pos_; }
 
  private:
+  VectorClock get_clock_body(std::uint64_t n);
+  Interval get_interval_delta_body();
+  void get_interval_tail(Interval& x);
+
   std::span<const std::uint8_t> bytes_;
   std::size_t pos_ = 0;
 };
@@ -86,9 +134,11 @@ struct DecodedMessage {
 };
 
 std::vector<std::uint8_t> encode(const proto::AppPayload& p);
-/// Reports appear under two tags (kReportHier / kReportCentral).
+/// Reports appear under two tags (kReportHier / kReportCentral). `format`
+/// selects the interval layout; any decoder accepts either.
 std::vector<std::uint8_t> encode_report(const proto::ReportPayload& p,
-                                        int type);
+                                        int type,
+                                        WireFormat format = WireFormat::kV1);
 std::vector<std::uint8_t> encode(const proto::HeartbeatPayload& p);
 std::vector<std::uint8_t> encode(const proto::ProbePayload& p);
 std::vector<std::uint8_t> encode(const proto::ProbeAckPayload& p);
@@ -104,5 +154,15 @@ std::vector<std::uint8_t> encode(const proto::DisownPayload& p);
 /// Decode any protocol message (dispatches on the leading tag byte).
 /// Throws DecodeError on truncation, trailing garbage, or unknown tags.
 DecodedMessage decode(std::span<const std::uint8_t> bytes);
+
+// ---- Bulk interval transfer -------------------------------------------------
+
+/// Standalone delta-chained blob for bulk interval transfer (state
+/// snapshots, recorded streams). Not a protocol message: no type tag.
+/// All intervals must share one clock size.
+std::vector<std::uint8_t> encode_interval_batch(std::span<const Interval> xs);
+/// Inverse of encode_interval_batch. Throws DecodeError on malformed input.
+std::vector<Interval> decode_interval_batch(
+    std::span<const std::uint8_t> bytes);
 
 }  // namespace hpd::wire

@@ -1,0 +1,195 @@
+// Proof of the ISSUE-5 allocation-free hot path: global operator new /
+// delete are replaced with counting pass-throughs, and steady-state
+// QueueEngine::offer() at n ≤ VectorClock::kInlineCapacity is shown to
+// perform zero heap allocations — across the append fast path, the
+// elimination cycle, and rejected (back-pressure) offers. VectorClock
+// construction itself is also checked in both storage modes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "detect/queue_engine.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::align_val_t align) {
+  ++g_allocations;
+  const std::size_t a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace hpd::detect {
+namespace {
+
+/// Allocations performed while running `fn`.
+template <typename Fn>
+std::uint64_t allocations_during(Fn&& fn) {
+  const std::uint64_t before = g_allocations.load();
+  fn();
+  return g_allocations.load() - before;
+}
+
+Interval make_interval(std::size_t n, ClockValue lo_base, ClockValue hi_base,
+                       ProcessId origin, SeqNum seq) {
+  Interval x;
+  x.lo = VectorClock(n);
+  x.hi = VectorClock(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.lo[i] = lo_base;
+    x.hi[i] = hi_base;
+  }
+  x.origin = origin;
+  x.seq = seq;
+  return x;
+}
+
+TEST(AllocationTest, InlineClocksNeverTouchTheHeap) {
+  const auto n = VectorClock::kInlineCapacity;
+  EXPECT_EQ(allocations_during([&] {
+              VectorClock a(n);
+              VectorClock b = a;       // copy
+              VectorClock c = std::move(b);
+              c.tick(0);
+              a.merge(c);
+              (void)vc_less(a, c);
+              (void)vc_leq(a, c);
+              (void)compare(a, c);
+              VectorClock d;
+              d = a;                   // copy-assign into empty
+              d = std::move(c);
+            }),
+            0u);
+  // One past the capacity pays exactly one array allocation.
+  EXPECT_EQ(allocations_during([&] { VectorClock big(n + 1); }), 1u);
+}
+
+TEST(AllocationTest, SteadyStateOfferIsAllocationFree) {
+  const auto n = VectorClock::kInlineCapacity;  // 16: clocks stay inline
+  QueueEngine eng;
+  eng.add_queue(0);
+  eng.add_queue(1);
+  eng.add_queue(2);  // stays empty: no solutions form, heads stay resident
+
+  // Warm-up: grow queue 0's ring well past the measured workload, run the
+  // detection scratch (bitmaps) once, then drain queue 0 again by offering
+  // a far-future head on queue 1 — each elimination round pops one stale
+  // head until queue 0 is empty.
+  for (int i = 0; i < 150; ++i) {
+    (void)eng.offer(0, make_interval(n, 1, 2, 0, static_cast<SeqNum>(i)));
+  }
+  (void)eng.offer(1, make_interval(n, 100000, 100001, 1, 0));
+  ASSERT_EQ(eng.queue_size(0), 0u);
+  ASSERT_EQ(eng.eliminated(), 150u);
+  // Re-seed queue 0 with a head compatible with queue 1's (queue 2 being
+  // empty blocks any solution), so the measured offers below pure-append.
+  (void)eng.offer(0, make_interval(n, 100000, 100001, 0, 1000));
+  ASSERT_EQ(eng.queue_size(0), 1u);
+
+  // ---- Steady state ----
+  // Append path: queue non-empty, no detection triggered.
+  for (int i = 0; i < 100; ++i) {
+    const auto allocs = allocations_during([&] {
+      Interval x = make_interval(n, 100002, 100003, 0,
+                                 static_cast<SeqNum>(2000 + i));
+      auto sols = eng.offer(0, std::move(x));
+      ASSERT_TRUE(sols.empty());
+    });
+    EXPECT_EQ(allocs, 0u) << "append offer " << i;
+  }
+
+  // Elimination path: a fresh head on queue 1 whose lo is far ahead of the
+  // other heads kills them (no solution forms; detect_loop runs for real).
+  {
+    QueueEngine fresh;
+    fresh.add_queue(0);
+    fresh.add_queue(1);
+    // Warm both rings and scratch bitmaps.
+    (void)fresh.offer(0, make_interval(n, 1, 2, 0, 0));
+    (void)fresh.offer(1, make_interval(n, 1000, 1001, 1, 0));
+    ClockValue far = 2000;
+    for (int i = 0; i < 100; ++i) {
+      // Queue 0 is empty again after each elimination: every offer triggers
+      // a full detect cycle that eliminates the stale head.
+      const auto allocs = allocations_during([&] {
+        auto sols = fresh.offer(
+            0, make_interval(n, far, far + 1, 0, static_cast<SeqNum>(i + 1)));
+        ASSERT_TRUE(sols.empty());
+      });
+      EXPECT_EQ(allocs, 0u) << "eliminating offer " << i;
+      // Re-arm queue 1 with a head the next far-future offer eliminates.
+      // (Appends to an empty queue; detection finds queue 0's head is
+      // behind and eliminates it, leaving queue 1 resident.)
+      far += 1000;
+      const auto rearm = allocations_during([&] {
+        auto sols = fresh.offer(
+            1, make_interval(n, far, far + 1, 1, static_cast<SeqNum>(i + 1)));
+        ASSERT_TRUE(sols.empty());
+      });
+      EXPECT_EQ(rearm, 0u) << "re-arm offer " << i;
+      far += 1000;
+    }
+    EXPECT_GT(fresh.eliminated(), 100u);  // the cycle really ran
+  }
+
+  // Back-pressure path: a full queue rejects without allocating.
+  {
+    QueueEngine bounded;
+    bounded.add_queue(0);
+    bounded.add_queue(1);
+    bounded.set_capacity(4);
+    for (int i = 0; i < 8; ++i) {
+      (void)bounded.offer(0, make_interval(n, 1, 2, 0,
+                                           static_cast<SeqNum>(i)));
+    }
+    const auto allocs = allocations_during([&] {
+      auto sols = bounded.offer(0, make_interval(n, 50, 51, 0, 99));
+      ASSERT_TRUE(sols.empty());
+    });
+    EXPECT_EQ(allocs, 0u);
+    EXPECT_GT(bounded.rejected(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hpd::detect

@@ -1,0 +1,10 @@
+// Fixture: node-based container inside a hot-path module.
+#include <map>
+
+namespace hpd {
+
+// hot-path-containers must flag this (the mention in this comment of
+// std::map<int, int> must NOT count — comments are stripped).
+std::map<int, int> cache;
+
+}  // namespace hpd

@@ -1,0 +1,16 @@
+// Fixture: hot-path module whose only std::map< / std::set< / std::deque<
+// appearances live in comments and strings — hot-path-containers must not
+// fire here.
+#pragma once
+
+#include <string>
+
+namespace hpd {
+
+// The flattened engine replaced std::map<ProcessId, std::deque<Interval>>
+// and the std::set<ProcessId> worklists with dense slots and bitmaps.
+inline std::string fine_flat() {
+  return "prose may say std::map<k,v>, std::set<k>, std::deque<v>";
+}
+
+}  // namespace hpd

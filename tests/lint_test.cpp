@@ -75,6 +75,9 @@ TEST(LintTest, BadTreeFiresEveryRule) {
   EXPECT_NE(r.out.find("src/analysis/using_ns.cpp:4: using-namespace"),
             std::string::npos)
       << r.out;
+  EXPECT_NE(r.out.find("src/vc/hot_map.cpp:8: hot-path-containers"),
+            std::string::npos)
+      << r.out;
 }
 
 TEST(LintTest, CleanFixtureHasNoFindings) {
@@ -98,6 +101,7 @@ TEST(LintTest, AllowlistSuppressesListedRulesOnly) {
   EXPECT_EQ(r.out.find("raw-concurrency"), std::string::npos) << r.out;
   EXPECT_EQ(r.out.find("pragma-once"), std::string::npos) << r.out;
   EXPECT_EQ(r.out.find("using-namespace"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("hot-path-containers"), std::string::npos) << r.out;
 }
 
 TEST(LintTest, RealTreeIsClean) {

@@ -1,0 +1,120 @@
+// FROZEN SEED SNAPSHOT — do not optimize. This is the pre-PR (ISSUE 5)
+// implementation, kept verbatim under hpd::reference as the ground truth
+// for the differential property tests and the bench_micro baseline kernels.
+#include "reference/interval.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace hpd::reference {
+
+std::string Interval::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& x) {
+  os << (x.aggregated ? "agg" : "int") << "[P" << x.origin << "#" << x.seq
+     << " lo=" << x.lo << " hi=" << x.hi << " w=" << x.weight << ']';
+  return os;
+}
+
+bool overlap(const Interval& x, const Interval& y) {
+  return vc_less(x.lo, y.hi) && vc_less(y.lo, x.hi);
+}
+
+bool overlap(std::span<const Interval> xs) {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      if (i != j && !vc_less(xs[i].lo, xs[j].hi)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool overlap_cuts(const Interval& x, const Interval& y) {
+  return vc_leq(x.lo, y.hi) && vc_leq(y.lo, x.hi);
+}
+
+Interval aggregate(std::span<const Interval> xs, ProcessId origin, SeqNum seq) {
+  HPD_REQUIRE(!xs.empty(), "aggregate: empty interval set");
+  Interval out;
+  out.lo = xs.front().lo;
+  out.hi = xs.front().hi;
+  out.weight = 0;
+  bool all_provenance = true;
+  for (const Interval& x : xs) {
+    out.weight += x.weight;
+    out.completed_at = std::max(out.completed_at, x.completed_at);
+    all_provenance = all_provenance && (x.provenance != nullptr);
+  }
+  for (std::size_t k = 1; k < xs.size(); ++k) {
+    out.lo = component_max(out.lo, xs[k].lo);  // Eq. (5)
+    out.hi = component_min(out.hi, xs[k].hi);  // Eq. (6)
+  }
+  out.origin = origin;
+  out.seq = seq;
+  out.aggregated = true;
+  if (all_provenance) {
+    auto prov = std::make_shared<Provenance>();
+    prov->origin = origin;
+    prov->seq = seq;
+    prov->parts.reserve(xs.size());
+    for (const Interval& x : xs) {
+      prov->parts.push_back(x.provenance);
+    }
+    out.provenance = std::move(prov);
+  }
+  return out;
+}
+
+Interval aggregate(const Interval& a, const Interval& b, ProcessId origin,
+                   SeqNum seq) {
+  const Interval xs[] = {a, b};
+  return aggregate(std::span<const Interval>(xs, 2), origin, seq);
+}
+
+bool is_successor(const Interval& x, const Interval& y) {
+  return x.origin == y.origin && vc_less(x.hi, y.lo);
+}
+
+namespace {
+
+void collect_bases(const Provenance& p,
+                   std::vector<std::pair<ProcessId, SeqNum>>& out) {
+  if (p.parts.empty()) {
+    out.emplace_back(p.origin, p.seq);
+    return;
+  }
+  for (const auto& part : p.parts) {
+    if (part != nullptr) {
+      collect_bases(*part, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<ProcessId, SeqNum>> base_intervals(const Interval& x) {
+  std::vector<std::pair<ProcessId, SeqNum>> out;
+  if (x.provenance != nullptr) {
+    collect_bases(*x.provenance, out);
+    std::sort(out.begin(), out.end());
+  }
+  return out;
+}
+
+void attach_base_provenance(Interval& x) {
+  auto prov = std::make_shared<Provenance>();
+  prov->origin = x.origin;
+  prov->seq = x.seq;
+  x.provenance = std::move(prov);
+}
+
+}  // namespace hpd::reference

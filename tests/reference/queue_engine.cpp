@@ -1,0 +1,218 @@
+// FROZEN SEED SNAPSHOT — do not optimize. This is the pre-PR (ISSUE 5)
+// implementation, kept verbatim under hpd::reference as the ground truth
+// for the differential property tests and the bench_micro baseline kernels.
+#include "reference/queue_engine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hpd::reference::detect {
+
+void QueueEngine::add_queue(ProcessId key) {
+  HPD_REQUIRE(queues_.count(key) == 0, "QueueEngine: queue already exists");
+  queues_.emplace(key, std::deque<Interval>{});
+}
+
+void QueueEngine::remove_queue(ProcessId key) {
+  auto it = queues_.find(key);
+  HPD_REQUIRE(it != queues_.end(), "QueueEngine: removing unknown queue");
+  stored_ -= it->second.size();
+  queues_.erase(it);
+  last_pruned_.erase(key);
+}
+
+void QueueEngine::restore_pruned() {
+  for (auto& [key, interval] : last_pruned_) {
+    auto it = queues_.find(key);
+    if (it != queues_.end()) {
+      it->second.push_front(std::move(interval));
+      ++stored_;
+      stored_peak_ = std::max(stored_peak_, stored_);
+    }
+  }
+  last_pruned_.clear();
+}
+
+std::size_t QueueEngine::queue_size(ProcessId key) const {
+  auto it = queues_.find(key);
+  HPD_REQUIRE(it != queues_.end(), "QueueEngine: unknown queue");
+  return it->second.size();
+}
+
+std::vector<ProcessId> QueueEngine::keys() const {
+  std::vector<ProcessId> out;
+  out.reserve(queues_.size());
+  for (const auto& [key, q] : queues_) {
+    out.push_back(key);
+  }
+  return out;
+}
+
+void QueueEngine::clear_queue(ProcessId key) {
+  auto it = queues_.find(key);
+  HPD_REQUIRE(it != queues_.end(), "QueueEngine: unknown queue");
+  stored_ -= it->second.size();
+  it->second.clear();
+  last_pruned_.erase(key);
+}
+
+bool QueueEngine::vc_less_counted(const VectorClock& a, const VectorClock& b) {
+  ++comparisons_;
+  return vc_less(a, b);
+}
+
+bool QueueEngine::vc_leq_counted(const VectorClock& a, const VectorClock& b) {
+  ++comparisons_;
+  return vc_leq(a, b);
+}
+
+bool QueueEngine::all_queues_nonempty() const {
+  return std::all_of(queues_.begin(), queues_.end(),
+                     [](const auto& kv) { return !kv.second.empty(); });
+}
+
+bool QueueEngine::heads_compatible() const {
+  for (const auto& [a, qa] : queues_) {
+    if (qa.empty()) {
+      continue;
+    }
+    for (const auto& [b, qb] : queues_) {
+      if (b == a || qb.empty()) {
+        continue;
+      }
+      if (!vc_leq(qa.front().lo, qb.front().hi)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void QueueEngine::pop_head(ProcessId key) {
+  auto& q = queues_.at(key);
+  HPD_DASSERT(!q.empty(), "QueueEngine::pop_head: empty queue");
+  q.pop_front();
+  --stored_;
+}
+
+std::vector<Solution> QueueEngine::offer(ProcessId key, Interval x) {
+  auto it = queues_.find(key);
+  HPD_REQUIRE(it != queues_.end(), "QueueEngine::offer: unknown queue");
+  if (capacity_ != 0 && it->second.size() >= capacity_) {
+    ++rejected_;  // back-pressure: bounded node memory (see set_capacity)
+    return {};
+  }
+  const bool was_empty = it->second.empty();
+  it->second.push_back(std::move(x));
+  ++offered_;
+  ++stored_;
+  stored_peak_ = std::max(stored_peak_, stored_);
+  if (!was_empty) {
+    // Algorithm 1, line 2: only a new head can enable progress.
+    return {};
+  }
+  return detect_loop({key});
+}
+
+std::vector<Solution> QueueEngine::recheck() {
+  std::set<ProcessId> updated;
+  for (const auto& [key, q] : queues_) {
+    if (!q.empty()) {
+      updated.insert(key);
+    }
+  }
+  if (updated.empty()) {
+    return {};
+  }
+  return detect_loop(std::move(updated));
+}
+
+std::vector<Solution> QueueEngine::detect_loop(std::set<ProcessId> updated) {
+  std::vector<Solution> solutions;
+  while (!updated.empty()) {
+    // ---- One elimination round (lines 5–17) ----
+    std::set<ProcessId> new_updated;
+    for (const ProcessId a : updated) {
+      const auto qa = queues_.find(a);
+      if (qa == queues_.end() || qa->second.empty()) {
+        continue;
+      }
+      const Interval& x = qa->second.front();
+      for (const auto& [b, qb] : queues_) {
+        if (b == a || qb.empty()) {
+          continue;
+        }
+        const Interval& y = qb.front();
+        // Non-strict comparison: raw event timestamps from different
+        // processes are never equal (so this matches the paper's strict
+        // test exactly), while aggregated cuts may legitimately coincide
+        // (see overlap_cuts in interval/interval.hpp).
+        if (!vc_leq_counted(x.lo, y.hi)) {
+          // y can never pair with x or any successor of x: delete y.
+          new_updated.insert(b);
+        }
+        if (!vc_leq_counted(y.lo, x.hi)) {
+          new_updated.insert(a);
+        }
+      }
+    }
+    if (!new_updated.empty()) {
+      for (const ProcessId c : new_updated) {
+        if (!queues_.at(c).empty()) {
+          pop_head(c);
+          ++eliminated_;
+        }
+      }
+      updated = std::move(new_updated);
+      continue;
+    }
+
+    // ---- Fixpoint reached: solution check (lines 18–22) ----
+    if (!all_queues_nonempty()) {
+      break;
+    }
+    Solution sol;
+    sol.members.reserve(queues_.size());
+    for (const auto& [key, q] : queues_) {
+      sol.members.push_back(q.front());
+    }
+    solutions.push_back(sol);
+    ++solutions_found_;
+
+    // ---- Pruning for repeated detection (lines 23–33, Eq. (10)) ----
+    std::set<ProcessId> prune_set;
+    for (const auto& [a, qa2] : queues_) {
+      bool removable = true;
+      if (mode_ != PruneMode::kTestBrokenPruneAll) {
+        for (const auto& [b, qb2] : queues_) {
+          if (b == a) {
+            continue;
+          }
+          if (vc_less_counted(qb2.front().hi, qa2.front().hi)) {
+            removable = false;  // Eq. (10) fails: some max(x_b) < max(x_a)
+            break;
+          }
+        }
+      }
+      if (removable) {
+        prune_set.insert(a);
+        if (mode_ == PruneMode::kSingleEq10) {
+          break;
+        }
+      }
+    }
+    // Theorem 4 (liveness): at least one head always satisfies Eq. (10).
+    HPD_ASSERT(!prune_set.empty(),
+               "QueueEngine: Eq.(10) pruned nothing (violates Theorem 4)");
+    for (const ProcessId c : prune_set) {
+      last_pruned_[c] = queues_.at(c).front();
+      pop_head(c);
+      ++pruned_;
+    }
+    updated = std::move(prune_set);
+  }
+  return solutions;
+}
+
+}  // namespace hpd::reference::detect

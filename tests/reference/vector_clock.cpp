@@ -1,0 +1,112 @@
+// FROZEN SEED SNAPSHOT — do not optimize. This is the pre-PR (ISSUE 5)
+// implementation, kept verbatim under hpd::reference as the ground truth
+// for the differential property tests and the bench_micro baseline kernels.
+#include "reference/vector_clock.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+namespace hpd::reference {
+
+const char* to_string(Ordering o) {
+  switch (o) {
+    case Ordering::kEqual:
+      return "equal";
+    case Ordering::kBefore:
+      return "before";
+    case Ordering::kAfter:
+      return "after";
+    case Ordering::kConcurrent:
+      return "concurrent";
+  }
+  return "?";
+}
+
+void VectorClock::merge(const VectorClock& other) {
+  HPD_REQUIRE(comp_.size() == other.comp_.size(),
+              "VectorClock::merge: size mismatch");
+  for (std::size_t i = 0; i < comp_.size(); ++i) {
+    comp_[i] = std::max(comp_[i], other.comp_[i]);
+  }
+}
+
+std::uint64_t VectorClock::total() const {
+  return std::accumulate(comp_.begin(), comp_.end(), std::uint64_t{0});
+}
+
+std::string VectorClock::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const VectorClock& vc) {
+  os << '(';
+  for (std::size_t i = 0; i < vc.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    os << vc[i];
+  }
+  os << ')';
+  return os;
+}
+
+Ordering compare(const VectorClock& a, const VectorClock& b) {
+  HPD_REQUIRE(a.size() == b.size() && !a.empty(),
+              "compare: clocks must be non-empty and of equal size");
+  bool some_less = false;
+  bool some_greater = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) {
+      some_less = true;
+    } else if (a[i] > b[i]) {
+      some_greater = true;
+    }
+    if (some_less && some_greater) {
+      return Ordering::kConcurrent;
+    }
+  }
+  if (some_less) {
+    return Ordering::kBefore;
+  }
+  if (some_greater) {
+    return Ordering::kAfter;
+  }
+  return Ordering::kEqual;
+}
+
+bool vc_less(const VectorClock& a, const VectorClock& b) {
+  return compare(a, b) == Ordering::kBefore;
+}
+
+bool vc_leq(const VectorClock& a, const VectorClock& b) {
+  const Ordering o = compare(a, b);
+  return o == Ordering::kBefore || o == Ordering::kEqual;
+}
+
+bool vc_concurrent(const VectorClock& a, const VectorClock& b) {
+  return compare(a, b) == Ordering::kConcurrent;
+}
+
+VectorClock component_max(const VectorClock& a, const VectorClock& b) {
+  HPD_REQUIRE(a.size() == b.size(), "component_max: size mismatch");
+  VectorClock out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = std::max(a[i], b[i]);
+  }
+  return out;
+}
+
+VectorClock component_min(const VectorClock& a, const VectorClock& b) {
+  HPD_REQUIRE(a.size() == b.size(), "component_min: size mismatch");
+  VectorClock out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = std::min(a[i], b[i]);
+  }
+  return out;
+}
+
+}  // namespace hpd::reference

@@ -1,0 +1,115 @@
+// FROZEN SEED SNAPSHOT — do not optimize. This is the pre-PR (ISSUE 5)
+// implementation, kept verbatim under hpd::reference as the ground truth
+// for the differential property tests and the bench_micro baseline kernels.
+// Vector clocks (Mattern / Fidge) and the happened-before partial order.
+//
+// A VectorClock V at process Pi satisfies: V[j] = number of events of Pj
+// that causally precede (or equal, for j == i) Pi's current state. The
+// paper's update rules (Section II-A) are implemented by tick() / merge().
+//
+// Component-wise min / max ("meet" and "join" of cuts) implement the
+// aggregation operator of the paper's Eqs. (5) and (6).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace hpd::reference {
+
+/// Relationship of two vector timestamps under happened-before.
+enum class Ordering {
+  kEqual,       ///< identical vectors
+  kBefore,      ///< a < b : a happened-before b
+  kAfter,       ///< a > b : b happened-before a
+  kConcurrent,  ///< a || b : incomparable
+};
+
+const char* to_string(Ordering o);
+
+class VectorClock {
+ public:
+  /// Empty clock (size 0). Useful as a "not yet assigned" placeholder.
+  VectorClock() = default;
+
+  /// Zero clock for a system of n processes.
+  explicit VectorClock(std::size_t n) : comp_(n, 0) {}
+
+  /// Clock with explicit components, mostly for tests and scripted scenarios.
+  VectorClock(std::initializer_list<ClockValue> values) : comp_(values) {}
+
+  static VectorClock zero(std::size_t n) { return VectorClock(n); }
+
+  std::size_t size() const { return comp_.size(); }
+  bool empty() const { return comp_.empty(); }
+
+  ClockValue operator[](std::size_t i) const {
+    HPD_DASSERT(i < comp_.size(), "VectorClock: component out of range");
+    return comp_[i];
+  }
+  ClockValue& operator[](std::size_t i) {
+    HPD_DASSERT(i < comp_.size(), "VectorClock: component out of range");
+    return comp_[i];
+  }
+
+  /// Rule 1/2 of the paper: advance the local component before an event.
+  void tick(ProcessId self) {
+    HPD_DASSERT(self >= 0 && static_cast<std::size_t>(self) < comp_.size(),
+                "VectorClock::tick: bad process id");
+    ++comp_[static_cast<std::size_t>(self)];
+  }
+
+  /// Rule 3 of the paper (receive): component-wise max with the message
+  /// timestamp. The caller then ticks the local component.
+  void merge(const VectorClock& other);
+
+  /// Sum of all components — a cheap total "amount of causality" measure,
+  /// used only by diagnostics.
+  std::uint64_t total() const;
+
+  /// Number of ClockValue words a timestamp occupies on the wire. Used by
+  /// the metrics layer to account message sizes in O(n) units.
+  std::size_t wire_size() const { return comp_.size(); }
+
+  std::string to_string() const;
+
+  friend bool operator==(const VectorClock& a, const VectorClock& b) {
+    return a.comp_ == b.comp_;
+  }
+  friend bool operator!=(const VectorClock& a, const VectorClock& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::vector<ClockValue> comp_;
+};
+
+std::ostream& operator<<(std::ostream& os, const VectorClock& vc);
+
+/// Full comparison under the happened-before partial order.
+/// Requires a.size() == b.size() and both non-empty.
+Ordering compare(const VectorClock& a, const VectorClock& b);
+
+/// a < b : every component of a is <= the matching component of b and at
+/// least one is strictly smaller. This is the paper's "<" on timestamps
+/// (equivalently Lamport's happened-before on the underlying events/cuts).
+bool vc_less(const VectorClock& a, const VectorClock& b);
+
+/// a <= b component-wise (a < b or a == b).
+bool vc_leq(const VectorClock& a, const VectorClock& b);
+
+/// Incomparable under happened-before.
+bool vc_concurrent(const VectorClock& a, const VectorClock& b);
+
+/// Component-wise maximum (join of two cuts).
+VectorClock component_max(const VectorClock& a, const VectorClock& b);
+
+/// Component-wise minimum (meet of two cuts).
+VectorClock component_min(const VectorClock& a, const VectorClock& b);
+
+}  // namespace hpd::reference

@@ -1,0 +1,290 @@
+// hpd_bench_diff — compare a bench run against a baseline snapshot.
+//
+// Both inputs are the flat JSON files the benches emit through
+// `bench::JsonReport` (bench/out/BENCH_<name>.json, committed snapshots
+// under bench/baselines/):
+//
+//   { "bench": "<name>", "metrics": { "<metric>": <number>, ... } }
+//
+// For every metric present in the baseline the tool computes the relative
+// change and fails (exit 1) on *regressions* beyond the threshold —
+// improvements never fail, however large. All emitted metrics are
+// costs (`*_real_ns`, `*_bytes_per_*`), so "worse" always means "larger";
+// a metric whose name ends in `_per_s` is treated as a rate (larger is
+// better) for forward compatibility. A metric that disappears from the
+// current run is a failure; new metrics only in the current run are
+// reported informationally.
+//
+// Usage:
+//   hpd_bench_diff <baseline.json> <current.json>
+//       [--threshold <pct>]          default regression threshold (30)
+//       [--metric <substr>=<pct>]    per-metric override, first substring
+//                                    match wins (repeatable)
+//
+// Exit codes: 0 no regressions, 1 regressions found, 2 usage/parse error.
+// Like hpd_lint, deliberately dependency-free (std library only) so it can
+// run in CI before anything else builds.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Metric {
+  std::string name;
+  double value = 0.0;
+};
+
+struct BenchFile {
+  std::string bench;
+  std::vector<Metric> metrics;
+};
+
+const Metric* find(const BenchFile& f, const std::string& name) {
+  for (const Metric& m : f.metrics) {
+    if (m.name == name) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+// ---- Minimal JSON reader for the flat bench format --------------------------
+
+struct Parser {
+  std::string text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+
+  // Quoted string; the bench reporter never emits escapes, so reject them.
+  bool string(std::string& out) {
+    if (!eat('"')) {
+      return false;
+    }
+    out.clear();
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\') {
+        return false;
+      }
+      out.push_back(text[pos++]);
+    }
+    return eat('"');
+  }
+
+  bool number(double& out) {
+    skip_ws();
+    const char* start = text.c_str() + pos;
+    char* end = nullptr;
+    out = std::strtod(start, &end);
+    if (end == start) {
+      return false;
+    }
+    pos += static_cast<std::size_t>(end - start);
+    return true;
+  }
+};
+
+bool parse_bench_file(const std::string& path, BenchFile& out,
+                      std::string& err) {
+  std::ifstream is(path);
+  if (!is) {
+    err = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  Parser p{buf.str()};
+  if (!p.eat('{')) {
+    err = path + ": expected '{'";
+    return false;
+  }
+  bool first = true;
+  while (!p.peek('}')) {
+    if (!first && !p.eat(',')) {
+      err = path + ": expected ',' between members";
+      return false;
+    }
+    first = false;
+    std::string key;
+    if (!p.string(key) || !p.eat(':')) {
+      err = path + ": expected \"key\":";
+      return false;
+    }
+    if (key == "bench") {
+      if (!p.string(out.bench)) {
+        err = path + ": \"bench\" must be a string";
+        return false;
+      }
+    } else if (key == "metrics") {
+      if (!p.eat('{')) {
+        err = path + ": \"metrics\" must be an object";
+        return false;
+      }
+      bool mfirst = true;
+      while (!p.peek('}')) {
+        if (!mfirst && !p.eat(',')) {
+          err = path + ": expected ',' between metrics";
+          return false;
+        }
+        mfirst = false;
+        Metric m;
+        if (!p.string(m.name) || !p.eat(':') || !p.number(m.value)) {
+          err = path + ": expected \"metric\": number";
+          return false;
+        }
+        out.metrics.push_back(std::move(m));
+      }
+      p.eat('}');
+    } else {
+      err = path + ": unknown key \"" + key + "\"";
+      return false;
+    }
+  }
+  if (!p.eat('}')) {
+    err = path + ": expected '}'";
+    return false;
+  }
+  return true;
+}
+
+// ---- Comparison -------------------------------------------------------------
+
+struct Override {
+  std::string substr;
+  double pct = 0.0;
+};
+
+bool higher_is_better(const std::string& name) {
+  const std::string suffix = "_per_s";
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+int usage() {
+  std::cerr
+      << "usage: hpd_bench_diff <baseline.json> <current.json>\n"
+         "           [--threshold <pct>] [--metric <substr>=<pct>]...\n"
+         "Fails (exit 1) on metrics regressing beyond the threshold\n"
+         "(default 30%). Improvements never fail.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  double threshold = 30.0;
+  std::vector<Override> overrides;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold") {
+      if (++i >= argc) {
+        return usage();
+      }
+      threshold = std::atof(argv[i]);
+    } else if (arg == "--metric") {
+      if (++i >= argc) {
+        return usage();
+      }
+      const std::string spec = argv[i];
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return usage();
+      }
+      overrides.push_back(
+          {spec.substr(0, eq), std::atof(spec.c_str() + eq + 1)});
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "hpd_bench_diff: unknown flag " << arg << "\n";
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    return usage();
+  }
+
+  BenchFile baseline;
+  BenchFile current;
+  std::string err;
+  if (!parse_bench_file(paths[0], baseline, err) ||
+      !parse_bench_file(paths[1], current, err)) {
+    std::cerr << "hpd_bench_diff: " << err << "\n";
+    return 2;
+  }
+
+  int regressions = 0;
+  std::printf("%-44s %14s %14s %9s  %s\n", "metric", "baseline", "current",
+              "delta", "status");
+  for (const Metric& base : baseline.metrics) {
+    const Metric* cur = find(current, base.name);
+    if (cur == nullptr) {
+      std::printf("%-44s %14.6g %14s %9s  %s\n", base.name.c_str(),
+                  base.value, "-", "-", "MISSING");
+      ++regressions;
+      continue;
+    }
+    double limit = threshold;
+    for (const Override& o : overrides) {
+      if (base.name.find(o.substr) != std::string::npos) {
+        limit = o.pct;
+        break;
+      }
+    }
+    const double change =
+        base.value == 0.0
+            ? (cur->value == 0.0 ? 0.0 : 100.0)
+            : (cur->value - base.value) / base.value * 100.0;
+    const double worse = higher_is_better(base.name) ? -change : change;
+    const char* status = "ok";
+    if (worse > limit) {
+      status = "REGRESSION";
+      ++regressions;
+    } else if (worse < -limit) {
+      status = "improved";
+    }
+    std::printf("%-44s %14.6g %14.6g %+8.1f%%  %s\n", base.name.c_str(),
+                base.value, cur->value, change, status);
+  }
+  for (const Metric& m : current.metrics) {
+    if (find(baseline, m.name) == nullptr) {
+      std::printf("%-44s %14s %14.6g %9s  %s\n", m.name.c_str(), "-", m.value,
+                  "-", "new");
+    }
+  }
+  if (regressions > 0) {
+    std::printf("hpd_bench_diff: %d metric(s) regressed beyond threshold "
+                "(%.0f%% default)\n",
+                regressions, threshold);
+    return 1;
+  }
+  std::printf("hpd_bench_diff: no regressions (%zu metrics checked)\n",
+              baseline.metrics.size());
+  return 0;
+}

@@ -8,6 +8,7 @@
 //   determinism       no wall clocks / ambient randomness outside rt/
 //   wire-endianness   host<->network byte-order calls only in wire/
 //   raw-concurrency   no naked std primitives outside the annotated wrappers
+//   hot-path-containers  no std::map/set/deque in vc/, interval/, detect/
 //   todo-issue        TODO must carry an issue reference; FIXME is banned
 //   pragma-once       every header starts its life with #pragma once
 //   using-namespace   no `using namespace std`
@@ -153,6 +154,24 @@ constexpr TokenRule kConcurrencyTokens[] = {
 constexpr TokenRule kThreadTokens[] = {
     {"std::thread", "threads only in rt/ and parallel/"},
     {"std::jthread", "threads only in rt/ and parallel/"},
+};
+
+// The detection hot path (ISSUE 5) is flat: dense slot-indexed vectors,
+// ring buffers, and bitmaps. Node-based / segmented std containers
+// allocate per element and chase pointers per step, which is exactly what
+// the allocation-free offer() work removed — new uses need an allowlist
+// entry with a justification.
+constexpr TokenRule kHotPathContainerTokens[] = {
+    {"std::map<", "node-based container in a hot-path module; use dense "
+                  "slot storage (see queue_engine.hpp)"},
+    {"std::multimap<", "node-based container in a hot-path module; use "
+                       "dense slot storage (see queue_engine.hpp)"},
+    {"std::set<", "node-based container in a hot-path module; use a slot "
+                  "bitmap (see queue_engine.hpp)"},
+    {"std::multiset<", "node-based container in a hot-path module; use a "
+                       "slot bitmap (see queue_engine.hpp)"},
+    {"std::deque<", "segmented container in a hot-path module; use a ring "
+                    "buffer (see queue_engine.hpp)"},
 };
 
 // ---- Lexical helpers --------------------------------------------------------
@@ -403,6 +422,17 @@ void check_file(const fs::path& abs, const std::string& rel, FileReport& r) {
         if (has_token(cl, t.token)) {
           add(r, rel, ln,
               "raw-concurrency", std::string(t.token) + ": " + t.message);
+        }
+      }
+    }
+
+    // hot-path-containers: node-based / segmented std containers stay out
+    // of the allocation-free detection modules.
+    if (module == "vc" || module == "interval" || module == "detect") {
+      for (const TokenRule& t : kHotPathContainerTokens) {
+        if (has_token(cl, t.token)) {
+          add(r, rel, ln, "hot-path-containers",
+              std::string(t.token) + ": " + t.message);
         }
       }
     }
