@@ -1,0 +1,197 @@
+// Slicing-vs-centralized detection latency at rising event rates
+// (extension): both sinks sit at the tree root and see the identical report
+// stream; the slicing sink additionally runs the admission filter, whose
+// binary-searched doom certificates discard provably dead intervals before
+// they reach the queue engine.
+//
+// Two workload regimes bracket the filter's behaviour:
+//   * pulse — synchronized truth rounds; every interval is in a solution
+//     (the slice is the whole computation), so the filter is pure overhead
+//     and the table quantifies it;
+//   * gossip at rising event rates (shrinking mean action gap) — most
+//     intervals are causally chained and provably doomed, so the filter
+//     sheds queue admissions the centralized sink must grind through.
+//     The filter pays vector-clock comparisons (binary search per stream)
+//     to buy those evictions; the enqueued column shows the purchase.
+//
+// Latency is the paper's detection latency: alarm time minus completion of
+// the latest member interval. The comparison counter is apples-to-apples —
+// for the slicing sink it includes every vector-clock comparison the slice
+// filter itself spends.
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "metrics/report.hpp"
+#include "trace/gossip.hpp"
+#include "trace/pulse.hpp"
+
+namespace hpd {
+namespace {
+
+bench::JsonReport g_report("bench_slicing");
+
+struct Outcome {
+  double mean = 0.0;
+  double p95 = 0.0;
+  std::size_t count = 0;
+  std::uint64_t comparisons = 0;
+  std::uint64_t enqueued = 0;  ///< intervals admitted into the queue engine
+  double rate = 0.0;  ///< completed intervals per time unit, whole system
+};
+
+Outcome collect(runner::ExperimentConfig cfg) {
+  cfg.keep_occurrence_records = true;
+  cfg.occurrence_solutions = false;
+  cfg.record_execution = true;  // the event rate is a workload property
+  const auto res = runner::run_experiment(cfg);
+  std::vector<double> lat;
+  for (const auto& rec : res.occurrences) {
+    if (rec.global) {
+      lat.push_back(rec.latency());
+    }
+  }
+  Outcome out;
+  out.count = lat.size();
+  out.comparisons = res.metrics.total_vc_comparisons();
+  out.enqueued = res.metrics.total_intervals_enqueued();
+  out.rate = res.end_time > 0.0
+                 ? static_cast<double>(res.execution.total_intervals()) /
+                       res.end_time
+                 : 0.0;
+  if (lat.empty()) {
+    return out;
+  }
+  std::sort(lat.begin(), lat.end());
+  double sum = 0.0;
+  for (const double v : lat) {
+    sum += v;
+  }
+  out.mean = sum / static_cast<double>(lat.size());
+  out.p95 = lat[std::min(lat.size() - 1,
+                         static_cast<std::size_t>(
+                             0.95 * static_cast<double>(lat.size())))];
+  return out;
+}
+
+runner::ExperimentConfig shape_config(std::size_t d, std::size_t h,
+                                      runner::DetectorKind kind,
+                                      std::uint64_t seed) {
+  runner::ExperimentConfig cfg;
+  cfg.tree = net::SpanningTree::balanced_dary(d, h);
+  cfg.topology = net::tree_topology(cfg.tree);
+  cfg.seed = seed;
+  cfg.detector = kind;
+  return cfg;
+}
+
+Outcome run_pulse(std::size_t d, std::size_t h, runner::DetectorKind kind) {
+  auto cfg = shape_config(d, h, kind, 99);
+  trace::PulseConfig pc;
+  pc.rounds = 20;
+  pc.start = 5.0;
+  pc.period = 60.0;
+  pc.participation = 1.0;
+  cfg.behavior_factory = [pc](ProcessId) {
+    return std::make_unique<trace::PulseBehavior>(pc);
+  };
+  cfg.horizon = 5.0 + 21.0 * 60.0;
+  cfg.drain = 100.0;
+  return collect(std::move(cfg));
+}
+
+Outcome run_gossip(std::size_t d, std::size_t h, SimTime mean_gap,
+                   runner::DetectorKind kind) {
+  auto cfg = shape_config(d, h, kind, 99);
+  trace::GossipConfig g;
+  g.horizon = 1500.0;
+  g.mean_gap = mean_gap;
+  g.p_send = 0.5;
+  g.p_toggle = 0.45;
+  g.max_intervals = 400;
+  cfg.behavior_factory = [g](ProcessId) {
+    return std::make_unique<trace::GossipBehavior>(g);
+  };
+  cfg.horizon = g.horizon;
+  cfg.drain = 100.0;
+  return collect(std::move(cfg));
+}
+
+const char* algo_name(runner::DetectorKind kind) {
+  return kind == runner::DetectorKind::kCentralized ? "central" : "slicing";
+}
+
+}  // namespace
+}  // namespace hpd
+
+int main() {
+  using hpd::TextTable;
+  constexpr auto kCentral = hpd::runner::DetectorKind::kCentralized;
+  constexpr auto kSlicing = hpd::runner::DetectorKind::kSlicing;
+
+  std::cout << "== Pulse rounds (full-slice regime: nothing is doomed, the "
+               "filter is pure overhead) ==\n";
+  TextTable t({"d", "h", "n", "algo", "detections", "mean", "p95",
+               "enqueued", "comparisons"});
+  struct Shape {
+    std::size_t d;
+    std::size_t h;
+  };
+  for (const Shape s : {Shape{2, 4}, Shape{2, 5}, Shape{4, 3}}) {
+    for (const auto kind : {kCentral, kSlicing}) {
+      const auto o = hpd::run_pulse(s.d, s.h, kind);
+      const std::string key = "pulse_d" + std::to_string(s.d) + "h" +
+                              std::to_string(s.h) + "_" + hpd::algo_name(kind);
+      hpd::g_report.add(key + "_mean_latency", o.mean);
+      hpd::g_report.add(key + "_comparisons",
+                        static_cast<double>(o.comparisons));
+      t.add_row({std::to_string(s.d), std::to_string(s.h),
+                 std::to_string(
+                     hpd::net::SpanningTree::balanced_dary_size(s.d, s.h)),
+                 hpd::algo_name(kind), std::to_string(o.count),
+                 TextTable::num(o.mean, 2), TextTable::num(o.p95, 2),
+                 std::to_string(o.enqueued),
+                 std::to_string(o.comparisons)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\n== Gossip at rising event rates (doom-heavy regime: the "
+               "filter sheds provably dead intervals) ==\n";
+  TextTable u({"d", "h", "mean_gap", "rate", "algo", "detections", "mean",
+               "p95", "enqueued", "comparisons"});
+  for (const Shape s : {Shape{2, 2}, Shape{3, 2}}) {
+    for (const hpd::SimTime gap : {12.0, 6.0, 3.0}) {
+      for (const auto kind : {kCentral, kSlicing}) {
+        const auto o = hpd::run_gossip(s.d, s.h, gap, kind);
+        const std::string key = "gossip_d" + std::to_string(s.d) + "h" +
+                                std::to_string(s.h) + "_g" +
+                                std::to_string(static_cast<int>(gap)) + "_" +
+                                hpd::algo_name(kind);
+        hpd::g_report.add(key + "_mean_latency", o.mean);
+        hpd::g_report.add(key + "_comparisons",
+                          static_cast<double>(o.comparisons));
+        hpd::g_report.add(key + "_enqueued",
+                          static_cast<double>(o.enqueued));
+        u.add_row({std::to_string(s.d), std::to_string(s.h),
+                   TextTable::num(gap, 0), TextTable::num(o.rate, 2),
+                   hpd::algo_name(kind), std::to_string(o.count),
+                   TextTable::num(o.mean, 2), TextTable::num(o.p95, 2),
+                   std::to_string(o.enqueued),
+                   std::to_string(o.comparisons)});
+      }
+    }
+  }
+  u.print(std::cout);
+  std::cout << "\nBoth sinks raise the same alarms over the same report\n"
+               "stream, so detection latency is identical up to scheduling\n"
+               "noise. The enqueued column shows the admissions the slice\n"
+               "filter sheds (pulse: none — every interval survives; dense\n"
+               "gossip: most are doomed on arrival), and the comparison\n"
+               "column shows the vector-clock work the filter spends to\n"
+               "earn those doom certificates.\n";
+  hpd::g_report.write();
+  return 0;
+}

@@ -6,19 +6,13 @@
 
 namespace hpd::detect::offline {
 
-std::vector<Solution> replay_centralized(const trace::ExecutionRecord& exec,
-                                         const ReplayOptions& options) {
+std::vector<std::pair<std::size_t, std::size_t>> arrival_order(
+    const trace::ExecutionRecord& exec,
+    std::optional<std::uint64_t> shuffle_seed) {
   const std::size_t n = exec.num_processes();
-  QueueEngine engine(options.prune_mode);
-  for (std::size_t i = 0; i < n; ++i) {
-    engine.add_queue(static_cast<ProcessId>(i));
-  }
-
-  // Build the arrival sequence: (process, interval-index) pairs preserving
-  // per-process order.
   std::vector<std::pair<std::size_t, std::size_t>> arrivals;
-  if (options.shuffle_seed.has_value()) {
-    Rng rng(*options.shuffle_seed);
+  if (shuffle_seed.has_value()) {
+    Rng rng(*shuffle_seed);
     std::vector<std::size_t> next(n, 0);
     std::size_t remaining = exec.total_intervals();
     while (remaining > 0) {
@@ -47,9 +41,20 @@ std::vector<Solution> replay_centralized(const trace::ExecutionRecord& exec,
       }
     }
   }
+  return arrivals;
+}
+
+std::vector<Solution> replay_centralized(const trace::ExecutionRecord& exec,
+                                         const ReplayOptions& options) {
+  const std::size_t n = exec.num_processes();
+  QueueEngine engine(options.prune_mode);
+  for (std::size_t i = 0; i < n; ++i) {
+    engine.add_queue(static_cast<ProcessId>(i));
+  }
 
   std::vector<Solution> solutions;
-  for (const auto& [proc, index] : arrivals) {
+  for (const auto& [proc, index] :
+       arrival_order(exec, options.shuffle_seed)) {
     auto found = engine.offer(static_cast<ProcessId>(proc),
                               exec.procs[proc].intervals[index]);
     for (auto& sol : found) {

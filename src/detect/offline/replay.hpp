@@ -31,4 +31,12 @@ struct ReplayOptions {
 std::vector<Solution> replay_centralized(const trace::ExecutionRecord& exec,
                                          const ReplayOptions& options = {});
 
+/// The arrival sequence a replay feeds its engine: (process, interval-index)
+/// pairs preserving per-process order. Round-robin by interval index when
+/// `shuffle_seed` is empty, seeded random interleave otherwise. Shared by
+/// the centralized and slicing replays so they see identical schedules.
+std::vector<std::pair<std::size_t, std::size_t>> arrival_order(
+    const trace::ExecutionRecord& exec,
+    std::optional<std::uint64_t> shuffle_seed);
+
 }  // namespace hpd::detect::offline

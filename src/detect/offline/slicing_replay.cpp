@@ -1,0 +1,32 @@
+#include "detect/offline/slicing_replay.hpp"
+
+#include <utility>
+
+#include "detect/offline/replay.hpp"
+
+namespace hpd::detect::offline {
+
+SlicingReplayResult replay_slicing(const trace::ExecutionRecord& exec,
+                                   const SlicingReplayOptions& options) {
+  const std::size_t n = exec.num_processes();
+  SlicingEngine slicer(options.mode, options.prune_mode);
+  for (std::size_t i = 0; i < n; ++i) {
+    slicer.add_queue(static_cast<ProcessId>(i));
+  }
+
+  SlicingReplayResult out;
+  for (const auto& [proc, index] :
+       arrival_order(exec, options.shuffle_seed)) {
+    auto found = slicer.offer(static_cast<ProcessId>(proc),
+                              exec.procs[proc].intervals[index]);
+    for (auto& sol : found) {
+      out.solutions.push_back(std::move(sol));
+    }
+  }
+  out.admitted = slicer.admitted();
+  out.discarded_by_slice = slicer.discarded_by_slice();
+  out.jcuts_closed = slicer.jcuts_closed();
+  return out;
+}
+
+}  // namespace hpd::detect::offline

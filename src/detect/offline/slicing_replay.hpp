@@ -1,0 +1,37 @@
+// Offline replay of the slicing detector over a recorded execution — the
+// slicing-side twin of replay_centralized. Feeds the same arrival schedule
+// (arrival_order) into a fresh SlicingEngine and returns the solutions plus
+// the slice statistics, so oracles and tests can compare the slicing
+// engine's occurrence set against the centralized reference over any
+// execution shape, including fault-era recordings the online sink engines
+// cannot run (they have no repair path).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "detect/queue_engine.hpp"
+#include "detect/slicing.hpp"
+#include "trace/execution.hpp"
+
+namespace hpd::detect::offline {
+
+struct SlicingReplayOptions {
+  QueueEngine::PruneMode prune_mode = QueueEngine::PruneMode::kAllEq10;
+  SlicingEngine::Mode mode = SlicingEngine::Mode::kExact;
+  /// Same semantics as ReplayOptions::shuffle_seed.
+  std::optional<std::uint64_t> shuffle_seed;
+};
+
+struct SlicingReplayResult {
+  std::vector<Solution> solutions;
+  std::uint64_t admitted = 0;
+  std::uint64_t discarded_by_slice = 0;
+  std::uint64_t jcuts_closed = 0;
+};
+
+SlicingReplayResult replay_slicing(const trace::ExecutionRecord& exec,
+                                   const SlicingReplayOptions& options = {});
+
+}  // namespace hpd::detect::offline

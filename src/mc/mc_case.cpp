@@ -87,7 +87,21 @@ runner::ExperimentConfig build_case(const McCase& c) {
   cfg.drain = 80.0;
 
   // ---- Detection ----
-  cfg.detector = runner::DetectorKind::kHierarchical;
+  switch (c.engine) {
+    case EngineKind::kHier:
+      cfg.detector = runner::DetectorKind::kHierarchical;
+      break;
+    case EngineKind::kCentral:
+      cfg.detector = runner::DetectorKind::kCentralized;
+      break;
+    case EngineKind::kSlicing:
+      cfg.detector = runner::DetectorKind::kSlicing;
+      break;
+    case EngineKind::kTestBrokenSlicing:
+      cfg.detector = runner::DetectorKind::kSlicing;
+      cfg.slicing_mode = detect::SlicingEngine::Mode::kTestBrokenEagerDoom;
+      break;
+  }
   cfg.prune_mode = c.prune;
   cfg.queue_capacity = c.queue_capacity;
   cfg.track_provenance = true;
@@ -98,7 +112,11 @@ runner::ExperimentConfig build_case(const McCase& c) {
   // ---- Fault plan ----
   cfg.failures = c.crashes;
   cfg.recoveries = c.recoveries;
-  cfg.heartbeats = !c.crashes.empty() || !c.recoveries.empty();
+  // Heartbeats + repair exist only in the hierarchical stack; sink-engine
+  // cases with a fault plan run the faults without repair (and the
+  // structural fault oracles are hier-gated accordingly).
+  cfg.heartbeats = (!c.crashes.empty() || !c.recoveries.empty()) &&
+                   c.engine == EngineKind::kHier;
 
   cfg.seed = c.seed;
   return cfg;
@@ -116,6 +134,20 @@ const char* to_string(StrategyKind k) {
       return "delay";
     case StrategyKind::kPct:
       return "pct";
+  }
+  return "?";
+}
+
+const char* to_string(EngineKind k) {
+  switch (k) {
+    case EngineKind::kHier:
+      return "hier";
+    case EngineKind::kCentral:
+      return "central";
+    case EngineKind::kSlicing:
+      return "slicing";
+    case EngineKind::kTestBrokenSlicing:
+      return "broken-slicing";
   }
   return "?";
 }

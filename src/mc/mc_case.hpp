@@ -29,6 +29,19 @@ enum class StrategyKind {
   kPct,           ///< PCT-style random priority lanes (lane k waits k·spread)
 };
 
+/// Which detection engine judges the schedule. Fault plans (crashes,
+/// recoveries) require kHier — the sink engines have no repair plane, so
+/// the heartbeat layer and the structural fault oracles only apply there.
+enum class EngineKind {
+  kHier,     ///< the paper's hierarchical detector (default)
+  kCentral,  ///< centralized sink baseline [12]
+  kSlicing,  ///< computation-slicing sink (detect/slicing)
+  /// Test-only: slicing with the deliberately broken join-irreducible
+  /// computation (SlicingEngine::Mode::kTestBrokenEagerDoom). The strict
+  /// oracle must catch the solutions it loses.
+  kTestBrokenSlicing,
+};
+
 struct McCase {
   // ---- System shape -------------------------------------------------------
   /// `dary:D:H` (paper-model tree; cross links added when the fault plan
@@ -47,6 +60,7 @@ struct McCase {
   SimTime pulse_period = 40.0;
 
   // ---- Detection ----------------------------------------------------------
+  EngineKind engine = EngineKind::kHier;
   detect::QueueEngine::PruneMode prune =
       detect::QueueEngine::PruneMode::kAllEq10;
   std::size_t queue_capacity = 0;
@@ -127,6 +141,7 @@ runner::ExperimentConfig build_case(const McCase& c);
 
 const char* to_string(WorkloadKind k);
 const char* to_string(StrategyKind k);
+const char* to_string(EngineKind k);
 const char* to_string(detect::QueueEngine::PruneMode m);
 
 }  // namespace hpd::mc

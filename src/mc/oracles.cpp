@@ -8,6 +8,7 @@
 
 #include "detect/offline/enumerate.hpp"
 #include "detect/offline/hier_replay.hpp"
+#include "detect/offline/replay.hpp"
 #include "interval/interval.hpp"
 #include "vc/vector_clock.hpp"
 
@@ -312,6 +313,84 @@ void check_strict(const McCase& c, const runner::ExperimentConfig& cfg,
   }
 }
 
+/// Strict differential for the sink engines (central / slicing): the sink's
+/// online global stream must match the centralized offline replay solution
+/// for solution — the engines are confluent, so the replay's round-robin
+/// arrival order and the network's delivery order produce the same solution
+/// sequence. The slicing engine's admission filter discards only intervals
+/// provably outside the slice, so it is held to the *same* reference; the
+/// broken-slicing test mode loses real solutions and fails exactly here.
+void check_strict_sink(const McCase& c, const runner::ExperimentConfig& cfg,
+                       const runner::ExperimentResult& res, Report& rep) {
+  detect::offline::ReplayOptions opt;
+  opt.prune_mode = c.ground_truth_prune();
+  const auto replay = detect::offline::replay_centralized(res.execution, opt);
+
+  const ProcessId sink = cfg.tree.root();
+  std::vector<BaseSet> got;
+  for (const auto& rec : res.occurrences) {
+    if (rec.detector != sink) {
+      rep.add("P" + std::to_string(rec.detector) + " occurrence #" +
+              std::to_string(rec.index) +
+              ": sink-engine detection away from the sink");
+      continue;
+    }
+    got.push_back(bases_of_members(rec.solution));
+  }
+
+  if (got.size() != replay.size()) {
+    rep.add("sink P" + std::to_string(sink) + ": online found " +
+            std::to_string(got.size()) + " solutions, offline replay " +
+            std::to_string(replay.size()));
+  }
+  const std::size_t n = std::min(got.size(), replay.size());
+  for (std::size_t k = 0; k < n && !rep.full(); ++k) {
+    const BaseSet expect = bases_of_members(replay[k].members);
+    if (got[k] != expect) {
+      rep.add("sink P" + std::to_string(sink) + " solution " +
+              std::to_string(k + 1) + ": online " + show(got[k]) +
+              " != offline " + show(expect));
+    }
+  }
+
+  // Duplicate-free stream; every solution draws from all processes (the
+  // sink's conjunction scope is the whole system).
+  std::set<BaseSet> seen;
+  for (std::size_t k = 0; k < got.size() && !rep.full(); ++k) {
+    if (!seen.insert(got[k]).second) {
+      rep.add("sink P" + std::to_string(sink) + " solution " +
+              std::to_string(k + 1) + ": duplicate base set " + show(got[k]));
+    }
+    std::set<ProcessId> origins;
+    for (const auto& [origin, seq] : got[k]) {
+      origins.insert(origin);
+    }
+    if (origins.size() != cfg.tree.size()) {
+      rep.add("sink P" + std::to_string(sink) + " solution " +
+              std::to_string(k + 1) + ": coverage != all processes");
+    }
+  }
+
+  // Exhaustive cross-check on small executions (same bound as the
+  // hierarchical tier): solutions exist iff Definitely(Φ) holds.
+  std::size_t combos = 1;
+  for (const auto& p : res.execution.procs) {
+    combos *= std::max<std::size_t>(1, p.intervals.size());
+    if (combos > 20000) {
+      break;
+    }
+  }
+  if (combos <= 20000) {
+    const bool expect = detect::offline::definitely_by_intervals(res.execution);
+    if (expect != !replay.empty()) {
+      rep.add(std::string("enumeration says Definitely(Φ) ") +
+              (expect ? "holds" : "does not hold") +
+              " but the centralized replay found " +
+              (!replay.empty() ? "a" : "no") + " solution");
+    }
+  }
+}
+
 // ---- Tier 3: fault-run structural checks -----------------------------------
 
 void check_faulty(const McCase& c, const runner::ExperimentConfig& cfg,
@@ -420,9 +499,17 @@ std::vector<std::string> check_oracles(const McCase& c,
   Report rep;
   check_streams(c, res, rep);
   if (c.strict()) {
-    check_strict(c, cfg, res, rep);
+    if (c.engine == EngineKind::kHier) {
+      check_strict(c, cfg, res, rep);
+    } else {
+      check_strict_sink(c, cfg, res, rep);
+    }
   }
-  if (!c.crashes.empty() || !c.recoveries.empty()) {
+  // The structural fault oracles (alive timeline vs the repair plane,
+  // forest validity, surviving-subtree coverage) describe the hierarchical
+  // stack; sink engines have no repair to validate.
+  if ((!c.crashes.empty() || !c.recoveries.empty()) &&
+      c.engine == EngineKind::kHier) {
     check_faulty(c, cfg, res, rep);
   }
   return rep.take();

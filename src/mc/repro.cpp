@@ -33,6 +33,20 @@ StrategyKind parse_strategy(const std::string& s) {
   return StrategyKind::kPct;
 }
 
+EngineKind parse_engine(const std::string& s) {
+  if (s == "hier") {
+    return EngineKind::kHier;
+  }
+  if (s == "central") {
+    return EngineKind::kCentral;
+  }
+  if (s == "slicing") {
+    return EngineKind::kSlicing;
+  }
+  HPD_REQUIRE(s == "broken-slicing", "repro: unknown engine");
+  return EngineKind::kTestBrokenSlicing;
+}
+
 detect::QueueEngine::PruneMode parse_prune(const std::string& s) {
   if (s == "all") {
     return detect::QueueEngine::PruneMode::kAllEq10;
@@ -59,6 +73,7 @@ std::string to_repro(const McCase& c) {
   os << "max_intervals " << c.max_intervals << '\n';
   os << "pulse_rounds " << c.pulse_rounds << '\n';
   os << "pulse_period " << c.pulse_period << '\n';
+  os << "engine " << to_string(c.engine) << '\n';
   os << "prune " << to_string(c.prune) << '\n';
   os << "queue_capacity " << c.queue_capacity << '\n';
   os << "strategy " << to_string(c.strategy) << '\n';
@@ -123,6 +138,10 @@ McCase parse_repro(const std::string& text) {
       ls >> c.pulse_rounds;
     } else if (key == "pulse_period") {
       ls >> c.pulse_period;
+    } else if (key == "engine") {
+      std::string v;
+      ls >> v;
+      c.engine = parse_engine(v);
     } else if (key == "prune") {
       std::string v;
       ls >> v;
@@ -198,7 +217,8 @@ int replay_repro(const std::string& path, std::ostream& out) {
   out << "repro: " << path << '\n'
       << "  topology=" << c.topology << " workload=" << to_string(c.workload)
       << " strategy=" << to_string(c.strategy)
-      << " prune=" << to_string(c.prune) << " seed=" << c.seed << '\n'
+      << " engine=" << to_string(c.engine) << " prune=" << to_string(c.prune)
+      << " seed=" << c.seed << '\n'
       << "  crashes=" << c.crashes.size()
       << " recoveries=" << c.recoveries.size() << '\n';
   const RunOutcome res = run_case(c);

@@ -115,11 +115,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       engine = &rt.hier()->engine();
     } else if (rt.sink() != nullptr) {
       engine = &rt.sink()->engine();
+    } else if (rt.slicing_sink() != nullptr) {
+      engine = &rt.slicing_sink()->engine();
     }
     if (engine != nullptr) {
       m.vc_comparisons = engine->comparisons();
       m.intervals_enqueued = engine->offered();
       m.intervals_stored_peak = engine->stored_peak();
+      if (rt.slicing_sink() != nullptr) {
+        // The slicer's own search cost rides on the same counter so the
+        // comparison against the other engines stays apples-to-apples.
+        m.vc_comparisons += rt.slicing_sink()->slicer().slice_comparisons();
+      }
     } else if (rt.possibly_sink() != nullptr) {
       const auto& pe = rt.possibly_sink()->engine();
       m.vc_comparisons = pe.comparisons();

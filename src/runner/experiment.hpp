@@ -11,6 +11,7 @@
 #include "common/types.hpp"
 #include "detect/occurrence.hpp"
 #include "detect/queue_engine.hpp"
+#include "detect/slicing.hpp"
 #include "ft/heartbeat.hpp"
 #include "ft/reattach.hpp"
 #include "metrics/counters.hpp"
@@ -27,6 +28,7 @@ enum class DetectorKind {
   kHierarchical,  ///< the paper's Algorithm 1 (one engine per node)
   kCentralized,   ///< the baseline [12] (sink at the tree root, hop relays)
   kPossiblyCentralized,  ///< weak-modality companion (Possibly(Φ) at the sink)
+  kSlicing,  ///< computation-slicing sink (slice filter + queue engine)
 };
 
 struct FailureEvent {
@@ -48,6 +50,9 @@ struct ExperimentConfig {
   DetectorKind detector = DetectorKind::kHierarchical;
   detect::QueueEngine::PruneMode prune_mode =
       detect::QueueEngine::PruneMode::kAllEq10;
+  /// Admission rule for DetectorKind::kSlicing (the broken variant exists
+  /// for oracle fault-injection tests only).
+  detect::SlicingEngine::Mode slicing_mode = detect::SlicingEngine::Mode::kExact;
   /// Bound each detection queue (0 = unbounded): models nodes with fixed
   /// interval memory; full queues reject new intervals (back-pressure).
   std::size_t queue_capacity = 0;

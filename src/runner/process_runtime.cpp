@@ -78,6 +78,14 @@ void ProcessRuntime::setup_detector() {
       hooks.now = [this] { return shared_.net->now(); };
       sink_.emplace(self_, all, std::move(hooks), cfg.prune_mode,
                     cfg.queue_capacity);
+    } else if (cfg.detector == DetectorKind::kSlicing) {
+      detect::SlicingDetector::Hooks hooks;
+      hooks.on_occurrence = [this](const detect::OccurrenceRecord& rec) {
+        record_occurrence(rec);
+      };
+      hooks.now = [this] { return shared_.net->now(); };
+      slicing_sink_.emplace(self_, all, std::move(hooks), cfg.prune_mode,
+                            cfg.queue_capacity, cfg.slicing_mode);
     } else {
       detect::PossiblySink::Hooks hooks;
       hooks.on_occurrence = [this](const detect::OccurrenceRecord& rec) {
@@ -281,6 +289,8 @@ void ProcessRuntime::dispatch(const transport::Message& msg) {
       const auto& p = std::any_cast<const proto::ReportPayload&>(msg.payload);
       if (sink_) {
         sink_->report(p.interval);
+      } else if (slicing_sink_) {
+        slicing_sink_->report(p.interval);
       } else if (possibly_sink_) {
         possibly_sink_->report(p.interval);
       } else if (parent_ != kNoProcess) {
@@ -405,6 +415,8 @@ void ProcessRuntime::on_local_interval(const Interval& x) {
     hier_->local_interval(x);
   } else if (sink_) {
     sink_->local_interval(x);
+  } else if (slicing_sink_) {
+    slicing_sink_->local_interval(x);
   } else if (possibly_sink_) {
     possibly_sink_->local_interval(x);
   } else if (parent_ != kNoProcess) {

@@ -17,6 +17,7 @@
 #include "core/hier_engine.hpp"
 #include "detect/centralized.hpp"
 #include "detect/possibly.hpp"
+#include "detect/slicing.hpp"
 #include "ft/heartbeat.hpp"
 #include "ft/reattach.hpp"
 #include "proto/messages.hpp"
@@ -129,6 +130,9 @@ class ProcessRuntime final : public transport::Node {
   const detect::PossiblySink* possibly_sink() const {
     return possibly_sink_ ? &*possibly_sink_ : nullptr;
   }
+  const detect::SlicingDetector* slicing_sink() const {
+    return slicing_sink_ ? &*slicing_sink_ : nullptr;
+  }
   std::uint64_t child_intervals_received() const {
     return child_intervals_received_;
   }
@@ -216,6 +220,7 @@ class ProcessRuntime final : public transport::Node {
   std::optional<core::HierNodeEngine> hier_;
   std::optional<detect::CentralSink> sink_;
   std::optional<detect::PossiblySink> possibly_sink_;
+  std::optional<detect::SlicingDetector> slicing_sink_;
 
   std::optional<ft::HeartbeatAgent> hb_;
   std::optional<ft::ReattachProtocol> reattach_;

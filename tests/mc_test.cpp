@@ -114,6 +114,70 @@ TEST(McTeeth, BrokenPruneIsCaughtAndShrunk) {
   std::remove(path.c_str());
 }
 
+/// A slicing-engine twin of broken_prune_case: the same dense gossip
+/// family, judged by the sink with the deliberately wrong join-irreducible
+/// computation (eager doom discards intervals whose pairing window merely
+/// CLOSED, without checking it was empty — live solution members get
+/// thrown away at admission).
+McCase broken_slicing_case(std::uint64_t seed) {
+  McCase c;
+  c.topology = "dary:2:2";
+  // A pulse workload makes solutions dense (one per round), and delay-
+  // bounded reordering makes sink arrivals stale across rounds — exactly
+  // the situation where eager doom throws away a live solution member.
+  // (Under the baseline schedule arrivals track completion order closely
+  // enough that the wrong rule almost never fires; the strategy sweep is
+  // what gives the oracle its catch rate.)
+  c.workload = WorkloadKind::kPulse;
+  c.pulse_rounds = 8;
+  c.pulse_period = 12.0;
+  c.strategy = StrategyKind::kDelayBounded;
+  c.delay_bound = 10.0;
+  c.perturb_p = 0.7;
+  c.engine = EngineKind::kTestBrokenSlicing;
+  c.seed = seed;
+  return c;
+}
+
+TEST(McTeeth, BrokenSlicingIsCaughtAndShrunk) {
+  // Deterministic seed scan: the broken admission rule must be caught
+  // quickly by the strict sink oracle (online vs offline replay).
+  McCase caught;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 40 && !found; ++seed) {
+    caught = broken_slicing_case(seed);
+    found = !run_case(caught).ok();
+  }
+  ASSERT_TRUE(found) << "eager doom survived 40 schedules undetected";
+
+  // The exact-rule twin passes the same schedule: the oracles blame the
+  // slice computation, not the schedule or the sink plumbing.
+  McCase fixed = caught;
+  fixed.engine = EngineKind::kSlicing;
+  EXPECT_TRUE(run_case(fixed).ok());
+
+  // Delta-debug to a small repro. Pulse executions shrink in round quanta
+  // (every live node contributes one interval per round, 7 per round on
+  // dary:2:2), so the bar is 4 rounds' worth rather than the gossip teeth
+  // test's 20 loose intervals.
+  const ShrinkResult min = shrink(caught);
+  EXPECT_FALSE(min.violations.empty());
+  EXPECT_EQ(min.minimal.engine, EngineKind::kTestBrokenSlicing);
+  EXPECT_LE(min.events, 28u) << to_repro(min.minimal);
+  EXPECT_LE(min.runs, 200u);
+
+  // The shrunk case round-trips through the repro format (including the
+  // engine key) and still fails with the same violations.
+  const std::string path = testing::TempDir() + "mc_broken_slicing.repro";
+  ASSERT_TRUE(save_repro(min.minimal, path));
+  const McCase reloaded = load_repro(path);
+  EXPECT_EQ(reloaded.engine, EngineKind::kTestBrokenSlicing);
+  const RunOutcome replay = run_case(reloaded);
+  EXPECT_FALSE(replay.ok());
+  EXPECT_EQ(replay.violations, min.violations);
+  std::remove(path.c_str());
+}
+
 TEST(McTeeth, ShrinkerIsNoOpOnPassingCase) {
   McCase c = broken_prune_case(2);
   c.prune = detect::QueueEngine::PruneMode::kAllEq10;
@@ -131,6 +195,7 @@ TEST(McRepro, RoundTripPreservesEveryField) {
   c.workload = WorkloadKind::kPulse;
   c.pulse_rounds = 11;
   c.pulse_period = 37.5;
+  c.engine = EngineKind::kTestBrokenSlicing;
   c.prune = detect::QueueEngine::PruneMode::kSingleEq10;
   c.queue_capacity = 3;
   c.strategy = StrategyKind::kDelayBounded;
@@ -154,7 +219,12 @@ TEST(McRepro, RoundTripPreservesEveryField) {
   EXPECT_EQ(back.workload, c.workload);
   EXPECT_EQ(back.pulse_rounds, c.pulse_rounds);
   EXPECT_EQ(back.pulse_period, c.pulse_period);
+  EXPECT_EQ(back.engine, c.engine);
   EXPECT_EQ(back.prune, c.prune);
+  // Repros written before the engine key default to the hierarchical
+  // detector, so old files keep replaying unchanged.
+  EXPECT_EQ(parse_repro("hpd-mc-repro v1\nseed 3\n").engine,
+            EngineKind::kHier);
   EXPECT_EQ(back.queue_capacity, c.queue_capacity);
   EXPECT_EQ(back.strategy, c.strategy);
   EXPECT_EQ(back.delay_bound, c.delay_bound);
@@ -187,6 +257,7 @@ TEST(McRepro, RejectsGarbage) {
   EXPECT_THROW(parse_repro("not a repro\n"), AssertionError);
   EXPECT_THROW(parse_repro("hpd-mc-repro v1\nbogus_key 3\n"), AssertionError);
   EXPECT_THROW(parse_repro("hpd-mc-repro v1\nseed banana\n"), AssertionError);
+  EXPECT_THROW(parse_repro("hpd-mc-repro v1\nengine banana\n"), AssertionError);
 }
 
 // ---- Strategy hook plumbing ------------------------------------------------

@@ -1,0 +1,400 @@
+// Unit + property tests for the computation-slicing engine (detect/slicing):
+// the doom rule's certificates are sound against brute force, the admission
+// filter never changes the inner engine's solution sequence, join-irreducible
+// cuts match their definition, the deliberately broken mode observably loses
+// solutions, and the detector shell mirrors CentralSink record for record.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "detect/centralized.hpp"
+#include "detect/slicing.hpp"
+
+namespace hpd::detect {
+namespace {
+
+using Ids = std::vector<std::pair<ProcessId, SeqNum>>;
+
+Ids ids_of(const Solution& sol) {
+  Ids out;
+  for (const auto& m : sol.members) {
+    out.emplace_back(m.origin, m.seq);
+  }
+  return out;
+}
+
+// ---- Causal interval stream generator --------------------------------------
+//
+// Unlike the adversarial StreamGen used by the queue-engine fuzzers (random
+// cross components), this generator runs real vector clocks: local events,
+// predicate toggles, and messages whose receipt merges clocks — the monotone
+// channel conditions a regular predicate's slice is defined over. Per-origin
+// streams therefore satisfy the succ() invariant the slicer's binary
+// searches rely on.
+struct CausalGen {
+  Rng rng;
+  std::size_t n;
+  std::vector<VectorClock> clock;
+  std::vector<bool> open;
+  std::vector<VectorClock> open_lo;
+  std::vector<SeqNum> next_seq;
+
+  CausalGen(std::uint64_t seed, std::size_t n_procs)
+      : rng(seed), n(n_procs), clock(n_procs, VectorClock(n_procs)),
+        open(n_procs, false), open_lo(n_procs), next_seq(n_procs, 1) {}
+
+  void tick(std::size_t p) { clock[p][p] = clock[p][p] + 1; }
+
+  /// One random step (internal event, message, toggle); returns the
+  /// completed interval when a truth period closes.
+  std::optional<Interval> step() {
+    const std::size_t p = rng.uniform_index(n);
+    const double roll = rng.uniform01();
+    if (roll < 0.35 && n > 1) {
+      std::size_t q = rng.uniform_index(n - 1);
+      if (q >= p) {
+        ++q;
+      }
+      tick(p);
+      clock[q].merge(clock[p]);
+      tick(q);
+    } else if (!open[p] && roll < 0.70) {
+      tick(p);
+      open[p] = true;
+      open_lo[p] = clock[p];
+    } else if (open[p]) {
+      tick(p);
+      Interval x;
+      x.lo = open_lo[p];
+      x.hi = clock[p];
+      x.origin = static_cast<ProcessId>(p);
+      x.seq = next_seq[p]++;
+      open[p] = false;
+      return x;
+    } else {
+      tick(p);
+    }
+    return std::nullopt;
+  }
+
+  std::vector<Interval> run(int steps) {
+    std::vector<Interval> out;
+    for (int s = 0; s < steps; ++s) {
+      if (auto x = step()) {
+        out.push_back(std::move(*x));
+      }
+    }
+    return out;
+  }
+};
+
+bool can_pair(const Interval& x, const Interval& y) {
+  return vc_leq(y.lo, x.hi) && vc_leq(x.lo, y.hi);
+}
+
+Interval make(ProcessId origin, SeqNum seq, std::vector<ClockValue> lo,
+              std::vector<ClockValue> hi) {
+  Interval x;
+  x.lo = VectorClock(lo.size());
+  x.hi = VectorClock(hi.size());
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    x.lo[i] = lo[i];
+    x.hi[i] = hi[i];
+  }
+  x.origin = origin;
+  x.seq = seq;
+  return x;
+}
+
+// ---- Differential: the filter must not change the solution sequence --------
+
+class SlicingPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SlicingPropertyTest, FilterPreservesQueueEngineSolutionsExactly) {
+  const QueueEngine::PruneMode modes[] = {
+      QueueEngine::PruneMode::kAllEq10,
+      QueueEngine::PruneMode::kSingleEq10,
+  };
+  Rng rng(GetParam() ^ 0x51ce);
+  for (int round = 0; round < 12; ++round) {
+    const std::size_t n = 2 + rng.uniform_index(4);
+    const auto mode = modes[rng.uniform_index(2)];
+    QueueEngine bare(mode);
+    SlicingEngine sliced(SlicingEngine::Mode::kExact, mode);
+    for (std::size_t i = 0; i < n; ++i) {
+      bare.add_queue(static_cast<ProcessId>(i));
+      sliced.add_queue(static_cast<ProcessId>(i));
+    }
+    CausalGen gen(GetParam() * 613 + static_cast<std::uint64_t>(round), n);
+    std::vector<Ids> bare_sols;
+    std::vector<Ids> sliced_sols;
+    for (const Interval& x : gen.run(400)) {
+      for (const auto& sol : bare.offer(x.origin, x)) {
+        bare_sols.push_back(ids_of(sol));
+      }
+      for (const auto& sol : sliced.offer(x.origin, x)) {
+        sliced_sols.push_back(ids_of(sol));
+      }
+    }
+    ASSERT_EQ(bare_sols, sliced_sols)
+        << "seed " << GetParam() << " round " << round << " n " << n;
+    // The filter is an optimization: whatever it discarded, the inner
+    // engine sees fewer intervals, never different solutions.
+    EXPECT_EQ(sliced.inner().offered() + sliced.discarded_by_slice(),
+              bare.offered());
+  }
+}
+
+TEST_P(SlicingPropertyTest, DoomCertificatesAreSoundAgainstBruteForce) {
+  Rng rng(GetParam() ^ 0xd003);
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t n = 2 + rng.uniform_index(4);
+    SlicingEngine sliced;
+    for (std::size_t i = 0; i < n; ++i) {
+      sliced.add_queue(static_cast<ProcessId>(i));
+    }
+    CausalGen gen(GetParam() * 271 + static_cast<std::uint64_t>(round), n);
+    const std::vector<Interval> all = gen.run(500);
+    std::vector<Interval> discarded;
+    std::uint64_t before = 0;
+    for (const Interval& x : all) {
+      sliced.offer(x.origin, x);
+      if (sliced.discarded_by_slice() > before) {
+        discarded.push_back(x);
+        before = sliced.discarded_by_slice();
+      }
+    }
+    // Soundness: a discarded interval has, on some remote stream, no
+    // compatible partner in the ENTIRE execution — past or future. (The
+    // certificate is issued online from a prefix; succ() monotonicity is
+    // what makes it final.)
+    for (const Interval& x : discarded) {
+      bool some_stream_empty = false;
+      for (std::size_t j = 0; j < n && !some_stream_empty; ++j) {
+        if (static_cast<ProcessId>(j) == x.origin) {
+          continue;
+        }
+        bool any = false;
+        for (const Interval& y : all) {
+          if (y.origin == static_cast<ProcessId>(j) && can_pair(x, y)) {
+            any = true;
+            break;
+          }
+        }
+        some_stream_empty = !any;
+      }
+      EXPECT_TRUE(some_stream_empty)
+          << "P" << x.origin << "#" << x.seq
+          << " was discarded but pairs on every stream (seed " << GetParam()
+          << " round " << round << ")";
+    }
+  }
+}
+
+TEST_P(SlicingPropertyTest, JoinIrreducibleCutMatchesDefinition) {
+  Rng rng(GetParam() ^ 0x1cc7);
+  const std::size_t n = 2 + rng.uniform_index(3);
+  SlicingEngine sliced;
+  for (std::size_t i = 0; i < n; ++i) {
+    sliced.add_queue(static_cast<ProcessId>(i));
+  }
+  CausalGen gen(GetParam() * 97 + 11, n);
+  std::vector<Interval> delivered;
+  for (const Interval& x : gen.run(400)) {
+    sliced.offer(x.origin, x);
+    delivered.push_back(x);
+    const auto cut = sliced.jcut(x);
+    // Brute-force J(x) over the delivered prefix: frontier is the join of
+    // x.lo with the lo of the EARLIEST compatible-from-below interval per
+    // remote stream; closed iff every remote stream has one.
+    VectorClock expect = x.lo;
+    bool closed = true;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (static_cast<ProcessId>(j) == x.origin) {
+        continue;
+      }
+      const Interval* witness = nullptr;
+      for (const Interval& y : delivered) {
+        if (y.origin == static_cast<ProcessId>(j) && vc_leq(x.lo, y.hi)) {
+          witness = &y;
+          break;  // streams are delivered in succ() order: first = earliest
+        }
+      }
+      if (witness == nullptr) {
+        closed = false;
+      } else {
+        expect.merge(witness->lo);
+      }
+    }
+    EXPECT_EQ(cut.closed, closed);
+    ASSERT_EQ(cut.frontier.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(cut.frontier[i], expect[i]) << "component " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlicingPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 7u, 42u, 1000u));
+
+// ---- Boundary cases ---------------------------------------------------------
+
+TEST(SlicingBoundaryTest, EmptySliceDiscardsEverythingAndFindsNothing) {
+  // P1's only interval causally follows P0's: no consistent cut satisfies
+  // the conjunction, the slice is empty, and the interval that arrives
+  // after the window provably closed is discarded at admission.
+  SlicingEngine sliced;
+  sliced.add_queue(0);
+  sliced.add_queue(1);
+  // P1 completes first (in wall-clock/report order), having already heard
+  // of P0's third event — its window starts after any P0 interval ending
+  // at or before component 2.
+  EXPECT_TRUE(sliced.offer(1, make(1, 1, {3, 1}, {3, 2})).empty());
+  // P0's interval ended at (2,0): vc_leq((3,1),(2,0)) fails at index 0 of
+  // P1's history, so the pairing window is closed before it ever opened.
+  const Interval x = make(0, 1, {1, 0}, {2, 0});
+  EXPECT_TRUE(sliced.is_doomed(x));
+  EXPECT_TRUE(sliced.offer(0, Interval(x)).empty());
+  EXPECT_EQ(sliced.discarded_by_slice(), 1u);
+  EXPECT_EQ(sliced.admitted(), 1u);  // P1's interval had an open future
+  EXPECT_EQ(sliced.inner().solutions_found(), 0u);
+}
+
+TEST(SlicingBoundaryTest, FullSliceAdmitsEverythingAndCutsClose) {
+  // Three mutually concurrent intervals: every consistent cut past the
+  // starts can satisfy Φ — the slice is the whole computation, nothing is
+  // discarded, and the last join-irreducible cut is closed.
+  SlicingEngine sliced;
+  for (ProcessId p = 0; p < 3; ++p) {
+    sliced.add_queue(p);
+  }
+  EXPECT_TRUE(sliced.offer(0, make(0, 1, {1, 0, 0}, {1, 1, 1})).empty());
+  EXPECT_TRUE(sliced.offer(1, make(1, 1, {0, 1, 0}, {1, 1, 1})).empty());
+  const auto sols = sliced.offer(2, make(2, 1, {0, 0, 1}, {1, 1, 1}));
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(sliced.discarded_by_slice(), 0u);
+  EXPECT_EQ(sliced.admitted(), 3u);
+  EXPECT_EQ(sliced.jcuts_closed(), 1u);  // the third arrival sees both witnesses
+}
+
+TEST(SlicingBoundaryTest, CapacityBackpressureForwardsToInnerEngine) {
+  SlicingEngine sliced;
+  sliced.set_capacity(1);
+  sliced.add_queue(0);
+  sliced.add_queue(1);
+  sliced.offer(0, make(0, 1, {1, 0}, {2, 5}));
+  sliced.offer(0, make(0, 2, {3, 6}, {4, 9}));  // queue 0 full: rejected
+  EXPECT_EQ(sliced.inner().rejected(), 1u);
+}
+
+// ---- The broken mode is observably wrong ------------------------------------
+
+TEST(SlicingBrokenModeTest, EagerDoomDiscardsLiveIntervalsAndLosesSolutions) {
+  bool lost_somewhere = false;
+  for (std::uint64_t seed = 1; seed <= 20 && !lost_somewhere; ++seed) {
+    const std::size_t n = 3;
+    SlicingEngine exact(SlicingEngine::Mode::kExact);
+    SlicingEngine broken(SlicingEngine::Mode::kTestBrokenEagerDoom);
+    for (std::size_t i = 0; i < n; ++i) {
+      exact.add_queue(static_cast<ProcessId>(i));
+      broken.add_queue(static_cast<ProcessId>(i));
+    }
+    CausalGen gen(seed * 1717, n);
+    std::size_t exact_sols = 0;
+    std::size_t broken_sols = 0;
+    for (const Interval& x : gen.run(500)) {
+      exact_sols += exact.offer(x.origin, x).size();
+      broken_sols += broken.offer(x.origin, x).size();
+    }
+    EXPECT_GE(broken.discarded_by_slice(), exact.discarded_by_slice());
+    if (broken_sols < exact_sols) {
+      lost_somewhere = true;
+    }
+  }
+  EXPECT_TRUE(lost_somewhere)
+      << "eager doom never lost a solution over 20 causal schedules — the "
+         "broken fixture has no teeth";
+}
+
+// ---- Detector shell ---------------------------------------------------------
+
+TEST(SlicingDetectorTest, MirrorsCentralSinkRecordForRecord) {
+  const std::size_t n = 3;
+  std::vector<ProcessId> all;
+  for (std::size_t i = 0; i < n; ++i) {
+    all.push_back(static_cast<ProcessId>(i));
+  }
+  std::size_t total_detections = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    SimTime fake_now = 0.0;
+    std::vector<OccurrenceRecord> central_recs;
+    std::vector<OccurrenceRecord> slicing_recs;
+    CentralSink::Hooks ch;
+    ch.on_occurrence = [&](const OccurrenceRecord& r) {
+      central_recs.push_back(r);
+    };
+    ch.now = [&] { return fake_now; };
+    SlicingDetector::Hooks sh;
+    sh.on_occurrence = [&](const OccurrenceRecord& r) {
+      slicing_recs.push_back(r);
+    };
+    sh.now = [&] { return fake_now; };
+    CentralSink central(0, all, std::move(ch));
+    SlicingDetector slicing(0, all, std::move(sh));
+
+    CausalGen gen(seed * 7919, n);
+    for (const Interval& x : gen.run(600)) {
+      fake_now += 1.0;
+      if (x.origin == 0) {
+        central.local_interval(x);
+        slicing.local_interval(x);
+      } else {
+        central.report(x);
+        slicing.report(x);
+      }
+    }
+    ASSERT_EQ(central_recs.size(), slicing_recs.size()) << "seed " << seed;
+    total_detections += central_recs.size();
+    for (std::size_t k = 0; k < central_recs.size(); ++k) {
+      const auto& a = central_recs[k];
+      const auto& b = slicing_recs[k];
+      EXPECT_EQ(a.index, b.index);
+      EXPECT_EQ(a.time, b.time);
+      EXPECT_EQ(a.global, b.global);
+      EXPECT_EQ(a.aggregate.seq, b.aggregate.seq);
+      EXPECT_TRUE(vc_leq(a.aggregate.lo, b.aggregate.lo) &&
+                  vc_leq(b.aggregate.lo, a.aggregate.lo));
+      EXPECT_TRUE(vc_leq(a.aggregate.hi, b.aggregate.hi) &&
+                  vc_leq(b.aggregate.hi, a.aggregate.hi));
+      ASSERT_EQ(a.solution.size(), b.solution.size());
+      for (std::size_t m = 0; m < a.solution.size(); ++m) {
+        EXPECT_EQ(a.solution[m].origin, b.solution[m].origin);
+        EXPECT_EQ(a.solution[m].seq, b.solution[m].seq);
+      }
+    }
+    EXPECT_EQ(central.occurrences(), slicing.occurrences());
+  }
+  EXPECT_GT(total_detections, 0u) << "no schedule produced a detection";
+}
+
+TEST(SlicingDetectorTest, RemoveProcessUnblocksRemainingConjunction) {
+  std::vector<OccurrenceRecord> recs;
+  SlicingDetector::Hooks hooks;
+  hooks.on_occurrence = [&](const OccurrenceRecord& r) { recs.push_back(r); };
+  SlicingDetector det(0, {0, 1, 2}, std::move(hooks));
+  det.local_interval(make(0, 1, {1, 0, 0}, {1, 1, 1}));
+  det.report(make(1, 1, {0, 1, 0}, {1, 1, 1}));
+  EXPECT_TRUE(recs.empty());  // P2's queue is empty: no full conjunction
+  det.remove_process(2);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].solution.size(), 2u);
+  // A stale report from the removed process is ignored, not fatal.
+  det.report(make(2, 1, {0, 0, 1}, {1, 1, 1}));
+  EXPECT_EQ(recs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hpd::detect

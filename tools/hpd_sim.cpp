@@ -49,8 +49,10 @@ namespace {
                       geometric:N:RADIUS | smallworld:N:K:BETA | scalefree:N:M
                       (default dary:2:4; for dary the network is the tree
                        plus 2*H random cross links when --fault-tolerant)
-  --detector KIND     hier | central | possibly  (default hier;
-                      possibly = weak-modality Possibly(Phi) at the sink)
+  --detector KIND     hier | central | possibly | slicing  (default hier;
+                      possibly = weak-modality Possibly(Phi) at the sink;
+                      slicing = computation-slicing sink)
+  --engine KIND       alias for --detector (the mc harness's name for it)
   --workload SPEC     pulse:rounds=R,period=P,participation=Q,jitter=J
                       gossip:horizon=T,gap=G,psend=X,ptoggle=Y,maxintervals=K
                       (default pulse:rounds=10)
@@ -277,7 +279,7 @@ Options parse(int argc, char** argv) {
       opt.topology = value();
     } else if (arg == "--workload") {
       opt.workload = value();
-    } else if (arg == "--detector") {
+    } else if (arg == "--detector" || arg == "--engine") {
       const std::string v = value();
       if (v == "hier") {
         opt.detector = runner::DetectorKind::kHierarchical;
@@ -285,8 +287,10 @@ Options parse(int argc, char** argv) {
         opt.detector = runner::DetectorKind::kCentralized;
       } else if (v == "possibly") {
         opt.detector = runner::DetectorKind::kPossiblyCentralized;
+      } else if (v == "slicing") {
+        opt.detector = runner::DetectorKind::kSlicing;
       } else {
-        std::cerr << "detector must be hier|central|possibly\n";
+        std::cerr << "detector must be hier|central|possibly|slicing\n";
         std::exit(2);
       }
     } else if (arg == "--fail") {
@@ -371,6 +375,8 @@ const char* detector_name(runner::DetectorKind k) {
       return "central";
     case runner::DetectorKind::kPossiblyCentralized:
       return "possibly";
+    case runner::DetectorKind::kSlicing:
+      return "slicing";
   }
   return "?";
 }
