@@ -24,6 +24,17 @@ void TransportCounters::add(const TransportCounters& other) {
   chaos_events += other.chaos_events;
 }
 
+void ReactorCounters::add(const ReactorCounters& other) {
+  workers += other.workers;
+  wakeups += other.wakeups;
+  ready_events += other.ready_events;
+  timer_fires += other.timer_fires;
+  timers_scheduled += other.timers_scheduled;
+  max_outbound_backlog =
+      std::max(max_outbound_backlog, other.max_outbound_backlog);
+  max_loop_micros = std::max(max_loop_micros, other.max_loop_micros);
+}
+
 void MetricsRegistry::name_message_type(int type, std::string name) {
   type_names_[type] = std::move(name);
 }
@@ -76,6 +87,7 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   wire_words_total_ += other.wire_words_total_;
   wire_bytes_total_ += other.wire_bytes_total_;
   transport_.add(other.transport_);
+  reactor_.add(other.reactor_);
 }
 
 std::uint64_t MetricsRegistry::msgs_of_type(int type) const {

@@ -44,6 +44,23 @@ struct TransportCounters {
   void add(const TransportCounters& other);
 };
 
+/// Event-loop accounting for the reactor live backend (rt/reactor): one
+/// record per worker thread, merged after the workers are joined. Zero for
+/// sim runs and for the thread-per-node backend. `ready_events / wakeups`
+/// is the multiplexing ratio the reactor exists to raise.
+struct ReactorCounters {
+  std::uint64_t workers = 0;           ///< worker threads contributing
+  std::uint64_t wakeups = 0;           ///< epoll_wait returns
+  std::uint64_t ready_events = 0;      ///< fd readiness events dispatched
+  std::uint64_t timer_fires = 0;       ///< timer-wheel expirations fired
+  std::uint64_t timers_scheduled = 0;  ///< wheel insertions
+  std::uint64_t max_outbound_backlog = 0;  ///< bytes, worst single connection
+  std::uint64_t max_loop_micros = 0;   ///< worst single loop turn, wall µs
+
+  /// Fold another record in: sums, except the maxima which take max.
+  void add(const ReactorCounters& other);
+};
+
 struct NodeMetrics {
   std::uint64_t msgs_sent = 0;           ///< one-hop sends originated here
   std::uint64_t wire_words_sent = 0;     ///< payload volume originated here
@@ -103,9 +120,15 @@ class MetricsRegistry {
   TransportCounters& transport() { return transport_; }
   const TransportCounters& transport() const { return transport_; }
 
+  /// Reactor-backend event-loop counters (zero for sim / thread-backend
+  /// runs). Same ownership rule: merged only after the workers stopped.
+  ReactorCounters& reactor() { return reactor_; }
+  const ReactorCounters& reactor() const { return reactor_; }
+
  private:
   std::vector<NodeMetrics> node_;
   TransportCounters transport_;
+  ReactorCounters reactor_;
   std::map<int, std::uint64_t> msgs_by_type_;
   std::map<int, std::uint64_t> bytes_by_type_;
   std::map<int, std::string> type_names_;

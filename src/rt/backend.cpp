@@ -1,0 +1,22 @@
+#include "rt/backend.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "rt/live_transport.hpp"
+#include "rt/reactor/reactor_transport.hpp"
+
+namespace hpd::rt {
+
+std::unique_ptr<LiveBackend> make_live_backend(std::size_t n, LiveConfig cfg) {
+  switch (cfg.backend) {
+    case LiveBackendKind::kThreads:
+      return std::make_unique<LiveTransport>(n, std::move(cfg));
+    case LiveBackendKind::kReactor:
+      return std::make_unique<ReactorTransport>(n, std::move(cfg));
+  }
+  HPD_REQUIRE(false, "make_live_backend: unknown backend kind");
+  return nullptr;
+}
+
+}  // namespace hpd::rt

@@ -1,0 +1,78 @@
+#include "rt/conn.hpp"
+
+#include "wire/codec.hpp"
+
+namespace hpd::rt {
+
+Conn::FlushStatus Conn::flush() {
+  while (out_pos < outbuf.size()) {
+    const IoResult r =
+        write_some(fd.get(), outbuf.data() + out_pos, outbuf.size() - out_pos);
+    switch (r.status) {
+      case IoResult::Status::kOk:
+        out_pos += r.n;
+        continue;
+      case IoResult::Status::kAgain:
+        return FlushStatus::kBlocked;
+      case IoResult::Status::kClosed:
+        return FlushStatus::kBroken;
+    }
+  }
+  outbuf.clear();
+  out_pos = 0;
+  return FlushStatus::kDrained;
+}
+
+Conn::ReadStatus Conn::read_once(std::span<std::uint8_t> scratch,
+                                 PayloadSink& sink) {
+  const IoResult r = read_some(fd.get(), scratch.data(), scratch.size());
+  if (r.status == IoResult::Status::kAgain) {
+    return ReadStatus::kDrained;
+  }
+  if (r.status == IoResult::Status::kClosed) {
+    return ReadStatus::kClosed;
+  }
+  try {
+    reader.feed(std::span<const std::uint8_t>(scratch.data(), r.n));
+    while (auto p = reader.next()) {
+      sink.on_payload(*this, *p);
+    }
+  } catch (const wire::FrameError&) {
+    // The byte stream has lost sync; the reader is poisoned and the only
+    // safe recovery is a fresh connection (the sender retransmits whatever
+    // the broken tail swallowed).
+    return ReadStatus::kProtocolError;
+  } catch (const wire::DecodeError&) {
+    return ReadStatus::kProtocolError;
+  }
+  return ReadStatus::kData;
+}
+
+Conn::ReadStatus Conn::drain_ignore(std::span<std::uint8_t> scratch) {
+  const IoResult r = read_some(fd.get(), scratch.data(), scratch.size());
+  if (r.status == IoResult::Status::kAgain) {
+    return ReadStatus::kDrained;
+  }
+  if (r.status == IoResult::Status::kClosed) {
+    return ReadStatus::kClosed;
+  }
+  return ReadStatus::kData;  // bytes on a send-only connection: ignored
+}
+
+std::vector<std::uint8_t> hello_frame(ProcessId self, std::size_t cluster,
+                                      std::uint64_t epoch) {
+  wire::Encoder e;
+  e.put_u8(kFrameHello);
+  for (const std::uint8_t m : kMagic) {
+    e.put_u8(m);
+  }
+  e.put_varint(kLiveProtocolVersion);
+  e.put_varint(static_cast<std::uint64_t>(self));
+  e.put_varint(cluster);
+  e.put_varint(epoch);
+  std::vector<std::uint8_t> framed;
+  wire::append_frame(framed, e.bytes());
+  return framed;
+}
+
+}  // namespace hpd::rt

@@ -53,7 +53,8 @@ LiveResult run_live_experiment(const runner::ExperimentConfig& config,
     proto::register_message_names(m);
   }
 
-  LiveTransport net(n, live);
+  std::unique_ptr<LiveBackend> backend = make_live_backend(n, live);
+  LiveBackend& net = *backend;
   net.set_link_filter([topo = &cfg.topology](ProcessId a, ProcessId b) {
     return topo->has_edge(a, b);
   });
@@ -134,10 +135,12 @@ LiveResult run_live_experiment(const runner::ExperimentConfig& config,
   out.connections_accepted = net.connections_accepted();
   out.transport = net.stats();
   out.chaos_events = net.chaos_events();
+  out.reactor = net.reactor_stats();
 
   result.metrics.resize(n);
   proto::register_message_names(result.metrics);
   result.metrics.transport() = out.transport;
+  result.metrics.reactor() = out.reactor;
   result.sim_events = net.delivered_messages();  // closest live analogue
   result.dropped_messages = net.dropped_messages();
   result.final_parents.resize(n, kNoProcess);

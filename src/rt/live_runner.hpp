@@ -15,7 +15,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "rt/live_transport.hpp"
+#include "rt/backend.hpp"
 #include "runner/experiment.hpp"
 
 namespace hpd::rt {
@@ -37,9 +37,13 @@ struct LiveResult {
   TransportCounters transport;
   /// Injected chaos events in canonical order (empty without a ChaosConfig).
   std::vector<ChaosEvent> chaos_events;
+  /// Event-loop counters (all-zero under the thread backend); also mirrored
+  /// into result.metrics.reactor() for --json output.
+  ReactorCounters reactor;
 };
 
-/// Run the experiment over threads + sockets. Blocks the calling thread for
+/// Run the experiment over the live backend selected by live.backend
+/// (thread-per-node or epoll reactor). Blocks the calling thread for
 /// roughly (horizon + drain) * live.time_scale real seconds.
 LiveResult run_live_experiment(const runner::ExperimentConfig& config,
                                const LiveConfig& live = {});

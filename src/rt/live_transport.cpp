@@ -9,54 +9,27 @@
 #include <deque>
 #include <future>
 #include <map>
-#include <set>
-#include <sys/socket.h>
 #include <system_error>
 #include <thread>
 #include <utility>
 
 #include "common/assert.hpp"
-#include "common/rng.hpp"
-#include "wire/codec.hpp"
 #include "wire/frame.hpp"
 
 namespace hpd::rt {
 
 namespace {
-
 using Clock = std::chrono::steady_clock;
-
-// Frame payload kinds. Every frame starts with one of these bytes.
-constexpr std::uint8_t kFrameHello = 1;
-constexpr std::uint8_t kFrameData = 2;
-constexpr std::uint8_t kFrameAck = 3;
-
-constexpr std::uint8_t kMagic[4] = {'H', 'P', 'D', 'L'};
-
-/// Selective-ack list bound per ACK frame; the cumulative ack carries the
-/// rest across subsequent ACKs.
-constexpr std::size_t kMaxSacks = 64;
-
-/// Bound on chaos-delayed frames buffered per node. Overflow drops the
-/// delayed copy — the retransmit path recovers the original.
-constexpr std::size_t kMaxDelayed = 4096;
-
 }  // namespace
 
 // ---- Internal state ---------------------------------------------------------
 
-/// One stream connection. Outgoing connections (keyed by peer in
-/// NodeCtx::outgoing) only ever send; inbound connections only receive.
-struct LiveTransport::Conn {
-  Fd fd;
-  wire::FrameReader reader;
-  std::vector<std::uint8_t> outbuf;
-  std::size_t out_pos = 0;
-  ProcessId peer = kNoProcess;
-  bool hello_seen = false;
-};
-
-struct LiveTransport::NodeCtx {
+/// Per-node context: the NodeSession protocol state machine plus everything
+/// scheduler-specific — the loop thread, its wake pipe and control queue,
+/// the socket set, and the timer table. Implements SessionHost so the
+/// session can dial/reset connections without knowing about threads.
+struct LiveTransport::NodeCtx final : SessionHost {
+  LiveTransport* t = nullptr;
   ProcessId id = kNoProcess;
   transport::Node* node = nullptr;
   MetricsRegistry* metrics = nullptr;
@@ -90,64 +63,36 @@ struct LiveTransport::NodeCtx {
   transport::TimerId next_timer = 1;
 
   /// Per-peer re-dial cooldown after a failed connect / broken pipe.
-  /// Expired early by observe_peer() when the peer shows signs of life.
+  /// Expired early by the session's observe_peer when the peer shows life.
   std::vector<Clock::time_point> peer_down;
 
   std::vector<std::uint8_t> read_buf;
 
-  // ---- Reliable-delivery session state (loop-thread-only; `epoch` is
-  // bumped by revive() on the driver thread, but only while this node's
-  // loop thread is joined, which is the required happens-before edge) -------
-  std::uint64_t epoch = 1;
+  /// The protocol brain (rt/session): reliable delivery, chaos, epochs,
+  /// counters. Loop-thread-only, except bump_epoch() during revive().
+  NodeSession session;
 
-  struct Pending {
-    std::vector<std::uint8_t> body;  ///< encoded DATA payload (unframed)
-    Clock::time_point next_retx;
-    Clock::duration backoff{};
-    int attempts = 0;            ///< transmissions performed so far
-    std::uint64_t dst_epoch = 0; ///< destination incarnation targeted
-  };
-  struct PeerSend {
-    SeqNum next_seq = 1;
-    std::map<SeqNum, Pending> unacked;
-  };
-  /// Receive window for one sender: `epoch` is the sender incarnation the
-  /// sequence space belongs to; everything <= cum plus the `above` set has
-  /// been delivered.
-  struct PeerRecv {
-    std::uint64_t epoch = 0;
-    SeqNum cum = 0;
-    std::set<SeqNum> above;
-  };
-  std::vector<PeerSend> peer_send;
-  std::vector<PeerRecv> peer_recv;
-  /// Last observed incarnation of each peer (starts at 1, monotone).
-  std::vector<std::uint64_t> peer_epoch;
-
-  struct DelayedFrame {
-    Clock::time_point due;
-    ProcessId dst = kNoProcess;
-    std::vector<std::uint8_t> framed;
-  };
-  std::vector<DelayedFrame> delayed;
-
-  /// Peers owed an ACK after this loop turn's deliveries (coalesced).
-  std::set<ProcessId> ack_pending;
-  /// Peers with freshly surfaced losses; on_peer_unreachable runs at the
-  /// top of the next service_reliability() turn, outside the scans and
-  /// dispatches that discovered the losses.
-  std::set<ProcessId> unreachable_pending;
-  /// Earliest retransmit / delayed-frame deadline (poll timeout hint).
-  Clock::time_point reliability_due = Clock::time_point::max();
-  /// Retransmit jitter only — never consulted for chaos decisions.
-  Rng rng;
-
-  std::vector<ChaosEvent> chaos_log;
-
-  // Counters: written by the loop thread, read after it has been joined.
-  // tc.msgs_delivered doubles as the per-node delivery id source.
-  TransportCounters tc;
   std::uint64_t accepted = 0;
+
+  // ---- SessionHost ---------------------------------------------------------
+  void session_write(ProcessId dst,
+                     const std::vector<std::uint8_t>& framed) override {
+    Conn* conn = t->outgoing_conn(*this, dst);
+    if (conn == nullptr) {
+      return;  // cooling down or unreachable; the retransmit path recovers
+    }
+    conn->queue(framed);
+    if (conn->flush() == Conn::FlushStatus::kBroken) {
+      ++session.counters().conn_resets;
+      t->drop_outgoing(*this, dst);
+    }
+  }
+
+  void session_reset_conn(ProcessId dst) override { outgoing.erase(dst); }
+
+  void session_peer_alive(ProcessId peer) override {
+    peer_down[idx(peer)] = Clock::time_point{};
+  }
 };
 
 // ---- LiveEndpoint -----------------------------------------------------------
@@ -178,13 +123,14 @@ bool LiveEndpoint::alive(ProcessId id) const { return transport_->alive(id); }
 // ---- Construction / registration -------------------------------------------
 
 LiveTransport::LiveTransport(std::size_t n, LiveConfig cfg)
-    : cfg_(std::move(cfg)), start_(Clock::now()) {
+    : cfg_(std::move(cfg)) {
   HPD_REQUIRE(n >= 1, "LiveTransport: empty system");
   HPD_REQUIRE(cfg_.time_scale > 0.0, "LiveTransport: time_scale must be > 0");
   HPD_REQUIRE(cfg_.retx_max_attempts >= 1,
               "LiveTransport: retx_max_attempts must be >= 1");
   HPD_REQUIRE(cfg_.retx_queue_cap >= 1,
               "LiveTransport: retx_queue_cap must be >= 1");
+  clock_.reset(Clock::now(), cfg_.time_scale);
   if (cfg_.socket_kind == SockAddr::Kind::kUnix && cfg_.socket_dir.empty()) {
     socket_dir_ = make_socket_dir();
     own_socket_dir_ = true;
@@ -194,6 +140,7 @@ LiveTransport::LiveTransport(std::size_t n, LiveConfig cfg)
   nodes_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     auto c = std::make_unique<NodeCtx>();
+    c->t = this;
     c->id = static_cast<ProcessId>(i);
     c->endpoint.transport_ = this;
     c->endpoint.self_ = c->id;
@@ -202,10 +149,6 @@ LiveTransport::LiveTransport(std::size_t n, LiveConfig cfg)
       c->addr.path = socket_dir_ + "/node-" + std::to_string(i) + ".sock";
     }
     c->peer_down.resize(n);
-    c->peer_send.resize(n);
-    c->peer_recv.resize(n);
-    c->peer_epoch.assign(n, 1);
-    c->rng.reseed(0x9e3779b97f4a7c15ULL ^ (i * 0x100000001b3ULL));
     c->read_buf.resize(cfg_.read_chunk);
     int pipefd[2];
     if (::pipe(pipefd) < 0) {
@@ -267,8 +210,10 @@ void LiveTransport::start() {
     // Binding every listener before any thread runs means a refused connect
     // can only ever mean "peer crashed".
     c->listener = listen_on(c->addr);
+    c->session.init(c->id, nodes_.size(), &cfg_, &clock_, c.get(), c->node,
+                    c->metrics, &link_ok_);
   }
-  start_ = Clock::now();
+  clock_.reset(Clock::now(), cfg_.time_scale);
   started_ = true;
   for (auto& c : nodes_) {
     c->alive.store(true, std::memory_order_release);
@@ -325,7 +270,7 @@ void LiveTransport::revive(ProcessId id) {
   }
   // New incarnation: a fresh session epoch makes every live node reject
   // DATA that was addressed to the previous life of this id.
-  c.epoch += 1;
+  c.session.bump_epoch();
   c.listener = listen_on(c.addr);  // same path / port as before the crash
   c.alive.store(true, std::memory_order_release);
   NodeCtx* p = &c;
@@ -335,13 +280,13 @@ void LiveTransport::revive(ProcessId id) {
   // revive must not keep suppressing sends to a now-alive peer) and purges
   // (surfaces) retransmit-queue entries addressed to the dead incarnation.
   const ProcessId rid = c.id;
-  const std::uint64_t e = c.epoch;
+  const std::uint64_t e = c.session.epoch();
   for (auto& other : nodes_) {
     if (other->id == rid) {
       continue;
     }
     NodeCtx* oc = other.get();
-    post(other->id, [this, oc, rid, e] { observe_peer(*oc, rid, e); });
+    post(other->id, [oc, rid, e] { oc->session.observe_peer(rid, e); });
   }
 }
 
@@ -361,19 +306,9 @@ std::size_t LiveTransport::alive_count() const {
 
 // ---- Time -------------------------------------------------------------------
 
-SimTime LiveTransport::now() const {
-  const std::chrono::duration<double> el = Clock::now() - start_;
-  return el.count() / cfg_.time_scale;
-}
+SimTime LiveTransport::now() const { return clock_.now(); }
 
-Clock::duration LiveTransport::to_real(SimTime d) const {
-  return std::chrono::duration_cast<Clock::duration>(
-      std::chrono::duration<double>(std::max(0.0, d) * cfg_.time_scale));
-}
-
-void LiveTransport::sleep_until(SimTime t) const {
-  std::this_thread::sleep_until(start_ + to_real(t));
-}
+void LiveTransport::sleep_until(SimTime t) const { clock_.sleep_until(t); }
 
 // ---- Control plane ----------------------------------------------------------
 
@@ -430,7 +365,7 @@ std::vector<LifeEvent> LiveTransport::revive_events() const {
 std::uint64_t LiveTransport::delivered_messages() const {
   std::uint64_t k = 0;
   for (const auto& c : nodes_) {
-    k += c->tc.msgs_delivered;
+    k += c->session.counters().msgs_delivered;
   }
   return k;
 }
@@ -438,7 +373,7 @@ std::uint64_t LiveTransport::delivered_messages() const {
 std::uint64_t LiveTransport::dropped_messages() const {
   std::uint64_t k = 0;
   for (const auto& c : nodes_) {
-    k += c->tc.msgs_dropped;
+    k += c->session.counters().msgs_dropped;
   }
   return k;
 }
@@ -446,7 +381,7 @@ std::uint64_t LiveTransport::dropped_messages() const {
 std::uint64_t LiveTransport::frame_errors() const {
   std::uint64_t k = 0;
   for (const auto& c : nodes_) {
-    k += c->tc.frame_errors;
+    k += c->session.counters().frame_errors;
   }
   return k;
 }
@@ -462,7 +397,7 @@ std::uint64_t LiveTransport::connections_accepted() const {
 TransportCounters LiveTransport::stats() const {
   TransportCounters t;
   for (const auto& c : nodes_) {
-    t.add(c->tc);
+    t.add(c->session.counters());
   }
   return t;
 }
@@ -470,7 +405,8 @@ TransportCounters LiveTransport::stats() const {
 std::vector<ChaosEvent> LiveTransport::chaos_events() const {
   std::vector<ChaosEvent> all;
   for (const auto& c : nodes_) {
-    all.insert(all.end(), c->chaos_log.begin(), c->chaos_log.end());
+    all.insert(all.end(), c->session.chaos_log().begin(),
+               c->session.chaos_log().end());
   }
   canonical_sort(all);
   return all;
@@ -487,8 +423,8 @@ transport::TimerId LiveTransport::do_set_timer(NodeCtx& c, int tag,
   NodeCtx::TimerRec rec;
   rec.tag = tag;
   rec.periodic = periodic;
-  rec.due = Clock::now() + to_real(delay);
-  rec.period = to_real(period);
+  rec.due = Clock::now() + clock_.to_real(delay);
+  rec.period = clock_.to_real(period);
   c.timers.emplace(tid, rec);
   return tid;
 }
@@ -524,141 +460,13 @@ void LiveTransport::fire_due_timers(NodeCtx& c) {
 
 void LiveTransport::do_send(NodeCtx& c, transport::Message msg) {
   if (!c.alive.load(std::memory_order_relaxed)) {
-    ++c.tc.msgs_dropped;
+    ++c.session.counters().msgs_dropped;
     return;
   }
-  const auto* bytes = std::any_cast<std::vector<std::uint8_t>>(&msg.payload);
-  HPD_REQUIRE(bytes != nullptr,
-              "LiveTransport: payloads must be wire-encoded bytes "
-              "(run with wire_encoding enabled)");
-  if (msg.dst < 0 || idx(msg.dst) >= nodes_.size()) {
-    ++c.tc.msgs_dropped;
-    return;
-  }
-  if (link_ok_ && !link_ok_(msg.src, msg.dst)) {
-    ++c.tc.msgs_dropped;
-    return;
-  }
-  msg.wire_bytes = bytes->size();
-  msg.sent_at = now();
-  if (c.metrics != nullptr) {
-    c.metrics->on_send(msg.src, msg.type, msg.wire_words, msg.wire_bytes);
-  }
-  ++c.tc.reliable_sent;
-  if (msg.dst == c.id) {
-    // Loopback to self: deliver inline on this (the correct) thread.
-    msg.id = ++c.tc.msgs_delivered;
-    c.node->on_message(msg);
-    return;
-  }
-  NodeCtx::PeerSend& ps = c.peer_send[idx(msg.dst)];
-  if (ps.unacked.size() >= cfg_.retx_queue_cap) {
-    // Bounded queue: surface the oldest entry to make room. The peer has
-    // been unresponsive for the whole queue's worth of traffic.
-    ps.unacked.erase(ps.unacked.begin());
-    ++c.tc.surfaced_losses;
-    c.unreachable_pending.insert(msg.dst);
-  }
-  const SeqNum seq = ps.next_seq++;
-  NodeCtx::Pending p;
-  p.dst_epoch = c.peer_epoch[idx(msg.dst)];
-  {
-    wire::Encoder e;
-    e.put_u8(kFrameData);
-    e.put_varint(static_cast<std::uint64_t>(msg.src));
-    e.put_varint(static_cast<std::uint64_t>(msg.dst));
-    e.put_varint(c.epoch);
-    e.put_varint(p.dst_epoch);
-    e.put_varint(seq);
-    e.put_varint(static_cast<std::uint32_t>(msg.type));
-    e.put_varint(msg.wire_words);
-    p.body = e.take();
-    p.body.insert(p.body.end(), bytes->begin(), bytes->end());
-  }
-  transmit(c, msg.dst, seq, /*attempt=*/0, p.body);
-  p.attempts = 1;
-  p.backoff = to_real(cfg_.retx_initial);
-  p.next_retx = Clock::now() + jittered(c, p.backoff);
-  c.reliability_due = std::min(c.reliability_due, p.next_retx);
-  ps.unacked.emplace(seq, std::move(p));
+  c.session.send(std::move(msg));
 }
 
-void LiveTransport::transmit(NodeCtx& c, ProcessId dst, SeqNum seq,
-                             int attempt,
-                             const std::vector<std::uint8_t>& body) {
-  const ChaosConfig& ch = cfg_.chaos;
-  ChaosDecision d;
-  if (ch.any_faults()) {
-    const SimTime t = now();
-    if (ch.active_at(t)) {
-      if (partitioned(ch, c.id, dst, t)) {
-        c.chaos_log.push_back(
-            {ChaosEvent::Kind::kPartition, c.id, dst, seq, attempt});
-        ++c.tc.chaos_events;
-        return;  // swallowed; the retransmit path tries again later
-      }
-      d = plan_frame(ch, c.id, dst, seq, attempt);
-    }
-  }
-  if (d.reset) {
-    c.chaos_log.push_back({ChaosEvent::Kind::kReset, c.id, dst, seq, attempt});
-    ++c.tc.chaos_events;
-    ++c.tc.conn_resets;
-    // The peer is healthy, only the connection dies: erase without the
-    // peer-down cooldown so the next transmission re-dials immediately.
-    c.outgoing.erase(dst);
-    return;
-  }
-  if (d.drop) {
-    c.chaos_log.push_back({ChaosEvent::Kind::kDrop, c.id, dst, seq, attempt});
-    ++c.tc.chaos_events;
-    return;
-  }
-  std::vector<std::uint8_t> framed;
-  wire::append_frame(framed, body);
-  if (d.corrupt) {
-    c.chaos_log.push_back(
-        {ChaosEvent::Kind::kCorrupt, c.id, dst, seq, attempt});
-    ++c.tc.chaos_events;
-    framed[corrupt_offset(ch, c.id, dst, seq, attempt, framed.size())] ^= 0x20;
-  }
-  if (d.copies > 1) {
-    c.chaos_log.push_back(
-        {ChaosEvent::Kind::kDuplicate, c.id, dst, seq, attempt});
-    ++c.tc.chaos_events;
-  }
-  if (d.delay > 0.0) {
-    c.chaos_log.push_back({ChaosEvent::Kind::kDelay, c.id, dst, seq, attempt});
-    ++c.tc.chaos_events;
-    const Clock::time_point due = Clock::now() + to_real(d.delay);
-    for (int k = 0; k < d.copies; ++k) {
-      if (c.delayed.size() >= kMaxDelayed) {
-        break;  // delayed copy lost; retransmission recovers the original
-      }
-      c.delayed.push_back({due, dst, framed});
-    }
-    c.reliability_due = std::min(c.reliability_due, due);
-    return;
-  }
-  for (int k = 0; k < d.copies; ++k) {
-    write_framed(c, dst, framed);
-  }
-}
-
-void LiveTransport::write_framed(NodeCtx& c, ProcessId dst,
-                                 const std::vector<std::uint8_t>& framed) {
-  Conn* conn = outgoing_conn(c, dst);
-  if (conn == nullptr) {
-    return;  // cooling down or unreachable; the retransmit path recovers
-  }
-  conn->outbuf.insert(conn->outbuf.end(), framed.begin(), framed.end());
-  if (!flush_conn(*conn)) {
-    ++c.tc.conn_resets;
-    drop_outgoing(c, dst);
-  }
-}
-
-LiveTransport::Conn* LiveTransport::outgoing_conn(NodeCtx& c, ProcessId dst) {
+Conn* LiveTransport::outgoing_conn(NodeCtx& c, ProcessId dst) {
   auto it = c.outgoing.find(dst);
   if (it != c.outgoing.end()) {
     return it->second.get();
@@ -684,318 +492,15 @@ LiveTransport::Conn* LiveTransport::outgoing_conn(NodeCtx& c, ProcessId dst) {
   auto conn = std::make_unique<Conn>();
   conn->fd = std::move(fd);
   conn->peer = dst;
-  wire::Encoder e;
-  e.put_u8(kFrameHello);
-  for (const std::uint8_t m : kMagic) {
-    e.put_u8(m);
-  }
-  e.put_varint(kLiveProtocolVersion);
-  e.put_varint(static_cast<std::uint64_t>(c.id));
-  e.put_varint(nodes_.size());
-  e.put_varint(c.epoch);
-  wire::append_frame(conn->outbuf, e.bytes());
+  conn->outbuf = hello_frame(c.id, nodes_.size(), c.session.epoch());
   Conn* p = conn.get();
   c.outgoing.emplace(dst, std::move(conn));
   return p;
 }
 
-bool LiveTransport::flush_conn(Conn& conn) {
-  while (conn.out_pos < conn.outbuf.size()) {
-    const ssize_t k =
-        ::send(conn.fd.get(), conn.outbuf.data() + conn.out_pos,
-               conn.outbuf.size() - conn.out_pos, MSG_NOSIGNAL);
-    if (k > 0) {
-      conn.out_pos += static_cast<std::size_t>(k);
-      continue;
-    }
-    if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      return true;  // kernel buffer full; POLLOUT resumes the flush
-    }
-    if (k < 0 && errno == EINTR) {
-      continue;
-    }
-    return false;  // broken pipe / reset: the peer is gone
-  }
-  conn.outbuf.clear();
-  conn.out_pos = 0;
-  return true;
-}
-
 void LiveTransport::drop_outgoing(NodeCtx& c, ProcessId peer) {
   c.outgoing.erase(peer);
   c.peer_down[idx(peer)] = Clock::now() + cfg_.peer_down_cooldown;
-}
-
-// ---- Reliability (runs on the sender's loop thread) -------------------------
-
-Clock::duration LiveTransport::jittered(NodeCtx& c, Clock::duration d) {
-  const double f = 1.0 + cfg_.retx_jitter * c.rng.uniform01();
-  return std::chrono::duration_cast<Clock::duration>(
-      std::chrono::duration<double>(
-          std::chrono::duration<double>(d).count() * f));
-}
-
-void LiveTransport::observe_peer(NodeCtx& c, ProcessId peer,
-                                 std::uint64_t epoch) {
-  if (peer < 0 || idx(peer) >= nodes_.size() || peer == c.id) {
-    return;
-  }
-  // Signs of life: whatever cooldown was pending, the peer answers now.
-  c.peer_down[idx(peer)] = Clock::time_point{};
-  if (epoch <= c.peer_epoch[idx(peer)]) {
-    return;
-  }
-  c.peer_epoch[idx(peer)] = epoch;
-  // Queued messages addressed to the dead incarnation must not reach the
-  // new one (it would be replaying another life's conversation); purge them
-  // and surface the loss so the protocol stack can recover (ft::reattach).
-  NodeCtx::PeerSend& ps = c.peer_send[idx(peer)];
-  std::size_t purged = 0;
-  for (auto it = ps.unacked.begin(); it != ps.unacked.end();) {
-    if (it->second.dst_epoch < epoch) {
-      it = ps.unacked.erase(it);
-      ++purged;
-    } else {
-      ++it;
-    }
-  }
-  if (purged != 0) {
-    c.tc.surfaced_losses += purged;
-    c.unreachable_pending.insert(peer);
-  }
-  // Any open connection still points at the dead incarnation's socket;
-  // drop it (no cooldown) so the next transmission re-dials the new one.
-  c.outgoing.erase(peer);
-}
-
-void LiveTransport::service_reliability(NodeCtx& c) {
-  // Surface losses discovered since the last turn. Deferred to here so the
-  // upcall (which may send, e.g. reattach probes) never runs inside the
-  // scan or dispatch that found the loss.
-  if (!c.unreachable_pending.empty()) {
-    std::vector<ProcessId> peers(c.unreachable_pending.begin(),
-                                 c.unreachable_pending.end());
-    c.unreachable_pending.clear();
-    for (const ProcessId peer : peers) {
-      c.node->on_peer_unreachable(peer);
-    }
-  }
-  const Clock::time_point t = Clock::now();
-  c.reliability_due = Clock::time_point::max();
-  // Release chaos-delayed frames that have matured.
-  for (std::size_t i = 0; i < c.delayed.size();) {
-    if (c.delayed[i].due <= t) {
-      const ProcessId dst = c.delayed[i].dst;
-      std::vector<std::uint8_t> framed = std::move(c.delayed[i].framed);
-      c.delayed.erase(c.delayed.begin() + static_cast<std::ptrdiff_t>(i));
-      write_framed(c, dst, framed);
-    } else {
-      c.reliability_due = std::min(c.reliability_due, c.delayed[i].due);
-      ++i;
-    }
-  }
-  // Retransmit scan: due entries either go out again (backoff doubled) or,
-  // once the budget is spent, are surfaced.
-  for (std::size_t pi = 0; pi < c.peer_send.size(); ++pi) {
-    const ProcessId peer = static_cast<ProcessId>(pi);
-    NodeCtx::PeerSend& ps = c.peer_send[pi];
-    for (auto it = ps.unacked.begin(); it != ps.unacked.end();) {
-      NodeCtx::Pending& p = it->second;
-      if (p.next_retx > t) {
-        c.reliability_due = std::min(c.reliability_due, p.next_retx);
-        ++it;
-        continue;
-      }
-      if (p.attempts >= cfg_.retx_max_attempts) {
-        ++c.tc.surfaced_losses;
-        c.unreachable_pending.insert(peer);
-        it = ps.unacked.erase(it);
-        continue;
-      }
-      ++c.tc.retransmits;
-      transmit(c, peer, it->first, p.attempts, p.body);
-      ++p.attempts;
-      p.backoff = std::min(p.backoff * 2, to_real(cfg_.retx_max_backoff));
-      p.next_retx = t + jittered(c, p.backoff);
-      c.reliability_due = std::min(c.reliability_due, p.next_retx);
-      ++it;
-    }
-  }
-}
-
-void LiveTransport::flush_pending_acks(NodeCtx& c) {
-  if (c.ack_pending.empty()) {
-    return;
-  }
-  std::set<ProcessId> peers;
-  peers.swap(c.ack_pending);
-  for (const ProcessId peer : peers) {
-    send_ack(c, peer);
-  }
-}
-
-void LiveTransport::send_ack(NodeCtx& c, ProcessId peer) {
-  const NodeCtx::PeerRecv& pr = c.peer_recv[idx(peer)];
-  if (pr.epoch == 0) {
-    return;  // nothing delivered from this peer yet
-  }
-  wire::Encoder e;
-  e.put_u8(kFrameAck);
-  e.put_varint(static_cast<std::uint64_t>(c.id));
-  e.put_varint(static_cast<std::uint64_t>(peer));
-  e.put_varint(c.epoch);
-  e.put_varint(pr.epoch);
-  e.put_varint(pr.cum);
-  const std::size_t k = std::min(pr.above.size(), kMaxSacks);
-  e.put_varint(k);
-  std::size_t i = 0;
-  for (const SeqNum s : pr.above) {
-    if (i == k) {
-      break;
-    }
-    e.put_varint(s);
-    ++i;
-  }
-  std::vector<std::uint8_t> framed;
-  wire::append_frame(framed, e.bytes());
-  ++c.tc.acks_sent;
-  // ACKs bypass transmit(): chaos never perturbs the control plane (see
-  // rt/chaos.hpp). Loss is still possible via connection resets and is
-  // recovered by the sender's retransmit, which re-triggers the ACK.
-  write_framed(c, peer, framed);
-}
-
-// ---- Receive path -----------------------------------------------------------
-
-void LiveTransport::handle_payload(NodeCtx& c, Conn& conn,
-                                   const std::vector<std::uint8_t>& payload) {
-  wire::Decoder d(payload);
-  const std::uint8_t kind = d.get_u8();
-  if (kind == kFrameHello) {
-    for (const std::uint8_t m : kMagic) {
-      if (d.get_u8() != m) {
-        throw wire::DecodeError("live: bad HELLO magic");
-      }
-    }
-    if (d.get_varint() != kLiveProtocolVersion) {
-      throw wire::DecodeError("live: protocol version mismatch");
-    }
-    const auto peer = static_cast<ProcessId>(d.get_varint());
-    if (peer < 0 || idx(peer) >= nodes_.size()) {
-      throw wire::DecodeError("live: HELLO from unknown peer");
-    }
-    if (d.get_varint() != nodes_.size()) {
-      throw wire::DecodeError("live: HELLO cluster-size mismatch");
-    }
-    const std::uint64_t peer_epoch = d.get_varint();
-    conn.peer = peer;
-    conn.hello_seen = true;
-    observe_peer(c, peer, peer_epoch);
-    return;
-  }
-  if (!conn.hello_seen) {
-    throw wire::DecodeError("live: frame before HELLO");
-  }
-  if (kind == kFrameData) {
-    handle_data(c, conn, d, payload);
-    return;
-  }
-  if (kind == kFrameAck) {
-    handle_ack(c, d);
-    return;
-  }
-  throw wire::DecodeError("live: unexpected frame kind");
-}
-
-void LiveTransport::handle_data(NodeCtx& c, Conn& conn, wire::Decoder& d,
-                                const std::vector<std::uint8_t>& payload) {
-  (void)conn;
-  transport::Message m;
-  m.src = static_cast<ProcessId>(d.get_varint());
-  m.dst = static_cast<ProcessId>(d.get_varint());
-  const std::uint64_t src_epoch = d.get_varint();
-  const std::uint64_t dst_epoch = d.get_varint();
-  const SeqNum seq = d.get_varint();
-  m.type = static_cast<int>(d.get_varint());
-  m.wire_words = static_cast<std::size_t>(d.get_varint());
-  if (m.dst != c.id) {
-    throw wire::DecodeError("live: misrouted frame");
-  }
-  if (m.src < 0 || idx(m.src) >= nodes_.size()) {
-    throw wire::DecodeError("live: DATA from unknown peer");
-  }
-  // The frame proves its sender is alive with `src_epoch`.
-  observe_peer(c, m.src, src_epoch);
-  if (dst_epoch != c.epoch) {
-    // Addressed to a previous incarnation of this node: a stale
-    // retransmission that must not leak into the new life. No ACK — the
-    // sender purges and surfaces it when it observes the new epoch.
-    ++c.tc.stale_rejected;
-    return;
-  }
-  NodeCtx::PeerRecv& pr = c.peer_recv[idx(m.src)];
-  if (src_epoch < pr.epoch) {
-    ++c.tc.stale_rejected;  // late frame from a superseded sender life
-    return;
-  }
-  if (src_epoch > pr.epoch) {
-    pr = NodeCtx::PeerRecv{};  // new sender incarnation, new seq space
-    pr.epoch = src_epoch;
-  }
-  if (seq <= pr.cum || pr.above.count(seq) != 0) {
-    ++c.tc.dups_suppressed;
-    c.ack_pending.insert(m.src);  // re-ack: the first ACK may have been lost
-    return;
-  }
-  if (seq == pr.cum + 1) {
-    ++pr.cum;
-    while (!pr.above.empty() && *pr.above.begin() == pr.cum + 1) {
-      ++pr.cum;
-      pr.above.erase(pr.above.begin());
-    }
-  } else {
-    pr.above.insert(seq);
-  }
-  c.ack_pending.insert(m.src);
-  const std::size_t rest = d.remaining();
-  std::vector<std::uint8_t> body(payload.end() -
-                                     static_cast<std::ptrdiff_t>(rest),
-                                 payload.end());
-  m.wire_bytes = body.size();
-  m.payload = std::move(body);
-  m.sent_at = now();  // delivery stamp; the wire does not carry send time
-  m.id = ++c.tc.msgs_delivered;
-  c.node->on_message(m);
-}
-
-void LiveTransport::handle_ack(NodeCtx& c, wire::Decoder& d) {
-  const auto acker = static_cast<ProcessId>(d.get_varint());
-  const auto dst = static_cast<ProcessId>(d.get_varint());
-  const std::uint64_t acker_epoch = d.get_varint();
-  const std::uint64_t acked_epoch = d.get_varint();
-  const SeqNum cum = d.get_varint();
-  const std::uint64_t nsacks = d.get_varint();
-  if (dst != c.id) {
-    throw wire::DecodeError("live: misrouted ACK");
-  }
-  if (acker < 0 || idx(acker) >= nodes_.size()) {
-    throw wire::DecodeError("live: ACK from unknown peer");
-  }
-  if (nsacks > kMaxSacks) {
-    throw wire::DecodeError("live: oversized ACK");
-  }
-  observe_peer(c, acker, acker_epoch);
-  NodeCtx::PeerSend& ps = c.peer_send[idx(acker)];
-  for (std::uint64_t i = 0; i < nsacks; ++i) {
-    const SeqNum s = d.get_varint();
-    if (acked_epoch == c.epoch) {
-      ps.unacked.erase(s);
-    }
-  }
-  if (acked_epoch != c.epoch) {
-    return;  // acknowledges a previous life's messages; nothing to release
-  }
-  ps.unacked.erase(ps.unacked.begin(), ps.unacked.upper_bound(cum));
 }
 
 // ---- Event loop -------------------------------------------------------------
@@ -1036,7 +541,7 @@ void LiveTransport::node_loop(NodeCtx& c, const bool initial) {
       return;
     }
     fire_due_timers(c);
-    service_reliability(c);
+    c.session.service(Clock::now());
     loop_iteration(c);
   }
 }
@@ -1044,7 +549,7 @@ void LiveTransport::node_loop(NodeCtx& c, const bool initial) {
 void LiveTransport::loop_iteration(NodeCtx& c) {
   struct Slot {
     enum class What { kWake, kListener, kInbound, kOutgoing } what;
-    std::size_t index = 0;    // inbound index
+    std::size_t index = 0;        // inbound index
     ProcessId peer = kNoProcess;  // outgoing peer
   };
   std::vector<pollfd> pfds;
@@ -1062,7 +567,7 @@ void LiveTransport::loop_iteration(NodeCtx& c) {
   }
   for (const auto& [peer, conn] : c.outgoing) {
     short ev = POLLIN;  // peers never send here, but we must see the close
-    if (conn->out_pos < conn->outbuf.size()) {
+    if (conn->backlog() != 0) {
       ev = static_cast<short>(ev | POLLOUT);
     }
     pfds.push_back({conn->fd.get(), ev, 0});
@@ -1072,15 +577,17 @@ void LiveTransport::loop_iteration(NodeCtx& c) {
   // Sleep until the next timer or reliability deadline (capped; the wake
   // pipe cuts it short).
   int timeout_ms = 100;
-  Clock::time_point next = c.reliability_due;
+  Clock::time_point next = c.session.next_due();
   for (const auto& [tid, rec] : c.timers) {
     next = std::min(next, rec.due);
   }
   if (next != Clock::time_point::max()) {
-    const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+    // Round *up*: truncating a sub-millisecond wait to 0 would busy-spin
+    // the loop until the deadline actually arrives.
+    const auto wait = std::chrono::duration_cast<std::chrono::microseconds>(
         next - Clock::now());
     timeout_ms = static_cast<int>(
-        std::clamp<std::int64_t>(wait.count(), 0, timeout_ms));
+        std::clamp<std::int64_t>((wait.count() + 999) / 1000, 0, timeout_ms));
   }
   const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
   if (rc < 0) {
@@ -1120,30 +627,21 @@ void LiveTransport::loop_iteration(NodeCtx& c) {
       }
       case Slot::What::kInbound: {
         Conn& conn = *c.inbound[slot.index];
-        const ssize_t k =
-            ::read(conn.fd.get(), c.read_buf.data(), c.read_buf.size());
-        if (k > 0) {
-          try {
-            conn.reader.feed(std::span<const std::uint8_t>(
-                c.read_buf.data(), static_cast<std::size_t>(k)));
-            while (auto p = conn.reader.next()) {
-              handle_payload(c, conn, *p);
-            }
-          } catch (const wire::FrameError&) {
-            // The byte stream has lost sync: the only safe recovery is to
-            // drop the connection and let the sender re-dial (its session
-            // layer retransmits whatever the broken tail swallowed).
-            ++c.tc.frame_errors;
-            ++c.tc.conn_resets;
+        // One bounded read per wake is the inbound flow-control gate; the
+        // level-triggered poll re-arms for whatever is left.
+        switch (conn.read_once(std::span<std::uint8_t>(c.read_buf),
+                               c.session)) {
+          case Conn::ReadStatus::kData:
+          case Conn::ReadStatus::kDrained:
+            break;
+          case Conn::ReadStatus::kProtocolError:
+            ++c.session.counters().frame_errors;
+            ++c.session.counters().conn_resets;
             dead_inbound.push_back(slot.index);
-          } catch (const wire::DecodeError&) {
-            ++c.tc.frame_errors;
-            ++c.tc.conn_resets;
-            dead_inbound.push_back(slot.index);
-          }
-        } else if (k == 0 || (errno != EAGAIN && errno != EWOULDBLOCK &&
-                              errno != EINTR)) {
-          dead_inbound.push_back(slot.index);  // peer closed (crash or stop)
+            break;
+          case Conn::ReadStatus::kClosed:
+            dead_inbound.push_back(slot.index);  // peer closed (crash/stop)
+            break;
         }
         break;
       }
@@ -1156,17 +654,15 @@ void LiveTransport::loop_iteration(NodeCtx& c) {
         }
         Conn& conn = *it->second;
         bool broken = false;
-        if ((re & POLLOUT) != 0 && !flush_conn(conn)) {
+        if ((re & POLLOUT) != 0 &&
+            conn.flush() == Conn::FlushStatus::kBroken) {
           broken = true;  // queued frames lost; retransmission recovers them
         }
         if ((re & (POLLIN | POLLHUP | POLLERR)) != 0 && !broken) {
-          const ssize_t k =
-              ::read(conn.fd.get(), c.read_buf.data(), c.read_buf.size());
-          if (k == 0 || (k < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
-                         errno != EINTR)) {
+          if (conn.drain_ignore(std::span<std::uint8_t>(c.read_buf)) ==
+              Conn::ReadStatus::kClosed) {
             broken = true;  // receive-side close: the peer is gone
           }
-          // Any actual bytes on a send-only connection are ignored.
         }
         if (broken) {
           dead_outgoing.push_back(slot.peer);
@@ -1176,7 +672,7 @@ void LiveTransport::loop_iteration(NodeCtx& c) {
     }
   }
   for (const ProcessId peer : dead_outgoing) {
-    ++c.tc.conn_resets;
+    ++c.session.counters().conn_resets;
     drop_outgoing(c, peer);
   }
   if (!dead_inbound.empty()) {
@@ -1187,7 +683,7 @@ void LiveTransport::loop_iteration(NodeCtx& c) {
     }
   }
   // ACKs owed for this turn's deliveries, coalesced per peer.
-  flush_pending_acks(c);
+  c.session.flush_acks();
 }
 
 void LiveTransport::do_crash(NodeCtx& c) {
@@ -1207,21 +703,8 @@ void LiveTransport::do_crash(NodeCtx& c) {
 }
 
 void LiveTransport::shutdown_io(NodeCtx& c) {
-  // Messages still awaiting acknowledgment die with this incarnation;
-  // account them as surfaced so no loss is ever silent. (At a clean stop
-  // after a drain these queues are empty and the counter is untouched.)
-  for (NodeCtx::PeerSend& ps : c.peer_send) {
-    c.tc.surfaced_losses += ps.unacked.size();
-    ps = NodeCtx::PeerSend{};
-  }
-  for (NodeCtx::PeerRecv& pr : c.peer_recv) {
-    pr = NodeCtx::PeerRecv{};
-  }
+  c.session.shutdown();
   std::fill(c.peer_down.begin(), c.peer_down.end(), Clock::time_point{});
-  c.delayed.clear();
-  c.ack_pending.clear();
-  c.unreachable_pending.clear();
-  c.reliability_due = Clock::time_point::max();
   c.inbound.clear();
   c.outgoing.clear();
   c.timers.clear();

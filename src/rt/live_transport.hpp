@@ -1,7 +1,14 @@
-// The live backend of transport::Endpoint: every node runs its own
-// event-loop thread and the nodes exchange protocol messages over loopback
-// TCP or Unix-domain stream sockets, framed by wire/frame (varint length +
-// CRC-32C) and encoded by wire/codec.
+// The thread-per-node live backend of transport::Endpoint: every node runs
+// its own event-loop thread and the nodes exchange protocol messages over
+// loopback TCP or Unix-domain stream sockets, framed by wire/frame (varint
+// length + CRC-32C) and encoded by wire/codec.
+//
+// The protocol itself — reliable delivery (seqs/ACKs/epochs), chaos
+// injection, frame decode and connection lifecycle — lives in the
+// backend-neutral rt/session + rt/conn state machines; this file is the
+// *scheduler* that hosts one NodeSession per OS thread. The epoll reactor
+// (rt/reactor) hosts the same state machines on a worker pool instead; both
+// implement rt::LiveBackend.
 //
 // Structure:
 //   * All listeners are bound before any thread starts, so a connect can
@@ -24,24 +31,9 @@
 //     feeds frames that are dispatched inline, so a slow node simply lets
 //     TCP/socket buffers fill and senders queue in their outbufs.
 //
-// Reliable delivery (protocol v2): every DATA frame carries the sender's
-// session epoch, the sender's last-observed incarnation of the destination,
-// and a per-(sender, destination) monotone sequence number. Receivers
-// suppress duplicates, reject frames addressed to a previous incarnation of
-// themselves or carrying a superseded sender epoch, and return cumulative +
-// selective ACK frames. Senders keep unacknowledged DATA in a bounded
-// per-peer retransmit queue (exponential backoff with jitter); when the
-// retransmit budget is exhausted, the peer's incarnation changes under
-// queued messages, or the node shuts down with messages still queued, the
-// loss is *surfaced* through transport::Node::on_peer_unreachable and the
-// surfaced_losses counter — never silently dropped. The invariant the chaos
-// suite checks is `delivered + surfaced_losses >= sent` and
-// `delivered <= sent` (unique deliveries only).
-//
-// Chaos injection: LiveConfig::chaos perturbs DATA frames at the frame
-// boundary (drop / duplicate / corrupt / delay / reset / partition) with
-// decisions that are a pure function of (seed, src, dst, seq, attempt) —
-// see rt/chaos.hpp. HELLO and ACK frames are never perturbed.
+// Reliable delivery and chaos injection are specified in rt/session.hpp
+// and docs/PROTOCOL.md; the invariant the chaos suite checks is
+// `delivered + surfaced_losses >= sent` and `delivered <= sent`.
 #pragma once
 
 #include <atomic>
@@ -55,63 +47,16 @@
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "metrics/counters.hpp"
+#include "rt/backend.hpp"
 #include "rt/chaos.hpp"
+#include "rt/clock.hpp"
+#include "rt/conn.hpp"
+#include "rt/session.hpp"
 #include "rt/socket.hpp"
 #include "transport/endpoint.hpp"
 #include "transport/node.hpp"
 
-namespace hpd::wire {
-class Decoder;
-}
-
 namespace hpd::rt {
-
-struct LiveConfig {
-  SockAddr::Kind socket_kind = SockAddr::Kind::kUnix;
-  /// Real seconds per SimTime unit. 0.02 → one protocol time unit is 20 ms,
-  /// comfortably above scheduler jitter even under TSan.
-  double time_scale = 0.02;
-  /// Bytes read per connection per loop wake (inbound flow-control gate).
-  std::size_t read_chunk = std::size_t{64} * 1024;
-  /// Blocking connect: attempts and doubling backoff between them.
-  int connect_retries = 5;
-  std::chrono::milliseconds connect_backoff{1};
-  /// After a failed connect / broken pipe, skip re-dialing the peer for this
-  /// long. Queued DATA is retransmitted once the cooldown lapses; the
-  /// cooldown is expired early when the peer is observed alive again
-  /// (inbound HELLO/ACK, or the revive() broadcast).
-  std::chrono::milliseconds peer_down_cooldown{50};
-  /// Directory for unix socket paths; empty → private mkdtemp directory
-  /// (removed at shutdown).
-  std::string socket_dir;
-
-  // ---- Reliable-delivery session layer (SimTime units) ----------------------
-  /// First retransmit fires this long after the original send.
-  SimTime retx_initial = 2.0;
-  /// Backoff doubles per attempt up to this ceiling.
-  SimTime retx_max_backoff = 16.0;
-  /// Each backoff is stretched by uniform[0, retx_jitter] to decorrelate
-  /// retransmit bursts (timing only — chaos decisions don't see it).
-  double retx_jitter = 0.25;
-  /// Transmissions per message (including the first) before the loss is
-  /// surfaced via Node::on_peer_unreachable.
-  int retx_max_attempts = 12;
-  /// Per-peer unacked-queue bound; overflow surfaces the oldest entry.
-  std::size_t retx_queue_cap = 4096;
-
-  /// Frame-level fault injection (DATA frames only); see rt/chaos.hpp.
-  ChaosConfig chaos;
-};
-
-/// Handshake version carried in every connection's HELLO frame. v2 adds the
-/// sender's session epoch to HELLO and (epoch, seq) bookkeeping to DATA.
-inline constexpr std::uint64_t kLiveProtocolVersion = 2;
-
-/// An actual (measured) crash or revive instant, in SimTime units.
-struct LifeEvent {
-  ProcessId node = kNoProcess;
-  SimTime time = 0.0;
-};
 
 class LiveTransport;
 
@@ -134,118 +79,78 @@ class LiveEndpoint final : public transport::Endpoint {
   ProcessId self_ = kNoProcess;
 };
 
-class LiveTransport {
+class LiveTransport final : public LiveBackend {
  public:
   explicit LiveTransport(std::size_t n, LiveConfig cfg = {});
-  ~LiveTransport();
+  ~LiveTransport() override;
 
   LiveTransport(const LiveTransport&) = delete;
   LiveTransport& operator=(const LiveTransport&) = delete;
 
-  std::size_t size() const { return nodes_.size(); }
+  std::size_t size() const override { return nodes_.size(); }
 
-  /// Restrict which ordered pairs may exchange one-hop messages (mirrors
-  /// sim::Network's link filter). Must be set before start().
-  void set_link_filter(std::function<bool(ProcessId, ProcessId)> link_ok);
-
-  /// Attach the protocol node for `id`. `metrics` (nullable) receives
-  /// on_send accounting — give each node its own registry, the loop thread
-  /// writes to it. `on_revive` runs on the fresh loop thread after revive().
+  void set_link_filter(
+      std::function<bool(ProcessId, ProcessId)> link_ok) override;
   void register_node(ProcessId id, transport::Node& node,
                      MetricsRegistry* metrics = nullptr,
-                     std::function<void()> on_revive = nullptr);
-
-  /// The Endpoint to hand to node `id`'s protocol stack. Valid from
-  /// construction (before start()).
-  transport::Endpoint& endpoint(ProcessId id);
+                     std::function<void()> on_revive = nullptr) override;
+  transport::Endpoint& endpoint(ProcessId id) override;
 
   /// Bind all listeners, reset the clock to 0, spawn one loop thread per
   /// node (each runs its node's on_start()).
-  void start();
+  void start() override;
 
   /// Ask every loop to exit and join the threads. Idempotent.
-  void stop();
+  void stop() override;
 
   /// Crash-stop `id`: its loop runs on_crash, closes every socket and
   /// exits. Blocks until the thread is gone; the actual SimTime is recorded
   /// (crash_events()).
-  void crash(ProcessId id);
+  void crash(ProcessId id) override;
 
   /// Bring a crashed node back: re-bind the same address, spawn a fresh
   /// loop thread that first runs the registered on_revive callback. The
   /// node starts a new session epoch, and every live node is told about it
   /// so stale queued messages to the dead incarnation are purged (surfaced)
   /// and re-dial cooldowns expire immediately.
-  void revive(ProcessId id);
+  void revive(ProcessId id) override;
 
-  bool alive(ProcessId id) const;
-  std::size_t alive_count() const;
+  bool alive(ProcessId id) const override;
+  std::size_t alive_count() const override;
 
-  /// Scaled wall clock, SimTime units since start(). Any thread.
-  SimTime now() const;
-  /// Block the calling (driver) thread until now() >= t.
-  void sleep_until(SimTime t) const;
+  SimTime now() const override;
+  void sleep_until(SimTime t) const override;
 
   /// Run `fn` on `id`'s loop thread (asynchronously). False if `id` is not
   /// alive. The synchronous variant waits for completion; it returns false
   /// if the node died before running `fn`. Never call it from a node
   /// thread — that deadlocks.
-  bool post(ProcessId id, std::function<void()> fn);
-  bool run_on_node_sync(ProcessId id, std::function<void()> fn);
+  bool post(ProcessId id, std::function<void()> fn) override;
+  bool run_on_node_sync(ProcessId id, std::function<void()> fn) override;
 
-  /// Measured fault timeline (SimTime), for the offline oracle.
-  std::vector<LifeEvent> crash_events() const;
-  std::vector<LifeEvent> revive_events() const;
+  std::vector<LifeEvent> crash_events() const override;
+  std::vector<LifeEvent> revive_events() const override;
 
   // ---- Diagnostics: stable only once the relevant threads have stopped ----
-  std::uint64_t delivered_messages() const;
-  std::uint64_t dropped_messages() const;
-  std::uint64_t frame_errors() const;
-  std::uint64_t connections_accepted() const;
-  /// Session-layer counters, aggregated over all nodes.
-  TransportCounters stats() const;
-  /// All injected chaos events, merged across senders in canonical order
-  /// (run-to-run identical for a fixed seed/config/workload — the
-  /// determinism contract of rt/chaos.hpp).
-  std::vector<ChaosEvent> chaos_events() const;
+  std::uint64_t delivered_messages() const override;
+  std::uint64_t dropped_messages() const override;
+  std::uint64_t frame_errors() const override;
+  std::uint64_t connections_accepted() const override;
+  TransportCounters stats() const override;
+  std::vector<ChaosEvent> chaos_events() const override;
 
  private:
   friend class LiveEndpoint;
   struct NodeCtx;
-  struct Conn;
 
   NodeCtx& ctx(ProcessId id);
   const NodeCtx& ctx(ProcessId id) const;
-  std::chrono::steady_clock::duration to_real(SimTime d) const;
 
   void node_loop(NodeCtx& c, bool initial);
   void loop_iteration(NodeCtx& c);
   void fire_due_timers(NodeCtx& c);
-  void handle_payload(NodeCtx& c, Conn& conn,
-                      const std::vector<std::uint8_t>& payload);
-  void handle_data(NodeCtx& c, Conn& conn, wire::Decoder& d,
-                   const std::vector<std::uint8_t>& payload);
-  void handle_ack(NodeCtx& c, wire::Decoder& d);
   void do_send(NodeCtx& c, transport::Message msg);
-  /// One (possibly chaos-perturbed) transmission of an encoded DATA body.
-  void transmit(NodeCtx& c, ProcessId dst, SeqNum seq, int attempt,
-                const std::vector<std::uint8_t>& body);
-  /// Queue already-framed bytes on the outgoing connection to `dst`.
-  void write_framed(NodeCtx& c, ProcessId dst,
-                    const std::vector<std::uint8_t>& framed);
-  /// Retransmit scan + delayed-chaos-frame release + deferred
-  /// on_peer_unreachable upcalls. Runs once per loop turn.
-  void service_reliability(NodeCtx& c);
-  void flush_pending_acks(NodeCtx& c);
-  void send_ack(NodeCtx& c, ProcessId peer);
-  /// Record that `peer` is alive with incarnation `epoch`: expires the
-  /// re-dial cooldown, and on an epoch raise purges (surfaces) queued
-  /// messages addressed to the dead incarnation.
-  void observe_peer(NodeCtx& c, ProcessId peer, std::uint64_t epoch);
-  std::chrono::steady_clock::duration jittered(
-      NodeCtx& c, std::chrono::steady_clock::duration d);
   Conn* outgoing_conn(NodeCtx& c, ProcessId dst);
-  bool flush_conn(Conn& conn);
   void drop_outgoing(NodeCtx& c, ProcessId peer);
   void do_crash(NodeCtx& c);
   void shutdown_io(NodeCtx& c);
@@ -260,7 +165,7 @@ class LiveTransport {
   bool own_socket_dir_ = false;
   std::function<bool(ProcessId, ProcessId)> link_ok_;
   std::vector<std::unique_ptr<NodeCtx>> nodes_;
-  std::chrono::steady_clock::time_point start_;
+  ScaledClock clock_;
   bool started_ = false;
 
   mutable Mutex events_mutex_;

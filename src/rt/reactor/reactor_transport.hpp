@@ -1,0 +1,186 @@
+// The epoll reactor live backend: a small pool of worker threads, each
+// running one epoll loop that multiplexes the I/O, timers and protocol
+// state machines of hundreds of nodes. This is what scales live detector
+// runs from dozens of nodes (one OS thread each, rt/live_transport) to
+// thousands: at 4096 nodes the thread backend needs 4096 stacks and the
+// scheduler thrashes; the reactor needs `reactor_workers` threads total.
+//
+// Sharding: node `i` belongs to worker `i % W`, permanently. Everything a
+// node owns — sockets, session, timers — is touched only by its worker
+// thread, so the per-node single-threaded execution contract of
+// transport::Node holds by construction and no protocol code grows locks.
+//
+// Hosted state machines (identical to the thread backend, by design):
+//   * rt::Conn for frame I/O — here in edge-triggered mode: reads loop to
+//     EAGAIN, writes resume from the partial-write offset on the next
+//     writable edge. Outgoing dials are nonblocking (rt::connect_start);
+//     a pending connect resolves on its first writable edge.
+//   * rt::NodeSession for reliable delivery, epochs and chaos. Its
+//     retransmit/delay deadlines and the per-node Endpoint timers are
+//     multiplexed onto one hierarchical TimerWheel per worker (one wheel
+//     entry per node: the min of all that node's deadlines).
+//
+// Control plane: crash()/revive()/post() enqueue closures on the owning
+// worker (woken through a pipe) and the driver blocks on a promise when it
+// needs completion — the same happens-before edges the thread backend gets
+// from joining node threads.
+//
+// Nothing in this directory may block: no sleeps, no blocking socket
+// calls, no poll/select (enforced by the `reactor-nonblocking` lint rule).
+// The one epoll_wait per worker is the only place a worker parks.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "common/types.hpp"
+#include "metrics/counters.hpp"
+#include "rt/backend.hpp"
+#include "rt/chaos.hpp"
+#include "rt/clock.hpp"
+#include "rt/conn.hpp"
+#include "rt/reactor/timer_wheel.hpp"
+#include "rt/session.hpp"
+#include "rt/socket.hpp"
+#include "transport/endpoint.hpp"
+#include "transport/node.hpp"
+
+namespace hpd::rt {
+
+class ReactorTransport;
+
+/// One node's Endpoint view of the reactor. All calls except now()/alive()
+/// must come from the node's worker thread (i.e. from inside the node's
+/// own callbacks).
+class ReactorEndpoint final : public transport::Endpoint {
+ public:
+  SimTime now() const override;
+  void send(transport::Message msg) override;
+  transport::TimerId set_timer(ProcessId id, int tag, SimTime delay,
+                               bool periodic = false,
+                               SimTime period = 0.0) override;
+  void cancel_timer(transport::TimerId id) override;
+  bool alive(ProcessId id) const override;
+
+ private:
+  friend class ReactorTransport;
+  ReactorEndpoint() = default;
+  ReactorTransport* transport_ = nullptr;
+  ProcessId self_ = kNoProcess;
+};
+
+class ReactorTransport final : public LiveBackend {
+ public:
+  explicit ReactorTransport(std::size_t n, LiveConfig cfg = {});
+  ~ReactorTransport() override;
+
+  ReactorTransport(const ReactorTransport&) = delete;
+  ReactorTransport& operator=(const ReactorTransport&) = delete;
+
+  std::size_t size() const override { return nodes_.size(); }
+  int workers() const { return static_cast<int>(workers_.size()); }
+
+  void set_link_filter(
+      std::function<bool(ProcessId, ProcessId)> link_ok) override;
+  void register_node(ProcessId id, transport::Node& node,
+                     MetricsRegistry* metrics = nullptr,
+                     std::function<void()> on_revive = nullptr) override;
+  transport::Endpoint& endpoint(ProcessId id) override;
+
+  void start() override;
+  void stop() override;
+
+  /// Crash-stop `id` on its worker: on_crash runs there, every socket and
+  /// timer of the node is dropped, queued posts for it are abandoned.
+  /// Blocks until the worker has executed the crash.
+  void crash(ProcessId id) override;
+
+  /// Bring a crashed node back on its worker: re-bind the same address,
+  /// bump the session epoch, run the registered on_revive callback, then
+  /// tell every other node about the new incarnation. Blocks until the
+  /// node is live again (the observe broadcast is asynchronous).
+  void revive(ProcessId id) override;
+
+  bool alive(ProcessId id) const override;
+  std::size_t alive_count() const override;
+
+  SimTime now() const override;
+  void sleep_until(SimTime t) const override;
+
+  bool post(ProcessId id, std::function<void()> fn) override;
+  bool run_on_node_sync(ProcessId id, std::function<void()> fn) override;
+
+  std::vector<LifeEvent> crash_events() const override;
+  std::vector<LifeEvent> revive_events() const override;
+
+  // ---- Diagnostics: stable only once stop() returned -----------------------
+  std::uint64_t delivered_messages() const override;
+  std::uint64_t dropped_messages() const override;
+  std::uint64_t frame_errors() const override;
+  std::uint64_t connections_accepted() const override;
+  TransportCounters stats() const override;
+  std::vector<ChaosEvent> chaos_events() const override;
+  ReactorCounters reactor_stats() const override;
+
+ private:
+  friend class ReactorEndpoint;
+  using Clock = std::chrono::steady_clock;
+
+  struct Worker;
+  struct RNode;
+
+  RNode& node_of(ProcessId id);
+  const RNode& node_of(ProcessId id) const;
+  Worker& worker_of(ProcessId id);
+
+  void worker_main(Worker& w);
+  void worker_iteration(Worker& w);
+  void worker_shutdown(Worker& w);
+  void dispatch_event(Worker& w, int fd, std::uint32_t events);
+  void service_node(Worker& w, RNode& nd, Clock::time_point now);
+  void fire_due_timers(RNode& nd, Clock::time_point now);
+  void wake(Worker& w);
+  bool post_op(Worker& w, ProcessId node, std::function<void()> fn);
+  bool run_on_worker_sync(Worker& w, ProcessId node, std::function<void()> fn);
+
+  void do_send(RNode& nd, transport::Message msg);
+  Conn* outgoing_conn(RNode& nd, ProcessId dst);
+  void drop_outgoing(RNode& nd, ProcessId peer, bool cooldown);
+  void drop_inbound(Worker& w, RNode& nd, int fd);
+  void do_crash(RNode& nd);
+  void shutdown_io(RNode& nd);
+
+  transport::TimerId do_set_timer(RNode& nd, int tag, SimTime delay,
+                                  bool periodic, SimTime period);
+  void do_cancel_timer(RNode& nd, transport::TimerId id);
+
+  void epoll_add(Worker& w, int fd, std::uint32_t events);
+  void epoll_del(Worker& w, int fd);
+
+  LiveConfig cfg_;
+  std::string socket_dir_;
+  bool own_socket_dir_ = false;
+  std::function<bool(ProcessId, ProcessId)> link_ok_;
+  std::vector<std::unique_ptr<RNode>> nodes_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  ScaledClock clock_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  mutable Mutex events_mutex_;
+  std::vector<LifeEvent> crashes_ HPD_GUARDED_BY(events_mutex_);
+  std::vector<LifeEvent> revives_ HPD_GUARDED_BY(events_mutex_);
+};
+
+}  // namespace hpd::rt

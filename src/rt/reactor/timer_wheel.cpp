@@ -1,0 +1,160 @@
+#include "rt/reactor/timer_wheel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hpd::rt {
+
+void TimerWheel::reset(Clock::time_point origin, Clock::duration tick) {
+  origin_ = origin;
+  tick_ = tick;
+  current_ = 0;
+  next_id_ = 1;
+  for (auto& s : slots_) {
+    s.clear();
+  }
+  overflow_.clear();
+  live_.clear();
+}
+
+std::uint64_t TimerWheel::to_tick(Clock::time_point t) const {
+  if (t <= origin_) {
+    return 0;
+  }
+  return static_cast<std::uint64_t>((t - origin_) / tick_);
+}
+
+TimerWheel::TimerId TimerWheel::schedule(Clock::time_point due,
+                                         std::uint64_t data) {
+  Entry e;
+  const TimerId id = next_id_++;
+  e.id = id;
+  e.due = due;
+  // Already-due timers land in the very next tick so advance() sees them.
+  e.due_tick = std::max(to_tick(due), current_ + 1);
+  e.data = data;
+  live_.insert(id);
+  place(std::move(e));
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  // Lazy: the slot entry is discarded whenever its slot is next visited.
+  return live_.erase(id) != 0;
+}
+
+void TimerWheel::place(Entry e) {
+  const std::uint64_t delta =
+      e.due_tick > current_ ? e.due_tick - current_ : 0;
+  int level;
+  if (delta < kSlots) {
+    level = 0;
+  } else if (delta < kSlots * kSlots) {
+    level = 1;
+  } else if (delta < kSlots * kSlots * kSlots) {
+    level = 2;
+  } else if (delta < kHorizon) {
+    level = 3;
+  } else {
+    overflow_.push_back(std::move(e));
+    return;
+  }
+  const std::uint64_t slot = (e.due_tick >> (6 * level)) % kSlots;
+  slots_[static_cast<std::size_t>(level) * kSlots + slot].push_back(
+      std::move(e));
+}
+
+void TimerWheel::cascade(int level) {
+  if (level >= kLevels) {
+    // Top of the wheel wrapped: re-sow whatever overflow now fits.
+    std::vector<Entry> keep;
+    for (auto& e : overflow_) {
+      if (live_.count(e.id) == 0) {
+        continue;
+      }
+      if (e.due_tick - current_ < kHorizon) {
+        place(std::move(e));
+      } else {
+        keep.push_back(std::move(e));
+      }
+    }
+    overflow_ = std::move(keep);
+    return;
+  }
+  const std::uint64_t slot = (current_ >> (6 * level)) % kSlots;
+  auto& src = slots_[static_cast<std::size_t>(level) * kSlots + slot];
+  std::vector<Entry> entries;
+  entries.swap(src);
+  for (auto& e : entries) {
+    if (live_.count(e.id) != 0) {
+      place(std::move(e));  // re-lands at a finer level (or fires this tick)
+    }
+  }
+  if (slot == 0) {
+    cascade(level + 1);
+  }
+}
+
+void TimerWheel::advance(Clock::time_point now,
+                         std::vector<std::uint64_t>& fired) {
+  const std::uint64_t target = to_tick(now);
+  if (live_.empty()) {
+    // Nothing can fire; jump. Stale (cancelled) entries left behind in
+    // skipped slots are discarded whenever their slot is next visited.
+    current_ = std::max(current_, target);
+    return;
+  }
+  std::vector<Entry> due;
+  while (current_ < target) {
+    ++current_;
+    if (current_ % kSlots == 0) {
+      cascade(1);
+    }
+    auto& slot = slots_[current_ % kSlots];  // level 0
+    if (slot.empty()) {
+      continue;
+    }
+    std::vector<Entry> entries;
+    entries.swap(slot);
+    for (auto& e : entries) {
+      if (live_.count(e.id) == 0) {
+        continue;
+      }
+      if (e.due_tick <= current_) {
+        live_.erase(e.id);
+        due.push_back(std::move(e));
+      } else {
+        place(std::move(e));  // same slot, a later lap of the wheel
+      }
+    }
+  }
+  std::sort(due.begin(), due.end(), [](const Entry& a, const Entry& b) {
+    return a.due != b.due ? a.due < b.due : a.id < b.id;
+  });
+  for (const auto& e : due) {
+    fired.push_back(e.data);
+  }
+}
+
+TimerWheel::Clock::time_point TimerWheel::next_due() const {
+  if (live_.empty()) {
+    return Clock::time_point::max();
+  }
+  // Exact within the level-0 revolution; otherwise the next cascade
+  // boundary — at most one revolution early, never late.
+  Clock::time_point best = Clock::time_point::max();
+  for (std::uint64_t s = 0; s < kSlots; ++s) {
+    for (const auto& e : slots_[s]) {
+      if (e.due_tick > current_ && live_.count(e.id) != 0) {
+        best = std::min(best, e.due);
+      }
+    }
+  }
+  if (best != Clock::time_point::max()) {
+    return best;
+  }
+  const std::uint64_t boundary = (current_ / kSlots + 1) * kSlots;
+  return origin_ + tick_ * static_cast<std::int64_t>(boundary);
+}
+
+}  // namespace hpd::rt

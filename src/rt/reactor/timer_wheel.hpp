@@ -1,0 +1,78 @@
+// Hierarchical timer wheel for the reactor workers.
+//
+// Four levels of 64 slots over a fixed tick (default 1 ms): level 0 resolves
+// single ticks, each higher level covers 64x the span of the one below, and
+// anything past the top level's horizon (64^4 ticks) parks in a coarse
+// overflow bucket that is re-sown as the wheel turns. advance() fires every
+// entry due at or before `now` in (due, id) order; scheduling and expiring
+// are O(1) amortized regardless of how many timers are pending, which is
+// what lets one worker own the heartbeat/retransmit/chaos deadlines of
+// hundreds of nodes.
+//
+// Cancellation is lazy: cancel() drops the id from the live set and the
+// entry is discarded when its slot is next visited. Single-threaded: each
+// reactor worker owns exactly one wheel.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace hpd::rt {
+
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimerId = std::uint64_t;
+
+  static constexpr int kLevels = 4;
+  static constexpr std::uint64_t kSlots = 64;  // per level; 6 bits
+  /// Ticks covered by the wheel proper; beyond this is the overflow bucket.
+  static constexpr std::uint64_t kHorizon = kSlots * kSlots * kSlots * kSlots;
+
+  TimerWheel() { slots_.resize(kLevels * kSlots); }
+
+  /// (Re)base the wheel: `origin` becomes tick 0. Drops all pending timers.
+  void reset(Clock::time_point origin, Clock::duration tick);
+
+  /// Schedule `data` to fire at `due` (clamped to the next tick if already
+  /// past). Returns an id usable with cancel().
+  TimerId schedule(Clock::time_point due, std::uint64_t data);
+
+  /// Drop a pending timer. False if it already fired or was cancelled.
+  bool cancel(TimerId id);
+
+  /// Turn the wheel up to `now`, appending the data of every fired timer to
+  /// `fired` in (due, id) order.
+  void advance(Clock::time_point now, std::vector<std::uint64_t>& fired);
+
+  /// Earliest instant a pending timer could fire, for the epoll timeout.
+  /// Coarse above level 0: at most one wheel revolution (64 ticks) early,
+  /// never late. time_point::max() when empty.
+  Clock::time_point next_due() const;
+
+  std::size_t pending() const { return live_.size(); }
+
+ private:
+  struct Entry {
+    TimerId id = 0;
+    std::uint64_t due_tick = 0;
+    Clock::time_point due;
+    std::uint64_t data = 0;
+  };
+
+  std::uint64_t to_tick(Clock::time_point t) const;
+  void place(Entry e);
+  void cascade(int level);
+
+  Clock::time_point origin_{};
+  Clock::duration tick_{std::chrono::milliseconds(1)};
+  std::uint64_t current_ = 0;  ///< last tick fully processed
+  TimerId next_id_ = 1;
+  std::vector<std::vector<Entry>> slots_;  ///< [level * kSlots + slot]
+  std::vector<Entry> overflow_;            ///< due beyond kHorizon ticks out
+  std::unordered_set<TimerId> live_;
+};
+
+}  // namespace hpd::rt

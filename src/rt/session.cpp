@@ -1,0 +1,451 @@
+#include "rt/session.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "wire/frame.hpp"
+
+namespace hpd::rt {
+
+namespace {
+
+/// Selective-ack list bound per ACK frame; the cumulative ack carries the
+/// rest across subsequent ACKs.
+constexpr std::size_t kMaxSacks = 64;
+
+/// Bound on chaos-delayed frames buffered per node. Overflow drops the
+/// delayed copy — the retransmit path recovers the original.
+constexpr std::size_t kMaxDelayed = 4096;
+
+}  // namespace
+
+void NodeSession::init(
+    ProcessId self, std::size_t cluster, const LiveConfig* cfg,
+    const ScaledClock* clock, SessionHost* host, transport::Node* node,
+    MetricsRegistry* metrics,
+    const std::function<bool(ProcessId, ProcessId)>* link_ok) {
+  self_ = self;
+  cluster_ = cluster;
+  cfg_ = cfg;
+  clock_ = clock;
+  host_ = host;
+  node_ = node;
+  metrics_ = metrics;
+  link_ok_ = link_ok;
+  rng_.reseed(0x9e3779b97f4a7c15ULL ^
+              (static_cast<std::uint64_t>(idx(self)) * 0x100000001b3ULL));
+}
+
+std::uint64_t NodeSession::epoch_of(ProcessId peer) const {
+  auto it = peer_epoch_.find(peer);
+  return it == peer_epoch_.end() ? 1 : it->second;
+}
+
+// ---- Send path --------------------------------------------------------------
+
+void NodeSession::send(transport::Message msg) {
+  const auto* bytes = std::any_cast<std::vector<std::uint8_t>>(&msg.payload);
+  HPD_REQUIRE(bytes != nullptr,
+              "NodeSession: payloads must be wire-encoded bytes "
+              "(run with wire_encoding enabled)");
+  if (msg.dst < 0 || idx(msg.dst) >= cluster_) {
+    ++tc_.msgs_dropped;
+    return;
+  }
+  if (link_ok_ != nullptr && *link_ok_ && !(*link_ok_)(msg.src, msg.dst)) {
+    ++tc_.msgs_dropped;
+    return;
+  }
+  msg.wire_bytes = bytes->size();
+  msg.sent_at = clock_->now();
+  if (metrics_ != nullptr) {
+    metrics_->on_send(msg.src, msg.type, msg.wire_words, msg.wire_bytes);
+  }
+  ++tc_.reliable_sent;
+  if (msg.dst == self_) {
+    // Loopback to self: deliver inline on this (the correct) context.
+    msg.id = ++tc_.msgs_delivered;
+    node_->on_message(msg);
+    return;
+  }
+  PeerSend& ps = peer_send_[msg.dst];
+  if (ps.unacked.size() >= cfg_->retx_queue_cap) {
+    // Bounded queue: surface the oldest entry to make room. The peer has
+    // been unresponsive for the whole queue's worth of traffic.
+    ps.unacked.erase(ps.unacked.begin());
+    ++tc_.surfaced_losses;
+    unreachable_pending_.insert(msg.dst);
+  }
+  const SeqNum seq = ps.next_seq++;
+  Pending p;
+  p.dst_epoch = epoch_of(msg.dst);
+  {
+    wire::Encoder e;
+    e.put_u8(kFrameData);
+    e.put_varint(static_cast<std::uint64_t>(msg.src));
+    e.put_varint(static_cast<std::uint64_t>(msg.dst));
+    e.put_varint(epoch_);
+    e.put_varint(p.dst_epoch);
+    e.put_varint(seq);
+    e.put_varint(static_cast<std::uint32_t>(msg.type));
+    e.put_varint(msg.wire_words);
+    p.body = e.take();
+    p.body.insert(p.body.end(), bytes->begin(), bytes->end());
+  }
+  transmit(msg.dst, seq, /*attempt=*/0, p.body);
+  p.attempts = 1;
+  p.backoff = clock_->to_real(cfg_->retx_initial);
+  p.next_retx = Clock::now() + jittered(p.backoff);
+  reliability_due_ = std::min(reliability_due_, p.next_retx);
+  ps.unacked.emplace(seq, std::move(p));
+}
+
+void NodeSession::transmit(ProcessId dst, SeqNum seq, int attempt,
+                           const std::vector<std::uint8_t>& body) {
+  const ChaosConfig& ch = cfg_->chaos;
+  ChaosDecision d;
+  if (ch.any_faults()) {
+    const SimTime t = clock_->now();
+    if (ch.active_at(t)) {
+      if (partitioned(ch, self_, dst, t)) {
+        chaos_log_.push_back(
+            {ChaosEvent::Kind::kPartition, self_, dst, seq, attempt});
+        ++tc_.chaos_events;
+        return;  // swallowed; the retransmit path tries again later
+      }
+      d = plan_frame(ch, self_, dst, seq, attempt);
+    }
+  }
+  if (d.reset) {
+    chaos_log_.push_back({ChaosEvent::Kind::kReset, self_, dst, seq, attempt});
+    ++tc_.chaos_events;
+    ++tc_.conn_resets;
+    // The peer is healthy, only the connection dies: reset without the
+    // peer-down cooldown so the next transmission re-dials immediately.
+    host_->session_reset_conn(dst);
+    return;
+  }
+  if (d.drop) {
+    chaos_log_.push_back({ChaosEvent::Kind::kDrop, self_, dst, seq, attempt});
+    ++tc_.chaos_events;
+    return;
+  }
+  std::vector<std::uint8_t> framed;
+  wire::append_frame(framed, body);
+  if (d.corrupt) {
+    chaos_log_.push_back(
+        {ChaosEvent::Kind::kCorrupt, self_, dst, seq, attempt});
+    ++tc_.chaos_events;
+    framed[corrupt_offset(ch, self_, dst, seq, attempt, framed.size())] ^= 0x20;
+  }
+  if (d.copies > 1) {
+    chaos_log_.push_back(
+        {ChaosEvent::Kind::kDuplicate, self_, dst, seq, attempt});
+    ++tc_.chaos_events;
+  }
+  if (d.delay > 0.0) {
+    chaos_log_.push_back({ChaosEvent::Kind::kDelay, self_, dst, seq, attempt});
+    ++tc_.chaos_events;
+    const Clock::time_point due = Clock::now() + clock_->to_real(d.delay);
+    for (int k = 0; k < d.copies; ++k) {
+      if (delayed_.size() >= kMaxDelayed) {
+        break;  // delayed copy lost; retransmission recovers the original
+      }
+      delayed_.push_back({due, dst, framed});
+    }
+    reliability_due_ = std::min(reliability_due_, due);
+    return;
+  }
+  for (int k = 0; k < d.copies; ++k) {
+    host_->session_write(dst, framed);
+  }
+}
+
+// ---- Reliability ------------------------------------------------------------
+
+NodeSession::Clock::duration NodeSession::jittered(Clock::duration d) {
+  const double f = 1.0 + cfg_->retx_jitter * rng_.uniform01();
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(
+          std::chrono::duration<double>(d).count() * f));
+}
+
+void NodeSession::observe_peer(ProcessId peer, std::uint64_t epoch) {
+  if (peer < 0 || idx(peer) >= cluster_ || peer == self_) {
+    return;
+  }
+  // Signs of life: whatever cooldown was pending, the peer answers now.
+  host_->session_peer_alive(peer);
+  if (epoch <= epoch_of(peer)) {
+    return;
+  }
+  peer_epoch_[peer] = epoch;
+  // Queued messages addressed to the dead incarnation must not reach the
+  // new one (it would be replaying another life's conversation); purge them
+  // and surface the loss so the protocol stack can recover (ft::reattach).
+  PeerSend& ps = peer_send_[peer];
+  std::size_t purged = 0;
+  for (auto it = ps.unacked.begin(); it != ps.unacked.end();) {
+    if (it->second.dst_epoch < epoch) {
+      it = ps.unacked.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  if (purged != 0) {
+    tc_.surfaced_losses += purged;
+    unreachable_pending_.insert(peer);
+  }
+  // Any open connection still points at the dead incarnation's socket;
+  // reset it (no cooldown) so the next transmission re-dials the new one.
+  host_->session_reset_conn(peer);
+}
+
+void NodeSession::service(Clock::time_point now) {
+  // Surface losses discovered since the last turn. Deferred to here so the
+  // upcall (which may send, e.g. reattach probes) never runs inside the
+  // scan or dispatch that found the loss.
+  if (!unreachable_pending_.empty()) {
+    std::vector<ProcessId> peers(unreachable_pending_.begin(),
+                                 unreachable_pending_.end());
+    unreachable_pending_.clear();
+    for (const ProcessId peer : peers) {
+      node_->on_peer_unreachable(peer);
+    }
+  }
+  reliability_due_ = Clock::time_point::max();
+  // Release chaos-delayed frames that have matured.
+  for (std::size_t i = 0; i < delayed_.size();) {
+    if (delayed_[i].due <= now) {
+      const ProcessId dst = delayed_[i].dst;
+      std::vector<std::uint8_t> framed = std::move(delayed_[i].framed);
+      delayed_.erase(delayed_.begin() + static_cast<std::ptrdiff_t>(i));
+      host_->session_write(dst, framed);
+    } else {
+      reliability_due_ = std::min(reliability_due_, delayed_[i].due);
+      ++i;
+    }
+  }
+  // Retransmit scan: due entries either go out again (backoff doubled) or,
+  // once the budget is spent, are surfaced.
+  for (auto& [peer, ps] : peer_send_) {
+    for (auto it = ps.unacked.begin(); it != ps.unacked.end();) {
+      Pending& p = it->second;
+      if (p.next_retx > now) {
+        reliability_due_ = std::min(reliability_due_, p.next_retx);
+        ++it;
+        continue;
+      }
+      if (p.attempts >= cfg_->retx_max_attempts) {
+        ++tc_.surfaced_losses;
+        unreachable_pending_.insert(peer);
+        it = ps.unacked.erase(it);
+        continue;
+      }
+      ++tc_.retransmits;
+      transmit(peer, it->first, p.attempts, p.body);
+      ++p.attempts;
+      p.backoff = std::min(p.backoff * 2, clock_->to_real(cfg_->retx_max_backoff));
+      p.next_retx = now + jittered(p.backoff);
+      reliability_due_ = std::min(reliability_due_, p.next_retx);
+      ++it;
+    }
+  }
+}
+
+void NodeSession::flush_acks() {
+  if (ack_pending_.empty()) {
+    return;
+  }
+  std::set<ProcessId> peers;
+  peers.swap(ack_pending_);
+  for (const ProcessId peer : peers) {
+    send_ack(peer);
+  }
+}
+
+void NodeSession::send_ack(ProcessId peer) {
+  auto prit = peer_recv_.find(peer);
+  if (prit == peer_recv_.end() || prit->second.epoch == 0) {
+    return;  // nothing delivered from this peer yet
+  }
+  const PeerRecv& pr = prit->second;
+  wire::Encoder e;
+  e.put_u8(kFrameAck);
+  e.put_varint(static_cast<std::uint64_t>(self_));
+  e.put_varint(static_cast<std::uint64_t>(peer));
+  e.put_varint(epoch_);
+  e.put_varint(pr.epoch);
+  e.put_varint(pr.cum);
+  const std::size_t k = std::min(pr.above.size(), kMaxSacks);
+  e.put_varint(k);
+  std::size_t i = 0;
+  for (const SeqNum s : pr.above) {
+    if (i == k) {
+      break;
+    }
+    e.put_varint(s);
+    ++i;
+  }
+  std::vector<std::uint8_t> framed;
+  wire::append_frame(framed, e.bytes());
+  ++tc_.acks_sent;
+  // ACKs bypass transmit(): chaos never perturbs the control plane (see
+  // rt/chaos.hpp). Loss is still possible via connection resets and is
+  // recovered by the sender's retransmit, which re-triggers the ACK.
+  host_->session_write(peer, framed);
+}
+
+// ---- Receive path -----------------------------------------------------------
+
+void NodeSession::on_payload(Conn& conn,
+                             const std::vector<std::uint8_t>& payload) {
+  wire::Decoder d(payload);
+  const std::uint8_t kind = d.get_u8();
+  if (kind == kFrameHello) {
+    for (const std::uint8_t m : kMagic) {
+      if (d.get_u8() != m) {
+        throw wire::DecodeError("live: bad HELLO magic");
+      }
+    }
+    if (d.get_varint() != kLiveProtocolVersion) {
+      throw wire::DecodeError("live: protocol version mismatch");
+    }
+    const auto peer = static_cast<ProcessId>(d.get_varint());
+    if (peer < 0 || idx(peer) >= cluster_) {
+      throw wire::DecodeError("live: HELLO from unknown peer");
+    }
+    if (d.get_varint() != cluster_) {
+      throw wire::DecodeError("live: HELLO cluster-size mismatch");
+    }
+    const std::uint64_t peer_epoch = d.get_varint();
+    conn.peer = peer;
+    conn.hello_seen = true;
+    observe_peer(peer, peer_epoch);
+    return;
+  }
+  if (!conn.hello_seen) {
+    throw wire::DecodeError("live: frame before HELLO");
+  }
+  if (kind == kFrameData) {
+    handle_data(d, payload);
+    return;
+  }
+  if (kind == kFrameAck) {
+    handle_ack(d);
+    return;
+  }
+  throw wire::DecodeError("live: unexpected frame kind");
+}
+
+void NodeSession::handle_data(wire::Decoder& d,
+                              const std::vector<std::uint8_t>& payload) {
+  transport::Message m;
+  m.src = static_cast<ProcessId>(d.get_varint());
+  m.dst = static_cast<ProcessId>(d.get_varint());
+  const std::uint64_t src_epoch = d.get_varint();
+  const std::uint64_t dst_epoch = d.get_varint();
+  const SeqNum seq = d.get_varint();
+  m.type = static_cast<int>(d.get_varint());
+  m.wire_words = static_cast<std::size_t>(d.get_varint());
+  if (m.dst != self_) {
+    throw wire::DecodeError("live: misrouted frame");
+  }
+  if (m.src < 0 || idx(m.src) >= cluster_) {
+    throw wire::DecodeError("live: DATA from unknown peer");
+  }
+  // The frame proves its sender is alive with `src_epoch`.
+  observe_peer(m.src, src_epoch);
+  if (dst_epoch != epoch_) {
+    // Addressed to a previous incarnation of this node: a stale
+    // retransmission that must not leak into the new life. No ACK — the
+    // sender purges and surfaces it when it observes the new epoch.
+    ++tc_.stale_rejected;
+    return;
+  }
+  PeerRecv& pr = peer_recv_[m.src];
+  if (src_epoch < pr.epoch) {
+    ++tc_.stale_rejected;  // late frame from a superseded sender life
+    return;
+  }
+  if (src_epoch > pr.epoch) {
+    pr = PeerRecv{};  // new sender incarnation, new seq space
+    pr.epoch = src_epoch;
+  }
+  if (seq <= pr.cum || pr.above.count(seq) != 0) {
+    ++tc_.dups_suppressed;
+    ack_pending_.insert(m.src);  // re-ack: the first ACK may have been lost
+    return;
+  }
+  if (seq == pr.cum + 1) {
+    ++pr.cum;
+    while (!pr.above.empty() && *pr.above.begin() == pr.cum + 1) {
+      ++pr.cum;
+      pr.above.erase(pr.above.begin());
+    }
+  } else {
+    pr.above.insert(seq);
+  }
+  ack_pending_.insert(m.src);
+  const std::size_t rest = d.remaining();
+  std::vector<std::uint8_t> body(payload.end() -
+                                     static_cast<std::ptrdiff_t>(rest),
+                                 payload.end());
+  m.wire_bytes = body.size();
+  m.payload = std::move(body);
+  m.sent_at = clock_->now();  // delivery stamp; the wire carries no send time
+  m.id = ++tc_.msgs_delivered;
+  node_->on_message(m);
+}
+
+void NodeSession::handle_ack(wire::Decoder& d) {
+  const auto acker = static_cast<ProcessId>(d.get_varint());
+  const auto dst = static_cast<ProcessId>(d.get_varint());
+  const std::uint64_t acker_epoch = d.get_varint();
+  const std::uint64_t acked_epoch = d.get_varint();
+  const SeqNum cum = d.get_varint();
+  const std::uint64_t nsacks = d.get_varint();
+  if (dst != self_) {
+    throw wire::DecodeError("live: misrouted ACK");
+  }
+  if (acker < 0 || idx(acker) >= cluster_) {
+    throw wire::DecodeError("live: ACK from unknown peer");
+  }
+  if (nsacks > kMaxSacks) {
+    throw wire::DecodeError("live: oversized ACK");
+  }
+  observe_peer(acker, acker_epoch);
+  PeerSend& ps = peer_send_[acker];
+  for (std::uint64_t i = 0; i < nsacks; ++i) {
+    const SeqNum s = d.get_varint();
+    if (acked_epoch == epoch_) {
+      ps.unacked.erase(s);
+    }
+  }
+  if (acked_epoch != epoch_) {
+    return;  // acknowledges a previous life's messages; nothing to release
+  }
+  ps.unacked.erase(ps.unacked.begin(), ps.unacked.upper_bound(cum));
+}
+
+// ---- Shutdown ---------------------------------------------------------------
+
+void NodeSession::shutdown() {
+  // Messages still awaiting acknowledgment die with this incarnation;
+  // account them as surfaced so no loss is ever silent. (At a clean stop
+  // after a drain these queues are empty and the counter is untouched.)
+  for (auto& [peer, ps] : peer_send_) {
+    tc_.surfaced_losses += ps.unacked.size();
+  }
+  peer_send_.clear();
+  peer_recv_.clear();
+  peer_epoch_.clear();
+  delayed_.clear();
+  ack_pending_.clear();
+  unreachable_pending_.clear();
+  reliability_due_ = Clock::time_point::max();
+}
+
+}  // namespace hpd::rt

@@ -132,6 +132,88 @@ Fd connect_to(const SockAddr& addr) {
   return fd;
 }
 
+IoResult read_some(int fd, std::uint8_t* buf, std::size_t len) {
+  for (;;) {
+    const ssize_t k = ::read(fd, buf, len);
+    if (k > 0) {
+      return {IoResult::Status::kOk, static_cast<std::size_t>(k)};
+    }
+    if (k == 0) {
+      return {IoResult::Status::kClosed, 0};
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoResult::Status::kAgain, 0};
+    }
+    return {IoResult::Status::kClosed, 0};  // ECONNRESET and friends
+  }
+}
+
+IoResult write_some(int fd, const std::uint8_t* buf, std::size_t len) {
+  for (;;) {
+    const ssize_t k = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (k > 0) {
+      return {IoResult::Status::kOk, static_cast<std::size_t>(k)};
+    }
+    if (k < 0 && errno == EINTR) {
+      continue;
+    }
+    if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return {IoResult::Status::kAgain, 0};
+    }
+    return {IoResult::Status::kClosed, 0};  // EPIPE / ECONNRESET / ...
+  }
+}
+
+ConnectStart connect_start(const SockAddr& addr) {
+  const int domain = addr.kind == SockAddr::Kind::kTcp ? AF_INET : AF_UNIX;
+  Fd fd(::socket(domain, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    fail("socket");
+  }
+  // Nonblocking *before* connect, so the dial itself can never park the
+  // calling event loop.
+  set_nonblocking(fd.get());
+  int rc;
+  if (addr.kind == SockAddr::Kind::kTcp) {
+    sockaddr_in sa = make_tcp_addr(addr.port);
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    do {
+      rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+    } while (rc < 0 && errno == EINTR);
+  } else {
+    sockaddr_un sa = make_unix_addr(addr.path);
+    do {
+      rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+    } while (rc < 0 && errno == EINTR);
+  }
+  ConnectStart out;
+  if (rc == 0) {
+    out.status = ConnectStart::Status::kConnected;
+    out.fd = std::move(fd);
+  } else if (errno == EINPROGRESS) {
+    out.status = ConnectStart::Status::kPending;
+    out.fd = std::move(fd);
+  } else {
+    // Refused, no listener, or (Unix) a momentarily full accept backlog:
+    // the caller's cooldown + retransmit path recovers.
+    out.status = ConnectStart::Status::kFailed;
+  }
+  return out;
+}
+
+bool connect_finish(const Fd& fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+    return false;
+  }
+  return err == 0;
+}
+
 std::string make_socket_dir() {
   // Single-threaded startup path: LiveTransport reads TMPDIR once in its
   // constructor, before any loop thread exists.

@@ -71,6 +71,47 @@ Fd connect_to(const SockAddr& addr);
 
 void set_nonblocking(int fd);
 
+// ---- Nonblocking-aware I/O helpers ------------------------------------------
+// EINTR is retried internally; EAGAIN/EWOULDBLOCK surfaces as kAgain so an
+// event loop can park the fd until the next readiness edge. All transient
+// conditions are folded into the three outcomes a state machine actually
+// branches on.
+
+struct IoResult {
+  enum class Status {
+    kOk,      ///< `n` bytes transferred (n >= 1)
+    kAgain,   ///< would block; retry on the next readiness edge
+    kClosed,  ///< orderly EOF (read) or broken pipe / reset (write)
+  };
+  Status status = Status::kAgain;
+  std::size_t n = 0;
+};
+
+/// One nonblocking read of at most `len` bytes.
+IoResult read_some(int fd, std::uint8_t* buf, std::size_t len);
+
+/// One nonblocking send (MSG_NOSIGNAL) of at most `len` bytes. A short
+/// write returns kOk with the partial count — the caller resumes from
+/// `n` (see Conn::flush for the canonical partial-write-resume loop).
+IoResult write_some(int fd, const std::uint8_t* buf, std::size_t len);
+
+/// Begin a nonblocking connect. kPending means the socket is mid-handshake:
+/// wait for write readiness, then call connect_finish.
+struct ConnectStart {
+  enum class Status {
+    kConnected,  ///< established immediately (typical for Unix sockets)
+    kPending,    ///< in progress; finish on the next writable edge
+    kFailed,     ///< refused / no listener
+  };
+  Status status = Status::kFailed;
+  Fd fd;
+};
+ConnectStart connect_start(const SockAddr& addr);
+
+/// Resolve a kPending connect once the fd reported writable: true if the
+/// connection is established, false if it failed (SO_ERROR set).
+bool connect_finish(const Fd& fd);
+
 /// Create a private directory for unix socket paths (mkdtemp under
 /// $TMPDIR). Returns the path; the caller removes it at shutdown.
 std::string make_socket_dir();

@@ -1,0 +1,10 @@
+// Fixture: blocking calls inside the reactor event-loop directory. A
+// worker thread hosts many nodes; anything that blocks outside epoll_wait
+// stalls all of them (reactor-nonblocking).
+namespace hpd::rt {
+void worker_turn(int fd) {
+  usleep(1000);
+  ::poll(nullptr, 0, 50);
+  ::recv(fd, nullptr, 0, 0);
+}
+}  // namespace hpd::rt

@@ -1,0 +1,21 @@
+#pragma once
+// Fixture: a reactor file the reactor-nonblocking rule must NOT flag.
+// Banned tokens in prose are fine: usleep( and ::poll( and ::recv( here
+// are commentary, not calls. epoll_wait is the sanctioned block point.
+namespace hpd::rt {
+
+struct FakeClock {
+  void sleep_until(long t);  // member named like the banned sleep family
+};
+
+inline void driver_pace(FakeClock& c, long t) {
+  // Member calls are exempt: this is driver-side pacing, not a worker
+  // blocking primitive.
+  c.sleep_until(t);
+}
+
+inline const char* help_text() {
+  return "never call ::select( or nanosleep( in a worker";
+}
+
+}  // namespace hpd::rt

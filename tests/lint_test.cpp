@@ -78,6 +78,18 @@ TEST(LintTest, BadTreeFiresEveryRule) {
   EXPECT_NE(r.out.find("src/vc/hot_map.cpp:8: hot-path-containers"),
             std::string::npos)
       << r.out;
+  EXPECT_NE(
+      r.out.find("src/rt/reactor/blocking_call.cpp:6: reactor-nonblocking"),
+      std::string::npos)
+      << r.out;
+  EXPECT_NE(
+      r.out.find("src/rt/reactor/blocking_call.cpp:7: reactor-nonblocking"),
+      std::string::npos)
+      << r.out;
+  EXPECT_NE(
+      r.out.find("src/rt/reactor/blocking_call.cpp:8: reactor-nonblocking"),
+      std::string::npos)
+      << r.out;
 }
 
 TEST(LintTest, CleanFixtureHasNoFindings) {
@@ -102,6 +114,7 @@ TEST(LintTest, AllowlistSuppressesListedRulesOnly) {
   EXPECT_EQ(r.out.find("pragma-once"), std::string::npos) << r.out;
   EXPECT_EQ(r.out.find("using-namespace"), std::string::npos) << r.out;
   EXPECT_EQ(r.out.find("hot-path-containers"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("reactor-nonblocking"), std::string::npos) << r.out;
 }
 
 TEST(LintTest, RealTreeIsClean) {

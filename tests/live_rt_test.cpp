@@ -159,7 +159,7 @@ TEST(LiveRuntime, CentralizedBaselineMatchesSim) {
 // repair to settle so the surviving-subtree coverage oracle (Section III-F)
 // applies. Heartbeat timing is relaxed relative to the simulator defaults —
 // real scheduler jitter must stay well inside the suspicion timeout.
-TEST(LiveRuntime, CrashReattachSoak16Nodes) {
+void crash_reattach_soak_16(rt::LiveBackendKind backend) {
   mc::McCase c;
   c.topology = "grid:4x4";
   c.workload = mc::WorkloadKind::kPulse;
@@ -175,6 +175,7 @@ TEST(LiveRuntime, CrashReattachSoak16Nodes) {
   cfg.hb_config.timeout_multiplier = 4.0;
 
   rt::LiveConfig lc;
+  lc.backend = backend;
   lc.time_scale = 0.01;  // 10 ms per unit: heartbeat timeout = 200 ms real
   rt::LiveResult res = rt::run_live_experiment(cfg, lc);
 
@@ -200,6 +201,50 @@ TEST(LiveRuntime, CrashReattachSoak16Nodes) {
   for (const bool a : res.result.final_alive) {
     EXPECT_TRUE(a);  // the crashed node revived and survived to the end
   }
+  if (backend == rt::LiveBackendKind::kReactor) {
+    EXPECT_GT(res.reactor.workers, 0u);
+    EXPECT_GT(res.reactor.wakeups, 0u);
+    EXPECT_GT(res.reactor.timer_fires, 0u);
+  } else {
+    EXPECT_EQ(res.reactor.workers, 0u);  // thread backend reports no reactor
+  }
+}
+
+TEST(LiveRuntime, CrashReattachSoak16Nodes) {
+  crash_reattach_soak_16(rt::LiveBackendKind::kThreads);
+}
+
+// The same soak hosted by the epoll reactor: identical protocol stack,
+// different scheduler — crash teardown, revive rebinding, reattachment and
+// the coverage oracle must all hold on the worker-pool execution engine.
+TEST(LiveRuntime, CrashReattachSoak16NodesReactor) {
+  crash_reattach_soak_16(rt::LiveBackendKind::kReactor);
+}
+
+// A quick many-nodes-per-worker sanity run: 64 nodes multiplexed onto at
+// most 2 workers exercises fd-map sharding and wheel re-arming under real
+// contention (the scale smoke in CI pushes this to thousands of nodes).
+TEST(LiveRuntime, ReactorShardsManyNodesPerWorker) {
+  mc::McCase c;
+  c.topology = "dary:3:3";  // 40 nodes
+  c.workload = mc::WorkloadKind::kPulse;
+  c.pulse_rounds = 4;
+  c.pulse_period = 30.0;
+  c.seed = 9;
+
+  runner::ExperimentConfig cfg = mc::build_case(c);
+  rt::LiveConfig lc;
+  lc.backend = rt::LiveBackendKind::kReactor;
+  lc.reactor_workers = 2;
+  lc.time_scale = 0.01;
+  rt::LiveResult res = rt::run_live_experiment(cfg, lc);
+
+  const auto violations = mc::check_oracles(c, cfg, res.result);
+  EXPECT_TRUE(violations.empty()) << join(violations);
+  EXPECT_EQ(res.reactor.workers, 2u);
+  EXPECT_EQ(res.frame_errors, 0u);
+  EXPECT_EQ(res.transport.surfaced_losses, 0u);
+  EXPECT_EQ(res.transport.msgs_delivered, res.transport.reliable_sent);
 }
 
 }  // namespace

@@ -1,0 +1,146 @@
+// Unit tests for the reactor's hierarchical timer wheel: insert/cancel
+// semantics, (due, id) fire ordering across wheel laps, next_due coarseness
+// guarantees, and the coarse overflow bucket past the 64^4-tick horizon.
+#include "rt/reactor/timer_wheel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace hpd::rt {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = TimerWheel::Clock;
+
+Clock::time_point t0() {
+  // Any fixed instant works: the wheel is rebased by reset().
+  return Clock::time_point{} + 1000000s;
+}
+
+TEST(TimerWheel, FiresInDueOrderAcrossLaps) {
+  TimerWheel w;
+  w.reset(t0(), 1ms);
+
+  // Insert out of order; two share a due instant (id breaks the tie) and
+  // one lands a full level-0 revolution (64 ticks) later, exercising the
+  // same-slot-later-lap re-place path.
+  const auto id50 = w.schedule(t0() + 5ms, 50);
+  const auto id30 = w.schedule(t0() + 3ms, 30);
+  const auto id31 = w.schedule(t0() + 3ms, 31);
+  w.schedule(t0() + 67ms, 670);
+  w.schedule(t0() + 10ms, 100);
+  EXPECT_LT(id30, id31);  // insertion order fixes the tie-break
+  EXPECT_NE(id50, id30);
+  EXPECT_EQ(w.pending(), 5u);
+
+  std::vector<std::uint64_t> fired;
+  w.advance(t0() + 4ms, fired);
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{30, 31}));
+  EXPECT_EQ(w.pending(), 3u);
+
+  fired.clear();
+  w.advance(t0() + 70ms, fired);
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{50, 100, 670}));
+  EXPECT_EQ(w.pending(), 0u);
+  EXPECT_EQ(w.next_due(), Clock::time_point::max());
+}
+
+TEST(TimerWheel, AlreadyDueClampsToNextTick) {
+  TimerWheel w;
+  w.reset(t0(), 1ms);
+
+  // A due instant in the past cannot be lost: it lands in the very next
+  // tick the wheel processes.
+  w.schedule(t0() - 5ms, 1);
+  std::vector<std::uint64_t> fired;
+  w.advance(t0() + 1ms, fired);
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{1}));
+}
+
+TEST(TimerWheel, CancelPreventsFireAndIsIdempotent) {
+  TimerWheel w;
+  w.reset(t0(), 1ms);
+
+  const auto a = w.schedule(t0() + 2ms, 10);
+  const auto b = w.schedule(t0() + 2ms, 20);
+  EXPECT_TRUE(w.cancel(a));
+  EXPECT_FALSE(w.cancel(a));  // already cancelled
+  EXPECT_EQ(w.pending(), 1u);
+
+  std::vector<std::uint64_t> fired;
+  w.advance(t0() + 5ms, fired);
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{20}));
+  EXPECT_FALSE(w.cancel(b));  // already fired
+}
+
+TEST(TimerWheel, RescheduleAfterFire) {
+  TimerWheel w;
+  w.reset(t0(), 1ms);
+
+  std::vector<std::uint64_t> fired;
+  w.schedule(t0() + 1ms, 7);
+  w.advance(t0() + 2ms, fired);
+  w.schedule(t0() + 4ms, 7);  // re-arm the same payload
+  w.advance(t0() + 6ms, fired);
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{7, 7}));
+}
+
+TEST(TimerWheel, NextDueExactWithinRevolutionCoarseBeyond) {
+  TimerWheel w;
+  w.reset(t0(), 1ms);
+
+  // Within the level-0 revolution next_due is exact.
+  const auto near = w.schedule(t0() + 10ms, 1);
+  EXPECT_EQ(w.next_due(), t0() + 10ms);
+  ASSERT_TRUE(w.cancel(near));
+
+  // Beyond it, next_due is the next 64-tick cascade boundary: possibly
+  // early (so the loop wakes, cascades, and re-evaluates) but never late.
+  w.schedule(t0() + 1000ms, 2);
+  const auto due = w.next_due();
+  EXPECT_GT(due, t0());
+  EXPECT_LE(due, t0() + 1000ms);
+  EXPECT_EQ(due, t0() + 64ms);  // first boundary from tick 0
+}
+
+TEST(TimerWheel, CoarseBucketOverflowFiresAfterResow) {
+  TimerWheel w;
+  // Microsecond ticks keep the wall-clock spans tiny; only tick *counts*
+  // matter to the wheel.
+  w.reset(t0(), 1us);
+
+  // `a` is past the 64^4-tick horizon: it parks in the overflow bucket and
+  // is re-sown into the wheel when the top level wraps. `b` is past even
+  // the first wrap and must survive the re-sow still pending.
+  constexpr std::uint64_t kH = TimerWheel::kHorizon;
+  w.schedule(t0() + std::chrono::microseconds(kH + 32), 11);
+  const auto b = w.schedule(t0() + std::chrono::microseconds(2 * kH + 5), 22);
+  EXPECT_EQ(w.pending(), 2u);
+  // Nothing in the level-0 revolution: the estimate is the coarse boundary.
+  EXPECT_EQ(w.next_due(), t0() + 64us);
+
+  std::vector<std::uint64_t> fired;
+  w.advance(t0() + std::chrono::microseconds(kH + 40), fired);
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{11}));
+  EXPECT_EQ(w.pending(), 1u);
+  EXPECT_TRUE(w.cancel(b));
+}
+
+TEST(TimerWheel, ResetDropsPending) {
+  TimerWheel w;
+  w.reset(t0(), 1ms);
+  w.schedule(t0() + 1ms, 1);
+  w.schedule(t0() + 2ms, 2);
+  w.reset(t0() + 10ms, 1ms);
+  EXPECT_EQ(w.pending(), 0u);
+
+  std::vector<std::uint64_t> fired;
+  w.advance(t0() + 100ms, fired);
+  EXPECT_TRUE(fired.empty());
+}
+
+}  // namespace
+}  // namespace hpd::rt

@@ -19,8 +19,8 @@
 
 #include "common/rng.hpp"
 #include "metrics/counters.hpp"
+#include "rt/backend.hpp"
 #include "rt/chaos.hpp"
-#include "rt/live_transport.hpp"
 #include "sim/delay.hpp"
 #include "sim/network.hpp"
 #include "sim/scheduler.hpp"
@@ -122,11 +122,12 @@ class LiveHarness final : public Harness {
  public:
   LiveHarness(std::vector<ScriptNode>& nodes,
               std::function<bool(ProcessId, ProcessId)> link_ok,
-              rt::SockAddr::Kind kind) {
+              rt::SockAddr::Kind kind, rt::LiveBackendKind backend) {
     rt::LiveConfig cfg;
+    cfg.backend = backend;
     cfg.socket_kind = kind;
     cfg.time_scale = 0.005;  // 5 ms per protocol time unit: jitter-robust
-    net_ = std::make_unique<rt::LiveTransport>(nodes.size(), cfg);
+    net_ = rt::make_live_backend(nodes.size(), cfg);
     if (link_ok) {
       net_->set_link_filter(std::move(link_ok));
     }
@@ -147,10 +148,10 @@ class LiveHarness final : public Harness {
   void stop() override { net_->stop(); }
 
  private:
-  std::unique_ptr<rt::LiveTransport> net_;
+  std::unique_ptr<rt::LiveBackend> net_;
 };
 
-enum class Backend { kSim, kLiveUnix, kLiveTcp };
+enum class Backend { kSim, kLiveUnix, kLiveTcp, kReactorUnix, kReactorTcp };
 
 class TransportConformance : public ::testing::TestWithParam<Backend> {
  protected:
@@ -162,10 +163,20 @@ class TransportConformance : public ::testing::TestWithParam<Backend> {
         return std::make_unique<SimHarness>(nodes, std::move(link_ok));
       case Backend::kLiveUnix:
         return std::make_unique<LiveHarness>(nodes, std::move(link_ok),
-                                             rt::SockAddr::Kind::kUnix);
+                                             rt::SockAddr::Kind::kUnix,
+                                             rt::LiveBackendKind::kThreads);
       case Backend::kLiveTcp:
         return std::make_unique<LiveHarness>(nodes, std::move(link_ok),
-                                             rt::SockAddr::Kind::kTcp);
+                                             rt::SockAddr::Kind::kTcp,
+                                             rt::LiveBackendKind::kThreads);
+      case Backend::kReactorUnix:
+        return std::make_unique<LiveHarness>(nodes, std::move(link_ok),
+                                             rt::SockAddr::Kind::kUnix,
+                                             rt::LiveBackendKind::kReactor);
+      case Backend::kReactorTcp:
+        return std::make_unique<LiveHarness>(nodes, std::move(link_ok),
+                                             rt::SockAddr::Kind::kTcp,
+                                             rt::LiveBackendKind::kReactor);
     }
     return nullptr;
   }
@@ -343,12 +354,16 @@ TEST_P(TransportConformance, CrashStopsDeliveryAndAliveReflectsIt) {
   EXPECT_TRUE(h->endpoint(0).alive(1));
   h->crash(1);
   EXPECT_FALSE(h->endpoint(0).alive(1));
+  // crash() is synchronous in every backend (scheduler purge / thread join /
+  // worker op future), so the victim's delivery log is stable from here on:
+  // "nothing delivered after death" is exact, not a timing-slack bound.
+  const std::size_t at_crash = nodes[1].received.size();
+  EXPECT_GE(at_crash, 5u);
   // The sender must keep running against a dead peer without deadlock.
   h->run_for(20.0);
   h->stop();
-  EXPECT_GE(nodes[1].received.size(), 5u);
-  EXPECT_LE(nodes[1].received.size(), 40u);  // nothing delivered after death
-  EXPECT_GE(nodes[0].timer_fires[1], 15);    // sender stayed live throughout
+  EXPECT_EQ(nodes[1].received.size(), at_crash);
+  EXPECT_GE(nodes[0].timer_fires[1], 15);  // sender stayed live throughout
 }
 
 // Chaos injection must be a pure function of (seed, src, dst, seq, attempt):
@@ -359,7 +374,7 @@ TEST_P(TransportConformance, CrashStopsDeliveryAndAliveReflectsIt) {
 // runs (each attempt is its own deterministic decision, but *how many*
 // attempts happen depends on timing).
 TEST(TransportChaosDeterminism, SameSeedSameEventLog) {
-  auto run_once = [] {
+  auto run_once = [](rt::LiveBackendKind backend) {
     constexpr std::size_t kN = 3;
     std::vector<ScriptNode> nodes(kN);
     for (auto& node : nodes) {
@@ -375,6 +390,7 @@ TEST(TransportChaosDeterminism, SameSeedSameEventLog) {
       };
     }
     rt::LiveConfig cfg;
+    cfg.backend = backend;
     cfg.time_scale = 0.005;
     cfg.retx_initial = 1.0e5;  // no retransmissions inside the test window
     cfg.chaos.drop_p = 0.25;
@@ -383,36 +399,50 @@ TEST(TransportChaosDeterminism, SameSeedSameEventLog) {
     cfg.chaos.reset_p = 0.05;
     cfg.chaos.delay_p = 0.10;
     cfg.chaos.seed = 42;
-    rt::LiveTransport net(kN, cfg);
+    std::unique_ptr<rt::LiveBackend> net = rt::make_live_backend(kN, cfg);
     for (std::size_t i = 0; i < kN; ++i) {
       const auto id = static_cast<ProcessId>(i);
       nodes[i].self = id;
-      nodes[i].net = &net.endpoint(id);
-      net.register_node(id, nodes[i]);
+      nodes[i].net = &net->endpoint(id);
+      net->register_node(id, nodes[i]);
     }
-    net.start();
-    net.sleep_until(net.now() + 20.0);
-    net.stop();
-    return net.chaos_events();
+    net->start();
+    net->sleep_until(net->now() + 20.0);
+    net->stop();
+    return net->chaos_events();
   };
 
-  const std::vector<rt::ChaosEvent> a = run_once();
-  const std::vector<rt::ChaosEvent> b = run_once();
+  // Determinism across runs — and across *backends*: the chaos plan is a
+  // pure function of (seed, src, dst, seq, attempt), so the epoll reactor
+  // must produce the byte-identical event log the thread backend does.
+  const std::vector<rt::ChaosEvent> a =
+      run_once(rt::LiveBackendKind::kThreads);
+  const std::vector<rt::ChaosEvent> b =
+      run_once(rt::LiveBackendKind::kThreads);
+  const std::vector<rt::ChaosEvent> c =
+      run_once(rt::LiveBackendKind::kReactor);
   EXPECT_FALSE(a.empty());
-  ASSERT_EQ(a.size(), b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_TRUE(a[i] == b[i])
-        << "diverged at event " << i << ": " << rt::to_string(a[i].kind)
-        << " src=" << a[i].src << " dst=" << a[i].dst << " seq=" << a[i].seq
-        << " attempt=" << a[i].attempt << " vs " << rt::to_string(b[i].kind)
-        << " src=" << b[i].src << " dst=" << b[i].dst << " seq=" << b[i].seq
-        << " attempt=" << b[i].attempt;
-  }
+  auto expect_same = [&](const std::vector<rt::ChaosEvent>& x,
+                         const char* label) {
+    ASSERT_EQ(a.size(), x.size()) << label;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(a[i] == x[i])
+          << label << " diverged at event " << i << ": "
+          << rt::to_string(a[i].kind) << " src=" << a[i].src
+          << " dst=" << a[i].dst << " seq=" << a[i].seq
+          << " attempt=" << a[i].attempt << " vs " << rt::to_string(x[i].kind)
+          << " src=" << x[i].src << " dst=" << x[i].dst << " seq=" << x[i].seq
+          << " attempt=" << x[i].attempt;
+    }
+  };
+  expect_same(b, "threads-vs-threads");
+  expect_same(c, "threads-vs-reactor");
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, TransportConformance,
-    ::testing::Values(Backend::kSim, Backend::kLiveUnix, Backend::kLiveTcp),
+    ::testing::Values(Backend::kSim, Backend::kLiveUnix, Backend::kLiveTcp,
+                      Backend::kReactorUnix, Backend::kReactorTcp),
     // Named `pinfo`, not `info`: the INSTANTIATE_ macro itself declares an
     // `info` parameter the lambda would shadow (-Wshadow).
     [](const ::testing::TestParamInfo<Backend>& pinfo) -> std::string {
@@ -423,6 +453,10 @@ INSTANTIATE_TEST_SUITE_P(
           return "LiveUnix";
         case Backend::kLiveTcp:
           return "LiveTcp";
+        case Backend::kReactorUnix:
+          return "ReactorUnix";
+        case Backend::kReactorTcp:
+          return "ReactorTcp";
       }
       return "Unknown";
     });

@@ -9,6 +9,7 @@
 //   wire-endianness   host<->network byte-order calls only in wire/
 //   raw-concurrency   no naked std primitives outside the annotated wrappers
 //   hot-path-containers  no std::map/set/deque in vc/, interval/, detect/
+//   reactor-nonblocking  no blocking calls inside src/rt/reactor/
 //   todo-issue        TODO must carry an issue reference; FIXME is banned
 //   pragma-once       every header starts its life with #pragma once
 //   using-namespace   no `using namespace std`
@@ -172,6 +173,32 @@ constexpr TokenRule kHotPathContainerTokens[] = {
                        "slot bitmap (see queue_engine.hpp)"},
     {"std::deque<", "segmented container in a hot-path module; use a ring "
                     "buffer (see queue_engine.hpp)"},
+};
+
+// A reactor worker hosts hundreds of nodes on one thread; its only
+// sanctioned block point is epoll_wait with a computed timeout. Any other
+// blocking call stalls every node the worker owns, so the raw blocking
+// syscalls and sleeps are banned under src/rt/reactor/ — the nonblocking
+// helpers in rt/socket (read_some / write_some / accept_conn /
+// connect_start) are the sanctioned spellings. ScaledClock::sleep_until is
+// driver-side pacing, never called from a worker, and member calls are
+// exempt from the token match anyway.
+constexpr TokenRule kReactorBlockingTokens[] = {
+    {"std::this_thread::sleep_for",
+     "sleep stalls every node on this worker; schedule a timer-wheel entry"},
+    {"std::this_thread::sleep_until",
+     "sleep stalls every node on this worker; schedule a timer-wheel entry"},
+    {"usleep(", "sleep stalls every node on this worker"},
+    {"nanosleep(", "sleep stalls every node on this worker"},
+    {"::sleep(", "sleep stalls every node on this worker"},
+    {"::poll(", "blocking multiplex; epoll_wait is the only block point"},
+    {"::ppoll(", "blocking multiplex; epoll_wait is the only block point"},
+    {"::select(", "blocking multiplex; epoll_wait is the only block point"},
+    {"::pselect(", "blocking multiplex; epoll_wait is the only block point"},
+    {"::connect(", "blocking connect; use rt::connect_start/connect_finish"},
+    {"::accept(", "use rt::accept_conn (nonblocking)"},
+    {"::send(", "use rt::write_some (nonblocking, EINTR/EAGAIN-safe)"},
+    {"::recv(", "use rt::read_some (nonblocking, EINTR/EAGAIN-safe)"},
 };
 
 // ---- Lexical helpers --------------------------------------------------------
@@ -432,6 +459,17 @@ void check_file(const fs::path& abs, const std::string& rel, FileReport& r) {
       for (const TokenRule& t : kHotPathContainerTokens) {
         if (has_token(cl, t.token)) {
           add(r, rel, ln, "hot-path-containers",
+              std::string(t.token) + ": " + t.message);
+        }
+      }
+    }
+
+    // reactor-nonblocking: the event-loop directory must stay free of
+    // blocking syscalls and sleeps (epoll_wait is the one block point).
+    if (rel.rfind("src/rt/reactor/", 0) == 0) {
+      for (const TokenRule& t : kReactorBlockingTokens) {
+        if (has_token(cl, t.token)) {
+          add(r, rel, ln, "reactor-nonblocking",
               std::string(t.token) + ": " + t.message);
         }
       }

@@ -65,6 +65,11 @@ namespace {
                       iff they hold. Topology must be dary:D:H or grid:RxC,
                       workload pulse or gossip, detector hier.
   --live-transport K  unix | tcp  (default unix; loopback either way)
+  --live-backend K    threads | reactor (default threads). threads runs one
+                      OS thread per node; reactor multiplexes all nodes onto
+                      a small epoll worker pool and scales --live to
+                      thousands of nodes.
+  --reactor-workers N reactor worker threads (default 0 = auto)
   --live-scale S      real seconds per protocol time unit (default 0.01)
   --chaos SPEC        frame-level fault injection on the live transport
                       (requires --live): drop=P,dup=P,corrupt=P,reset=P,
@@ -138,6 +143,8 @@ struct Options {
   bool json = false;
   bool live = false;
   bool live_tcp = false;
+  bool live_reactor = false;
+  int reactor_workers = 0;
   double live_scale = 0.01;
   std::string chaos;
   std::uint64_t seed = 1;
@@ -323,6 +330,23 @@ Options parse(int argc, char** argv) {
         std::cerr << "--live-transport must be unix|tcp\n";
         std::exit(2);
       }
+    } else if (arg == "--live-backend") {
+      const std::string v = value();
+      if (v == "threads") {
+        opt.live_reactor = false;
+      } else if (v == "reactor") {
+        opt.live_reactor = true;
+      } else {
+        std::cerr << "--live-backend must be threads|reactor\n";
+        std::exit(2);
+      }
+    } else if (arg == "--reactor-workers") {
+      opt.reactor_workers =
+          static_cast<int>(num_arg(value(), "reactor-workers"));
+      if (opt.reactor_workers < 0) {
+        std::cerr << "--reactor-workers needs a value >= 0\n";
+        std::exit(2);
+      }
     } else if (arg == "--live-scale") {
       opt.live_scale = num_arg(value(), "live-scale");
       if (opt.live_scale <= 0.0) {
@@ -427,6 +451,7 @@ std::string json_num(double v) {
 /// plus the offline-oracle verdict on the merged detection stream.
 struct LiveInfo {
   const char* transport = "unix";
+  const char* backend = "threads";
   double scale = 0.0;
   const rt::LiveResult* res = nullptr;
   const std::vector<std::string>* violations = nullptr;
@@ -471,6 +496,7 @@ void report_json(std::ostream& os, const Options& opt,
   if (live != nullptr) {
     const TransportCounters& tc = live->res->transport;
     os << ",\n  \"live\": {\"transport\": \"" << live->transport
+       << "\", \"backend\": \"" << live->backend
        << "\", \"scale\": " << json_num(live->scale)
        << ", \"delivered_messages\": " << live->res->delivered_messages
        << ", \"frame_errors\": " << live->res->frame_errors
@@ -484,6 +510,16 @@ void report_json(std::ostream& os, const Options& opt,
        << ", \"conn_resets\": " << tc.conn_resets
        << ", \"acks_sent\": " << tc.acks_sent
        << ", \"chaos_events\": " << tc.chaos_events << "}";
+    const ReactorCounters& rc = live->res->reactor;
+    if (rc.workers != 0) {
+      os << ", \"reactor\": {\"workers\": " << rc.workers
+         << ", \"wakeups\": " << rc.wakeups
+         << ", \"ready_events\": " << rc.ready_events
+         << ", \"timer_fires\": " << rc.timer_fires
+         << ", \"timers_scheduled\": " << rc.timers_scheduled
+         << ", \"max_outbound_backlog\": " << rc.max_outbound_backlog
+         << ", \"max_loop_micros\": " << rc.max_loop_micros << "}";
+    }
     auto put_events = [&](const char* key,
                           const std::vector<rt::LifeEvent>& evs) {
       os << ", \"" << key << "\": [";
@@ -574,10 +610,20 @@ void report_text(std::ostream& os, const Options& opt,
   if (live != nullptr) {
     const TransportCounters& tc = live->res->transport;
     os << "\nlive transport: " << live->transport
+       << " backend=" << live->backend
        << " scale=" << live->scale
        << " delivered=" << live->res->delivered_messages
        << " frame-errors=" << live->res->frame_errors
        << " connections=" << live->res->connections_accepted << "\n";
+    const ReactorCounters& rc = live->res->reactor;
+    if (rc.workers != 0) {
+      os << "reactor: workers=" << rc.workers << " wakeups=" << rc.wakeups
+         << " ready-events=" << rc.ready_events
+         << " timer-fires=" << rc.timer_fires
+         << " timers-scheduled=" << rc.timers_scheduled
+         << " max-backlog=" << rc.max_outbound_backlog
+         << " max-loop-us=" << rc.max_loop_micros << "\n";
+    }
     os << "reliability: sent=" << tc.reliable_sent
        << " delivered=" << tc.msgs_delivered
        << " retransmits=" << tc.retransmits
@@ -736,6 +782,9 @@ int run_live(const Options& opt) {
   }
 
   rt::LiveConfig lc;
+  lc.backend = opt.live_reactor ? rt::LiveBackendKind::kReactor
+                                : rt::LiveBackendKind::kThreads;
+  lc.reactor_workers = opt.reactor_workers;
   lc.socket_kind = opt.live_tcp ? rt::SockAddr::Kind::kTcp
                                 : rt::SockAddr::Kind::kUnix;
   lc.time_scale = opt.live_scale;
@@ -769,6 +818,7 @@ int run_live(const Options& opt) {
 
   LiveInfo info;
   info.transport = opt.live_tcp ? "tcp" : "unix";
+  info.backend = opt.live_reactor ? "reactor" : "threads";
   info.scale = opt.live_scale;
   info.res = &live;
   info.violations = &violations;
