@@ -1,0 +1,132 @@
+#include "analysis/callgraph.hpp"
+
+#include <ostream>
+
+namespace hpd::analysis {
+
+namespace {
+
+std::vector<std::string> split_qname(const std::string& s) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t p = s.find("::", start);
+    if (p == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, p - start));
+    start = p + 2;
+  }
+}
+
+}  // namespace
+
+bool qname_suffix_match(const std::string& qname, const std::string& suffix) {
+  const std::vector<std::string> q = split_qname(qname);
+  const std::vector<std::string> s = split_qname(suffix);
+  if (s.empty() || s.size() > q.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (q[q.size() - s.size() + i] != s[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CallGraph build_callgraph(const SourceIndex& index) {
+  CallGraph g;
+  g.targets.resize(index.functions.size());
+  for (std::size_t f = 0; f < index.functions.size(); ++f) {
+    const FunctionDef& fn = index.functions[f];
+    g.targets[f].resize(fn.events.size());
+    for (std::size_t e = 0; e < fn.events.size(); ++e) {
+      const BodyEvent& ev = fn.events[e];
+      if (ev.kind != BodyEvent::Kind::kCall) {
+        continue;
+      }
+      if (ev.name.rfind("::", 0) == 0) {
+        continue;  // rooted (`::poll`) — external by construction
+      }
+      const std::size_t last_sep = ev.name.rfind("::");
+      const std::string last =
+          last_sep == std::string::npos ? ev.name : ev.name.substr(last_sep + 2);
+      const auto it = index.by_name.find(last);
+      if (it == index.by_name.end()) {
+        continue;
+      }
+      // Typed receiver: a member call on a declared field of the enclosing
+      // class resolves through the field's type. Three outcomes:
+      //   * type is not ours (std::deque, ...): external, no candidates —
+      //     `items_.size()` must not bind to every `size` in the tree;
+      //   * our type defines the method: precisely those definitions;
+      //   * our type defines no body (pure-virtual interface like
+      //     SessionHost): fall through to name-based resolution so the
+      //     call fans out to every override — virtual dispatch stays
+      //     over-approximated.
+      bool typed_handled = false;
+      if (ev.member && !ev.receiver.empty() && !fn.enclosing_class.empty()) {
+        const auto cit = index.fields.find(fn.enclosing_class);
+        if (cit != index.fields.end()) {
+          const auto fit = cit->second.find(ev.receiver);
+          if (fit != cit->second.end()) {
+            const std::string& type = fit->second;
+            if (index.classes.count(type) == 0) {
+              typed_handled = true;  // foreign type: external
+            } else {
+              for (const std::size_t cand : it->second) {
+                if (qname_suffix_match(index.functions[cand].qname,
+                                       type + "::" + last)) {
+                  g.targets[f][e].push_back(cand);
+                }
+              }
+              typed_handled = !g.targets[f][e].empty();
+            }
+          }
+        }
+      }
+      if (typed_handled) {
+        continue;
+      }
+      for (const std::size_t cand : it->second) {
+        if (last_sep == std::string::npos ||
+            qname_suffix_match(index.functions[cand].qname, ev.name)) {
+          g.targets[f][e].push_back(cand);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+void dump_callgraph(const SourceIndex& index, const CallGraph& graph,
+                    std::ostream& os) {
+  for (std::size_t f = 0; f < index.functions.size(); ++f) {
+    const FunctionDef& fn = index.functions[f];
+    os << "fn " << fn.qname << " " << fn.file << ":" << fn.line << "\n";
+    for (std::size_t e = 0; e < fn.events.size(); ++e) {
+      const BodyEvent& ev = fn.events[e];
+      if (ev.kind == BodyEvent::Kind::kLock) {
+        os << "  lock " << ev.line << " " << ev.name << "\n";
+        continue;
+      }
+      os << "  call " << ev.line << " " << ev.name;
+      if (ev.discarded) {
+        os << " [discarded]";
+      }
+      if (graph.targets[f][e].empty()) {
+        os << " -> <external>";
+      } else {
+        os << " ->";
+        for (const std::size_t t : graph.targets[f][e]) {
+          os << " " << index.functions[t].qname;
+        }
+      }
+      os << "\n";
+    }
+  }
+}
+
+}  // namespace hpd::analysis

@@ -1,0 +1,41 @@
+// Project-wide call graph over a SourceIndex.
+//
+// Resolution is name-based and over-approximating: an unqualified call
+// `flush(...)` resolves to every indexed function named `flush`; a
+// qualified call `wire::decode(...)` resolves to every function whose
+// qualified name ends in `wire::decode`; a rooted call `::poll(...)`
+// never resolves (it is external by construction). Virtual dispatch
+// therefore resolves to every same-named override — exactly the
+// over-approximation the reachability checks want.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/source_index.hpp"
+
+namespace hpd::analysis {
+
+struct CallGraph {
+  /// targets[f][e] = indices (into SourceIndex::functions) the e-th body
+  /// event of function f resolves to. Lock events and external calls get
+  /// an empty vector.
+  std::vector<std::vector<std::vector<std::size_t>>> targets;
+};
+
+/// True when `qname`'s `::`-separated components end with `suffix`'s
+/// components (`hpd::rt::Conn::flush` matches `Conn::flush` and `flush`
+/// but not `ush`).
+bool qname_suffix_match(const std::string& qname, const std::string& suffix);
+
+CallGraph build_callgraph(const SourceIndex& index);
+
+/// Human-readable dump (the `--dump-callgraph` mode): one `fn` line per
+/// definition, one indented `call`/`lock` line per body event with its
+/// resolved targets or `<external>`.
+void dump_callgraph(const SourceIndex& index, const CallGraph& graph,
+                    std::ostream& os);
+
+}  // namespace hpd::analysis

@@ -1,0 +1,335 @@
+#include "analysis/checks.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <utility>
+
+namespace hpd::analysis {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+const std::set<std::string>& known_rules() {
+  static const std::set<std::string> kRules = {
+      "blocking-reachability", "lock-order-cycle", "unchecked-status"};
+  return kRules;
+}
+
+bool is_path_pattern(const std::string& p) {
+  return p.find('/') != std::string::npos || p.find('.') != std::string::npos;
+}
+
+/// Does any allow entry for `rule` cover this function? Marks entries used.
+bool allowed(Rules& rules, const std::string& rule, const FunctionDef& fn) {
+  bool hit = false;
+  for (AllowEntry& a : rules.allows) {
+    if (a.rule != rule) {
+      continue;
+    }
+    const bool match = is_path_pattern(a.pattern)
+                           ? fn.file.rfind(a.pattern, 0) == 0
+                           : qname_suffix_match(fn.qname, a.pattern);
+    if (match) {
+      a.used = true;
+      hit = true;  // keep scanning: every covering entry counts as used
+    }
+  }
+  return hit;
+}
+
+std::string last_name(const std::string& callee) {
+  std::string s = callee;
+  if (s.rfind("::", 0) == 0) {
+    s = s.substr(2);
+  }
+  const std::size_t p = s.rfind("::");
+  return p == std::string::npos ? s : s.substr(p + 2);
+}
+
+void check_blocking(const SourceIndex& index, const CallGraph& graph,
+                    Rules& rules, std::vector<Finding>& out) {
+  const std::size_t n = index.functions.size();
+  std::vector<std::size_t> parent(n, kNone);
+  std::vector<bool> visited(n, false);
+  std::deque<std::size_t> queue;
+  for (std::size_t f = 0; f < n; ++f) {
+    for (const std::string& e : rules.entries) {
+      if (!qname_suffix_match(index.functions[f].qname, e)) {
+        continue;
+      }
+      if (!visited[f] && !allowed(rules, "blocking-reachability",
+                                  index.functions[f])) {
+        visited[f] = true;
+        queue.push_back(f);
+      }
+      break;
+    }
+  }
+  std::set<std::pair<std::string, std::size_t>> reported;
+  while (!queue.empty()) {
+    const std::size_t f = queue.front();
+    queue.pop_front();
+    const FunctionDef& fn = index.functions[f];
+    for (std::size_t e = 0; e < fn.events.size(); ++e) {
+      const BodyEvent& ev = fn.events[e];
+      if (ev.kind != BodyEvent::Kind::kCall) {
+        continue;
+      }
+      if (rules.blocking.count(last_name(ev.name)) != 0 &&
+          reported.insert({fn.file, ev.line}).second) {
+        // Reconstruct the entry -> ... -> site chain.
+        std::vector<std::string> chain;
+        for (std::size_t c = f; c != kNone; c = parent[c]) {
+          chain.push_back(index.functions[c].qname);
+        }
+        std::reverse(chain.begin(), chain.end());
+        std::string msg = "blocking-reachability: `" + ev.name +
+                          "` reachable from event-loop entry; chain: ";
+        for (const std::string& link : chain) {
+          msg += link + " -> ";
+        }
+        msg += ev.name + "()";
+        out.push_back({"blocking-reachability", fn.file, ev.line, msg});
+      }
+      for (const std::size_t t : graph.targets[f][e]) {
+        if (visited[t]) {
+          continue;
+        }
+        if (allowed(rules, "blocking-reachability", index.functions[t])) {
+          continue;  // allowlisted functions are traversal barriers
+        }
+        visited[t] = true;
+        parent[t] = f;
+        queue.push_back(t);
+      }
+    }
+  }
+}
+
+struct LockEdge {
+  std::string file;
+  std::size_t line = 0;
+  std::string in_qname;   ///< function whose body induces the edge
+  std::string via;        ///< callee qname for transitive edges, else ""
+};
+
+void check_lock_order(const SourceIndex& index, const CallGraph& graph,
+                      Rules& rules, std::vector<Finding>& out) {
+  const std::size_t n = index.functions.size();
+  // Transitive closure: every lock id a call into `f` may acquire.
+  std::vector<std::set<std::string>> acquires(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    for (const BodyEvent& ev : index.functions[f].events) {
+      if (ev.kind == BodyEvent::Kind::kLock) {
+        acquires[f].insert(ev.name);
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t f = 0; f < n; ++f) {
+      for (std::size_t e = 0; e < index.functions[f].events.size(); ++e) {
+        for (const std::size_t t : graph.targets[f][e]) {
+          for (const std::string& id : acquires[t]) {
+            changed = acquires[f].insert(id).second || changed;
+          }
+        }
+      }
+    }
+  }
+  // Lock-order edges: replay each body's lock scopes.
+  std::map<std::pair<std::string, std::string>, LockEdge> edges;
+  struct Held {
+    std::string id;
+    int depth = 0;
+  };
+  for (std::size_t f = 0; f < n; ++f) {
+    const FunctionDef& fn = index.functions[f];
+    if (allowed(rules, "lock-order-cycle", fn)) {
+      continue;
+    }
+    std::vector<Held> held;
+    for (std::size_t e = 0; e < fn.events.size(); ++e) {
+      const BodyEvent& ev = fn.events[e];
+      while (!held.empty() && held.back().depth > ev.min_depth_before) {
+        held.pop_back();
+      }
+      if (ev.kind == BodyEvent::Kind::kLock) {
+        for (const Held& h : held) {
+          edges.emplace(std::make_pair(h.id, ev.name),
+                        LockEdge{fn.file, ev.line, fn.qname, ""});
+        }
+        held.push_back({ev.name, ev.depth});
+        continue;
+      }
+      if (held.empty()) {
+        continue;
+      }
+      for (const std::size_t t : graph.targets[f][e]) {
+        for (const std::string& id : acquires[t]) {
+          for (const Held& h : held) {
+            edges.emplace(std::make_pair(h.id, id),
+                          LockEdge{fn.file, ev.line, fn.qname,
+                                   index.functions[t].qname});
+          }
+        }
+      }
+    }
+  }
+  // Cycle detection over the lock-order graph (DFS, three colors).
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [key, edge] : edges) {
+    adj[key.first].push_back(key.second);
+    adj[key.second];  // ensure every node exists
+  }
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::set<std::vector<std::string>> seen_cycles;
+
+  auto report_cycle = [&](const std::string& back_to) {
+    std::vector<std::string> cyc;
+    for (auto it = std::find(stack.begin(), stack.end(), back_to);
+         it != stack.end(); ++it) {
+      cyc.push_back(*it);
+    }
+    // Canonical rotation so A->B->A and B->A->B dedupe to one finding.
+    std::vector<std::string> canon = cyc;
+    const auto mn = std::min_element(canon.begin(), canon.end());
+    std::rotate(canon.begin(), mn, canon.end());
+    if (!seen_cycles.insert(canon).second) {
+      return;
+    }
+    std::string msg = "lock-order-cycle: ";
+    for (const std::string& id : cyc) {
+      msg += id + " -> ";
+    }
+    msg += cyc.front() + ";";
+    const LockEdge* anchor = nullptr;
+    for (std::size_t i = 0; i < cyc.size(); ++i) {
+      const auto& edge = edges.at({cyc[i], cyc[(i + 1) % cyc.size()]});
+      msg += " " + cyc[i] + " before " + cyc[(i + 1) % cyc.size()] + " at " +
+             edge.file + ":" + std::to_string(edge.line) + " (in " +
+             edge.in_qname + (edge.via.empty() ? "" : " via " + edge.via) +
+             ");";
+      if (anchor == nullptr) {
+        anchor = &edge;
+      }
+    }
+    msg.pop_back();
+    out.push_back({"lock-order-cycle", anchor->file, anchor->line, msg});
+  };
+
+  std::function<void(const std::string&)> dfs = [&](const std::string& u) {
+    color[u] = 1;
+    stack.push_back(u);
+    for (const std::string& v : adj[u]) {
+      if (color[v] == 1) {
+        report_cycle(v);
+      } else if (color[v] == 0) {
+        dfs(v);
+      }
+    }
+    stack.pop_back();
+    color[u] = 2;
+  };
+  for (const auto& [node, unused] : adj) {
+    (void)unused;
+    if (color[node] == 0) {
+      dfs(node);
+    }
+  }
+}
+
+void check_unchecked_status(const SourceIndex& index, Rules& rules,
+                            std::vector<Finding>& out) {
+  for (const FunctionDef& fn : index.functions) {
+    if (allowed(rules, "unchecked-status", fn)) {
+      continue;
+    }
+    for (const BodyEvent& ev : fn.events) {
+      if (ev.kind != BodyEvent::Kind::kCall || !ev.discarded) {
+        continue;
+      }
+      if (rules.status_fns.count(last_name(ev.name)) == 0) {
+        continue;
+      }
+      out.push_back(
+          {"unchecked-status", fn.file, ev.line,
+           "unchecked-status: result of `" + ev.name + "` discarded in " +
+               fn.qname + "; check it or cast to void explicitly"});
+    }
+  }
+}
+
+}  // namespace
+
+bool read_rules(const std::filesystem::path& file, Rules& out,
+                std::string& err) {
+  std::ifstream in(file);
+  if (!in) {
+    err = "cannot open rules file: " + file.string();
+    return false;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream is(line);
+    std::string directive;
+    if (!(is >> directive)) {
+      continue;  // blank / comment-only line
+    }
+    const auto fail = [&](const std::string& what) {
+      err = file.string() + ":" + std::to_string(lineno) + ": " + what;
+      return false;
+    };
+    std::string a, b, extra;
+    if (directive == "entry" || directive == "blocking" ||
+        directive == "status") {
+      if (!(is >> a) || (is >> extra)) {
+        return fail("`" + directive + "` takes exactly one argument");
+      }
+      if (directive == "entry") {
+        out.entries.push_back(a);
+      } else if (directive == "blocking") {
+        out.blocking.insert(a);
+      } else {
+        out.status_fns.insert(a);
+      }
+    } else if (directive == "allow") {
+      if (!(is >> a >> b) || (is >> extra)) {
+        return fail("`allow` takes exactly two arguments: <rule> <pattern>");
+      }
+      if (known_rules().count(a) == 0) {
+        return fail("unknown rule in allow entry: " + a);
+      }
+      out.allows.push_back({a, b, lineno, false});
+    } else {
+      return fail("unknown directive: " + directive);
+    }
+  }
+  return true;
+}
+
+std::vector<Finding> run_checks(const SourceIndex& index,
+                                const CallGraph& graph, Rules& rules) {
+  std::vector<Finding> out;
+  check_blocking(index, graph, rules, out);
+  check_lock_order(index, graph, rules, out);
+  check_unchecked_status(index, rules, out);
+  std::sort(out.begin(), out.end(), [](const Finding& x, const Finding& y) {
+    return std::tie(x.file, x.line, x.rule) < std::tie(y.file, y.line, y.rule);
+  });
+  return out;
+}
+
+}  // namespace hpd::analysis

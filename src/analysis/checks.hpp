@@ -1,0 +1,68 @@
+// The three interprocedural rules hpd_analyze runs over the call graph.
+//
+//   blocking-reachability  no call-graph path from an event-loop entry
+//                          point may reach a call whose name is a
+//                          configured blocking token; the finding prints
+//                          the offending chain.
+//   lock-order-cycle       mutexes held when another hpd::MutexLock is
+//                          constructed induce a lock-order graph (direct
+//                          and through calls); any cycle is a finding.
+//   unchecked-status       statement-position calls to configured
+//                          status-returning APIs whose result dies.
+//
+// Rule configuration (entry points, blocking tokens, status APIs,
+// allowlist) comes from a directive file — see read_rules below.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.hpp"
+#include "analysis/source_index.hpp"
+
+namespace hpd::analysis {
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct AllowEntry {
+  std::string rule;
+  /// Path prefix (contains '/' or '.') or qname suffix, same spirit as
+  /// tools/hpd_lint_rules.txt. For blocking-reachability a matching
+  /// function is a traversal *barrier*: the walk neither reports its
+  /// sites nor follows its calls.
+  std::string pattern;
+  std::size_t line = 0;  ///< line in the rules file, for unused reports
+  bool used = false;
+};
+
+struct Rules {
+  std::vector<std::string> entries;   ///< entry-point qname suffixes
+  std::set<std::string> blocking;     ///< blocking call tokens (last name)
+  std::set<std::string> status_fns;   ///< status-returning API names
+  std::vector<AllowEntry> allows;
+};
+
+/// Parse a rules file. Directives, one per line (`#` comments):
+///   entry <qname-suffix>
+///   blocking <name>
+///   status <name>
+///   allow <rule-id> <pattern>
+/// Returns false and sets `err` on malformed lines or unknown directives
+/// (the caller exits 2 — a typo must not silently disable a rule).
+bool read_rules(const std::filesystem::path& file, Rules& out,
+                std::string& err);
+
+/// Run all three rules. Allowlist `used` flags are updated in place.
+std::vector<Finding> run_checks(const SourceIndex& index,
+                                const CallGraph& graph, Rules& rules);
+
+}  // namespace hpd::analysis

@@ -1,0 +1,928 @@
+#include "analysis/source_index.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace hpd::analysis {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// ---- Tokenizer --------------------------------------------------------------
+
+struct Tok {
+  std::string text;
+  std::size_t line = 0;
+  bool ident = false;  ///< identifier-or-keyword (starts with [A-Za-z_])
+};
+
+const Tok& null_tok() {
+  static const Tok t;
+  return t;
+}
+
+std::vector<Tok> tokenize(const std::string& blanked) {
+  std::vector<Tok> toks;
+  std::size_t line = 1;
+  const std::size_t n = blanked.size();
+  for (std::size_t i = 0; i < n;) {
+    const char c = blanked[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      // Preprocessor directive: irrelevant to the index; skip the logical
+      // line, honoring backslash continuations.
+      while (i < n) {
+        if (blanked[i] == '\\' && i + 1 < n && blanked[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (blanked[i] == '\n') {
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (ident_char(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(blanked[j])) {
+        ++j;
+      }
+      toks.push_back({blanked.substr(i, j - i), line, ident_start(c)});
+      i = j;
+      continue;
+    }
+    const char next = i + 1 < n ? blanked[i + 1] : '\0';
+    if (c == ':' && next == ':') {
+      toks.push_back({"::", line, false});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && next == '>') {
+      toks.push_back({"->", line, false});
+      i += 2;
+      continue;
+    }
+    toks.push_back({std::string(1, c), line, false});
+    ++i;
+  }
+  return toks;
+}
+
+// Keywords that can never be a callee or a recovered function name.
+bool is_keyword(const std::string& s) {
+  static const std::set<std::string> kKw = {
+      "alignas",      "alignof",  "asm",         "auto",
+      "bool",         "break",    "case",        "catch",
+      "char",         "class",    "co_await",    "co_return",
+      "co_yield",     "const",    "const_cast",  "consteval",
+      "constexpr",    "constinit","continue",    "decltype",
+      "default",      "delete",   "do",          "double",
+      "dynamic_cast", "else",     "enum",        "explicit",
+      "extern",       "false",    "final",       "float",
+      "for",          "friend",   "goto",        "if",
+      "inline",       "int",      "long",        "mutable",
+      "namespace",    "new",      "noexcept",    "nullptr",
+      "operator",     "override", "private",     "protected",
+      "public",       "register", "reinterpret_cast", "requires",
+      "return",       "short",    "signed",      "sizeof",
+      "static",       "static_assert", "static_cast", "struct",
+      "switch",       "template", "this",        "thread_local",
+      "throw",        "true",     "try",         "typedef",
+      "typeid",       "typename", "union",       "unsigned",
+      "using",        "virtual",  "void",        "volatile",
+      "wchar_t",      "while",
+  };
+  return kKw.count(s) != 0;
+}
+
+// Keywords after which an `ident(` is still a call (`return foo(x)`).
+bool call_permitting_keyword(const std::string& s) {
+  static const std::set<std::string> kOk = {
+      "return", "throw",     "new",      "delete",   "else",
+      "do",     "co_return", "co_yield", "co_await", "case",
+  };
+  return kOk.count(s) != 0;
+}
+
+// ---- Parser -----------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(std::string rel, const std::vector<Tok>& toks, SourceIndex& out)
+      : rel_(std::move(rel)), toks_(toks), out_(&out) {}
+
+  void run();
+
+ private:
+  struct Scope {
+    enum class Kind { kNamespace, kClass, kBlock };
+    Kind kind = Kind::kBlock;
+    std::string name;  ///< may hold multiple components ("hpd::rt")
+  };
+
+  const Tok& at(std::size_t i) const {
+    return i < toks_.size() ? toks_[i] : null_tok();
+  }
+
+  /// toks_[i] must be `open`; returns the index just past the matching
+  /// `close` (or toks_.size() on imbalance).
+  std::size_t skip_balanced(std::size_t i, const char* open,
+                            const char* close) const {
+    int depth = 0;
+    for (; i < toks_.size(); ++i) {
+      if (toks_[i].text == open) {
+        ++depth;
+      } else if (toks_[i].text == close) {
+        if (--depth == 0) {
+          return i + 1;
+        }
+      }
+    }
+    return toks_.size();
+  }
+
+  /// Skip a balanced `<...>` group starting at `i` (toks_[i] == "<");
+  /// parenthesized subexpressions inside are skipped whole.
+  std::size_t skip_angles(std::size_t i) const {
+    int depth = 0;
+    while (i < toks_.size()) {
+      const std::string& t = toks_[i].text;
+      if (t == "<") {
+        ++depth;
+        ++i;
+      } else if (t == ">") {
+        if (--depth == 0) {
+          return i + 1;
+        }
+        ++i;
+      } else if (t == "(") {
+        i = skip_balanced(i, "(", ")");
+      } else if (t == ";" || t == "{" || t == "}") {
+        return i;  // clearly not template arguments; bail
+      } else {
+        ++i;
+      }
+    }
+    return i;
+  }
+
+  std::string enclosing_class_of(const std::vector<std::string>& quals) const {
+    // Innermost known class among (scope stack, explicit qualifier).
+    for (auto it = quals.rbegin(); it != quals.rend(); ++it) {
+      if (out_->classes.count(*it) != 0) {
+        return *it;
+      }
+    }
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::Kind::kClass) {
+        const std::size_t p = it->name.rfind("::");
+        return p == std::string::npos ? it->name : it->name.substr(p + 2);
+      }
+    }
+    return "";
+  }
+
+  std::string scope_prefix() const {
+    std::string q;
+    for (const Scope& s : scopes_) {
+      if (s.kind == Scope::Kind::kBlock || s.name.empty()) {
+        continue;
+      }
+      if (!q.empty()) {
+        q += "::";
+      }
+      q += s.name;
+    }
+    return q;
+  }
+
+  void handle_namespace(std::size_t& i);
+  void handle_class(std::size_t& i);
+  void handle_enum(std::size_t& i);
+  /// Directly inside a class body: `Type field_;` (with optional template
+  /// arguments, pointers/references, annotation macros, and an in-class
+  /// initializer). Records the field's declared type and returns true.
+  bool try_field(std::size_t& i);
+  /// A non-keyword identifier at namespace/class scope: either a function
+  /// definition (parsed, body consumed) or some declaration (skipped).
+  void handle_candidate(std::size_t& i);
+  /// Signature tail after the parameter list; returns the index of the
+  /// body `{` or npos for a plain declaration.
+  std::size_t find_body(std::size_t i) const;
+  void parse_body(FunctionDef& fn, std::size_t& i);
+  std::string canonical_lock_id(std::size_t first, std::size_t last,
+                                const std::string& enclosing) const;
+
+  std::string rel_;
+  const std::vector<Tok>& toks_;
+  SourceIndex* out_;
+  std::vector<Scope> scopes_;
+};
+
+void Parser::run() {
+  std::size_t i = 0;
+  while (i < toks_.size()) {
+    const Tok& t = toks_[i];
+    if (t.text == "template") {
+      ++i;
+      if (at(i).text == "<") {
+        i = skip_angles(i);
+      }
+    } else if (t.text == "namespace") {
+      handle_namespace(i);
+    } else if (t.text == "class" || t.text == "struct" || t.text == "union") {
+      handle_class(i);
+    } else if (t.text == "enum") {
+      handle_enum(i);
+    } else if (t.text == "using" || t.text == "typedef" ||
+               t.text == "static_assert" || t.text == "friend") {
+      while (i < toks_.size() && toks_[i].text != ";") {
+        if (toks_[i].text == "{") {
+          i = skip_balanced(i, "{", "}");
+        } else {
+          ++i;
+        }
+      }
+      ++i;
+    } else if (t.text == "{") {
+      scopes_.push_back({Scope::Kind::kBlock, ""});
+      ++i;
+    } else if (t.text == "}") {
+      if (!scopes_.empty()) {
+        scopes_.pop_back();
+      }
+      ++i;
+    } else if ((t.ident && !is_keyword(t.text)) || t.text == "~") {
+      if (!try_field(i)) {
+        handle_candidate(i);
+      }
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Parser::handle_namespace(std::size_t& i) {
+  ++i;  // past `namespace`
+  std::string name;
+  while (at(i).ident || at(i).text == "::") {
+    name += at(i).text;
+    ++i;
+  }
+  if (at(i).text == "{") {
+    scopes_.push_back({Scope::Kind::kNamespace, name});
+    ++i;
+    return;
+  }
+  // Alias (`namespace fs = ...`) or malformed: skip to `;`.
+  while (i < toks_.size() && toks_[i].text != ";" && toks_[i].text != "{") {
+    ++i;
+  }
+  if (at(i).text == ";") {
+    ++i;
+  }
+}
+
+void Parser::handle_class(std::size_t& i) {
+  ++i;  // past class/struct/union
+  // Skip attributes / alignas.
+  while (at(i).text == "[" || at(i).text == "alignas") {
+    if (at(i).text == "[") {
+      i = skip_balanced(i, "[", "]");
+    } else {
+      ++i;
+      if (at(i).text == "(") {
+        i = skip_balanced(i, "(", ")");
+      }
+    }
+  }
+  std::string qual;  // possibly `Outer::Inner` for out-of-line nested types
+  while (at(i).ident && !is_keyword(at(i).text)) {
+    if (!qual.empty()) {
+      qual += "::";
+    }
+    qual += at(i).text;
+    out_->classes.insert(at(i).text);
+    ++i;
+    if (at(i).text == "<") {
+      i = skip_angles(i);  // specialization arguments
+    }
+    if (at(i).text == "::") {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  if (at(i).text == "final") {
+    ++i;
+  }
+  // Base clause / body / forward declaration / variable of elaborated type.
+  while (i < toks_.size()) {
+    const std::string& t = toks_[i].text;
+    if (t == "{") {
+      scopes_.push_back({Scope::Kind::kClass, qual});
+      ++i;
+      return;
+    }
+    if (t == ";") {
+      ++i;
+      return;
+    }
+    if (t == "<") {
+      i = skip_angles(i);
+    } else if (t == "(") {
+      i = skip_balanced(i, "(", ")");
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Parser::handle_enum(std::size_t& i) {
+  while (i < toks_.size() && toks_[i].text != "{" && toks_[i].text != ";") {
+    ++i;
+  }
+  if (at(i).text == "{") {
+    i = skip_balanced(i, "{", "}");  // enumerators carry no index signal
+  } else if (at(i).text == ";") {
+    ++i;
+  }
+}
+
+bool Parser::try_field(std::size_t& i) {
+  if (scopes_.empty() || scopes_.back().kind != Scope::Kind::kClass) {
+    return false;
+  }
+  std::size_t j = i;
+  if (!at(j).ident || is_keyword(at(j).text)) {
+    return false;
+  }
+  std::string type_last = at(j).text;
+  ++j;
+  while (at(j).text == "<" || at(j).text == "::") {
+    if (at(j).text == "<") {
+      j = skip_angles(j);
+    } else {
+      ++j;
+      if (!at(j).ident || is_keyword(at(j).text)) {
+        return false;
+      }
+      type_last = at(j).text;
+      ++j;
+    }
+  }
+  while (at(j).text == "*" || at(j).text == "&" || at(j).text == "&&") {
+    ++j;
+  }
+  if (!at(j).ident || is_keyword(at(j).text)) {
+    return false;
+  }
+  const std::string field = at(j).text;
+  ++j;
+  // Annotation macros after the declarator: HPD_GUARDED_BY(mutex_) etc.
+  while (at(j).ident && !is_keyword(at(j).text)) {
+    ++j;
+    if (at(j).text == "(") {
+      j = skip_balanced(j, "(", ")");
+    }
+  }
+  if (at(j).text == "=") {
+    while (j < toks_.size() && toks_[j].text != ";") {
+      if (toks_[j].text == "{") {
+        j = skip_balanced(j, "{", "}");
+      } else if (toks_[j].text == "(") {
+        j = skip_balanced(j, "(", ")");
+      } else {
+        ++j;
+      }
+    }
+  } else if (at(j).text == "{") {
+    j = skip_balanced(j, "{", "}");
+  }
+  if (at(j).text != ";") {
+    return false;
+  }
+  i = j + 1;
+  const std::string& cls = scopes_.back().name;
+  const std::size_t p = cls.rfind("::");
+  out_->fields[p == std::string::npos ? cls : cls.substr(p + 2)][field] =
+      type_last;
+  return true;
+}
+
+std::size_t Parser::find_body(std::size_t i) const {
+  while (i < toks_.size()) {
+    const std::string& t = toks_[i].text;
+    if (t == "{") {
+      return i;
+    }
+    if (t == ";" || t == "=" || t == "," || t == ")" || t == "}") {
+      return std::string::npos;  // declaration / initializer / `= default`
+    }
+    if (t == "const" || t == "noexcept" || t == "override" || t == "final" ||
+        t == "volatile" || t == "mutable" || t == "&" || t == "&&" ||
+        t == "throw" || t == "requires") {
+      ++i;
+      if (at(i).text == "(") {
+        i = skip_balanced(i, "(", ")");
+      }
+      continue;
+    }
+    if (t == "->") {
+      // Trailing return type: runs to the body or the terminator.
+      ++i;
+      continue;
+    }
+    if (t == ":") {
+      // Constructor initializer list: `ident(...)` / `ident{...}` pairs.
+      ++i;
+      while (i < toks_.size()) {
+        while (at(i).ident || at(i).text == "::") {
+          ++i;
+          if (at(i).text == "<") {
+            i = skip_angles(i);
+          }
+        }
+        if (at(i).text == "(") {
+          i = skip_balanced(i, "(", ")");
+        } else if (at(i).text == "{") {
+          // `member{init}` vs the body: an initializer's brace is always
+          // preceded by the member name; the body brace follows `)`/`}`.
+          const std::string& prev = i > 0 ? toks_[i - 1].text : "";
+          if (prev == ")" || prev == "}" || prev == ":" || prev == ",") {
+            return i;
+          }
+          i = skip_balanced(i, "{", "}");
+        } else {
+          return std::string::npos;
+        }
+        if (at(i).text == ",") {
+          ++i;
+          continue;
+        }
+        if (at(i).text == "{") {
+          return i;
+        }
+        if (at(i).text == "." || at(i).text == "->") {
+          // `lock_(mu.mu_)`-style initializers never reach here (their
+          // member access is inside the balanced parens); anything else
+          // is not a constructor we understand.
+          return std::string::npos;
+        }
+      }
+      return std::string::npos;
+    }
+    if (toks_[i].ident) {
+      // Annotation macro after the signature (HPD_ACQUIRE(mu), attributes
+      // spelled as macros): swallow it and any argument list.
+      ++i;
+      if (at(i).text == "(") {
+        i = skip_balanced(i, "(", ")");
+      }
+      continue;
+    }
+    return std::string::npos;
+  }
+  return std::string::npos;
+}
+
+void Parser::handle_candidate(std::size_t& i) {
+  // Gather a (possibly qualified) declarator name ending right before `(`.
+  std::vector<std::string> parts;
+  std::size_t j = i;
+  while (j < toks_.size()) {
+    if (toks_[j].text == "~" && at(j + 1).ident) {
+      parts.push_back("~" + at(j + 1).text);
+      j += 2;
+    } else if (toks_[j].text == "operator") {
+      // Collapse every spelling to one name; operator bodies still index.
+      parts.push_back("operator");
+      while (j < toks_.size() && toks_[j].text != "(") {
+        ++j;
+      }
+      break;
+    } else if (toks_[j].ident && !is_keyword(toks_[j].text)) {
+      parts.push_back(toks_[j].text);
+      ++j;
+      if (at(j).text == "<") {
+        const std::size_t after = skip_angles(j);
+        if (at(after).text != "::" && at(after).text != "(") {
+          break;  // comparison, not template arguments
+        }
+        j = after;
+      }
+    } else {
+      break;
+    }
+    if (at(j).text == "::") {
+      ++j;
+      continue;
+    }
+    break;
+  }
+  if (parts.empty() || at(j).text != "(") {
+    // Not a function-shaped declarator; consume what we scanned.
+    i = std::max(j, i + 1);
+    return;
+  }
+  const std::size_t after_params = skip_balanced(j, "(", ")");
+  const std::size_t body = find_body(after_params);
+  if (body == std::string::npos) {
+    i = after_params;
+    return;
+  }
+
+  FunctionDef fn;
+  fn.name = parts.back();
+  std::vector<std::string> quals(parts.begin(), parts.end() - 1);
+  std::string q = scope_prefix();
+  for (const std::string& part : quals) {
+    if (!q.empty()) {
+      q += "::";
+    }
+    q += part;
+  }
+  fn.qname = q.empty() ? fn.name : q + "::" + fn.name;
+  fn.enclosing_class = enclosing_class_of(quals);
+  fn.file = rel_;
+  fn.line = toks_[i].line;
+
+  std::size_t k = body;
+  parse_body(fn, k);
+  out_->by_name[fn.name].push_back(out_->functions.size());
+  out_->functions.push_back(std::move(fn));
+  i = k;
+}
+
+std::string Parser::canonical_lock_id(std::size_t first, std::size_t last,
+                                      const std::string& enclosing) const {
+  // Join the expression tokens, normalize `->` to `.`, drop `this.`.
+  std::string s;
+  for (std::size_t i = first; i < last; ++i) {
+    s += toks_[i].text == "->" ? "." : toks_[i].text;
+  }
+  if (s.rfind("this.", 0) == 0) {
+    s = s.substr(5);
+  }
+  const std::size_t dot = s.rfind('.');
+  if (dot != std::string::npos) {
+    return s.substr(dot + 1);  // field identity merges across instances
+  }
+  bool plain = !s.empty() && ident_start(s[0]);
+  for (const char c : s) {
+    plain = plain && ident_char(c);
+  }
+  if (plain && !enclosing.empty()) {
+    return enclosing + "::" + s;
+  }
+  return s;
+}
+
+void Parser::parse_body(FunctionDef& fn, std::size_t& i) {
+  // toks_[i] == "{" — walk the body, tracking depth and the minimum depth
+  // between consecutive events (lock-scope replay needs it).
+  int depth = 1;
+  int min_since = 1;
+  std::size_t k = i + 1;
+  while (k < toks_.size() && depth > 0) {
+    const Tok& t = toks_[k];
+    if (t.text == "{") {
+      ++depth;
+      ++k;
+      continue;
+    }
+    if (t.text == "}") {
+      --depth;
+      min_since = std::min(min_since, depth);
+      ++k;
+      continue;
+    }
+    if (!t.ident || is_keyword(t.text)) {
+      ++k;
+      continue;
+    }
+    // MutexLock declaration: `MutexLock name(expr)`, optionally qualified.
+    if (t.text == "MutexLock" && at(k + 1).ident && at(k + 2).text == "(") {
+      const std::size_t close = skip_balanced(k + 2, "(", ")");
+      BodyEvent ev;
+      ev.kind = BodyEvent::Kind::kLock;
+      ev.name = canonical_lock_id(k + 3, close - 1, fn.enclosing_class);
+      ev.line = t.line;
+      ev.depth = depth;
+      ev.min_depth_before = min_since;
+      fn.events.push_back(std::move(ev));
+      min_since = depth;
+      k = close;
+      continue;
+    }
+    // Qualified-id chain; a trailing `(` makes it a call or a declaration.
+    std::vector<std::string> parts{t.text};
+    const bool rooted = k >= 1 && toks_[k - 1].text == "::" &&
+                        (k < 2 || !toks_[k - 2].ident);
+    std::size_t e = k + 1;
+    while (at(e).text == "::" && at(e + 1).ident && !is_keyword(at(e + 1).text)) {
+      parts.push_back(at(e + 1).text);
+      e += 2;
+    }
+    if (at(e).text != "(") {
+      k = e;
+      continue;
+    }
+    const std::string& prev =
+        rooted ? (k >= 2 ? toks_[k - 2].text : std::string())
+               : (k >= 1 ? toks_[k - 1].text : std::string());
+    const bool prev_ident = !prev.empty() && ident_start(prev[0]);
+    if (prev_ident && !call_permitting_keyword(prev)) {
+      // `Type name(args)` — a declaration, not a call.
+      k = skip_balanced(e, "(", ")");
+      continue;
+    }
+    const bool member = prev == "." || prev == "->";
+    std::string receiver;
+    if (member && k >= 2 && toks_[k - 2].ident &&
+        !is_keyword(toks_[k - 2].text)) {
+      receiver = toks_[k - 2].text;
+    }
+    // Discarded-result heuristic: the whole postfix expression starts a
+    // statement and the call's value meets `;` unconsumed.
+    bool discarded = false;
+    {
+      std::size_t a = k;
+      bool traceable = true;
+      if (rooted) {
+        a = k - 1;
+      }
+      while (traceable && a >= 1 &&
+             (toks_[a - 1].text == "." || toks_[a - 1].text == "->")) {
+        if (a >= 2 && toks_[a - 2].ident) {
+          a -= 2;
+        } else {
+          traceable = false;  // `foo(x).flush()` — give up, keep quiet
+        }
+      }
+      if (traceable) {
+        const std::string& anchor = a >= 1 ? toks_[a - 1].text : std::string();
+        const bool stmt_start =
+            anchor.empty() || anchor == ";" || anchor == "{" || anchor == "}";
+        const std::size_t close = skip_balanced(e, "(", ")");
+        discarded = stmt_start && at(close).text == ";";
+      }
+    }
+    BodyEvent ev;
+    ev.kind = BodyEvent::Kind::kCall;
+    std::string callee;
+    for (const std::string& part : parts) {
+      if (!callee.empty()) {
+        callee += "::";
+      }
+      callee += part;
+    }
+    ev.name = rooted ? "::" + callee : callee;
+    ev.line = t.line;
+    ev.depth = depth;
+    ev.min_depth_before = min_since;
+    ev.member = member;
+    ev.discarded = discarded;
+    ev.receiver = std::move(receiver);
+    fn.events.push_back(std::move(ev));
+    min_since = depth;
+    k = e;  // continue *into* the argument list: nested calls index too
+  }
+  i = k;
+}
+
+// ---- Class pre-scan ---------------------------------------------------------
+
+void collect_classes(const std::vector<Tok>& toks, SourceIndex& out) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t != "class" && t != "struct" && t != "union") {
+      continue;
+    }
+    if (i >= 1 && toks[i - 1].text == "enum") {
+      continue;  // scoped enums are not lock-qualifying classes
+    }
+    std::size_t j = i + 1;
+    while (toks[j].text == "[" || toks[j].text == "alignas") {
+      // attributes — rare; skip token-wise until something identifier-ish
+      ++j;
+      if (j >= toks.size()) {
+        break;
+      }
+    }
+    while (j < toks.size() && toks[j].ident && !is_keyword(toks[j].text)) {
+      out.classes.insert(toks[j].text);
+      if (j + 2 < toks.size() && toks[j + 1].text == "::") {
+        j += 2;
+        continue;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string blank_comments_and_strings(const std::string& in) {
+  std::string out = in;
+  enum class St { kCode, kLine, kBlock, kStr, kChar, kRaw };
+  St st = St::kCode;
+  std::string raw_delim;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          // Raw string? Look back for `R` plus an optional encoding prefix
+          // (u8, u, U, L) starting at an identifier boundary.
+          std::size_t r = i;
+          bool raw = false;
+          if (i >= 1 && out[i - 1] == 'R') {
+            std::size_t pre = i - 1;
+            if (pre >= 1 && (out[pre - 1] == 'u' || out[pre - 1] == 'U' ||
+                             out[pre - 1] == 'L')) {
+              pre -= 1;
+            } else if (pre >= 2 && out[pre - 2] == 'u' && out[pre - 1] == '8') {
+              pre -= 2;
+            }
+            if (pre == 0 || !ident_char(out[pre - 1])) {
+              raw = true;
+              r = i - 1;
+            }
+          }
+          if (raw) {
+            // Scan the delimiter (the standard caps it at 16 chars).
+            std::size_t q = i + 1;
+            raw_delim.clear();
+            while (q < out.size() && out[q] != '(' && out[q] != '\n' &&
+                   raw_delim.size() <= 16) {
+              raw_delim += out[q++];
+            }
+            if (q < out.size() && out[q] == '(') {
+              for (std::size_t k = r; k <= q; ++k) {
+                out[k] = ' ';
+              }
+              i = q;
+              st = St::kRaw;
+            } else {
+              st = St::kStr;  // `R"` not followed by a raw-string opener
+            }
+          } else {
+            st = St::kStr;
+          }
+        } else if (c == '\'' && (i == 0 || !ident_char(out[i - 1]))) {
+          // Identifier-boundary check keeps digit separators (1'000) intact.
+          st = St::kChar;
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          st = St::kCode;
+        } else if (c == '\\' && next == '\n') {
+          // Backslash line-splice: the comment continues on the next
+          // physical line. Keep the newline (line numbers!), stay kLine.
+          out[i] = ' ';
+          ++i;
+        } else if (c == '\\' && next == '\r' && i + 2 < out.size() &&
+                   out[i + 2] == '\n') {
+          out[i] = out[i + 1] = ' ';
+          i += 2;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kStr:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size() && out[i + 1] != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size() && out[i + 1] != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kRaw: {
+        const std::string closer = ")" + raw_delim + "\"";
+        if (out.compare(i, closer.size(), closer) == 0) {
+          for (std::size_t k = i; k < i + closer.size(); ++k) {
+            out[k] = ' ';
+          }
+          i += closer.size() - 1;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void index_file(const std::string& rel, const std::string& text,
+                SourceIndex& out) {
+  const std::vector<Tok> toks = tokenize(blank_comments_and_strings(text));
+  collect_classes(toks, out);
+  Parser(rel, toks, out).run();
+  out.files.push_back(rel);
+}
+
+SourceIndex index_tree(const fs::path& root) {
+  SourceIndex out;
+  const fs::path src = root / "src";
+  std::vector<std::pair<std::string, std::string>> contents;  // rel, text
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<std::vector<Tok>> toks;
+  for (const fs::path& p : paths) {
+    const std::string rel = fs::relative(p, root).generic_string();
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      out.errors.push_back(rel);
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    contents.emplace_back(rel, blank_comments_and_strings(buf.str()));
+  }
+  // Pass 1: class names tree-wide (out-of-line definitions in any file may
+  // qualify with a class declared in any header).
+  toks.reserve(contents.size());
+  for (const auto& [rel, text] : contents) {
+    toks.push_back(tokenize(text));
+    collect_classes(toks.back(), out);
+  }
+  // Pass 2: functions, calls, locks.
+  for (std::size_t i = 0; i < contents.size(); ++i) {
+    Parser(contents[i].first, toks[i], out).run();
+    out.files.push_back(contents[i].first);
+  }
+  return out;
+}
+
+}  // namespace hpd::analysis

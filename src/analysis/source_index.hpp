@@ -1,0 +1,103 @@
+// Whole-tree textual C++ indexer behind tools/hpd_analyze.
+//
+// In the spirit of tools/hpd_lint this is deliberately lexical (no
+// libclang): comments and string literals are blanked with a
+// line-preserving state machine, the remainder is tokenized, and a
+// single forward pass per file recovers
+//
+//   * function definitions with their scope-qualified names
+//     (namespaces, class bodies, and out-of-line `Class::method`
+//     qualifiers all contribute components),
+//   * the call sites inside each body (qualified as written, with
+//     member-call and discarded-result flags), and
+//   * `hpd::MutexLock` acquisitions with a canonical mutex identity
+//     and enough brace-depth bookkeeping to replay lock scopes.
+//
+// The recovered index is an over-approximation by construction —
+// virtual calls and same-named functions resolve to every candidate —
+// which is the right direction for the interprocedural checks built on
+// top (analysis/checks.hpp): a missed edge hides a deadlock, a spurious
+// edge costs one justified allowlist entry.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hpd::analysis {
+
+/// One event inside a function body, in source order: either a call site
+/// or a MutexLock acquisition.
+struct BodyEvent {
+  enum class Kind { kCall, kLock };
+  Kind kind = Kind::kCall;
+
+  /// kCall: the callee as written, `::`-joined (`flush`, `wire::decode`,
+  /// `::poll`). kLock: the canonical mutex identity (see lock_id rules in
+  /// source_index.cpp).
+  std::string name;
+  std::size_t line = 0;
+
+  /// Brace depth inside the function body (body braces are depth 1).
+  int depth = 0;
+  /// Minimum depth seen between the previous event and this one: a lock
+  /// acquired at depth d is released once min_depth_before < d.
+  int min_depth_before = 0;
+
+  // kCall only:
+  bool member = false;     ///< spelled `obj.name(...)` / `obj->name(...)`
+  bool discarded = false;  ///< statement-position call whose value dies
+  /// Member calls: the identifier immediately left of the `.`/`->` ("" when
+  /// the receiver is a compound expression). Lets the call graph resolve
+  /// `queue_.push(...)` through the declared field type instead of binding
+  /// to every `push` in the tree.
+  std::string receiver;
+};
+
+/// One recovered function definition.
+struct FunctionDef {
+  std::string qname;  ///< fully qualified, e.g. `hpd::rt::Conn::flush`
+  std::string name;   ///< last component of qname
+  /// Innermost enclosing class of the definition ("" for free functions);
+  /// used to qualify bare-member mutex identities.
+  std::string enclosing_class;
+  std::string file;  ///< path relative to the analysis root
+  std::size_t line = 0;
+  std::vector<BodyEvent> events;
+};
+
+struct SourceIndex {
+  std::vector<FunctionDef> functions;
+  /// Every class/struct name seen anywhere in the tree (last component).
+  std::set<std::string> classes;
+  /// Unqualified function name -> indices into `functions`.
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  /// class (last component) -> member field -> declared type (last
+  /// component). `std::deque<T> items_;` records `items_ -> deque`, so a
+  /// call on it resolves to nothing in-tree (external) rather than to
+  /// every same-named method.
+  std::map<std::string, std::map<std::string, std::string>> fields;
+  std::vector<std::string> files;   ///< indexed files, root-relative
+  std::vector<std::string> errors;  ///< unreadable files
+};
+
+/// Blank comment bodies and string/char literal contents, preserving
+/// newlines (so line numbers survive). Handles raw strings including
+/// encoding prefixes (`u8R"(...)"`, `LR"..."`) and backslash
+/// line-continuations inside `//` comments.
+std::string blank_comments_and_strings(const std::string& in);
+
+/// Index one already-read file into `out`. `rel` is the root-relative
+/// path recorded in findings. Exposed separately for unit tests.
+void index_file(const std::string& rel, const std::string& text,
+                SourceIndex& out);
+
+/// Index every `.hpp`/`.cpp`/`.h`/`.cc` under `root/src`. Runs two
+/// passes: class names are collected tree-wide first so out-of-line
+/// definitions in any file can tell classes from namespaces.
+SourceIndex index_tree(const std::filesystem::path& root);
+
+}  // namespace hpd::analysis

@@ -1,0 +1,242 @@
+// Proves every hpd_analyze rule live against the fixture trees under
+// tests/data/analyze/: the bad tree must fire blocking-reachability (via a
+// helper *outside* the reactor directory, reached only transitively),
+// lock-order-cycle (two mutexes, split across translation units), and
+// unchecked-status — each pinned to file and line; the clean twin and the
+// real tree must come back empty. Exercises the CLI surface CI uses:
+// --root/--rules/--strict/--dump-callgraph and exit codes 0/1/2.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "analysis/callgraph.hpp"
+#include "analysis/source_index.hpp"
+
+namespace {
+
+using hpd::analysis::BodyEvent;
+using hpd::analysis::SourceIndex;
+
+// Paths are injected by tests/CMakeLists.txt.
+const std::string kAnalyzeBin = HPD_ANALYZE_BIN;
+const std::string kDataDir = HPD_ANALYZE_DATA;
+const std::string kRepoRoot = HPD_REPO_ROOT;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;
+};
+
+RunResult run_analyze(const std::string& args) {
+  const std::string cmd = kAnalyzeBin + " " + args + " 2>/dev/null";
+  RunResult r;
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    return r;
+  }
+  std::array<char, 4096> buf{};
+  std::size_t k = 0;
+  while ((k = ::fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    r.out.append(buf.data(), k);
+  }
+  const int status = ::pclose(pipe);
+  if (WIFEXITED(status)) {
+    r.exit_code = WEXITSTATUS(status);
+  }
+  return r;
+}
+
+std::string bad_args() {
+  return "--root " + kDataDir + "/bad --rules " + kDataDir + "/bad/rules.txt";
+}
+
+TEST(AnalyzeTest, BadTreeFiresEveryRule) {
+  const RunResult r = run_analyze(bad_args());
+  EXPECT_EQ(r.exit_code, 1) << r.out;
+
+  // Blocking call reached only transitively, through a helper that lives
+  // outside the reactor directory — the case file-local linting cannot see.
+  EXPECT_NE(r.out.find("src/common/helper.cpp:6: blocking-reachability"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("demo::EventLoop::run -> demo::helpers::pump -> "
+                       "demo::helpers::wait_ready -> ::poll()"),
+            std::string::npos)
+      << r.out;
+
+  // Two-mutex cycle split across translation units, both sites named.
+  EXPECT_NE(r.out.find("src/store/store_a.cpp:12: lock-order-cycle"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("mu_a -> mu_b -> mu_a"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("mu_b before mu_a at src/store/store_b.cpp:10"),
+            std::string::npos)
+      << r.out;
+
+  EXPECT_NE(r.out.find("src/io/teardown.cpp:9: unchecked-status"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST(AnalyzeTest, CleanFixtureIsStrictClean) {
+  // The clean twin passes even with --strict: its one allow entry (the
+  // deliberately-blocking pace() barrier) is used.
+  const RunResult r = run_analyze("--root " + kDataDir + "/clean --rules " +
+                                  kDataDir + "/clean/rules.txt --strict");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_EQ(r.out, "");
+}
+
+TEST(AnalyzeTest, UnusedAllowEntryFailsOnlyUnderStrict) {
+  const std::string args = "--root " + kDataDir + "/clean --rules " +
+                           kDataDir + "/unused_allow.txt";
+  EXPECT_EQ(run_analyze(args).exit_code, 0);
+  EXPECT_EQ(run_analyze(args + " --strict").exit_code, 1);
+}
+
+TEST(AnalyzeTest, MalformedRulesFileIsFatal) {
+  const RunResult r = run_analyze("--root " + kDataDir + "/clean --rules " +
+                                  kDataDir + "/malformed_rules.txt");
+  EXPECT_EQ(r.exit_code, 2) << r.out;
+}
+
+TEST(AnalyzeTest, DumpCallgraphShowsIndexAndResolution) {
+  const RunResult r = run_analyze(bad_args() + " --dump-callgraph");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  // Function recovery with qualified names and resolved vs external calls.
+  EXPECT_NE(r.out.find("fn demo::EventLoop::run"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("call 6 ::poll [discarded] -> <external>"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("call 14 helpers::pump"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("-> demo::helpers::pump"), std::string::npos) << r.out;
+  // Lock events carry the canonical cross-TU mutex identity.
+  EXPECT_NE(r.out.find("lock 11 mu_a"), std::string::npos) << r.out;
+}
+
+TEST(AnalyzeTest, RealTreeIsClean) {
+  // The canonical gate: src/ plus the shipped rules file must analyze
+  // clean with every allowlist entry earning its keep.
+  const RunResult r = run_analyze("--root " + kRepoRoot + " --strict");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_EQ(r.out, "");
+}
+
+// ---- indexer unit tests (the library underneath the CLI) ------------------
+
+TEST(SourceIndexTest, RecoversQualifiedFunctionsAndCalls) {
+  SourceIndex idx;
+  hpd::analysis::index_file("src/x.cpp",
+                            "namespace a::b {\n"
+                            "class C {\n"
+                            " public:\n"
+                            "  void m() { helper(1); }\n"
+                            "};\n"
+                            "void C::out() { obj_->run(); }\n"
+                            "}  // namespace a::b\n",
+                            idx);
+  ASSERT_EQ(idx.functions.size(), 2u);
+  EXPECT_EQ(idx.functions[0].qname, "a::b::C::m");
+  EXPECT_EQ(idx.functions[0].enclosing_class, "C");
+  ASSERT_EQ(idx.functions[0].events.size(), 1u);
+  EXPECT_EQ(idx.functions[0].events[0].name, "helper");
+  EXPECT_EQ(idx.functions[1].qname, "a::b::C::out");
+  ASSERT_EQ(idx.functions[1].events.size(), 1u);
+  EXPECT_TRUE(idx.functions[1].events[0].member);
+  EXPECT_EQ(idx.functions[1].events[0].receiver, "obj_");
+}
+
+TEST(SourceIndexTest, LockEventsGetCanonicalIdentity) {
+  SourceIndex idx;
+  hpd::analysis::index_file("src/x.cpp",
+                            "namespace n {\n"
+                            "struct Q {\n"
+                            "  void f() { MutexLock l(mutex_); }\n"
+                            "  void g(Q* o) { MutexLock l(o->mutex_); }\n"
+                            "  int mutex_;\n"
+                            "};\n"
+                            "}\n",
+                            idx);
+  ASSERT_EQ(idx.functions.size(), 2u);
+  // Bare member: qualified by the enclosing class so same-named fields of
+  // different classes stay distinct.
+  EXPECT_EQ(idx.functions[0].events[0].name, "Q::mutex_");
+  // Prefixed member: field identity, merging across instances and TUs.
+  EXPECT_EQ(idx.functions[1].events[0].name, "mutex_");
+  EXPECT_EQ(idx.functions[1].events[0].kind, BodyEvent::Kind::kLock);
+}
+
+TEST(SourceIndexTest, DiscardedResultDetection) {
+  SourceIndex idx;
+  hpd::analysis::index_file("src/x.cpp",
+                            "void f(C* c) {\n"
+                            "  c->flush();\n"
+                            "  int rc = c->flush();\n"
+                            "  (void)c->flush();\n"
+                            "  if (c->flush()) { rc = 0; }\n"
+                            "}\n",
+                            idx);
+  ASSERT_EQ(idx.functions.size(), 1u);
+  int discarded = 0;
+  for (const auto& ev : idx.functions[0].events) {
+    discarded += ev.name == "flush" && ev.discarded ? 1 : 0;
+  }
+  EXPECT_EQ(discarded, 1);
+  EXPECT_EQ(idx.functions[0].events[0].line, 2u);
+  EXPECT_TRUE(idx.functions[0].events[0].discarded);
+}
+
+TEST(SourceIndexTest, BlankerHandlesRawStringsAndContinuations) {
+  using hpd::analysis::blank_comments_and_strings;
+  // Raw strings with encoding prefixes: the unescaped inner quote must not
+  // terminate the literal early and leak `leak(` as code.
+  const std::string raw = blank_comments_and_strings(
+      "auto s = u8R\"(quote \" leak(1); )\";\nnext();\n");
+  EXPECT_EQ(raw.find("leak"), std::string::npos) << raw;
+  EXPECT_NE(raw.find("next();"), std::string::npos) << raw;
+  // A `//` comment ending in a backslash splices onto the next physical
+  // line — the continuation is still comment, not code.
+  const std::string spliced = blank_comments_and_strings(
+      "int a;  // hidden \\\nstill_comment();\nreal();\n");
+  EXPECT_EQ(spliced.find("still_comment"), std::string::npos) << spliced;
+  EXPECT_NE(spliced.find("real();"), std::string::npos) << spliced;
+  // Newline count (and thus line numbers) must survive both.
+  EXPECT_EQ(std::count(raw.begin(), raw.end(), '\n'), 2);
+  EXPECT_EQ(std::count(spliced.begin(), spliced.end(), '\n'), 3);
+}
+
+TEST(CallGraphTest, TypedFieldReceiverResolvesPrecisely) {
+  SourceIndex idx;
+  hpd::analysis::index_file("src/x.cpp",
+                            "struct A { void go() {} };\n"
+                            "struct B { void go() {} };\n"
+                            "struct H {\n"
+                            "  A a_;\n"
+                            "  std::vector<int> v_;\n"
+                            "  void run() { a_.go(); v_.size(); }\n"
+                            "};\n",
+                            idx);
+  const auto g = hpd::analysis::build_callgraph(idx);
+  ASSERT_EQ(idx.functions.size(), 3u);
+  const auto& run_targets = g.targets[2];
+  ASSERT_EQ(run_targets.size(), 2u);
+  // a_.go() binds to A::go only, not every `go` in the tree.
+  ASSERT_EQ(run_targets[0].size(), 1u);
+  EXPECT_EQ(idx.functions[run_targets[0][0]].qname, "A::go");
+  // v_ is a foreign type: external, no in-tree candidates.
+  EXPECT_TRUE(run_targets[1].empty());
+}
+
+TEST(AnalyzeTest, UsageErrors) {
+  EXPECT_EQ(run_analyze("--root /nonexistent-hpd-analyze-root").exit_code, 2);
+  EXPECT_EQ(run_analyze("--bogus-flag").exit_code, 2);
+  EXPECT_EQ(run_analyze("--root " + kDataDir + "/bad --rules /nonexistent.txt")
+                .exit_code,
+            2);
+}
+
+}  // namespace

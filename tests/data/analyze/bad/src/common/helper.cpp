@@ -1,0 +1,11 @@
+// The blocking call sits outside src/rt/reactor/, reached only
+// transitively: run -> pump -> wait_ready -> ::poll.
+namespace demo::helpers {
+
+void wait_ready() {
+  ::poll(nullptr, 0, -1);
+}
+
+void pump() { wait_ready(); }
+
+}  // namespace demo::helpers

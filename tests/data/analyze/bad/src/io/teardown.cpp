@@ -1,0 +1,12 @@
+// Discards the status result of a flush API at statement position.
+namespace demo {
+
+struct Conn {
+  int flush();
+};
+
+void teardown(Conn& c) {
+  c.flush();
+}
+
+}  // namespace demo

@@ -1,0 +1,16 @@
+// The event-loop entry point. Nothing here blocks — the violation hides
+// two call-graph hops away, in a helper outside the reactor directory.
+namespace demo {
+
+class EventLoop {
+ public:
+  void run();
+};
+
+namespace helpers {
+void pump();
+}
+
+void EventLoop::run() { helpers::pump(); }
+
+}  // namespace demo

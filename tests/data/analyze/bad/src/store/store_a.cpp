@@ -1,0 +1,15 @@
+// Takes mu_a then mu_b; store_b.cpp takes them in the opposite order —
+// a lock-order cycle split across translation units.
+namespace demo {
+
+struct Shards {
+  int mu_a;
+  int mu_b;
+};
+
+void rebalance(Shards& s) {
+  MutexLock hold_a(s.mu_a);
+  MutexLock hold_b(s.mu_b);
+}
+
+}  // namespace demo

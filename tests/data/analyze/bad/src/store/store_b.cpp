@@ -1,0 +1,13 @@
+// The other half of the cycle: mu_b before mu_a.
+namespace demo {
+
+struct Shards;
+
+void compact(Shards& s);
+
+void compact_impl(Shards& s) {
+  MutexLock hold_b(s.mu_b);
+  MutexLock hold_a(s.mu_a);
+}
+
+}  // namespace demo

@@ -1,0 +1,17 @@
+// pump() stays nonblocking; pace() blocks by design and is allowlisted
+// as a traversal barrier in rules.txt.
+namespace demo::helpers {
+
+int ready_count = 0;
+
+void wait_ready() {
+  ++ready_count;
+}
+
+void pump() { wait_ready(); }
+
+void pace() {
+  ::poll(nullptr, 0, 10);
+}
+
+}  // namespace demo::helpers

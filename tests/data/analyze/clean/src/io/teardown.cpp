@@ -1,0 +1,17 @@
+// The flush status is consumed — both the tested and the void-cast forms
+// must stay quiet.
+namespace demo {
+
+struct Conn {
+  int flush();
+};
+
+int teardown(Conn& c) {
+  if (c.flush() != 0) {
+    return 1;
+  }
+  (void)c.flush();
+  return 0;
+}
+
+}  // namespace demo

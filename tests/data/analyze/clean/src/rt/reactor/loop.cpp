@@ -1,0 +1,20 @@
+// Clean twin of the bad fixture: the helper chain never blocks, the
+// one blocking helper is behind a justified allowlist barrier.
+namespace demo {
+
+class EventLoop {
+ public:
+  void run();
+};
+
+namespace helpers {
+void pump();
+void pace();
+}
+
+void EventLoop::run() {
+  helpers::pump();
+  helpers::pace();
+}
+
+}  // namespace demo

@@ -1,0 +1,19 @@
+// Both paths take mu_a before mu_b: a consistent order, no cycle.
+namespace demo {
+
+struct Shards {
+  int mu_a;
+  int mu_b;
+};
+
+void rebalance(Shards& s) {
+  MutexLock hold_a(s.mu_a);
+  MutexLock hold_b(s.mu_b);
+}
+
+void compact_impl(Shards& s) {
+  MutexLock hold_a(s.mu_a);
+  MutexLock hold_b(s.mu_b);
+}
+
+}  // namespace demo

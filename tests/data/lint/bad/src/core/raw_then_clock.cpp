@@ -1,0 +1,12 @@
+// The raw strings must neither swallow the genuine violation after them
+// nor shift its line number.
+namespace demo {
+
+const char* ok = R"delim(std::random_device hidden)delim";
+const wchar_t* w = LR"(inner " quote hidden)";
+
+long tick() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace demo

@@ -1,0 +1,17 @@
+// Regression fixture for the comment/string blanker: every banned token
+// below lives inside a raw string literal (including encoding-prefixed
+// ones, whose inner unescaped quotes must not end the literal early) or
+// behind a backslash-spliced line comment. None of it is code.
+namespace demo {
+
+const char* plain = R"(std::random_device inside a raw string)";
+const wchar_t* prefixed = LR"(quote " then std::chrono::system_clock leaks?)";
+const char* encoded = u8R"x(srand( rand( ::time( " gettimeofday()x";
+// this comment continues onto the next physical line \
+std::this_thread::sleep_for(std::chrono::seconds(1));
+// and a spliced one hiding entropy \
+std::random_device hidden_by_splice;
+
+int counter = 0;
+
+}  // namespace demo

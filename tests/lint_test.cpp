@@ -90,6 +90,11 @@ TEST(LintTest, BadTreeFiresEveryRule) {
       r.out.find("src/rt/reactor/blocking_call.cpp:8: reactor-nonblocking"),
       std::string::npos)
       << r.out;
+  // Raw strings before the violation must not swallow it or shift its
+  // line number (blanker regression: delimiter scan + prefixed literals).
+  EXPECT_NE(r.out.find("src/core/raw_then_clock.cpp:9: determinism"),
+            std::string::npos)
+      << r.out;
 }
 
 TEST(LintTest, CleanFixtureHasNoFindings) {
@@ -118,10 +123,40 @@ TEST(LintTest, AllowlistSuppressesListedRulesOnly) {
 }
 
 TEST(LintTest, RealTreeIsClean) {
-  // The canonical gate: src/ plus the shipped allowlist must lint clean.
-  const RunResult r = run_lint("--root " + kRepoRoot);
+  // The canonical gate: src/ plus the shipped allowlist must lint clean,
+  // with every allowlist entry earning its keep (--strict, as CI runs it).
+  const RunResult r = run_lint("--root " + kRepoRoot + " --strict");
   EXPECT_EQ(r.exit_code, 0) << r.out;
   EXPECT_EQ(r.out, "");
+}
+
+TEST(LintTest, CleanFixtureHidesTokensInRawStringsAndSplicedComments) {
+  // Blanker regression: encoding-prefixed raw strings (LR"(...)",
+  // u8R"(...)") and `//` comments spliced by a trailing backslash hide
+  // banned tokens from the compiler — the linter must not see them either.
+  const RunResult r = run_lint("--root " + kDataDir + "/clean");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_EQ(r.out.find("raw_and_spliced"), std::string::npos) << r.out;
+}
+
+TEST(LintTest, MalformedAllowlistIsFatal) {
+  EXPECT_EQ(run_lint("--root " + kDataDir + "/bad --rules " + kDataDir +
+                     "/malformed_rules.txt")
+                .exit_code,
+            2);
+  EXPECT_EQ(run_lint("--root " + kDataDir + "/bad --rules " + kDataDir +
+                     "/bad_rule_id.txt")
+                .exit_code,
+            2);
+}
+
+TEST(LintTest, UnusedAllowlistEntriesFailOnlyUnderStrict) {
+  // Against the clean tree, every allow_all_bad.txt entry is unused:
+  // quietly tolerated by default, fatal with --strict.
+  const std::string args =
+      "--root " + kDataDir + "/clean --rules " + kDataDir + "/allow_all_bad.txt";
+  EXPECT_EQ(run_lint(args).exit_code, 0);
+  EXPECT_EQ(run_lint(args + " --strict").exit_code, 1);
 }
 
 TEST(LintTest, UsageErrors) {

@@ -1,0 +1,130 @@
+// hpd_analyze — interprocedural static analysis over the whole src/ tree.
+//
+// Where hpd_lint checks structural per-file rules, this tool indexes every
+// function definition (src/analysis/source_index), builds the project call
+// graph (src/analysis/callgraph), and runs three interprocedural rules
+// (src/analysis/checks):
+//
+//   blocking-reachability   no path from an event-loop entry point to a
+//                           blocking call, chain printed in the finding
+//   lock-order-cycle        cycles in the mutex acquisition-order graph
+//   unchecked-status        discarded status results of socket/Conn APIs
+//
+// Rule configuration and the justified allowlist live in
+// tools/hpd_analyze_rules.txt (see docs/STATIC_ANALYSIS.md).
+//
+// Exit codes: 0 clean, 1 findings (or, with --strict, unused allowlist
+// entries), 2 usage / malformed rules file.
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.hpp"
+#include "analysis/checks.hpp"
+#include "analysis/source_index.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using hpd::analysis::AllowEntry;
+using hpd::analysis::CallGraph;
+using hpd::analysis::Finding;
+using hpd::analysis::Rules;
+using hpd::analysis::SourceIndex;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--root DIR] [--rules FILE] [--strict] [--dump-callgraph]"
+               " [--quiet]\n"
+               "Indexes DIR/src (default root: .) and runs the\n"
+               "interprocedural rules configured in FILE (default:\n"
+               "DIR/tools/hpd_analyze_rules.txt). --dump-callgraph prints\n"
+               "the recovered index instead of checking. --strict also\n"
+               "fails on unused allowlist entries. Exit 1 on findings,\n"
+               "2 on usage or malformed rules.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  fs::path rules_file;
+  bool strict = false;
+  bool dump = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--rules" && i + 1 < argc) {
+      rules_file = argv[++i];
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--dump-callgraph") {
+      dump = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!fs::is_directory(root / "src")) {
+    std::cerr << "hpd_analyze: no src/ under " << root << "\n";
+    return 2;
+  }
+  if (rules_file.empty()) {
+    rules_file = root / "tools" / "hpd_analyze_rules.txt";
+  }
+
+  const SourceIndex index = hpd::analysis::index_tree(root);
+  for (const std::string& bad : index.errors) {
+    std::cerr << "hpd_analyze: cannot read " << bad << "\n";
+  }
+  if (!index.errors.empty()) {
+    return 2;
+  }
+  const CallGraph graph = hpd::analysis::build_callgraph(index);
+
+  if (dump) {
+    hpd::analysis::dump_callgraph(index, graph, std::cout);
+    return 0;
+  }
+
+  Rules rules;
+  std::string err;
+  if (!hpd::analysis::read_rules(rules_file, rules, err)) {
+    std::cerr << "hpd_analyze: " << err << "\n";
+    return 2;
+  }
+
+  const std::vector<Finding> findings =
+      hpd::analysis::run_checks(index, graph, rules);
+  for (const Finding& fd : findings) {
+    std::cout << fd.file << ":" << fd.line << ": " << fd.message << "\n";
+  }
+
+  std::size_t unused = 0;
+  for (const AllowEntry& a : rules.allows) {
+    if (a.used) {
+      continue;
+    }
+    ++unused;
+    std::cerr << "hpd_analyze: " << (strict ? "error" : "note")
+              << ": unused allowlist entry `" << a.rule << " " << a.pattern
+              << "` (" << rules_file.generic_string() << ":" << a.line
+              << ")\n";
+  }
+  if (!quiet) {
+    std::cerr << "hpd_analyze: " << index.files.size() << " files, "
+              << index.functions.size() << " functions, " << findings.size()
+              << " finding(s)\n";
+  }
+  if (!findings.empty()) {
+    return 1;
+  }
+  return strict && unused != 0 ? 1 : 0;
+}

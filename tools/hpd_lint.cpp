@@ -227,20 +227,47 @@ std::string strip_comments_and_strings(const std::string& in) {
           st = St::kBlock;
           out[i] = out[i + 1] = ' ';
           ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || !ident_char(out[i - 1]))) {
-          std::size_t p = i + 2;
-          raw_delim.clear();
-          while (p < out.size() && out[p] != '(') {
-            raw_delim += out[p++];
-          }
-          st = St::kRaw;
-          for (std::size_t k = i; k <= p && k < out.size(); ++k) {
-            out[k] = ' ';
-          }
-          i = p;
         } else if (c == '"') {
-          st = St::kStr;
+          // Raw string? Look back for `R` plus an optional encoding prefix
+          // (u8, u, U, L) starting at an identifier boundary — `LR"(...)"`
+          // must not fall into the plain-string state, where the literal's
+          // first unescaped quote would end it early and leak its tail.
+          std::size_t r = i;
+          bool raw = false;
+          if (i >= 1 && out[i - 1] == 'R') {
+            std::size_t pre = i - 1;
+            if (pre >= 1 && (out[pre - 1] == 'u' || out[pre - 1] == 'U' ||
+                             out[pre - 1] == 'L')) {
+              pre -= 1;
+            } else if (pre >= 2 && out[pre - 2] == 'u' && out[pre - 1] == '8') {
+              pre -= 2;
+            }
+            if (pre == 0 || !ident_char(out[pre - 1])) {
+              raw = true;
+              r = i - 1;
+            }
+          }
+          if (raw) {
+            // Delimiter scan is bounded (the standard caps it at 16 chars)
+            // and stops at newline/EOF instead of running off the file.
+            std::size_t p = i + 1;
+            raw_delim.clear();
+            while (p < out.size() && out[p] != '(' && out[p] != '\n' &&
+                   raw_delim.size() <= 16) {
+              raw_delim += out[p++];
+            }
+            if (p < out.size() && out[p] == '(') {
+              for (std::size_t k = r; k <= p; ++k) {
+                out[k] = ' ';
+              }
+              i = p;
+              st = St::kRaw;
+            } else {
+              st = St::kStr;  // `R"` not opening a raw string after all
+            }
+          } else {
+            st = St::kStr;
+          }
         } else if (c == '\'' && (i == 0 || !ident_char(out[i - 1]))) {
           // Identifier-boundary check keeps digit separators (1'000) intact.
           st = St::kChar;
@@ -249,6 +276,16 @@ std::string strip_comments_and_strings(const std::string& in) {
       case St::kLine:
         if (c == '\n') {
           st = St::kCode;
+        } else if (c == '\\' && next == '\n') {
+          // Backslash line-splice: to the compiler the comment continues on
+          // the next physical line, so it must stay blanked here too. Keep
+          // the newline itself — line numbers depend on it.
+          out[i] = ' ';
+          ++i;
+        } else if (c == '\\' && next == '\r' && i + 2 < out.size() &&
+                   out[i + 2] == '\n') {
+          out[i] = out[i + 1] = ' ';
+          i += 2;
         } else {
           out[i] = ' ';
         }
@@ -504,35 +541,63 @@ void check_file(const fs::path& abs, const std::string& rel, FileReport& r) {
 
 // ---- Driver -----------------------------------------------------------------
 
-std::vector<AllowEntry> read_rules(const fs::path& file, bool& ok) {
+const std::set<std::string>& known_rule_ids() {
+  static const std::set<std::string> kIds = {
+      "layering",        "determinism",        "wire-endianness",
+      "raw-concurrency", "hot-path-containers", "reactor-nonblocking",
+      "todo-issue",      "pragma-once",         "using-namespace",
+  };
+  return kIds;
+}
+
+// A malformed line is a hard error (`err` set, caller exits 2): an entry
+// that silently fails to parse — or names a rule that doesn't exist —
+// would quietly stop suppressing, or worse, let a typo ship as if it
+// suppressed something.
+std::vector<AllowEntry> read_rules(const fs::path& file, std::string& err) {
   std::vector<AllowEntry> entries;
-  ok = true;
   std::ifstream in(file);
   if (!in) {
-    ok = false;
+    err = "cannot read rules file " + file.string();
     return entries;
   }
   std::string line;
+  std::size_t lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) {
       line.resize(hash);
     }
     std::istringstream is(line);
     AllowEntry e;
-    if (is >> e.rule >> e.path_prefix) {
-      entries.push_back(e);
+    std::string extra;
+    if (!(is >> e.rule)) {
+      continue;  // blank / comment-only line
     }
+    if (!(is >> e.path_prefix) || (is >> extra)) {
+      err = file.string() + ":" + std::to_string(lineno) +
+            ": malformed allowlist line (want `rule-id path-prefix`)";
+      return entries;
+    }
+    if (known_rule_ids().count(e.rule) == 0) {
+      err = file.string() + ":" + std::to_string(lineno) +
+            ": unknown rule-id `" + e.rule + "`";
+      return entries;
+    }
+    entries.push_back(e);
   }
   return entries;
 }
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--root DIR] [--rules FILE] [--quiet]\n"
+            << " [--root DIR] [--rules FILE] [--strict] [--quiet]\n"
                "Lints DIR/src (default root: .). Allowlist: FILE lines of\n"
                "`rule-id path-prefix` (default: DIR/tools/hpd_lint_rules.txt\n"
-               "when present). Exit 1 on findings, 2 on usage errors.\n";
+               "when present). --strict also fails on unused allowlist\n"
+               "entries. Exit 1 on findings, 2 on usage errors or a\n"
+               "malformed rules file.\n";
   return 2;
 }
 
@@ -541,6 +606,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   fs::path root = ".";
   fs::path rules_file;
+  bool strict = false;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -548,6 +614,8 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--rules" && i + 1 < argc) {
       rules_file = argv[++i];
+    } else if (arg == "--strict") {
+      strict = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -569,10 +637,10 @@ int main(int argc, char** argv) {
     }
   }
   if (!rules_file.empty()) {
-    bool ok = false;
-    allow = read_rules(rules_file, ok);
-    if (!ok) {
-      std::cerr << "hpd_lint: cannot read rules file " << rules_file << "\n";
+    std::string err;
+    allow = read_rules(rules_file, err);
+    if (!err.empty()) {
+      std::cerr << "hpd_lint: " << err << "\n";
       return 2;
     }
   }
@@ -616,9 +684,15 @@ int main(int argc, char** argv) {
     std::cout << fd.file << ":" << fd.line << ": " << fd.rule << " "
               << fd.message << "\n";
   }
+  std::size_t unused = 0;
   for (const AllowEntry& e : allow) {
-    if (!e.used && !quiet) {
-      std::cerr << "hpd_lint: note: unused allowlist entry `" << e.rule << " "
+    if (e.used) {
+      continue;
+    }
+    ++unused;
+    if (strict || !quiet) {
+      std::cerr << "hpd_lint: " << (strict ? "error" : "note")
+                << ": unused allowlist entry `" << e.rule << " "
                 << e.path_prefix << "`\n";
     }
   }
@@ -626,5 +700,8 @@ int main(int argc, char** argv) {
     std::cerr << "hpd_lint: " << files.size() << " files, " << kept.size()
               << " finding(s)\n";
   }
-  return kept.empty() ? 0 : 1;
+  if (!kept.empty()) {
+    return 1;
+  }
+  return strict && unused != 0 ? 1 : 0;
 }
