@@ -1,0 +1,352 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "wire/codec.hpp"
+#include "wire/frame.hpp"
+
+namespace hpd::ckpt {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'P', 'D', 'C', 'K', 'P', 'T', '1'};
+
+// Section tags (first payload byte of every frame).
+constexpr std::uint8_t kTagMeta = 0x01;
+constexpr std::uint8_t kTagDetector = 0x02;
+constexpr std::uint8_t kTagSession = 0x03;
+constexpr std::uint8_t kTagFt = 0x04;
+constexpr std::uint8_t kTagEnd = 0xFF;
+
+void append_section(std::vector<std::uint8_t>& out, std::uint8_t tag,
+                    std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> framed;
+  framed.reserve(payload.size() + 1);
+  framed.push_back(tag);
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  wire::append_frame(out, framed);
+}
+
+CheckpointMeta decode_meta(std::span<const std::uint8_t> bytes) {
+  try {
+    wire::Decoder d(bytes);
+    CheckpointMeta meta;
+    const std::uint64_t version = d.get_varint();
+    if (version != kFormatVersion) {
+      throw CkptError("ckpt: unsupported checkpoint format version " +
+                      std::to_string(version));
+    }
+    meta.format_version = static_cast<std::uint32_t>(version);
+    meta.generation = d.get_varint();
+    meta.engine_kind = d.get_u8();
+    meta.consumed_events = d.get_varint();
+    meta.occurrences_emitted = d.get_varint();
+    if (!d.exhausted()) {
+      throw CkptError("ckpt: trailing bytes in META section");
+    }
+    return meta;
+  } catch (const wire::DecodeError& err) {
+    throw CkptError(std::string("ckpt: malformed META section: ") +
+                    err.what());
+  }
+}
+
+/// write(2) the whole buffer, fsync, close. Throws CkptError on failure.
+void write_file_durable(const std::string& path,
+                        std::span<const std::uint8_t> bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    throw CkptError("ckpt: cannot create " + path + ": " +
+                    std::strerror(errno));
+  }
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const int saved = errno;
+      ::close(fd);
+      throw CkptError("ckpt: write to " + path + " failed: " +
+                      std::strerror(saved));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw CkptError("ckpt: fsync of " + path + " failed: " +
+                    std::strerror(saved));
+  }
+  ::close(fd);
+}
+
+/// fsync the directory so the rename that just landed in it is durable.
+void sync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return;  // best effort: some filesystems refuse directory fds
+  }
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Atomic publish: write to `<path>.tmp` (durable), rename over `path`,
+/// fsync the containing directory. A crash at any point leaves either the
+/// old file or the complete new one — never a partial write under `path`.
+void publish_durable(const std::string& dir, const std::string& path,
+                     std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  write_file_durable(tmp, bytes);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    throw CkptError("ckpt: rename to " + path + " failed: " +
+                    std::strerror(saved));
+  }
+  sync_dir(dir);
+}
+
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> bytes;
+  char buf[1 << 16];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    bytes.insert(bytes.end(), buf, buf + in.gcount());
+  }
+  return bytes;
+}
+
+}  // namespace
+
+// ---- File format ------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_checkpoint_file(const CheckpointData& data) {
+  std::vector<std::uint8_t> out(kMagic, kMagic + sizeof(kMagic));
+  wire::Encoder meta;
+  meta.put_varint(data.meta.format_version);
+  meta.put_varint(data.meta.generation);
+  meta.put_u8(data.meta.engine_kind);
+  meta.put_varint(data.meta.consumed_events);
+  meta.put_varint(data.meta.occurrences_emitted);
+  append_section(out, kTagMeta, meta.bytes());
+  if (!data.detector.empty()) {
+    append_section(out, kTagDetector, data.detector);
+  }
+  if (!data.session.empty()) {
+    append_section(out, kTagSession, data.session);
+  }
+  if (!data.ft.empty()) {
+    append_section(out, kTagFt, data.ft);
+  }
+  append_section(out, kTagEnd, {});
+  return out;
+}
+
+CheckpointData decode_checkpoint_file(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw CkptError("ckpt: bad checkpoint magic");
+  }
+  CheckpointData data;
+  bool saw_meta = false;
+  bool saw_end = false;
+  try {
+    wire::FrameReader reader;
+    reader.feed(bytes.subspan(sizeof(kMagic)));
+    while (auto payload = reader.next()) {
+      if (saw_end) {
+        throw CkptError("ckpt: section after END");
+      }
+      if (payload->empty()) {
+        throw CkptError("ckpt: empty section frame");
+      }
+      const std::uint8_t tag = (*payload)[0];
+      std::vector<std::uint8_t> body(payload->begin() + 1, payload->end());
+      if (!saw_meta && tag != kTagMeta) {
+        throw CkptError("ckpt: first section is not META");
+      }
+      switch (tag) {
+        case kTagMeta:
+          if (saw_meta) {
+            throw CkptError("ckpt: duplicate META section");
+          }
+          data.meta = decode_meta(body);
+          saw_meta = true;
+          break;
+        case kTagDetector:
+          data.detector = std::move(body);
+          break;
+        case kTagSession:
+          data.session = std::move(body);
+          break;
+        case kTagFt:
+          data.ft = std::move(body);
+          break;
+        case kTagEnd:
+          if (!body.empty()) {
+            throw CkptError("ckpt: END section carries payload");
+          }
+          saw_end = true;
+          break;
+        default:
+          break;  // unknown section: CRC-checked, skipped (forward compat)
+      }
+    }
+    if (reader.buffered() != 0) {
+      throw CkptError("ckpt: trailing partial frame");
+    }
+  } catch (const wire::FrameError& err) {
+    throw CkptError(std::string("ckpt: corrupt frame: ") + err.what());
+  }
+  if (!saw_end) {
+    throw CkptError("ckpt: truncated checkpoint (missing END)");
+  }
+  return data;
+}
+
+// ---- Store ------------------------------------------------------------------
+
+CheckpointStore::CheckpointStore(std::string dir, std::string name)
+    : dir_(std::move(dir)), name_(std::move(name)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw CkptError("ckpt: cannot create directory " + dir_ + ": " +
+                    ec.message());
+  }
+  const std::vector<std::uint64_t> gens = list_generations();
+  if (!gens.empty()) {
+    next_generation_ = gens.back() + 1;
+  }
+}
+
+std::string CheckpointStore::checkpoint_path(std::uint64_t generation) const {
+  return dir_ + "/" + name_ + "-" + std::to_string(generation) + ".ckpt";
+}
+
+std::string CheckpointStore::manifest_path() const {
+  return dir_ + "/" + name_ + ".manifest";
+}
+
+std::vector<std::uint64_t> CheckpointStore::list_generations() const {
+  std::vector<std::uint64_t> gens;
+  if (std::ifstream in{manifest_path()}) {
+    std::string line;
+    if (std::getline(in, line) && line == "hpd-ckpt-manifest v1") {
+      while (std::getline(in, line)) {
+        if (line.empty()) {
+          continue;
+        }
+        errno = 0;
+        char* end = nullptr;
+        const unsigned long long gen = std::strtoull(line.c_str(), &end, 10);
+        if (errno != 0 || end == line.c_str() || *end != '\0') {
+          gens.clear();  // torn manifest: fall back to the directory scan
+          break;
+        }
+        gens.push_back(gen);
+      }
+    }
+  }
+  if (gens.empty()) {
+    // No (usable) manifest: scan for `<name>-<gen>.ckpt`.
+    const std::string prefix = name_ + "-";
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir_, ec)) {
+      const std::string fname = entry.path().filename().string();
+      if (fname.size() <= prefix.size() + 5 ||
+          fname.compare(0, prefix.size(), prefix) != 0 ||
+          fname.compare(fname.size() - 5, 5, ".ckpt") != 0) {
+        continue;
+      }
+      const std::string digits =
+          fname.substr(prefix.size(), fname.size() - prefix.size() - 5);
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long gen = std::strtoull(digits.c_str(), &end, 10);
+      if (errno != 0 || end == digits.c_str() || *end != '\0') {
+        continue;
+      }
+      gens.push_back(gen);
+    }
+  }
+  std::sort(gens.begin(), gens.end());
+  gens.erase(std::unique(gens.begin(), gens.end()), gens.end());
+  return gens;
+}
+
+void CheckpointStore::write_manifest(
+    const std::vector<std::uint64_t>& generations) {
+  std::string text = "hpd-ckpt-manifest v1\n";
+  for (const std::uint64_t gen : generations) {
+    text += std::to_string(gen);
+    text += '\n';
+  }
+  publish_durable(dir_, manifest_path(),
+                  {reinterpret_cast<const std::uint8_t*>(text.data()),
+                   text.size()});
+}
+
+void CheckpointStore::prune(std::vector<std::uint64_t>& generations) {
+  while (generations.size() > kKeepGenerations) {
+    ::unlink(checkpoint_path(generations.front()).c_str());
+    generations.erase(generations.begin());
+  }
+}
+
+std::uint64_t CheckpointStore::write(CheckpointData data) {
+  const std::uint64_t gen = next_generation_++;
+  data.meta.generation = gen;
+  data.meta.format_version = kFormatVersion;
+  const std::vector<std::uint8_t> bytes = encode_checkpoint_file(data);
+  publish_durable(dir_, checkpoint_path(gen), bytes);
+  std::vector<std::uint64_t> gens = list_generations();
+  gens.push_back(gen);
+  std::sort(gens.begin(), gens.end());
+  gens.erase(std::unique(gens.begin(), gens.end()), gens.end());
+  prune(gens);
+  write_manifest(gens);
+  counters_.writes += 1;
+  counters_.bytes_written += bytes.size();
+  return gen;
+}
+
+std::optional<CheckpointData> CheckpointStore::load_latest() {
+  std::vector<std::uint64_t> gens = list_generations();
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    const auto bytes = read_file(checkpoint_path(*it));
+    if (!bytes.has_value()) {
+      counters_.torn_writes_skipped += 1;  // listed but unreadable
+      continue;
+    }
+    try {
+      CheckpointData data = decode_checkpoint_file(*bytes);
+      counters_.restores += 1;
+      counters_.restore_generation =
+          std::max(counters_.restore_generation, *it);
+      return data;
+    } catch (const CkptError&) {
+      counters_.torn_writes_skipped += 1;  // torn or corrupt: fall back one
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace hpd::ckpt

@@ -1,0 +1,126 @@
+// Crash-consistent checkpoint files.
+//
+// A checkpoint file is a self-describing container for the serialized
+// snapshot sections produced by ckpt/snapshot:
+//
+//   magic    "HPDCKPT1" (8 bytes, raw)
+//   frames   wire/frame framing: varint length + payload + CRC-32C, so
+//            every section is individually integrity-checked
+//     META     u8 0x01, then varint format_version (currently 1), varint
+//              generation, u8 engine kind, varint consumed_events, varint
+//              occurrences_emitted — always the first frame
+//     DETECTOR u8 0x02 + ckpt::encode_detector bytes      (optional)
+//     SESSION  u8 0x03 + ckpt::encode_session bytes       (optional)
+//     FT       u8 0x04 + ckpt::encode_ft bytes            (optional)
+//     END      u8 0xFF, empty — completeness marker
+//
+// A file without its END frame is torn (the writer died mid-write); any
+// flipped bit fails a frame CRC; an unknown format_version is rejected.
+// All three cases throw CkptError — a corrupt checkpoint is never
+// silently loaded. Unknown section tags between META and END are skipped
+// (CRC-checked but uninterpreted), so older readers tolerate newer minor
+// sections.
+//
+// CheckpointStore turns single files into a durable sequence:
+//   - write(): encode to `<name>-<gen>.ckpt.tmp`, fsync, rename over
+//     `<name>-<gen>.ckpt`, fsync the directory, then atomically rewrite
+//     `<name>.manifest` (the generation list, newest last) the same way.
+//     Old generations beyond kKeepGenerations are pruned.
+//   - load_latest(): walk the manifest newest-first (directory scan when
+//     the manifest itself is missing or torn), skipping — and counting —
+//     every torn or corrupt generation, and return the newest complete
+//     one. A torn newest generation therefore falls back to its
+//     predecessor instead of failing the restore.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "metrics/counters.hpp"
+
+namespace hpd::ckpt {
+
+class CkptError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Current checkpoint container format version.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// The always-present first section of a checkpoint file.
+struct CheckpointMeta {
+  std::uint32_t format_version = kFormatVersion;
+  std::uint64_t generation = 0;  ///< assigned by CheckpointStore::write
+  std::uint8_t engine_kind = 0;  ///< ckpt::EngineKind of the detector image
+  /// Stream events the detector had ingested when the snapshot was taken.
+  std::uint64_t consumed_events = 0;
+  /// Occurrences the owner had emitted — restore truncates its output log
+  /// back to this count so the stream continues without duplicates.
+  std::uint64_t occurrences_emitted = 0;
+};
+
+/// A decoded checkpoint: the meta section plus the raw payload of each
+/// optional section (empty == absent). Section payloads are produced /
+/// consumed by the codecs in ckpt/snapshot.hpp.
+struct CheckpointData {
+  CheckpointMeta meta;
+  std::vector<std::uint8_t> detector;
+  std::vector<std::uint8_t> session;
+  std::vector<std::uint8_t> ft;
+};
+
+/// Encode one checkpoint file image (magic + frames, including END).
+std::vector<std::uint8_t> encode_checkpoint_file(const CheckpointData& data);
+
+/// Decode and integrity-check a checkpoint file image. Throws CkptError on
+/// a bad magic, CRC mismatch, truncation (missing END), trailing bytes,
+/// version skew, or malformed META.
+CheckpointData decode_checkpoint_file(std::span<const std::uint8_t> bytes);
+
+class CheckpointStore {
+ public:
+  /// Generations retained on disk after a successful write.
+  static constexpr std::size_t kKeepGenerations = 2;
+
+  /// `dir` is created if missing; `name` prefixes this store's files so
+  /// several nodes can share one directory.
+  explicit CheckpointStore(std::string dir, std::string name = "node");
+
+  /// Write `data` as the next generation (meta.generation is assigned).
+  /// Returns the generation written. Throws CkptError on I/O failure.
+  std::uint64_t write(CheckpointData data);
+
+  /// Load the newest complete generation, falling back past torn/corrupt
+  /// files (counted in counters().torn_writes_skipped). nullopt when no
+  /// loadable checkpoint exists.
+  std::optional<CheckpointData> load_latest();
+
+  /// The generation the next write() will produce.
+  std::uint64_t next_generation() const { return next_generation_; }
+
+  const std::string& dir() const { return dir_; }
+
+  CheckpointCounters& counters() { return counters_; }
+  const CheckpointCounters& counters() const { return counters_; }
+
+ private:
+  std::string checkpoint_path(std::uint64_t generation) const;
+  std::string manifest_path() const;
+  /// Known generations, ascending: manifest contents when readable, else a
+  /// directory scan for `<name>-*.ckpt`.
+  std::vector<std::uint64_t> list_generations() const;
+  void write_manifest(const std::vector<std::uint64_t>& generations);
+  void prune(std::vector<std::uint64_t>& generations);
+
+  std::string dir_;
+  std::string name_;
+  std::uint64_t next_generation_ = 1;
+  CheckpointCounters counters_;
+};
+
+}  // namespace hpd::ckpt

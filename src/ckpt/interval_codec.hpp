@@ -1,0 +1,30 @@
+// Internal helpers shared by the ckpt codecs (snapshot sections and the
+// durable event stream): the checkpoint-only interval encoding. The wire
+// protocol never ships completed_at — receivers do not need it — but both
+// checkpoints and event streams must carry it so a restored detector
+// reproduces occurrence latencies bit-exactly.
+//
+// Internal to src/ckpt; include nowhere else (the ckpt-serialization lint
+// rule confines checkpoint serialization to this directory plus src/wire).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "interval/interval.hpp"
+#include "wire/codec.hpp"
+
+namespace hpd::ckpt::internal {
+
+inline void put_interval_full(wire::Encoder& e, const Interval& x) {
+  e.put_interval(x);
+  e.put_varint(std::bit_cast<std::uint64_t>(x.completed_at));
+}
+
+inline Interval get_interval_full(wire::Decoder& d) {
+  Interval x = d.get_interval();
+  x.completed_at = std::bit_cast<double>(d.get_varint());
+  return x;
+}
+
+}  // namespace hpd::ckpt::internal

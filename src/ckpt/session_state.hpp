@@ -1,0 +1,54 @@
+// Backend-neutral image of rt::NodeSession's reliable-delivery state.
+//
+// The checkpoint subsystem sits below rt in the layering DAG (rt hosts the
+// session over sockets and timers; ckpt must stay usable by the runner and
+// the tools without dragging the live runtime in), so the session cannot be
+// serialized by naming rt types here. Instead rt::NodeSession exports into
+// this plain-data struct (export_state) and rebuilds from it
+// (import_state); ckpt/snapshot serializes the struct.
+//
+// What is deliberately absent: retransmit deadlines and backoff state
+// (steady-clock readings are meaningless in a new process — import
+// schedules every unacked message for immediate retransmission), and
+// chaos-delayed frames (perturbations die with the incarnation).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hpd::ckpt {
+
+struct SessionState {
+  /// One message accepted by the session layer but not yet acknowledged.
+  struct Unacked {
+    SeqNum seq = 0;
+    std::vector<std::uint8_t> body;  ///< encoded DATA payload (unframed)
+    std::uint32_t attempts = 0;      ///< transmissions already performed
+    std::uint64_t dst_epoch = 0;     ///< destination incarnation targeted
+  };
+  struct PeerSend {
+    ProcessId peer = kNoProcess;
+    SeqNum next_seq = 1;
+    std::vector<Unacked> unacked;  ///< ascending seq
+  };
+  /// Receive window for one sender (everything <= cum plus `above` has
+  /// been delivered within the sender incarnation `epoch`).
+  struct PeerRecv {
+    ProcessId peer = kNoProcess;
+    std::uint64_t epoch = 0;
+    SeqNum cum = 0;
+    std::vector<SeqNum> above;  ///< ascending
+  };
+
+  ProcessId self = kNoProcess;
+  std::uint64_t epoch = 1;
+  std::vector<PeerSend> send;  ///< ascending peer
+  std::vector<PeerRecv> recv;  ///< ascending peer
+  /// Last observed incarnation per peer (absent == 1).
+  std::vector<std::pair<ProcessId, std::uint64_t>> peer_epochs;
+};
+
+}  // namespace hpd::ckpt

@@ -1,0 +1,466 @@
+#include "ckpt/snapshot.hpp"
+
+#include <utility>
+
+#include "ckpt/interval_codec.hpp"
+#include "wire/codec.hpp"
+
+namespace hpd::ckpt {
+
+namespace {
+
+using internal::get_interval_full;
+using internal::put_interval_full;
+
+// Every section payload starts with a one-byte section format version so a
+// section can evolve independently of the container.
+constexpr std::uint8_t kSectionVersion = 1;
+
+// ---- Primitives -------------------------------------------------------------
+
+void put_pid(wire::Encoder& e, ProcessId id) {
+  e.put_zigzag(id);  // kNoProcess (-1) must survive the round trip
+}
+
+ProcessId get_pid(wire::Decoder& d) {
+  const std::int64_t v = d.get_zigzag();
+  if (v < -1 || v > static_cast<std::int64_t>(INT32_MAX)) {
+    throw CkptError("ckpt: process id out of range");
+  }
+  return static_cast<ProcessId>(v);
+}
+
+// ---- QueueEngine / ReorderBuffer -------------------------------------------
+
+void put_queue_engine(wire::Encoder& e,
+                      const detect::QueueEngine::Snapshot& s) {
+  e.put_varint(s.queues.size());
+  for (const auto& q : s.queues) {
+    put_pid(e, q.key);
+    e.put_varint(q.items.size());
+    for (const Interval& x : q.items) {
+      put_interval_full(e, x);
+    }
+    e.put_u8(q.has_pruned ? 1 : 0);
+    if (q.has_pruned) {
+      put_interval_full(e, q.last_pruned);
+    }
+  }
+  e.put_u8(s.prune_mode);
+  e.put_varint(s.capacity);
+  e.put_varint(s.rejected);
+  e.put_varint(s.comparisons);
+  e.put_varint(s.stored_peak);
+  e.put_varint(s.eliminated);
+  e.put_varint(s.pruned);
+  e.put_varint(s.solutions_found);
+  e.put_varint(s.offered);
+}
+
+detect::QueueEngine::Snapshot get_queue_engine(wire::Decoder& d) {
+  detect::QueueEngine::Snapshot s;
+  const std::uint64_t nq = d.get_varint();
+  for (std::uint64_t i = 0; i < nq; ++i) {
+    detect::QueueEngine::Snapshot::Queue q;
+    q.key = get_pid(d);
+    const std::uint64_t ni = d.get_varint();
+    for (std::uint64_t j = 0; j < ni; ++j) {
+      q.items.push_back(get_interval_full(d));
+    }
+    q.has_pruned = d.get_u8() != 0;
+    if (q.has_pruned) {
+      q.last_pruned = get_interval_full(d);
+    }
+    s.queues.push_back(std::move(q));
+  }
+  s.prune_mode = d.get_u8();
+  s.capacity = d.get_varint();
+  s.rejected = d.get_varint();
+  s.comparisons = d.get_varint();
+  s.stored_peak = d.get_varint();
+  s.eliminated = d.get_varint();
+  s.pruned = d.get_varint();
+  s.solutions_found = d.get_varint();
+  s.offered = d.get_varint();
+  return s;
+}
+
+void put_reorder(wire::Encoder& e, const detect::ReorderBuffer::Snapshot& s) {
+  e.put_varint(s.streams.size());
+  for (const auto& stream : s.streams) {
+    put_pid(e, stream.origin);
+    e.put_varint(stream.expected);
+    e.put_varint(stream.parked.size());
+    for (const auto& [seq, x] : stream.parked) {
+      e.put_varint(seq);
+      put_interval_full(e, x);
+    }
+  }
+  e.put_varint(s.dropped_stale);
+}
+
+detect::ReorderBuffer::Snapshot get_reorder(wire::Decoder& d) {
+  detect::ReorderBuffer::Snapshot s;
+  const std::uint64_t ns = d.get_varint();
+  for (std::uint64_t i = 0; i < ns; ++i) {
+    detect::ReorderBuffer::Snapshot::Stream stream;
+    stream.origin = get_pid(d);
+    stream.expected = d.get_varint();
+    const std::uint64_t np = d.get_varint();
+    for (std::uint64_t j = 0; j < np; ++j) {
+      const SeqNum seq = d.get_varint();
+      stream.parked.emplace_back(seq, get_interval_full(d));
+    }
+    s.streams.push_back(std::move(stream));
+  }
+  s.dropped_stale = d.get_varint();
+  return s;
+}
+
+void put_optional_interval(wire::Encoder& e,
+                           const std::optional<Interval>& x) {
+  e.put_u8(x.has_value() ? 1 : 0);
+  if (x.has_value()) {
+    put_interval_full(e, *x);
+  }
+}
+
+std::optional<Interval> get_optional_interval(wire::Decoder& d) {
+  if (d.get_u8() == 0) {
+    return std::nullopt;
+  }
+  return get_interval_full(d);
+}
+
+// ---- Per-engine images ------------------------------------------------------
+
+void put_central(wire::Encoder& e, const detect::CentralSink::Snapshot& s) {
+  put_pid(e, s.self);
+  put_queue_engine(e, s.engine);
+  put_reorder(e, s.reorder);
+  e.put_varint(s.next_seq);
+  e.put_varint(s.occurrence_count);
+}
+
+detect::CentralSink::Snapshot get_central(wire::Decoder& d) {
+  detect::CentralSink::Snapshot s;
+  s.self = get_pid(d);
+  s.engine = get_queue_engine(d);
+  s.reorder = get_reorder(d);
+  s.next_seq = d.get_varint();
+  s.occurrence_count = d.get_varint();
+  return s;
+}
+
+void put_slicing(wire::Encoder& e,
+                 const detect::SlicingDetector::Snapshot& s) {
+  put_pid(e, s.self);
+  e.put_varint(s.slicer.streams.size());
+  for (const auto& stream : s.slicer.streams) {
+    put_pid(e, stream.key);
+    e.put_varint(stream.hist.size());
+    for (const auto& entry : stream.hist) {
+      e.put_clock(entry.lo);
+      e.put_clock(entry.hi);
+    }
+  }
+  put_queue_engine(e, s.slicer.engine);
+  e.put_u8(s.slicer.mode);
+  e.put_varint(s.slicer.admitted);
+  e.put_varint(s.slicer.discarded);
+  e.put_varint(s.slicer.jcuts_computed);
+  e.put_varint(s.slicer.jcuts_closed);
+  e.put_varint(s.slicer.slice_comparisons);
+  put_reorder(e, s.reorder);
+  e.put_varint(s.next_seq);
+  e.put_varint(s.occurrence_count);
+}
+
+detect::SlicingDetector::Snapshot get_slicing(wire::Decoder& d) {
+  detect::SlicingDetector::Snapshot s;
+  s.self = get_pid(d);
+  const std::uint64_t ns = d.get_varint();
+  for (std::uint64_t i = 0; i < ns; ++i) {
+    detect::SlicingEngine::Snapshot::Stream stream;
+    stream.key = get_pid(d);
+    const std::uint64_t nh = d.get_varint();
+    for (std::uint64_t j = 0; j < nh; ++j) {
+      detect::SlicingEngine::Snapshot::Entry entry;
+      entry.lo = d.get_clock();
+      entry.hi = d.get_clock();
+      stream.hist.push_back(std::move(entry));
+    }
+    s.slicer.streams.push_back(std::move(stream));
+  }
+  s.slicer.engine = get_queue_engine(d);
+  s.slicer.mode = d.get_u8();
+  s.slicer.admitted = d.get_varint();
+  s.slicer.discarded = d.get_varint();
+  s.slicer.jcuts_computed = d.get_varint();
+  s.slicer.jcuts_closed = d.get_varint();
+  s.slicer.slice_comparisons = d.get_varint();
+  s.reorder = get_reorder(d);
+  s.next_seq = d.get_varint();
+  s.occurrence_count = d.get_varint();
+  return s;
+}
+
+void put_hier(wire::Encoder& e, const core::HierNodeEngine::Snapshot& s) {
+  put_pid(e, s.self);
+  e.put_u8(s.has_parent ? 1 : 0);
+  put_queue_engine(e, s.engine);
+  put_reorder(e, s.reorder);
+  e.put_varint(s.next_seq);
+  e.put_varint(s.occurrence_count);
+  put_optional_interval(e, s.last_report);
+}
+
+core::HierNodeEngine::Snapshot get_hier(wire::Decoder& d) {
+  core::HierNodeEngine::Snapshot s;
+  s.self = get_pid(d);
+  s.has_parent = d.get_u8() != 0;
+  s.engine = get_queue_engine(d);
+  s.reorder = get_reorder(d);
+  s.next_seq = d.get_varint();
+  s.occurrence_count = d.get_varint();
+  s.last_report = get_optional_interval(d);
+  return s;
+}
+
+/// Run a decode body with wire decode failures mapped to CkptError, and
+/// reject trailing garbage — a section that decodes but does not consume
+/// its payload exactly is corrupt.
+template <typename Fn>
+auto decode_section(std::span<const std::uint8_t> bytes, const char* what,
+                    Fn&& fn) {
+  try {
+    wire::Decoder d(bytes);
+    if (d.get_u8() != kSectionVersion) {
+      throw CkptError(std::string("ckpt: unsupported ") + what +
+                      " section version");
+    }
+    auto out = fn(d);
+    if (!d.exhausted()) {
+      throw CkptError(std::string("ckpt: trailing bytes in ") + what +
+                      " section");
+    }
+    return out;
+  } catch (const wire::DecodeError& err) {
+    throw CkptError(std::string("ckpt: malformed ") + what +
+                    " section: " + err.what());
+  }
+}
+
+}  // namespace
+
+// ---- Detector ---------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_detector(const DetectorImage& image) {
+  wire::Encoder e(wire::WireFormat::kDelta);
+  e.put_u8(kSectionVersion);
+  e.put_u8(static_cast<std::uint8_t>(image.kind));
+  e.put_varint(image.consumed_events);
+  switch (image.kind) {
+    case EngineKind::kCentral:
+      put_central(e, image.central);
+      break;
+    case EngineKind::kSlicing:
+      put_slicing(e, image.slicing);
+      break;
+    case EngineKind::kHier:
+      put_hier(e, image.hier);
+      break;
+  }
+  return e.take();
+}
+
+DetectorImage decode_detector(std::span<const std::uint8_t> bytes) {
+  return decode_section(bytes, "detector", [](wire::Decoder& d) {
+    DetectorImage image;
+    const std::uint8_t kind = d.get_u8();
+    if (kind > static_cast<std::uint8_t>(EngineKind::kHier)) {
+      throw CkptError("ckpt: unknown detector engine kind");
+    }
+    image.kind = static_cast<EngineKind>(kind);
+    image.consumed_events = d.get_varint();
+    switch (image.kind) {
+      case EngineKind::kCentral:
+        image.central = get_central(d);
+        break;
+      case EngineKind::kSlicing:
+        image.slicing = get_slicing(d);
+        break;
+      case EngineKind::kHier:
+        image.hier = get_hier(d);
+        break;
+    }
+    return image;
+  });
+}
+
+// ---- Session ----------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_session(const SessionState& state) {
+  wire::Encoder e(wire::WireFormat::kDelta);
+  e.put_u8(kSectionVersion);
+  put_pid(e, state.self);
+  e.put_varint(state.epoch);
+  e.put_varint(state.send.size());
+  for (const auto& ps : state.send) {
+    put_pid(e, ps.peer);
+    e.put_varint(ps.next_seq);
+    e.put_varint(ps.unacked.size());
+    for (const auto& u : ps.unacked) {
+      e.put_varint(u.seq);
+      e.put_varint(u.body.size());
+      for (const std::uint8_t b : u.body) {
+        e.put_u8(b);
+      }
+      e.put_varint(u.attempts);
+      e.put_varint(u.dst_epoch);
+    }
+  }
+  e.put_varint(state.recv.size());
+  for (const auto& pr : state.recv) {
+    put_pid(e, pr.peer);
+    e.put_varint(pr.epoch);
+    e.put_varint(pr.cum);
+    e.put_varint(pr.above.size());
+    for (const SeqNum s : pr.above) {
+      e.put_varint(s);
+    }
+  }
+  e.put_varint(state.peer_epochs.size());
+  for (const auto& [peer, epoch] : state.peer_epochs) {
+    put_pid(e, peer);
+    e.put_varint(epoch);
+  }
+  return e.take();
+}
+
+SessionState decode_session(std::span<const std::uint8_t> bytes) {
+  return decode_section(bytes, "session", [](wire::Decoder& d) {
+    SessionState state;
+    state.self = get_pid(d);
+    state.epoch = d.get_varint();
+    const std::uint64_t nsend = d.get_varint();
+    for (std::uint64_t i = 0; i < nsend; ++i) {
+      SessionState::PeerSend ps;
+      ps.peer = get_pid(d);
+      ps.next_seq = d.get_varint();
+      const std::uint64_t nun = d.get_varint();
+      for (std::uint64_t j = 0; j < nun; ++j) {
+        SessionState::Unacked u;
+        u.seq = d.get_varint();
+        const std::uint64_t len = d.get_varint();
+        if (len > d.remaining()) {
+          throw CkptError("ckpt: session body length exceeds payload");
+        }
+        u.body.reserve(len);
+        for (std::uint64_t k = 0; k < len; ++k) {
+          u.body.push_back(d.get_u8());
+        }
+        u.attempts = static_cast<std::uint32_t>(d.get_varint());
+        u.dst_epoch = d.get_varint();
+        ps.unacked.push_back(std::move(u));
+      }
+      state.send.push_back(std::move(ps));
+    }
+    const std::uint64_t nrecv = d.get_varint();
+    for (std::uint64_t i = 0; i < nrecv; ++i) {
+      SessionState::PeerRecv pr;
+      pr.peer = get_pid(d);
+      pr.epoch = d.get_varint();
+      pr.cum = d.get_varint();
+      const std::uint64_t na = d.get_varint();
+      for (std::uint64_t j = 0; j < na; ++j) {
+        pr.above.push_back(d.get_varint());
+      }
+      state.recv.push_back(std::move(pr));
+    }
+    const std::uint64_t ne = d.get_varint();
+    for (std::uint64_t i = 0; i < ne; ++i) {
+      const ProcessId peer = get_pid(d);
+      const std::uint64_t epoch = d.get_varint();
+      state.peer_epochs.emplace_back(peer, epoch);
+    }
+    return state;
+  });
+}
+
+// ---- Fault-tolerance layer --------------------------------------------------
+
+std::vector<std::uint8_t> encode_ft(const FtState& state) {
+  wire::Encoder e(wire::WireFormat::kDelta);
+  e.put_u8(kSectionVersion);
+  put_pid(e, state.heartbeat.parent);
+  e.put_u8(state.heartbeat.is_root ? 1 : 0);
+  e.put_u8(state.heartbeat.attached ? 1 : 0);
+  e.put_varint(state.heartbeat.root_path.size());
+  for (const ProcessId p : state.heartbeat.root_path) {
+    put_pid(e, p);
+  }
+  e.put_varint(state.heartbeat.children.size());
+  for (const ProcessId c : state.heartbeat.children) {
+    put_pid(e, c);
+  }
+  e.put_u8(state.reattach.mode);
+  put_pid(e, state.reattach.forbidden);
+  e.put_varint(static_cast<std::uint64_t>(state.reattach.retries));
+  e.put_u8(state.reattach.searching ? 1 : 0);
+  return e.take();
+}
+
+FtState decode_ft(std::span<const std::uint8_t> bytes) {
+  return decode_section(bytes, "ft", [](wire::Decoder& d) {
+    FtState state;
+    state.heartbeat.parent = get_pid(d);
+    state.heartbeat.is_root = d.get_u8() != 0;
+    state.heartbeat.attached = d.get_u8() != 0;
+    const std::uint64_t np = d.get_varint();
+    for (std::uint64_t i = 0; i < np; ++i) {
+      state.heartbeat.root_path.push_back(get_pid(d));
+    }
+    const std::uint64_t nc = d.get_varint();
+    for (std::uint64_t i = 0; i < nc; ++i) {
+      state.heartbeat.children.push_back(get_pid(d));
+    }
+    state.reattach.mode = d.get_u8();
+    if (state.reattach.mode >
+        static_cast<std::uint8_t>(ft::ReattachProtocol::Mode::kRootMerge)) {
+      throw CkptError("ckpt: unknown reattach mode");
+    }
+    state.reattach.forbidden = get_pid(d);
+    state.reattach.retries = static_cast<int>(d.get_varint());
+    state.reattach.searching = d.get_u8() != 0;
+    return state;
+  });
+}
+
+// ---- Session-epoch table ----------------------------------------------------
+
+std::vector<std::uint8_t> encode_epochs(const EpochTable& table) {
+  wire::Encoder e(wire::WireFormat::kDelta);
+  e.put_u8(kSectionVersion);
+  e.put_varint(table.epochs.size());
+  for (const auto& [node, epoch] : table.epochs) {
+    put_pid(e, node);
+    e.put_varint(epoch);
+  }
+  return e.take();
+}
+
+EpochTable decode_epochs(std::span<const std::uint8_t> bytes) {
+  return decode_section(bytes, "epoch table", [](wire::Decoder& d) {
+    EpochTable table;
+    const std::uint64_t n = d.get_varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const ProcessId node = get_pid(d);
+      const std::uint64_t epoch = d.get_varint();
+      table.epochs.emplace_back(node, epoch);
+    }
+    return table;
+  });
+}
+
+}  // namespace hpd::ckpt

@@ -1,0 +1,77 @@
+// Serialization of the per-layer snapshot images into checkpoint section
+// payloads, using the delta-varint wire codec (wire/codec) plus one
+// checkpoint-only extension: each interval's completed_at timestamp rides
+// along (the wire protocol never ships it — receivers do not need it — but
+// a restored detector must reproduce occurrence latencies exactly).
+//
+// This header and ckpt/checkpoint.hpp are the entire public surface of the
+// checkpoint format; the ckpt-serialization lint rule keeps encode/decode
+// of snapshots confined to src/ckpt (plus the primitives in src/wire).
+// Every decode_* function throws CkptError on malformed input — truncated,
+// bit-flipped, or version-skewed bytes are rejected, never UB.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/session_state.hpp"
+#include "core/hier_engine.hpp"
+#include "detect/centralized.hpp"
+#include "detect/slicing.hpp"
+#include "ft/heartbeat.hpp"
+#include "ft/reattach.hpp"
+
+namespace hpd::ckpt {
+
+/// Which detector engine a checkpointed image belongs to. Stable wire
+/// values (META's engine_kind byte).
+enum class EngineKind : std::uint8_t {
+  kCentral = 0,
+  kSlicing = 1,
+  kHier = 2,
+};
+
+/// One detector's full state plus its ingestion progress. Exactly the
+/// member matching `kind` is meaningful.
+struct DetectorImage {
+  EngineKind kind = EngineKind::kCentral;
+  /// Stream events ingested when the snapshot was taken (mirrors
+  /// CheckpointMeta::consumed_events for self-containment).
+  std::uint64_t consumed_events = 0;
+  detect::CentralSink::Snapshot central;
+  detect::SlicingDetector::Snapshot slicing;
+  core::HierNodeEngine::Snapshot hier;
+};
+
+std::vector<std::uint8_t> encode_detector(const DetectorImage& image);
+DetectorImage decode_detector(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> encode_session(const SessionState& state);
+SessionState decode_session(std::span<const std::uint8_t> bytes);
+
+/// Fault-tolerance layer state: tree wiring + reattach search parameters.
+struct FtState {
+  ft::HeartbeatAgent::Snapshot heartbeat;
+  ft::ReattachProtocol::Snapshot reattach;
+};
+
+std::vector<std::uint8_t> encode_ft(const FtState& state);
+FtState decode_ft(std::span<const std::uint8_t> bytes);
+
+/// Per-node session-epoch table: the minimal durable session state of a
+/// live run. Full session images are meaningless after a node crash
+/// (shutdown() surfaces the in-flight state by design), but epochs must
+/// survive a process restart so revived incarnations keep moving forward
+/// and peers can never mistake a new life for a stale one. Stored in a
+/// checkpoint file's SESSION payload slot by the live runner.
+struct EpochTable {
+  std::vector<std::pair<ProcessId, std::uint64_t>> epochs;  ///< ascending id
+};
+
+std::vector<std::uint8_t> encode_epochs(const EpochTable& table);
+EpochTable decode_epochs(std::span<const std::uint8_t> bytes);
+
+}  // namespace hpd::ckpt

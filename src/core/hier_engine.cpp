@@ -70,6 +70,28 @@ void HierNodeEngine::child_report(ProcessId child, Interval x) {
   }
 }
 
+HierNodeEngine::Snapshot HierNodeEngine::snapshot() const {
+  Snapshot snap;
+  snap.self = self_;
+  snap.has_parent = has_parent_;
+  snap.engine = engine_.snapshot();
+  snap.reorder = reorder_.snapshot();
+  snap.next_seq = next_seq_;
+  snap.occurrence_count = occurrence_count_;
+  snap.last_report = last_report_;
+  return snap;
+}
+
+void HierNodeEngine::restore(const Snapshot& snap) {
+  HPD_REQUIRE(snap.self == self_, "HierNodeEngine::restore: node id mismatch");
+  has_parent_ = snap.has_parent;
+  engine_.restore(snap.engine);
+  reorder_.restore(snap.reorder);
+  next_seq_ = snap.next_seq;
+  occurrence_count_ = snap.occurrence_count;
+  last_report_ = snap.last_report;
+}
+
 void HierNodeEngine::resend_last_report() {
   if (last_report_.has_value() && has_parent_ && hooks_.send_report) {
     hooks_.send_report(*last_report_);

@@ -111,6 +111,28 @@ class HierNodeEngine {
   const detect::ReorderBuffer& reorder() const { return reorder_; }
   SeqNum occurrences() const { return occurrence_count_; }
 
+  // ---- Checkpoint surface (durability) ------------------------------------
+
+  /// Deep image of the per-node detection state: queue engine (own + child
+  /// queues), reorder buffer, parent linkage, report/occurrence numbering,
+  /// and the re-report cache. A restored engine continues its report and
+  /// occurrence sequences exactly where the snapshot left off, so
+  /// downstream reorder buffers stay consistent across a restart.
+  struct Snapshot {
+    ProcessId self = kNoProcess;
+    bool has_parent = false;
+    detect::QueueEngine::Snapshot engine;
+    detect::ReorderBuffer::Snapshot reorder;
+    SeqNum next_seq = 1;
+    SeqNum occurrence_count = 0;
+    std::optional<Interval> last_report;
+  };
+
+  Snapshot snapshot() const;
+  /// The engine must have been constructed with the same `self` and prune
+  /// mode (validated; see QueueEngine::restore).
+  void restore(const Snapshot& snap);
+
  private:
   void handle_solutions(const std::vector<detect::Solution>& sols);
   SimTime now() const { return hooks_.now ? hooks_.now() : 0.0; }

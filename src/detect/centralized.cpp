@@ -50,6 +50,24 @@ void CentralSink::remove_process(ProcessId id) {
   handle_solutions(engine_.recheck());
 }
 
+CentralSink::Snapshot CentralSink::snapshot() const {
+  Snapshot snap;
+  snap.self = self_;
+  snap.engine = engine_.snapshot();
+  snap.reorder = reorder_.snapshot();
+  snap.next_seq = next_seq_;
+  snap.occurrence_count = occurrence_count_;
+  return snap;
+}
+
+void CentralSink::restore(const Snapshot& snap) {
+  HPD_REQUIRE(snap.self == self_, "CentralSink::restore: sink id mismatch");
+  engine_.restore(snap.engine);
+  reorder_.restore(snap.reorder);
+  next_seq_ = snap.next_seq;
+  occurrence_count_ = snap.occurrence_count;
+}
+
 void CentralSink::handle_solutions(const std::vector<Solution>& sols) {
   for (const Solution& sol : sols) {
     OccurrenceRecord rec;

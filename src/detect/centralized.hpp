@@ -51,6 +51,25 @@ class CentralSink {
   const ReorderBuffer& reorder() const { return reorder_; }
   SeqNum occurrences() const { return occurrence_count_; }
 
+  // ---- Checkpoint surface (durability) ------------------------------------
+
+  /// Deep image of the sink: the queue engine, the per-origin reorder
+  /// state, and the occurrence-numbering counters. A restored sink
+  /// continues the global occurrence stream (indices included) exactly
+  /// where the snapshot left off.
+  struct Snapshot {
+    ProcessId self = kNoProcess;
+    QueueEngine::Snapshot engine;
+    ReorderBuffer::Snapshot reorder;
+    SeqNum next_seq = 1;
+    SeqNum occurrence_count = 0;
+  };
+
+  Snapshot snapshot() const;
+  /// The sink must have been constructed with the same `self` and prune
+  /// mode (validated; see QueueEngine::restore).
+  void restore(const Snapshot& snap);
+
  private:
   void handle_solutions(const std::vector<Solution>& sols);
   SimTime now() const { return hooks_.now ? hooks_.now() : 0.0; }

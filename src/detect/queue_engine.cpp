@@ -90,6 +90,61 @@ void QueueEngine::clear_queue(ProcessId key) {
   slot.has_pruned = false;
 }
 
+QueueEngine::Snapshot QueueEngine::snapshot() const {
+  Snapshot snap;
+  snap.queues.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    Snapshot::Queue q;
+    q.key = slot.key;
+    q.items.reserve(slot.q.size());
+    for (std::size_t i = 0; i < slot.q.size(); ++i) {
+      q.items.push_back(slot.q.at(i));
+    }
+    q.last_pruned = slot.last_pruned;
+    q.has_pruned = slot.has_pruned;
+    snap.queues.push_back(std::move(q));
+  }
+  snap.prune_mode = static_cast<std::uint8_t>(mode_);
+  snap.capacity = capacity_;
+  snap.rejected = rejected_;
+  snap.comparisons = comparisons_;
+  snap.stored_peak = stored_peak_;
+  snap.eliminated = eliminated_;
+  snap.pruned = pruned_;
+  snap.solutions_found = solutions_found_;
+  snap.offered = offered_;
+  return snap;
+}
+
+void QueueEngine::restore(const Snapshot& snap) {
+  HPD_REQUIRE(snap.prune_mode == static_cast<std::uint8_t>(mode_),
+              "QueueEngine::restore: prune-mode mismatch");
+  slots_.clear();
+  slot_of_.clear();
+  stored_ = 0;
+  for (const Snapshot::Queue& q : snap.queues) {
+    add_queue(q.key);
+    Slot& slot = slots_[static_cast<std::size_t>(slot_index(q.key))];
+    for (const Interval& x : q.items) {
+      // Raw re-enqueue: the snapshot was taken at a detect-loop fixpoint,
+      // so replaying the contents must not re-run detection (offered_ et
+      // al. already account for these intervals).
+      slot.q.push_back(Interval(x));
+      ++stored_;
+    }
+    slot.last_pruned = q.last_pruned;
+    slot.has_pruned = q.has_pruned;
+  }
+  capacity_ = snap.capacity;
+  rejected_ = snap.rejected;
+  comparisons_ = snap.comparisons;
+  stored_peak_ = std::max<std::size_t>(snap.stored_peak, stored_);
+  eliminated_ = snap.eliminated;
+  pruned_ = snap.pruned;
+  solutions_found_ = snap.solutions_found;
+  offered_ = snap.offered;
+}
+
 bool QueueEngine::vc_less_counted(const VectorClock& a, const VectorClock& b) {
   ++comparisons_;
   return vc_less(a, b);

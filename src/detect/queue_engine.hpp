@@ -149,6 +149,41 @@ class QueueEngine {
   /// invariant holds; O(q²·n). Test/debug instrumentation.
   bool heads_compatible() const;
 
+  // ---- Checkpoint surface (durability) ------------------------------------
+
+  /// Deep image of the engine's full state: every queue's contents in FIFO
+  /// order, the remembered pruned heads, and all counters. Serialized by
+  /// ckpt/snapshot; restore() rebuilds an engine that continues the
+  /// solution stream exactly where the snapshot left off. `prune_mode` and
+  /// `capacity` are recorded so a restore into a differently-configured
+  /// engine is rejected instead of silently diverging.
+  struct Snapshot {
+    struct Queue {
+      ProcessId key = kNoProcess;
+      std::vector<Interval> items;  ///< front first
+      Interval last_pruned;
+      bool has_pruned = false;
+    };
+    std::vector<Queue> queues;  ///< ascending key order
+    std::uint8_t prune_mode = 0;
+    std::uint64_t capacity = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t comparisons = 0;
+    std::uint64_t stored_peak = 0;
+    std::uint64_t eliminated = 0;
+    std::uint64_t pruned = 0;
+    std::uint64_t solutions_found = 0;
+    std::uint64_t offered = 0;
+  };
+
+  Snapshot snapshot() const;
+
+  /// Replace this engine's entire state with `snap`. The engine must have
+  /// been constructed with the same PruneMode the snapshot was taken under
+  /// (the mode changes which solutions the detect loop emits, so a silent
+  /// mismatch would corrupt the occurrence stream).
+  void restore(const Snapshot& snap);
+
  private:
   /// FIFO of intervals over a power-of-two ring. Capacity is retained
   /// across pops, so a warm ring never allocates in steady state.
@@ -157,6 +192,10 @@ class QueueEngine {
     bool empty() const { return count_ == 0; }
     std::size_t size() const { return count_; }
     const Interval& front() const { return buf_[head_]; }
+    /// i-th stored interval, 0 = front (checkpoint capture).
+    const Interval& at(std::size_t i) const {
+      return buf_[(head_ + i) & (buf_.size() - 1)];
+    }
 
     void push_back(Interval&& x) {
       if (count_ == buf_.size()) {

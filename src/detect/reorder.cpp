@@ -38,6 +38,36 @@ std::vector<Interval> ReorderBuffer::push(ProcessId origin, Interval x) {
   return out;
 }
 
+ReorderBuffer::Snapshot ReorderBuffer::snapshot() const {
+  Snapshot snap;
+  snap.streams.reserve(streams_.size());
+  for (const auto& [origin, s] : streams_) {
+    Snapshot::Stream out;
+    out.origin = origin;
+    out.expected = s.expected;
+    out.parked.reserve(s.parked.size());
+    for (const auto& [seq, x] : s.parked) {
+      out.parked.emplace_back(seq, x);
+    }
+    snap.streams.push_back(std::move(out));
+  }
+  snap.dropped_stale = dropped_stale_;
+  return snap;
+}
+
+void ReorderBuffer::restore(const Snapshot& snap) {
+  streams_.clear();
+  for (const Snapshot::Stream& in : snap.streams) {
+    Stream s;
+    s.expected = in.expected;
+    for (const auto& [seq, x] : in.parked) {
+      s.parked.emplace(seq, x);
+    }
+    streams_[in.origin] = std::move(s);
+  }
+  dropped_stale_ = snap.dropped_stale;
+}
+
 std::size_t ReorderBuffer::pending() const {
   std::size_t total = 0;
   for (const auto& [origin, s] : streams_) {

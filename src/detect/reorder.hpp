@@ -40,6 +40,23 @@ class ReorderBuffer {
   std::size_t pending() const;
   std::uint64_t dropped_stale() const { return dropped_stale_; }
 
+  // ---- Checkpoint surface (durability) ------------------------------------
+
+  /// Deep image: every tracked stream's expected sequence plus its parked
+  /// intervals. Serialized by ckpt/snapshot.
+  struct Snapshot {
+    struct Stream {
+      ProcessId origin = kNoProcess;
+      SeqNum expected = 1;
+      std::vector<std::pair<SeqNum, Interval>> parked;  ///< ascending seq
+    };
+    std::vector<Stream> streams;  ///< ascending origin
+    std::uint64_t dropped_stale = 0;
+  };
+
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
  private:
   struct Stream {
     SeqNum expected = 1;

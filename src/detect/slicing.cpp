@@ -149,6 +149,55 @@ std::vector<Solution> SlicingEngine::offer(ProcessId key, Interval&& x) {
   return engine_.offer(key, std::move(x));
 }
 
+SlicingEngine::Snapshot SlicingEngine::snapshot() const {
+  Snapshot snap;
+  snap.streams.reserve(streams_.size());
+  for (const Stream& s : streams_) {
+    Snapshot::Stream out;
+    out.key = s.key;
+    out.hist.reserve(s.hist.size());
+    for (const SliceEntry& e : s.hist) {
+      out.hist.push_back(Snapshot::Entry{e.lo, e.hi});
+    }
+    snap.streams.push_back(std::move(out));
+  }
+  snap.engine = engine_.snapshot();
+  snap.mode = static_cast<std::uint8_t>(mode_);
+  snap.admitted = admitted_;
+  snap.discarded = discarded_;
+  snap.jcuts_computed = jcuts_computed_;
+  snap.jcuts_closed = jcuts_closed_;
+  snap.slice_comparisons = slice_comparisons_;
+  return snap;
+}
+
+void SlicingEngine::restore(const Snapshot& snap) {
+  HPD_REQUIRE(snap.mode == static_cast<std::uint8_t>(mode_),
+              "SlicingEngine::restore: slice-mode mismatch");
+  streams_.clear();
+  slot_of_.clear();
+  engine_.restore(snap.engine);
+  streams_.reserve(snap.streams.size());
+  for (const Snapshot::Stream& in : snap.streams) {
+    Stream s;
+    s.key = in.key;
+    s.hist.reserve(in.hist.size());
+    for (const Snapshot::Entry& e : in.hist) {
+      s.hist.push_back(SliceEntry{e.lo, e.hi});
+    }
+    if (idx(in.key) >= slot_of_.size()) {
+      slot_of_.resize(idx(in.key) + 1, -1);
+    }
+    slot_of_[idx(in.key)] = static_cast<std::int32_t>(streams_.size());
+    streams_.push_back(std::move(s));
+  }
+  admitted_ = snap.admitted;
+  discarded_ = snap.discarded;
+  jcuts_computed_ = snap.jcuts_computed;
+  jcuts_closed_ = snap.jcuts_closed;
+  slice_comparisons_ = snap.slice_comparisons;
+}
+
 // ---- SlicingDetector -------------------------------------------------------
 
 SlicingDetector::SlicingDetector(ProcessId self,
@@ -193,6 +242,24 @@ void SlicingDetector::remove_process(ProcessId id) {
   slicer_.remove_queue(id);
   reorder_.untrack(id);
   handle_solutions(slicer_.recheck());
+}
+
+SlicingDetector::Snapshot SlicingDetector::snapshot() const {
+  Snapshot snap;
+  snap.self = self_;
+  snap.slicer = slicer_.snapshot();
+  snap.reorder = reorder_.snapshot();
+  snap.next_seq = next_seq_;
+  snap.occurrence_count = occurrence_count_;
+  return snap;
+}
+
+void SlicingDetector::restore(const Snapshot& snap) {
+  HPD_REQUIRE(snap.self == self_, "SlicingDetector::restore: sink id mismatch");
+  slicer_.restore(snap.slicer);
+  reorder_.restore(snap.reorder);
+  next_seq_ = snap.next_seq;
+  occurrence_count_ = snap.occurrence_count;
 }
 
 void SlicingDetector::handle_solutions(const std::vector<Solution>& sols) {

@@ -86,6 +86,33 @@ void HeartbeatAgent::become_root() {
   init_as_root();
 }
 
+HeartbeatAgent::Snapshot HeartbeatAgent::snapshot() const {
+  Snapshot snap;
+  snap.parent = parent_;
+  snap.is_root = is_root_;
+  snap.attached = attached_;
+  snap.root_path = root_path_;
+  snap.children = children_;
+  return snap;
+}
+
+void HeartbeatAgent::restore(const Snapshot& snap) {
+  reset();
+  parent_ = snap.parent;
+  is_root_ = snap.is_root;
+  attached_ = snap.attached;
+  root_path_ = snap.root_path;
+  children_ = snap.children;
+  // Re-arm every tracked neighbour at restore-time now(): a restored node
+  // grants its neighbours a full timeout before declaring anyone dead.
+  if (parent_ != kNoProcess) {
+    track(parent_);
+  }
+  for (const ProcessId child : children_) {
+    track(child);
+  }
+}
+
 void HeartbeatAgent::track(ProcessId neighbor) {
   last_heard_[neighbor] = hooks_.now ? hooks_.now() : 0.0;
 }

@@ -76,6 +76,23 @@ class HeartbeatAgent {
   /// The payload this node currently advertises.
   proto::HeartbeatPayload make_payload() const;
 
+  // ---- Checkpoint surface (durability) ------------------------------------
+
+  /// Image of the tree-wiring state. Liveness deadlines (`last_heard_`) are
+  /// deliberately NOT captured: wall-clock readings are meaningless after a
+  /// restart, so restore() re-arms every tracked neighbour at restore-time
+  /// now() — a full grace period before anyone can be declared dead.
+  struct Snapshot {
+    ProcessId parent = kNoProcess;
+    bool is_root = false;
+    bool attached = false;
+    std::vector<ProcessId> root_path;
+    std::vector<ProcessId> children;
+  };
+
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
  private:
   void track(ProcessId neighbor);
   void check_deadlines();

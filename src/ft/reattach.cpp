@@ -24,6 +24,22 @@ void ReattachProtocol::reset() {
   retries_ = 0;
 }
 
+ReattachProtocol::Snapshot ReattachProtocol::snapshot() const {
+  Snapshot snap;
+  snap.mode = static_cast<std::uint8_t>(mode_);
+  snap.forbidden = forbidden_;
+  snap.retries = retries_;
+  snap.searching = searching();
+  return snap;
+}
+
+void ReattachProtocol::restore(const Snapshot& snap) {
+  reset();
+  mode_ = static_cast<Mode>(snap.mode);
+  forbidden_ = snap.forbidden;
+  retries_ = snap.retries;
+}
+
 void ReattachProtocol::begin(Mode mode, ProcessId forbidden) {
   if (searching()) {
     return;

@@ -23,6 +23,7 @@
 // Pure state machine; the runner supplies messaging and timers.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -89,6 +90,24 @@ class ReattachProtocol {
   void on_probe_ack(ProcessId from, const proto::ProbeAckPayload& ack);
   void on_attach_ack(ProcessId from, const proto::AttachAckPayload& ack);
   void on_timer(int tag);
+
+  // ---- Checkpoint surface (durability) ------------------------------------
+
+  /// Image of the durable part of the protocol. In-flight probe rounds are
+  /// NOT captured — their timers and collected ACKs die with the process —
+  /// so only the search parameters survive; `searching` records that a
+  /// search was in progress, and the owner must call begin() again after
+  /// restore() to resume it from a fresh probe round.
+  struct Snapshot {
+    std::uint8_t mode = 0;
+    ProcessId forbidden = kNoProcess;
+    int retries = 0;
+    bool searching = false;
+  };
+
+  Snapshot snapshot() const;
+  /// Lands in kIdle with the recorded mode/forbidden/retries; see Snapshot.
+  void restore(const Snapshot& snap);
 
  private:
   struct Ack {

@@ -59,6 +59,14 @@ void MetricsRegistry::on_send(ProcessId src, int type, std::size_t wire_words,
   }
 }
 
+void CheckpointCounters::add(const CheckpointCounters& other) {
+  writes += other.writes;
+  bytes_written += other.bytes_written;
+  restores += other.restores;
+  restore_generation = std::max(restore_generation, other.restore_generation);
+  torn_writes_skipped += other.torn_writes_skipped;
+}
+
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   if (node_.size() < other.node_.size()) {
     node_.resize(other.node_.size());
@@ -88,6 +96,7 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   wire_bytes_total_ += other.wire_bytes_total_;
   transport_.add(other.transport_);
   reactor_.add(other.reactor_);
+  checkpoint_.add(other.checkpoint_);
 }
 
 std::uint64_t MetricsRegistry::msgs_of_type(int type) const {

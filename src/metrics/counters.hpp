@@ -61,6 +61,22 @@ struct ReactorCounters {
   void add(const ReactorCounters& other);
 };
 
+/// Durability accounting for the checkpoint subsystem (src/ckpt). Written
+/// by whoever owns the CheckpointStore — the daemon loop, or a live
+/// backend's driver thread — under the same single-owner-then-merge
+/// convention as every other counter block here. Zero when checkpointing
+/// is off.
+struct CheckpointCounters {
+  std::uint64_t writes = 0;           ///< checkpoint files written
+  std::uint64_t bytes_written = 0;    ///< total encoded checkpoint bytes
+  std::uint64_t restores = 0;         ///< successful restores performed
+  std::uint64_t restore_generation = 0;  ///< newest generation restored
+  std::uint64_t torn_writes_skipped = 0; ///< corrupt/torn files fallen past
+
+  /// Fold another record in: sums, except restore_generation takes max.
+  void add(const CheckpointCounters& other);
+};
+
 struct NodeMetrics {
   std::uint64_t msgs_sent = 0;           ///< one-hop sends originated here
   std::uint64_t wire_words_sent = 0;     ///< payload volume originated here
@@ -125,10 +141,16 @@ class MetricsRegistry {
   ReactorCounters& reactor() { return reactor_; }
   const ReactorCounters& reactor() const { return reactor_; }
 
+  /// Checkpoint-subsystem counters (zero unless a checkpoint directory is
+  /// configured). Same ownership rule.
+  CheckpointCounters& checkpoint() { return checkpoint_; }
+  const CheckpointCounters& checkpoint() const { return checkpoint_; }
+
  private:
   std::vector<NodeMetrics> node_;
   TransportCounters transport_;
   ReactorCounters reactor_;
+  CheckpointCounters checkpoint_;
   std::map<int, std::uint64_t> msgs_by_type_;
   std::map<int, std::uint64_t> bytes_by_type_;
   std::map<int, std::string> type_names_;

@@ -77,6 +77,15 @@ struct LiveConfig {
 
   /// Frame-level fault injection (DATA frames only); see rt/chaos.hpp.
   ChaosConfig chaos;
+
+  // ---- Durability ----------------------------------------------------------
+  /// When non-empty, the live runner persists the per-node session-epoch
+  /// table to a ckpt::CheckpointStore in this directory (after every
+  /// revive and at shutdown) and adopts the persisted epochs before
+  /// start() — epoch continuity across a real restart of the driving
+  /// process. All checkpoint I/O stays on the driver thread; node loops
+  /// and reactor workers never block on it.
+  std::string ckpt_dir;
 };
 
 /// An actual (measured) crash or revive instant, in SimTime units.
@@ -121,6 +130,18 @@ class LiveBackend {
 
   virtual bool alive(ProcessId id) const = 0;
   virtual std::size_t alive_count() const = 0;
+
+  // ---- Session-epoch continuity (durability) -------------------------------
+  /// Current session incarnation of node `id`. Driver-thread only. Safe
+  /// even while the node runs: the epoch is only ever written driver-side
+  /// while the node is provably stopped (revive / adopt), so the read
+  /// races nothing.
+  virtual std::uint64_t session_epoch(ProcessId id) const = 0;
+  /// Epoch continuity across a real process restart: forward `id`'s
+  /// session epoch to at least `epoch` (NodeSession::adopt_epoch — epochs
+  /// only move forward). Must be called before start() or while `id` is
+  /// crashed.
+  virtual void adopt_session_epoch(ProcessId id, std::uint64_t epoch) = 0;
 
   /// Scaled wall clock, SimTime units since start(). Any thread.
   virtual SimTime now() const = 0;

@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/snapshot.hpp"
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "parallel/thread_pool.hpp"
@@ -21,10 +23,29 @@ struct PlannedEvent {
   bool is_crash = false;
 };
 
+/// sleep_until(t), waking periodically to honor a stop request. Returns
+/// true iff the stop flag cut the wait short.
+bool sleep_until_or_stop(const LiveBackend& net, SimTime t,
+                         const std::atomic<bool>* stop) {
+  if (stop == nullptr) {
+    net.sleep_until(t);
+    return false;
+  }
+  while (!stop->load(std::memory_order_relaxed)) {
+    const SimTime now = net.now();
+    if (now >= t) {
+      return false;
+    }
+    net.sleep_until(std::min(t, now + 0.5));
+  }
+  return true;
+}
+
 }  // namespace
 
 LiveResult run_live_experiment(const runner::ExperimentConfig& config,
-                               const LiveConfig& live) {
+                               const LiveConfig& live,
+                               const std::atomic<bool>* stop) {
   const std::size_t n = config.topology.size();
   HPD_REQUIRE(n >= 1, "run_live_experiment: empty system");
   HPD_REQUIRE(config.tree.size() == n, "run_live_experiment: tree size");
@@ -82,6 +103,40 @@ LiveResult run_live_experiment(const runner::ExperimentConfig& config,
                       [p = procs.back().get()] { p->on_revive(); });
   }
 
+  // ---- Durability: session-epoch continuity (LiveConfig::ckpt_dir) --------
+  // Driver-thread-only by design: the node loops / reactor workers must
+  // never block on checkpoint I/O (hpd_analyze's blocking-reachability
+  // check enforces exactly this layering).
+  std::unique_ptr<ckpt::CheckpointStore> ckpt_store;
+  if (!live.ckpt_dir.empty()) {
+    ckpt_store = std::make_unique<ckpt::CheckpointStore>(live.ckpt_dir,
+                                                         "live-epochs");
+    if (std::optional<ckpt::CheckpointData> data = ckpt_store->load_latest()) {
+      if (!data->session.empty()) {
+        const ckpt::EpochTable table = ckpt::decode_epochs(data->session);
+        for (const auto& [node, epoch] : table.epochs) {
+          if (node >= 0 && idx(node) < n) {
+            net.adopt_session_epoch(node, epoch);
+          }
+        }
+      }
+    }
+  }
+  auto persist_epochs = [&] {
+    if (ckpt_store == nullptr) {
+      return;
+    }
+    ckpt::EpochTable table;
+    table.epochs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto id = static_cast<ProcessId>(i);
+      table.epochs.emplace_back(id, net.session_epoch(id));
+    }
+    ckpt::CheckpointData data;
+    data.session = ckpt::encode_epochs(table);
+    ckpt_store->write(std::move(data));
+  };
+
   std::vector<PlannedEvent> plan;
   for (const runner::FailureEvent& f : cfg.failures) {
     HPD_REQUIRE(f.node >= 0 && idx(f.node) < n,
@@ -100,14 +155,23 @@ LiveResult run_live_experiment(const runner::ExperimentConfig& config,
 
   net.start();
   for (const PlannedEvent& ev : plan) {
-    net.sleep_until(ev.time);
+    if (sleep_until_or_stop(net, ev.time, stop)) {
+      out.interrupted = true;
+      break;
+    }
     if (ev.is_crash) {
       net.crash(ev.node);
     } else {
       net.revive(ev.node);
+      // A revive bumped an epoch: persist the table so a process restart
+      // can never resurrect an already-used incarnation.
+      persist_epochs();
     }
   }
-  net.sleep_until(cfg.horizon);
+  if (!out.interrupted &&
+      sleep_until_or_stop(net, cfg.horizon, stop)) {
+    out.interrupted = true;
+  }
 
   // Close still-open intervals so detectors see the execution's tail — on
   // each node's own thread, as every runtime call must be.
@@ -117,7 +181,10 @@ LiveResult run_live_experiment(const runner::ExperimentConfig& config,
       net.run_on_node_sync(id, [&rt = *procs[i]] { rt.finalize_app(); });
     }
   }
-  net.sleep_until(cfg.horizon + cfg.drain);
+  // An interrupted run drains relative to the instant it was cut short —
+  // a full drain window still flushes every retransmission in flight.
+  net.sleep_until(out.interrupted ? net.now() + cfg.drain
+                                  : cfg.horizon + cfg.drain);
 
   // Liveness must be read before stop() (a stopped loop is not "crashed").
   result.final_alive.resize(n, false);
@@ -126,6 +193,8 @@ LiveResult run_live_experiment(const runner::ExperimentConfig& config,
   }
   result.end_time = net.now();
   net.stop();
+  // Final flush: every epoch is quiescent once the backend stopped.
+  persist_epochs();
 
   // ---- Collect (all threads joined; every node's state is quiescent) ------
   out.actual_crashes = net.crash_events();
@@ -141,6 +210,9 @@ LiveResult run_live_experiment(const runner::ExperimentConfig& config,
   proto::register_message_names(result.metrics);
   result.metrics.transport() = out.transport;
   result.metrics.reactor() = out.reactor;
+  if (ckpt_store != nullptr) {
+    result.metrics.checkpoint().add(ckpt_store->counters());
+  }
   result.sim_events = net.delivered_messages();  // closest live analogue
   result.dropped_messages = net.dropped_messages();
   result.final_parents.resize(n, kNoProcess);

@@ -12,6 +12,7 @@
 //     (each node thread owns its storage) and merged after the threads stop.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -22,6 +23,11 @@ namespace hpd::rt {
 
 struct LiveResult {
   runner::ExperimentResult result;
+  /// True when a stop request (see run_live_experiment) cut the run short:
+  /// remaining planned faults were skipped and the workload truncated, so
+  /// the offline oracles are not expected to hold. The drain and the
+  /// final checkpoint flush still happened.
+  bool interrupted = false;
   /// Measured fault instants in SimTime units (loop-thread timestamps).
   std::vector<LifeEvent> actual_crashes;
   std::vector<LifeEvent> actual_recoveries;
@@ -45,7 +51,15 @@ struct LiveResult {
 /// Run the experiment over the live backend selected by live.backend
 /// (thread-per-node or epoll reactor). Blocks the calling thread for
 /// roughly (horizon + drain) * live.time_scale real seconds.
+///
+/// `stop` (nullable) is a cooperative early-shutdown request, typically
+/// set from a signal handler via hpd_sim's self-pipe: once it reads true
+/// the driver skips the rest of the fault plan and workload horizon,
+/// finalizes the app on every live node, drains, persists the final
+/// checkpoint (when live.ckpt_dir is set), and returns with
+/// LiveResult::interrupted set.
 LiveResult run_live_experiment(const runner::ExperimentConfig& config,
-                               const LiveConfig& live = {});
+                               const LiveConfig& live = {},
+                               const std::atomic<bool>* stop = nullptr);
 
 }  // namespace hpd::rt

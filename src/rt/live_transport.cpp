@@ -294,6 +294,17 @@ bool LiveTransport::alive(ProcessId id) const {
   return ctx(id).alive.load(std::memory_order_acquire);
 }
 
+std::uint64_t LiveTransport::session_epoch(ProcessId id) const {
+  return ctx(id).session.epoch();
+}
+
+void LiveTransport::adopt_session_epoch(ProcessId id, std::uint64_t epoch) {
+  NodeCtx& c = ctx(id);
+  HPD_REQUIRE(!started_ || !c.alive.load(std::memory_order_acquire),
+              "LiveTransport: adopt_session_epoch on a running node");
+  c.session.adopt_epoch(epoch);
+}
+
 std::size_t LiveTransport::alive_count() const {
   std::size_t k = 0;
   for (const auto& c : nodes_) {

@@ -118,6 +118,9 @@ class LiveTransport final : public LiveBackend {
   bool alive(ProcessId id) const override;
   std::size_t alive_count() const override;
 
+  std::uint64_t session_epoch(ProcessId id) const override;
+  void adopt_session_epoch(ProcessId id, std::uint64_t epoch) override;
+
   SimTime now() const override;
   void sleep_until(SimTime t) const override;
 

@@ -310,6 +310,18 @@ void ReactorTransport::crash(ProcessId id) {
   run_on_worker_sync(*nd.w, kNoProcess, [this, &nd] { do_crash(nd); });
 }
 
+std::uint64_t ReactorTransport::session_epoch(ProcessId id) const {
+  return node_of(id).session.epoch();
+}
+
+void ReactorTransport::adopt_session_epoch(ProcessId id,
+                                           std::uint64_t epoch) {
+  RNode& nd = node_of(id);
+  HPD_REQUIRE(!started_ || !nd.alive.load(std::memory_order_acquire),
+              "ReactorTransport: adopt_session_epoch on a running node");
+  nd.session.adopt_epoch(epoch);
+}
+
 void ReactorTransport::revive(ProcessId id) {
   RNode& nd = node_of(id);
   HPD_REQUIRE(started_, "ReactorTransport: revive before start");

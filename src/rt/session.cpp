@@ -430,6 +430,76 @@ void NodeSession::handle_ack(wire::Decoder& d) {
   ps.unacked.erase(ps.unacked.begin(), ps.unacked.upper_bound(cum));
 }
 
+// ---- Checkpoint surface ------------------------------------------------------
+
+ckpt::SessionState NodeSession::export_state() const {
+  ckpt::SessionState state;
+  state.self = self_;
+  state.epoch = epoch_;
+  for (const auto& [peer, ps] : peer_send_) {
+    ckpt::SessionState::PeerSend out;
+    out.peer = peer;
+    out.next_seq = ps.next_seq;
+    for (const auto& [seq, p] : ps.unacked) {
+      ckpt::SessionState::Unacked u;
+      u.seq = seq;
+      u.body = p.body;
+      u.attempts = static_cast<std::uint32_t>(p.attempts);
+      u.dst_epoch = p.dst_epoch;
+      out.unacked.push_back(std::move(u));
+    }
+    state.send.push_back(std::move(out));
+  }
+  for (const auto& [peer, pr] : peer_recv_) {
+    ckpt::SessionState::PeerRecv out;
+    out.peer = peer;
+    out.epoch = pr.epoch;
+    out.cum = pr.cum;
+    out.above.assign(pr.above.begin(), pr.above.end());
+    state.recv.push_back(std::move(out));
+  }
+  for (const auto& [peer, epoch] : peer_epoch_) {
+    state.peer_epochs.emplace_back(peer, epoch);
+  }
+  return state;
+}
+
+void NodeSession::import_state(const ckpt::SessionState& state) {
+  HPD_REQUIRE(state.self == self_, "NodeSession: checkpoint node mismatch");
+  adopt_epoch(state.epoch);
+  peer_send_.clear();
+  peer_recv_.clear();
+  peer_epoch_.clear();
+  delayed_.clear();
+  ack_pending_.clear();
+  unreachable_pending_.clear();
+  for (const auto& in : state.send) {
+    PeerSend& ps = peer_send_[in.peer];
+    ps.next_seq = in.next_seq;
+    for (const auto& u : in.unacked) {
+      Pending p;
+      p.body = u.body;
+      p.attempts = static_cast<int>(u.attempts);
+      p.dst_epoch = u.dst_epoch;
+      // Deadlines do not survive a restart: everything unacked is due now,
+      // with the initial backoff re-applied on the first retransmission.
+      p.backoff = clock_->to_real(cfg_->retx_initial);
+      p.next_retx = Clock::time_point::min();
+      ps.unacked.emplace(u.seq, std::move(p));
+    }
+  }
+  for (const auto& in : state.recv) {
+    PeerRecv& pr = peer_recv_[in.peer];
+    pr.epoch = in.epoch;
+    pr.cum = in.cum;
+    pr.above.insert(in.above.begin(), in.above.end());
+  }
+  for (const auto& [peer, epoch] : state.peer_epochs) {
+    peer_epoch_[peer] = epoch;
+  }
+  reliability_due_ = Clock::time_point::min();
+}
+
 // ---- Shutdown ---------------------------------------------------------------
 
 void NodeSession::shutdown() {

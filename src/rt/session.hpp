@@ -26,6 +26,7 @@
 #include <set>
 #include <vector>
 
+#include "ckpt/session_state.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "metrics/counters.hpp"
@@ -81,6 +82,23 @@ class NodeSession final : public PayloadSink {
   /// New incarnation (revive): every live peer will reject DATA addressed
   /// to the previous life. Driver-side, only while this node is stopped.
   void bump_epoch() { epoch_ += 1; }
+  /// Epoch continuity across a real process restart: adopt the larger of
+  /// the current and the checkpointed incarnation. Epochs only move
+  /// forward — a stale checkpoint can never demote this life. Same calling
+  /// contract as bump_epoch().
+  void adopt_epoch(std::uint64_t epoch) { epoch_ = std::max(epoch_, epoch); }
+
+  // ---- Checkpoint surface ---------------------------------------------------
+  /// Export the durable reliable-delivery state into the backend-neutral
+  /// ckpt image (see ckpt::SessionState for what is deliberately absent).
+  /// Same calling contract as bump_epoch(): driver-side, only while this
+  /// node's execution context is not running.
+  ckpt::SessionState export_state() const;
+  /// Rebuild from an exported image: per-peer send/receive windows and the
+  /// retransmit queue are restored with every unacked message immediately
+  /// due (deadlines do not survive a restart), and the epoch is adopted
+  /// via adopt_epoch(). Same calling contract as export_state().
+  void import_state(const ckpt::SessionState& state);
 
   // ---- Send path ------------------------------------------------------------
   /// Accept one application message (the body of Endpoint::send once the

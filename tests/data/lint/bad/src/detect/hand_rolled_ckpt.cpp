@@ -1,0 +1,11 @@
+// Deliberate ckpt-serialization violations: a detect-module file
+// hand-rolling durable bytes with the raw wire codec (line 8) and calling
+// the ckpt-private checkpoint container codec (line 9).
+#include "wire/codec.hpp"
+
+namespace hpd::detect {
+
+void persist() { wire::Encoder e(wire::WireFormat::kDelta); }
+void load() { decode_checkpoint_file({}); }
+
+}  // namespace hpd::detect

@@ -1,0 +1,9 @@
+#pragma once
+
+// Prose mentioning the confined serialization surface must not trip the
+// ckpt-serialization rule: wire::Encoder, wire::Decoder, and
+// encode_checkpoint_file( / decode_checkpoint_file( live in comments here.
+inline const char* ckpt_doc() {
+  return "snapshots are encoded by wire::Encoder inside src/ckpt; "
+         "put_interval_full( is private to that module";
+}

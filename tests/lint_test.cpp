@@ -90,6 +90,14 @@ TEST(LintTest, BadTreeFiresEveryRule) {
       r.out.find("src/rt/reactor/blocking_call.cpp:8: reactor-nonblocking"),
       std::string::npos)
       << r.out;
+  EXPECT_NE(
+      r.out.find("src/detect/hand_rolled_ckpt.cpp:8: ckpt-serialization"),
+      std::string::npos)
+      << r.out;
+  EXPECT_NE(
+      r.out.find("src/detect/hand_rolled_ckpt.cpp:9: ckpt-serialization"),
+      std::string::npos)
+      << r.out;
   // Raw strings before the violation must not swallow it or shift its
   // line number (blanker regression: delimiter scan + prefixed literals).
   EXPECT_NE(r.out.find("src/core/raw_then_clock.cpp:9: determinism"),
@@ -120,6 +128,7 @@ TEST(LintTest, AllowlistSuppressesListedRulesOnly) {
   EXPECT_EQ(r.out.find("using-namespace"), std::string::npos) << r.out;
   EXPECT_EQ(r.out.find("hot-path-containers"), std::string::npos) << r.out;
   EXPECT_EQ(r.out.find("reactor-nonblocking"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("ckpt-serialization"), std::string::npos) << r.out;
 }
 
 TEST(LintTest, RealTreeIsClean) {

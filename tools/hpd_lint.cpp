@@ -76,17 +76,21 @@ const std::map<std::string, std::set<std::string>>& allowed_deps() {
       {"core", {"common", "vc", "interval", "net", "trace", "detect"}},
       {"ft", {"common", "vc", "interval", "proto"}},
       {"analysis", {"common", "vc", "interval", "metrics", "net", "trace"}},
+      {"ckpt",
+       {"common", "vc", "interval", "metrics", "proto", "trace", "net",
+        "wire", "detect", "core", "ft"}},
       {"sim", {"common", "metrics", "transport"}},
       {"runner",
        {"common", "vc", "interval", "metrics", "net", "transport", "proto",
-        "wire", "trace", "detect", "core", "ft", "sim"}},
+        "wire", "trace", "detect", "core", "ft", "sim", "ckpt"}},
       {"rt",
        {"common", "vc", "interval", "metrics", "net", "transport", "proto",
-        "wire", "trace", "detect", "core", "ft", "parallel", "runner"}},
+        "wire", "trace", "detect", "core", "ft", "parallel", "runner",
+        "ckpt"}},
       {"mc",
        {"common", "vc", "interval", "metrics", "net", "transport", "proto",
         "wire", "trace", "detect", "core", "ft", "parallel", "runner", "sim",
-        "rt"}},
+        "rt", "ckpt"}},
   };
   return kAllowed;
 }
@@ -173,6 +177,27 @@ constexpr TokenRule kHotPathContainerTokens[] = {
                        "slot bitmap (see queue_engine.hpp)"},
     {"std::deque<", "segmented container in a hot-path module; use a ring "
                     "buffer (see queue_engine.hpp)"},
+};
+
+// Durable-state serialization is confined to src/ckpt (typed snapshot /
+// checkpoint / event-stream codecs) over the primitives in src/wire.
+// Everything else consumes the typed surface — a module hand-rolling a
+// wire::Encoder invents a byte format the fuzzers and version-skew tests
+// never see. The reliable-session protocol frames in rt/ are the one
+// allowlisted exception (protocol messages, not durable state).
+constexpr TokenRule kCkptSerializationTokens[] = {
+    {"wire::Encoder", "byte-level encoding outside wire/ and ckpt/; add a "
+                      "typed codec in src/ckpt instead"},
+    {"wire::Decoder", "byte-level decoding outside wire/ and ckpt/; add a "
+                      "typed codec in src/ckpt instead"},
+    {"encode_checkpoint_file(", "the checkpoint container codec is private "
+                                "to src/ckpt; use ckpt::CheckpointStore"},
+    {"decode_checkpoint_file(", "the checkpoint container codec is private "
+                                "to src/ckpt; use ckpt::CheckpointStore"},
+    {"put_interval_full(", "the checkpoint interval codec is private to "
+                           "src/ckpt"},
+    {"get_interval_full(", "the checkpoint interval codec is private to "
+                           "src/ckpt"},
 };
 
 // A reactor worker hosts hundreds of nodes on one thread; its only
@@ -501,6 +526,18 @@ void check_file(const fs::path& abs, const std::string& rel, FileReport& r) {
       }
     }
 
+    // ckpt-serialization: durable-state byte codecs stay in src/ckpt and
+    // src/wire; everyone else goes through the typed encode_*/decode_*
+    // surface or ckpt::CheckpointStore.
+    if (module != "ckpt" && module != "wire") {
+      for (const TokenRule& t : kCkptSerializationTokens) {
+        if (has_token(cl, t.token)) {
+          add(r, rel, ln, "ckpt-serialization",
+              std::string(t.token) + ": " + t.message);
+        }
+      }
+    }
+
     // reactor-nonblocking: the event-loop directory must stay free of
     // blocking syscalls and sleeps (epoll_wait is the one block point).
     if (rel.rfind("src/rt/reactor/", 0) == 0) {
@@ -543,9 +580,10 @@ void check_file(const fs::path& abs, const std::string& rel, FileReport& r) {
 
 const std::set<std::string>& known_rule_ids() {
   static const std::set<std::string> kIds = {
-      "layering",        "determinism",        "wire-endianness",
+      "layering",        "determinism",         "wire-endianness",
       "raw-concurrency", "hot-path-containers", "reactor-nonblocking",
       "todo-issue",      "pragma-once",         "using-namespace",
+      "ckpt-serialization",
   };
   return kIds;
 }

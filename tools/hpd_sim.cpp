@@ -12,6 +12,13 @@
 //   hpd_sim --live --topology grid:4x4 --workload pulse:rounds=7,period=30
 //           --fail 40:5 --revive 70:5
 //   hpd_sim --help
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -20,10 +27,19 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/execution_stats.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/event_stream.hpp"
+#include "ckpt/snapshot.hpp"
+#include "common/assert.hpp"
+#include "core/hier_engine.hpp"
+#include "detect/centralized.hpp"
 #include "detect/occurrence_io.hpp"
+#include "detect/offline/replay.hpp"
+#include "detect/slicing.hpp"
 #include "mc/mc_case.hpp"
 #include "mc/oracles.hpp"
 #include "mc/repro.hpp"
@@ -87,6 +103,35 @@ namespace {
   --dump-execution F  record the execution and write it to file F
                       (replayable with the offline tools; see trace_io.hpp)
   --dump-occurrences F  write the occurrence log as CSV to file F
+  --dump-stream F     record the run and write its sink-ingestion schedule
+                      as a durable event stream — the --daemon input format
+  --stream-shuffle N  seeded random arrival interleave for --dump-stream
+                      (default: round-robin by interval index)
+  --daemon            long-lived ingestion mode: consume an event stream
+                      file, emit detections incrementally, checkpoint, and
+                      survive kill -9 via --restore. Requires --stream.
+                      Detector hier runs as a star root over the stream's
+                      processes; central and slicing run as sinks
+  --stream F          daemon input: an event stream file (--dump-stream)
+  --follow            daemon: tail the stream for new events instead of
+                      treating EOF as truncation; ends on the stream's END
+                      marker or SIGTERM/SIGINT
+  --occ-log F         daemon: append every detection to this CSV log
+                      (truncated back to the checkpoint's occurrence count
+                      on --restore, so kill -9 never duplicates a line)
+  --ckpt-dir D        checkpoint directory. Daemon: full detector state.
+                      Live: per-node session-epoch table, adopted before
+                      start — epoch continuity across process restarts
+  --ckpt-every N      daemon: checkpoint every N ingested events
+                      (default 0 = only at shutdown)
+  --restore           daemon: resume from the newest complete checkpoint
+                      in --ckpt-dir (torn/corrupt generations are skipped,
+                      never silently loaded)
+  --throttle-us N     daemon: pace ingestion at N microseconds per event
+  --max-events N      daemon: stop cleanly (final checkpoint) after
+                      ingesting N events this run
+  --crash-after N     daemon: simulate kill -9 after N events this run:
+                      _exit(137), no final checkpoint (crash testing)
   --repro F           replay a model-checker repro file (mc/repro.hpp):
                       re-run the exact case and re-check its oracles;
                       exit 0 iff they all hold (ignores other flags)
@@ -154,9 +199,23 @@ struct Options {
   std::vector<runner::FailureEvent> recoveries;
   std::string dump_execution;
   std::string dump_occurrences;
+  std::string dump_stream;
+  std::optional<std::uint64_t> stream_shuffle;
   std::string repro;
   bool stats = false;
   bool show_tree = false;
+
+  // ---- Daemon / durability -------------------------------------------------
+  bool daemon = false;
+  std::string stream;
+  bool follow = false;
+  std::string occ_log;
+  std::string ckpt_dir;
+  std::uint64_t ckpt_every = 0;
+  bool restore = false;
+  std::uint64_t throttle_us = 0;
+  std::uint64_t max_events = 0;
+  std::uint64_t crash_after = 0;
 };
 
 net::Topology build_topology(const Options& opt, Rng& rng,
@@ -371,6 +430,35 @@ Options parse(int argc, char** argv) {
       opt.dump_execution = value();
     } else if (arg == "--dump-occurrences") {
       opt.dump_occurrences = value();
+    } else if (arg == "--dump-stream") {
+      opt.dump_stream = value();
+    } else if (arg == "--stream-shuffle") {
+      opt.stream_shuffle =
+          static_cast<std::uint64_t>(num_arg(value(), "stream-shuffle"));
+    } else if (arg == "--daemon") {
+      opt.daemon = true;
+    } else if (arg == "--stream") {
+      opt.stream = value();
+    } else if (arg == "--follow") {
+      opt.follow = true;
+    } else if (arg == "--occ-log") {
+      opt.occ_log = value();
+    } else if (arg == "--ckpt-dir") {
+      opt.ckpt_dir = value();
+    } else if (arg == "--ckpt-every") {
+      opt.ckpt_every =
+          static_cast<std::uint64_t>(num_arg(value(), "ckpt-every"));
+    } else if (arg == "--restore") {
+      opt.restore = true;
+    } else if (arg == "--throttle-us") {
+      opt.throttle_us =
+          static_cast<std::uint64_t>(num_arg(value(), "throttle-us"));
+    } else if (arg == "--max-events") {
+      opt.max_events =
+          static_cast<std::uint64_t>(num_arg(value(), "max-events"));
+    } else if (arg == "--crash-after") {
+      opt.crash_after =
+          static_cast<std::uint64_t>(num_arg(value(), "crash-after"));
     } else if (arg == "--repro") {
       opt.repro = value();
     } else if (arg == "--seed") {
@@ -403,6 +491,63 @@ const char* detector_name(runner::DetectorKind k) {
       return "slicing";
   }
   return "?";
+}
+
+// ---- Signal handling (self-pipe) -------------------------------------------
+//
+// The long-lived modes (--daemon, --live) must shut down gracefully on
+// SIGTERM/SIGINT: drain what is in flight and flush a final checkpoint.
+// The handler does the only two async-signal-safe things possible — set a
+// flag and write one byte to a pipe — and the main loops either poll the
+// flag (live, between sleeps) or block on the pipe end (daemon, while
+// waiting for stream data), so a signal wakes them immediately.
+
+int g_signal_pipe[2] = {-1, -1};
+std::atomic<bool> g_stop_requested{false};
+
+extern "C" void stop_signal_handler(int /*signo*/) {
+  g_stop_requested.store(true, std::memory_order_relaxed);
+  if (g_signal_pipe[1] >= 0) {
+    const unsigned char byte = 1;
+    [[maybe_unused]] const ssize_t rc = ::write(g_signal_pipe[1], &byte, 1);
+  }
+}
+
+void install_stop_signals() {
+  if (g_signal_pipe[0] >= 0) {
+    return;  // already installed
+  }
+  if (::pipe(g_signal_pipe) == 0) {
+    for (const int fd : g_signal_pipe) {
+      ::fcntl(fd, F_SETFL, O_NONBLOCK);
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    }
+  } else {
+    g_signal_pipe[0] = g_signal_pipe[1] = -1;  // flag-only fallback
+  }
+  struct sigaction sa = {};
+  sa.sa_handler = stop_signal_handler;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+bool stop_requested() {
+  return g_stop_requested.load(std::memory_order_relaxed);
+}
+
+/// Sleep up to `ms` milliseconds; a stop signal's self-pipe byte ends the
+/// wait immediately.
+void sleep_or_signal(int ms) {
+  if (stop_requested()) {
+    return;
+  }
+  if (g_signal_pipe[0] < 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return;
+  }
+  struct pollfd pfd = {g_signal_pipe[0], POLLIN, 0};
+  ::poll(&pfd, 1, ms);
 }
 
 // ---- JSON report ------------------------------------------------------------
@@ -455,7 +600,19 @@ struct LiveInfo {
   double scale = 0.0;
   const rt::LiveResult* res = nullptr;
   const std::vector<std::string>* violations = nullptr;
+  /// A signal cut the run short: the oracles were not evaluated (the
+  /// truncated workload cannot satisfy them) and the exit code stays 0.
+  bool interrupted = false;
 };
+
+/// {"writes": .., ...} — shared between the live report and the daemon's
+/// own JSON document.
+void checkpoint_json(std::ostream& os, const CheckpointCounters& ck) {
+  os << "{\"writes\": " << ck.writes << ", \"bytes_written\": "
+     << ck.bytes_written << ", \"restores\": " << ck.restores
+     << ", \"restore_generation\": " << ck.restore_generation
+     << ", \"torn_writes_skipped\": " << ck.torn_writes_skipped << "}";
+}
 
 void report_json(std::ostream& os, const Options& opt,
                  const runner::ExperimentConfig& cfg,
@@ -533,8 +690,17 @@ void report_json(std::ostream& os, const Options& opt,
     };
     put_events("crashes", live->res->actual_crashes);
     put_events("recoveries", live->res->actual_recoveries);
+    const CheckpointCounters& ck = result.metrics.checkpoint();
+    if (ck.writes != 0 || ck.restores != 0 || ck.torn_writes_skipped != 0) {
+      os << ", \"checkpoint\": ";
+      checkpoint_json(os, ck);
+    }
+    os << ", \"interrupted\": " << (live->interrupted ? "true" : "false");
     os << ", \"oracle\": \""
-       << (live->violations->empty() ? "PASS" : "FAIL") << "\"";
+       << (live->interrupted        ? "INTERRUPTED"
+           : live->violations->empty() ? "PASS"
+                                       : "FAIL")
+       << "\"";
     os << ", \"violations\": [";
     bool first = true;
     for (const std::string& v : *live->violations) {
@@ -641,11 +807,21 @@ void report_text(std::ostream& os, const Options& opt,
       os << "measured revive: node " << ev.node
          << " at t=" << TextTable::num(ev.time, 1) << "\n";
     }
+    const CheckpointCounters& ck = result.metrics.checkpoint();
+    if (ck.writes != 0 || ck.restores != 0 || ck.torn_writes_skipped != 0) {
+      os << "checkpoint: writes=" << ck.writes
+         << " bytes=" << ck.bytes_written << " restores=" << ck.restores
+         << " restore-generation=" << ck.restore_generation
+         << " torn-skipped=" << ck.torn_writes_skipped << "\n";
+    }
     for (const std::string& v : *live->violations) {
       os << "  violation: " << v << "\n";
     }
     os << "live oracle: "
-       << (live->violations->empty() ? "PASS" : "FAIL") << "\n";
+       << (live->interrupted        ? "INTERRUPTED"
+           : live->violations->empty() ? "PASS"
+                                       : "FAIL")
+       << "\n";
   }
 }
 
@@ -686,6 +862,26 @@ int report(const Options& opt, const runner::ExperimentConfig& cfg,
     detect::write_occurrences_csv(f, result.occurrences);
     side << "occurrences written to " << opt.dump_occurrences << "\n";
   }
+  if (!opt.dump_stream.empty()) {
+    // Serialize the recorded execution as a daemon-ingestible event stream,
+    // in the same arrival order the offline replays use.
+    try {
+      ckpt::EventStreamWriter w(opt.dump_stream,
+                                result.execution.procs.size());
+      for (const auto& [p, i] :
+           detect::offline::arrival_order(result.execution,
+                                          opt.stream_shuffle)) {
+        w.append(result.execution.procs[p].intervals[i]);
+      }
+      w.finish();
+      side << "event stream (" << w.events_written() << " events) written to "
+           << opt.dump_stream << "\n";
+    } catch (const ckpt::CkptError& e) {
+      std::cerr << "cannot write " << opt.dump_stream << ": " << e.what()
+                << "\n";
+      return 1;
+    }
+  }
 
   if (opt.stats && !opt.json) {
     analysis::print_stats(side, analysis::compute_stats(result.execution));
@@ -698,6 +894,439 @@ int report(const Options& opt, const runner::ExperimentConfig& cfg,
     report_text(std::cout, opt, cfg, result, live);
   }
   return (live != nullptr && !live->violations->empty()) ? 1 : 0;
+}
+
+// ---- Daemon mode -------------------------------------------------------------
+//
+// The long-lived ingestion loop: read an event stream (possibly tailing a
+// growing file), feed each interval to one detector engine, append every
+// detection to the occurrence log, and checkpoint the full detector state
+// so a kill -9 plus --restore continues the occurrence stream byte-for-byte
+// where an uninterrupted run would have been.
+//
+// Determinism is the core invariant. The occurrence timestamp source is the
+// logical stream position (events consumed so far), not the wall clock, so
+// a restored run re-emits exactly the records an uninterrupted run emits.
+
+std::optional<ckpt::EngineKind> daemon_engine_kind(runner::DetectorKind k) {
+  switch (k) {
+    case runner::DetectorKind::kHierarchical:
+      return ckpt::EngineKind::kHier;
+    case runner::DetectorKind::kCentralized:
+      return ckpt::EngineKind::kCentral;
+    case runner::DetectorKind::kSlicing:
+      return ckpt::EngineKind::kSlicing;
+    case runner::DetectorKind::kPossiblyCentralized:
+      return std::nullopt;  // weak modality has no checkpoint surface
+  }
+  return std::nullopt;
+}
+
+/// One detector engine behind a uniform ingest/snapshot surface. The
+/// stream's process 0 plays the sink/root role: its intervals are local,
+/// everyone else's arrive as reports (hier: as child reports of a star
+/// root, so all three engines see the identical arrival sequence).
+class DaemonDetector {
+ public:
+  DaemonDetector(ckpt::EngineKind kind, std::size_t processes,
+                 detect::OccurrenceCallback on_occurrence,
+                 std::function<SimTime()> now)
+      : kind_(kind) {
+    std::vector<ProcessId> procs;
+    procs.reserve(processes);
+    for (std::size_t i = 0; i < processes; ++i) {
+      procs.push_back(static_cast<ProcessId>(i));
+    }
+    switch (kind_) {
+      case ckpt::EngineKind::kCentral:
+        central_ = std::make_unique<detect::CentralSink>(
+            0, procs,
+            detect::CentralSink::Hooks{std::move(on_occurrence),
+                                       std::move(now)});
+        break;
+      case ckpt::EngineKind::kSlicing:
+        slicing_ = std::make_unique<detect::SlicingDetector>(
+            0, procs,
+            detect::SlicingDetector::Hooks{std::move(on_occurrence),
+                                           std::move(now)});
+        break;
+      case ckpt::EngineKind::kHier: {
+        core::HierNodeEngine::Config c;
+        c.self = 0;
+        c.has_parent = false;  // root: every detection is global
+        core::HierNodeEngine::Hooks h;
+        h.on_occurrence = std::move(on_occurrence);
+        h.now = std::move(now);
+        hier_ = std::make_unique<core::HierNodeEngine>(c, std::move(h));
+        for (std::size_t j = 1; j < processes; ++j) {
+          hier_->add_child(static_cast<ProcessId>(j), 1);
+        }
+        break;
+      }
+    }
+  }
+
+  void feed(const Interval& x) {
+    switch (kind_) {
+      case ckpt::EngineKind::kCentral:
+        x.origin == central_->self() ? central_->local_interval(x)
+                                     : central_->report(x);
+        break;
+      case ckpt::EngineKind::kSlicing:
+        x.origin == slicing_->self() ? slicing_->local_interval(x)
+                                     : slicing_->report(x);
+        break;
+      case ckpt::EngineKind::kHier:
+        x.origin == hier_->self() ? hier_->local_interval(x)
+                                  : hier_->child_report(x.origin, x);
+        break;
+    }
+  }
+
+  ckpt::DetectorImage image(std::uint64_t consumed) const {
+    ckpt::DetectorImage img;
+    img.kind = kind_;
+    img.consumed_events = consumed;
+    switch (kind_) {
+      case ckpt::EngineKind::kCentral:
+        img.central = central_->snapshot();
+        break;
+      case ckpt::EngineKind::kSlicing:
+        img.slicing = slicing_->snapshot();
+        break;
+      case ckpt::EngineKind::kHier:
+        img.hier = hier_->snapshot();
+        break;
+    }
+    return img;
+  }
+
+  void restore(const ckpt::DetectorImage& img) {
+    HPD_REQUIRE(img.kind == kind_, "DaemonDetector: engine kind mismatch");
+    switch (kind_) {
+      case ckpt::EngineKind::kCentral:
+        central_->restore(img.central);
+        break;
+      case ckpt::EngineKind::kSlicing:
+        slicing_->restore(img.slicing);
+        break;
+      case ckpt::EngineKind::kHier:
+        hier_->restore(img.hier);
+        break;
+    }
+  }
+
+ private:
+  ckpt::EngineKind kind_;
+  std::unique_ptr<detect::CentralSink> central_;
+  std::unique_ptr<detect::SlicingDetector> slicing_;
+  std::unique_ptr<core::HierNodeEngine> hier_;
+};
+
+/// Rewind the occurrence log to the checkpoint's view: header plus `keep`
+/// rows, published atomically (tmp + rename) so a crash mid-truncation
+/// leaves either the old or the new log, never a torn one. Rows the
+/// checkpoint counted but the log lacks are reported (the stream will
+/// re-emit them, so this is a warning, not corruption).
+void truncate_occ_log(const std::string& path, std::uint64_t keep) {
+  static constexpr const char* kHeader = "time,node,index,global,weight";
+  std::vector<std::string> lines;
+  std::uint64_t rows = 0;
+  {
+    std::ifstream in(path);
+    std::string line;
+    bool have_header = false;
+    while ((rows < keep || !have_header) && std::getline(in, line)) {
+      if (!have_header) {
+        have_header = true;
+        lines.push_back(line);
+        continue;
+      }
+      lines.push_back(line);
+      ++rows;
+    }
+  }
+  if (lines.empty()) {
+    lines.emplace_back(kHeader);
+  }
+  if (rows < keep) {
+    std::cerr << "note: occurrence log " << path << " has " << rows
+              << " rows, checkpoint expected " << keep
+              << " — restore will re-emit the difference\n";
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    for (const std::string& l : lines) {
+      out << l << '\n';
+    }
+    out.flush();
+    if (!out) {
+      std::cerr << "cannot rewrite " << path << "\n";
+      std::exit(1);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::cerr << "cannot publish truncated " << path << "\n";
+    std::exit(1);
+  }
+}
+
+int run_daemon(const Options& opt) {
+  if (opt.stream.empty()) {
+    std::cerr << "--daemon requires --stream FILE (see --dump-stream)\n";
+    return 2;
+  }
+  if (opt.live || opt.repeat > 1) {
+    std::cerr << "--daemon conflicts with --live and --repeat\n";
+    return 2;
+  }
+  const std::optional<ckpt::EngineKind> kind =
+      daemon_engine_kind(opt.detector);
+  if (!kind.has_value()) {
+    std::cerr << "--daemon supports detectors hier, central, slicing\n";
+    return 2;
+  }
+  if ((opt.restore || opt.ckpt_every != 0) && opt.ckpt_dir.empty()) {
+    std::cerr << "--restore / --ckpt-every require --ckpt-dir\n";
+    return 2;
+  }
+
+  install_stop_signals();
+
+  std::unique_ptr<ckpt::CheckpointStore> store;
+  if (!opt.ckpt_dir.empty()) {
+    store = std::make_unique<ckpt::CheckpointStore>(opt.ckpt_dir, "daemon");
+  }
+
+  std::unique_ptr<ckpt::EventStreamReader> reader;
+  try {
+    reader = std::make_unique<ckpt::EventStreamReader>(opt.stream);
+  } catch (const ckpt::CkptError& e) {
+    std::cerr << "cannot open stream: " << e.what() << "\n";
+    return 1;
+  }
+
+  // Wait for the stream header (race-free under --follow: the producer may
+  // not have written its first bytes yet).
+  std::optional<Interval> pending;
+  while (!reader->have_header()) {
+    Interval ev;
+    ckpt::EventStreamReader::Status st;
+    try {
+      st = reader->next(ev);
+    } catch (const ckpt::CkptError& e) {
+      std::cerr << "bad stream: " << e.what() << "\n";
+      return 1;
+    }
+    if (st == ckpt::EventStreamReader::Status::kEvent) {
+      pending = ev;
+      break;
+    }
+    if (st == ckpt::EventStreamReader::Status::kEnd) {
+      break;
+    }
+    if (stop_requested()) {
+      std::cerr << "interrupted before the stream header arrived\n";
+      return 0;
+    }
+    if (!opt.follow) {
+      std::cerr << "stream has no header (truncated? use --follow to "
+                   "tail a growing file)\n";
+      return 1;
+    }
+    sleep_or_signal(10);
+  }
+  if (!reader->have_header()) {
+    std::cerr << "stream ended before its header\n";
+    return 1;
+  }
+  const std::size_t processes = reader->num_processes();
+
+  // Logical stream position and output count — monotone across restarts:
+  // a restore seeds them from the checkpoint and skips the consumed prefix.
+  std::uint64_t consumed = 0;
+  std::uint64_t emitted = 0;
+
+  ckpt::DetectorImage restored_image;
+  bool have_restore = false;
+  if (opt.restore) {
+    if (std::optional<ckpt::CheckpointData> data = store->load_latest()) {
+      if (data->meta.engine_kind != static_cast<std::uint8_t>(*kind)) {
+        std::cerr << "checkpoint was written by a different engine ("
+                  << static_cast<int>(data->meta.engine_kind)
+                  << "); refusing to restore into --detector "
+                  << detector_name(opt.detector) << "\n";
+        return 2;
+      }
+      try {
+        restored_image = ckpt::decode_detector(data->detector);
+      } catch (const ckpt::CkptError& e) {
+        std::cerr << "corrupt detector image: " << e.what() << "\n";
+        return 1;
+      }
+      consumed = data->meta.consumed_events;
+      emitted = data->meta.occurrences_emitted;
+      have_restore = true;
+    } else {
+      std::cerr << "note: no restorable checkpoint in " << opt.ckpt_dir
+                << "; starting fresh\n";
+    }
+  }
+
+  std::ofstream occ;
+  if (!opt.occ_log.empty()) {
+    if (have_restore) {
+      // Drop rows the pre-crash run emitted past the checkpoint: the
+      // re-fed stream suffix regenerates them, and the log must not
+      // duplicate a line.
+      truncate_occ_log(opt.occ_log, emitted);
+      occ.open(opt.occ_log, std::ios::app);
+    } else {
+      occ.open(opt.occ_log, std::ios::trunc);
+      if (occ) {
+        occ << "time,node,index,global,weight\n";
+        occ.flush();
+      }
+    }
+    if (!occ) {
+      std::cerr << "cannot open " << opt.occ_log << "\n";
+      return 1;
+    }
+  }
+
+  // Deterministic clock: detection time == index of the triggering event.
+  auto now = [&consumed] { return static_cast<SimTime>(consumed); };
+  auto on_occurrence = [&](const detect::OccurrenceRecord& rec) {
+    ++emitted;
+    if (occ.is_open()) {
+      // write_occurrences_csv's row format, one row per detection, flushed
+      // immediately: a kill -9 never loses an emitted line.
+      occ << rec.time << ',' << rec.detector << ',' << rec.index << ','
+          << (rec.global ? 1 : 0) << ',' << rec.aggregate.weight << "\n";
+      occ.flush();
+    }
+  };
+
+  DaemonDetector det(*kind, processes, on_occurrence, now);
+  if (have_restore) {
+    det.restore(restored_image);
+  }
+
+  auto write_checkpoint = [&] {
+    if (store == nullptr) {
+      return;
+    }
+    ckpt::CheckpointData data;
+    data.meta.engine_kind = static_cast<std::uint8_t>(*kind);
+    data.meta.consumed_events = consumed;
+    data.meta.occurrences_emitted = emitted;
+    data.detector = ckpt::encode_detector(det.image(consumed));
+    store->write(std::move(data));
+  };
+
+  const std::uint64_t already_consumed = consumed;
+  std::uint64_t this_run = 0;
+  bool interrupted = false;
+  bool truncated = false;
+  bool clean_end = false;
+
+  auto next_event = [&](Interval& ev) {
+    if (pending.has_value()) {
+      ev = *pending;
+      pending.reset();
+      return ckpt::EventStreamReader::Status::kEvent;
+    }
+    return reader->next(ev);
+  };
+
+  try {
+    while (true) {
+      if (stop_requested()) {
+        interrupted = true;
+        break;
+      }
+      Interval ev;
+      const ckpt::EventStreamReader::Status st = next_event(ev);
+      if (st == ckpt::EventStreamReader::Status::kEnd) {
+        clean_end = true;
+        break;
+      }
+      if (st == ckpt::EventStreamReader::Status::kWait) {
+        if (!opt.follow) {
+          truncated = true;
+          break;
+        }
+        sleep_or_signal(10);
+        continue;
+      }
+      if (reader->events_read() <= already_consumed) {
+        continue;  // prefix the restored checkpoint already ingested
+      }
+      ++consumed;
+      ++this_run;
+      det.feed(ev);
+      if (opt.crash_after != 0 && this_run >= opt.crash_after) {
+        // Deterministic self-kill for crash testing: no checkpoint, no
+        // flush, no unwinding — indistinguishable from kill -9 here.
+        std::_Exit(137);
+      }
+      if (opt.ckpt_every != 0 && this_run % opt.ckpt_every == 0) {
+        write_checkpoint();
+      }
+      if (opt.max_events != 0 && this_run >= opt.max_events) {
+        break;
+      }
+      if (opt.throttle_us != 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(opt.throttle_us));
+      }
+    }
+  } catch (const ckpt::CkptError& e) {
+    std::cerr << "stream error after " << consumed << " events: " << e.what()
+              << "\n";
+    write_checkpoint();  // progress up to the last good event survives
+    return 1;
+  }
+
+  // Clean shutdown (END marker, --max-events, truncation, or a signal):
+  // always leave a final checkpoint behind.
+  write_checkpoint();
+
+  if (truncated) {
+    std::cerr << "stream ended without an END marker after " << consumed
+              << " events (use --follow to tail a growing file); "
+                 "progress checkpointed\n";
+  }
+
+  const CheckpointCounters ck =
+      store != nullptr ? store->counters() : CheckpointCounters{};
+  if (opt.json) {
+    std::cout << "{\n  \"mode\": \"daemon\",\n  \"detector\": \""
+              << detector_name(opt.detector) << "\",\n  \"processes\": "
+              << processes << ",\n  \"consumed_events\": " << consumed
+              << ",\n  \"events_this_run\": " << this_run
+              << ",\n  \"occurrences_emitted\": " << emitted
+              << ",\n  \"interrupted\": " << (interrupted ? "true" : "false")
+              << ",\n  \"clean_end\": " << (clean_end ? "true" : "false")
+              << ",\n  \"checkpoint\": ";
+    checkpoint_json(std::cout, ck);
+    std::cout << "\n}\n";
+  } else {
+    std::cout << "daemon: detector=" << detector_name(opt.detector)
+              << " processes=" << processes << " consumed=" << consumed
+              << " this-run=" << this_run << " occurrences=" << emitted
+              << (interrupted ? " (interrupted)" : "")
+              << (clean_end ? " (end of stream)" : "") << "\n";
+    if (store != nullptr) {
+      std::cout << "checkpoint: writes=" << ck.writes
+                << " bytes=" << ck.bytes_written
+                << " restores=" << ck.restores
+                << " restore-generation=" << ck.restore_generation
+                << " torn-skipped=" << ck.torn_writes_skipped << "\n";
+    }
+  }
+  return truncated ? 1 : 0;
 }
 
 // ---- Live mode --------------------------------------------------------------
@@ -801,20 +1430,27 @@ int run_live(const Options& opt) {
     lc.chaos.until = cfg.horizon;
     lc.chaos.seed = opt.seed ^ 0xc4a05u;
   }
-  const rt::LiveResult live = rt::run_live_experiment(cfg, lc);
+  lc.ckpt_dir = opt.ckpt_dir;
+  install_stop_signals();
+  const rt::LiveResult live =
+      rt::run_live_experiment(cfg, lc, &g_stop_requested);
 
   // The oracles must judge the run that actually happened: substitute the
-  // measured fault instants for the planned ones.
-  c.crashes.clear();
-  c.recoveries.clear();
-  for (const rt::LifeEvent& ev : live.actual_crashes) {
-    c.crashes.push_back({ev.time, ev.node});
+  // measured fault instants for the planned ones. An interrupted run is
+  // exempt — its truncated workload cannot satisfy the oracles, and that
+  // is not a detector failure.
+  std::vector<std::string> violations;
+  if (!live.interrupted) {
+    c.crashes.clear();
+    c.recoveries.clear();
+    for (const rt::LifeEvent& ev : live.actual_crashes) {
+      c.crashes.push_back({ev.time, ev.node});
+    }
+    for (const rt::LifeEvent& ev : live.actual_recoveries) {
+      c.recoveries.push_back({ev.time, ev.node});
+    }
+    violations = mc::check_oracles(c, cfg, live.result);
   }
-  for (const rt::LifeEvent& ev : live.actual_recoveries) {
-    c.recoveries.push_back({ev.time, ev.node});
-  }
-  const std::vector<std::string> violations =
-      mc::check_oracles(c, cfg, live.result);
 
   LiveInfo info;
   info.transport = opt.live_tcp ? "tcp" : "unix";
@@ -822,6 +1458,7 @@ int run_live(const Options& opt) {
   info.scale = opt.live_scale;
   info.res = &live;
   info.violations = &violations;
+  info.interrupted = live.interrupted;
   return report(opt, cfg, live.result, &info);
 }
 
@@ -833,6 +1470,9 @@ int run(const Options& opt) {
       std::cerr << "bad repro file: " << e.what() << "\n";
       return 2;
     }
+  }
+  if (opt.daemon) {
+    return run_daemon(opt);
   }
   if (opt.live) {
     return run_live(opt);
@@ -861,7 +1501,8 @@ int run(const Options& opt) {
   cfg.recoveries = opt.recoveries;
   cfg.seed = opt.seed;
   cfg.occurrence_solutions = false;
-  cfg.record_execution = !opt.dump_execution.empty() || opt.stats;
+  cfg.record_execution = !opt.dump_execution.empty() ||
+                         !opt.dump_stream.empty() || opt.stats;
 
   if (!opt.failures.empty() && !cfg.heartbeats &&
       opt.detector == runner::DetectorKind::kHierarchical) {
