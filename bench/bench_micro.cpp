@@ -67,6 +67,29 @@ void BM_VcMeetJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_VcMeetJoin)->RangeMultiplier(4)->Range(8, 4096);
 
+reference::VectorClock to_reference_clock(const VectorClock& v) {
+  reference::VectorClock out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = v[i];
+  }
+  return out;
+}
+
+// Frozen-seed twin of BM_VcMeetJoin (same seed, identical inputs) across
+// the full width range: the perf-smoke same-run gate diffs the SIMD
+// meet/join against this at every n, including 1024 and 4096.
+void BM_VcMeetJoinBaseline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const reference::VectorClock a = to_reference_clock(random_clock(rng, n));
+  const reference::VectorClock b = to_reference_clock(random_clock(rng, n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference::component_min(a, b));
+    benchmark::DoNotOptimize(reference::component_max(a, b));
+  }
+}
+BENCHMARK(BM_VcMeetJoinBaseline)->RangeMultiplier(4)->Range(8, 4096);
+
 Interval random_interval(Rng& rng, std::size_t n, ProcessId origin,
                          SeqNum seq) {
   Interval x;
@@ -105,6 +128,30 @@ void BM_Aggregate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Aggregate)->RangeMultiplier(4)->Range(8, 4096);
+
+// Frozen-seed twin of BM_Aggregate (same seed and fan-in, identical
+// inputs) for the same-run gate — reference::aggregate is the pre-SIMD
+// Eqs. (5)/(6) combine.
+void BM_AggregateBaseline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 8;
+  Rng rng(5);
+  std::vector<reference::Interval> xs;
+  for (std::size_t i = 0; i < k; ++i) {
+    const Interval x = random_interval(rng, n, static_cast<ProcessId>(i), 1);
+    reference::Interval rx;
+    rx.lo = to_reference_clock(x.lo);
+    rx.hi = to_reference_clock(x.hi);
+    rx.origin = x.origin;
+    rx.seq = x.seq;
+    xs.push_back(std::move(rx));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference::aggregate(
+        std::span<const reference::Interval>(xs), 99, 1));
+  }
+}
+BENCHMARK(BM_AggregateBaseline)->RangeMultiplier(4)->Range(8, 4096);
 
 /// Full queue-engine round trip: d+1 queues fed one mutually-overlapping
 /// interval each -> one solution detected and pruned per batch.

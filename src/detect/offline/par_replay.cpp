@@ -1,0 +1,57 @@
+#include "detect/offline/par_replay.hpp"
+
+#include <future>
+#include <utility>
+
+namespace hpd::detect::offline {
+
+TripleResult replay_triple(const trace::ExecutionRecord& exec,
+                           const net::SpanningTree& tree,
+                           const TripleOptions& options,
+                           parallel::ThreadPool& pool) {
+  ReplayOptions copt;
+  copt.prune_mode = options.prune_mode;
+  copt.shuffle_seed = options.shuffle_seed;
+  SlicingReplayOptions sopt;
+  sopt.prune_mode = options.prune_mode;
+  sopt.mode = options.slicing_mode;
+  sopt.shuffle_seed = options.shuffle_seed;
+
+  // Two legs on the pool, the third on the caller's thread — the caller
+  // would otherwise just block on the futures.
+  auto hier_fut =
+      pool.submit([&] { return hier_replay(exec, tree, options.prune_mode); });
+  auto slicing_fut = pool.submit([&] { return replay_slicing(exec, sopt); });
+
+  TripleResult out;
+  out.central = replay_centralized(exec, copt);
+  out.hier = hier_fut.get();
+  out.slicing = slicing_fut.get();
+  return out;
+}
+
+std::vector<std::vector<Solution>> replay_centralized_sharded(
+    std::span<const trace::ExecutionRecord> execs, const ReplayOptions& options,
+    parallel::ThreadPool& pool) {
+  return parallel::parallel_map<std::vector<Solution>>(
+      pool, execs.size(),
+      [&](std::size_t i) { return replay_centralized(execs[i], options); });
+}
+
+std::vector<SlicingReplayResult> replay_slicing_sharded(
+    std::span<const trace::ExecutionRecord> execs,
+    const SlicingReplayOptions& options, parallel::ThreadPool& pool) {
+  return parallel::parallel_map<SlicingReplayResult>(
+      pool, execs.size(),
+      [&](std::size_t i) { return replay_slicing(execs[i], options); });
+}
+
+std::vector<std::vector<Solution>> possibly_replay_sharded(
+    std::span<const trace::ExecutionRecord> execs, PossiblyEngine::Mode mode,
+    parallel::ThreadPool& pool) {
+  return parallel::parallel_map<std::vector<Solution>>(
+      pool, execs.size(),
+      [&](std::size_t i) { return possibly_replay(execs[i], mode); });
+}
+
+}  // namespace hpd::detect::offline

@@ -1,0 +1,70 @@
+// Parallel drivers for the offline replay oracles.
+//
+// Every replay is a pure function of a recorded execution — fresh engines,
+// no shared mutable state — so oracle work parallelizes at two natural
+// grains without touching the replay implementations:
+//
+//   replay_triple()    the three-way differential's hier/centralized/
+//                      slicing replays over ONE execution, run as three
+//                      pool tasks (the centralized leg runs on the caller's
+//                      thread while the other two are in flight)
+//   *_sharded()        one replay per execution across a batch, fanned over
+//                      the pool with results in input order
+//
+// Determinism: each function returns exactly what the serial calls would —
+// the pool only changes wall-clock, never content (pinned byte-identical
+// by the ParallelReplay tests). A single-worker pool degrades to serial
+// execution with the same results.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "detect/offline/hier_replay.hpp"
+#include "detect/offline/replay.hpp"
+#include "detect/offline/slicing_replay.hpp"
+#include "detect/possibly.hpp"
+#include "net/spanning_tree.hpp"
+#include "parallel/thread_pool.hpp"
+#include "trace/execution.hpp"
+
+namespace hpd::detect::offline {
+
+struct TripleOptions {
+  QueueEngine::PruneMode prune_mode = QueueEngine::PruneMode::kAllEq10;
+  SlicingEngine::Mode slicing_mode = SlicingEngine::Mode::kExact;
+  /// Shared by the centralized and slicing replays (they already share
+  /// arrival_order(), so one seed keeps their schedules identical).
+  std::optional<std::uint64_t> shuffle_seed;
+};
+
+struct TripleResult {
+  HierReplayResult hier;
+  std::vector<Solution> central;
+  SlicingReplayResult slicing;
+};
+
+/// The three offline references over one execution, computed concurrently.
+TripleResult replay_triple(const trace::ExecutionRecord& exec,
+                           const net::SpanningTree& tree,
+                           const TripleOptions& options,
+                           parallel::ThreadPool& pool);
+
+/// replay_centralized over each execution, results in input order.
+std::vector<std::vector<Solution>> replay_centralized_sharded(
+    std::span<const trace::ExecutionRecord> execs, const ReplayOptions& options,
+    parallel::ThreadPool& pool);
+
+/// replay_slicing over each execution, results in input order.
+std::vector<SlicingReplayResult> replay_slicing_sharded(
+    std::span<const trace::ExecutionRecord> execs,
+    const SlicingReplayOptions& options, parallel::ThreadPool& pool);
+
+/// possibly_replay over each execution, results in input order.
+std::vector<std::vector<Solution>> possibly_replay_sharded(
+    std::span<const trace::ExecutionRecord> execs, PossiblyEngine::Mode mode,
+    parallel::ThreadPool& pool);
+
+}  // namespace hpd::detect::offline

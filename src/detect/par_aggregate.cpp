@@ -1,0 +1,111 @@
+#include "detect/par_aggregate.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/assert.hpp"
+#include "vc/simd.hpp"
+
+namespace hpd::detect {
+
+namespace {
+
+// Slice granularity in components: 16 u32 = one 64-byte cache line, so no
+// two workers ever store into the same line of lo/hi (no false sharing).
+constexpr std::size_t kSliceAlign = 16;
+
+// Mirrors the provenance gate in interval.cpp's aggregate(): attach iff
+// every input carries a record.
+bool all_have_provenance(std::span<const Interval> xs) {
+  for (const Interval& x : xs) {
+    if (x.provenance == nullptr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool aggregate_should_parallelize(std::size_t batch, std::size_t n,
+                                  const parallel::ThreadPool* pool) {
+  return pool != nullptr && pool->size() > 1 &&
+         batch * n >= kParallelAggregateMinWork;
+}
+
+Interval aggregate_parallel(std::span<const Interval> xs, ProcessId origin,
+                            SeqNum seq, parallel::ThreadPool& pool) {
+  HPD_REQUIRE(!xs.empty(), "aggregate_parallel: empty interval set");
+  const bool all_provenance = all_have_provenance(xs);
+  Interval out;
+  out.lo = xs.front().lo;
+  out.hi = xs.front().hi;
+  out.weight = 0;
+  for (const Interval& x : xs) {
+    out.weight += x.weight;
+    out.completed_at = std::max(out.completed_at, x.completed_at);
+  }
+  ClockValue* pl = out.lo.data();
+  ClockValue* ph = out.hi.data();
+  const std::size_t n = out.lo.size();
+  HPD_REQUIRE(out.hi.size() == n, "aggregate_parallel: lo/hi size mismatch");
+  // Validate every input up front (serially) so workers can run assert-free
+  // over raw pointers.
+  for (std::size_t k = 1; k < xs.size(); ++k) {
+    HPD_REQUIRE(xs[k].lo.size() == n && xs[k].hi.size() == n,
+                "aggregate_parallel: clock size mismatch");
+  }
+  const std::size_t max_slices = (n + kSliceAlign - 1) / kSliceAlign;
+  const std::size_t slices = std::min(pool.size(), max_slices);
+  if (slices <= 1 || xs.size() < 2) {
+    // Single worker (or nothing to combine): the pool handoff cannot pay
+    // for itself; run the same kernels inline.
+    const auto& ker = vc_simd::kernels();
+    for (std::size_t k = 1; k < xs.size(); ++k) {
+      ker.meet_join(pl, ph, xs[k].lo.data(), xs[k].hi.data(), n);
+    }
+  } else {
+    const std::size_t per =
+        ((n + slices - 1) / slices + kSliceAlign - 1) / kSliceAlign *
+        kSliceAlign;
+    parallel::parallel_for(pool, slices, [&](std::size_t s) {
+      const std::size_t begin = s * per;
+      if (begin >= n) {
+        return;  // rounding can leave trailing slices empty
+      }
+      const std::size_t len = std::min(per, n - begin);
+      const auto& ker = vc_simd::kernels();
+      // Same register-accumulating fan-in kernel as the serial
+      // aggregate(), restricted to this slice's component range.
+      constexpr std::size_t kGroup = 32;
+      const ClockValue* qls[kGroup];
+      const ClockValue* qhs[kGroup];
+      std::size_t k = 1;
+      while (k < xs.size()) {
+        const std::size_t count = std::min(kGroup, xs.size() - k);
+        for (std::size_t g = 0; g < count; ++g) {
+          qls[g] = xs[k + g].lo.data() + begin;
+          qhs[g] = xs[k + g].hi.data() + begin;
+        }
+        ker.meet_join_many(pl + begin, ph + begin, qls, qhs, count, len);
+        k += count;
+      }
+    });
+  }
+  out.origin = origin;
+  out.seq = seq;
+  out.aggregated = true;
+  if (all_provenance) {
+    auto prov = std::make_shared<Provenance>();
+    prov->origin = origin;
+    prov->seq = seq;
+    prov->parts.reserve(xs.size());
+    for (const Interval& x : xs) {
+      prov->parts.push_back(x.provenance);
+    }
+    out.provenance = std::move(prov);
+  }
+  return out;
+}
+
+}  // namespace hpd::detect

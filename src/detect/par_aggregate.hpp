@@ -1,0 +1,46 @@
+// Work-parallel root-level aggregation: the Eqs. (5)/(6) combine over a
+// solution batch, partitioned across a ThreadPool by COMPONENT RANGE.
+//
+// Each worker owns a disjoint, cache-line-aligned slice of the component
+// index space and runs the full k-input meet/join over just that slice —
+// per-component max/min are independent, so the result is bit-identical
+// to the serial aggregate() no matter how the slices are scheduled (the
+// differential test pins this). Partitioning by component (not by input
+// interval) is what makes determinism free: there is no combine step and
+// no worker ever writes a component another worker reads.
+//
+// The parallel path only wins once batch-size x clock-width work amortizes
+// the pool handoff; below kParallelAggregateMinWork the serial kernels in
+// aggregate() are strictly faster. CentralSink consults
+// aggregate_should_parallelize() per solution, so small systems never pay
+// a synchronization cost.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "interval/interval.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace hpd::detect {
+
+/// Minimum batch-size x clock-width product (total component-combine steps)
+/// before aggregate_parallel() beats the serial kernels. Measured on the
+/// perf-smoke host: a pool handoff plus futures costs ~10us, the SIMD
+/// meet_join sustains ~2 components/ns, so the crossover sits around 2^15
+/// combine steps; see docs/PERFORMANCE.md.
+inline constexpr std::size_t kParallelAggregateMinWork = std::size_t{1} << 15;
+
+/// True iff a batch of `batch` intervals over `n`-component clocks is
+/// worth sending through `pool` (null pool or a single-worker pool never
+/// qualifies).
+bool aggregate_should_parallelize(std::size_t batch, std::size_t n,
+                                  const parallel::ThreadPool* pool);
+
+/// Bit-identical to aggregate(xs, origin, seq) — same clocks, weight,
+/// completion time, and provenance shape — with the component loop fanned
+/// across `pool`. Safe (just pointless) for work below the threshold.
+Interval aggregate_parallel(std::span<const Interval> xs, ProcessId origin,
+                            SeqNum seq, parallel::ThreadPool& pool);
+
+}  // namespace hpd::detect

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "vc/simd.hpp"
 
 namespace hpd {
 
@@ -71,18 +72,47 @@ Interval aggregate(std::span<const Interval> xs, ProcessId origin, SeqNum seq) {
   // raw-pointer max/min accumulation. Going through component_max/min here
   // would materialize a fresh clock per step — a heap allocation each for
   // n > VectorClock::kInlineCapacity, ~5x the cost of the arithmetic.
+  // Small clocks keep the fused scalar loop (it unrolls in place); larger
+  // ones take the dispatched meet_join kernel, which vectorizes both
+  // bounds in one pass.
   ClockValue* pl = out.lo.data();
   ClockValue* ph = out.hi.data();
   const std::size_t n = out.lo.size();
   HPD_REQUIRE(out.hi.size() == n, "aggregate: lo/hi size mismatch");
-  for (std::size_t k = 1; k < xs.size(); ++k) {
-    HPD_REQUIRE(xs[k].lo.size() == n && xs[k].hi.size() == n,
-                "aggregate: clock size mismatch");
-    const ClockValue* ql = xs[k].lo.data();
-    const ClockValue* qh = xs[k].hi.data();
-    for (std::size_t i = 0; i < n; ++i) {
-      pl[i] = std::max(pl[i], ql[i]);  // Eq. (5)
-      ph[i] = std::min(ph[i], qh[i]);  // Eq. (6)
+  if (n <= VectorClock::kInlineCapacity) {
+    for (std::size_t k = 1; k < xs.size(); ++k) {
+      HPD_REQUIRE(xs[k].lo.size() == n && xs[k].hi.size() == n,
+                  "aggregate: clock size mismatch");
+      const ClockValue* ql = xs[k].lo.data();
+      const ClockValue* qh = xs[k].hi.data();
+      for (std::size_t i = 0; i < n; ++i) {
+        pl[i] = std::max(pl[i], ql[i]);  // Eq. (5)
+        ph[i] = std::min(ph[i], qh[i]);  // Eq. (6)
+      }
+    }
+  } else {
+    const auto& ker = vc_simd::kernels();
+    for (std::size_t k = 1; k < xs.size(); ++k) {
+      HPD_REQUIRE(xs[k].lo.size() == n && xs[k].hi.size() == n,
+                  "aggregate: clock size mismatch");
+    }
+    // The whole fan-in goes through the many-input kernel so the lo/hi
+    // accumulators live in registers across every input, not in a
+    // read-modify-write pass per input. Pointer groups are bounded so the
+    // scratch stays on the stack for any batch size; max/min are
+    // elementwise, so grouping cannot change a bit of the result.
+    constexpr std::size_t kGroup = 32;
+    const ClockValue* qls[kGroup];
+    const ClockValue* qhs[kGroup];
+    std::size_t k = 1;
+    while (k < xs.size()) {
+      const std::size_t count = std::min(kGroup, xs.size() - k);
+      for (std::size_t g = 0; g < count; ++g) {
+        qls[g] = xs[k + g].lo.data();
+        qhs[g] = xs[k + g].hi.data();
+      }
+      ker.meet_join_many(pl, ph, qls, qhs, count, n);
+      k += count;
     }
   }
   out.origin = origin;

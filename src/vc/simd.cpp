@@ -1,0 +1,509 @@
+#include "vc/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+// Vendor intrinsics are confined to this translation unit (and simd.hpp)
+// by the hpd_lint `simd-intrinsics` rule. The AVX2 functions carry a
+// per-function target attribute instead of a global -mavx2 flag, so the
+// rest of the binary stays runnable on any x86-64 and the probe in
+// select() decides at startup whether these bodies may be entered.
+#if defined(__GNUC__) && defined(__x86_64__)
+#define HPD_SIMD_HAVE_AVX2 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#define HPD_SIMD_HAVE_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace hpd::vc_simd {
+
+namespace {
+
+// Block width of the portable kernels — matches the pre-SIMD scalar hot
+// path: flags accumulate branchlessly inside a block, the early-exit
+// decision is taken once per block.
+constexpr std::size_t kBlock = 8;
+
+// ---- Portable (always built) ------------------------------------------------
+
+void join_portable(ClockValue* dst, const ClockValue* a, const ClockValue* b,
+                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = a[i] > b[i] ? a[i] : b[i];
+  }
+}
+
+void meet_portable(ClockValue* dst, const ClockValue* a, const ClockValue* b,
+                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = a[i] < b[i] ? a[i] : b[i];
+  }
+}
+
+void meet_join_portable(ClockValue* lo, ClockValue* hi, const ClockValue* ql,
+                        const ClockValue* qh, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    lo[i] = lo[i] > ql[i] ? lo[i] : ql[i];  // Eq. (5)
+    hi[i] = hi[i] < qh[i] ? hi[i] : qh[i];  // Eq. (6)
+  }
+}
+
+void meet_join_many_portable(ClockValue* lo, ClockValue* hi,
+                             const ClockValue* const* qls,
+                             const ClockValue* const* qhs, std::size_t count,
+                             std::size_t n) {
+  for (std::size_t k = 0; k < count; ++k) {
+    meet_join_portable(lo, hi, qls[k], qhs[k], n);
+  }
+}
+
+unsigned order_flags_portable(const ClockValue* a, const ClockValue* b,
+                              std::size_t n) {
+  bool some_less = false;
+  bool some_greater = false;
+  std::size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      some_less |= a[i + j] < b[i + j];
+      some_greater |= a[i + j] > b[i + j];
+    }
+    if (some_less && some_greater) {
+      return kSomeLess | kSomeGreater;
+    }
+  }
+  for (; i < n; ++i) {
+    some_less |= a[i] < b[i];
+    some_greater |= a[i] > b[i];
+  }
+  return (some_less ? kSomeLess : 0u) | (some_greater ? kSomeGreater : 0u);
+}
+
+bool leq_portable(const ClockValue* a, const ClockValue* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    bool greater = false;
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      greater |= a[i + j] > b[i + j];
+    }
+    if (greater) {
+      return false;
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] > b[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool less_portable(const ClockValue* a, const ClockValue* b, std::size_t n) {
+  bool strict = false;
+  std::size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    bool greater = false;
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      greater |= a[i + j] > b[i + j];
+      strict |= a[i + j] < b[i + j];
+    }
+    if (greater) {
+      return false;
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] > b[i]) {
+      return false;
+    }
+    strict |= a[i] < b[i];
+  }
+  return strict;
+}
+
+constexpr Kernels kPortable = {
+    join_portable,  meet_portable, meet_join_portable,
+    meet_join_many_portable,
+    order_flags_portable, leq_portable,  less_portable,
+    "portable",
+};
+
+// ---- AVX2 (x86-64, runtime-probed) ------------------------------------------
+
+#if HPD_SIMD_HAVE_AVX2
+
+// ClockValue is uint32_t: 8 lanes per 256-bit vector. All loads/stores are
+// unaligned (clock storage is new[]/inline arrays with no alignment
+// promise). Tails below 8 components fall back to the scalar loop — the
+// kernels never read past n.
+
+__attribute__((target("avx2"))) void join_avx2(ClockValue* dst,
+                                               const ClockValue* a,
+                                               const ClockValue* b,
+                                               std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_max_epu32(va, vb));
+  }
+  for (; i < n; ++i) {
+    dst[i] = a[i] > b[i] ? a[i] : b[i];
+  }
+}
+
+__attribute__((target("avx2"))) void meet_avx2(ClockValue* dst,
+                                               const ClockValue* a,
+                                               const ClockValue* b,
+                                               std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_min_epu32(va, vb));
+  }
+  for (; i < n; ++i) {
+    dst[i] = a[i] < b[i] ? a[i] : b[i];
+  }
+}
+
+__attribute__((target("avx2"))) void meet_join_avx2(ClockValue* lo,
+                                                    ClockValue* hi,
+                                                    const ClockValue* ql,
+                                                    const ClockValue* qh,
+                                                    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vl =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lo + i));
+    const __m256i vql =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ql + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lo + i),
+                        _mm256_max_epu32(vl, vql));
+    const __m256i vh =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hi + i));
+    const __m256i vqh =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(qh + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(hi + i),
+                        _mm256_min_epu32(vh, vqh));
+  }
+  for (; i < n; ++i) {
+    lo[i] = lo[i] > ql[i] ? lo[i] : ql[i];
+    hi[i] = hi[i] < qh[i] ? hi[i] : qh[i];
+  }
+}
+
+// The whole fan-in folds into two register accumulators per 8-lane block:
+// each input costs two loads and two ALU ops, and lo/hi are read and
+// written exactly once per block regardless of count. This is what makes
+// wide-clock aggregation scale with input bandwidth instead of with
+// accumulator read-modify-write traffic.
+__attribute__((target("avx2"))) void meet_join_many_avx2(
+    ClockValue* lo, ClockValue* hi, const ClockValue* const* qls,
+    const ClockValue* const* qhs, std::size_t count, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i vl = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lo + i));
+    __m256i vh = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hi + i));
+    for (std::size_t k = 0; k < count; ++k) {
+      vl = _mm256_max_epu32(vl, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(qls[k] + i)));
+      vh = _mm256_min_epu32(vh, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(qhs[k] + i)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lo + i), vl);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(hi + i), vh);
+  }
+  for (; i < n; ++i) {
+    for (std::size_t k = 0; k < count; ++k) {
+      lo[i] = lo[i] > qls[k][i] ? lo[i] : qls[k][i];
+      hi[i] = hi[i] < qhs[k][i] ? hi[i] : qhs[k][i];
+    }
+  }
+}
+
+// Unsigned per-lane comparison via min + equality: a < b on a lane iff
+// min(a,b) == a and a != b (AVX2 has no direct unsigned 32-bit compare).
+__attribute__((target("avx2"))) unsigned order_flags_avx2(const ClockValue* a,
+                                                          const ClockValue* b,
+                                                          std::size_t n) {
+  unsigned flags = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i eq = _mm256_cmpeq_epi32(va, vb);
+    const __m256i mn = _mm256_min_epu32(va, vb);
+    const __m256i lt = _mm256_andnot_si256(eq, _mm256_cmpeq_epi32(mn, va));
+    const __m256i gt = _mm256_andnot_si256(eq, _mm256_cmpeq_epi32(mn, vb));
+    flags |= (_mm256_movemask_epi8(lt) != 0 ? kSomeLess : 0u) |
+             (_mm256_movemask_epi8(gt) != 0 ? kSomeGreater : 0u);
+    if (flags == (kSomeLess | kSomeGreater)) {
+      return flags;
+    }
+  }
+  for (; i < n; ++i) {
+    flags |= (a[i] < b[i] ? kSomeLess : 0u) | (a[i] > b[i] ? kSomeGreater : 0u);
+  }
+  return flags;
+}
+
+__attribute__((target("avx2"))) bool leq_avx2(const ClockValue* a,
+                                              const ClockValue* b,
+                                              std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // a <= b on every lane iff min(a,b) == a on every lane.
+    const __m256i le = _mm256_cmpeq_epi32(_mm256_min_epu32(va, vb), va);
+    if (_mm256_movemask_epi8(le) != -1) {
+      return false;
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] > b[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+__attribute__((target("avx2"))) bool less_avx2(const ClockValue* a,
+                                               const ClockValue* b,
+                                               std::size_t n) {
+  bool strict = false;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i le = _mm256_cmpeq_epi32(_mm256_min_epu32(va, vb), va);
+    if (_mm256_movemask_epi8(le) != -1) {
+      return false;  // some a[i] > b[i]
+    }
+    // All lanes a <= b here, so any non-equal lane is strictly less.
+    strict |= _mm256_movemask_epi8(_mm256_cmpeq_epi32(va, vb)) != -1;
+  }
+  for (; i < n; ++i) {
+    if (a[i] > b[i]) {
+      return false;
+    }
+    strict |= a[i] < b[i];
+  }
+  return strict;
+}
+
+constexpr Kernels kAvx2 = {
+    join_avx2,  meet_avx2, meet_join_avx2,
+    meet_join_many_avx2,
+    order_flags_avx2, leq_avx2,  less_avx2,
+    "avx2",
+};
+
+#endif  // HPD_SIMD_HAVE_AVX2
+
+// ---- NEON (AArch64 baseline) ------------------------------------------------
+
+#if HPD_SIMD_HAVE_NEON
+
+// NEON is architectural on AArch64 — no probe, no target attribute.
+// 4 uint32 lanes per 128-bit vector; vmaxvq reduces a lane mask to a
+// scalar for the early-exit decisions.
+
+void join_neon(ClockValue* dst, const ClockValue* a, const ClockValue* b,
+               std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_u32(dst + i, vmaxq_u32(vld1q_u32(a + i), vld1q_u32(b + i)));
+  }
+  for (; i < n; ++i) {
+    dst[i] = a[i] > b[i] ? a[i] : b[i];
+  }
+}
+
+void meet_neon(ClockValue* dst, const ClockValue* a, const ClockValue* b,
+               std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_u32(dst + i, vminq_u32(vld1q_u32(a + i), vld1q_u32(b + i)));
+  }
+  for (; i < n; ++i) {
+    dst[i] = a[i] < b[i] ? a[i] : b[i];
+  }
+}
+
+void meet_join_neon(ClockValue* lo, ClockValue* hi, const ClockValue* ql,
+                    const ClockValue* qh, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_u32(lo + i, vmaxq_u32(vld1q_u32(lo + i), vld1q_u32(ql + i)));
+    vst1q_u32(hi + i, vminq_u32(vld1q_u32(hi + i), vld1q_u32(qh + i)));
+  }
+  for (; i < n; ++i) {
+    lo[i] = lo[i] > ql[i] ? lo[i] : ql[i];
+    hi[i] = hi[i] < qh[i] ? hi[i] : qh[i];
+  }
+}
+
+// Register-resident accumulators across the fan-in, as in the AVX2
+// version, with 4 uint32 lanes per block.
+void meet_join_many_neon(ClockValue* lo, ClockValue* hi,
+                         const ClockValue* const* qls,
+                         const ClockValue* const* qhs, std::size_t count,
+                         std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint32x4_t vl = vld1q_u32(lo + i);
+    uint32x4_t vh = vld1q_u32(hi + i);
+    for (std::size_t k = 0; k < count; ++k) {
+      vl = vmaxq_u32(vl, vld1q_u32(qls[k] + i));
+      vh = vminq_u32(vh, vld1q_u32(qhs[k] + i));
+    }
+    vst1q_u32(lo + i, vl);
+    vst1q_u32(hi + i, vh);
+  }
+  for (; i < n; ++i) {
+    for (std::size_t k = 0; k < count; ++k) {
+      lo[i] = lo[i] > qls[k][i] ? lo[i] : qls[k][i];
+      hi[i] = hi[i] < qhs[k][i] ? hi[i] : qhs[k][i];
+    }
+  }
+}
+
+unsigned order_flags_neon(const ClockValue* a, const ClockValue* b,
+                          std::size_t n) {
+  unsigned flags = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint32x4_t va = vld1q_u32(a + i);
+    const uint32x4_t vb = vld1q_u32(b + i);
+    flags |= (vmaxvq_u32(vcltq_u32(va, vb)) != 0 ? kSomeLess : 0u) |
+             (vmaxvq_u32(vcgtq_u32(va, vb)) != 0 ? kSomeGreater : 0u);
+    if (flags == (kSomeLess | kSomeGreater)) {
+      return flags;
+    }
+  }
+  for (; i < n; ++i) {
+    flags |= (a[i] < b[i] ? kSomeLess : 0u) | (a[i] > b[i] ? kSomeGreater : 0u);
+  }
+  return flags;
+}
+
+bool leq_neon(const ClockValue* a, const ClockValue* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (vmaxvq_u32(vcgtq_u32(vld1q_u32(a + i), vld1q_u32(b + i))) != 0) {
+      return false;
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] > b[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool less_neon(const ClockValue* a, const ClockValue* b, std::size_t n) {
+  bool strict = false;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint32x4_t va = vld1q_u32(a + i);
+    const uint32x4_t vb = vld1q_u32(b + i);
+    if (vmaxvq_u32(vcgtq_u32(va, vb)) != 0) {
+      return false;
+    }
+    strict |= vmaxvq_u32(vcltq_u32(va, vb)) != 0;
+  }
+  for (; i < n; ++i) {
+    if (a[i] > b[i]) {
+      return false;
+    }
+    strict |= a[i] < b[i];
+  }
+  return strict;
+}
+
+constexpr Kernels kNeon = {
+    join_neon,  meet_neon, meet_join_neon,
+    meet_join_many_neon,
+    order_flags_neon, leq_neon,  less_neon,
+    "neon",
+};
+
+#endif  // HPD_SIMD_HAVE_NEON
+
+// ---- Dispatch ---------------------------------------------------------------
+
+const Kernels& select(const char* override_name) {
+  if (override_name != nullptr && *override_name != '\0') {
+    if (std::strcmp(override_name, "avx2") == 0) {
+      if (const Kernels* k = avx2_kernels()) {
+        return *k;
+      }
+      return kPortable;  // requested backend unavailable: degrade safely
+    }
+    if (std::strcmp(override_name, "neon") == 0) {
+      if (const Kernels* k = neon_kernels()) {
+        return *k;
+      }
+      return kPortable;
+    }
+    return kPortable;  // "portable" and anything unknown
+  }
+  if (const Kernels* k = avx2_kernels()) {
+    return *k;
+  }
+  if (const Kernels* k = neon_kernels()) {
+    return *k;
+  }
+  return kPortable;
+}
+
+}  // namespace
+
+const Kernels& portable_kernels() { return kPortable; }
+
+const Kernels* avx2_kernels() {
+#if HPD_SIMD_HAVE_AVX2
+  if (__builtin_cpu_supports("avx2")) {
+    return &kAvx2;
+  }
+#endif
+  return nullptr;
+}
+
+const Kernels* neon_kernels() {
+#if HPD_SIMD_HAVE_NEON
+  return &kNeon;
+#else
+  return nullptr;
+#endif
+}
+
+const Kernels& kernels() {
+  // One probe per process: reading the override here (not per call) is
+  // what makes the table safe to cache in a function-pointer-free local
+  // reference at every call site.
+  static const Kernels& k =
+      select(std::getenv("HPD_SIMD"));  // NOLINT(concurrency-mt-unsafe)
+  return k;
+}
+
+const char* active_kernel() { return kernels().name; }
+
+const Kernels& dispatch_for_test(const char* override_name) {
+  return select(override_name);
+}
+
+}  // namespace hpd::vc_simd

@@ -1,0 +1,97 @@
+// SIMD kernel layer for the vector-clock hot loops (meet/join, the fused
+// Eq. (5)/(6) aggregation step, and the happened-before comparisons).
+//
+// Three implementations of one raw-pointer kernel table:
+//
+//   portable   always built; the block-wise branchless loops the scalar
+//              hot path has used since the allocation-free refactor
+//   avx2       x86-64, compiled with a per-function target("avx2")
+//              attribute (no global -mavx2), selected at runtime iff the
+//              CPU reports AVX2
+//   neon       AArch64 (NEON is baseline there; no runtime probe needed)
+//
+// Selection happens ONCE, at first use, through a function-pointer table —
+// one binary runs everywhere. The environment variable HPD_SIMD
+// ("portable", "avx2", "neon") overrides the probe, falling back to
+// portable when the named backend is unavailable; tests use it to force
+// the scalar path and to pin dispatch behavior.
+//
+// Semantics are bit-identical across backends (the differential property
+// suite in tests/simd_test.cpp sweeps them against the frozen seed
+// implementations at inline/heap boundary lengths). All kernels tolerate
+// unaligned pointers; `join`/`meet` allow dst to alias either input
+// (element-wise writes, no cross-lane reads).
+//
+// Vendor intrinsics headers (immintrin.h / arm_neon.h) are confined to
+// src/vc/simd.* by the hpd_lint `simd-intrinsics` rule.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace hpd::vc_simd {
+
+/// Bit flags returned by Kernels::order_flags.
+inline constexpr unsigned kSomeLess = 1u;     ///< exists i: a[i] < b[i]
+inline constexpr unsigned kSomeGreater = 2u;  ///< exists i: a[i] > b[i]
+
+/// One backend's kernel table. Raw pointers + length; callers validate
+/// sizes (the VectorClock wrappers keep their HPD_REQUIREs).
+struct Kernels {
+  /// dst[i] = max(a[i], b[i]) — the join of two cuts / Eq. (5) step.
+  void (*join)(ClockValue* dst, const ClockValue* a, const ClockValue* b,
+               std::size_t n);
+  /// dst[i] = min(a[i], b[i]) — the meet of two cuts / Eq. (6) step.
+  void (*meet)(ClockValue* dst, const ClockValue* a, const ClockValue* b,
+               std::size_t n);
+  /// Fused in-place aggregation step over one input interval:
+  ///   lo[i] = max(lo[i], ql[i]);  hi[i] = min(hi[i], qh[i]).
+  /// One pass over both bounds keeps the loads of ql/qh and the stores of
+  /// lo/hi in the same iteration — the aggregate() inner loop.
+  void (*meet_join)(ClockValue* lo, ClockValue* hi, const ClockValue* ql,
+                    const ClockValue* qh, std::size_t n);
+  /// Whole-fan-in aggregation: folds `count` input bound pairs into lo/hi,
+  ///   lo[i] = max(lo[i], qls[k][i]);  hi[i] = min(hi[i], qhs[k][i])
+  /// for every k < count. Vector backends keep the lo/hi accumulators in
+  /// registers across the entire fan-in — two memory ops per input block
+  /// instead of six — which is what makes wide-clock aggregation
+  /// bandwidth-, not latency-, limited.
+  void (*meet_join_many)(ClockValue* lo, ClockValue* hi,
+                         const ClockValue* const* qls,
+                         const ClockValue* const* qhs, std::size_t count,
+                         std::size_t n);
+  /// kSomeLess / kSomeGreater accumulated over all components, with an
+  /// early exit once both directions have been witnessed (concurrent).
+  unsigned (*order_flags)(const ClockValue* a, const ClockValue* b,
+                          std::size_t n);
+  /// a[i] <= b[i] for all i; exits on the first violating block.
+  bool (*leq)(const ClockValue* a, const ClockValue* b, std::size_t n);
+  /// leq AND exists i: a[i] < b[i] (the paper's strict "<" on timestamps).
+  bool (*less)(const ClockValue* a, const ClockValue* b, std::size_t n);
+  /// "portable" | "avx2" | "neon".
+  const char* name;
+};
+
+/// The dispatched table: probed (or HPD_SIMD-overridden) once at first
+/// call, then cached for the process lifetime.
+const Kernels& kernels();
+
+/// Name of the backend kernels() resolved to.
+const char* active_kernel();
+
+/// The always-available scalar table (also the fallback target).
+const Kernels& portable_kernels();
+
+/// Backend tables for differential testing: null when not compiled in or
+/// not supported by this CPU.
+const Kernels* avx2_kernels();
+const Kernels* neon_kernels();
+
+/// Re-run the selection logic with an explicit override (as if HPD_SIMD
+/// were set to `override_name`; nullptr = probe). Does NOT touch the
+/// cached global table — this is a test hook for pinning dispatch
+/// behavior without depending on environment or call order.
+const Kernels& dispatch_for_test(const char* override_name);
+
+}  // namespace hpd::vc_simd

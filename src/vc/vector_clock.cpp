@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "vc/simd.hpp"
+
 namespace hpd {
 
 const char* to_string(Ordering o) {
@@ -20,13 +22,28 @@ const char* to_string(Ordering o) {
   return "?";
 }
 
+namespace {
+
+// Clocks at or below the inline capacity (n <= 16, the common d-ary
+// fan-outs) take short scalar loops the compiler fully unrolls in place —
+// an indirect call through the dispatched kernel table would cost more
+// than the loop itself there. Larger clocks go through
+// vc_simd::kernels(), where the vector width pays for the indirection.
+constexpr std::size_t kSimdThreshold = VectorClock::kInlineCapacity;
+
+}  // namespace
+
 void VectorClock::merge(const VectorClock& other) {
   HPD_REQUIRE(size_ == other.size_, "VectorClock::merge: size mismatch");
   ClockValue* p = data();
   const ClockValue* q = other.data();
-  for (std::size_t i = 0; i < size_; ++i) {
-    p[i] = std::max(p[i], q[i]);
+  if (size_ <= kSimdThreshold) {
+    for (std::size_t i = 0; i < size_; ++i) {
+      p[i] = std::max(p[i], q[i]);
+    }
+    return;
   }
+  vc_simd::kernels().join(p, p, q, size_);
 }
 
 std::uint64_t VectorClock::total() const {
@@ -56,44 +73,31 @@ std::ostream& operator<<(std::ostream& os, const VectorClock& vc) {
   return os;
 }
 
-namespace {
-
-// The comparison kernels scan in blocks of kBlock components, accumulating
-// per-block flags branchlessly and deciding the early exit once per block —
-// the inner loops have no data-dependent branches, so the compiler can
-// unroll/vectorize them, while wildly diverging clocks still exit after the
-// first block. Per-call observable behavior (the returned ordering, and the
-// engine's counted comparisons) is unchanged.
-constexpr std::size_t kBlock = 8;
-
-}  // namespace
-
 Ordering compare(const VectorClock& a, const VectorClock& b) {
   HPD_REQUIRE(a.size() == b.size() && !a.empty(),
               "compare: clocks must be non-empty and of equal size");
   const ClockValue* pa = a.data();
   const ClockValue* pb = b.data();
   const std::size_t n = a.size();
-  bool some_less = false;
-  bool some_greater = false;
-  std::size_t i = 0;
-  for (; i + kBlock <= n; i += kBlock) {
-    for (std::size_t j = 0; j < kBlock; ++j) {
-      some_less |= pa[i + j] < pb[i + j];
-      some_greater |= pa[i + j] > pb[i + j];
-    }
-    if (some_less && some_greater) {
-      return Ordering::kConcurrent;
-    }
+  // Scalar prefix first, at every size: random clocks usually witness both
+  // directions within a handful of components, and that early exit beats
+  // an indirect kernel call. Only a prefix that stays ordered hands the
+  // tail to the vector kernel (flags OR cleanly — they are per-component).
+  unsigned flags = 0;
+  const std::size_t prefix = std::min(n, kSimdThreshold);
+  for (std::size_t i = 0; i < prefix; ++i) {
+    flags |= (pa[i] < pb[i] ? vc_simd::kSomeLess : 0u) |
+             (pa[i] > pb[i] ? vc_simd::kSomeGreater : 0u);
   }
-  for (; i < n; ++i) {
-    some_less |= pa[i] < pb[i];
-    some_greater |= pa[i] > pb[i];
+  if (n > prefix && flags != (vc_simd::kSomeLess | vc_simd::kSomeGreater)) {
+    flags |= vc_simd::kernels().order_flags(pa + prefix, pb + prefix,
+                                            n - prefix);
   }
-  if (some_less) {
-    return some_greater ? Ordering::kConcurrent : Ordering::kBefore;
+  if ((flags & vc_simd::kSomeLess) != 0) {
+    return (flags & vc_simd::kSomeGreater) != 0 ? Ordering::kConcurrent
+                                                : Ordering::kBefore;
   }
-  if (some_greater) {
+  if ((flags & vc_simd::kSomeGreater) != 0) {
     return Ordering::kAfter;
   }
   return Ordering::kEqual;
@@ -105,25 +109,17 @@ bool vc_less(const VectorClock& a, const VectorClock& b) {
   const ClockValue* pa = a.data();
   const ClockValue* pb = b.data();
   const std::size_t n = a.size();
-  bool strict = false;
-  std::size_t i = 0;
-  for (; i + kBlock <= n; i += kBlock) {
-    bool greater = false;
-    for (std::size_t j = 0; j < kBlock; ++j) {
-      greater |= pa[i + j] > pb[i + j];
-      strict |= pa[i + j] < pb[i + j];
+  if (n <= kSimdThreshold) {
+    bool strict = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pa[i] > pb[i]) {
+        return false;
+      }
+      strict |= pa[i] < pb[i];
     }
-    if (greater) {
-      return false;
-    }
+    return strict;
   }
-  for (; i < n; ++i) {
-    if (pa[i] > pb[i]) {
-      return false;
-    }
-    strict |= pa[i] < pb[i];
-  }
-  return strict;
+  return vc_simd::kernels().less(pa, pb, n);
 }
 
 bool vc_leq(const VectorClock& a, const VectorClock& b) {
@@ -132,22 +128,15 @@ bool vc_leq(const VectorClock& a, const VectorClock& b) {
   const ClockValue* pa = a.data();
   const ClockValue* pb = b.data();
   const std::size_t n = a.size();
-  std::size_t i = 0;
-  for (; i + kBlock <= n; i += kBlock) {
-    bool greater = false;
-    for (std::size_t j = 0; j < kBlock; ++j) {
-      greater |= pa[i + j] > pb[i + j];
+  if (n <= kSimdThreshold) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pa[i] > pb[i]) {
+        return false;
+      }
     }
-    if (greater) {
-      return false;
-    }
+    return true;
   }
-  for (; i < n; ++i) {
-    if (pa[i] > pb[i]) {
-      return false;
-    }
-  }
-  return true;
+  return vc_simd::kernels().leq(pa, pb, n);
 }
 
 bool vc_concurrent(const VectorClock& a, const VectorClock& b) {
@@ -160,9 +149,13 @@ VectorClock component_max(const VectorClock& a, const VectorClock& b) {
   ClockValue* po = out.data();
   const ClockValue* pa = a.data();
   const ClockValue* pb = b.data();
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    po[i] = std::max(pa[i], pb[i]);
+  if (a.size() <= kSimdThreshold) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      po[i] = std::max(pa[i], pb[i]);
+    }
+    return out;
   }
+  vc_simd::kernels().join(po, pa, pb, a.size());
   return out;
 }
 
@@ -172,9 +165,13 @@ VectorClock component_min(const VectorClock& a, const VectorClock& b) {
   ClockValue* po = out.data();
   const ClockValue* pa = a.data();
   const ClockValue* pb = b.data();
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    po[i] = std::min(pa[i], pb[i]);
+  if (a.size() <= kSimdThreshold) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      po[i] = std::min(pa[i], pb[i]);
+    }
+    return out;
   }
+  vc_simd::kernels().meet(po, pa, pb, a.size());
   return out;
 }
 

@@ -1,0 +1,13 @@
+// Fixture: vendor SIMD intrinsics header outside src/vc/simd.*.
+//
+// The mention of <immintrin.h> in this comment must NOT count — only the
+// real include below (and the <arm_neon.h> one after it) may fire.
+#include <immintrin.h>
+
+#include <arm_neon.h>
+
+namespace hpd {
+
+int use_intrinsics_directly;
+
+}  // namespace hpd

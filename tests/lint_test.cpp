@@ -103,6 +103,14 @@ TEST(LintTest, BadTreeFiresEveryRule) {
   EXPECT_NE(r.out.find("src/core/raw_then_clock.cpp:9: determinism"),
             std::string::npos)
       << r.out;
+  // Vendor intrinsics headers outside src/vc/simd.* — both families fire,
+  // and the <immintrin.h> mention in the fixture's comment must not.
+  EXPECT_NE(r.out.find("src/interval/vendor_simd.cpp:5: simd-intrinsics"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("src/interval/vendor_simd.cpp:7: simd-intrinsics"),
+            std::string::npos)
+      << r.out;
 }
 
 TEST(LintTest, CleanFixtureHasNoFindings) {

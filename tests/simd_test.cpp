@@ -1,0 +1,262 @@
+// Differential property suite for the SIMD kernel layer (vc/simd.hpp).
+//
+// Every compiled-in backend (portable always; AVX2/NEON when the host
+// supports them) is swept against the frozen seed implementations in
+// tests/reference/ over random clocks at the boundary lengths where lane
+// tails and the inline/heap storage seam live: n in {1, 15, 16, 17, 31,
+// 32, 33, 255, 4096}. A divergence of one bit on one lane fails here
+// before it can corrupt a detection run. The suite also pins the dispatch
+// contract: dispatch_for_test() resolves override names without touching
+// the cached table, and active_kernel() honors HPD_SIMD — CMake registers
+// this binary a second time with HPD_SIMD=portable so the whole sweep
+// also runs through the forced-portable path.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "reference/vector_clock.hpp"
+#include "vc/simd.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace hpd {
+namespace {
+
+// Lane-tail and storage-seam boundary lengths (kInlineCapacity = 16, AVX2
+// block = 8 lanes, NEON block = 4 lanes, portable block = 8).
+constexpr std::size_t kLens[] = {1, 15, 16, 17, 31, 32, 33, 255, 4096};
+
+std::vector<ClockValue> random_vec(Rng& rng, std::size_t n,
+                                   ClockValue max_value) {
+  std::vector<ClockValue> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<ClockValue>(
+        rng.uniform_int(0, static_cast<std::int64_t>(max_value)));
+  }
+  return v;
+}
+
+reference::VectorClock ref_clock(const std::vector<ClockValue>& v) {
+  reference::VectorClock out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = v[i];
+  }
+  return out;
+}
+
+std::vector<const vc_simd::Kernels*> compiled_backends() {
+  std::vector<const vc_simd::Kernels*> out{&vc_simd::portable_kernels()};
+  if (const vc_simd::Kernels* k = vc_simd::avx2_kernels()) {
+    out.push_back(k);
+  }
+  if (const vc_simd::Kernels* k = vc_simd::neon_kernels()) {
+    out.push_back(k);
+  }
+  return out;
+}
+
+unsigned ref_order_flags(const reference::VectorClock& a,
+                         const reference::VectorClock& b) {
+  switch (reference::compare(a, b)) {
+    case reference::Ordering::kEqual:
+      return 0;
+    case reference::Ordering::kBefore:
+      return vc_simd::kSomeLess;
+    case reference::Ordering::kAfter:
+      return vc_simd::kSomeGreater;
+    case reference::Ordering::kConcurrent:
+      return vc_simd::kSomeLess | vc_simd::kSomeGreater;
+  }
+  return 0;
+}
+
+TEST(SimdKernelTest, BackendsMatchFrozenReferenceAtBoundaryLengths) {
+  Rng rng(20260809);
+  const auto backends = compiled_backends();
+  ASSERT_FALSE(backends.empty());
+  for (const std::size_t n : kLens) {
+    const int iters = n >= 255 ? 25 : 400;
+    for (int iter = 0; iter < iters; ++iter) {
+      // Small component ranges so ties, dominated pairs, and equal pairs
+      // all actually occur; occasionally force exact equality.
+      const auto max_value =
+          static_cast<ClockValue>(1 + rng.uniform_index(4) * 40);
+      const std::vector<ClockValue> a = random_vec(rng, n, max_value);
+      const std::vector<ClockValue> b =
+          rng.uniform_int(0, 4) == 0 ? a : random_vec(rng, n, max_value);
+      const reference::VectorClock ra = ref_clock(a);
+      const reference::VectorClock rb = ref_clock(b);
+      const reference::VectorClock rmx = reference::component_max(ra, rb);
+      const reference::VectorClock rmn = reference::component_min(ra, rb);
+      const unsigned rflags = ref_order_flags(ra, rb);
+      for (const vc_simd::Kernels* k : backends) {
+        SCOPED_TRACE(std::string(k->name) + " n=" + std::to_string(n));
+        std::vector<ClockValue> mx(n), mn(n);
+        k->join(mx.data(), a.data(), b.data(), n);
+        k->meet(mn.data(), a.data(), b.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(mx[i], rmx[i]);
+          ASSERT_EQ(mn[i], rmn[i]);
+        }
+        // Fused aggregation step: lo/hi accumulate in place.
+        std::vector<ClockValue> lo = a;
+        std::vector<ClockValue> hi = a;
+        k->meet_join(lo.data(), hi.data(), b.data(), b.data(), n);
+        EXPECT_EQ(lo, mx);
+        EXPECT_EQ(hi, mn);
+        EXPECT_EQ(k->order_flags(a.data(), b.data(), n), rflags);
+        EXPECT_EQ(k->leq(a.data(), b.data(), n), reference::vc_leq(ra, rb));
+        EXPECT_EQ(k->leq(b.data(), a.data(), n), reference::vc_leq(rb, ra));
+        EXPECT_EQ(k->less(a.data(), b.data(), n), reference::vc_less(ra, rb));
+        EXPECT_EQ(k->less(b.data(), a.data(), n), reference::vc_less(rb, ra));
+      }
+    }
+  }
+}
+
+// The fan-in kernel must equal a sequential fold of the two-input kernel
+// for any input count, including counts that cross the aggregate() pointer
+// group size (32).
+TEST(SimdKernelTest, MeetJoinManyEqualsSequentialFold) {
+  Rng rng(20260812);
+  const auto backends = compiled_backends();
+  const std::size_t counts[] = {1, 2, 7, 31, 32, 33, 70};
+  for (const std::size_t n : kLens) {
+    for (const std::size_t count : counts) {
+      if (n >= 255 && count > 7) {
+        continue;  // keep the sweep fast; wide x deep adds no new seams
+      }
+      std::vector<std::vector<ClockValue>> ls;
+      std::vector<std::vector<ClockValue>> hs;
+      std::vector<const ClockValue*> qls;
+      std::vector<const ClockValue*> qhs;
+      for (std::size_t k = 0; k < count; ++k) {
+        ls.push_back(random_vec(rng, n, 90));
+        hs.push_back(random_vec(rng, n, 90));
+        qls.push_back(ls.back().data());
+        qhs.push_back(hs.back().data());
+      }
+      const std::vector<ClockValue> lo0 = random_vec(rng, n, 90);
+      const std::vector<ClockValue> hi0 = random_vec(rng, n, 90);
+      for (const vc_simd::Kernels* k : backends) {
+        SCOPED_TRACE(std::string(k->name) + " n=" + std::to_string(n) +
+                     " count=" + std::to_string(count));
+        std::vector<ClockValue> want_lo = lo0;
+        std::vector<ClockValue> want_hi = hi0;
+        for (std::size_t j = 0; j < count; ++j) {
+          k->meet_join(want_lo.data(), want_hi.data(), qls[j], qhs[j], n);
+        }
+        std::vector<ClockValue> lo = lo0;
+        std::vector<ClockValue> hi = hi0;
+        k->meet_join_many(lo.data(), hi.data(), qls.data(), qhs.data(), count,
+                          n);
+        EXPECT_EQ(lo, want_lo);
+        EXPECT_EQ(hi, want_hi);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, JoinAndMeetTolerateDstAliasingAnInput) {
+  Rng rng(7);
+  const auto backends = compiled_backends();
+  for (const std::size_t n : kLens) {
+    const std::vector<ClockValue> a = random_vec(rng, n, 100);
+    const std::vector<ClockValue> b = random_vec(rng, n, 100);
+    for (const vc_simd::Kernels* k : backends) {
+      SCOPED_TRACE(std::string(k->name) + " n=" + std::to_string(n));
+      std::vector<ClockValue> want_mx(n), want_mn(n);
+      k->join(want_mx.data(), a.data(), b.data(), n);
+      k->meet(want_mn.data(), a.data(), b.data(), n);
+      std::vector<ClockValue> x = a;
+      k->join(x.data(), x.data(), b.data(), n);  // dst == a
+      EXPECT_EQ(x, want_mx);
+      x = b;
+      k->join(x.data(), a.data(), x.data(), n);  // dst == b
+      EXPECT_EQ(x, want_mx);
+      x = a;
+      k->meet(x.data(), x.data(), b.data(), n);
+      EXPECT_EQ(x, want_mn);
+    }
+  }
+}
+
+// The VectorClock wrappers route through the dispatched table above the
+// inline capacity — run them against the reference at heap lengths so the
+// seam (and whatever backend this host dispatches to) is covered end to
+// end, not just at the raw-kernel layer.
+TEST(SimdVectorClockTest, WrappersMatchReferenceAtHeapLengths) {
+  Rng rng(20260810);
+  for (const std::size_t n : {std::size_t{17}, std::size_t{33},
+                              std::size_t{255}, std::size_t{4096}}) {
+    for (int iter = 0; iter < 50; ++iter) {
+      const auto max_value =
+          static_cast<ClockValue>(1 + rng.uniform_index(4) * 40);
+      const std::vector<ClockValue> av = random_vec(rng, n, max_value);
+      const std::vector<ClockValue> bv =
+          rng.uniform_int(0, 4) == 0 ? av : random_vec(rng, n, max_value);
+      VectorClock a(n), b(n);
+      std::memcpy(a.data(), av.data(), n * sizeof(ClockValue));
+      std::memcpy(b.data(), bv.data(), n * sizeof(ClockValue));
+      const reference::VectorClock ra = ref_clock(av);
+      const reference::VectorClock rb = ref_clock(bv);
+      SCOPED_TRACE("n=" + std::to_string(n));
+      EXPECT_EQ(static_cast<int>(compare(a, b)),
+                static_cast<int>(reference::compare(ra, rb)));
+      EXPECT_EQ(vc_less(a, b), reference::vc_less(ra, rb));
+      EXPECT_EQ(vc_leq(a, b), reference::vc_leq(ra, rb));
+      EXPECT_EQ(vc_concurrent(a, b), reference::vc_concurrent(ra, rb));
+      const VectorClock mx = component_max(a, b);
+      const VectorClock mn = component_min(a, b);
+      const reference::VectorClock rmx = reference::component_max(ra, rb);
+      const reference::VectorClock rmn = reference::component_min(ra, rb);
+      VectorClock merged = a;
+      merged.merge(b);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(mx[i], rmx[i]);
+        ASSERT_EQ(mn[i], rmn[i]);
+        ASSERT_EQ(merged[i], rmx[i]);
+      }
+    }
+  }
+}
+
+TEST(SimdDispatchTest, TestHookResolvesOverridesWithoutTouchingCache) {
+  using vc_simd::dispatch_for_test;
+  EXPECT_STREQ(dispatch_for_test("portable").name, "portable");
+  // Unknown names degrade to portable rather than crashing a run that set
+  // a typo'd HPD_SIMD.
+  EXPECT_STREQ(dispatch_for_test("bogus").name, "portable");
+  EXPECT_STREQ(dispatch_for_test("").name,
+               dispatch_for_test(nullptr).name);
+  EXPECT_STREQ(dispatch_for_test("avx2").name,
+               vc_simd::avx2_kernels() != nullptr ? "avx2" : "portable");
+  EXPECT_STREQ(dispatch_for_test("neon").name,
+               vc_simd::neon_kernels() != nullptr ? "neon" : "portable");
+  // nullptr = probe order: avx2, then neon, then portable.
+  const char* best = vc_simd::avx2_kernels() != nullptr ? "avx2"
+                     : vc_simd::neon_kernels() != nullptr ? "neon"
+                                                          : "portable";
+  EXPECT_STREQ(dispatch_for_test(nullptr).name, best);
+}
+
+TEST(SimdDispatchTest, ActiveKernelHonorsEnvOverride) {
+  // Under the forced-portable ctest registration HPD_SIMD=portable is in
+  // the environment; expected resolves exactly like the dispatcher.
+  const char* env = std::getenv("HPD_SIMD");  // NOLINT(concurrency-mt-unsafe)
+  EXPECT_STREQ(vc_simd::active_kernel(),
+               vc_simd::dispatch_for_test(env).name);
+  // The cached table is one of the compiled backends, whatever happens.
+  bool known = false;
+  for (const vc_simd::Kernels* k : compiled_backends()) {
+    known = known || std::strcmp(k->name, vc_simd::active_kernel()) == 0;
+  }
+  EXPECT_TRUE(known);
+}
+
+}  // namespace
+}  // namespace hpd

@@ -20,6 +20,10 @@
 //       [--threshold <pct>]          default regression threshold (30)
 //       [--metric <substr>=<pct>]    per-metric override, first substring
 //                                    match wins (repeatable)
+//       [--allow-missing]            report metrics absent from the current
+//                                    run but do not fail on them (for
+//                                    intentional bench removals; the next
+//                                    baseline refresh drops them for good)
 //
 // Exit codes: 0 no regressions, 1 regressions found, 2 usage/parse error.
 // Like hpd_lint, deliberately dependency-free (std library only) so it can
@@ -190,8 +194,10 @@ int usage() {
   std::cerr
       << "usage: hpd_bench_diff <baseline.json> <current.json>\n"
          "           [--threshold <pct>] [--metric <substr>=<pct>]...\n"
+         "           [--allow-missing]\n"
          "Fails (exit 1) on metrics regressing beyond the threshold\n"
-         "(default 30%). Improvements never fail.\n";
+         "(default 30%). Improvements never fail. Metrics missing from\n"
+         "the current run fail unless --allow-missing is given.\n";
   return 2;
 }
 
@@ -200,10 +206,13 @@ int usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   double threshold = 30.0;
+  bool allow_missing = false;
   std::vector<Override> overrides;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--threshold") {
+    if (arg == "--allow-missing") {
+      allow_missing = true;
+    } else if (arg == "--threshold") {
       if (++i >= argc) {
         return usage();
       }
@@ -246,8 +255,11 @@ int main(int argc, char** argv) {
     const Metric* cur = find(current, base.name);
     if (cur == nullptr) {
       std::printf("%-44s %14.6g %14s %9s  %s\n", base.name.c_str(),
-                  base.value, "-", "-", "MISSING");
-      ++regressions;
+                  base.value, "-", "-",
+                  allow_missing ? "missing (allowed)" : "MISSING");
+      if (!allow_missing) {
+        ++regressions;
+      }
       continue;
     }
     double limit = threshold;

@@ -10,6 +10,7 @@
 //   raw-concurrency   no naked std primitives outside the annotated wrappers
 //   hot-path-containers  no std::map/set/deque in vc/, interval/, detect/
 //   reactor-nonblocking  no blocking calls inside src/rt/reactor/
+//   simd-intrinsics   vendor SIMD headers only in src/vc/simd.*
 //   todo-issue        TODO must carry an issue reference; FIXME is banned
 //   pragma-once       every header starts its life with #pragma once
 //   using-namespace   no `using namespace std`
@@ -72,7 +73,7 @@ const std::map<std::string, std::set<std::string>>& allowed_deps() {
       {"proto", {"common", "vc", "interval"}},
       {"wire", {"common", "vc", "interval", "proto"}},
       {"trace", {"common", "vc", "interval", "net"}},
-      {"detect", {"common", "vc", "interval", "net", "trace"}},
+      {"detect", {"common", "vc", "interval", "net", "parallel", "trace"}},
       {"core", {"common", "vc", "interval", "net", "trace", "detect"}},
       {"ft", {"common", "vc", "interval", "proto"}},
       {"analysis", {"common", "vc", "interval", "metrics", "net", "trace"}},
@@ -224,6 +225,22 @@ constexpr TokenRule kReactorBlockingTokens[] = {
     {"::accept(", "use rt::accept_conn (nonblocking)"},
     {"::send(", "use rt::write_some (nonblocking, EINTR/EAGAIN-safe)"},
     {"::recv(", "use rt::read_some (nonblocking, EINTR/EAGAIN-safe)"},
+};
+
+// Vendor SIMD intrinsics headers are confined to the dispatch layer in
+// src/vc/simd.* — everything else calls through the vc_simd::Kernels
+// table, so exactly one translation unit decides CPU-feature questions
+// and the portable/AVX2/NEON bit-identity contract stays testable in one
+// place.
+constexpr TokenRule kSimdIntrinsicsTokens[] = {
+    {"<immintrin.h>", "vendor intrinsics outside src/vc/simd.*; use the "
+                      "vc_simd::Kernels table"},
+    {"<x86intrin.h>", "vendor intrinsics outside src/vc/simd.*; use the "
+                      "vc_simd::Kernels table"},
+    {"<emmintrin.h>", "vendor intrinsics outside src/vc/simd.*; use the "
+                      "vc_simd::Kernels table"},
+    {"<arm_neon.h>", "vendor intrinsics outside src/vc/simd.*; use the "
+                     "vc_simd::Kernels table"},
 };
 
 // ---- Lexical helpers --------------------------------------------------------
@@ -549,6 +566,16 @@ void check_file(const fs::path& abs, const std::string& rel, FileReport& r) {
       }
     }
 
+    // simd-intrinsics: vendor SIMD headers stay behind the dispatch layer.
+    if (rel != "src/vc/simd.hpp" && rel != "src/vc/simd.cpp") {
+      for (const TokenRule& t : kSimdIntrinsicsTokens) {
+        if (has_token(cl, t.token)) {
+          add(r, rel, ln, "simd-intrinsics",
+              std::string(t.token) + ": " + t.message);
+        }
+      }
+    }
+
     // todo-issue: TODO must reference an issue; FIXME is banned outright.
     // (Checked on raw lines — these live in comments.)
     std::size_t tp = 0;
@@ -583,7 +610,7 @@ const std::set<std::string>& known_rule_ids() {
       "layering",        "determinism",         "wire-endianness",
       "raw-concurrency", "hot-path-containers", "reactor-nonblocking",
       "todo-issue",      "pragma-once",         "using-namespace",
-      "ckpt-serialization",
+      "ckpt-serialization", "simd-intrinsics",
   };
   return kIds;
 }
